@@ -1,0 +1,23 @@
+//! # tapas-baseline — the comparison points of the paper's evaluation
+//!
+//! Two baselines:
+//!
+//! * [`multicore`] — a timing model of the Intel i7 quad-core running the
+//!   *identical* Cilk program (§V-C/V-D). The reference interpreter
+//!   produces the fork-join computation DAG; a greedy scheduler (the
+//!   standard model of Cilk's work-stealing runtime: `T_P ≤ T_1/P + T_∞`)
+//!   executes it over `P` cores with per-class instruction costs and a
+//!   software task-spawn overhead — the overhead that makes fine-grain
+//!   tasks unprofitable in software (Fig. 13's flat "Software" line).
+//!
+//! * [`static_hls`] — an Intel-HLS-style statically scheduled,
+//!   unrolled/pipelined streaming accelerator model for the kernels that
+//!   *can* be expressed statically (Table V: SAXPY, image scaling).
+
+#![warn(missing_docs)]
+
+pub mod multicore;
+pub mod static_hls;
+
+pub use multicore::{coarsen_loops, coarsen_loops_auto, run_multicore, CoreConfig, McOutcome};
+pub use static_hls::{estimate_static_hls, StaticHlsConfig, StaticHlsOutcome};

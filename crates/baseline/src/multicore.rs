@@ -1,0 +1,451 @@
+//! Multicore (i7 + Cilk) timing model.
+//!
+//! Consumes the [`SpawnTrace`] the reference
+//! interpreter records and schedules it greedily over `P` cores:
+//!
+//! * `Work` strands cost `compute/IPC + loads·load_cost + stores·store_cost`
+//!   core cycles;
+//! * every `Spawn` pays the Cilk runtime's bookkeeping on the spawning
+//!   core, and a frame executed by a core other than its spawner pays a
+//!   one-time migration (steal) cost;
+//! * `Sync` suspends a frame until its last child completes, which then
+//!   resumes it (greedy scheduling).
+//!
+//! Greedy scheduling is the textbook model of work stealing
+//! (`T_P ≤ T_1/P + T_∞`), so speedups and saturation points track the real
+//! runtime's shape without simulating deque-level detail.
+
+use std::collections::{BinaryHeap, VecDeque};
+use tapas_ir::interp::{Cost, Frame, FrameId, SpawnTrace, TraceEvent};
+
+/// CPU model parameters. Defaults model the paper's Intel i7 quad core
+/// (3.4 GHz, 8 MB L2).
+#[derive(Debug, Clone)]
+pub struct CoreConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Sustained instructions per cycle for scalar integer code.
+    pub ipc: f64,
+    /// Average cycles per load (hit-dominated for these footprints).
+    pub load_cycles: f64,
+    /// Average cycles per store.
+    pub store_cycles: f64,
+    /// Cycles of Cilk runtime work per spawn on the spawning core.
+    pub spawn_cycles: u64,
+    /// One-time cost when a frame is executed by a core other than its
+    /// spawner (deque steal + cold-ish caches).
+    pub steal_cycles: u64,
+    /// Cycles to pass through a sync.
+    pub sync_cycles: u64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            cores: 4,
+            freq_ghz: 3.4,
+            ipc: 2.0,
+            load_cycles: 2.0,
+            store_cycles: 1.5,
+            spawn_cycles: 900,
+            steal_cycles: 3000,
+            sync_cycles: 60,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Core cycles for one strand's worth of work.
+    pub fn work_cycles(&self, c: &Cost) -> u64 {
+        let cyc = c.compute as f64 / self.ipc
+            + c.loads as f64 * self.load_cycles
+            + c.stores as f64 * self.store_cycles;
+        cyc.ceil() as u64
+    }
+}
+
+/// Result of a multicore scheduling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McOutcome {
+    /// Makespan in core cycles.
+    pub cycles: u64,
+    /// Makespan in seconds at the configured frequency.
+    pub seconds: f64,
+    /// Total useful work cycles (the `T_1` term, excluding overheads).
+    pub work_cycles: u64,
+    /// Frames that migrated between cores (≈ steals).
+    pub steals: u64,
+    /// Frames executed.
+    pub frames: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FrameState {
+    cursor: usize,
+    pending_children: u32,
+    waiting_sync: bool,
+    spawner_core: usize,
+    parent: Option<FrameId>,
+    /// Serial-call continuation chain: frames whose next event resumes
+    /// when this frame finishes.
+    caller: Option<FrameId>,
+    done: bool,
+    started: bool,
+    /// Core time at which the frame suspended on a sync (a resume cannot
+    /// happen before this).
+    suspended_at: u64,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct ReadyFrame {
+    at: u64,
+    frame: FrameId,
+}
+
+impl Ord for ReadyFrame {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at).then(other.frame.0.cmp(&self.frame.0))
+    }
+}
+impl PartialOrd for ReadyFrame {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Coarsen a fork-join trace the way Cilk's `cilk_for` grainsize does:
+/// runs of up to `grainsize` consecutive spawns from one frame are merged
+/// into a single schedulable group that executes its children (and the
+/// interleaved loop-control work) serially. The paper's benchmark Cilk
+/// programs go through `cilk_for`, which applies exactly this coarsening;
+/// its *absence* is what the Fig. 12/13 spawn-overhead microbenchmark
+/// measures.
+pub fn coarsen_loops(trace: &SpawnTrace, grainsize: usize) -> SpawnTrace {
+    coarsen_with(trace, |_| grainsize)
+}
+
+/// Coarsen with Cilk's own per-loop heuristic, `grainsize =
+/// min(2048, N/8P)` where `N` is the loop's trip count (the frame's spawn
+/// count) — what `cilk_for` does by default on a `P`-core machine.
+pub fn coarsen_loops_auto(trace: &SpawnTrace, cores: usize) -> SpawnTrace {
+    coarsen_with(trace, |n| (n / (8 * cores.max(1))).clamp(1, 2048))
+}
+
+fn coarsen_with(trace: &SpawnTrace, grain_of: impl Fn(usize) -> usize) -> SpawnTrace {
+    let mut frames: Vec<Frame> = trace.frames.clone();
+    let n = frames.len();
+    for fid in 0..n {
+        let events = std::mem::take(&mut frames[fid].events);
+        let spawn_count = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Spawn(_)))
+            .count();
+        let grainsize = grain_of(spawn_count);
+        if grainsize <= 1 || spawn_count <= grainsize {
+            frames[fid].events = events;
+            continue;
+        }
+        let mut out = Vec::new();
+        let mut group: Vec<TraceEvent> = Vec::new();
+        let mut group_spawns = 0usize;
+        let flush =
+            |out: &mut Vec<TraceEvent>, group: &mut Vec<TraceEvent>, frames: &mut Vec<Frame>| {
+                if group.is_empty() {
+                    return;
+                }
+                let gid = FrameId(frames.len() as u32);
+                // Children execute serially inside the group.
+                let body: Vec<TraceEvent> = group
+                    .drain(..)
+                    .map(|e| match e {
+                        TraceEvent::Spawn(c) => TraceEvent::Call(c),
+                        other => other,
+                    })
+                    .collect();
+                frames.push(Frame { events: body });
+                out.push(TraceEvent::Spawn(gid));
+            };
+        for ev in events {
+            match ev {
+                TraceEvent::Spawn(c) => {
+                    group.push(TraceEvent::Spawn(c));
+                    group_spawns += 1;
+                    if group_spawns >= grainsize {
+                        flush(&mut out, &mut group, &mut frames);
+                        group_spawns = 0;
+                    }
+                }
+                TraceEvent::Work(w) if group_spawns > 0 => group.push(TraceEvent::Work(w)),
+                TraceEvent::Sync => {
+                    flush(&mut out, &mut group, &mut frames);
+                    group_spawns = 0;
+                    out.push(TraceEvent::Sync);
+                }
+                other => {
+                    if group_spawns > 0 {
+                        flush(&mut out, &mut group, &mut frames);
+                        group_spawns = 0;
+                    }
+                    out.push(other);
+                }
+            }
+        }
+        flush(&mut out, &mut group, &mut frames);
+        frames[fid].events = out;
+    }
+    SpawnTrace { frames }
+}
+
+/// Schedule `trace` over the cores described by `cfg`.
+///
+/// # Panics
+///
+/// Panics on a malformed trace (events after frame completion).
+pub fn run_multicore(trace: &SpawnTrace, cfg: &CoreConfig) -> McOutcome {
+    let n = trace.num_frames();
+    let mut frames: Vec<FrameState> = (0..n)
+        .map(|_| FrameState {
+            cursor: 0,
+            pending_children: 0,
+            waiting_sync: false,
+            spawner_core: 0,
+            parent: None,
+            caller: None,
+            done: false,
+            started: false,
+            suspended_at: 0,
+        })
+        .collect();
+
+    // ready frames (time they became available) and idle cores (time free)
+    let mut ready: BinaryHeap<ReadyFrame> = BinaryHeap::new();
+    let mut core_free: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+    for c in 0..cfg.cores {
+        core_free.push(std::cmp::Reverse((0, c)));
+    }
+    ready.push(ReadyFrame { at: 0, frame: FrameId(0) });
+
+    let mut steals = 0u64;
+    let mut executed = 0u64;
+    let mut makespan = 0u64;
+    let mut work_cycles = 0u64;
+    // Frames resumed by child completion carry their resume time via the
+    // ready heap.
+    let mut pending_ready: VecDeque<ReadyFrame> = VecDeque::new();
+
+    while let Some(ReadyFrame { at, frame }) = {
+        while let Some(r) = pending_ready.pop_front() {
+            ready.push(r);
+        }
+        ready.pop()
+    } {
+        let std::cmp::Reverse((free_at, core)) = core_free.pop().expect("cores exist");
+        let mut t = at.max(free_at);
+        let fs = &mut frames[frame.0 as usize];
+        if !fs.started {
+            fs.started = true;
+            executed += 1;
+            if fs.spawner_core != core {
+                steals += 1;
+                t += cfg.steal_cycles;
+            }
+        }
+        // Execute the frame until it suspends or completes.
+        let mut cur = frame;
+        loop {
+            let fid = cur.0 as usize;
+            let events = &trace.frame(cur).events;
+            if frames[fid].cursor >= events.len() {
+                // Frame complete.
+                frames[fid].done = true;
+                let parent = frames[fid].parent;
+                let caller = frames[fid].caller;
+                if let Some(p) = parent {
+                    let ps = &mut frames[p.0 as usize];
+                    ps.pending_children -= 1;
+                    if ps.waiting_sync && ps.pending_children == 0 {
+                        ps.waiting_sync = false;
+                        // Greedy: this core continues the parent now (but
+                        // never before the parent actually suspended).
+                        t = t.max(ps.suspended_at);
+                        cur = p;
+                        continue;
+                    }
+                }
+                if let Some(c) = caller {
+                    // Serial call returns: resume the caller inline.
+                    cur = c;
+                    continue;
+                }
+                break;
+            }
+            let ev = events[frames[fid].cursor].clone();
+            frames[fid].cursor += 1;
+            match ev {
+                TraceEvent::Work(c) => {
+                    let w = cfg.work_cycles(&c);
+                    work_cycles += w;
+                    t += w;
+                }
+                TraceEvent::Spawn(ch) => {
+                    t += cfg.spawn_cycles;
+                    let chs = &mut frames[ch.0 as usize];
+                    chs.parent = Some(cur);
+                    chs.spawner_core = core;
+                    frames[fid].pending_children += 1;
+                    pending_ready.push_back(ReadyFrame { at: t, frame: ch });
+                }
+                TraceEvent::Call(ch) => {
+                    // Serial call: execute the callee inline on this core.
+                    frames[ch.0 as usize].caller = Some(cur);
+                    frames[ch.0 as usize].spawner_core = core;
+                    frames[ch.0 as usize].started = true;
+                    executed += 1;
+                    cur = ch;
+                }
+                TraceEvent::Sync => {
+                    t += cfg.sync_cycles;
+                    if frames[fid].pending_children > 0 {
+                        frames[fid].waiting_sync = true;
+                        frames[fid].suspended_at = t;
+                        // Note the suspension time: the resuming child
+                        // continues from max(child end, t); since the child
+                        // ends after now, its own clock dominates. Park.
+                        break;
+                    }
+                }
+            }
+        }
+        makespan = makespan.max(t);
+        core_free.push(std::cmp::Reverse((t, core)));
+    }
+
+    McOutcome {
+        cycles: makespan,
+        seconds: makespan as f64 / (cfg.freq_ghz * 1e9),
+        work_cycles,
+        steals,
+        frames: executed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapas_ir::interp::{run, InterpConfig, Val};
+
+    fn trace_of(wl: &tapas_workloads::BuiltWorkload) -> SpawnTrace {
+        let mut mem = wl.mem.clone();
+        run(&wl.module, wl.func, &wl.args, &mut mem, &InterpConfig::default())
+            .unwrap()
+            .trace
+    }
+
+    #[test]
+    fn four_cores_beat_one_on_coarse_tasks() {
+        // Coarse tasks: big per-task work so spawn overhead amortizes.
+        let wl = tapas_workloads::scale_micro::build(64, 200);
+        let trace = trace_of(&wl);
+        let c1 = run_multicore(&trace, &CoreConfig { cores: 1, ..CoreConfig::default() });
+        let c4 = run_multicore(&trace, &CoreConfig { cores: 4, ..CoreConfig::default() });
+        assert!(
+            c4.cycles < c1.cycles,
+            "4 cores {} vs 1 core {}",
+            c4.cycles,
+            c1.cycles
+        );
+    }
+
+    #[test]
+    fn fine_grain_tasks_bottleneck_on_spawn_overhead() {
+        // The Fig. 13 result: at ~50-instruction tasks, software spawn
+        // overhead swamps the work, so adding cores barely helps.
+        let wl = tapas_workloads::scale_micro::build(256, 50);
+        let trace = trace_of(&wl);
+        let c1 = run_multicore(&trace, &CoreConfig { cores: 1, ..CoreConfig::default() });
+        let c4 = run_multicore(&trace, &CoreConfig { cores: 4, ..CoreConfig::default() });
+        let speedup = c1.cycles as f64 / c4.cycles as f64;
+        assert!(
+            speedup < 1.6,
+            "fine-grain speedup should collapse, got {speedup:.2}"
+        );
+        // Spawn overhead dominates useful work.
+        assert!(c1.cycles > 4 * c1.work_cycles);
+    }
+
+    #[test]
+    fn makespan_at_least_span_and_at_most_serial() {
+        let wl = tapas_workloads::fib::build(10);
+        let trace = trace_of(&wl);
+        let cfg = CoreConfig::default();
+        let c4 = run_multicore(&trace, &cfg);
+        let c1 = run_multicore(&trace, &CoreConfig { cores: 1, ..cfg.clone() });
+        assert!(c4.cycles <= c1.cycles);
+        assert!(c4.work_cycles == c1.work_cycles, "work is schedule-invariant");
+        assert!(c4.cycles * 4 >= c1.cycles, "cannot beat linear speedup");
+    }
+
+    #[test]
+    fn steals_occur_with_multiple_cores() {
+        let wl = tapas_workloads::fib::build(12);
+        let trace = trace_of(&wl);
+        let c4 = run_multicore(&trace, &CoreConfig::default());
+        assert!(c4.steals > 0);
+        assert!(c4.frames > 100);
+    }
+
+    #[test]
+    fn coarsening_preserves_total_work() {
+        let wl = tapas_workloads::scale_micro::build(128, 20);
+        let trace = trace_of(&wl);
+        let coarse = coarsen_loops(&trace, 16);
+        assert_eq!(
+            trace.total_cost().total(),
+            coarse.total_cost().total(),
+            "grainsize must not change the work"
+        );
+        // Fewer schedulable spawns after coarsening.
+        let spawns = |t: &SpawnTrace| {
+            t.frames
+                .iter()
+                .flat_map(|f| &f.events)
+                .filter(|e| matches!(e, TraceEvent::Spawn(_)))
+                .count()
+        };
+        assert!(spawns(&coarse) * 8 <= spawns(&trace));
+    }
+
+    #[test]
+    fn coarsening_speeds_up_fine_grain_loops() {
+        let wl = tapas_workloads::scale_micro::build(256, 20);
+        let trace = trace_of(&wl);
+        let cfg = CoreConfig::default();
+        let fine = run_multicore(&trace, &cfg);
+        let coarse = run_multicore(&coarsen_loops(&trace, 32), &cfg);
+        assert!(
+            coarse.cycles * 2 < fine.cycles,
+            "grainsize amortizes spawn overhead: {} vs {}",
+            coarse.cycles,
+            fine.cycles
+        );
+    }
+
+    #[test]
+    fn grainsize_one_is_identity() {
+        let wl = tapas_workloads::scale_micro::build(32, 5);
+        let trace = trace_of(&wl);
+        let same = coarsen_loops(&trace, 1);
+        assert_eq!(same.num_frames(), trace.num_frames());
+    }
+
+    #[test]
+    fn serial_calls_do_not_parallelize() {
+        // A trace of only Call events is serial regardless of cores.
+        let wl = tapas_workloads::mergesort::build(32, 1);
+        let trace = trace_of(&wl);
+        let c1 = run_multicore(&trace, &CoreConfig { cores: 1, ..CoreConfig::default() });
+        assert!(c1.cycles >= c1.work_cycles);
+    }
+}

@@ -1,0 +1,257 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p tapas-bench --bin reproduce [experiment]
+//! ```
+//!
+//! where `experiment` is one of `table2`, `spawn`, `fig13`, `table3`,
+//! `fig14`, `fig15`, `fig16`, `table4`, `fig17`, `table5`, or `all`
+//! (default). Pass `--json <path>` to also dump the raw rows.
+
+use tapas_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut json_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json_path = it.next();
+        } else {
+            which = a;
+        }
+    }
+
+    match which.as_str() {
+        "table2" => print_table2(&exp::table2()),
+        "spawn" | "spawn_latency" => print_spawn(&exp::spawn_latency()),
+        "fig13" => print_fig13(&exp::fig13()),
+        "table3" => print_table3(&exp::table3()),
+        "fig14" => print_fig14(&exp::fig14()),
+        "fig15" => print_fig15(&exp::fig15()),
+        "fig16" => print_fig16(&exp::fig16()),
+        "table4" => print_table4(&exp::table4()),
+        "fig17" => print_fig17(&exp::fig17()),
+        "table5" => print_table5(&exp::table5()),
+        "grain" | "grain_ablation" => print_grain(&exp::grain_ablation()),
+        "mem" | "mem_ablation" => print_mem(&exp::mem_ablation()),
+        "elision" | "elision_ablation" => print_elision(&exp::elision_ablation()),
+        "all" => {
+            let all = exp::all();
+            print_table2(&all.table2);
+            print_spawn(&all.spawn);
+            print_fig13(&all.fig13);
+            print_table3(&all.table3);
+            print_fig14(&all.fig14);
+            print_fig15(&all.fig15);
+            print_fig16(&all.fig16);
+            print_table4(&all.table4);
+            print_fig17(&all.fig17);
+            print_table5(&all.table5);
+            print_grain(&all.grain_ablation);
+            print_mem(&all.mem_ablation);
+            print_elision(&all.elision_ablation);
+            if let Some(p) = &json_path {
+                std::fs::write(p, serde_json::to_string_pretty(&all).unwrap())
+                    .expect("write json");
+                println!("\nraw rows written to {p}");
+            }
+            return;
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            std::process::exit(2);
+        }
+    }
+    if json_path.is_some() {
+        eprintln!("--json is only supported with `all`");
+    }
+}
+
+fn hdr(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn print_table2(rows: &[exp::Table2Row]) {
+    hdr("Table II: benchmark properties");
+    println!("{:<12} {:<26} {:>6} {:>6} {:>6}", "name", "HLS challenge", "insts", "#mem", "tasks");
+    for r in rows {
+        println!(
+            "{:<12} {:<26} {:>6} {:>6} {:>6}",
+            r.name, r.challenge, r.per_task_insts, r.mem_ops, r.tasks
+        );
+    }
+}
+
+fn print_spawn(r: &exp::SpawnLatencyResult) {
+    hdr("§V-A: task spawn overhead");
+    println!(
+        "min spawn latency: {} cycles (paper: ~10); sustained {:.1} M spawns/s @ {:.0} MHz (paper: 40M)",
+        r.min_latency_cycles,
+        r.spawns_per_sec / 1e6,
+        r.clock_mhz
+    );
+}
+
+fn print_fig13(rows: &[exp::Fig13Row]) {
+    hdr("Fig. 13: spawn-rate scaling (Arria 10), Madds/s");
+    print!("{:>8}", "adders");
+    for t in 1..=5 {
+        print!(" {:>9}", format!("{t} tile{}", if t > 1 { "s" } else { "" }));
+    }
+    println!(" {:>9}", "software");
+    let mut by_adders: Vec<u32> = rows.iter().map(|r| r.adders).collect();
+    by_adders.dedup();
+    for a in by_adders {
+        print!("{a:>8}");
+        for t in 1..=5usize {
+            let v = rows
+                .iter()
+                .find(|r| r.adders == a && r.tiles == Some(t))
+                .map(|r| r.madds_per_sec)
+                .unwrap_or(0.0);
+            print!(" {v:>9.1}");
+        }
+        let sw = rows
+            .iter()
+            .find(|r| r.adders == a && r.tiles.is_none())
+            .map(|r| r.madds_per_sec)
+            .unwrap_or(0.0);
+        println!(" {sw:>9.1}");
+    }
+}
+
+fn print_table3(rows: &[exp::Table3Row]) {
+    hdr("Table III: FPGA utilization (microbenchmark)");
+    println!(
+        "{:<10} {:>5} {:>5} {:>7} {:>7} {:>7} {:>5} {:>7}",
+        "board", "tiles", "ins", "MHz", "ALM", "Reg", "BRAM", "%chip"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>5} {:>5} {:>7.0} {:>7} {:>7} {:>5} {:>6.0}%",
+            r.board, r.tiles, r.insts, r.mhz, r.alm, r.reg, r.bram, r.chip_pct
+        );
+    }
+}
+
+fn print_fig14(rows: &[exp::Fig14Row]) {
+    hdr("Fig. 14: ALM utilization by sub-block (%)");
+    println!(
+        "{:<10} {:>7} {:>9} {:>9} {:>8} {:>6}",
+        "config", "tiles", "par-for", "taskctrl", "mem-arb", "misc"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>6.1}% {:>8.1}% {:>8.1}% {:>7.1}% {:>5.1}%",
+            r.config, r.tiles_pct, r.parallel_for_pct, r.task_ctrl_pct, r.mem_arb_pct, r.misc_pct
+        );
+    }
+}
+
+fn print_fig15(rows: &[exp::Fig15Row]) {
+    hdr("Fig. 15: performance scaling with tiles (normalized)");
+    println!("{:<12} {:>9} {:>9} {:>9} {:>9}", "bench", "1 tile", "2 tiles", "4 tiles", "8 tiles");
+    let mut names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+    names.dedup();
+    for n in names {
+        print!("{n:<12}");
+        for t in [1usize, 2, 4, 8] {
+            let v = rows
+                .iter()
+                .find(|r| r.name == n && r.tiles == t)
+                .map(|r| r.speedup)
+                .unwrap_or(0.0);
+            print!(" {v:>8.2}x");
+        }
+        println!();
+    }
+}
+
+fn print_fig16(rows: &[exp::Fig16Row]) {
+    hdr("Fig. 16: performance vs Intel i7 (gain > 1 means FPGA faster)");
+    println!("{:<12} {:>10} {:>10} {:>10} {:>8}", "bench", "board", "fpga ms", "i7 ms", "gain");
+    for r in rows {
+        println!(
+            "{:<12} {:>10} {:>10.3} {:>10.3} {:>7.2}x",
+            r.name, r.board, r.fpga_ms, r.i7_ms, r.gain
+        );
+    }
+}
+
+fn print_table4(rows: &[exp::Table4Row]) {
+    hdr("Table IV: resources & power (Cyclone V)");
+    println!(
+        "{:<12} {:>5} {:>6} {:>7} {:>7} {:>5} {:>8}",
+        "bench", "tiles", "MHz", "ALMs", "Regs", "BRAM", "Power(W)"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>5} {:>6.0} {:>7} {:>7} {:>5} {:>8.3}",
+            r.name, r.tiles, r.mhz, r.alms, r.regs, r.brams, r.power_w
+        );
+    }
+}
+
+fn print_fig17(rows: &[exp::Fig17Row]) {
+    hdr("Fig. 17: performance/watt vs Intel i7");
+    println!("{:<12} {:>10} {:>10}", "bench", "board", "gain");
+    for r in rows {
+        println!("{:<12} {:>10} {:>9.1}x", r.name, r.board, r.perf_per_watt_gain);
+    }
+}
+
+fn print_grain(rows: &[exp::GrainAblationRow]) {
+    hdr("Ablation: cilk_for grainsize on the i7 baseline");
+    println!("{:<12} {:>10} {:>11} {:>9}", "bench", "fine ms", "coarse ms", "speedup");
+    for r in rows {
+        println!(
+            "{:<12} {:>10.3} {:>11.3} {:>8.1}x",
+            r.name, r.fine_ms, r.coarse_ms, r.coarsening_speedup
+        );
+    }
+}
+
+fn print_mem(rows: &[exp::MemAblationRow]) {
+    hdr("Ablation: cache miss parallelism (SAXPY, 4 tiles)");
+    println!(
+        "{:>6} {:>11} {:>5} {:>10} {:>9}",
+        "MSHRs", "issue width", "L2", "cycles", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:>6} {:>11} {:>5} {:>10} {:>8.2}x",
+            r.mshrs,
+            r.issue_width,
+            if r.l2 { "yes" } else { "no" },
+            r.cycles,
+            r.speedup
+        );
+    }
+}
+
+fn print_elision(rows: &[exp::ElisionAblationRow]) {
+    hdr("Ablation: static task elision (scale microbenchmark)");
+    println!("{:<9} {:>10} {:>8} {:>11}", "variant", "cycles", "ALMs", "task units");
+    for r in rows {
+        println!(
+            "{:<9} {:>10} {:>8} {:>11}",
+            r.variant, r.cycles, r.alms, r.task_units
+        );
+    }
+}
+
+fn print_table5(rows: &[exp::Table5Row]) {
+    hdr("Table V: Intel HLS vs TAPAS (Cyclone V)");
+    println!(
+        "{:<12} {:<10} {:>6} {:>7} {:>7} {:>5} {:>9}",
+        "bench", "tool", "MHz", "ALMs", "Reg", "BRAM", "runtime"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:<10} {:>6.0} {:>7} {:>7} {:>5} {:>7.2}ms",
+            r.name, r.tool, r.mhz, r.alms, r.regs, r.brams, r.runtime_ms
+        );
+    }
+}

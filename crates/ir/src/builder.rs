@@ -1,0 +1,455 @@
+//! Ergonomic construction of IR functions.
+//!
+//! [`FunctionBuilder`] maintains a current insertion block and offers one
+//! method per instruction, computing result types eagerly so that malformed
+//! programs fail at construction time rather than at verification time.
+
+use crate::core::*;
+use crate::types::Type;
+
+/// Builds one [`Function`] instruction-by-instruction.
+///
+/// # Examples
+///
+/// ```
+/// use tapas_ir::{FunctionBuilder, Type};
+///
+/// let mut b = FunctionBuilder::new("add1", vec![Type::I32], Type::I32);
+/// let x = b.param(0);
+/// let one = b.const_int(Type::I32, 1);
+/// let sum = b.add(x, one);
+/// b.ret(Some(sum));
+/// let f = b.finish();
+/// assert_eq!(f.name, "add1");
+/// ```
+pub struct FunctionBuilder {
+    func: Function,
+    cur: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Start a function with the given signature. An entry block is created
+    /// and selected as the insertion point.
+    pub fn new(name: &str, params: Vec<Type>, ret_ty: Type) -> Self {
+        let mut func = Function::new(name, params, ret_ty);
+        let entry = func.add_block(Some("entry".to_string()));
+        FunctionBuilder { func, cur: entry }
+    }
+
+    /// The `ValueId` of parameter `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn param(&self, index: usize) -> ValueId {
+        assert!(index < self.func.params.len(), "no parameter {index}");
+        ValueId(index as u32)
+    }
+
+    /// Create a new (empty, unterminated) block.
+    pub fn create_block(&mut self, name: &str) -> BlockId {
+        self.func.add_block(Some(name.to_string()))
+    }
+
+    /// Move the insertion point to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.cur = block;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// The type of an already-created value.
+    pub fn ty_of(&self, v: ValueId) -> Type {
+        self.func.value_ty(v).clone()
+    }
+
+    // ---- constants -------------------------------------------------------
+
+    /// Integer constant of type `ty`. The value is masked to the type width.
+    pub fn const_int(&mut self, ty: Type, val: i64) -> ValueId {
+        let w = ty.int_width().expect("const_int requires an integer type");
+        let bits = mask_to_width(val as u64, w);
+        self.func
+            .add_value(ValueDef::Const(Constant::Int { ty: ty.clone(), bits }), ty, None)
+    }
+
+    /// Boolean (`i1`) constant.
+    pub fn const_bool(&mut self, v: bool) -> ValueId {
+        self.const_int(Type::BOOL, v as i64)
+    }
+
+    /// `f32` constant.
+    pub fn const_f32(&mut self, v: f32) -> ValueId {
+        self.func
+            .add_value(ValueDef::Const(Constant::F32(v)), Type::F32, None)
+    }
+
+    /// `f64` constant.
+    pub fn const_f64(&mut self, v: f64) -> ValueId {
+        self.func
+            .add_value(ValueDef::Const(Constant::F64(v)), Type::F64, None)
+    }
+
+    /// Null pointer of type `ty` (must be a pointer type).
+    pub fn const_null(&mut self, ty: Type) -> ValueId {
+        assert!(ty.is_ptr(), "const_null requires a pointer type");
+        self.func
+            .add_value(ValueDef::Const(Constant::NullPtr(ty.clone())), ty, None)
+    }
+
+    // ---- instruction emission -------------------------------------------
+
+    fn push(&mut self, op: Op, result_ty: Option<Type>) -> Option<ValueId> {
+        let blk = self.cur;
+        assert!(
+            matches!(self.func.block(blk).term, Terminator::Unreachable),
+            "emitting into terminated block {blk}"
+        );
+        let idx = self.func.block(blk).insts.len();
+        let result = result_ty.map(|ty| self.func.add_value(ValueDef::Inst(blk, idx), ty, None));
+        self.func.block_mut(blk).insts.push(Inst { result, op });
+        result
+    }
+
+    /// Emit an integer binary operation. Operand types must match.
+    pub fn bin(&mut self, op: BinOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let ty = self.ty_of(lhs);
+        assert!(ty.is_int(), "integer binop on {ty}");
+        assert_eq!(ty, self.ty_of(rhs), "binop operand type mismatch");
+        self.push(Op::Bin { op, lhs, rhs }, Some(ty)).unwrap()
+    }
+
+    /// `add` convenience wrapper.
+    pub fn add(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::Add, lhs, rhs)
+    }
+
+    /// `sub` convenience wrapper.
+    pub fn sub(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::Sub, lhs, rhs)
+    }
+
+    /// `mul` convenience wrapper.
+    pub fn mul(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::Mul, lhs, rhs)
+    }
+
+    /// Signed division convenience wrapper.
+    pub fn sdiv(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::SDiv, lhs, rhs)
+    }
+
+    /// Unsigned division convenience wrapper.
+    pub fn udiv(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::UDiv, lhs, rhs)
+    }
+
+    /// Bitwise and convenience wrapper.
+    pub fn and(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::And, lhs, rhs)
+    }
+
+    /// Logical shift right convenience wrapper.
+    pub fn lshr(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::LShr, lhs, rhs)
+    }
+
+    /// Shift left convenience wrapper.
+    pub fn shl(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::Shl, lhs, rhs)
+    }
+
+    /// Emit a floating-point binary operation.
+    pub fn fbin(&mut self, op: FBinOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let ty = self.ty_of(lhs);
+        assert!(ty.is_float(), "float binop on {ty}");
+        assert_eq!(ty, self.ty_of(rhs), "fbinop operand type mismatch");
+        self.push(Op::FBin { op, lhs, rhs }, Some(ty)).unwrap()
+    }
+
+    /// Emit an integer comparison (result `i1`).
+    pub fn icmp(&mut self, pred: CmpPred, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let ty = self.ty_of(lhs);
+        assert!(ty.is_int() || ty.is_ptr(), "icmp on {ty}");
+        assert_eq!(ty, self.ty_of(rhs), "icmp operand type mismatch");
+        self.push(Op::Cmp { pred, lhs, rhs }, Some(Type::BOOL)).unwrap()
+    }
+
+    /// Emit a float comparison (result `i1`).
+    pub fn fcmp(&mut self, pred: FCmpPred, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let ty = self.ty_of(lhs);
+        assert!(ty.is_float(), "fcmp on {ty}");
+        assert_eq!(ty, self.ty_of(rhs), "fcmp operand type mismatch");
+        self.push(Op::FCmp { pred, lhs, rhs }, Some(Type::BOOL)).unwrap()
+    }
+
+    /// Emit a select (`cond ? if_true : if_false`).
+    pub fn select(&mut self, cond: ValueId, if_true: ValueId, if_false: ValueId) -> ValueId {
+        assert_eq!(self.ty_of(cond), Type::BOOL, "select condition must be i1");
+        let ty = self.ty_of(if_true);
+        assert_eq!(ty, self.ty_of(if_false), "select arm type mismatch");
+        self.push(Op::Select { cond, if_true, if_false }, Some(ty)).unwrap()
+    }
+
+    /// Emit a cast to `to`.
+    pub fn cast(&mut self, kind: CastKind, value: ValueId, to: Type) -> ValueId {
+        self.push(Op::Cast { kind, value, to: to.clone() }, Some(to)).unwrap()
+    }
+
+    /// Zero-extend convenience wrapper.
+    pub fn zext(&mut self, value: ValueId, to: Type) -> ValueId {
+        self.cast(CastKind::ZExt, value, to)
+    }
+
+    /// Sign-extend convenience wrapper.
+    pub fn sext(&mut self, value: ValueId, to: Type) -> ValueId {
+        self.cast(CastKind::SExt, value, to)
+    }
+
+    /// Truncate convenience wrapper.
+    pub fn trunc(&mut self, value: ValueId, to: Type) -> ValueId {
+        self.cast(CastKind::Trunc, value, to)
+    }
+
+    /// Emit a `getelementptr`. `base` must have pointer type; the result
+    /// type is derived by walking the indices through the pointee type.
+    pub fn gep(&mut self, base: ValueId, indices: Vec<GepIndex>) -> ValueId {
+        let base_ty = self.ty_of(base);
+        let result_ty = gep_result_type(&base_ty, &indices)
+            .unwrap_or_else(|e| panic!("invalid gep on {base_ty}: {e}"));
+        self.push(Op::Gep { base, indices }, Some(result_ty)).unwrap()
+    }
+
+    /// GEP that indexes `base` (a `T*`) by a single runtime element index,
+    /// producing another `T*` — the common array-element address pattern.
+    pub fn gep_index(&mut self, base: ValueId, index: ValueId) -> ValueId {
+        self.gep(base, vec![GepIndex::Value(index)])
+    }
+
+    /// GEP selecting struct field `field` of `*base` (a `{..}*`).
+    pub fn gep_field(&mut self, base: ValueId, field: u64) -> ValueId {
+        self.gep(base, vec![GepIndex::Const(0), GepIndex::Const(field)])
+    }
+
+    /// Emit a load; result type is the pointee of `ptr`.
+    pub fn load(&mut self, ptr: ValueId) -> ValueId {
+        let ty = self
+            .ty_of(ptr)
+            .pointee()
+            .cloned()
+            .expect("load from non-pointer");
+        assert!(ty.is_first_class(), "load of non-first-class type {ty}");
+        self.push(Op::Load { ptr }, Some(ty)).unwrap()
+    }
+
+    /// Emit a store of `value` through `ptr`.
+    pub fn store(&mut self, ptr: ValueId, value: ValueId) {
+        let pointee = self
+            .ty_of(ptr)
+            .pointee()
+            .cloned()
+            .expect("store to non-pointer");
+        assert_eq!(pointee, self.ty_of(value), "store type mismatch");
+        self.push(Op::Store { ptr, value }, None);
+    }
+
+    /// Emit a direct serial call.
+    pub fn call(&mut self, callee: FuncId, args: Vec<ValueId>, ret_ty: Type) -> Option<ValueId> {
+        let rt = if ret_ty == Type::Void { None } else { Some(ret_ty) };
+        self.push(Op::Call { callee, args }, rt)
+    }
+
+    /// Emit a phi node with the given incomings (may be empty and completed
+    /// later with [`FunctionBuilder::add_phi_incoming`], as loops require).
+    pub fn phi(&mut self, ty: Type, incomings: Vec<(BlockId, ValueId)>) -> ValueId {
+        self.push(Op::Phi { incomings }, Some(ty)).unwrap()
+    }
+
+    /// Append an incoming edge to an existing phi.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` is not a phi instruction.
+    pub fn add_phi_incoming(&mut self, phi: ValueId, block: BlockId, value: ValueId) {
+        let (blk, idx) = match self.func.value(phi).def {
+            ValueDef::Inst(b, i) => (b, i),
+            _ => panic!("{phi} is not a phi"),
+        };
+        match &mut self.func.block_mut(blk).insts[idx].op {
+            Op::Phi { incomings } => incomings.push((block, value)),
+            _ => panic!("{phi} is not a phi"),
+        }
+    }
+
+    // ---- terminators ------------------------------------------------------
+
+    fn terminate(&mut self, term: Terminator) {
+        let blk = self.cur;
+        assert!(
+            matches!(self.func.block(blk).term, Terminator::Unreachable),
+            "block {blk} already terminated"
+        );
+        self.func.block_mut(blk).term = term;
+    }
+
+    /// Terminate with an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.terminate(Terminator::Br { target });
+    }
+
+    /// Terminate with a conditional branch.
+    pub fn cond_br(&mut self, cond: ValueId, if_true: BlockId, if_false: BlockId) {
+        assert_eq!(self.ty_of(cond), Type::BOOL, "branch condition must be i1");
+        self.terminate(Terminator::CondBr { cond, if_true, if_false });
+    }
+
+    /// Terminate with a return.
+    pub fn ret(&mut self, value: Option<ValueId>) {
+        self.terminate(Terminator::Ret { value });
+    }
+
+    /// Terminate with a Tapir `detach` spawning `task`, continuing at `cont`.
+    pub fn detach(&mut self, task: BlockId, cont: BlockId) {
+        self.terminate(Terminator::Detach { task, cont });
+    }
+
+    /// Terminate with a Tapir `reattach` to `cont`.
+    pub fn reattach(&mut self, cont: BlockId) {
+        self.terminate(Terminator::Reattach { cont });
+    }
+
+    /// Terminate with a Tapir `sync` continuing at `cont`.
+    pub fn sync(&mut self, cont: BlockId) {
+        self.terminate(Terminator::Sync { cont });
+    }
+
+    /// Finish construction and return the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+}
+
+/// Compute the result type of a GEP with the given indices applied to
+/// `base_ty` (which must be a pointer).
+pub fn gep_result_type(base_ty: &Type, indices: &[GepIndex]) -> Result<Type, String> {
+    let mut cur = match base_ty {
+        Type::Ptr(p) => (**p).clone(),
+        other => return Err(format!("gep base is not a pointer: {other}")),
+    };
+    if indices.is_empty() {
+        return Err("gep requires at least one index".to_string());
+    }
+    // The first index steps over the pointee as an array element; it does not
+    // change the type.
+    for ix in &indices[1..] {
+        cur = match (&cur, ix) {
+            (Type::Array(elem, _), _) => (**elem).clone(),
+            (Type::Struct(fields), GepIndex::Const(k)) => fields
+                .get(*k as usize)
+                .cloned()
+                .ok_or_else(|| format!("struct index {k} out of bounds"))?,
+            (Type::Struct(_), GepIndex::Value(_)) => {
+                return Err("struct gep index must be constant".to_string())
+            }
+            (other, _) => return Err(format!("cannot index into {other}")),
+        };
+    }
+    Ok(Type::ptr(cur))
+}
+
+/// Mask `bits` to an integer width, keeping the low `w` bits.
+pub fn mask_to_width(bits: u64, w: u8) -> u64 {
+    if w >= 64 {
+        bits
+    } else {
+        bits & ((1u64 << w) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_add() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32, Type::I32], Type::I32);
+        let (x, y) = (b.param(0), b.param(1));
+        let s = b.add(x, y);
+        b.ret(Some(s));
+        let f = b.finish();
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.num_insts(), 1);
+        assert_eq!(f.value_ty(s), &Type::I32);
+    }
+
+    #[test]
+    fn gep_types_through_struct_array() {
+        // base: {i32, [4 x f32]}*
+        let st = Type::Struct(vec![Type::I32, Type::array(Type::F32, 4)]);
+        let base = Type::ptr(st);
+        let ty = gep_result_type(
+            &base,
+            &[GepIndex::Const(0), GepIndex::Const(1), GepIndex::Const(2)],
+        )
+        .unwrap();
+        assert_eq!(ty, Type::ptr(Type::F32));
+    }
+
+    #[test]
+    fn gep_rejects_runtime_struct_index() {
+        let st = Type::Struct(vec![Type::I32]);
+        let err = gep_result_type(
+            &Type::ptr(st),
+            &[GepIndex::Const(0), GepIndex::Value(ValueId(0))],
+        )
+        .unwrap_err();
+        assert!(err.contains("must be constant"));
+    }
+
+    #[test]
+    fn const_masks_to_width() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let v = b.const_int(Type::I8, -1);
+        match &b.finish().value(v).def {
+            ValueDef::Const(Constant::Int { bits, .. }) => assert_eq!(*bits, 0xff),
+            other => panic!("unexpected def {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminate_panics() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        b.ret(None);
+        b.ret(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "store type mismatch")]
+    fn store_type_checked() {
+        let mut b = FunctionBuilder::new("f", vec![Type::ptr(Type::I32)], Type::Void);
+        let p = b.param(0);
+        let v = b.const_int(Type::I64, 1);
+        b.store(p, v);
+    }
+
+    #[test]
+    fn phi_incoming_appended() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let header = b.create_block("header");
+        let x = b.param(0);
+        b.br(header);
+        b.switch_to(header);
+        let phi = b.phi(Type::I32, vec![(BlockId(0), x)]);
+        b.add_phi_incoming(phi, header, phi);
+        b.ret(Some(phi));
+        let f = b.finish();
+        match &f.block(header).insts[0].op {
+            Op::Phi { incomings } => assert_eq!(incomings.len(), 2),
+            _ => panic!("not a phi"),
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! Core IR data structures: values, instructions, blocks, functions, modules.
+//!
+//! The representation follows LLVM's shape — functions of basic blocks of
+//! instructions in SSA form — plus the three Tapir terminators (`detach`,
+//! `reattach`, `sync`) that express fork-join task parallelism, exactly the
+//! markers the TAPAS hardware generator consumes.
+
+use crate::types::Type;
+use std::fmt;
+
+/// Index of a function within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Index of a basic block within a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Index of an SSA value within a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A compile-time constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constant {
+    /// Integer constant; `bits` holds the value zero-extended to 64 bits.
+    Int {
+        /// The integer type.
+        ty: Type,
+        /// Value bits, zero-extended.
+        bits: u64,
+    },
+    /// Single-precision float constant.
+    F32(f32),
+    /// Double-precision float constant.
+    F64(f64),
+    /// Null pointer of the given pointer type.
+    NullPtr(Type),
+}
+
+impl Constant {
+    /// The type of this constant.
+    pub fn ty(&self) -> Type {
+        match self {
+            Constant::Int { ty, .. } => ty.clone(),
+            Constant::F32(_) => Type::F32,
+            Constant::F64(_) => Type::F64,
+            Constant::NullPtr(ty) => ty.clone(),
+        }
+    }
+}
+
+/// Integer binary opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (traps on zero).
+    SDiv,
+    /// Unsigned division (traps on zero).
+    UDiv,
+    /// Signed remainder.
+    SRem,
+    /// Unsigned remainder.
+    URem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic shift right.
+    AShr,
+}
+
+/// Floating-point binary opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FBinOp {
+    /// Floating add.
+    FAdd,
+    /// Floating subtract.
+    FSub,
+    /// Floating multiply.
+    FMul,
+    /// Floating divide.
+    FDiv,
+}
+
+/// Integer comparison predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Unsigned greater-than.
+    Ugt,
+    /// Unsigned greater-or-equal.
+    Uge,
+}
+
+/// Floating-point comparison predicates (ordered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FCmpPred {
+    /// Ordered equal.
+    Oeq,
+    /// Ordered not-equal.
+    One,
+    /// Ordered less-than.
+    Olt,
+    /// Ordered less-or-equal.
+    Ole,
+    /// Ordered greater-than.
+    Ogt,
+    /// Ordered greater-or-equal.
+    Oge,
+}
+
+/// Value cast kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastKind {
+    /// Zero-extend an integer to a wider width.
+    ZExt,
+    /// Sign-extend an integer to a wider width.
+    SExt,
+    /// Truncate an integer to a narrower width.
+    Trunc,
+    /// Signed integer to float.
+    SiToFp,
+    /// Float to signed integer (round toward zero).
+    FpToSi,
+    /// Reinterpret a pointer as another pointer type (no-op at runtime).
+    PtrCast,
+    /// Pointer to `i64`.
+    PtrToInt,
+    /// `i64` to pointer.
+    IntToPtr,
+    /// `f32` to `f64`.
+    FpExt,
+    /// `f64` to `f32`.
+    FpTrunc,
+}
+
+/// A single `getelementptr` index step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GepIndex {
+    /// Runtime index (array element or leading pointer index).
+    Value(ValueId),
+    /// Constant index; required for struct field selection.
+    Const(u64),
+}
+
+/// A non-terminator instruction's operation.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // operand roles are conveyed by their names
+pub enum Op {
+    /// Integer arithmetic / bitwise operation.
+    Bin { op: BinOp, lhs: ValueId, rhs: ValueId },
+    /// Floating point arithmetic.
+    FBin { op: FBinOp, lhs: ValueId, rhs: ValueId },
+    /// Integer comparison producing an `i1`.
+    Cmp { pred: CmpPred, lhs: ValueId, rhs: ValueId },
+    /// Float comparison producing an `i1`.
+    FCmp { pred: FCmpPred, lhs: ValueId, rhs: ValueId },
+    /// Ternary select.
+    Select { cond: ValueId, if_true: ValueId, if_false: ValueId },
+    /// Value cast.
+    Cast { kind: CastKind, value: ValueId, to: Type },
+    /// Address computation over a typed pointer.
+    Gep { base: ValueId, indices: Vec<GepIndex> },
+    /// Memory read. The loaded type is the pointee of `ptr`'s type.
+    Load { ptr: ValueId },
+    /// Memory write.
+    Store { ptr: ValueId, value: ValueId },
+    /// Direct serial call. Supported by the interpreter and the multicore
+    /// baseline; the hardware generator bridges them through task spawns.
+    Call { callee: FuncId, args: Vec<ValueId> },
+    /// SSA phi node; must appear at the head of its block.
+    Phi { incomings: Vec<(BlockId, ValueId)> },
+}
+
+impl Op {
+    /// Operand values read by this operation.
+    pub fn operands(&self) -> Vec<ValueId> {
+        match self {
+            Op::Bin { lhs, rhs, .. }
+            | Op::FBin { lhs, rhs, .. }
+            | Op::Cmp { lhs, rhs, .. }
+            | Op::FCmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Op::Select { cond, if_true, if_false } => vec![*cond, *if_true, *if_false],
+            Op::Cast { value, .. } => vec![*value],
+            Op::Gep { base, indices } => {
+                let mut v = vec![*base];
+                for ix in indices {
+                    if let GepIndex::Value(val) = ix {
+                        v.push(*val);
+                    }
+                }
+                v
+            }
+            Op::Load { ptr } => vec![*ptr],
+            Op::Store { ptr, value } => vec![*ptr, *value],
+            Op::Call { args, .. } => args.clone(),
+            Op::Phi { incomings } => incomings.iter().map(|(_, v)| *v).collect(),
+        }
+    }
+
+    /// Whether this operation accesses memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Op::Load { .. } | Op::Store { .. })
+    }
+}
+
+/// An instruction: an operation plus its (optional) SSA result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// The SSA value defined by this instruction, if it produces one.
+    pub result: Option<ValueId>,
+    /// The operation performed.
+    pub op: Op,
+}
+
+/// A basic-block terminator, including the Tapir parallel terminators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // operand roles are conveyed by their names
+pub enum Terminator {
+    /// Unconditional branch.
+    Br { target: BlockId },
+    /// Two-way conditional branch on an `i1`.
+    CondBr { cond: ValueId, if_true: BlockId, if_false: BlockId },
+    /// Function return.
+    Ret { value: Option<ValueId> },
+    /// Tapir `detach`: spawn the region starting at `task` as a child task
+    /// and continue in parallel at `cont`.
+    Detach { task: BlockId, cont: BlockId },
+    /// Tapir `reattach`: terminate the current detached task; control in the
+    /// parent resumes (conceptually) at `cont`, which must be the matching
+    /// detach continuation.
+    Reattach { cont: BlockId },
+    /// Tapir `sync`: wait for all children detached by the current task
+    /// frame, then continue at `cont`.
+    Sync { cont: BlockId },
+    /// Marks unreachable control flow.
+    Unreachable,
+}
+
+impl Terminator {
+    /// Control-flow successor blocks (the blocks the CFG edge reaches).
+    ///
+    /// For `Detach` both the spawned task block and the continuation are
+    /// successors; for `Reattach` the continuation is a successor. This is
+    /// exactly the "serial elision" CFG that Tapir maintains.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br { target } => vec![*target],
+            Terminator::CondBr { if_true, if_false, .. } => vec![*if_true, *if_false],
+            Terminator::Ret { .. } | Terminator::Unreachable => vec![],
+            Terminator::Detach { task, cont } => vec![*task, *cont],
+            Terminator::Reattach { cont } => vec![*cont],
+            Terminator::Sync { cont } => vec![*cont],
+        }
+    }
+
+    /// Values read by the terminator.
+    pub fn operands(&self) -> Vec<ValueId> {
+        match self {
+            Terminator::CondBr { cond, .. } => vec![*cond],
+            Terminator::Ret { value: Some(v) } => vec![*v],
+            _ => vec![],
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Optional human-readable label.
+    pub name: Option<String>,
+    /// Instructions in program order; phis first.
+    pub insts: Vec<Inst>,
+    /// The block terminator. `Unreachable` until set by the builder.
+    pub term: Terminator,
+}
+
+impl Block {
+    fn new(name: Option<String>) -> Self {
+        Block { name, insts: Vec::new(), term: Terminator::Unreachable }
+    }
+}
+
+/// How an SSA value is defined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueDef {
+    /// The `index`-th function parameter.
+    Param(usize),
+    /// Defined by the instruction at `(block, index)`.
+    Inst(BlockId, usize),
+    /// A constant.
+    Const(Constant),
+}
+
+/// Metadata for one SSA value.
+#[derive(Debug, Clone)]
+pub struct ValueInfo {
+    /// Definition site.
+    pub def: ValueDef,
+    /// Static type.
+    pub ty: Type,
+    /// Optional debug name.
+    pub name: Option<String>,
+}
+
+/// A function: SSA values, basic blocks, parameters and a return type.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function name; unique within its module.
+    pub name: String,
+    /// Parameter types (values `0..params.len()` are the parameters).
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret_ty: Type,
+    pub(crate) blocks: Vec<Block>,
+    pub(crate) values: Vec<ValueInfo>,
+}
+
+impl Function {
+    pub(crate) fn new(name: &str, params: Vec<Type>, ret_ty: Type) -> Self {
+        let values = params
+            .iter()
+            .enumerate()
+            .map(|(i, ty)| ValueInfo { def: ValueDef::Param(i), ty: ty.clone(), name: None })
+            .collect();
+        Function { name: name.to_string(), params, ret_ty, blocks: Vec::new(), values }
+    }
+
+    /// The entry block (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of SSA values (parameters + constants + instruction results).
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Access a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    pub(crate) fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// Iterate over all block ids in numeric order.
+    pub fn block_ids(&self) -> impl DoubleEndedIterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Value metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn value(&self, id: ValueId) -> &ValueInfo {
+        &self.values[id.0 as usize]
+    }
+
+    /// The type of a value.
+    pub fn value_ty(&self, id: ValueId) -> &Type {
+        &self.values[id.0 as usize].ty
+    }
+
+    /// The `ValueId`s of the function parameters.
+    pub fn param_values(&self) -> Vec<ValueId> {
+        (0..self.params.len() as u32).map(ValueId).collect()
+    }
+
+    /// Iterate over all values.
+    pub fn value_ids(&self) -> impl DoubleEndedIterator<Item = ValueId> {
+        (0..self.values.len() as u32).map(ValueId)
+    }
+
+    /// Count instructions across all blocks (terminators excluded).
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Count memory instructions (loads + stores) across all blocks.
+    pub fn num_mem_insts(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| i.op.is_mem())
+            .count()
+    }
+
+    pub(crate) fn set_value_def(&mut self, v: ValueId, def: ValueDef) {
+        self.values[v.0 as usize].def = def;
+    }
+
+    pub(crate) fn add_value(&mut self, def: ValueDef, ty: Type, name: Option<String>) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueInfo { def, ty, name });
+        id
+    }
+
+    pub(crate) fn add_block(&mut self, name: Option<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new(name));
+        id
+    }
+}
+
+/// A compilation unit: a set of functions.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Module name (used in printed output and emitted RTL).
+    pub name: String,
+    pub(crate) functions: Vec<Function>,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new(name: &str) -> Self {
+        Module { name: name.to_string(), functions: Vec::new() }
+    }
+
+    /// Add a finished function, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name already exists.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        assert!(
+            self.functions.iter().all(|g| g.name != f.name),
+            "duplicate function name {}",
+            f.name
+        );
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(f);
+        id
+    }
+
+    /// Look up a function by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Mutable access to a function.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.0 as usize]
+    }
+
+    /// Find a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Iterate over `(id, function)` pairs.
+    pub fn functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Number of functions.
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::Detach { task: BlockId(1), cont: BlockId(2) };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
+        let r = Terminator::Reattach { cont: BlockId(2) };
+        assert_eq!(r.successors(), vec![BlockId(2)]);
+        let s = Terminator::Ret { value: None };
+        assert!(s.successors().is_empty());
+    }
+
+    #[test]
+    fn op_operand_lists() {
+        let op = Op::Gep {
+            base: ValueId(0),
+            indices: vec![GepIndex::Value(ValueId(1)), GepIndex::Const(2)],
+        };
+        assert_eq!(op.operands(), vec![ValueId(0), ValueId(1)]);
+        assert!(!op.is_mem());
+        assert!(Op::Load { ptr: ValueId(0) }.is_mem());
+    }
+
+    #[test]
+    fn module_function_lookup() {
+        let mut m = Module::new("m");
+        let f = Function::new("foo", vec![Type::I32], Type::I32);
+        let id = m.add_function(f);
+        assert_eq!(m.function_by_name("foo"), Some(id));
+        assert_eq!(m.function_by_name("bar"), None);
+        assert_eq!(m.function(id).params.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function name")]
+    fn duplicate_function_names_rejected() {
+        let mut m = Module::new("m");
+        m.add_function(Function::new("f", vec![], Type::Void));
+        m.add_function(Function::new("f", vec![], Type::Void));
+    }
+
+    #[test]
+    fn constant_types() {
+        assert_eq!(Constant::Int { ty: Type::I8, bits: 3 }.ty(), Type::I8);
+        assert_eq!(Constant::F64(1.0).ty(), Type::F64);
+    }
+}

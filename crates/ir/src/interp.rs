@@ -1,0 +1,1054 @@
+//! Reference interpreter for the parallel IR.
+//!
+//! The interpreter executes a function with Cilk "serial elision" semantics:
+//! a `detach` runs the child region to completion before the continuation.
+//! It serves three roles in the toolchain:
+//!
+//! 1. **Golden model** — the accelerator simulator's results are checked
+//!    against the interpreter's final memory and return value.
+//! 2. **Workload characterization** — instruction and memory-op counts per
+//!    task (Table II of the paper).
+//! 3. **Baseline substrate** — it records a fork-join *spawn trace* (the
+//!    parallel computation DAG) that the multicore timing model schedules
+//!    with work stealing to model the Intel i7 + Cilk runtime baseline.
+
+use crate::analysis::Cfg;
+use crate::builder::mask_to_width;
+use crate::core::*;
+use crate::types::Type;
+use std::fmt;
+
+/// A dynamic value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Val {
+    /// Integer or pointer bits, zero-extended to 64 bits.
+    Int(u64),
+    /// Single-precision float.
+    F32(f32),
+    /// Double-precision float.
+    F64(f64),
+}
+
+impl Val {
+    /// The raw integer bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a float.
+    pub fn as_int(self) -> u64 {
+        match self {
+            Val::Int(v) => v,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    /// Interpret as a signed integer of width `w`.
+    pub fn as_sint(self, w: u8) -> i64 {
+        sign_extend(self.as_int(), w)
+    }
+
+    /// The f32 payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not an `F32`.
+    pub fn as_f32(self) -> f32 {
+        match self {
+            Val::F32(v) => v,
+            other => panic!("expected f32, got {other:?}"),
+        }
+    }
+
+    /// The f64 payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not an `F64`.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Val::F64(v) => v,
+            other => panic!("expected f64, got {other:?}"),
+        }
+    }
+}
+
+/// Sign-extend the low `w` bits of `bits` to 64 bits.
+pub fn sign_extend(bits: u64, w: u8) -> i64 {
+    if w == 0 || w >= 64 {
+        return bits as i64;
+    }
+    let shift = 64 - w as u32;
+    ((bits << shift) as i64) >> shift
+}
+
+/// Runtime failure during interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Memory access outside the provided memory.
+    OutOfBounds {
+        /// Faulting byte address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u64,
+        /// Size of the provided memory.
+        mem_size: usize,
+    },
+    /// Integer division by zero.
+    DivByZero,
+    /// The step budget was exhausted (likely an infinite loop).
+    StepLimit(u64),
+    /// A phi had no incoming entry for the edge taken.
+    MissingPhiIncoming {
+        /// Block containing the phi.
+        block: BlockId,
+    },
+    /// An SSA value was read before being defined.
+    UndefinedValue(ValueId),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::OutOfBounds { addr, size, mem_size } => write!(
+                f,
+                "out-of-bounds access of {size} bytes at {addr:#x} (memory is {mem_size} bytes)"
+            ),
+            InterpError::DivByZero => write!(f, "integer division by zero"),
+            InterpError::StepLimit(n) => write!(f, "step limit of {n} exceeded"),
+            InterpError::MissingPhiIncoming { block } => {
+                write!(f, "phi in {block} has no incoming for the edge taken")
+            }
+            InterpError::UndefinedValue(v) => write!(f, "use of undefined value {v}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Aggregate dynamic-execution statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Total non-terminator instructions executed.
+    pub insts: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Integer ALU operations (arith, cmp, select, cast, gep).
+    pub int_ops: u64,
+    /// Floating-point operations.
+    pub float_ops: u64,
+    /// Tasks spawned (`detach`s executed).
+    pub spawns: u64,
+    /// `sync`s executed.
+    pub syncs: u64,
+    /// Conditional + unconditional branches taken.
+    pub branches: u64,
+}
+
+/// Cost of a serial strand, in instruction counts by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Non-memory instructions.
+    pub compute: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+}
+
+impl Cost {
+    /// Total instruction count.
+    pub fn total(&self) -> u64 {
+        self.compute + self.loads + self.stores
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: Cost) {
+        self.compute += other.compute;
+        self.loads += other.loads;
+        self.stores += other.stores;
+    }
+
+    fn is_zero(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+/// Index of a frame within a [`SpawnTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameId(pub u32);
+
+/// One event in a task frame's serial execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Serial work of the given cost.
+    Work(Cost),
+    /// A child task was detached; the child may run in parallel from here.
+    Spawn(FrameId),
+    /// A serial call; the callee frame executes inline but may itself spawn.
+    Call(FrameId),
+    /// Join with all children spawned by this frame since the last sync.
+    Sync,
+}
+
+/// A task/function frame in the fork-join DAG.
+#[derive(Debug, Clone, Default)]
+pub struct Frame {
+    /// Events in serial order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// The fork-join computation DAG of one execution, rooted at frame 0.
+#[derive(Debug, Clone, Default)]
+pub struct SpawnTrace {
+    /// All frames; index 0 is the root (the invoked function).
+    pub frames: Vec<Frame>,
+}
+
+impl SpawnTrace {
+    /// The root frame id.
+    pub fn root(&self) -> FrameId {
+        FrameId(0)
+    }
+
+    /// Access a frame.
+    pub fn frame(&self, id: FrameId) -> &Frame {
+        &self.frames[id.0 as usize]
+    }
+
+    /// Number of frames (root + spawned + called).
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Total cost across all frames.
+    pub fn total_cost(&self) -> Cost {
+        let mut c = Cost::default();
+        for f in &self.frames {
+            for e in &f.events {
+                if let TraceEvent::Work(w) = e {
+                    c.add(*w);
+                }
+            }
+        }
+        c
+    }
+
+    /// The *span* (critical path length) of the DAG in instruction counts,
+    /// assuming spawned children run fully in parallel with the continuation.
+    pub fn span(&self) -> u64 {
+        self.span_of(self.root())
+    }
+
+    fn span_of(&self, id: FrameId) -> u64 {
+        // Serial walk; at sync, the elapsed time is max(own progress,
+        // spawn-point + child span) for each outstanding child.
+        let mut t = 0u64;
+        let mut outstanding: Vec<u64> = Vec::new(); // completion times of children
+        for e in &self.frame(id).events {
+            match e {
+                TraceEvent::Work(c) => t += c.total(),
+                TraceEvent::Spawn(ch) => outstanding.push(t + self.span_of(*ch)),
+                TraceEvent::Call(ch) => t += self.span_of(*ch),
+                TraceEvent::Sync => {
+                    for done in outstanding.drain(..) {
+                        t = t.max(done);
+                    }
+                }
+            }
+        }
+        for done in outstanding {
+            t = t.max(done);
+        }
+        t
+    }
+}
+
+/// Interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct InterpConfig {
+    /// Abort after this many instructions (guards infinite loops).
+    pub max_steps: u64,
+    /// Record the spawn trace (disable for pure functional runs to save
+    /// memory on huge executions).
+    pub record_trace: bool,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig { max_steps: 500_000_000, record_trace: true }
+    }
+}
+
+/// Result of a successful interpretation.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The function's return value, if non-void.
+    pub ret: Option<Val>,
+    /// Aggregate statistics.
+    pub stats: ExecStats,
+    /// The fork-join DAG (empty if `record_trace` was off).
+    pub trace: SpawnTrace,
+}
+
+/// Run `func` from `module` with `args` against byte-addressed memory `mem`.
+///
+/// Pointers are absolute byte offsets into `mem`.
+///
+/// # Errors
+///
+/// Returns an [`InterpError`] on out-of-bounds access, division by zero, or
+/// step-limit exhaustion.
+///
+/// # Examples
+///
+/// ```
+/// use tapas_ir::{FunctionBuilder, Module, Type, interp};
+///
+/// let mut b = FunctionBuilder::new("double", vec![Type::I32], Type::I32);
+/// let x = b.param(0);
+/// let two = b.const_int(Type::I32, 2);
+/// let r = b.mul(x, two);
+/// b.ret(Some(r));
+/// let mut m = Module::new("m");
+/// let f = m.add_function(b.finish());
+///
+/// let mut mem = vec![0u8; 0];
+/// let out = interp::run(&m, f, &[interp::Val::Int(21)], &mut mem,
+///                       &interp::InterpConfig::default()).unwrap();
+/// assert_eq!(out.ret, Some(interp::Val::Int(42)));
+/// ```
+pub fn run(
+    module: &Module,
+    func: FuncId,
+    args: &[Val],
+    mem: &mut Vec<u8>,
+    cfg: &InterpConfig,
+) -> Result<Outcome, InterpError> {
+    let mut interp = Interp {
+        module,
+        mem,
+        cfg,
+        stats: ExecStats::default(),
+        trace: SpawnTrace { frames: vec![Frame::default()] },
+        steps: 0,
+        pending: Cost::default(),
+        frame_stack: vec![FrameId(0)],
+    };
+    let ret = interp.exec_function(func, args)?;
+    interp.flush_work();
+    Ok(Outcome { ret, stats: interp.stats, trace: interp.trace })
+}
+
+struct Interp<'m> {
+    module: &'m Module,
+    mem: &'m mut Vec<u8>,
+    cfg: &'m InterpConfig,
+    stats: ExecStats,
+    trace: SpawnTrace,
+    steps: u64,
+    /// Cost accumulated since the last trace event, attributed to the
+    /// current frame when flushed.
+    pending: Cost,
+    frame_stack: Vec<FrameId>,
+}
+
+/// One function activation's SSA environment.
+struct Activation {
+    values: Vec<Option<Val>>,
+}
+
+impl Activation {
+    fn get(&self, v: ValueId) -> Result<Val, InterpError> {
+        self.values[v.0 as usize].ok_or(InterpError::UndefinedValue(v))
+    }
+
+    fn set(&mut self, v: ValueId, val: Val) {
+        self.values[v.0 as usize] = Some(val);
+    }
+}
+
+impl<'m> Interp<'m> {
+    fn flush_work(&mut self) {
+        if self.cfg.record_trace && !self.pending.is_zero() {
+            let fid = *self.frame_stack.last().unwrap();
+            self.trace.frames[fid.0 as usize]
+                .events
+                .push(TraceEvent::Work(self.pending));
+        }
+        self.pending = Cost::default();
+    }
+
+    fn push_frame(&mut self, event_kind: fn(FrameId) -> TraceEvent) -> Option<FrameId> {
+        if !self.cfg.record_trace {
+            return None;
+        }
+        self.flush_work();
+        let child = FrameId(self.trace.frames.len() as u32);
+        self.trace.frames.push(Frame::default());
+        let parent = *self.frame_stack.last().unwrap();
+        self.trace.frames[parent.0 as usize]
+            .events
+            .push(event_kind(child));
+        self.frame_stack.push(child);
+        Some(child)
+    }
+
+    fn pop_frame(&mut self) {
+        if self.cfg.record_trace {
+            self.flush_work();
+            self.frame_stack.pop();
+        }
+    }
+
+    fn emit_sync(&mut self) {
+        if self.cfg.record_trace {
+            self.flush_work();
+            let fid = *self.frame_stack.last().unwrap();
+            self.trace.frames[fid.0 as usize].events.push(TraceEvent::Sync);
+        }
+    }
+
+    fn exec_function(&mut self, func: FuncId, args: &[Val]) -> Result<Option<Val>, InterpError> {
+        let f = self.module.function(func);
+        assert_eq!(args.len(), f.params.len(), "argument count mismatch calling @{}", f.name);
+        let mut act = Activation { values: vec![None; f.num_values()] };
+        // Parameters and constants are pre-populated.
+        for v in f.value_ids() {
+            match &f.value(v).def {
+                ValueDef::Param(i) => act.set(v, args[*i]),
+                ValueDef::Const(c) => act.set(v, const_val(c)),
+                ValueDef::Inst(..) => {}
+            }
+        }
+        let cfg_an = Cfg::compute(f);
+        let _ = &cfg_an; // CFG not needed for execution; kept for clarity
+        self.exec_region(f, f.entry(), None, &mut act)
+    }
+
+    /// Execute from `start` until a `Ret` (returns its value) or, when
+    /// `stop_at_reattach_to` is set, until a `reattach` to that block
+    /// (returns `None` and the caller resumes at the continuation).
+    fn exec_region(
+        &mut self,
+        f: &Function,
+        start: BlockId,
+        stop_at_reattach_to: Option<BlockId>,
+        act: &mut Activation,
+    ) -> Result<Option<Val>, InterpError> {
+        let mut cur = start;
+        let mut prev: Option<BlockId> = None;
+        loop {
+            // Phis read their incomings simultaneously on block entry.
+            let blk = f.block(cur);
+            let mut phi_writes: Vec<(ValueId, Val)> = Vec::new();
+            for inst in &blk.insts {
+                if let Op::Phi { incomings } = &inst.op {
+                    let p = prev.ok_or(InterpError::MissingPhiIncoming { block: cur })?;
+                    let (_, v) = incomings
+                        .iter()
+                        .find(|(b, _)| *b == p)
+                        .ok_or(InterpError::MissingPhiIncoming { block: cur })?;
+                    phi_writes.push((inst.result.unwrap(), act.get(*v)?));
+                    self.count_inst(&inst.op);
+                } else {
+                    break;
+                }
+            }
+            let num_phis = phi_writes.len();
+            for (r, v) in phi_writes {
+                act.set(r, v);
+            }
+            for inst in &blk.insts[num_phis..] {
+                self.count_inst(&inst.op);
+                if self.steps > self.cfg.max_steps {
+                    return Err(InterpError::StepLimit(self.cfg.max_steps));
+                }
+                if let Op::Call { callee, args } = &inst.op {
+                    let vals: Result<Vec<Val>, _> =
+                        args.iter().map(|a| act.get(*a)).collect();
+                    let vals = vals?;
+                    self.push_frame(TraceEvent::Call);
+                    let r = self.exec_function(*callee, &vals)?;
+                    self.pop_frame();
+                    if let (Some(res), Some(val)) = (inst.result, r) {
+                        act.set(res, val);
+                    }
+                } else {
+                    let v = self.eval(f, &inst.op, act)?;
+                    if let (Some(res), Some(val)) = (inst.result, v) {
+                        act.set(res, val);
+                    }
+                }
+            }
+            match &blk.term {
+                Terminator::Br { target } => {
+                    self.stats.branches += 1;
+                    prev = Some(cur);
+                    cur = *target;
+                }
+                Terminator::CondBr { cond, if_true, if_false } => {
+                    self.stats.branches += 1;
+                    let c = act.get(*cond)?.as_int() & 1;
+                    prev = Some(cur);
+                    cur = if c == 1 { *if_true } else { *if_false };
+                }
+                Terminator::Ret { value } => {
+                    let rv = match value {
+                        Some(v) => Some(act.get(*v)?),
+                        None => None,
+                    };
+                    return Ok(rv);
+                }
+                Terminator::Detach { task, cont } => {
+                    self.stats.spawns += 1;
+                    self.push_frame(TraceEvent::Spawn);
+                    // Serial elision: run the child region to completion.
+                    self.exec_region(f, *task, Some(*cont), act)?;
+                    self.pop_frame();
+                    // The reattach edge is the phi-relevant predecessor.
+                    prev = Some(cur);
+                    cur = *cont;
+                }
+                Terminator::Reattach { cont } => {
+                    debug_assert_eq!(
+                        stop_at_reattach_to,
+                        Some(*cont),
+                        "reattach outside detached region"
+                    );
+                    return Ok(None);
+                }
+                Terminator::Sync { cont } => {
+                    self.stats.syncs += 1;
+                    self.emit_sync();
+                    prev = Some(cur);
+                    cur = *cont;
+                }
+                Terminator::Unreachable => {
+                    panic!("executed unreachable terminator in {cur}");
+                }
+            }
+        }
+    }
+
+    fn count_inst(&mut self, op: &Op) {
+        self.steps += 1;
+        self.stats.insts += 1;
+        match op {
+            Op::Load { .. } => {
+                self.stats.loads += 1;
+                self.pending.loads += 1;
+            }
+            Op::Store { .. } => {
+                self.stats.stores += 1;
+                self.pending.stores += 1;
+            }
+            Op::FBin { .. } | Op::FCmp { .. } => {
+                self.stats.float_ops += 1;
+                self.pending.compute += 1;
+            }
+            _ => {
+                self.stats.int_ops += 1;
+                self.pending.compute += 1;
+            }
+        }
+    }
+
+    fn eval(&mut self, f: &Function, op: &Op, act: &Activation) -> Result<Option<Val>, InterpError> {
+        let v = match op {
+            Op::Bin { op, lhs, rhs } => {
+                let w = f.value_ty(*lhs).int_width().unwrap_or(64);
+                Some(eval_bin(*op, act.get(*lhs)?, act.get(*rhs)?, w)?)
+            }
+            Op::FBin { op, lhs, rhs } => {
+                Some(eval_fbin(*op, act.get(*lhs)?, act.get(*rhs)?))
+            }
+            Op::Cmp { pred, lhs, rhs } => {
+                let w = f.value_ty(*lhs).int_width().unwrap_or(64);
+                Some(Val::Int(
+                    eval_cmp(*pred, act.get(*lhs)?, act.get(*rhs)?, w) as u64
+                ))
+            }
+            Op::FCmp { pred, lhs, rhs } => Some(Val::Int(eval_fcmp(
+                *pred,
+                act.get(*lhs)?,
+                act.get(*rhs)?,
+            ) as u64)),
+            Op::Select { cond, if_true, if_false } => {
+                let c = act.get(*cond)?.as_int() & 1;
+                Some(if c == 1 { act.get(*if_true)? } else { act.get(*if_false)? })
+            }
+            Op::Cast { kind, value, to } => {
+                Some(eval_cast(*kind, act.get(*value)?, f, *value, to))
+            }
+            Op::Gep { base, indices } => {
+                let addr = self.eval_gep(f, *base, indices, act)?;
+                Some(Val::Int(addr))
+            }
+            Op::Load { ptr } => {
+                let ty = f.value_ty(*ptr).pointee().cloned().expect("load from non-ptr");
+                let addr = act.get(*ptr)?.as_int();
+                Some(self.load_mem(addr, &ty)?)
+            }
+            Op::Store { ptr, value } => {
+                let ty = f.value_ty(*ptr).pointee().cloned().expect("store to non-ptr");
+                let addr = act.get(*ptr)?.as_int();
+                self.store_mem(addr, &ty, act.get(*value)?)?;
+                None
+            }
+            Op::Call { .. } => unreachable!("calls handled in exec_region"),
+            Op::Phi { .. } => unreachable!("phis handled in exec_region"),
+        };
+        Ok(v)
+    }
+
+    fn eval_gep(
+        &mut self,
+        f: &Function,
+        base: ValueId,
+        indices: &[GepIndex],
+        act: &Activation,
+    ) -> Result<u64, InterpError> {
+        let mut addr = act.get(base)?.as_int();
+        let mut cur_ty = f
+            .value_ty(base)
+            .pointee()
+            .cloned()
+            .expect("gep base not a pointer");
+        for (i, ix) in indices.iter().enumerate() {
+            let idx_val: i64 = match ix {
+                GepIndex::Value(v) => {
+                    let w = f.value_ty(*v).int_width().unwrap_or(64);
+                    act.get(*v)?.as_sint(w)
+                }
+                GepIndex::Const(k) => *k as i64,
+            };
+            if i == 0 {
+                addr = addr.wrapping_add((idx_val as u64).wrapping_mul(cur_ty.stride()));
+            } else {
+                match &cur_ty {
+                    Type::Array(elem, _) => {
+                        addr = addr
+                            .wrapping_add((idx_val as u64).wrapping_mul(elem.stride()));
+                        cur_ty = (**elem).clone();
+                    }
+                    Type::Struct(_) => {
+                        let off = cur_ty.field_offset(idx_val as usize);
+                        addr = addr.wrapping_add(off);
+                        let Type::Struct(fields) = cur_ty else { unreachable!() };
+                        cur_ty = fields[idx_val as usize].clone();
+                    }
+                    other => panic!("gep into non-aggregate {other}"),
+                }
+            }
+        }
+        Ok(addr)
+    }
+
+    fn check_bounds(&self, addr: u64, size: u64) -> Result<(), InterpError> {
+        if addr.checked_add(size).map_or(true, |end| end > self.mem.len() as u64) {
+            return Err(InterpError::OutOfBounds { addr, size, mem_size: self.mem.len() });
+        }
+        Ok(())
+    }
+
+    fn load_mem(&mut self, addr: u64, ty: &Type) -> Result<Val, InterpError> {
+        let size = ty.size_bytes();
+        self.check_bounds(addr, size)?;
+        let bytes = &self.mem[addr as usize..(addr + size) as usize];
+        let mut raw = [0u8; 8];
+        raw[..bytes.len()].copy_from_slice(bytes);
+        let bits = u64::from_le_bytes(raw);
+        Ok(match ty {
+            Type::F32 => Val::F32(f32::from_bits(bits as u32)),
+            Type::F64 => Val::F64(f64::from_bits(bits)),
+            Type::Int(w) => Val::Int(mask_to_width(bits, *w)),
+            Type::Ptr(_) => Val::Int(bits),
+            other => panic!("load of type {other}"),
+        })
+    }
+
+    fn store_mem(&mut self, addr: u64, ty: &Type, val: Val) -> Result<(), InterpError> {
+        let size = ty.size_bytes();
+        self.check_bounds(addr, size)?;
+        let bits = match (ty, val) {
+            (Type::F32, Val::F32(x)) => x.to_bits() as u64,
+            (Type::F64, Val::F64(x)) => x.to_bits(),
+            (_, Val::Int(x)) => x,
+            (t, v) => panic!("store type mismatch: {t} <- {v:?}"),
+        };
+        let raw = bits.to_le_bytes();
+        self.mem[addr as usize..(addr + size) as usize].copy_from_slice(&raw[..size as usize]);
+        Ok(())
+    }
+}
+
+fn const_val(c: &Constant) -> Val {
+    match c {
+        Constant::Int { bits, .. } => Val::Int(*bits),
+        Constant::F32(x) => Val::F32(*x),
+        Constant::F64(x) => Val::F64(*x),
+        Constant::NullPtr(_) => Val::Int(0),
+    }
+}
+
+/// Evaluate an integer binary operation at width `w`.
+pub fn eval_bin(op: BinOp, lhs: Val, rhs: Val, w: u8) -> Result<Val, InterpError> {
+    let a = lhs.as_int();
+    let b = rhs.as_int();
+    let sa = sign_extend(a, w);
+    let sb = sign_extend(b, w);
+    let raw = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::SDiv => {
+            if sb == 0 {
+                return Err(InterpError::DivByZero);
+            }
+            sa.wrapping_div(sb) as u64
+        }
+        BinOp::UDiv => {
+            if b == 0 {
+                return Err(InterpError::DivByZero);
+            }
+            a / b
+        }
+        BinOp::SRem => {
+            if sb == 0 {
+                return Err(InterpError::DivByZero);
+            }
+            sa.wrapping_rem(sb) as u64
+        }
+        BinOp::URem => {
+            if b == 0 {
+                return Err(InterpError::DivByZero);
+            }
+            a % b
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b % w.max(1) as u64) as u32),
+        BinOp::LShr => a.wrapping_shr((b % w.max(1) as u64) as u32),
+        BinOp::AShr => (sa >> (b % w.max(1) as u64)) as u64,
+    };
+    Ok(Val::Int(mask_to_width(raw, w)))
+}
+
+/// Evaluate a floating-point binary operation.
+pub fn eval_fbin(op: FBinOp, lhs: Val, rhs: Val) -> Val {
+    match (lhs, rhs) {
+        (Val::F32(a), Val::F32(b)) => Val::F32(match op {
+            FBinOp::FAdd => a + b,
+            FBinOp::FSub => a - b,
+            FBinOp::FMul => a * b,
+            FBinOp::FDiv => a / b,
+        }),
+        (Val::F64(a), Val::F64(b)) => Val::F64(match op {
+            FBinOp::FAdd => a + b,
+            FBinOp::FSub => a - b,
+            FBinOp::FMul => a * b,
+            FBinOp::FDiv => a / b,
+        }),
+        other => panic!("fbin on {other:?}"),
+    }
+}
+
+/// Evaluate an integer comparison at width `w`.
+pub fn eval_cmp(pred: CmpPred, lhs: Val, rhs: Val, w: u8) -> bool {
+    let a = lhs.as_int();
+    let b = rhs.as_int();
+    let sa = sign_extend(a, w);
+    let sb = sign_extend(b, w);
+    match pred {
+        CmpPred::Eq => a == b,
+        CmpPred::Ne => a != b,
+        CmpPred::Slt => sa < sb,
+        CmpPred::Sle => sa <= sb,
+        CmpPred::Sgt => sa > sb,
+        CmpPred::Sge => sa >= sb,
+        CmpPred::Ult => a < b,
+        CmpPred::Ule => a <= b,
+        CmpPred::Ugt => a > b,
+        CmpPred::Uge => a >= b,
+    }
+}
+
+/// Evaluate a floating-point comparison.
+pub fn eval_fcmp(pred: FCmpPred, lhs: Val, rhs: Val) -> bool {
+    let (a, b) = match (lhs, rhs) {
+        (Val::F32(a), Val::F32(b)) => (a as f64, b as f64),
+        (Val::F64(a), Val::F64(b)) => (a, b),
+        other => panic!("fcmp on {other:?}"),
+    };
+    match pred {
+        FCmpPred::Oeq => a == b,
+        FCmpPred::One => a != b,
+        FCmpPred::Olt => a < b,
+        FCmpPred::Ole => a <= b,
+        FCmpPred::Ogt => a > b,
+        FCmpPred::Oge => a >= b,
+    }
+}
+
+fn eval_cast(kind: CastKind, v: Val, f: &Function, src: ValueId, to: &Type) -> Val {
+    let src_ty = f.value_ty(src);
+    match kind {
+        CastKind::ZExt => Val::Int(v.as_int()),
+        CastKind::SExt => {
+            let w = src_ty.int_width().unwrap_or(64);
+            let tw = to.int_width().unwrap_or(64);
+            Val::Int(mask_to_width(sign_extend(v.as_int(), w) as u64, tw))
+        }
+        CastKind::Trunc => Val::Int(mask_to_width(v.as_int(), to.int_width().unwrap_or(64))),
+        CastKind::SiToFp => {
+            let w = src_ty.int_width().unwrap_or(64);
+            let s = sign_extend(v.as_int(), w);
+            match to {
+                Type::F32 => Val::F32(s as f32),
+                _ => Val::F64(s as f64),
+            }
+        }
+        CastKind::FpToSi => {
+            let x = match v {
+                Val::F32(x) => x as f64,
+                Val::F64(x) => x,
+                Val::Int(_) => panic!("fptosi on int"),
+            };
+            Val::Int(mask_to_width(x as i64 as u64, to.int_width().unwrap_or(64)))
+        }
+        CastKind::PtrCast | CastKind::PtrToInt | CastKind::IntToPtr => Val::Int(v.as_int()),
+        CastKind::FpExt => Val::F64(v.as_f32() as f64),
+        CastKind::FpTrunc => Val::F32(v.as_f64() as f32),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn run_simple(m: &Module, f: FuncId, args: &[Val], mem: &mut Vec<u8>) -> Outcome {
+        run(m, f, args, mem, &InterpConfig::default()).unwrap()
+    }
+
+    /// Serial loop: sum 0..n
+    #[test]
+    fn loop_sum() {
+        let mut b = FunctionBuilder::new("sum", vec![Type::I64], Type::I64);
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        let n = b.param(0);
+        let zero = b.const_int(Type::I64, 0);
+        let one = b.const_int(Type::I64, 1);
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, zero)]);
+        let acc = b.phi(Type::I64, vec![(entry, zero)]);
+        let c = b.icmp(CmpPred::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let acc2 = b.add(acc, i);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, body, i2);
+        b.add_phi_incoming(acc, body, acc2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mut mem = Vec::new();
+        let out = run_simple(&m, f, &[Val::Int(10)], &mut mem);
+        assert_eq!(out.ret, Some(Val::Int(45)));
+        assert!(out.stats.branches >= 11);
+    }
+
+    /// detach/sync with memory: child stores 7, parent reads after sync.
+    #[test]
+    fn detach_then_sync() {
+        let mut b =
+            FunctionBuilder::new("spawnstore", vec![Type::ptr(Type::I32)], Type::I32);
+        let task = b.create_block("task");
+        let cont = b.create_block("cont");
+        let after = b.create_block("after");
+        let p = b.param(0);
+        b.detach(task, cont);
+        b.switch_to(task);
+        let seven = b.const_int(Type::I32, 7);
+        b.store(p, seven);
+        b.reattach(cont);
+        b.switch_to(cont);
+        b.sync(after);
+        b.switch_to(after);
+        let v = b.load(p);
+        b.ret(Some(v));
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mut mem = vec![0u8; 16];
+        let out = run_simple(&m, f, &[Val::Int(4)], &mut mem);
+        assert_eq!(out.ret, Some(Val::Int(7)));
+        assert_eq!(out.stats.spawns, 1);
+        assert_eq!(out.stats.syncs, 1);
+        // Trace: root frame has Spawn, Sync events and a child frame exists.
+        assert_eq!(out.trace.num_frames(), 2);
+        let root = out.trace.frame(out.trace.root());
+        assert!(root.events.iter().any(|e| matches!(e, TraceEvent::Spawn(_))));
+        assert!(root.events.iter().any(|e| matches!(e, TraceEvent::Sync)));
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let mut b = FunctionBuilder::new("oob", vec![Type::ptr(Type::I64)], Type::I64);
+        let p = b.param(0);
+        let v = b.load(p);
+        b.ret(Some(v));
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mut mem = vec![0u8; 4];
+        let err = run(&m, f, &[Val::Int(0)], &mut mem, &InterpConfig::default()).unwrap_err();
+        assert!(matches!(err, InterpError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn div_by_zero_reported() {
+        let mut b = FunctionBuilder::new("dz", vec![Type::I32], Type::I32);
+        let x = b.param(0);
+        let zero = b.const_int(Type::I32, 0);
+        let q = b.sdiv(x, zero);
+        b.ret(Some(q));
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mut mem = Vec::new();
+        let err = run(&m, f, &[Val::Int(1)], &mut mem, &InterpConfig::default()).unwrap_err();
+        assert_eq!(err, InterpError::DivByZero);
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let mut b = FunctionBuilder::new("inf", vec![], Type::Void);
+        let lp = b.create_block("lp");
+        b.br(lp);
+        b.switch_to(lp);
+        let one = b.const_int(Type::I32, 1);
+        let _ = b.add(one, one);
+        b.br(lp);
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mut mem = Vec::new();
+        let cfg = InterpConfig { max_steps: 1000, record_trace: false };
+        let err = run(&m, f, &[], &mut mem, &cfg).unwrap_err();
+        assert!(matches!(err, InterpError::StepLimit(_)));
+    }
+
+    #[test]
+    fn recursion_via_call_fib() {
+        // fib(n) = n < 2 ? n : fib(n-1) + fib(n-2), serial calls
+        let mut m = Module::new("m");
+        // forward-declare by building with callee id 0 == itself
+        let mut b = FunctionBuilder::new("fib", vec![Type::I32], Type::I32);
+        let rec = b.create_block("rec");
+        let base = b.create_block("base");
+        let n = b.param(0);
+        let two = b.const_int(Type::I32, 2);
+        let c = b.icmp(CmpPred::Slt, n, two);
+        b.cond_br(c, base, rec);
+        b.switch_to(base);
+        b.ret(Some(n));
+        b.switch_to(rec);
+        let one = b.const_int(Type::I32, 1);
+        let n1 = b.sub(n, one);
+        let n2 = b.sub(n, two);
+        let f1 = b.call(FuncId(0), vec![n1], Type::I32).unwrap();
+        let f2 = b.call(FuncId(0), vec![n2], Type::I32).unwrap();
+        let s = b.add(f1, f2);
+        b.ret(Some(s));
+        let f = m.add_function(b.finish());
+        let mut mem = Vec::new();
+        let out = run_simple(&m, f, &[Val::Int(10)], &mut mem);
+        assert_eq!(out.ret, Some(Val::Int(55)));
+        // Call frames recorded
+        assert!(out.trace.num_frames() > 100);
+    }
+
+    #[test]
+    fn float_roundtrip_through_memory() {
+        let mut b = FunctionBuilder::new("fmem", vec![Type::ptr(Type::F32)], Type::F32);
+        let p = b.param(0);
+        let x = b.const_f32(1.5);
+        let y = b.const_f32(2.25);
+        let s = b.fbin(FBinOp::FMul, x, y);
+        b.store(p, s);
+        let v = b.load(p);
+        b.ret(Some(v));
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mut mem = vec![0u8; 8];
+        let out = run_simple(&m, f, &[Val::Int(0)], &mut mem);
+        assert_eq!(out.ret, Some(Val::F32(3.375)));
+    }
+
+    #[test]
+    fn span_less_than_work_for_parallel_spawns() {
+        // Spawn two equal chunks of work; span should be ~half the work.
+        let mut b = FunctionBuilder::new("par2", vec![Type::ptr(Type::I64)], Type::Void);
+        let t1 = b.create_block("t1");
+        let c1 = b.create_block("c1");
+        let t2 = b.create_block("t2");
+        let c2 = b.create_block("c2");
+        let done = b.create_block("done");
+        let p = b.param(0);
+        b.detach(t1, c1);
+        for (t, c) in [(t1, c1), (t2, c2)] {
+            b.switch_to(t);
+            // 8 adds and a store
+            let mut acc = b.const_int(Type::I64, 1);
+            let one = b.const_int(Type::I64, 1);
+            for _ in 0..8 {
+                acc = b.add(acc, one);
+            }
+            b.store(p, acc);
+            b.reattach(c);
+        }
+        b.switch_to(c1);
+        b.detach(t2, c2);
+        b.switch_to(c2);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mut mem = vec![0u8; 8];
+        let out = run_simple(&m, f, &[Val::Int(0)], &mut mem);
+        let work = out.trace.total_cost().total();
+        let span = out.trace.span();
+        assert!(span < work, "span {span} should be < work {work}");
+    }
+
+    #[test]
+    fn sign_extend_behaviour() {
+        assert_eq!(sign_extend(0xff, 8), -1);
+        assert_eq!(sign_extend(0x7f, 8), 127);
+        assert_eq!(sign_extend(1, 1), -1);
+        assert_eq!(sign_extend(u64::MAX, 64), -1);
+    }
+
+    #[test]
+    fn bin_ops_width_wrap() {
+        let v = eval_bin(BinOp::Add, Val::Int(0xff), Val::Int(1), 8).unwrap();
+        assert_eq!(v, Val::Int(0));
+        let v = eval_bin(BinOp::AShr, Val::Int(0x80), Val::Int(1), 8).unwrap();
+        assert_eq!(v, Val::Int(0xc0));
+        let v = eval_bin(BinOp::Mul, Val::Int(200), Val::Int(2), 8).unwrap();
+        assert_eq!(v, Val::Int(144));
+    }
+
+    #[test]
+    fn cmp_signed_vs_unsigned() {
+        assert!(eval_cmp(CmpPred::Slt, Val::Int(0xff), Val::Int(0), 8)); // -1 < 0
+        assert!(!eval_cmp(CmpPred::Ult, Val::Int(0xff), Val::Int(0), 8)); // 255 !< 0
+    }
+}

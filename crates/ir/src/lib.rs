@@ -1,0 +1,63 @@
+//! # tapas-ir — a Tapir-style parallel SSA intermediate representation
+//!
+//! This crate is the compiler substrate of the TAPAS reproduction: a small,
+//! typed SSA IR in the shape of LLVM IR, extended with the three Tapir
+//! instructions — `detach`, `reattach` and `sync` — that embed fork-join
+//! task parallelism directly into the IR (Schardl et al., PPoPP 2017). The
+//! TAPAS HLS stages (task extraction, dataflow generation) consume exactly
+//! these structures.
+//!
+//! Contents:
+//!
+//! * [`Type`] — the type system with C-like layout rules.
+//! * [`Module`], [`Function`], [`FunctionBuilder`] — IR construction.
+//! * [`verify_module`] — structural/SSA/Tapir well-formedness.
+//! * [`analysis`] — CFG, dominators, liveness, reachability.
+//! * [`interp`] — a reference interpreter with serial-elision semantics
+//!   that doubles as the golden functional model and produces the fork-join
+//!   spawn trace used by the multicore baseline.
+//! * [`printer`] — textual IR output.
+//!
+//! # Examples
+//!
+//! Build and run a function that doubles its argument:
+//!
+//! ```
+//! use tapas_ir::{FunctionBuilder, Module, Type, interp};
+//!
+//! let mut b = FunctionBuilder::new("double", vec![Type::I32], Type::I32);
+//! let x = b.param(0);
+//! let two = b.const_int(Type::I32, 2);
+//! let r = b.mul(x, two);
+//! b.ret(Some(r));
+//!
+//! let mut m = Module::new("demo");
+//! let f = m.add_function(b.finish());
+//! tapas_ir::verify_module(&m).unwrap();
+//!
+//! let mut mem = Vec::new();
+//! let out = interp::run(&m, f, &[interp::Val::Int(21)], &mut mem,
+//!                       &interp::InterpConfig::default()).unwrap();
+//! assert_eq!(out.ret, Some(interp::Val::Int(42)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod builder;
+mod core;
+pub mod interp;
+pub mod opt;
+pub mod printer;
+pub mod text;
+pub mod transform;
+mod types;
+mod verify;
+
+pub use crate::core::{
+    BinOp, Block, BlockId, CastKind, CmpPred, Constant, FBinOp, FCmpPred, FuncId, Function,
+    GepIndex, Inst, Module, Op, Terminator, ValueDef, ValueId, ValueInfo,
+};
+pub use builder::{gep_result_type, mask_to_width, FunctionBuilder};
+pub use types::Type;
+pub use verify::{detached_region, verify_function, verify_module, VerifyError};

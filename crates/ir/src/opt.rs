@@ -1,0 +1,462 @@
+//! Scalar optimization passes over the parallel IR.
+//!
+//! Front ends (tapas-lang in particular) emit redundant constants, dead
+//! selects from short-circuit lowering, and branches on known conditions.
+//! Running these passes before hardware generation shrinks every TXU
+//! dataflow — fewer nodes means fewer ALMs and shorter critical paths:
+//!
+//! * [`fold_constants`] — evaluates instructions whose operands are all
+//!   constants, replacing their uses with materialized constants;
+//! * [`eliminate_dead_code`] — removes instructions whose results are
+//!   unused (loads included: the IR has no volatile accesses; stores,
+//!   calls and terminators are always live);
+//! * [`simplify_branches`] — turns `cond_br` on a constant into `br`;
+//! * [`optimize_function`] / [`optimize_module`] — run everything to a
+//!   fixpoint.
+//!
+//! All passes preserve the Tapir structure: detaches, reattaches and syncs
+//! are never touched.
+
+use crate::builder::mask_to_width;
+use crate::core::*;
+use crate::interp::{eval_bin, eval_cmp, eval_fbin, eval_fcmp, sign_extend, Val};
+use crate::types::Type;
+use std::collections::{HashMap, HashSet};
+
+/// Statistics from one optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions folded to constants.
+    pub folded: usize,
+    /// Dead instructions removed.
+    pub dce_removed: usize,
+    /// Conditional branches made unconditional.
+    pub branches_simplified: usize,
+}
+
+impl OptStats {
+    /// Total rewrites performed.
+    pub fn total(&self) -> usize {
+        self.folded + self.dce_removed + self.branches_simplified
+    }
+
+    fn add(&mut self, other: OptStats) {
+        self.folded += other.folded;
+        self.dce_removed += other.dce_removed;
+        self.branches_simplified += other.branches_simplified;
+    }
+}
+
+/// Run all passes on every function until nothing changes.
+pub fn optimize_module(m: &mut Module) -> OptStats {
+    let mut total = OptStats::default();
+    for i in 0..m.num_functions() as u32 {
+        total.add(optimize_function(m.function_mut(FuncId(i))));
+    }
+    total
+}
+
+/// Run all passes on `f` until nothing changes.
+pub fn optimize_function(f: &mut Function) -> OptStats {
+    let mut total = OptStats::default();
+    loop {
+        let mut round = OptStats::default();
+        round.folded = fold_constants(f);
+        round.branches_simplified = simplify_branches(f);
+        round.dce_removed = eliminate_dead_code(f);
+        if round.total() == 0 {
+            return total;
+        }
+        total.add(round);
+    }
+}
+
+fn const_of(f: &Function, v: ValueId) -> Option<&Constant> {
+    match &f.value(v).def {
+        ValueDef::Const(c) => Some(c),
+        _ => None,
+    }
+}
+
+fn const_to_val(c: &Constant) -> Val {
+    match c {
+        Constant::Int { bits, .. } => Val::Int(*bits),
+        Constant::F32(x) => Val::F32(*x),
+        Constant::F64(x) => Val::F64(*x),
+        Constant::NullPtr(_) => Val::Int(0),
+    }
+}
+
+fn val_to_const(v: Val, ty: &Type) -> Constant {
+    match (v, ty) {
+        (Val::F32(x), _) => Constant::F32(x),
+        (Val::F64(x), _) => Constant::F64(x),
+        (Val::Int(bits), Type::Int(w)) => {
+            Constant::Int { ty: Type::Int(*w), bits: mask_to_width(bits, *w) }
+        }
+        (Val::Int(bits), _) => Constant::Int { ty: Type::I64, bits },
+    }
+}
+
+/// Fold instructions whose operands are all constants. Returns the number
+/// of instructions folded (they become dead and are collected by DCE).
+pub fn fold_constants(f: &mut Function) -> usize {
+    let mut replacements: HashMap<ValueId, Constant> = HashMap::new();
+    for b in f.block_ids() {
+        for inst in &f.block(b).insts {
+            let Some(result) = inst.result else { continue };
+            let ty = f.value_ty(result).clone();
+            let folded: Option<Val> = match &inst.op {
+                Op::Bin { op, lhs, rhs } => {
+                    let (l, r) = (const_of(f, *lhs), const_of(f, *rhs));
+                    match (l, r) {
+                        (Some(l), Some(r)) => {
+                            let w = ty.int_width().unwrap_or(64);
+                            eval_bin(*op, const_to_val(l), const_to_val(r), w).ok()
+                        }
+                        _ => None,
+                    }
+                }
+                Op::FBin { op, lhs, rhs } => match (const_of(f, *lhs), const_of(f, *rhs)) {
+                    (Some(l), Some(r)) => {
+                        Some(eval_fbin(*op, const_to_val(l), const_to_val(r)))
+                    }
+                    _ => None,
+                },
+                Op::Cmp { pred, lhs, rhs } => match (const_of(f, *lhs), const_of(f, *rhs)) {
+                    (Some(l), Some(r)) => {
+                        let w = f.value_ty(*lhs).int_width().unwrap_or(64);
+                        Some(Val::Int(
+                            eval_cmp(*pred, const_to_val(l), const_to_val(r), w) as u64,
+                        ))
+                    }
+                    _ => None,
+                },
+                Op::FCmp { pred, lhs, rhs } => {
+                    match (const_of(f, *lhs), const_of(f, *rhs)) {
+                        (Some(l), Some(r)) => Some(Val::Int(eval_fcmp(
+                            *pred,
+                            const_to_val(l),
+                            const_to_val(r),
+                        ) as u64)),
+                        _ => None,
+                    }
+                }
+                Op::Select { cond, if_true, if_false } => match const_of(f, *cond) {
+                    Some(Constant::Int { bits, .. }) => {
+                        let pick = if bits & 1 == 1 { *if_true } else { *if_false };
+                        const_of(f, pick).map(const_to_val)
+                    }
+                    _ => None,
+                },
+                Op::Cast { kind, value, to } => match const_of(f, *value) {
+                    Some(c) => fold_cast(*kind, c, f.value_ty(*value), to),
+                    None => None,
+                },
+                _ => None,
+            };
+            if let Some(v) = folded {
+                replacements.insert(result, val_to_const(v, &ty));
+            }
+        }
+    }
+    if replacements.is_empty() {
+        return 0;
+    }
+    // Materialize new constants and rewrite every use.
+    let mut new_ids: HashMap<ValueId, ValueId> = HashMap::new();
+    for (old, c) in &replacements {
+        let ty = c.ty();
+        let id = f.add_value(ValueDef::Const(c.clone()), ty, None);
+        new_ids.insert(*old, id);
+    }
+    rewrite_uses(f, &new_ids);
+    replacements.len()
+}
+
+fn fold_cast(kind: CastKind, c: &Constant, from: &Type, to: &Type) -> Option<Val> {
+    let v = const_to_val(c);
+    Some(match kind {
+        CastKind::ZExt => Val::Int(v.as_int()),
+        CastKind::SExt => {
+            let w = from.int_width()?;
+            Val::Int(mask_to_width(
+                sign_extend(v.as_int(), w) as u64,
+                to.int_width().unwrap_or(64),
+            ))
+        }
+        CastKind::Trunc => Val::Int(mask_to_width(v.as_int(), to.int_width()?)),
+        CastKind::SiToFp => {
+            let w = from.int_width()?;
+            let s = sign_extend(v.as_int(), w);
+            if *to == Type::F32 {
+                Val::F32(s as f32)
+            } else {
+                Val::F64(s as f64)
+            }
+        }
+        CastKind::FpExt => Val::F64(v.as_f32() as f64),
+        CastKind::FpTrunc => Val::F32(v.as_f64() as f32),
+        _ => return None,
+    })
+}
+
+fn rewrite_uses(f: &mut Function, map: &HashMap<ValueId, ValueId>) {
+    let subst = |v: &mut ValueId| {
+        if let Some(n) = map.get(v) {
+            *v = *n;
+        }
+    };
+    for b in 0..f.num_blocks() as u32 {
+        let bid = BlockId(b);
+        for inst in &mut f.block_mut(bid).insts {
+            match &mut inst.op {
+                Op::Bin { lhs, rhs, .. }
+                | Op::FBin { lhs, rhs, .. }
+                | Op::Cmp { lhs, rhs, .. }
+                | Op::FCmp { lhs, rhs, .. } => {
+                    subst(lhs);
+                    subst(rhs);
+                }
+                Op::Select { cond, if_true, if_false } => {
+                    subst(cond);
+                    subst(if_true);
+                    subst(if_false);
+                }
+                Op::Cast { value, .. } => subst(value),
+                Op::Gep { base, indices } => {
+                    subst(base);
+                    for ix in indices {
+                        if let GepIndex::Value(v) = ix {
+                            subst(v);
+                        }
+                    }
+                }
+                Op::Load { ptr } => subst(ptr),
+                Op::Store { ptr, value } => {
+                    subst(ptr);
+                    subst(value);
+                }
+                Op::Call { args, .. } => args.iter_mut().for_each(subst),
+                Op::Phi { incomings } => {
+                    incomings.iter_mut().for_each(|(_, v)| subst(v))
+                }
+            }
+        }
+        match &mut f.block_mut(bid).term {
+            Terminator::CondBr { cond, .. } => subst(cond),
+            Terminator::Ret { value: Some(v) } => subst(v),
+            _ => {}
+        }
+    }
+}
+
+/// Remove instructions with unused results and no side effects. Returns
+/// the number removed.
+pub fn eliminate_dead_code(f: &mut Function) -> usize {
+    // Collect all used values.
+    let mut used: HashSet<ValueId> = HashSet::new();
+    for b in f.block_ids() {
+        for inst in &f.block(b).insts {
+            used.extend(inst.op.operands());
+        }
+        used.extend(f.block(b).term.operands());
+    }
+    let mut removed = 0;
+    for b in 0..f.num_blocks() as u32 {
+        let bid = BlockId(b);
+        let keep: Vec<Inst> = f
+            .block(bid)
+            .insts
+            .iter()
+            .filter(|inst| {
+                let side_effect = matches!(inst.op, Op::Store { .. } | Op::Call { .. });
+                let live = inst.result.map(|r| used.contains(&r)).unwrap_or(false);
+                side_effect || live
+            })
+            .cloned()
+            .collect();
+        removed += f.block(bid).insts.len() - keep.len();
+        f.block_mut(bid).insts = keep;
+        // Re-point instruction defs (indices shifted).
+        for (i, inst) in f.block(bid).insts.clone().into_iter().enumerate() {
+            if let Some(r) = inst.result {
+                f.set_value_def(r, ValueDef::Inst(bid, i));
+            }
+        }
+    }
+    removed
+}
+
+/// Rewrite `cond_br` on constants into unconditional branches. Returns the
+/// number simplified. Phi incomings from the dropped edge are pruned.
+pub fn simplify_branches(f: &mut Function) -> usize {
+    let mut count = 0;
+    for b in 0..f.num_blocks() as u32 {
+        let bid = BlockId(b);
+        if let Terminator::CondBr { cond, if_true, if_false } = f.block(bid).term.clone() {
+            if let Some(Constant::Int { bits, .. }) = const_of(f, cond) {
+                let (target, dropped) = if bits & 1 == 1 {
+                    (if_true, if_false)
+                } else {
+                    (if_false, if_true)
+                };
+                f.block_mut(bid).term = Terminator::Br { target };
+                count += 1;
+                if dropped != target {
+                    prune_phi_edge(f, dropped, bid);
+                }
+            }
+        }
+    }
+    count
+}
+
+fn prune_phi_edge(f: &mut Function, block: BlockId, from: BlockId) {
+    for inst in &mut f.block_mut(block).insts {
+        if let Op::Phi { incomings } = &mut inst.op {
+            incomings.retain(|(p, _)| *p != from);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::interp::{run, InterpConfig};
+    use crate::verify_module;
+
+    #[test]
+    fn folds_arithmetic_chains() {
+        let mut b = FunctionBuilder::new("k", vec![Type::I32], Type::I32);
+        let x = b.param(0);
+        let two = b.const_int(Type::I32, 2);
+        let three = b.const_int(Type::I32, 3);
+        let six = b.mul(two, three); // foldable
+        let r = b.add(x, six); // not foldable
+        b.ret(Some(r));
+        let mut f = b.finish();
+        let stats = optimize_function(&mut f);
+        assert_eq!(stats.folded, 1);
+        assert_eq!(stats.dce_removed, 1, "folded mul removed");
+        assert_eq!(f.num_insts(), 1, "only the add remains");
+    }
+
+    #[test]
+    fn dce_keeps_stores_and_calls() {
+        let mut m = Module::new("m");
+        let mut g = FunctionBuilder::new("g", vec![], Type::Void);
+        g.ret(None);
+        let gid = m.add_function(g.finish());
+        let mut b = FunctionBuilder::new("k", vec![Type::ptr(Type::I32)], Type::Void);
+        let p = b.param(0);
+        let one = b.const_int(Type::I32, 1);
+        let dead = b.add(one, one);
+        let _ = dead;
+        b.store(p, one);
+        b.call(gid, vec![], Type::Void);
+        b.ret(None);
+        let mut f = b.finish();
+        let removed = eliminate_dead_code(&mut f);
+        assert_eq!(removed, 1);
+        assert_eq!(f.num_insts(), 2, "store and call survive");
+        m.add_function(f);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn dead_load_removed() {
+        let mut b = FunctionBuilder::new("k", vec![Type::ptr(Type::I32)], Type::Void);
+        let p = b.param(0);
+        let _v = b.load(p);
+        b.ret(None);
+        let mut f = b.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 1);
+        assert_eq!(f.num_insts(), 0);
+    }
+
+    #[test]
+    fn constant_branch_becomes_unconditional() {
+        let mut b = FunctionBuilder::new("k", vec![], Type::I32);
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let cond = b.const_bool(true);
+        b.cond_br(cond, t, e);
+        b.switch_to(t);
+        let one = b.const_int(Type::I32, 1);
+        b.ret(Some(one));
+        b.switch_to(e);
+        let two = b.const_int(Type::I32, 2);
+        b.ret(Some(two));
+        let mut f = b.finish();
+        let n = simplify_branches(&mut f);
+        assert_eq!(n, 1);
+        assert!(matches!(f.block(f.entry()).term, Terminator::Br { .. }));
+    }
+
+    #[test]
+    fn optimization_preserves_semantics_on_lang_output() {
+        let src_like = {
+            // hand-build something with foldable subexpressions and a
+            // constant select, mirroring front-end output
+            let mut b = FunctionBuilder::new("k", vec![Type::I64], Type::I64);
+            let x = b.param(0);
+            let two = b.const_int(Type::I64, 2);
+            let four = b.const_int(Type::I64, 4);
+            let eight = b.mul(two, four);
+            let c = b.icmp(CmpPred::Slt, two, four);
+            let sel = b.select(c, eight, two);
+            let r = b.add(x, sel);
+            b.ret(Some(r));
+            b.finish()
+        };
+        let mut m = Module::new("m");
+        let f = m.add_function(src_like);
+        let mut mem = Vec::new();
+        let before = run(&m, f, &[Val::Int(5)], &mut mem, &InterpConfig::default())
+            .unwrap()
+            .ret;
+        let stats = optimize_module(&mut m);
+        assert!(stats.folded >= 3);
+        verify_module(&m).unwrap();
+        let after = run(&m, f, &[Val::Int(5)], &mut mem, &InterpConfig::default())
+            .unwrap()
+            .ret;
+        assert_eq!(before, after);
+        assert_eq!(after, Some(Val::Int(13)));
+        // Everything folded: only the final add remains.
+        assert_eq!(m.function(f).num_insts(), 1);
+    }
+
+    #[test]
+    fn detaches_never_touched() {
+        let mut b = FunctionBuilder::new("k", vec![Type::ptr(Type::I32)], Type::Void);
+        let task = b.create_block("task");
+        let cont = b.create_block("cont");
+        let done = b.create_block("done");
+        let p = b.param(0);
+        b.detach(task, cont);
+        b.switch_to(task);
+        let one = b.const_int(Type::I32, 1);
+        let two = b.const_int(Type::I32, 2);
+        let three = b.add(one, two);
+        b.store(p, three);
+        b.reattach(cont);
+        b.switch_to(cont);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        optimize_module(&mut m);
+        verify_module(&m).unwrap();
+        let func = m.function(f);
+        assert!(func
+            .block_ids()
+            .any(|b| matches!(func.block(b).term, Terminator::Detach { .. })));
+        let mut mem = vec![0u8; 4];
+        run(&m, f, &[Val::Int(0)], &mut mem, &InterpConfig::default()).unwrap();
+        assert_eq!(mem[0], 3);
+    }
+}

@@ -1,0 +1,237 @@
+//! Textual printing of IR modules, in an LLVM-flavoured syntax with the
+//! Tapir terminators spelled `detach`, `reattach` and `sync`.
+
+use crate::core::*;
+use std::fmt::Write;
+
+/// Render a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "; module {}", m.name);
+    for (_, f) in m.functions() {
+        s.push('\n');
+        s.push_str(&print_function(f, m));
+    }
+    s
+}
+
+/// Render one function.
+pub fn print_function(f: &Function, m: &Module) -> String {
+    let mut s = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{t} %{i}"))
+        .collect();
+    let _ = writeln!(s, "define {} @{}({}) {{", f.ret_ty, f.name, params.join(", "));
+    for b in f.block_ids() {
+        let blk = f.block(b);
+        let label = blk.name.clone().unwrap_or_default();
+        let _ = writeln!(s, "{b}: ; {label}");
+        for inst in &blk.insts {
+            let _ = writeln!(s, "  {}", print_inst(inst, f, m));
+        }
+        let _ = writeln!(s, "  {}", print_term(&blk.term, f));
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn val(f: &Function, v: ValueId) -> String {
+    match &f.value(v).def {
+        ValueDef::Const(c) => match c {
+            Constant::Int { bits, ty } => {
+                format!("{ty} {}", *bits as i64)
+            }
+            Constant::F32(x) => format!("f32 {x}"),
+            Constant::F64(x) => format!("f64 {x}"),
+            Constant::NullPtr(ty) => format!("{ty} null"),
+        },
+        _ => format!("{v}"),
+    }
+}
+
+fn print_inst(inst: &Inst, f: &Function, m: &Module) -> String {
+    let lhs = inst
+        .result
+        .map(|r| format!("{r} = "))
+        .unwrap_or_default();
+    let body = match &inst.op {
+        Op::Bin { op, lhs, rhs } => {
+            format!("{} {}, {}", bin_name(*op), val(f, *lhs), val(f, *rhs))
+        }
+        Op::FBin { op, lhs, rhs } => {
+            let name = match op {
+                FBinOp::FAdd => "fadd",
+                FBinOp::FSub => "fsub",
+                FBinOp::FMul => "fmul",
+                FBinOp::FDiv => "fdiv",
+            };
+            format!("{name} {}, {}", val(f, *lhs), val(f, *rhs))
+        }
+        Op::Cmp { pred, lhs, rhs } => {
+            format!("icmp {} {}, {}", cmp_name(*pred), val(f, *lhs), val(f, *rhs))
+        }
+        Op::FCmp { pred, lhs, rhs } => {
+            let name = match pred {
+                FCmpPred::Oeq => "oeq",
+                FCmpPred::One => "one",
+                FCmpPred::Olt => "olt",
+                FCmpPred::Ole => "ole",
+                FCmpPred::Ogt => "ogt",
+                FCmpPred::Oge => "oge",
+            };
+            format!("fcmp {name} {}, {}", val(f, *lhs), val(f, *rhs))
+        }
+        Op::Select { cond, if_true, if_false } => format!(
+            "select {}, {}, {}",
+            val(f, *cond),
+            val(f, *if_true),
+            val(f, *if_false)
+        ),
+        Op::Cast { kind, value, to } => {
+            let name = match kind {
+                CastKind::ZExt => "zext",
+                CastKind::SExt => "sext",
+                CastKind::Trunc => "trunc",
+                CastKind::SiToFp => "sitofp",
+                CastKind::FpToSi => "fptosi",
+                CastKind::PtrCast => "ptrcast",
+                CastKind::PtrToInt => "ptrtoint",
+                CastKind::IntToPtr => "inttoptr",
+                CastKind::FpExt => "fpext",
+                CastKind::FpTrunc => "fptrunc",
+            };
+            format!("{name} {} to {to}", val(f, *value))
+        }
+        Op::Gep { base, indices } => {
+            let mut s = format!("gep {}", val(f, *base));
+            for ix in indices {
+                match ix {
+                    GepIndex::Value(v) => {
+                        let _ = write!(s, ", {}", val(f, *v));
+                    }
+                    GepIndex::Const(k) => {
+                        let _ = write!(s, ", #{k}");
+                    }
+                }
+            }
+            s
+        }
+        Op::Load { ptr } => format!("load {}", val(f, *ptr)),
+        Op::Store { ptr, value } => format!("store {}, {}", val(f, *value), val(f, *ptr)),
+        Op::Call { callee, args } => {
+            let g = m.function(*callee);
+            let a: Vec<String> = args.iter().map(|v| val(f, *v)).collect();
+            format!("call {} @{}({})", g.ret_ty, g.name, a.join(", "))
+        }
+        Op::Phi { incomings } => {
+            let ty = inst
+                .result
+                .map(|r| f.value_ty(r).to_string())
+                .unwrap_or_else(|| "void".to_string());
+            let a: Vec<String> = incomings
+                .iter()
+                .map(|(b, v)| format!("[{b}, {}]", val(f, *v)))
+                .collect();
+            format!("phi {ty} {}", a.join(", "))
+        }
+    };
+    format!("{lhs}{body}")
+}
+
+fn print_term(t: &Terminator, f: &Function) -> String {
+    match t {
+        Terminator::Br { target } => format!("br {target}"),
+        Terminator::CondBr { cond, if_true, if_false } => {
+            format!("br {}, {if_true}, {if_false}", val(f, *cond))
+        }
+        Terminator::Ret { value: Some(v) } => format!("ret {}", val(f, *v)),
+        Terminator::Ret { value: None } => "ret void".to_string(),
+        Terminator::Detach { task, cont } => format!("detach task {task}, cont {cont}"),
+        Terminator::Reattach { cont } => format!("reattach {cont}"),
+        Terminator::Sync { cont } => format!("sync {cont}"),
+        Terminator::Unreachable => "unreachable".to_string(),
+    }
+}
+
+fn bin_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::SDiv => "sdiv",
+        BinOp::UDiv => "udiv",
+        BinOp::SRem => "srem",
+        BinOp::URem => "urem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::LShr => "lshr",
+        BinOp::AShr => "ashr",
+    }
+}
+
+fn cmp_name(pred: CmpPred) -> &'static str {
+    match pred {
+        CmpPred::Eq => "eq",
+        CmpPred::Ne => "ne",
+        CmpPred::Slt => "slt",
+        CmpPred::Sle => "sle",
+        CmpPred::Sgt => "sgt",
+        CmpPred::Sge => "sge",
+        CmpPred::Ult => "ult",
+        CmpPred::Ule => "ule",
+        CmpPred::Ugt => "ugt",
+        CmpPred::Uge => "uge",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_tapir_terminators() {
+        let mut b = FunctionBuilder::new("spawner", vec![], Type::Void);
+        let task = b.create_block("task");
+        let cont = b.create_block("cont");
+        let done = b.create_block("done");
+        b.detach(task, cont);
+        b.switch_to(task);
+        b.reattach(cont);
+        b.switch_to(cont);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        let mut m = Module::new("test");
+        m.add_function(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("detach task bb1, cont bb2"));
+        assert!(text.contains("reattach bb2"));
+        assert!(text.contains("sync bb3"));
+    }
+
+    #[test]
+    fn prints_arith_and_memory() {
+        let mut b = FunctionBuilder::new("k", vec![Type::ptr(Type::I32)], Type::I32);
+        let p = b.param(0);
+        let i = b.const_int(Type::I64, 3);
+        let q = b.gep_index(p, i);
+        let x = b.load(q);
+        let y = b.add(x, x);
+        b.store(q, y);
+        b.ret(Some(y));
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("gep %0, i64 3"));
+        assert!(text.contains("load"));
+        assert!(text.contains("store"));
+        assert!(text.contains("add"));
+    }
+}

@@ -1,0 +1,742 @@
+//! Parsing of the textual IR form produced by [`crate::printer`].
+//!
+//! Together with the printer this gives the IR a durable on-disk format:
+//! `parse_module(print_module(m))` yields a semantically identical module,
+//! and the printed form reaches a fixed point after one round trip (value
+//! numbering normalizes). Useful for golden files, debugging dumps and
+//! fuzzing the verifier.
+
+use crate::builder::FunctionBuilder;
+use crate::core::*;
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// A parse failure, with the offending line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+/// Parse a module printed by [`crate::printer::print_module`].
+///
+/// # Errors
+///
+/// Returns a [`TextError`] pointing at the first malformed line.
+///
+/// # Examples
+///
+/// ```
+/// use tapas_ir::{printer, text, FunctionBuilder, Module, Type};
+///
+/// let mut b = FunctionBuilder::new("id", vec![Type::I32], Type::I32);
+/// let x = b.param(0);
+/// b.ret(Some(x));
+/// let mut m = Module::new("demo");
+/// m.add_function(b.finish());
+///
+/// let text1 = printer::print_module(&m);
+/// let m2 = text::parse_module(&text1).unwrap();
+/// assert_eq!(printer::print_module(&m2), text1);
+/// ```
+pub fn parse_module(src: &str) -> Result<Module, TextError> {
+    let mut lines = src.lines().enumerate().peekable();
+    let mut name = "parsed".to_string();
+    // Pre-scan for function names so calls resolve (including forward and
+    // self references).
+    let mut fnames: Vec<String> = Vec::new();
+    for l in src.lines() {
+        let t = l.trim();
+        if let Some(rest) = t.strip_prefix("define ") {
+            let at = rest
+                .find('@')
+                .ok_or_else(|| TextError { line: 0, message: "missing @name".into() })?;
+            let after = &rest[at + 1..];
+            let paren = after.find('(').unwrap_or(after.len());
+            fnames.push(after[..paren].to_string());
+        }
+    }
+    let fids: HashMap<String, FuncId> = fnames
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), FuncId(i as u32)))
+        .collect();
+
+    let mut module = Module::new("parsed");
+    while let Some((ln, line)) = lines.next() {
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("; module ") {
+            name = rest.trim().to_string();
+            continue;
+        }
+        if t.starts_with("define ") {
+            let mut body = Vec::new();
+            for (bln, bline) in lines.by_ref() {
+                if bline.trim() == "}" {
+                    break;
+                }
+                body.push((bln, bline));
+            }
+            let func = parse_function(ln, t, &body, &fids)?;
+            module.add_function(func);
+        } else if t.starts_with(';') {
+            continue;
+        } else {
+            return Err(TextError {
+                line: ln + 1,
+                message: format!("unexpected top-level line: {t}"),
+            });
+        }
+    }
+    module.name = name;
+    Ok(module)
+}
+
+struct FnParser<'a> {
+    b: FunctionBuilder,
+    values: HashMap<String, ValueId>,
+    fids: &'a HashMap<String, FuncId>,
+    blocks: HashMap<String, BlockId>,
+    /// (phi value, incoming block, textual operand) to resolve at the end.
+    phi_fixups: Vec<(ValueId, BlockId, String)>,
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TextError> {
+    Err(TextError { line: line + 1, message: message.into() })
+}
+
+fn parse_function(
+    hdr_line: usize,
+    header: &str,
+    body: &[(usize, &str)],
+    fids: &HashMap<String, FuncId>,
+) -> Result<Function, TextError> {
+    // define <ty> @name(<ty> %0, <ty> %1) {
+    let rest = header.strip_prefix("define ").unwrap();
+    let at = rest
+        .find('@')
+        .ok_or_else(|| TextError { line: hdr_line + 1, message: "missing @name".into() })?;
+    let ret_ty = parse_type(hdr_line, rest[..at].trim())?;
+    let after = &rest[at + 1..];
+    let paren = after
+        .find('(')
+        .ok_or_else(|| TextError { line: hdr_line + 1, message: "missing (".into() })?;
+    let fname = &after[..paren];
+    let close = after
+        .rfind(')')
+        .ok_or_else(|| TextError { line: hdr_line + 1, message: "missing )".into() })?;
+    let params_src = &after[paren + 1..close];
+    let mut params = Vec::new();
+    let mut param_names = Vec::new();
+    for part in split_args(params_src) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let sp = part
+            .rfind(' ')
+            .ok_or_else(|| TextError { line: hdr_line + 1, message: "bad parameter".into() })?;
+        params.push(parse_type(hdr_line, part[..sp].trim())?);
+        param_names.push(part[sp + 1..].trim().to_string());
+    }
+
+    let b = FunctionBuilder::new(fname, params, ret_ty);
+    let mut p = FnParser {
+        values: param_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), ValueId(i as u32)))
+            .collect(),
+        b,
+        fids,
+        blocks: HashMap::new(),
+        phi_fixups: Vec::new(),
+    };
+
+    // Pre-create blocks in textual order. bb0 is the builder's entry.
+    for (ln, line) in body {
+        let t = line.trim();
+        if let Some(colon) = t.find(':') {
+            if t.starts_with("bb") && t[2..colon].chars().all(|c| c.is_ascii_digit()) {
+                let label = &t[..colon];
+                let comment = t[colon + 1..].trim_start_matches(" ;").trim().to_string();
+                if p.blocks.is_empty() {
+                    p.blocks.insert(label.to_string(), p.b.current_block());
+                } else {
+                    let id = p.b.create_block(&comment);
+                    p.blocks.insert(label.to_string(), id);
+                }
+                let _ = ln;
+            }
+        }
+    }
+
+    // Parse instructions.
+    for (ln, line) in body {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with(';') {
+            continue;
+        }
+        if let Some(colon) = t.find(':') {
+            if t.starts_with("bb") && t[2..colon].chars().all(|c| c.is_ascii_digit()) {
+                let id = p.blocks[&t[..colon]];
+                p.b.switch_to(id);
+                continue;
+            }
+        }
+        p.parse_line(*ln, t)?;
+    }
+
+    // Resolve deferred phi incomings.
+    let fixups = std::mem::take(&mut p.phi_fixups);
+    for (phi, block, operand) in fixups {
+        let v = p.operand(hdr_line, &operand)?;
+        p.b.add_phi_incoming(phi, block, v);
+    }
+    Ok(p.b.finish())
+}
+
+/// Split a comma-separated list, respecting nesting in `[]`, `{}`, `()`.
+fn split_args(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for ch in s.chars() {
+        match ch {
+            '[' | '{' | '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ']' | '}' | ')' => {
+                depth -= 1;
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_type(line: usize, s: &str) -> Result<Type, TextError> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_suffix('*') {
+        return Ok(Type::ptr(parse_type(line, inner)?));
+    }
+    if let Some(inner) = s.strip_prefix('[').and_then(|x| x.strip_suffix(']')) {
+        let x = inner
+            .split_once(" x ")
+            .ok_or_else(|| TextError { line: line + 1, message: format!("bad array {s}") })?;
+        let n: u64 = x.0.trim().parse().map_err(|_| TextError {
+            line: line + 1,
+            message: format!("bad array length {s}"),
+        })?;
+        return Ok(Type::array(parse_type(line, x.1)?, n));
+    }
+    if let Some(inner) = s.strip_prefix('{').and_then(|x| x.strip_suffix('}')) {
+        let fields: Result<Vec<Type>, _> = split_args(inner)
+            .iter()
+            .map(|f| parse_type(line, f))
+            .collect();
+        return Ok(Type::Struct(fields?));
+    }
+    match s {
+        "void" => Ok(Type::Void),
+        "i1" => Ok(Type::BOOL),
+        "i8" => Ok(Type::I8),
+        "i16" => Ok(Type::I16),
+        "i32" => Ok(Type::I32),
+        "i64" => Ok(Type::I64),
+        "f32" => Ok(Type::F32),
+        "f64" => Ok(Type::F64),
+        other => err(line, format!("unknown type `{other}`")),
+    }
+}
+
+impl<'a> FnParser<'a> {
+    /// Parse an operand: `%N`, or an inline constant `<ty> <lit>`.
+    fn operand(&mut self, line: usize, s: &str) -> Result<ValueId, TextError> {
+        let s = s.trim();
+        if s.starts_with('%') {
+            return self
+                .values
+                .get(s)
+                .copied()
+                .ok_or_else(|| TextError {
+                    line: line + 1,
+                    message: format!("unknown value {s}"),
+                });
+        }
+        let (ty_s, lit) = s.rsplit_once(' ').ok_or_else(|| TextError {
+            line: line + 1,
+            message: format!("bad operand `{s}`"),
+        })?;
+        let ty = parse_type(line, ty_s)?;
+        match (&ty, lit.trim()) {
+            (Type::Ptr(_), "null") => Ok(self.b.const_null(ty)),
+            (Type::F32, l) => {
+                let v: f32 = l.parse().map_err(|_| TextError {
+                    line: line + 1,
+                    message: format!("bad f32 `{l}`"),
+                })?;
+                Ok(self.b.const_f32(v))
+            }
+            (Type::F64, l) => {
+                let v: f64 = l.parse().map_err(|_| TextError {
+                    line: line + 1,
+                    message: format!("bad f64 `{l}`"),
+                })?;
+                Ok(self.b.const_f64(v))
+            }
+            (Type::Int(_), l) => {
+                let v: i64 = l.parse().map_err(|_| TextError {
+                    line: line + 1,
+                    message: format!("bad int `{l}`"),
+                })?;
+                Ok(self.b.const_int(ty, v))
+            }
+            _ => err(line, format!("bad operand `{s}`")),
+        }
+    }
+
+    fn block_ref(&self, line: usize, s: &str) -> Result<BlockId, TextError> {
+        self.blocks.get(s.trim()).copied().ok_or_else(|| TextError {
+            line: line + 1,
+            message: format!("unknown block `{s}`"),
+        })
+    }
+
+    fn parse_line(&mut self, ln: usize, t: &str) -> Result<(), TextError> {
+        // `%N = <op> ...` or a resultless op / terminator.
+        if let Some((lhs, rhs)) = t.split_once(" = ") {
+            let result_name = lhs.trim().to_string();
+            let v = self.parse_op(ln, rhs.trim())?;
+            match v {
+                Some(v) => {
+                    self.values.insert(result_name, v);
+                    Ok(())
+                }
+                None => err(ln, "instruction produced no value"),
+            }
+        } else {
+            self.parse_resultless(ln, t)
+        }
+    }
+
+    fn parse_op(&mut self, ln: usize, t: &str) -> Result<Option<ValueId>, TextError> {
+        let (head, rest) = t.split_once(' ').unwrap_or((t, ""));
+        let bin = |op: BinOp| Some(op);
+        let binop = match head {
+            "add" => bin(BinOp::Add),
+            "sub" => bin(BinOp::Sub),
+            "mul" => bin(BinOp::Mul),
+            "sdiv" => bin(BinOp::SDiv),
+            "udiv" => bin(BinOp::UDiv),
+            "srem" => bin(BinOp::SRem),
+            "urem" => bin(BinOp::URem),
+            "and" => bin(BinOp::And),
+            "or" => bin(BinOp::Or),
+            "xor" => bin(BinOp::Xor),
+            "shl" => bin(BinOp::Shl),
+            "lshr" => bin(BinOp::LShr),
+            "ashr" => bin(BinOp::AShr),
+            _ => None,
+        };
+        if let Some(op) = binop {
+            let args = split_args(rest);
+            if args.len() != 2 {
+                return err(ln, format!("{head} expects 2 operands"));
+            }
+            let l = self.operand(ln, &args[0])?;
+            let r = self.operand(ln, &args[1])?;
+            return Ok(Some(self.b.bin(op, l, r)));
+        }
+        let fbin = match head {
+            "fadd" => Some(FBinOp::FAdd),
+            "fsub" => Some(FBinOp::FSub),
+            "fmul" => Some(FBinOp::FMul),
+            "fdiv" => Some(FBinOp::FDiv),
+            _ => None,
+        };
+        if let Some(op) = fbin {
+            let args = split_args(rest);
+            let l = self.operand(ln, &args[0])?;
+            let r = self.operand(ln, &args[1])?;
+            return Ok(Some(self.b.fbin(op, l, r)));
+        }
+        match head {
+            "icmp" => {
+                let (pred_s, args_s) = rest.split_once(' ').ok_or_else(|| TextError {
+                    line: ln + 1,
+                    message: "icmp needs predicate".into(),
+                })?;
+                let pred = match pred_s {
+                    "eq" => CmpPred::Eq,
+                    "ne" => CmpPred::Ne,
+                    "slt" => CmpPred::Slt,
+                    "sle" => CmpPred::Sle,
+                    "sgt" => CmpPred::Sgt,
+                    "sge" => CmpPred::Sge,
+                    "ult" => CmpPred::Ult,
+                    "ule" => CmpPred::Ule,
+                    "ugt" => CmpPred::Ugt,
+                    "uge" => CmpPred::Uge,
+                    other => return err(ln, format!("bad predicate {other}")),
+                };
+                let args = split_args(args_s);
+                let l = self.operand(ln, &args[0])?;
+                let r = self.operand(ln, &args[1])?;
+                Ok(Some(self.b.icmp(pred, l, r)))
+            }
+            "fcmp" => {
+                let (pred_s, args_s) = rest.split_once(' ').ok_or_else(|| TextError {
+                    line: ln + 1,
+                    message: "fcmp needs predicate".into(),
+                })?;
+                let pred = match pred_s {
+                    "oeq" => FCmpPred::Oeq,
+                    "one" => FCmpPred::One,
+                    "olt" => FCmpPred::Olt,
+                    "ole" => FCmpPred::Ole,
+                    "ogt" => FCmpPred::Ogt,
+                    "oge" => FCmpPred::Oge,
+                    other => return err(ln, format!("bad predicate {other}")),
+                };
+                let args = split_args(args_s);
+                let l = self.operand(ln, &args[0])?;
+                let r = self.operand(ln, &args[1])?;
+                Ok(Some(self.b.fcmp(pred, l, r)))
+            }
+            "select" => {
+                let args = split_args(rest);
+                let c = self.operand(ln, &args[0])?;
+                let a = self.operand(ln, &args[1])?;
+                let b2 = self.operand(ln, &args[2])?;
+                Ok(Some(self.b.select(c, a, b2)))
+            }
+            "zext" | "sext" | "trunc" | "sitofp" | "fptosi" | "ptrcast" | "ptrtoint"
+            | "inttoptr" | "fpext" | "fptrunc" => {
+                let kind = match head {
+                    "zext" => CastKind::ZExt,
+                    "sext" => CastKind::SExt,
+                    "trunc" => CastKind::Trunc,
+                    "sitofp" => CastKind::SiToFp,
+                    "fptosi" => CastKind::FpToSi,
+                    "ptrcast" => CastKind::PtrCast,
+                    "ptrtoint" => CastKind::PtrToInt,
+                    "inttoptr" => CastKind::IntToPtr,
+                    "fpext" => CastKind::FpExt,
+                    _ => CastKind::FpTrunc,
+                };
+                let (val_s, ty_s) = rest.rsplit_once(" to ").ok_or_else(|| TextError {
+                    line: ln + 1,
+                    message: "cast needs `to <ty>`".into(),
+                })?;
+                let v = self.operand(ln, val_s)?;
+                let ty = parse_type(ln, ty_s)?;
+                Ok(Some(self.b.cast(kind, v, ty)))
+            }
+            "gep" => {
+                let args = split_args(rest);
+                let base = self.operand(ln, &args[0])?;
+                let mut indices = Vec::new();
+                for a in &args[1..] {
+                    let a = a.trim();
+                    if let Some(k) = a.strip_prefix('#') {
+                        let k: u64 = k.parse().map_err(|_| TextError {
+                            line: ln + 1,
+                            message: format!("bad gep index {a}"),
+                        })?;
+                        indices.push(GepIndex::Const(k));
+                    } else {
+                        indices.push(GepIndex::Value(self.operand(ln, a)?));
+                    }
+                }
+                Ok(Some(self.b.gep(base, indices)))
+            }
+            "load" => Ok(Some({
+                let p = self.operand(ln, rest)?;
+                self.b.load(p)
+            })),
+            "call" => {
+                // call <ret-ty> @name(args)
+                let (ty_s, after) = rest.split_once(" @").ok_or_else(|| TextError {
+                    line: ln + 1,
+                    message: "call needs @name".into(),
+                })?;
+                let ret_ty = parse_type(ln, ty_s)?;
+                let paren = after.find('(').ok_or_else(|| TextError {
+                    line: ln + 1,
+                    message: "call needs (".into(),
+                })?;
+                let fname = &after[..paren];
+                let close = after.rfind(')').unwrap_or(after.len());
+                let args_s = &after[paren + 1..close];
+                let fid = *self.fids.get(fname).ok_or_else(|| TextError {
+                    line: ln + 1,
+                    message: format!("unknown function @{fname}"),
+                })?;
+                let mut args = Vec::new();
+                for a in split_args(args_s) {
+                    args.push(self.operand(ln, &a)?);
+                }
+                Ok(self.b.call(fid, args, ret_ty))
+            }
+            "phi" => {
+                // phi <ty> [bbN, op], [bbM, op]
+                let (ty_s, rest2) = rest.split_once(' ').ok_or_else(|| TextError {
+                    line: ln + 1,
+                    message: "phi needs a type".into(),
+                })?;
+                let ty = parse_type(ln, ty_s)?;
+                let phi = self.b.phi(ty, vec![]);
+                for arm in split_args(rest2) {
+                    let arm = arm.trim();
+                    let inner = arm
+                        .strip_prefix('[')
+                        .and_then(|x| x.strip_suffix(']'))
+                        .ok_or_else(|| TextError {
+                            line: ln + 1,
+                            message: format!("bad phi arm {arm}"),
+                        })?;
+                    let (blk_s, val_s) = inner.split_once(',').ok_or_else(|| TextError {
+                        line: ln + 1,
+                        message: format!("bad phi arm {arm}"),
+                    })?;
+                    let blk = self.block_ref(ln, blk_s)?;
+                    // Defer: the value may be defined later (loop phis).
+                    self.phi_fixups.push((phi, blk, val_s.trim().to_string()));
+                }
+                Ok(Some(phi))
+            }
+            other => err(ln, format!("unknown instruction `{other}`")),
+        }
+    }
+
+    fn parse_resultless(&mut self, ln: usize, t: &str) -> Result<(), TextError> {
+        let (head, rest) = t.split_once(' ').unwrap_or((t, ""));
+        match head {
+            "store" => {
+                // store <value>, <ptr>
+                let args = split_args(rest);
+                if args.len() != 2 {
+                    return err(ln, "store expects value, ptr");
+                }
+                let v = self.operand(ln, &args[0])?;
+                let p = self.operand(ln, &args[1])?;
+                self.b.store(p, v);
+                Ok(())
+            }
+            "call" => {
+                let v = self.parse_op(ln, t)?;
+                let _ = v;
+                Ok(())
+            }
+            "br" => {
+                let args = split_args(rest);
+                match args.len() {
+                    1 => {
+                        let tgt = self.block_ref(ln, &args[0])?;
+                        self.b.br(tgt);
+                        Ok(())
+                    }
+                    3 => {
+                        let c = self.operand(ln, &args[0])?;
+                        let tt = self.block_ref(ln, &args[1])?;
+                        let ff = self.block_ref(ln, &args[2])?;
+                        self.b.cond_br(c, tt, ff);
+                        Ok(())
+                    }
+                    _ => err(ln, "br expects 1 or 3 operands"),
+                }
+            }
+            "ret" => {
+                if rest.trim() == "void" {
+                    self.b.ret(None);
+                } else {
+                    let v = self.operand(ln, rest)?;
+                    self.b.ret(Some(v));
+                }
+                Ok(())
+            }
+            "detach" => {
+                // detach task bbN, cont bbM
+                let args = split_args(rest);
+                let task = self.block_ref(ln, args[0].trim().trim_start_matches("task "))?;
+                let cont = self.block_ref(ln, args[1].trim().trim_start_matches("cont "))?;
+                self.b.detach(task, cont);
+                Ok(())
+            }
+            "reattach" => {
+                let c = self.block_ref(ln, rest)?;
+                self.b.reattach(c);
+                Ok(())
+            }
+            "sync" => {
+                let c = self.block_ref(ln, rest)?;
+                self.b.sync(c);
+                Ok(())
+            }
+            "unreachable" => Ok(()),
+            other => err(ln, format!("unknown statement `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run, InterpConfig, Val};
+    use crate::printer::print_module;
+    use crate::verify_module;
+
+    fn sample_module() -> Module {
+        let mut b = FunctionBuilder::new(
+            "kernel",
+            vec![Type::ptr(Type::I32), Type::I64],
+            Type::I32,
+        );
+        let header = b.create_block("header");
+        let spawn = b.create_block("spawn");
+        let task = b.create_block("task");
+        let latch = b.create_block("latch");
+        let exit = b.create_block("exit");
+        let done = b.create_block("done");
+        let (a, n) = (b.param(0), b.param(1));
+        let zero = b.const_int(Type::I64, 0);
+        let one = b.const_int(Type::I64, 1);
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, zero)]);
+        let c = b.icmp(CmpPred::Slt, i, n);
+        b.cond_br(c, spawn, exit);
+        b.switch_to(spawn);
+        b.detach(task, latch);
+        b.switch_to(task);
+        let p = b.gep_index(a, i);
+        let v = b.load(p);
+        let one32 = b.const_int(Type::I32, 1);
+        let v2 = b.add(v, one32);
+        b.store(p, v2);
+        b.reattach(latch);
+        b.switch_to(latch);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, latch, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.sync(done);
+        b.switch_to(done);
+        let r = b.trunc(n, Type::I32);
+        b.ret(Some(r));
+        let mut m = Module::new("m");
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn roundtrip_reaches_fixed_point() {
+        let m = sample_module();
+        let t1 = print_module(&m);
+        let m2 = parse_module(&t1).expect("parses");
+        verify_module(&m2).unwrap();
+        let t2 = print_module(&m2);
+        let m3 = parse_module(&t2).expect("reparses");
+        let t3 = print_module(&m3);
+        assert_eq!(t2, t3, "printed form is a fixed point after one trip");
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        let m = sample_module();
+        let m2 = parse_module(&print_module(&m)).unwrap();
+        let f1 = m.function_by_name("kernel").unwrap();
+        let f2 = m2.function_by_name("kernel").unwrap();
+        let mut mem1 = vec![0u8; 32];
+        let mut mem2 = vec![0u8; 32];
+        let args = [Val::Int(0), Val::Int(8)];
+        let o1 = run(&m, f1, &args, &mut mem1, &InterpConfig::default()).unwrap();
+        let o2 = run(&m2, f2, &args, &mut mem2, &InterpConfig::default()).unwrap();
+        assert_eq!(o1.ret, o2.ret);
+        assert_eq!(mem1, mem2);
+        assert_eq!(o1.stats.spawns, o2.stats.spawns);
+    }
+
+    #[test]
+    fn roundtrips_every_workload_shape() {
+        // The printer/parser must handle everything the toolchain emits;
+        // exercise the trickier type syntax too.
+        let st = Type::Struct(vec![Type::I8, Type::array(Type::F32, 4)]);
+        let mut b = FunctionBuilder::new("s", vec![Type::ptr(st)], Type::F32);
+        let p = b.param(0);
+        let fp = b.gep(
+            p,
+            vec![GepIndex::Const(0), GepIndex::Const(1), GepIndex::Const(2)],
+        );
+        let v = b.load(fp);
+        let two = b.const_f32(2.5);
+        let r = b.fbin(FBinOp::FMul, v, two);
+        b.ret(Some(r));
+        let mut m = Module::new("m");
+        m.add_function(b.finish());
+        let t1 = print_module(&m);
+        let m2 = parse_module(&t1).unwrap();
+        verify_module(&m2).unwrap();
+        assert!(print_module(&m2).contains("{i8, [4 x f32]}*"));
+    }
+
+    #[test]
+    fn parses_calls_and_recursion() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let x = b.param(0);
+        let r = b.call(FuncId(0), vec![x], Type::I32).unwrap();
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        let m2 = parse_module(&print_module(&m)).unwrap();
+        let text = print_module(&m2);
+        assert!(text.contains("call i32 @f("));
+    }
+
+    #[test]
+    fn reports_error_with_line() {
+        let src = "; module m\n\ndefine i32 @f(i32 %0) {\nbb0: ; entry\n  %1 = bogus %0\n  ret %1\n}\n";
+        let e = parse_module(src).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn negative_and_float_constants() {
+        let mut b = FunctionBuilder::new("c", vec![], Type::F64);
+        let k = b.const_int(Type::I64, -42);
+        let f = b.const_f64(-2.75);
+        let fi = b.cast(CastKind::SiToFp, k, Type::F64);
+        let s = b.fbin(FBinOp::FAdd, fi, f);
+        b.ret(Some(s));
+        let mut m = Module::new("m");
+        let fid = m.add_function(b.finish());
+        let m2 = parse_module(&print_module(&m)).unwrap();
+        let mut mem = Vec::new();
+        let o = run(&m2, fid, &[], &mut mem, &InterpConfig::default()).unwrap();
+        assert_eq!(o.ret, Some(Val::F64(-44.75)));
+    }
+}

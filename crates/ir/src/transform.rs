@@ -1,0 +1,210 @@
+//! IR transforms.
+//!
+//! [`elide_detaches`] implements the paper's §VI "Task controllers" future
+//! direction: for loops that do not profit from dynamic scheduling, the
+//! detach/reattach markers can be statically removed — serial elision —
+//! which eliminates the spawned task's controller and queue from the
+//! generated hardware. The transform rewrites
+//!
+//! ```text
+//! detach task, cont        =>   br task
+//! reattach cont            =>   br cont
+//! sync cont                =>   br cont     (when no detaches remain in
+//!                                            the enclosing region)
+//! ```
+//!
+//! which is semantics-preserving by construction (Tapir's serial elision
+//! property): the detached region already computes the same values in
+//! program order.
+
+use crate::analysis::Cfg;
+use crate::core::{BlockId, FuncId, Function, Module, Terminator};
+use crate::verify::detached_region;
+use std::collections::HashSet;
+
+/// Serially elide the detaches rooted at the given spawn sites (blocks
+/// whose terminator is a `detach`); pass `None` to elide **all** detaches
+/// in the function.
+///
+/// Syncs are rewritten to plain branches only when the function no longer
+/// contains any detach (a conservative, always-correct condition).
+///
+/// Returns the number of detaches elided.
+///
+/// # Panics
+///
+/// Panics if `func` is out of range.
+pub fn elide_detaches(
+    m: &mut Module,
+    func: FuncId,
+    sites: Option<&HashSet<BlockId>>,
+) -> usize {
+    let f = m.function_mut(func);
+    let mut count = 0;
+    for b in 0..f.num_blocks() as u32 {
+        let bid = BlockId(b);
+        let term = f.block(bid).term.clone();
+        if let Terminator::Detach { task, cont } = term {
+            if sites.map(|s| s.contains(&bid)).unwrap_or(true) {
+                rewrite_region(f, task, cont);
+                f.block_mut(bid).term = Terminator::Br { target: task };
+                count += 1;
+            }
+        }
+    }
+    // Rewrite syncs only when no detach remains anywhere.
+    let any_detach = f
+        .block_ids()
+        .any(|b| matches!(f.block(b).term, Terminator::Detach { .. }));
+    if !any_detach {
+        for b in f.block_ids().collect::<Vec<_>>() {
+            if let Terminator::Sync { cont } = f.block(b).term {
+                f.block_mut(b).term = Terminator::Br { target: cont };
+            }
+        }
+    }
+    count
+}
+
+fn rewrite_region(f: &mut Function, task: BlockId, cont: BlockId) {
+    let cfg = Cfg::compute(f);
+    let region = detached_region(f, &cfg, task, cont)
+        .expect("verified function has well-formed regions");
+    for b in region {
+        if let Terminator::Reattach { cont: rc } = f.block(b).term {
+            debug_assert_eq!(rc, cont);
+            f.block_mut(b).term = Terminator::Br { target: cont };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::interp::{run, InterpConfig, Val};
+    use crate::types::Type;
+    use crate::verify_module;
+
+    fn spawning_sum() -> (Module, FuncId) {
+        // parallel-for over a[0..n], a[i] += i
+        let mut b = FunctionBuilder::new(
+            "k",
+            vec![Type::ptr(Type::I64), Type::I64],
+            Type::Void,
+        );
+        let header = b.create_block("header");
+        let spawn = b.create_block("spawn");
+        let task = b.create_block("task");
+        let latch = b.create_block("latch");
+        let exit = b.create_block("exit");
+        let done = b.create_block("done");
+        let (a, n) = (b.param(0), b.param(1));
+        let zero = b.const_int(Type::I64, 0);
+        let one = b.const_int(Type::I64, 1);
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, zero)]);
+        let c = b.icmp(crate::CmpPred::Slt, i, n);
+        b.cond_br(c, spawn, exit);
+        b.switch_to(spawn);
+        b.detach(task, latch);
+        b.switch_to(task);
+        let p = b.gep_index(a, i);
+        let v = b.load(p);
+        let v2 = b.add(v, i);
+        b.store(p, v2);
+        b.reattach(latch);
+        b.switch_to(latch);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, latch, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        (m, f)
+    }
+
+    #[test]
+    fn elision_preserves_semantics() {
+        let (mut m, f) = spawning_sum();
+        let mut before = vec![0u8; 64];
+        run(&m, f, &[Val::Int(0), Val::Int(8)], &mut before, &InterpConfig::default())
+            .unwrap();
+
+        let n = elide_detaches(&mut m, f, None);
+        assert_eq!(n, 1);
+        verify_module(&m).unwrap();
+
+        let mut after = vec![0u8; 64];
+        let out =
+            run(&m, f, &[Val::Int(0), Val::Int(8)], &mut after, &InterpConfig::default())
+                .unwrap();
+        assert_eq!(before, after, "serial elision must not change results");
+        assert_eq!(out.stats.spawns, 0, "no dynamic tasks remain");
+        assert_eq!(out.stats.syncs, 0, "syncs became branches");
+    }
+
+    #[test]
+    fn elided_function_yields_single_task() {
+        let (mut m, f) = spawning_sum();
+        elide_detaches(&mut m, f, None);
+        // Downstream stage-1 sees one static task: no controllers.
+        let no_detach = m
+            .function(f)
+            .block_ids()
+            .all(|b| !matches!(m.function(f).block(b).term, Terminator::Detach { .. }));
+        assert!(no_detach);
+    }
+
+    #[test]
+    fn selective_elision_keeps_other_sites() {
+        // two independent spawns; elide only the first
+        let mut b = FunctionBuilder::new("two", vec![Type::ptr(Type::I32)], Type::Void);
+        let t1 = b.create_block("t1");
+        let c1 = b.create_block("c1");
+        let t2 = b.create_block("t2");
+        let c2 = b.create_block("c2");
+        let done = b.create_block("done");
+        let p = b.param(0);
+        let site1 = b.current_block();
+        b.detach(t1, c1);
+        b.switch_to(t1);
+        let one = b.const_int(Type::I32, 1);
+        b.store(p, one);
+        b.reattach(c1);
+        b.switch_to(c1);
+        b.detach(t2, c2);
+        b.switch_to(t2);
+        let two = b.const_int(Type::I32, 2);
+        b.store(p, two);
+        b.reattach(c2);
+        b.switch_to(c2);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+
+        let sites: HashSet<BlockId> = [site1].into_iter().collect();
+        let n = elide_detaches(&mut m, f, Some(&sites));
+        assert_eq!(n, 1);
+        verify_module(&m).unwrap();
+        // one detach must remain, so syncs stay syncs
+        let func = m.function(f);
+        let detaches = func
+            .block_ids()
+            .filter(|b| matches!(func.block(*b).term, Terminator::Detach { .. }))
+            .count();
+        assert_eq!(detaches, 1);
+        let syncs = func
+            .block_ids()
+            .filter(|b| matches!(func.block(*b).term, Terminator::Sync { .. }))
+            .count();
+        assert_eq!(syncs, 1);
+    }
+}

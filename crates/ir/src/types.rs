@@ -1,0 +1,256 @@
+//! The type system of the TAPAS parallel IR.
+//!
+//! The IR is a small, typed, SSA intermediate representation modeled on the
+//! subset of LLVM IR that the TAPAS paper's hardware generator consumes,
+//! extended with the three Tapir parallel instructions. Types carry enough
+//! layout information (size and alignment) for `getelementptr`-style address
+//! arithmetic and for the byte-addressed memory models used by both the
+//! reference interpreter and the accelerator simulator.
+
+use std::fmt;
+
+/// A first-class IR type.
+///
+/// Integer widths are restricted to the hardware-friendly set
+/// {1, 8, 16, 32, 64}; the verifier rejects anything else.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// No value. Only valid as a function return type.
+    Void,
+    /// Integer with the given bit width (1, 8, 16, 32 or 64).
+    Int(u8),
+    /// IEEE-754 single precision.
+    F32,
+    /// IEEE-754 double precision.
+    F64,
+    /// Typed pointer to a pointee; pointers are 64-bit machine words.
+    Ptr(Box<Type>),
+    /// Fixed-length array.
+    Array(Box<Type>, u64),
+    /// Struct with naturally aligned fields (C layout, no packing pragma).
+    Struct(Vec<Type>),
+}
+
+impl Type {
+    /// Boolean type (`i1`).
+    pub const BOOL: Type = Type::Int(1);
+    /// 8-bit integer type.
+    pub const I8: Type = Type::Int(8);
+    /// 16-bit integer type.
+    pub const I16: Type = Type::Int(16);
+    /// 32-bit integer type.
+    pub const I32: Type = Type::Int(32);
+    /// 64-bit integer type.
+    pub const I64: Type = Type::Int(64);
+
+    /// Pointer to `pointee`.
+    pub fn ptr(pointee: Type) -> Type {
+        Type::Ptr(Box::new(pointee))
+    }
+
+    /// Array of `len` elements of type `elem`.
+    pub fn array(elem: Type, len: u64) -> Type {
+        Type::Array(Box::new(elem), len)
+    }
+
+    /// Whether this is an integer type of any width.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::Int(_))
+    }
+
+    /// Whether this is `f32` or `f64`.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+
+    /// Whether this is a pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// Whether values of this type can be produced by an instruction.
+    pub fn is_first_class(&self) -> bool {
+        matches!(
+            self,
+            Type::Int(_) | Type::F32 | Type::F64 | Type::Ptr(_)
+        )
+    }
+
+    /// Integer bit width, if an integer.
+    pub fn int_width(&self) -> Option<u8> {
+        match self {
+            Type::Int(w) => Some(*w),
+            _ => None,
+        }
+    }
+
+    /// The pointee type, if a pointer.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Size of a value of this type in bytes, per the natural C layout used
+    /// by every memory model in the toolchain.
+    ///
+    /// `i1` occupies one byte in memory. `Void` has size zero.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Type::Void => 0,
+            Type::Int(w) => ((*w as u64) + 7) / 8,
+            Type::F32 => 4,
+            Type::F64 => 8,
+            Type::Ptr(_) => 8,
+            Type::Array(elem, len) => elem.stride() * len,
+            Type::Struct(fields) => {
+                let mut off = 0u64;
+                let mut max_align = 1u64;
+                for f in fields {
+                    let a = f.align_bytes();
+                    max_align = max_align.max(a);
+                    off = round_up(off, a) + f.size_bytes();
+                }
+                round_up(off, max_align)
+            }
+        }
+    }
+
+    /// Alignment of this type in bytes.
+    pub fn align_bytes(&self) -> u64 {
+        match self {
+            Type::Void => 1,
+            Type::Int(w) => (((*w as u64) + 7) / 8).max(1),
+            Type::F32 => 4,
+            Type::F64 => 8,
+            Type::Ptr(_) => 8,
+            Type::Array(elem, _) => elem.align_bytes(),
+            Type::Struct(fields) => {
+                fields.iter().map(Type::align_bytes).max().unwrap_or(1)
+            }
+        }
+    }
+
+    /// Distance in bytes between consecutive elements of this type in an
+    /// array (size rounded up to alignment).
+    pub fn stride(&self) -> u64 {
+        round_up(self.size_bytes(), self.align_bytes())
+    }
+
+    /// Byte offset of struct field `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a struct or `idx` is out of bounds.
+    pub fn field_offset(&self, idx: usize) -> u64 {
+        match self {
+            Type::Struct(fields) => {
+                assert!(idx < fields.len(), "field index {idx} out of bounds");
+                let mut off = 0u64;
+                for f in &fields[..idx] {
+                    off = round_up(off, f.align_bytes()) + f.size_bytes();
+                }
+                round_up(off, fields[idx].align_bytes())
+            }
+            _ => panic!("field_offset on non-struct type {self}"),
+        }
+    }
+}
+
+fn round_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two() || align == 1 || align == 0);
+    if align <= 1 {
+        v
+    } else {
+        (v + align - 1) / align * align
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Int(w) => write!(f, "i{w}"),
+            Type::F32 => write!(f, "f32"),
+            Type::F64 => write!(f, "f64"),
+            Type::Ptr(p) => write!(f, "{p}*"),
+            Type::Array(e, n) => write!(f, "[{n} x {e}]"),
+            Type::Struct(fields) => {
+                write!(f, "{{")?;
+                for (i, t) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(Type::BOOL.size_bytes(), 1);
+        assert_eq!(Type::I8.size_bytes(), 1);
+        assert_eq!(Type::I16.size_bytes(), 2);
+        assert_eq!(Type::I32.size_bytes(), 4);
+        assert_eq!(Type::I64.size_bytes(), 8);
+        assert_eq!(Type::F32.size_bytes(), 4);
+        assert_eq!(Type::F64.size_bytes(), 8);
+        assert_eq!(Type::ptr(Type::I8).size_bytes(), 8);
+    }
+
+    #[test]
+    fn array_layout() {
+        let a = Type::array(Type::I32, 10);
+        assert_eq!(a.size_bytes(), 40);
+        assert_eq!(a.align_bytes(), 4);
+        assert_eq!(a.stride(), 40);
+    }
+
+    #[test]
+    fn struct_layout_with_padding() {
+        // { i8, i32, i8 } -> offsets 0, 4, 8; size rounded to 12.
+        let s = Type::Struct(vec![Type::I8, Type::I32, Type::I8]);
+        assert_eq!(s.field_offset(0), 0);
+        assert_eq!(s.field_offset(1), 4);
+        assert_eq!(s.field_offset(2), 8);
+        assert_eq!(s.size_bytes(), 12);
+        assert_eq!(s.align_bytes(), 4);
+    }
+
+    #[test]
+    fn nested_struct_layout() {
+        let inner = Type::Struct(vec![Type::I16, Type::I64]);
+        assert_eq!(inner.size_bytes(), 16);
+        let outer = Type::Struct(vec![Type::I8, inner.clone(), Type::I8]);
+        assert_eq!(outer.field_offset(1), 8);
+        assert_eq!(outer.field_offset(2), 24);
+        assert_eq!(outer.size_bytes(), 32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::I32.to_string(), "i32");
+        assert_eq!(Type::ptr(Type::F64).to_string(), "f64*");
+        assert_eq!(Type::array(Type::I8, 4).to_string(), "[4 x i8]");
+        assert_eq!(
+            Type::Struct(vec![Type::I32, Type::BOOL]).to_string(),
+            "{i32, i1}"
+        );
+    }
+
+    #[test]
+    fn first_class() {
+        assert!(Type::I32.is_first_class());
+        assert!(Type::ptr(Type::Void).is_first_class());
+        assert!(!Type::Void.is_first_class());
+        assert!(!Type::array(Type::I8, 3).is_first_class());
+    }
+}

@@ -1,0 +1,505 @@
+//! IR verification.
+//!
+//! Checks the structural and SSA well-formedness rules the rest of the
+//! toolchain assumes, including the Tapir-specific rules: every detached
+//! region is single-entry, terminates only in `reattach`es to the matching
+//! continuation, and `reattach`/`sync` appear in legal positions.
+
+use crate::analysis::{Cfg, Dominators};
+use crate::core::*;
+use crate::types::Type;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the error occurred.
+    pub function: String,
+    /// Offending block, when applicable.
+    pub block: Option<BlockId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.block {
+            Some(b) => write!(f, "in @{} {}: {}", self.function, b, self.message),
+            None => write!(f, "in @{}: {}", self.function, self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a whole module.
+///
+/// # Errors
+///
+/// Returns every rule violation found (the check does not stop at the first).
+pub fn verify_module(m: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+    for (_, f) in m.functions() {
+        if let Err(mut e) = verify_function(f, m) {
+            errs.append(&mut e);
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Verify a single function.
+///
+/// # Errors
+///
+/// Returns all rule violations found in the function.
+pub fn verify_function(f: &Function, m: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+    let err = |errs: &mut Vec<VerifyError>, block: Option<BlockId>, message: String| {
+        errs.push(VerifyError { function: f.name.clone(), block, message });
+    };
+
+    if f.num_blocks() == 0 {
+        err(&mut errs, None, "function has no blocks".to_string());
+        return Err(errs);
+    }
+
+    for (i, ty) in f.params.iter().enumerate() {
+        if !ty.is_first_class() {
+            err(&mut errs, None, format!("parameter {i} has non-first-class type {ty}"));
+        }
+    }
+    if f.ret_ty != Type::Void && !f.ret_ty.is_first_class() {
+        err(&mut errs, None, format!("return type {} is not first class", f.ret_ty));
+    }
+
+    let cfg = Cfg::compute(f);
+
+    // Block-local structural checks.
+    for b in f.block_ids() {
+        let blk = f.block(b);
+        if matches!(blk.term, Terminator::Unreachable) && !blk.insts.is_empty() {
+            err(&mut errs, Some(b), "non-empty block left unterminated".to_string());
+        }
+        let mut seen_non_phi = false;
+        for inst in &blk.insts {
+            match &inst.op {
+                Op::Phi { incomings } => {
+                    if seen_non_phi {
+                        err(&mut errs, Some(b), "phi after non-phi instruction".to_string());
+                    }
+                    let preds: HashSet<BlockId> = cfg.preds(b).iter().copied().collect();
+                    let inc: HashSet<BlockId> = incomings.iter().map(|(p, _)| *p).collect();
+                    if inc != preds {
+                        err(
+                            &mut errs,
+                            Some(b),
+                            format!(
+                                "phi incomings {:?} do not match predecessors {:?}",
+                                inc, preds
+                            ),
+                        );
+                    }
+                }
+                _ => seen_non_phi = true,
+            }
+            for v in inst.op.operands() {
+                if (v.0 as usize) >= f.num_values() {
+                    err(&mut errs, Some(b), format!("operand {v} out of range"));
+                }
+            }
+            if let Op::Call { callee, args } = &inst.op {
+                if (callee.0 as usize) >= m.num_functions() {
+                    err(&mut errs, Some(b), format!("call to unknown function {callee:?}"));
+                } else {
+                    let g = m.function(*callee);
+                    if g.params.len() != args.len() {
+                        err(
+                            &mut errs,
+                            Some(b),
+                            format!(
+                                "call to @{} with {} args, expected {}",
+                                g.name,
+                                args.len(),
+                                g.params.len()
+                            ),
+                        );
+                    } else {
+                        for (i, (a, pt)) in args.iter().zip(&g.params).enumerate() {
+                            if f.value_ty(*a) != pt {
+                                err(
+                                    &mut errs,
+                                    Some(b),
+                                    format!("call arg {i} type {} != {}", f.value_ty(*a), pt),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for s in blk.term.successors() {
+            if (s.0 as usize) >= f.num_blocks() {
+                err(&mut errs, Some(b), format!("branch to unknown block {s}"));
+            }
+        }
+        if let Terminator::Ret { value } = &blk.term {
+            match (value, &f.ret_ty) {
+                (None, Type::Void) => {}
+                (None, t) => err(&mut errs, Some(b), format!("ret void from {t} function")),
+                (Some(_), Type::Void) => {
+                    err(&mut errs, Some(b), "ret value from void function".to_string())
+                }
+                (Some(v), t) => {
+                    if f.value_ty(*v) != t {
+                        err(
+                            &mut errs,
+                            Some(b),
+                            format!("ret type {} != {}", f.value_ty(*v), t),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // SSA dominance: every use must be dominated by its definition. Phi
+    // incomings are uses at the end of their predecessor block.
+    let dom = Dominators::compute(f, &cfg);
+    let reachable: HashSet<BlockId> = cfg.reachable_from(f.entry()).into_iter().collect();
+    for b in f.block_ids() {
+        if !reachable.contains(&b) {
+            continue;
+        }
+        let check_use = |errs: &mut Vec<VerifyError>,
+                         v: ValueId,
+                         use_block: BlockId,
+                         use_idx: usize| {
+            if let ValueDef::Inst(db, di) = f.value(v).def {
+                let ok = if db == use_block {
+                    di < use_idx
+                } else {
+                    dom.dominates(db, use_block)
+                };
+                if !ok {
+                    err(
+                        errs,
+                        Some(use_block),
+                        format!("use of {v} is not dominated by its definition in {db}"),
+                    );
+                }
+            }
+        };
+        for (idx, inst) in f.block(b).insts.iter().enumerate() {
+            if let Op::Phi { incomings } = &inst.op {
+                for (p, v) in incomings {
+                    if reachable.contains(p) {
+                        check_use(&mut errs, *v, *p, usize::MAX);
+                    }
+                }
+            } else {
+                for v in inst.op.operands() {
+                    check_use(&mut errs, v, b, idx);
+                }
+            }
+        }
+        for v in f.block(b).term.operands() {
+            check_use(&mut errs, v, b, usize::MAX);
+        }
+    }
+
+    // Tapir structure: every detach's task region must reattach to the
+    // detach's continuation, and only there; the region is single-entry.
+    for b in f.block_ids() {
+        if let Terminator::Detach { task, cont } = f.block(b).term {
+            let region = detached_region(f, &cfg, task, cont);
+            match region {
+                Ok(region) => {
+                    for &rb in &region {
+                        for &p in cfg.preds(rb) {
+                            let from_outside = !region.contains(&p) && p != b;
+                            if rb == task {
+                                if from_outside {
+                                    err(
+                                        &mut errs,
+                                        Some(rb),
+                                        format!("detached region entered from outside ({p})"),
+                                    );
+                                }
+                            } else if !region.contains(&p) {
+                                err(
+                                    &mut errs,
+                                    Some(rb),
+                                    format!("detached block reachable from outside ({p})"),
+                                );
+                            }
+                        }
+                    }
+                }
+                Err(msg) => err(&mut errs, Some(b), msg),
+            }
+        }
+    }
+
+    // Every reattach must correspond to some detach with the same cont.
+    let detach_conts: HashSet<BlockId> = f
+        .block_ids()
+        .filter_map(|b| match f.block(b).term {
+            Terminator::Detach { cont, .. } => Some(cont),
+            _ => None,
+        })
+        .collect();
+    for b in f.block_ids() {
+        if let Terminator::Reattach { cont } = f.block(b).term {
+            if !detach_conts.contains(&cont) {
+                err(
+                    &mut errs,
+                    Some(b),
+                    format!("reattach to {cont} which is not a detach continuation"),
+                );
+            }
+        }
+    }
+
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Collect the blocks of the detached region rooted at `task`, stopping at
+/// `reattach cont` terminators.
+///
+/// # Errors
+///
+/// Returns a message if the region escapes through a non-reattach exit or
+/// reattaches to the wrong continuation.
+pub fn detached_region(
+    f: &Function,
+    _cfg: &Cfg,
+    task: BlockId,
+    cont: BlockId,
+) -> Result<HashSet<BlockId>, String> {
+    let mut region = HashSet::new();
+    let mut stack = vec![task];
+    while let Some(b) = stack.pop() {
+        if !region.insert(b) {
+            continue;
+        }
+        match &f.block(b).term {
+            Terminator::Reattach { cont: rc } => {
+                if *rc != cont {
+                    return Err(format!(
+                        "reattach in {b} targets {rc}, expected continuation {cont}"
+                    ));
+                }
+            }
+            Terminator::Ret { .. } => {
+                return Err(format!("detached region returns from function in {b}"))
+            }
+            Terminator::Unreachable => {
+                return Err(format!("unterminated block {b} in detached region"))
+            }
+            Terminator::Detach { task: t2, cont: c2 } => {
+                // Nested parallelism: the inner region has its own
+                // continuation; recurse, then continue from the inner cont.
+                let inner = detached_region(f, _cfg, *t2, *c2)?;
+                region.extend(inner);
+                if *c2 == cont {
+                    return Err(format!(
+                        "nested detach in {b} continues directly at outer continuation {cont}"
+                    ));
+                }
+                stack.push(*c2);
+            }
+            t => {
+                for s in t.successors() {
+                    if s == cont {
+                        return Err(format!(
+                            "detached region branches to continuation {cont} without reattach ({b})"
+                        ));
+                    }
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    Ok(region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn module_with(f: Function) -> Module {
+        let mut m = Module::new("t");
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn accepts_well_formed_spawn() {
+        let mut b = FunctionBuilder::new("ok", vec![], Type::Void);
+        let task = b.create_block("task");
+        let cont = b.create_block("cont");
+        let done = b.create_block("done");
+        b.detach(task, cont);
+        b.switch_to(task);
+        b.reattach(cont);
+        b.switch_to(cont);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        let m = module_with(b.finish());
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        let mut b = FunctionBuilder::new("bad", vec![], Type::I32);
+        let one = b.const_int(Type::I32, 1);
+        let _ = b.add(one, one);
+        // no terminator
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("unterminated")));
+    }
+
+    #[test]
+    fn rejects_ret_type_mismatch() {
+        let mut b = FunctionBuilder::new("bad", vec![], Type::I32);
+        b.ret(None);
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("ret void from i32")));
+    }
+
+    #[test]
+    fn rejects_task_region_branching_to_cont() {
+        let mut b = FunctionBuilder::new("bad", vec![], Type::Void);
+        let task = b.create_block("task");
+        let cont = b.create_block("cont");
+        b.detach(task, cont);
+        b.switch_to(task);
+        b.br(cont); // must be reattach
+        b.switch_to(cont);
+        b.ret(None);
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("without reattach")));
+    }
+
+    #[test]
+    fn rejects_task_region_with_ret() {
+        let mut b = FunctionBuilder::new("bad", vec![], Type::Void);
+        let task = b.create_block("task");
+        let cont = b.create_block("cont");
+        b.detach(task, cont);
+        b.switch_to(task);
+        b.ret(None);
+        b.switch_to(cont);
+        b.ret(None);
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("returns from function")));
+    }
+
+    #[test]
+    fn rejects_stray_reattach() {
+        let mut b = FunctionBuilder::new("bad", vec![], Type::Void);
+        let other = b.create_block("other");
+        b.reattach(other);
+        b.switch_to(other);
+        b.ret(None);
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("not a detach continuation")));
+    }
+
+    #[test]
+    fn rejects_phi_pred_mismatch() {
+        let mut b = FunctionBuilder::new("bad", vec![Type::I32], Type::I32);
+        let next = b.create_block("next");
+        let x = b.param(0);
+        b.br(next);
+        b.switch_to(next);
+        // claims an incoming from `next` itself, which is not a predecessor
+        let p = b.phi(Type::I32, vec![(next, x)]);
+        b.ret(Some(p));
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("do not match predecessors")));
+    }
+
+    #[test]
+    fn rejects_use_before_def_across_branches() {
+        // value defined only in the taken branch, used at the join
+        let mut b = FunctionBuilder::new("bad", vec![Type::I32], Type::I32);
+        let t = b.create_block("t");
+        let j = b.create_block("j");
+        let x = b.param(0);
+        let zero = b.const_int(Type::I32, 0);
+        let c = b.icmp(CmpPred::Sgt, x, zero);
+        b.cond_br(c, t, j);
+        b.switch_to(t);
+        let v = b.add(x, x);
+        b.br(j);
+        b.switch_to(j);
+        // illegal: v does not dominate j (the entry edge skips t)
+        let r = b.add(v, x);
+        b.ret(Some(r));
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("not dominated")));
+    }
+
+    #[test]
+    fn accepts_dominating_defs_through_loops() {
+        let mut b = FunctionBuilder::new("ok", vec![Type::I64], Type::I64);
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        let n = b.param(0);
+        let zero = b.const_int(Type::I64, 0);
+        let one = b.const_int(Type::I64, 1);
+        let entry = b.current_block();
+        let base = b.add(n, one); // defined in entry, used everywhere
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, zero)]);
+        let c = b.icmp(CmpPred::Slt, i, base);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(base));
+        let m = module_with(b.finish());
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut m = Module::new("t");
+        let mut g = FunctionBuilder::new("g", vec![Type::I32], Type::Void);
+        g.ret(None);
+        let gid = m.add_function(g.finish());
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        b.call(gid, vec![], Type::Void);
+        b.ret(None);
+        m.add_function(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expected 1")));
+    }
+}

@@ -1,0 +1,238 @@
+//! Abstract syntax of the Cilk-like mini language.
+//!
+//! The language exposes exactly the parallel constructs Tapir front ends
+//! translate: `spawn { ... }`, `sync;`, and `cilk_for`, alongside ordinary
+//! structured control flow. It exists to demonstrate the toolchain's
+//! language-agnostic claim — the same IR the workload builders emit comes
+//! out of real source text here.
+
+use tapas_ir::Type;
+
+/// A parsed program: a list of functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Functions in declaration order.
+    pub funcs: Vec<FuncDecl>,
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// `(name, type)` parameter pairs.
+    pub params: Vec<(String, Type)>,
+    /// Return type (`Void` if omitted).
+    pub ret: Type,
+    /// Body.
+    pub body: Block,
+}
+
+/// A `{ ... }` statement list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let x: T = e;` (type optional, inferred from `e`).
+    Let {
+        /// Variable name.
+        name: String,
+        /// Optional annotation.
+        ty: Option<Type>,
+        /// Initializer.
+        value: Expr,
+    },
+    /// `x = e;` or `p[i] = e;`.
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (c) { .. } else { .. }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Optional else branch.
+        else_blk: Option<Block>,
+    },
+    /// `while (c) { .. }`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// `for i in a..b { .. }` (serial) or `cilk_for i in a..b { .. }`.
+    For {
+        /// Induction variable.
+        var: String,
+        /// Lower bound (inclusive).
+        from: Expr,
+        /// Upper bound (exclusive).
+        to: Expr,
+        /// Whether each iteration is a detached task.
+        parallel: bool,
+        /// Body.
+        body: Block,
+    },
+    /// `spawn { .. }` — detach the block as a child task.
+    Spawn(Block),
+    /// `sync;` — join all children spawned so far in this frame.
+    Sync,
+    /// `return e?;`.
+    Return(Option<Expr>),
+    /// A bare expression (usually a call) followed by `;`.
+    Expr(Expr),
+}
+
+/// Assignable places.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A local variable.
+    Var(String),
+    /// `base[index]` — a store through a pointer.
+    Index(Expr, Expr),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed)
+    Div,
+    /// `%` (signed)
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&` (non-short-circuit on i1)
+    LAnd,
+    /// `||` (non-short-circuit on i1)
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnKind {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (on `i1`).
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal (adapts to the width demanded by context).
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Bin(BinKind, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnKind, Box<Expr>),
+    /// `base[index]` load.
+    Index(Box<Expr>, Box<Expr>),
+    /// Direct call.
+    Call(String, Vec<Expr>),
+    /// `e as T`.
+    Cast(Box<Expr>, Type),
+}
+
+/// Collect the names assigned (via `Assign` to a variable or `Let`)
+/// anywhere in a block — used by the structured SSA construction to place
+/// loop-header phis.
+pub fn assigned_vars(block: &Block, out: &mut Vec<String>) {
+    for s in &block.stmts {
+        match s {
+            Stmt::Let { name, .. } => push_unique(out, name),
+            Stmt::Assign { target: LValue::Var(n), .. } => push_unique(out, n),
+            Stmt::Assign { .. } => {}
+            Stmt::If { then_blk, else_blk, .. } => {
+                assigned_vars(then_blk, out);
+                if let Some(e) = else_blk {
+                    assigned_vars(e, out);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::Spawn(body) => assigned_vars(body, out),
+            Stmt::For { var, body, .. } => {
+                push_unique(out, var);
+                assigned_vars(body, out);
+            }
+            Stmt::Sync | Stmt::Return(_) | Stmt::Expr(_) => {}
+        }
+    }
+}
+
+fn push_unique(v: &mut Vec<String>, s: &str) {
+    if !v.iter().any(|x| x == s) {
+        v.push(s.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assigned_vars_sees_nested_writes() {
+        let blk = Block {
+            stmts: vec![
+                Stmt::Let {
+                    name: "a".into(),
+                    ty: None,
+                    value: Expr::Int(0),
+                },
+                Stmt::If {
+                    cond: Expr::Bool(true),
+                    then_blk: Block {
+                        stmts: vec![Stmt::Assign {
+                            target: LValue::Var("b".into()),
+                            value: Expr::Int(1),
+                        }],
+                    },
+                    else_blk: None,
+                },
+            ],
+        };
+        let mut out = Vec::new();
+        assigned_vars(&blk, &mut out);
+        assert_eq!(out, vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,259 @@
+//! # tapas-lang — a Cilk-like front end for the TAPAS toolchain
+//!
+//! TAPAS is language agnostic: any front end that lowers to the
+//! Tapir-marked IR can drive the hardware generator (the paper tests
+//! Cilk, Cilk-P and OpenMP through Tapir-LLVM). This crate provides that
+//! path for the reproduction — a small Cilk-like language with
+//! `spawn { ... }`, `sync;` and `cilk_for`, compiled to verified
+//! `tapas-ir` modules through a structured SSA construction.
+//!
+//! # Examples
+//!
+//! ```
+//! use tapas_ir::interp::{run, InterpConfig, Val};
+//!
+//! let m = tapas_lang::compile(r#"
+//!     fn sum(a: *i32, n: i64) -> i32 {
+//!         let acc: i32 = 0;
+//!         for i in 0..n {
+//!             acc = acc + a[i];
+//!         }
+//!         return acc;
+//!     }
+//! "#).unwrap();
+//! let f = m.function_by_name("sum").unwrap();
+//! let mut mem = Vec::new();
+//! for k in 0..5i32 { mem.extend_from_slice(&k.to_le_bytes()); }
+//! let out = run(&m, f, &[Val::Int(0), Val::Int(5)], &mut mem,
+//!               &InterpConfig::default()).unwrap();
+//! assert_eq!(out.ret, Some(Val::Int(10)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod lower;
+pub mod parser;
+
+pub use lower::{compile, LangError};
+pub use parser::{parse, ParseError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapas_ir::interp::{run, InterpConfig, Val};
+
+    fn exec(
+        src: &str,
+        func: &str,
+        args: &[Val],
+        mem: &mut Vec<u8>,
+    ) -> Option<Val> {
+        let m = compile(src).unwrap();
+        let f = m.function_by_name(func).unwrap();
+        run(&m, f, args, mem, &InterpConfig::default()).unwrap().ret
+    }
+
+    #[test]
+    fn cilk_for_lowers_to_detach() {
+        let m = compile(
+            r#"
+            fn inc(a: *i32, n: i64) {
+                cilk_for i in 0..n {
+                    a[i] = a[i] + 1;
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        let text = tapas_ir::printer::print_module(&m);
+        assert!(text.contains("detach"));
+        assert!(text.contains("sync"));
+        // And it runs: every element incremented.
+        let f = m.function_by_name("inc").unwrap();
+        let mut mem = vec![0u8; 16];
+        run(&m, f, &[Val::Int(0), Val::Int(4)], &mut mem, &InterpConfig::default()).unwrap();
+        assert!(mem.chunks(4).all(|c| c[0] == 1));
+    }
+
+    #[test]
+    fn if_else_join_inserts_phi() {
+        let src = r#"
+            fn pick(x: i64) -> i64 {
+                let r = 0;
+                if (x > 10) { r = 1; } else { r = 2; }
+                return r;
+            }
+        "#;
+        let mut mem = Vec::new();
+        assert_eq!(exec(src, "pick", &[Val::Int(20)], &mut mem), Some(Val::Int(1)));
+        assert_eq!(exec(src, "pick", &[Val::Int(5)], &mut mem), Some(Val::Int(2)));
+    }
+
+    #[test]
+    fn while_loop_carries_values() {
+        let src = r#"
+            fn collatz_steps(x: i64) -> i64 {
+                let steps = 0;
+                let v = x;
+                while (v != 1) {
+                    if (v % 2 == 0) { v = v / 2; } else { v = 3 * v + 1; }
+                    steps = steps + 1;
+                }
+                return steps;
+            }
+        "#;
+        let mut mem = Vec::new();
+        assert_eq!(exec(src, "collatz_steps", &[Val::Int(6)], &mut mem), Some(Val::Int(8)));
+    }
+
+    #[test]
+    fn recursive_spawned_fib_via_memory() {
+        let src = r#"
+            fn fib(n: i64, heap: *i32, node: i64) -> i32 {
+                if (n < 2) {
+                    heap[node] = n as i32;
+                    return n as i32;
+                }
+                spawn { fib(n - 1, heap, 2 * node + 1); }
+                let r2 = fib(n - 2, heap, 2 * node + 2);
+                sync;
+                let r1 = heap[2 * node + 1];
+                let s = r1 + r2;
+                heap[node] = s;
+                return s;
+            }
+        "#;
+        let mut mem = vec![0u8; 1 << 14];
+        let out = exec(src, "fib", &[Val::Int(10), Val::Int(0), Val::Int(0)], &mut mem);
+        assert_eq!(out, Some(Val::Int(55)));
+    }
+
+    #[test]
+    fn spawn_assigning_outer_var_rejected() {
+        let err = compile(
+            r#"
+            fn f() -> i64 {
+                let a = 0;
+                spawn { a = 1; }
+                sync;
+                return a;
+            }
+        "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::Lower(_)));
+        assert!(err.to_string().contains("escape"));
+    }
+
+    #[test]
+    fn cilk_for_assigning_outer_var_rejected() {
+        let err = compile(
+            r#"
+            fn f(n: i64) -> i64 {
+                let acc = 0;
+                cilk_for i in 0..n { acc = acc + i; }
+                return acc;
+            }
+        "#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("memory"));
+    }
+
+    #[test]
+    fn float_kernel_saxpy() {
+        let src = r#"
+            fn saxpy(x: *f32, y: *f32, a: f32, n: i64) {
+                cilk_for i in 0..n {
+                    y[i] = a * x[i] + y[i];
+                }
+            }
+        "#;
+        let m = compile(src).unwrap();
+        let f = m.function_by_name("saxpy").unwrap();
+        let mut mem = Vec::new();
+        mem.extend_from_slice(&2.0f32.to_le_bytes());
+        mem.extend_from_slice(&3.0f32.to_le_bytes());
+        let out = run(
+            &m,
+            f,
+            &[Val::Int(0), Val::Int(4), Val::F32(10.0), Val::Int(1)],
+            &mut mem,
+            &InterpConfig::default(),
+        )
+        .unwrap();
+        assert!(out.ret.is_none());
+        let y = f32::from_le_bytes(mem[4..8].try_into().unwrap());
+        assert_eq!(y, 23.0);
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let err = compile("fn f(p: *i32) -> i64 { return p[0]; }").unwrap_err();
+        assert!(err.to_string().contains("mismatch"), "{err}");
+        let err = compile("fn f() -> i64 { return g(); }").unwrap_err();
+        assert!(err.to_string().contains("unknown function"));
+        let err = compile("fn f(x: i64) { x[0] = 1; }").unwrap_err();
+        assert!(err.to_string().contains("non-pointer"));
+    }
+
+    #[test]
+    fn missing_return_caught() {
+        let err = compile("fn f() -> i64 { let a = 1; }").unwrap_err();
+        assert!(err.to_string().contains("fall off"));
+    }
+
+    #[test]
+    fn early_return_both_branches() {
+        let src = r#"
+            fn minmax(x: i64, y: i64) -> i64 {
+                if (x < y) { return x; } else { return y; }
+            }
+        "#;
+        let mut mem = Vec::new();
+        assert_eq!(exec(src, "minmax", &[Val::Int(3), Val::Int(9)], &mut mem), Some(Val::Int(3)));
+    }
+
+    #[test]
+    fn nested_parallel_loops_compile_and_run() {
+        let src = r#"
+            fn madd(a: *i32, b: *i32, c: *i32, n: i64) {
+                cilk_for i in 0..n {
+                    cilk_for j in 0..n {
+                        c[i * n + j] = a[i * n + j] + b[i * n + j];
+                    }
+                }
+            }
+        "#;
+        let m = compile(src).unwrap();
+        let f = m.function_by_name("madd").unwrap();
+        let n = 4u64;
+        let cells = (n * n) as usize;
+        let mut mem = vec![0u8; cells * 12];
+        for k in 0..cells {
+            mem[k * 4..k * 4 + 4].copy_from_slice(&(k as i32).to_le_bytes());
+            let off = cells * 4 + k * 4;
+            mem[off..off + 4].copy_from_slice(&(2 * k as i32).to_le_bytes());
+        }
+        let out = run(
+            &m,
+            f,
+            &[
+                Val::Int(0),
+                Val::Int(cells as u64 * 4),
+                Val::Int(cells as u64 * 8),
+                Val::Int(n),
+            ],
+            &mut mem,
+            &InterpConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.stats.spawns, n + n * n);
+        for k in 0..cells {
+            let off = cells * 8 + k * 4;
+            let v = i32::from_le_bytes(mem[off..off + 4].try_into().unwrap());
+            assert_eq!(v, 3 * k as i32);
+        }
+    }
+}

@@ -1,0 +1,787 @@
+//! Lowering from the AST to the Tapir-marked SSA IR.
+//!
+//! Because the language is fully structured (if/while/for/spawn), SSA
+//! construction is done structurally: control-flow joins insert phis for
+//! exactly the variables whose values diverge, and loop headers insert
+//! phis for the variables the body assigns. `spawn` and `cilk_for` bodies
+//! become detached regions; writes to outer variables inside them are
+//! rejected (values cannot escape a detached region — results must flow
+//! through memory, as in the paper's benchmarks), and every `return`
+//! passes through an implicit `sync` when the function spawns, matching
+//! Cilk's implicit sync at function exit.
+
+use crate::ast::*;
+use crate::parser::ParseError;
+use std::collections::HashMap;
+use tapas_ir::{
+    BinOp, BlockId, CastKind, CmpPred, FCmpPred, FBinOp, FuncId, FunctionBuilder, Module,
+    Type, ValueId,
+};
+
+/// Front-end failure: parse or lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangError {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Semantic / lowering error.
+    Lower(String),
+    /// The lowered module failed IR verification (front-end bug guard).
+    Verify(String),
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LangError::Parse(e) => write!(f, "{e}"),
+            LangError::Lower(m) => write!(f, "lowering error: {m}"),
+            LangError::Verify(m) => write!(f, "verification error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<ParseError> for LangError {
+    fn from(e: ParseError) -> Self {
+        LangError::Parse(e)
+    }
+}
+
+/// Compile source text to a verified IR module.
+///
+/// # Errors
+///
+/// Returns [`LangError`] on syntax, typing, or escape-rule violations.
+///
+/// # Examples
+///
+/// ```
+/// let m = tapas_lang::compile(r#"
+///     fn inc_all(a: *i32, n: i64) {
+///         cilk_for i in 0..n {
+///             a[i] = a[i] + 1;
+///         }
+///     }
+/// "#).unwrap();
+/// assert!(m.function_by_name("inc_all").is_some());
+/// ```
+pub fn compile(src: &str) -> Result<Module, LangError> {
+    let prog = crate::parser::parse(src)?;
+    let mut module = Module::new("lang");
+    let sigs: HashMap<String, (FuncId, Vec<Type>, Type)> = prog
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            (
+                f.name.clone(),
+                (
+                    FuncId(i as u32),
+                    f.params.iter().map(|(_, t)| t.clone()).collect(),
+                    f.ret.clone(),
+                ),
+            )
+        })
+        .collect();
+    if sigs.len() != prog.funcs.len() {
+        return Err(LangError::Lower("duplicate function name".into()));
+    }
+    for f in &prog.funcs {
+        let func = lower_func(f, &sigs)?;
+        module.add_function(func);
+    }
+    tapas_ir::verify_module(&module).map_err(|es| {
+        LangError::Verify(es.first().map(|e| e.to_string()).unwrap_or_default())
+    })?;
+    Ok(module)
+}
+
+type Env = HashMap<String, ValueId>;
+type Sigs = HashMap<String, (FuncId, Vec<Type>, Type)>;
+
+struct Ctx<'a> {
+    b: FunctionBuilder,
+    sigs: &'a Sigs,
+    ret: Type,
+    has_spawns: bool,
+    in_detached: usize,
+}
+
+fn contains_spawn(blk: &Block) -> bool {
+    blk.stmts.iter().any(|s| match s {
+        Stmt::Spawn(_) => true,
+        Stmt::For { parallel: true, .. } => true,
+        Stmt::For { body, .. } | Stmt::While { body, .. } => contains_spawn(body),
+        Stmt::If { then_blk, else_blk, .. } => {
+            contains_spawn(then_blk)
+                || else_blk.as_ref().is_some_and(contains_spawn)
+        }
+        _ => false,
+    })
+}
+
+fn lower_func(f: &FuncDecl, sigs: &Sigs) -> Result<tapas_ir::Function, LangError> {
+    let params: Vec<Type> = f.params.iter().map(|(_, t)| t.clone()).collect();
+    let b = FunctionBuilder::new(&f.name, params, f.ret.clone());
+    let mut cx = Ctx {
+        b,
+        sigs,
+        ret: f.ret.clone(),
+        has_spawns: contains_spawn(&f.body),
+        in_detached: 0,
+    };
+    let mut env: Env = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (n.clone(), ValueId(i as u32)))
+        .collect();
+    let fell_through = lower_block(&mut cx, &f.body, &mut env)?;
+    if fell_through {
+        if cx.ret == Type::Void {
+            emit_return(&mut cx, None)?;
+        } else {
+            return Err(LangError::Lower(format!(
+                "function `{}` may fall off the end without returning",
+                f.name
+            )));
+        }
+    }
+    Ok(cx.b.finish())
+}
+
+/// Lower a block; returns whether control falls through the end.
+fn lower_block(cx: &mut Ctx, blk: &Block, env: &mut Env) -> Result<bool, LangError> {
+    for (i, stmt) in blk.stmts.iter().enumerate() {
+        if !lower_stmt(cx, stmt, env)? {
+            if i + 1 < blk.stmts.len() {
+                return Err(LangError::Lower(
+                    "unreachable statements after return".into(),
+                ));
+            }
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Lower one statement; returns whether control continues.
+fn lower_stmt(cx: &mut Ctx, stmt: &Stmt, env: &mut Env) -> Result<bool, LangError> {
+    match stmt {
+        Stmt::Let { name, ty, value } => {
+            let v = lower_expr(cx, env, value, ty.as_ref())?;
+            if let Some(t) = ty {
+                let vt = cx.b.ty_of(v);
+                if &vt != t {
+                    return Err(LangError::Lower(format!(
+                        "let `{name}`: initializer has type {vt}, annotated {t}"
+                    )));
+                }
+            }
+            env.insert(name.clone(), v);
+            Ok(true)
+        }
+        Stmt::Assign { target: LValue::Var(name), value } => {
+            let old = *env.get(name).ok_or_else(|| {
+                LangError::Lower(format!("assignment to undeclared variable `{name}`"))
+            })?;
+            let expected = cx.b.ty_of(old);
+            let v = lower_expr(cx, env, value, Some(&expected))?;
+            if cx.b.ty_of(v) != expected {
+                return Err(LangError::Lower(format!(
+                    "assignment to `{name}` changes type {expected} -> {}",
+                    cx.b.ty_of(v)
+                )));
+            }
+            env.insert(name.clone(), v);
+            Ok(true)
+        }
+        Stmt::Assign { target: LValue::Index(base, idx), value } => {
+            let base_v = lower_expr(cx, env, base, None)?;
+            let base_ty = cx.b.ty_of(base_v);
+            let elem = base_ty
+                .pointee()
+                .cloned()
+                .ok_or_else(|| LangError::Lower(format!("indexing non-pointer {base_ty}")))?;
+            let idx_v = lower_index(cx, env, idx)?;
+            let val = lower_expr(cx, env, value, Some(&elem))?;
+            if cx.b.ty_of(val) != elem {
+                return Err(LangError::Lower(format!(
+                    "store of {} into {elem} array",
+                    cx.b.ty_of(val)
+                )));
+            }
+            let p = cx.b.gep_index(base_v, idx_v);
+            cx.b.store(p, val);
+            Ok(true)
+        }
+        Stmt::If { cond, then_blk, else_blk } => lower_if(cx, env, cond, then_blk, else_blk.as_ref()),
+        Stmt::While { cond, body } => lower_while(cx, env, cond, body),
+        Stmt::For { var, from, to, parallel, body } => {
+            lower_for(cx, env, var, from, to, *parallel, body)
+        }
+        Stmt::Spawn(body) => lower_spawn(cx, env, body),
+        Stmt::Sync => {
+            if cx.in_detached > 0 {
+                // sync inside a spawned region joins that region's children;
+                // allowed (nested parallelism).
+            }
+            let cont = cx.b.create_block("after_sync");
+            cx.b.sync(cont);
+            cx.b.switch_to(cont);
+            Ok(true)
+        }
+        Stmt::Return(e) => {
+            if cx.in_detached > 0 {
+                return Err(LangError::Lower(
+                    "cannot return from inside spawn / cilk_for".into(),
+                ));
+            }
+            let v = match (e, cx.ret.clone()) {
+                (None, Type::Void) => None,
+                (None, t) => {
+                    return Err(LangError::Lower(format!("missing return value of type {t}")))
+                }
+                (Some(_), Type::Void) => {
+                    return Err(LangError::Lower("return value in void function".into()))
+                }
+                (Some(e), t) => {
+                    let v = lower_expr(cx, env, e, Some(&t))?;
+                    if cx.b.ty_of(v) != t {
+                        return Err(LangError::Lower(format!(
+                            "return type mismatch: {} vs {t}",
+                            cx.b.ty_of(v)
+                        )));
+                    }
+                    Some(v)
+                }
+            };
+            emit_return(cx, v)?;
+            Ok(false)
+        }
+        Stmt::Expr(e) => {
+            lower_expr_or_void_call(cx, env, e)?;
+            Ok(true)
+        }
+    }
+}
+
+/// Returns with Cilk's implicit sync when the function spawns anywhere.
+fn emit_return(cx: &mut Ctx, v: Option<ValueId>) -> Result<(), LangError> {
+    if cx.has_spawns {
+        let cont = cx.b.create_block("ret_sync");
+        cx.b.sync(cont);
+        cx.b.switch_to(cont);
+    }
+    cx.b.ret(v);
+    Ok(())
+}
+
+fn lower_if(
+    cx: &mut Ctx,
+    env: &mut Env,
+    cond: &Expr,
+    then_blk: &Block,
+    else_blk: Option<&Block>,
+) -> Result<bool, LangError> {
+    let c = lower_expr(cx, env, cond, Some(&Type::BOOL))?;
+    if cx.b.ty_of(c) != Type::BOOL {
+        return Err(LangError::Lower("if condition must be bool".into()));
+    }
+    let then_b = cx.b.create_block("then");
+    let join = cx.b.create_block("join");
+    // (branch-end block, env) pairs that reach the join
+    let mut arms: Vec<(BlockId, Env)> = Vec::new();
+    match else_blk {
+        Some(eb) => {
+            let else_b = cx.b.create_block("else");
+            cx.b.cond_br(c, then_b, else_b);
+            cx.b.switch_to(then_b);
+            let mut tenv = env.clone();
+            if lower_block(cx, then_blk, &mut tenv)? {
+                arms.push((cx.b.current_block(), tenv));
+                cx.b.br(join);
+            }
+            cx.b.switch_to(else_b);
+            let mut eenv = env.clone();
+            if lower_block(cx, eb, &mut eenv)? {
+                arms.push((cx.b.current_block(), eenv));
+                cx.b.br(join);
+            }
+        }
+        None => {
+            let pre_blk = cx.b.current_block();
+            cx.b.cond_br(c, then_b, join);
+            arms.push((pre_blk, env.clone()));
+            cx.b.switch_to(then_b);
+            let mut tenv = env.clone();
+            if lower_block(cx, then_blk, &mut tenv)? {
+                arms.push((cx.b.current_block(), tenv));
+                cx.b.br(join);
+            }
+        }
+    }
+    if arms.is_empty() {
+        // both branches returned; the join is unreachable
+        cx.b.switch_to(join);
+        let dummy = ret_dummy(cx);
+        cx.b.ret(dummy);
+        return Ok(false);
+    }
+    cx.b.switch_to(join);
+    if arms.len() == 1 {
+        *env = arms.pop().unwrap().1;
+        return Ok(true);
+    }
+    // Insert phis for variables whose values diverge.
+    let names: Vec<String> = env.keys().cloned().collect();
+    for name in names {
+        let vals: Vec<ValueId> = arms.iter().map(|(_, e)| e[&name]).collect();
+        if vals.iter().all(|v| *v == vals[0]) {
+            env.insert(name, vals[0]);
+        } else {
+            let ty = cx.b.ty_of(vals[0]);
+            let incomings: Vec<(BlockId, ValueId)> =
+                arms.iter().map(|(b, e)| (*b, e[&name])).collect();
+            let phi = cx.b.phi(ty, incomings);
+            env.insert(name, phi);
+        }
+    }
+    Ok(true)
+}
+
+fn ret_dummy(cx: &mut Ctx) -> Option<ValueId> {
+    match cx.ret.clone() {
+        Type::Void => None,
+        Type::Int(w) => Some(cx.b.const_int(Type::Int(w), 0)),
+        Type::F32 => Some(cx.b.const_f32(0.0)),
+        Type::F64 => Some(cx.b.const_f64(0.0)),
+        t @ Type::Ptr(_) => Some(cx.b.const_null(t)),
+        _ => None,
+    }
+}
+
+fn lower_while(
+    cx: &mut Ctx,
+    env: &mut Env,
+    cond: &Expr,
+    body: &Block,
+) -> Result<bool, LangError> {
+    let mut assigned = Vec::new();
+    assigned_vars(body, &mut assigned);
+    assigned.retain(|n| env.contains_key(n));
+
+    let header = cx.b.create_block("while_header");
+    let body_b = cx.b.create_block("while_body");
+    let exit = cx.b.create_block("while_exit");
+    let pre_blk = cx.b.current_block();
+    cx.b.br(header);
+    cx.b.switch_to(header);
+    let mut phis = Vec::new();
+    for name in &assigned {
+        let pre_val = env[name];
+        let ty = cx.b.ty_of(pre_val);
+        let phi = cx.b.phi(ty, vec![(pre_blk, pre_val)]);
+        env.insert(name.clone(), phi);
+        phis.push((name.clone(), phi));
+    }
+    let c = lower_expr(cx, env, cond, Some(&Type::BOOL))?;
+    cx.b.cond_br(c, body_b, exit);
+    cx.b.switch_to(body_b);
+    let mut benv = env.clone();
+    if lower_block(cx, body, &mut benv)? {
+        let back = cx.b.current_block();
+        for (name, phi) in &phis {
+            cx.b.add_phi_incoming(*phi, back, benv[name]);
+        }
+        cx.b.br(header);
+    } else {
+        // Body always returns: the phis would be single-incoming; patch
+        // them with their own value to stay well-formed (loop runs once).
+        for (_, _phi) in &phis {}
+        return Err(LangError::Lower(
+            "while body must not unconditionally return".into(),
+        ));
+    }
+    cx.b.switch_to(exit);
+    Ok(true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_for(
+    cx: &mut Ctx,
+    env: &mut Env,
+    var: &str,
+    from: &Expr,
+    to: &Expr,
+    parallel: bool,
+    body: &Block,
+) -> Result<bool, LangError> {
+    let from_v = lower_index(cx, env, from)?;
+    let to_v = lower_index(cx, env, to)?;
+    let mut assigned = Vec::new();
+    assigned_vars(body, &mut assigned);
+    assigned.retain(|n| n != var && env.contains_key(n));
+    if parallel && !assigned.is_empty() {
+        return Err(LangError::Lower(format!(
+            "cilk_for body assigns outer variable `{}` — results must flow \
+             through memory",
+            assigned[0]
+        )));
+    }
+
+    let header = cx.b.create_block("for_header");
+    let exit = cx.b.create_block("for_exit");
+    let one = cx.b.const_int(Type::I64, 1);
+    let pre_blk = cx.b.current_block();
+    cx.b.br(header);
+    cx.b.switch_to(header);
+    let i = cx.b.phi(Type::I64, vec![(pre_blk, from_v)]);
+    // loop-carried scalars (serial loops only)
+    let mut phis = Vec::new();
+    for name in &assigned {
+        let pre_val = env[name];
+        let ty = cx.b.ty_of(pre_val);
+        let phi = cx.b.phi(ty, vec![(pre_blk, pre_val)]);
+        env.insert(name.clone(), phi);
+        phis.push((name.clone(), phi));
+    }
+    let c = cx.b.icmp(CmpPred::Slt, i, to_v);
+
+    if parallel {
+        let spawn_b = cx.b.create_block("pfor_spawn");
+        let task = cx.b.create_block("pfor_task");
+        let latch = cx.b.create_block("pfor_latch");
+        let done = cx.b.create_block("pfor_done");
+        cx.b.cond_br(c, spawn_b, exit);
+        cx.b.switch_to(spawn_b);
+        cx.b.detach(task, latch);
+        cx.b.switch_to(task);
+        let mut benv = env.clone();
+        benv.insert(var.to_string(), i);
+        cx.in_detached += 1;
+        let fell = lower_block(cx, body, &mut benv)?;
+        cx.in_detached -= 1;
+        if !fell {
+            return Err(LangError::Lower("cilk_for body cannot return".into()));
+        }
+        cx.b.reattach(latch);
+        cx.b.switch_to(latch);
+        let i2 = cx.b.add(i, one);
+        cx.b.add_phi_incoming(i, latch, i2);
+        cx.b.br(header);
+        cx.b.switch_to(exit);
+        // implicit sync at cilk_for exit
+        cx.b.sync(done);
+        cx.b.switch_to(done);
+    } else {
+        let body_b = cx.b.create_block("for_body");
+        cx.b.cond_br(c, body_b, exit);
+        cx.b.switch_to(body_b);
+        let mut benv = env.clone();
+        benv.insert(var.to_string(), i);
+        if !lower_block(cx, body, &mut benv)? {
+            return Err(LangError::Lower(
+                "for body must not unconditionally return".into(),
+            ));
+        }
+        let back = cx.b.current_block();
+        for (name, phi) in &phis {
+            cx.b.add_phi_incoming(*phi, back, benv[name]);
+        }
+        let i2 = cx.b.add(i, one);
+        cx.b.add_phi_incoming(i, back, i2);
+        cx.b.br(header);
+        cx.b.switch_to(exit);
+    }
+    Ok(true)
+}
+
+fn lower_spawn(cx: &mut Ctx, env: &mut Env, body: &Block) -> Result<bool, LangError> {
+    let mut assigned = Vec::new();
+    assigned_vars(body, &mut assigned);
+    assigned.retain(|n| env.contains_key(n));
+    if !assigned.is_empty() {
+        return Err(LangError::Lower(format!(
+            "spawn body assigns outer variable `{}` — pass a pointer and \
+             store through it instead (values cannot escape a detached region)",
+            assigned[0]
+        )));
+    }
+    let task = cx.b.create_block("spawn_task");
+    let cont = cx.b.create_block("spawn_cont");
+    cx.b.detach(task, cont);
+    cx.b.switch_to(task);
+    let mut benv = env.clone();
+    cx.in_detached += 1;
+    let fell = lower_block(cx, body, &mut benv)?;
+    cx.in_detached -= 1;
+    if !fell {
+        return Err(LangError::Lower("spawn body cannot return".into()));
+    }
+    cx.b.reattach(cont);
+    cx.b.switch_to(cont);
+    Ok(true)
+}
+
+fn lower_index(cx: &mut Ctx, env: &Env, e: &Expr) -> Result<ValueId, LangError> {
+    let v = lower_expr(cx, env, e, Some(&Type::I64))?;
+    let ty = cx.b.ty_of(v);
+    match ty {
+        Type::Int(64) => Ok(v),
+        Type::Int(_) => Ok(cx.b.sext(v, Type::I64)),
+        other => Err(LangError::Lower(format!("index must be integer, got {other}"))),
+    }
+}
+
+fn lower_expr_or_void_call(cx: &mut Ctx, env: &Env, e: &Expr) -> Result<(), LangError> {
+    if let Expr::Call(name, args) = e {
+        let (fid, ptypes, ret) = cx
+            .sigs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| LangError::Lower(format!("unknown function `{name}`")))?;
+        let vals = lower_call_args(cx, env, args, &ptypes, name)?;
+        cx.b.call(fid, vals, ret);
+        return Ok(());
+    }
+    lower_expr(cx, env, e, None).map(|_| ())
+}
+
+fn lower_call_args(
+    cx: &mut Ctx,
+    env: &Env,
+    args: &[Expr],
+    ptypes: &[Type],
+    name: &str,
+) -> Result<Vec<ValueId>, LangError> {
+    if args.len() != ptypes.len() {
+        return Err(LangError::Lower(format!(
+            "call to `{name}` with {} args, expected {}",
+            args.len(),
+            ptypes.len()
+        )));
+    }
+    args.iter()
+        .zip(ptypes)
+        .map(|(a, t)| {
+            let v = lower_expr(cx, env, a, Some(t))?;
+            if &cx.b.ty_of(v) != t {
+                return Err(LangError::Lower(format!(
+                    "argument type {} does not match parameter {t} of `{name}`",
+                    cx.b.ty_of(v)
+                )));
+            }
+            Ok(v)
+        })
+        .collect()
+}
+
+fn is_literal(e: &Expr) -> bool {
+    matches!(e, Expr::Int(_) | Expr::Float(_))
+}
+
+fn lower_expr(
+    cx: &mut Ctx,
+    env: &Env,
+    e: &Expr,
+    expected: Option<&Type>,
+) -> Result<ValueId, LangError> {
+    match e {
+        Expr::Int(v) => {
+            let ty = match expected {
+                Some(Type::Int(w)) => Type::Int(*w),
+                Some(Type::F32) => return Ok(cx.b.const_f32(*v as f32)),
+                Some(Type::F64) => return Ok(cx.b.const_f64(*v as f64)),
+                _ => Type::I64,
+            };
+            Ok(cx.b.const_int(ty, *v))
+        }
+        Expr::Float(v) => match expected {
+            Some(Type::F32) => Ok(cx.b.const_f32(*v as f32)),
+            _ => Ok(cx.b.const_f64(*v)),
+        },
+        Expr::Bool(v) => Ok(cx.b.const_bool(*v)),
+        Expr::Var(name) => env
+            .get(name)
+            .copied()
+            .ok_or_else(|| LangError::Lower(format!("unknown variable `{name}`"))),
+        Expr::Bin(op, lhs, rhs) => lower_bin(cx, env, *op, lhs, rhs, expected),
+        Expr::Un(UnKind::Neg, inner) => {
+            let v = lower_expr(cx, env, inner, expected)?;
+            let ty = cx.b.ty_of(v);
+            match ty {
+                Type::Int(w) => {
+                    let zero = cx.b.const_int(Type::Int(w), 0);
+                    Ok(cx.b.sub(zero, v))
+                }
+                Type::F32 => {
+                    let zero = cx.b.const_f32(0.0);
+                    Ok(cx.b.fbin(FBinOp::FSub, zero, v))
+                }
+                Type::F64 => {
+                    let zero = cx.b.const_f64(0.0);
+                    Ok(cx.b.fbin(FBinOp::FSub, zero, v))
+                }
+                other => Err(LangError::Lower(format!("cannot negate {other}"))),
+            }
+        }
+        Expr::Un(UnKind::Not, inner) => {
+            let v = lower_expr(cx, env, inner, Some(&Type::BOOL))?;
+            if cx.b.ty_of(v) != Type::BOOL {
+                return Err(LangError::Lower("`!` requires bool".into()));
+            }
+            let t = cx.b.const_bool(true);
+            Ok(cx.b.bin(BinOp::Xor, v, t))
+        }
+        Expr::Index(base, idx) => {
+            let base_v = lower_expr(cx, env, base, None)?;
+            let base_ty = cx.b.ty_of(base_v);
+            if base_ty.pointee().is_none() {
+                return Err(LangError::Lower(format!("indexing non-pointer {base_ty}")));
+            }
+            let idx_v = lower_index(cx, env, idx)?;
+            let p = cx.b.gep_index(base_v, idx_v);
+            Ok(cx.b.load(p))
+        }
+        Expr::Call(name, args) => {
+            let (fid, ptypes, ret) = cx
+                .sigs
+                .get(name)
+                .cloned()
+                .ok_or_else(|| LangError::Lower(format!("unknown function `{name}`")))?;
+            if ret == Type::Void {
+                return Err(LangError::Lower(format!(
+                    "void function `{name}` used as a value"
+                )));
+            }
+            let vals = lower_call_args(cx, env, args, &ptypes, name)?;
+            Ok(cx.b.call(fid, vals, ret).expect("non-void call"))
+        }
+        Expr::Cast(inner, to) => {
+            let v = lower_expr(cx, env, inner, None)?;
+            let from = cx.b.ty_of(v);
+            let kind = cast_kind(&from, to).ok_or_else(|| {
+                LangError::Lower(format!("unsupported cast {from} as {to}"))
+            })?;
+            if kind == CastKind::PtrCast && &from == to {
+                return Ok(v);
+            }
+            Ok(cx.b.cast(kind, v, to.clone()))
+        }
+    }
+}
+
+fn cast_kind(from: &Type, to: &Type) -> Option<CastKind> {
+    use Type::*;
+    Some(match (from, to) {
+        (Int(a), Int(b)) if a < b => CastKind::SExt,
+        (Int(a), Int(b)) if a > b => CastKind::Trunc,
+        (Int(_), Int(_)) => CastKind::ZExt, // same width: no-op zext
+        (Int(_), F32) | (Int(_), F64) => CastKind::SiToFp,
+        (F32, Int(_)) | (F64, Int(_)) => CastKind::FpToSi,
+        (F32, F64) => CastKind::FpExt,
+        (F64, F32) => CastKind::FpTrunc,
+        (Ptr(_), Ptr(_)) => CastKind::PtrCast,
+        (Ptr(_), Int(64)) => CastKind::PtrToInt,
+        (Int(64), Ptr(_)) => CastKind::IntToPtr,
+        _ => return None,
+    })
+}
+
+fn lower_bin(
+    cx: &mut Ctx,
+    env: &Env,
+    op: BinKind,
+    lhs: &Expr,
+    rhs: &Expr,
+    expected: Option<&Type>,
+) -> Result<ValueId, LangError> {
+    let arith_expected = match op {
+        BinKind::Lt
+        | BinKind::Le
+        | BinKind::Gt
+        | BinKind::Ge
+        | BinKind::EqEq
+        | BinKind::Ne => None,
+        BinKind::LAnd | BinKind::LOr => Some(&Type::BOOL),
+        _ => expected,
+    };
+    // Evaluate the non-literal side first so literals adopt its type.
+    let (l, r) = if is_literal(lhs) && !is_literal(rhs) {
+        let r = lower_expr(cx, env, rhs, arith_expected)?;
+        let rt = cx.b.ty_of(r);
+        let l = lower_expr(cx, env, lhs, Some(&rt))?;
+        (l, r)
+    } else {
+        let l = lower_expr(cx, env, lhs, arith_expected)?;
+        let lt = cx.b.ty_of(l);
+        let r = lower_expr(cx, env, rhs, Some(&lt))?;
+        (l, r)
+    };
+    let lt = cx.b.ty_of(l);
+    let rt = cx.b.ty_of(r);
+    if lt != rt {
+        return Err(LangError::Lower(format!(
+            "operand type mismatch: {lt} vs {rt}"
+        )));
+    }
+    let is_float = lt.is_float();
+    match op {
+        BinKind::Add | BinKind::Sub | BinKind::Mul | BinKind::Div | BinKind::Rem => {
+            if is_float {
+                let fop = match op {
+                    BinKind::Add => FBinOp::FAdd,
+                    BinKind::Sub => FBinOp::FSub,
+                    BinKind::Mul => FBinOp::FMul,
+                    BinKind::Div => FBinOp::FDiv,
+                    BinKind::Rem => {
+                        return Err(LangError::Lower("no float remainder".into()))
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(cx.b.fbin(fop, l, r))
+            } else {
+                let iop = match op {
+                    BinKind::Add => BinOp::Add,
+                    BinKind::Sub => BinOp::Sub,
+                    BinKind::Mul => BinOp::Mul,
+                    BinKind::Div => BinOp::SDiv,
+                    BinKind::Rem => BinOp::SRem,
+                    _ => unreachable!(),
+                };
+                Ok(cx.b.bin(iop, l, r))
+            }
+        }
+        BinKind::And | BinKind::LAnd => Ok(cx.b.bin(BinOp::And, l, r)),
+        BinKind::Or | BinKind::LOr => Ok(cx.b.bin(BinOp::Or, l, r)),
+        BinKind::Xor => Ok(cx.b.bin(BinOp::Xor, l, r)),
+        BinKind::Shl => Ok(cx.b.bin(BinOp::Shl, l, r)),
+        BinKind::Shr => Ok(cx.b.bin(BinOp::AShr, l, r)),
+        BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge | BinKind::EqEq | BinKind::Ne => {
+            if is_float {
+                let pred = match op {
+                    BinKind::Lt => FCmpPred::Olt,
+                    BinKind::Le => FCmpPred::Ole,
+                    BinKind::Gt => FCmpPred::Ogt,
+                    BinKind::Ge => FCmpPred::Oge,
+                    BinKind::EqEq => FCmpPred::Oeq,
+                    BinKind::Ne => FCmpPred::One,
+                    _ => unreachable!(),
+                };
+                Ok(cx.b.fcmp(pred, l, r))
+            } else {
+                let pred = match op {
+                    BinKind::Lt => CmpPred::Slt,
+                    BinKind::Le => CmpPred::Sle,
+                    BinKind::Gt => CmpPred::Sgt,
+                    BinKind::Ge => CmpPred::Sge,
+                    BinKind::EqEq => CmpPred::Eq,
+                    BinKind::Ne => CmpPred::Ne,
+                    _ => unreachable!(),
+                };
+                Ok(cx.b.icmp(pred, l, r))
+            }
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! Lexer and recursive-descent parser for the Cilk-like mini language.
+
+use crate::ast::*;
+use tapas_ir::Type;
+
+/// A parse failure with a position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Punct(&'static str),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+const PUNCTS: &[&str] = &[
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "..", "(", ")", "{", "}", "[", "]",
+    ",", ";", ":", "+", "-", "*", "/", "%", "<", ">", "=", "&", "|", "^", "!",
+];
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            // line comments
+            if self.pos + 1 < self.src.len()
+                && self.src[self.pos] == b'/'
+                && self.src[self.pos + 1] == b'/'
+            {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<(usize, Tok), ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Ok((start, Tok::Eof));
+        }
+        let c = self.src[self.pos];
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let mut end = self.pos;
+            while end < self.src.len()
+                && (self.src[end].is_ascii_alphanumeric() || self.src[end] == b'_')
+            {
+                end += 1;
+            }
+            let word = std::str::from_utf8(&self.src[self.pos..end]).unwrap().to_string();
+            self.pos = end;
+            return Ok((start, Tok::Ident(word)));
+        }
+        if c.is_ascii_digit() {
+            let mut end = self.pos;
+            let mut is_float = false;
+            while end < self.src.len()
+                && (self.src[end].is_ascii_digit()
+                    || (self.src[end] == b'.'
+                        && end + 1 < self.src.len()
+                        && self.src[end + 1].is_ascii_digit()
+                        && !is_float))
+            {
+                if self.src[end] == b'.' {
+                    is_float = true;
+                }
+                end += 1;
+            }
+            let text = std::str::from_utf8(&self.src[self.pos..end]).unwrap();
+            self.pos = end;
+            return if is_float {
+                text.parse::<f64>()
+                    .map(|v| (start, Tok::Float(v)))
+                    .map_err(|e| ParseError { pos: start, message: e.to_string() })
+            } else {
+                text.parse::<i64>()
+                    .map(|v| (start, Tok::Int(v)))
+                    .map_err(|e| ParseError { pos: start, message: e.to_string() })
+            };
+        }
+        for p in PUNCTS {
+            if self.src[self.pos..].starts_with(p.as_bytes()) {
+                self.pos += p.len();
+                return Ok((start, Tok::Punct(p)));
+            }
+        }
+        Err(ParseError {
+            pos: start,
+            message: format!("unexpected character {:?}", c as char),
+        })
+    }
+}
+
+/// Parse a whole program.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut funcs = Vec::new();
+    while p.tok != Tok::Eof {
+        funcs.push(p.func()?);
+    }
+    Ok(Program { funcs })
+}
+
+struct Parser<'a> {
+    lex: Lexer<'a>,
+    tok: Tok,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Self, ParseError> {
+        let mut lex = Lexer::new(src);
+        let (pos, tok) = lex.next()?;
+        Ok(Parser { lex, tok, pos })
+    }
+
+    fn bump(&mut self) -> Result<Tok, ParseError> {
+        let (pos, next) = self.lex.next()?;
+        self.pos = pos;
+        Ok(std::mem::replace(&mut self.tok, next))
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { pos: self.pos, message: message.into() })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.tok == Tok::Punct_of(p) {
+            self.bump()?;
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {:?}", self.tok))
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(&self.tok, Tok::Punct(q) if *q == p)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.at_kw(kw) {
+            self.bump()?;
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {:?}", self.tok))
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(w) if w == kw)
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump()? {
+            Tok::Ident(w) => Ok(w),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        if self.at_punct("*") {
+            self.bump()?;
+            let inner = self.ty()?;
+            return Ok(Type::ptr(inner));
+        }
+        let name = self.ident()?;
+        match name.as_str() {
+            "bool" => Ok(Type::BOOL),
+            "i8" => Ok(Type::I8),
+            "i16" => Ok(Type::I16),
+            "i32" => Ok(Type::I32),
+            "i64" => Ok(Type::I64),
+            "f32" => Ok(Type::F32),
+            "f64" => Ok(Type::F64),
+            "void" => Ok(Type::Void),
+            other => self.err(format!("unknown type `{other}`")),
+        }
+    }
+
+    fn func(&mut self) -> Result<FuncDecl, ParseError> {
+        self.eat_kw("fn")?;
+        let name = self.ident()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        while !self.at_punct(")") {
+            let pname = self.ident()?;
+            self.eat_punct(":")?;
+            let pty = self.ty()?;
+            params.push((pname, pty));
+            if self.at_punct(",") {
+                self.bump()?;
+            }
+        }
+        self.eat_punct(")")?;
+        let ret = if self.at_punct("->") {
+            self.bump()?;
+            self.ty()?
+        } else {
+            Type::Void
+        };
+        let body = self.block()?;
+        Ok(FuncDecl { name, params, ret, body })
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.at_punct("}") {
+            stmts.push(self.stmt()?);
+        }
+        self.eat_punct("}")?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.at_kw("let") {
+            self.bump()?;
+            let name = self.ident()?;
+            let ty = if self.at_punct(":") {
+                self.bump()?;
+                Some(self.ty()?)
+            } else {
+                None
+            };
+            self.eat_punct("=")?;
+            let value = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Let { name, ty, value });
+        }
+        if self.at_kw("if") {
+            self.bump()?;
+            self.eat_punct("(")?;
+            let cond = self.expr()?;
+            self.eat_punct(")")?;
+            let then_blk = self.block()?;
+            let else_blk = if self.at_kw("else") {
+                self.bump()?;
+                Some(self.block()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::If { cond, then_blk, else_blk });
+        }
+        if self.at_kw("while") {
+            self.bump()?;
+            self.eat_punct("(")?;
+            let cond = self.expr()?;
+            self.eat_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.at_kw("for") || self.at_kw("cilk_for") {
+            let parallel = self.at_kw("cilk_for");
+            self.bump()?;
+            let var = self.ident()?;
+            self.eat_kw("in")?;
+            let from = self.expr()?;
+            self.eat_punct("..")?;
+            let to = self.expr()?;
+            let body = self.block()?;
+            return Ok(Stmt::For { var, from, to, parallel, body });
+        }
+        if self.at_kw("spawn") {
+            self.bump()?;
+            if self.at_punct("{") {
+                let body = self.block()?;
+                return Ok(Stmt::Spawn(body));
+            }
+            // `spawn f(args);` sugar: a detached call.
+            let e = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Spawn(Block { stmts: vec![Stmt::Expr(e)] }));
+        }
+        if self.at_kw("sync") {
+            self.bump()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Sync);
+        }
+        if self.at_kw("return") {
+            self.bump()?;
+            if self.at_punct(";") {
+                self.bump()?;
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        // assignment or expression statement
+        let e = self.expr()?;
+        if self.at_punct("=") {
+            self.bump()?;
+            let value = self.expr()?;
+            self.eat_punct(";")?;
+            let target = match e {
+                Expr::Var(n) => LValue::Var(n),
+                Expr::Index(b, i) => LValue::Index(*b, *i),
+                other => return self.err(format!("cannot assign to {other:?}")),
+            };
+            return Ok(Stmt::Assign { target, value });
+        }
+        self.eat_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, bp) = match &self.tok {
+                Tok::Punct(p) => match *p {
+                    "||" => (BinKind::LOr, 1),
+                    "&&" => (BinKind::LAnd, 2),
+                    "|" => (BinKind::Or, 3),
+                    "^" => (BinKind::Xor, 4),
+                    "&" => (BinKind::And, 5),
+                    "==" => (BinKind::EqEq, 6),
+                    "!=" => (BinKind::Ne, 6),
+                    "<" => (BinKind::Lt, 7),
+                    "<=" => (BinKind::Le, 7),
+                    ">" => (BinKind::Gt, 7),
+                    ">=" => (BinKind::Ge, 7),
+                    "<<" => (BinKind::Shl, 8),
+                    ">>" => (BinKind::Shr, 8),
+                    "+" => (BinKind::Add, 9),
+                    "-" => (BinKind::Sub, 9),
+                    "*" => (BinKind::Mul, 10),
+                    "/" => (BinKind::Div, 10),
+                    "%" => (BinKind::Rem, 10),
+                    _ => break,
+                },
+                _ => break,
+            };
+            if bp < min_bp {
+                break;
+            }
+            self.bump()?;
+            let rhs = self.bin_expr(bp + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        // postfix cast
+        while self.at_kw("as") {
+            self.bump()?;
+            let ty = self.ty()?;
+            lhs = Expr::Cast(Box::new(lhs), ty);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.at_punct("-") {
+            self.bump()?;
+            return Ok(Expr::Un(UnKind::Neg, Box::new(self.unary()?)));
+        }
+        if self.at_punct("!") {
+            self.bump()?;
+            return Ok(Expr::Un(UnKind::Not, Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.at_punct("[") {
+                self.bump()?;
+                let idx = self.expr()?;
+                self.eat_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump()? {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Float(v) => Ok(Expr::Float(v)),
+            Tok::Ident(w) if w == "true" => Ok(Expr::Bool(true)),
+            Tok::Ident(w) if w == "false" => Ok(Expr::Bool(false)),
+            Tok::Ident(name) => {
+                if self.at_punct("(") {
+                    self.bump()?;
+                    let mut args = Vec::new();
+                    while !self.at_punct(")") {
+                        args.push(self.expr()?);
+                        if self.at_punct(",") {
+                            self.bump()?;
+                        }
+                    }
+                    self.eat_punct(")")?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            other => self.err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+#[allow(non_snake_case)]
+impl Tok {
+    fn Punct_of(p: &str) -> Tok {
+        // PUNCTS holds 'static strs; map through it so comparison works.
+        for q in PUNCTS {
+            if *q == p {
+                return Tok::Punct(q);
+            }
+        }
+        unreachable!("unknown punct {p}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_saxpy() {
+        let src = r#"
+            fn saxpy(x: *f32, y: *f32, a: f32, n: i64) {
+                cilk_for i in 0..n {
+                    y[i] = a * x[i] + y[i];
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        let f = &p.funcs[0];
+        assert_eq!(f.name, "saxpy");
+        assert_eq!(f.params.len(), 4);
+        assert!(matches!(f.body.stmts[0], Stmt::For { parallel: true, .. }));
+    }
+
+    #[test]
+    fn parses_spawn_sync_return() {
+        let src = r#"
+            fn fib(n: i64) -> i64 {
+                if (n < 2) { return n; }
+                let a: i64 = 0;
+                spawn { a = fib(n - 1); }
+                let b = fib(n - 2);
+                sync;
+                return a + b;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let f = &p.funcs[0];
+        assert_eq!(f.ret, Type::I64);
+        assert!(f.body.stmts.iter().any(|s| matches!(s, Stmt::Spawn(_))));
+        assert!(f.body.stmts.iter().any(|s| matches!(s, Stmt::Sync)));
+    }
+
+    #[test]
+    fn precedence_mul_before_add() {
+        let src = "fn f(a: i64, b: i64, c: i64) -> i64 { return a + b * c; }";
+        let p = parse(src).unwrap();
+        match &p.funcs[0].body.stmts[0] {
+            Stmt::Return(Some(Expr::Bin(BinKind::Add, _, rhs))) => {
+                assert!(matches!(**rhs, Expr::Bin(BinKind::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_error_position() {
+        let err = parse("fn f( {").unwrap_err();
+        assert!(err.pos > 0);
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let src = "// header\nfn f() { // body\n return; }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn cast_expression() {
+        let src = "fn f(x: i64) -> i32 { return x as i32; }";
+        let p = parse(src).unwrap();
+        assert!(matches!(
+            &p.funcs[0].body.stmts[0],
+            Stmt::Return(Some(Expr::Cast(_, Type::Int(32))))
+        ));
+    }
+}

@@ -1,0 +1,1427 @@
+//! The accelerator execution engine: task units, queues, tiles, and the
+//! top-level cycle loop.
+
+use crate::AcceleratorConfig;
+use std::collections::HashMap;
+use std::rc::Rc;
+use tapas_dfg::{lower_tasks, DfgNode, NodeOp, Operand, TaskDfg, TermInfo};
+use tapas_ir::interp::{eval_bin, eval_cmp, eval_fbin, eval_fcmp, sign_extend, Val};
+use tapas_ir::{
+    mask_to_width, BlockId, CastKind, Constant, FuncId, Function, Module, Type, ValueId,
+};
+use tapas_mem::{DataBox, DataBoxConfig, MemOpKind, MemReq, MemSystem, ReqId};
+use tapas_task::extract_module;
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Task extraction or DFG lowering failed.
+    Elaborate(String),
+    /// The cycle budget was exhausted.
+    CycleLimit(u64),
+    /// Integer division by zero in a TXU.
+    DivByZero,
+    /// The invoked function's root queue had no free entry.
+    QueueFull,
+    /// No component made progress for a long window: the task queues are
+    /// sized too small for the program's recursion/spawn depth (increase
+    /// `ntasks` — the hardware analogue is the deep queue BRAMs the paper's
+    /// recursive designs allocate).
+    Deadlock {
+        /// Cycle at which the deadlock was declared.
+        at: u64,
+    },
+    /// A dataflow construct the engine cannot execute.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Elaborate(s) => write!(f, "elaboration failed: {s}"),
+            SimError::CycleLimit(n) => write!(f, "cycle limit of {n} exceeded"),
+            SimError::DivByZero => write!(f, "division by zero"),
+            SimError::QueueFull => write!(f, "root task queue full"),
+            SimError::Deadlock { at } => write!(
+                f,
+                "deadlock at cycle {at}: task queues too small for the \
+                 program's spawn depth (increase ntasks)"
+            ),
+            SimError::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A task-level trace event (recorded when
+/// [`AcceleratorConfig::record_events`](crate::AcceleratorConfig) is set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimEvent {
+    /// Cycle of the event.
+    pub cycle: u64,
+    /// Task unit index (see [`Accelerator::unit_names`]).
+    pub unit: usize,
+    /// Queue slot (the `DyID`).
+    pub slot: usize,
+    /// What happened.
+    pub kind: SimEventKind,
+}
+
+/// Kinds of task-level events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEventKind {
+    /// Entry allocated in the task queue (spawn accepted).
+    Spawned,
+    /// Instance dispatched to a tile.
+    Dispatched {
+        /// The tile it landed on.
+        tile: usize,
+    },
+    /// Instance parked waiting on its children (`SYNC` state).
+    SyncWait,
+    /// Instance parked waiting on a serial call's completion.
+    CallWait,
+    /// Instance completed and its slot freed.
+    Completed,
+}
+
+/// Per-task-unit counters.
+#[derive(Debug, Clone, Default)]
+pub struct UnitStats {
+    /// Task unit (= task) name.
+    pub name: String,
+    /// Tile count configured for this unit.
+    pub tiles: usize,
+    /// Dynamic task instances completed.
+    pub tasks_executed: u64,
+    /// Sum over cycles of busy tiles.
+    pub busy_tile_cycles: u64,
+    /// Cycles a detach stalled because this unit's queue was full.
+    pub spawn_stalls: u64,
+    /// Peak queue occupancy observed.
+    pub queue_peak: usize,
+}
+
+/// Aggregate simulation statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Dynamic `detach`s executed (tasks spawned).
+    pub spawns: u64,
+    /// Dynamic serial calls bridged through task spawns.
+    pub calls: u64,
+    /// Sum of (first-dispatch − spawn) latencies. Under load this
+    /// includes queueing delay, so the §V-A "lightweight spawn" number is
+    /// `min_spawn_latency`.
+    pub total_spawn_latency: u64,
+    /// Minimum observed spawn-to-dispatch latency (the uncontended spawn
+    /// overhead of §V-A; `u64::MAX` when nothing spawned).
+    pub min_spawn_latency: u64,
+    /// Per-unit counters.
+    pub units: Vec<UnitStats>,
+    /// Cache counters at the end of the run.
+    pub cache: tapas_mem::CacheStats,
+    /// DRAM line reads.
+    pub dram_reads: u64,
+    /// DRAM line writebacks.
+    pub dram_writes: u64,
+    /// Data box counters.
+    pub databox_issued: u64,
+    /// Requests the cache refused (MSHR pressure), i.e. memory stalls.
+    pub cache_stalls: u64,
+}
+
+impl SimStats {
+    /// Mean spawn-to-dispatch latency in cycles (the paper's ~10-cycle
+    /// lightweight-task claim).
+    pub fn avg_spawn_latency(&self) -> f64 {
+        if self.spawns == 0 {
+            0.0
+        } else {
+            self.total_spawn_latency as f64 / self.spawns as f64
+        }
+    }
+}
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Return value of the invoked function.
+    pub ret: Option<Val>,
+    /// Cycles from invocation to completion.
+    pub cycles: u64,
+    /// Full statistics.
+    pub stats: SimStats,
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    issued: bool,
+    done_at: u64,
+    value: Option<Val>,
+}
+
+impl NodeState {
+    fn fresh() -> Self {
+        NodeState { issued: false, done_at: u64::MAX, value: None }
+    }
+
+    fn done(&self, now: u64) -> bool {
+        self.issued && self.done_at <= now
+    }
+}
+
+/// A task instance's dataflow context (lives on a tile while executing, or
+/// saved in its queue entry while waiting on a sync or call).
+#[derive(Debug, Clone)]
+struct Exec {
+    slot: usize,
+    block_idx: usize,
+    prev_block: Option<BlockId>,
+    block_start: u64,
+    nodes: Vec<NodeState>,
+    env: HashMap<ValueId, Val>,
+    /// When resuming from a sync, enter this block instead of continuing.
+    resume_block: Option<BlockId>,
+}
+
+#[derive(Debug)]
+struct QueueEntry {
+    args: Vec<Val>,
+    /// Spawning parent: `(unit, slot)` — the paper's `ParentID (SID, DyID)`.
+    parent: Option<(usize, usize)>,
+    /// Serial-call origin: deliver the return value to this node and
+    /// resume that instance.
+    call_ret: Option<CallRet>,
+    /// Outstanding children (the `C#` join counter).
+    children: u32,
+    waiting_sync: bool,
+    saved: Option<Box<Exec>>,
+    ready_at: u64,
+    spawned_at: u64,
+    dispatched_once: bool,
+    host: bool,
+    via_detach: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CallRet {
+    unit: usize,
+    slot: usize,
+    node: usize,
+}
+
+#[derive(Debug)]
+struct TaskUnit {
+    name: String,
+    func: FuncId,
+    dfg: Rc<TaskDfg>,
+    block_index: HashMap<BlockId, usize>,
+    entries: Vec<Option<QueueEntry>>,
+    free: Vec<usize>,
+    ready: Vec<usize>, // LIFO: depth-first scheduling bounds queue growth
+    tiles: Vec<Option<Exec>>,
+    port_base: usize,
+    stats: UnitStats,
+}
+
+impl TaskUnit {
+    fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MemTarget {
+    unit: usize,
+    tile: usize,
+    node: usize,
+}
+
+/// An elaborated TAPAS accelerator: the module's task units wired to the
+/// shared memory system, ready to simulate.
+pub struct Accelerator {
+    module: Rc<Module>,
+    units: Vec<TaskUnit>,
+    unit_of: HashMap<(u32, u32), usize>, // (func, task) -> unit
+    func_root: Vec<usize>,
+    databox: DataBox,
+    ms: MemSystem,
+    req_map: HashMap<u64, MemTarget>,
+    next_req: u64,
+    cycle: u64,
+    cfg: AcceleratorConfig,
+    spawns: u64,
+    calls: u64,
+    total_spawn_latency: u64,
+    min_spawn_latency: u64,
+    host_result: Option<Option<Val>>,
+    progress: bool,
+    events: Vec<SimEvent>,
+}
+
+impl std::fmt::Debug for Accelerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Accelerator")
+            .field("units", &self.units.len())
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+impl Accelerator {
+    /// Elaborate an accelerator for every function of `module`: extract
+    /// tasks (Stage 1), lower TXU dataflows (Stage 2) and instantiate task
+    /// units with the Stage 3 parameters in `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Elaborate`] if extraction or lowering fails.
+    pub fn elaborate(module: &Module, cfg: &AcceleratorConfig) -> Result<Self, SimError> {
+        let graphs = extract_module(module).map_err(|e| SimError::Elaborate(e.to_string()))?;
+        let mut units = Vec::new();
+        let mut unit_of = HashMap::new();
+        let mut func_root = Vec::new();
+        let mut port_base = 0usize;
+        for graph in &graphs {
+            let dfgs = lower_tasks(module, graph, &cfg.latencies)
+                .map_err(|e| SimError::Elaborate(e.to_string()))?;
+            func_root.push(units.len());
+            for dfg in dfgs {
+                let tid = dfg.task;
+                let name = graph.task(tid).name.clone();
+                let tiles = cfg.tiles_for(&name);
+                let uid = units.len();
+                unit_of.insert((graph.func.0, tid.0), uid);
+                let block_index = dfg
+                    .blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| (b.block, i))
+                    .collect();
+                let ports = tiles * dfg.mem_ports;
+                units.push(TaskUnit {
+                    stats: UnitStats {
+                        name: name.clone(),
+                        tiles,
+                        ..UnitStats::default()
+                    },
+                    name,
+                    func: graph.func,
+                    dfg: Rc::new(dfg),
+                    block_index,
+                    entries: (0..cfg.ntasks).map(|_| None).collect(),
+                    free: (0..cfg.ntasks).rev().collect(),
+                    ready: Vec::new(),
+                    tiles: (0..tiles).map(|_| None).collect(),
+                    port_base,
+                });
+                port_base += ports;
+            }
+        }
+        let databox = DataBox::new(DataBoxConfig {
+            ports: port_base.max(1),
+            ..cfg.databox.clone()
+        });
+        Ok(Accelerator {
+            module: Rc::new(module.clone()),
+            units,
+            unit_of,
+            func_root,
+            databox,
+            ms: match &cfg.l2 {
+                Some(l2) => MemSystem::with_l2(
+                    cfg.mem_bytes,
+                    cfg.cache.clone(),
+                    l2.clone(),
+                    cfg.dram.clone(),
+                ),
+                None => MemSystem::new(cfg.mem_bytes, cfg.cache.clone(), cfg.dram.clone()),
+            },
+            req_map: HashMap::new(),
+            next_req: 0,
+            cycle: 0,
+            cfg: cfg.clone(),
+            spawns: 0,
+            calls: 0,
+            total_spawn_latency: 0,
+            min_spawn_latency: u64::MAX,
+            host_result: None,
+            progress: false,
+            events: Vec::new(),
+        })
+    }
+
+    /// Drain the recorded task-level event trace (empty unless
+    /// `record_events` was enabled in the configuration).
+    pub fn take_events(&mut self) -> Vec<SimEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn record(&mut self, cycle: u64, unit: usize, slot: usize, kind: SimEventKind) {
+        if self.cfg.record_events {
+            self.events.push(SimEvent { cycle, unit, slot, kind });
+        }
+    }
+
+    /// The accelerator's shared memory.
+    pub fn mem(&self) -> &MemSystem {
+        &self.ms
+    }
+
+    /// Mutable access to the shared memory (host-side initialization).
+    pub fn mem_mut(&mut self) -> &mut MemSystem {
+        &mut self.ms
+    }
+
+    /// Number of task units in the design.
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Names of all task units, in elaboration order.
+    pub fn unit_names(&self) -> Vec<String> {
+        self.units.iter().map(|u| u.name.clone()).collect()
+    }
+
+    /// Invoke `func` with `args` and simulate to completion.
+    ///
+    /// Can be called repeatedly; memory contents persist across runs while
+    /// cycle counting restarts (the cache keeps its state — use
+    /// [`MemSystem::cache`] `flush` for cold-cache runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on cycle-budget exhaustion or functional faults.
+    pub fn run(&mut self, func: FuncId, args: &[Val]) -> Result<SimOutcome, SimError> {
+        let root_unit = self.func_root[func.0 as usize];
+        self.host_result = None;
+        let start_cycle = self.cycle;
+        let slot = self
+            .alloc_entry(root_unit, args.to_vec(), None, None, self.cycle, true, false)
+            .ok_or(SimError::QueueFull)?;
+        let _ = slot;
+        let mut last_progress = self.cycle;
+        while self.host_result.is_none() {
+            let now = self.cycle;
+            self.databox.tick(now, &mut self.ms);
+            for resp in self.databox.pop_responses(now) {
+                self.route_response(resp, now);
+                self.progress = true;
+            }
+            for u in 0..self.units.len() {
+                self.dispatch(u, now);
+            }
+            for u in 0..self.units.len() {
+                for t in 0..self.units[u].tiles.len() {
+                    self.advance_tile(u, t, now)?;
+                }
+            }
+            for u in &mut self.units {
+                let occ = u.occupancy();
+                u.stats.queue_peak = u.stats.queue_peak.max(occ);
+                u.stats.busy_tile_cycles +=
+                    u.tiles.iter().filter(|t| t.is_some()).count() as u64;
+            }
+            if self.progress || self.ms.has_pending() {
+                last_progress = now;
+                self.progress = false;
+            } else if now - last_progress > 100_000 {
+                return Err(SimError::Deadlock { at: now });
+            }
+            self.cycle += 1;
+            if self.cycle - start_cycle > self.cfg.max_cycles {
+                return Err(SimError::CycleLimit(self.cfg.max_cycles));
+            }
+        }
+        let cycles = self.cycle - start_cycle;
+        let stats = SimStats {
+            cycles,
+            spawns: self.spawns,
+            calls: self.calls,
+            total_spawn_latency: self.total_spawn_latency,
+            min_spawn_latency: self.min_spawn_latency,
+            units: self.units.iter().map(|u| u.stats.clone()).collect(),
+            cache: self.ms.cache.stats(),
+            dram_reads: self.ms.dram.reads,
+            dram_writes: self.ms.dram.writes,
+            databox_issued: self.databox.stats().issued,
+            cache_stalls: self.databox.stats().cache_stalls,
+        };
+        Ok(SimOutcome { ret: self.host_result.take().flatten(), cycles, stats })
+    }
+
+    // ---- queue management --------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn alloc_entry(
+        &mut self,
+        unit: usize,
+        args: Vec<Val>,
+        parent: Option<(usize, usize)>,
+        call_ret: Option<CallRet>,
+        now: u64,
+        host: bool,
+        via_detach: bool,
+    ) -> Option<usize> {
+        let u = &mut self.units[unit];
+        let slot = u.free.pop()?;
+        u.entries[slot] = Some(QueueEntry {
+            args,
+            parent,
+            call_ret,
+            children: 0,
+            waiting_sync: false,
+            saved: None,
+            ready_at: now + self.cfg.spawn_cost,
+            spawned_at: now,
+            dispatched_once: false,
+            host,
+            via_detach,
+        });
+        u.ready.push(slot);
+        self.record(now, unit, slot, SimEventKind::Spawned);
+        Some(slot)
+    }
+
+    fn dispatch(&mut self, unit: usize, now: u64) {
+        loop {
+            let u = &mut self.units[unit];
+            let Some(tile_idx) = u.tiles.iter().position(Option::is_none) else {
+                return;
+            };
+            // LIFO scan for a dispatchable entry.
+            let Some(pos) = u
+                .ready
+                .iter()
+                .rposition(|&s| u.entries[s].as_ref().is_some_and(|e| e.ready_at <= now))
+            else {
+                return;
+            };
+            let slot = u.ready.remove(pos);
+            let entry = u.entries[slot].as_mut().expect("ready entry exists");
+            if !entry.dispatched_once {
+                entry.dispatched_once = true;
+                if entry.via_detach {
+                    let lat = now - entry.spawned_at;
+                    self.total_spawn_latency += lat;
+                    self.min_spawn_latency = self.min_spawn_latency.min(lat);
+                }
+            }
+            let exec = match entry.saved.take() {
+                Some(mut saved) => {
+                    if let Some(rb) = saved.resume_block.take() {
+                        let idx = u.block_index[&rb];
+                        let old = u.dfg.blocks[saved.block_idx].block;
+                        saved.prev_block = Some(old);
+                        saved.block_idx = idx;
+                        saved.nodes =
+                            vec![NodeState::fresh(); u.dfg.blocks[idx].nodes.len()];
+                        saved.block_start = now;
+                    }
+                    *saved
+                }
+                None => {
+                    let dfg = Rc::clone(&u.dfg);
+                    let env: HashMap<ValueId, Val> = dfg
+                        .args
+                        .iter()
+                        .copied()
+                        .zip(entry.args.iter().copied())
+                        .collect();
+                    let entry_idx = u.block_index[&dfg.entry];
+                    Exec {
+                        slot,
+                        block_idx: entry_idx,
+                        prev_block: None,
+                        block_start: now,
+                        nodes: vec![NodeState::fresh(); dfg.blocks[entry_idx].nodes.len()],
+                        env,
+                        resume_block: None,
+                    }
+                }
+            };
+            let slot = exec.slot;
+            u.tiles[tile_idx] = Some(exec);
+            self.progress = true;
+            self.record(now, unit, slot, SimEventKind::Dispatched { tile: tile_idx });
+        }
+    }
+
+    // ---- responses ----------------------------------------------------------
+
+    fn route_response(&mut self, resp: tapas_mem::MemResp, now: u64) {
+        let Some(target) = self.req_map.remove(&resp.id.0) else {
+            return;
+        };
+        let u = &mut self.units[target.unit];
+        let Some(exec) = u.tiles[target.tile].as_mut() else {
+            panic!("memory response for an empty tile (suspension invariant broken)");
+        };
+        let node = &u.dfg.blocks[exec.block_idx].nodes[target.node];
+        let value = match &node.op {
+            NodeOp::Load { .. } => Some(load_value(
+                self.module.function(u.func),
+                node,
+                resp.rdata,
+            )),
+            NodeOp::Store { .. } => None,
+            other => panic!("memory response for non-memory node {other:?}"),
+        };
+        let ns = &mut exec.nodes[target.node];
+        ns.done_at = now;
+        ns.value = value;
+        if let (Some(r), Some(v)) = (node.result, ns.value) {
+            exec.env.insert(r, v);
+        }
+    }
+
+    // ---- tile execution -------------------------------------------------------
+
+    fn advance_tile(&mut self, unit: usize, tile: usize, now: u64) -> Result<(), SimError> {
+        let Some(mut exec) = self.units[unit].tiles[tile].take() else {
+            return Ok(());
+        };
+        if now < exec.block_start {
+            self.units[unit].tiles[tile] = Some(exec);
+            return Ok(());
+        }
+        let dfg = Rc::clone(&self.units[unit].dfg);
+        let blk = &dfg.blocks[exec.block_idx];
+
+        // Issue whatever has become ready.
+        for idx in 0..blk.nodes.len() {
+            if exec.nodes[idx].issued {
+                continue;
+            }
+            let node = &blk.nodes[idx];
+            if !self.deps_ready(node, &exec, now) {
+                continue;
+            }
+            match &node.op {
+                NodeOp::Load { size } => {
+                    let addr = self.operand_val(&node.operands[0], &exec).as_int();
+                    if self.enqueue_mem(
+                        unit, tile, exec.block_idx, idx, addr, *size, MemOpKind::Read, 0,
+                        now,
+                    ) {
+                        exec.nodes[idx].issued = true;
+                        self.progress = true;
+                    }
+                }
+                NodeOp::Store { size } => {
+                    let addr = self.operand_val(&node.operands[0], &exec).as_int();
+                    let data = val_bits(self.operand_val(&node.operands[1], &exec));
+                    if self.enqueue_mem(
+                        unit, tile, exec.block_idx, idx, addr, *size, MemOpKind::Write,
+                        data, now,
+                    ) {
+                        exec.nodes[idx].issued = true;
+                        self.progress = true;
+                    }
+                }
+                NodeOp::CallSpawn { callee } => {
+                    // Quiesce: no other node may be in flight while the
+                    // instance suspends (memory responses are tile-routed).
+                    let in_flight = exec
+                        .nodes
+                        .iter()
+                        .enumerate()
+                        .any(|(j, n)| j != idx && n.issued && !n.done(now));
+                    if in_flight {
+                        continue;
+                    }
+                    let args: Vec<Val> = node
+                        .operands
+                        .iter()
+                        .map(|o| self.operand_val(o, &exec))
+                        .collect();
+                    let callee_unit = self.func_root[callee.0 as usize];
+                    let cr = CallRet { unit, slot: exec.slot, node: idx };
+                    if self
+                        .alloc_entry(callee_unit, args, None, Some(cr), now, false, false)
+                        .is_some()
+                    {
+                        self.calls += 1;
+                        exec.nodes[idx].issued = true;
+                        // Suspend: context returns to the queue entry, the
+                        // tile frees for other ready tasks.
+                        let slot = exec.slot;
+                        self.units[unit].entries[slot]
+                            .as_mut()
+                            .expect("running entry exists")
+                            .saved = Some(Box::new(exec));
+                        self.record(now, unit, slot, SimEventKind::CallWait);
+                        return Ok(());
+                    }
+                    // Callee queue full: retry next cycle.
+                    self.units[unit].stats.spawn_stalls += 1;
+                }
+                _ => {
+                    let (value, lat) = self.eval_fixed(node, &exec)?;
+                    self.progress = true;
+                    let ns = &mut exec.nodes[idx];
+                    ns.issued = true;
+                    ns.done_at = now + u64::from(lat);
+                    ns.value = value;
+                    if let (Some(r), Some(v)) = (node.result, ns.value) {
+                        exec.env.insert(r, v);
+                    }
+                }
+            }
+        }
+
+        // Terminator fires once every node in the block has drained.
+        let all_done = exec.nodes.iter().all(|n| n.done(now));
+        if !all_done {
+            self.units[unit].tiles[tile] = Some(exec);
+            return Ok(());
+        }
+        match blk.term.clone() {
+            TermInfo::Br(t) => {
+                self.enter_block(&mut exec, unit, t, now + self.cfg.block_transition);
+                self.units[unit].tiles[tile] = Some(exec);
+                self.progress = true;
+            }
+            TermInfo::CondBr { cond, if_true, if_false } => {
+                let c = self.operand_val(&cond, &exec).as_int() & 1;
+                let t = if c == 1 { if_true } else { if_false };
+                self.enter_block(&mut exec, unit, t, now + self.cfg.block_transition);
+                self.units[unit].tiles[tile] = Some(exec);
+                self.progress = true;
+            }
+            TermInfo::Ret(v) => {
+                let value = v.map(|o| self.operand_val(&o, &exec));
+                self.finish_instance(unit, exec.slot, value, now);
+            }
+            TermInfo::Reattach => {
+                self.finish_instance(unit, exec.slot, None, now);
+            }
+            TermInfo::Detach { child, args, cont } => {
+                let child_unit = self.unit_of[&(self.units[unit].func.0, child.0)];
+                let arg_vals: Vec<Val> =
+                    args.iter().map(|o| self.operand_val(o, &exec)).collect();
+                let parent = Some((unit, exec.slot));
+                if self
+                    .alloc_entry(child_unit, arg_vals, parent, None, now, false, true)
+                    .is_some()
+                {
+                    self.spawns += 1;
+                    self.units[unit].entries[exec.slot]
+                        .as_mut()
+                        .expect("running entry exists")
+                        .children += 1;
+                    self.enter_block(&mut exec, unit, cont, now + 1);
+                    self.units[unit].tiles[tile] = Some(exec);
+                } else {
+                    // Ready-valid backpressure: retry next cycle.
+                    self.units[child_unit].stats.spawn_stalls += 1;
+                    self.units[unit].tiles[tile] = Some(exec);
+                }
+            }
+            TermInfo::Sync(cont) => {
+                let slot = exec.slot;
+                let entry = self.units[unit].entries[slot]
+                    .as_mut()
+                    .expect("running entry exists");
+                if entry.children == 0 {
+                    self.enter_block(&mut exec, unit, cont, now + self.cfg.sync_cost);
+                    self.units[unit].tiles[tile] = Some(exec);
+                } else {
+                    // SYNC state: context parks in the queue entry.
+                    entry.waiting_sync = true;
+                    exec.resume_block = Some(cont);
+                    entry.saved = Some(Box::new(exec));
+                    self.record(now, unit, slot, SimEventKind::SyncWait);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn enter_block(&self, exec: &mut Exec, unit: usize, block: BlockId, at: u64) {
+        let u = &self.units[unit];
+        let old = u.dfg.blocks[exec.block_idx].block;
+        let idx = *u
+            .block_index
+            .get(&block)
+            .unwrap_or_else(|| panic!("branch to block {block} outside task {}", u.name));
+        exec.prev_block = Some(old);
+        exec.block_idx = idx;
+        exec.nodes = vec![NodeState::fresh(); u.dfg.blocks[idx].nodes.len()];
+        exec.block_start = at;
+    }
+
+    fn finish_instance(&mut self, unit: usize, slot: usize, value: Option<Val>, now: u64) {
+        self.progress = true;
+        self.record(now, unit, slot, SimEventKind::Completed);
+        let entry = self.units[unit].entries[slot].take().expect("finishing live entry");
+        debug_assert_eq!(entry.children, 0, "task completed with outstanding children");
+        self.units[unit].free.push(slot);
+        self.units[unit].stats.tasks_executed += 1;
+        if let Some(cr) = entry.call_ret {
+            let dfg = Rc::clone(&self.units[cr.unit].dfg);
+            let caller = self.units[cr.unit].entries[cr.slot]
+                .as_mut()
+                .expect("caller entry alive");
+            let saved = caller.saved.as_mut().expect("caller suspended on call");
+            let ns = &mut saved.nodes[cr.node];
+            ns.done_at = now;
+            ns.value = value.or(Some(Val::Int(0)));
+            // Propagate the return value into the caller's environment.
+            let node_result = dfg.blocks[saved.block_idx].nodes[cr.node].result;
+            if let (Some(r), Some(v)) = (node_result, saved.nodes[cr.node].value) {
+                saved.env.insert(r, v);
+            }
+            caller.ready_at = now + 1;
+            self.units[cr.unit].ready.push(cr.slot);
+        }
+        if let Some((pu, ps)) = entry.parent {
+            let p = self.units[pu].entries[ps]
+                .as_mut()
+                .expect("parent entry alive during child completion");
+            p.children -= 1;
+            if p.waiting_sync && p.children == 0 {
+                p.waiting_sync = false;
+                p.ready_at = now + self.cfg.sync_cost;
+                self.units[pu].ready.push(ps);
+            }
+        }
+        if entry.host {
+            self.host_result = Some(value);
+        }
+    }
+
+    // ---- helpers -----------------------------------------------------------
+
+    fn deps_ready(&self, node: &DfgNode, exec: &Exec, now: u64) -> bool {
+        let op_ready = |o: &Operand| match o {
+            Operand::Local(i) => exec.nodes[*i].done(now),
+            Operand::Env(_) | Operand::Imm(_) => true,
+        };
+        let data_ok = match &node.op {
+            // A phi's readiness depends only on the incoming edge taken.
+            NodeOp::Phi { incomings } => {
+                let prev = exec.prev_block;
+                incomings
+                    .iter()
+                    .find(|(b, _)| Some(*b) == prev)
+                    .map(|(_, o)| op_ready(o))
+                    .unwrap_or(false)
+            }
+            _ => node.operands.iter().all(op_ready),
+        };
+        data_ok && node.order_deps.iter().all(|&d| exec.nodes[d].done(now))
+    }
+
+    fn operand_val(&self, o: &Operand, exec: &Exec) -> Val {
+        match o {
+            Operand::Local(i) => exec.nodes[*i]
+                .value
+                .unwrap_or_else(|| panic!("reading unfinished node {i}")),
+            Operand::Env(v) => *exec
+                .env
+                .get(v)
+                .unwrap_or_else(|| panic!("value {v} missing from TXU environment")),
+            Operand::Imm(c) => const_val(c),
+        }
+    }
+
+    fn eval_fixed(
+        &self,
+        node: &DfgNode,
+        exec: &Exec,
+    ) -> Result<(Option<Val>, u32), SimError> {
+        let v = |i: usize| self.operand_val(&node.operands[i], exec);
+        let value = match &node.op {
+            NodeOp::Alu(op) => {
+                Some(eval_bin(*op, v(0), v(1), node.width).map_err(|_| SimError::DivByZero)?)
+            }
+            NodeOp::FAlu(op) => Some(eval_fbin(*op, v(0), v(1))),
+            NodeOp::Cmp { pred, width } => {
+                Some(Val::Int(eval_cmp(*pred, v(0), v(1), *width) as u64))
+            }
+            NodeOp::FCmp(pred) => Some(Val::Int(eval_fcmp(*pred, v(0), v(1)) as u64)),
+            NodeOp::Select => {
+                Some(if v(0).as_int() & 1 == 1 { v(1) } else { v(2) })
+            }
+            NodeOp::Cast { kind, from_width, to_width } => {
+                Some(eval_cast(*kind, v(0), *from_width, *to_width))
+            }
+            NodeOp::Gep { steps } => {
+                let mut addr = v(0).as_int();
+                let mut next_operand = 1usize;
+                for s in steps {
+                    match s {
+                        tapas_dfg::GepStep::Fixed(k) => addr = addr.wrapping_add(*k),
+                        tapas_dfg::GepStep::Scaled { stride, .. } => {
+                            let ix = self
+                                .operand_val(&node.operands[next_operand], exec)
+                                .as_int();
+                            next_operand += 1;
+                            addr = addr.wrapping_add(ix.wrapping_mul(*stride));
+                        }
+                    }
+                }
+                Some(Val::Int(addr))
+            }
+            NodeOp::Phi { incomings } => {
+                let prev = exec
+                    .prev_block
+                    .expect("phi evaluated in an entry block");
+                let (_, o) = incomings
+                    .iter()
+                    .find(|(b, _)| *b == prev)
+                    .expect("phi has incoming for edge taken");
+                Some(self.operand_val(o, exec))
+            }
+            NodeOp::Load { .. } | NodeOp::Store { .. } | NodeOp::CallSpawn { .. } => {
+                unreachable!("dynamic nodes handled by caller")
+            }
+        };
+        Ok((value, node.latency))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_mem(
+        &mut self,
+        unit: usize,
+        tile: usize,
+        block_idx: usize,
+        node: usize,
+        addr: u64,
+        size: u8,
+        kind: MemOpKind,
+        wdata: u64,
+        now: u64,
+    ) -> bool {
+        let u = &self.units[unit];
+        let port = u.port_base
+            + tile * u.dfg.mem_ports
+            + u.dfg.blocks[block_idx].nodes[node]
+                .mem_port
+                .expect("memory node has a port");
+        let id = ReqId(self.next_req);
+        let req = MemReq { id, port, addr, size, kind, wdata };
+        if self.databox.enqueue(req, now) {
+            self.req_map
+                .insert(id.0, MemTarget { unit, tile, node });
+            self.next_req += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn const_val(c: &Constant) -> Val {
+    match c {
+        Constant::Int { bits, .. } => Val::Int(*bits),
+        Constant::F32(x) => Val::F32(*x),
+        Constant::F64(x) => Val::F64(*x),
+        Constant::NullPtr(_) => Val::Int(0),
+    }
+}
+
+fn val_bits(v: Val) -> u64 {
+    match v {
+        Val::Int(x) => x,
+        Val::F32(x) => u64::from(x.to_bits()),
+        Val::F64(x) => x.to_bits(),
+    }
+}
+
+fn load_value(f: &Function, node: &DfgNode, rdata: u64) -> Val {
+    let ty = node.result.map(|r| f.value_ty(r).clone()).unwrap_or(Type::I64);
+    match ty {
+        Type::F32 => Val::F32(f32::from_bits(rdata as u32)),
+        Type::F64 => Val::F64(f64::from_bits(rdata)),
+        Type::Int(w) => Val::Int(mask_to_width(rdata, w)),
+        _ => Val::Int(rdata),
+    }
+}
+
+fn eval_cast(kind: CastKind, v: Val, from_w: u8, to_w: u8) -> Val {
+    match kind {
+        CastKind::ZExt => Val::Int(v.as_int()),
+        CastKind::SExt => Val::Int(mask_to_width(
+            sign_extend(v.as_int(), from_w) as u64,
+            to_w,
+        )),
+        CastKind::Trunc => Val::Int(mask_to_width(v.as_int(), to_w)),
+        CastKind::SiToFp => {
+            let s = sign_extend(v.as_int(), from_w);
+            if to_w == 32 {
+                Val::F32(s as f32)
+            } else {
+                Val::F64(s as f64)
+            }
+        }
+        CastKind::FpToSi => {
+            let x = match v {
+                Val::F32(x) => x as f64,
+                Val::F64(x) => x,
+                Val::Int(_) => panic!("fptosi of integer"),
+            };
+            Val::Int(mask_to_width(x as i64 as u64, to_w))
+        }
+        CastKind::PtrCast | CastKind::PtrToInt | CastKind::IntToPtr => Val::Int(v.as_int()),
+        CastKind::FpExt => Val::F64(v.as_f32() as f64),
+        CastKind::FpTrunc => Val::F32(v.as_f64() as f32),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AcceleratorConfig;
+    use tapas_ir::{CmpPred, FunctionBuilder, Module, Type};
+
+    fn run_both(
+        m: &Module,
+        f: FuncId,
+        args: &[Val],
+        mem_init: &[u8],
+        cfg: &AcceleratorConfig,
+    ) -> (SimOutcome, Vec<u8>, Option<Val>, Vec<u8>) {
+        // Accelerator
+        let mut acc = Accelerator::elaborate(m, cfg).unwrap();
+        acc.mem_mut().write_bytes(0, mem_init);
+        let out = acc.run(f, args).unwrap();
+        let acc_mem = acc.mem().read_bytes(0, mem_init.len()).to_vec();
+        // Interpreter golden model
+        let mut im = mem_init.to_vec();
+        let gold = tapas_ir::interp::run(
+            m,
+            f,
+            args,
+            &mut im,
+            &tapas_ir::interp::InterpConfig::default(),
+        )
+        .unwrap();
+        (out, acc_mem, gold.ret, im)
+    }
+
+    /// Parallel-for over an array: a[i] += 1 for i in 0..n (Fig. 2 shape).
+    fn build_pfor_inc(m: &mut Module) -> FuncId {
+        let mut b = FunctionBuilder::new(
+            "pfor_inc",
+            vec![Type::ptr(Type::I32), Type::I64],
+            Type::Void,
+        );
+        let header = b.create_block("header");
+        let spawn = b.create_block("spawn");
+        let task = b.create_block("task");
+        let latch = b.create_block("latch");
+        let exit = b.create_block("exit");
+        let done = b.create_block("done");
+        let (a, n) = (b.param(0), b.param(1));
+        let zero = b.const_int(Type::I64, 0);
+        let one = b.const_int(Type::I64, 1);
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, zero)]);
+        let c = b.icmp(CmpPred::Slt, i, n);
+        b.cond_br(c, spawn, exit);
+        b.switch_to(spawn);
+        b.detach(task, latch);
+        b.switch_to(task);
+        let p = b.gep_index(a, i);
+        let v = b.load(p);
+        let one32 = b.const_int(Type::I32, 1);
+        let v2 = b.add(v, one32);
+        b.store(p, v2);
+        b.reattach(latch);
+        b.switch_to(latch);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, latch, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        m.add_function(b.finish())
+    }
+
+    #[test]
+    fn straight_line_task_matches_interpreter() {
+        let mut b = FunctionBuilder::new(
+            "axpy1",
+            vec![Type::ptr(Type::I32), Type::I32],
+            Type::I32,
+        );
+        let (p, x) = (b.param(0), b.param(1));
+        let v = b.load(p);
+        let prod = b.mul(v, x);
+        let three = b.const_int(Type::I32, 3);
+        let s = b.add(prod, three);
+        b.store(p, s);
+        b.ret(Some(s));
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mem: Vec<u8> = 5i32.to_le_bytes().to_vec();
+        let (out, acc_mem, gold_ret, gold_mem) =
+            run_both(&m, f, &[Val::Int(0), Val::Int(7)], &mem, &AcceleratorConfig::default());
+        assert_eq!(out.ret, gold_ret);
+        assert_eq!(acc_mem, gold_mem);
+        assert_eq!(out.ret, Some(Val::Int(38)));
+        assert!(out.cycles > 40, "two cache misses dominate");
+    }
+
+    #[test]
+    fn serial_loop_matches_interpreter() {
+        // sum over memory: while i<n acc+=a[i]
+        let mut b = FunctionBuilder::new(
+            "sum",
+            vec![Type::ptr(Type::I32), Type::I64],
+            Type::I32,
+        );
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        let (a, n) = (b.param(0), b.param(1));
+        let zero64 = b.const_int(Type::I64, 0);
+        let zero32 = b.const_int(Type::I32, 0);
+        let one = b.const_int(Type::I64, 1);
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, zero64)]);
+        let acc = b.phi(Type::I32, vec![(entry, zero32)]);
+        let c = b.icmp(CmpPred::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let p = b.gep_index(a, i);
+        let v = b.load(p);
+        let acc2 = b.add(acc, v);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, body, i2);
+        b.add_phi_incoming(acc, body, acc2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mut mem = Vec::new();
+        for k in 0..16i32 {
+            mem.extend_from_slice(&k.to_le_bytes());
+        }
+        let (out, acc_mem, gold_ret, gold_mem) =
+            run_both(&m, f, &[Val::Int(0), Val::Int(16)], &mem, &AcceleratorConfig::default());
+        assert_eq!(out.ret, gold_ret);
+        assert_eq!(out.ret, Some(Val::Int(120)));
+        assert_eq!(acc_mem, gold_mem);
+    }
+
+    #[test]
+    fn parallel_for_spawns_and_matches() {
+        let mut m = Module::new("m");
+        let f = build_pfor_inc(&mut m);
+        let n = 24u64;
+        let mut mem = Vec::new();
+        for k in 0..n as i32 {
+            mem.extend_from_slice(&(k * 3).to_le_bytes());
+        }
+        let cfg = AcceleratorConfig::default().with_default_tiles(2);
+        let (out, acc_mem, _, gold_mem) =
+            run_both(&m, f, &[Val::Int(0), Val::Int(n)], &mem, &cfg);
+        assert_eq!(acc_mem, gold_mem);
+        assert_eq!(out.stats.spawns, n);
+        // Uncontended spawn latency is small ("~10 cycles" claim); the
+        // average includes queueing delay when producers outrun tiles.
+        assert!(
+            out.stats.min_spawn_latency <= 12,
+            "min spawn latency {}",
+            out.stats.min_spawn_latency
+        );
+    }
+
+    #[test]
+    fn more_tiles_do_not_change_results_but_help_performance() {
+        let mut m = Module::new("m");
+        let f = build_pfor_inc(&mut m);
+        let n = 64u64;
+        let mut mem = vec![0u8; (n * 4) as usize];
+        for k in 0..n as usize {
+            mem[k * 4..k * 4 + 4].copy_from_slice(&(k as i32).to_le_bytes());
+        }
+        let run_with = |tiles: usize| {
+            let cfg = AcceleratorConfig::default().with_tiles("pfor_inc::task1", tiles);
+            let mut acc = Accelerator::elaborate(&m, &cfg).unwrap();
+            acc.mem_mut().write_bytes(0, &mem);
+            let out = acc.run(f, &[Val::Int(0), Val::Int(n)]).unwrap();
+            (out.cycles, acc.mem().read_bytes(0, mem.len()).to_vec())
+        };
+        let (c1, m1) = run_with(1);
+        let (c4, m4) = run_with(4);
+        assert_eq!(m1, m4, "tile count must not affect results");
+        assert!(c4 <= c1, "more tiles should not slow down ({c4} vs {c1})");
+    }
+
+    #[test]
+    fn nested_detach_sync_matches() {
+        // Parent spawns a child; child spawns a grandchild writing memory.
+        let mut b = FunctionBuilder::new("nest", vec![Type::ptr(Type::I32)], Type::Void);
+        let t1 = b.create_block("t1");
+        let c1 = b.create_block("c1");
+        let gt = b.create_block("gt");
+        let gc = b.create_block("gc");
+        let gdone = b.create_block("gdone");
+        let done = b.create_block("done");
+        let p = b.param(0);
+        b.detach(t1, c1);
+        // child region: spawn grandchild, sync, reattach
+        b.switch_to(t1);
+        b.detach(gt, gc);
+        b.switch_to(gt);
+        let seven = b.const_int(Type::I32, 7);
+        b.store(p, seven);
+        b.reattach(gc);
+        b.switch_to(gc);
+        b.sync(gdone);
+        b.switch_to(gdone);
+        let v = b.load(p);
+        let one = b.const_int(Type::I32, 1);
+        let v2 = b.add(v, one);
+        b.store(p, v2);
+        b.reattach(c1);
+        b.switch_to(c1);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mem = vec![0u8; 4];
+        let (out, acc_mem, _, gold_mem) =
+            run_both(&m, f, &[Val::Int(0)], &mem, &AcceleratorConfig::default());
+        assert_eq!(acc_mem, gold_mem);
+        assert_eq!(i32::from_le_bytes(acc_mem[0..4].try_into().unwrap()), 8);
+        assert_eq!(out.stats.spawns, 2);
+    }
+
+    /// Recursive parallel fib via detached call (the §IV-C pattern).
+    fn build_parallel_fib(m: &mut Module) -> FuncId {
+        // fib(n): if n < 2 return n
+        //         x = spawn { fib(n-1) -> store to scratch }
+        //         actually: spawn task computing fib(n-1) into mem[addr],
+        //         compute fib(n-2) serially via call, sync, add.
+        let mut b = FunctionBuilder::new(
+            "fib",
+            vec![Type::I32, Type::ptr(Type::I32)],
+            Type::I32,
+        );
+        let rec = b.create_block("rec");
+        let base = b.create_block("base");
+        let task = b.create_block("task");
+        let cont = b.create_block("cont");
+        let after = b.create_block("after");
+        let (n, out) = (b.param(0), b.param(1));
+        let two = b.const_int(Type::I32, 2);
+        let c = b.icmp(CmpPred::Slt, n, two);
+        b.cond_br(c, base, rec);
+        b.switch_to(base);
+        b.ret(Some(n));
+        b.switch_to(rec);
+        b.detach(task, cont);
+        // spawned: r1 = fib(n-1, out+1); store r1 to out[0]
+        b.switch_to(task);
+        let one = b.const_int(Type::I32, 1);
+        let n1 = b.sub(n, one);
+        let one64 = b.const_int(Type::I64, 1);
+        let sub_out = b.gep_index(out, one64);
+        let r1 = b.call(FuncId(0), vec![n1, sub_out], Type::I32).unwrap();
+        b.store(out, r1);
+        b.reattach(cont);
+        // continuation: r2 = fib(n-2, out+33) serial call
+        b.switch_to(cont);
+        let n2 = b.sub(n, two);
+        let k33 = b.const_int(Type::I64, 33);
+        let sub_out2 = b.gep_index(out, k33);
+        let r2 = b.call(FuncId(0), vec![n2, sub_out2], Type::I32).unwrap();
+        b.sync(after);
+        b.switch_to(after);
+        let r1v = b.load(out);
+        let s = b.add(r1v, r2);
+        b.ret(Some(s));
+        m.add_function(b.finish())
+    }
+
+    #[test]
+    fn recursive_parallel_fib() {
+        let mut m = Module::new("m");
+        let f = build_parallel_fib(&mut m);
+        tapas_ir::verify_module(&m).unwrap();
+        // Scratch space: 66 slots per level, 12 levels is plenty for n=10.
+        let mem = vec![0u8; 1 << 16];
+        let cfg = AcceleratorConfig {
+            ntasks: 256,
+            ..AcceleratorConfig::default()
+        }
+        .with_default_tiles(2);
+        let (out, _, gold_ret, _) =
+            run_both(&m, f, &[Val::Int(10), Val::Int(4096)], &mem, &cfg);
+        assert_eq!(gold_ret, Some(Val::Int(55)));
+        assert_eq!(out.ret, Some(Val::Int(55)));
+        assert!(out.stats.calls > 50, "recursion bridged through call spawns");
+        assert!(out.stats.spawns > 20);
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let mut b = FunctionBuilder::new("inf", vec![], Type::Void);
+        let lp = b.create_block("lp");
+        b.br(lp);
+        b.switch_to(lp);
+        b.br(lp);
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let cfg = AcceleratorConfig { max_cycles: 5000, ..AcceleratorConfig::default() };
+        let mut acc = Accelerator::elaborate(&m, &cfg).unwrap();
+        let err = acc.run(f, &[]).unwrap_err();
+        assert!(matches!(err, SimError::CycleLimit(_)));
+    }
+
+    #[test]
+    fn div_by_zero_reported() {
+        let mut b = FunctionBuilder::new("dz", vec![Type::I32], Type::I32);
+        let x = b.param(0);
+        let zero = b.const_int(Type::I32, 0);
+        let q = b.sdiv(x, zero);
+        b.ret(Some(q));
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mut acc = Accelerator::elaborate(&m, &AcceleratorConfig::default()).unwrap();
+        let err = acc.run(f, &[Val::Int(3)]).unwrap_err();
+        assert_eq!(err, SimError::DivByZero);
+    }
+
+    #[test]
+    fn unit_per_task_elaborated() {
+        let mut m = Module::new("m");
+        let f = build_pfor_inc(&mut m);
+        let _ = f;
+        let acc = Accelerator::elaborate(&m, &AcceleratorConfig::default()).unwrap();
+        assert_eq!(acc.num_units(), 2);
+        let names = acc.unit_names();
+        assert!(names[0].contains("root"));
+        assert!(names[1].contains("task"));
+    }
+
+    #[test]
+    fn stats_accumulate_busy_cycles() {
+        let mut m = Module::new("m");
+        let f = build_pfor_inc(&mut m);
+        let mut acc = Accelerator::elaborate(&m, &AcceleratorConfig::default()).unwrap();
+        let n = 8u64;
+        let out = acc.run(f, &[Val::Int(0), Val::Int(n)]).unwrap();
+        let root = &out.stats.units[0];
+        let child = &out.stats.units[1];
+        assert!(root.busy_tile_cycles > 0);
+        assert!(child.busy_tile_cycles > 0);
+        assert_eq!(child.tasks_executed, n);
+        assert_eq!(root.tasks_executed, 1);
+        assert!(out.stats.cache.hits + out.stats.cache.misses > 0);
+    }
+}
+
+#[cfg(test)]
+mod event_tests {
+    use super::*;
+    use crate::AcceleratorConfig;
+    use tapas_ir::{CmpPred, FunctionBuilder, Module, Type};
+
+    #[test]
+    fn event_trace_covers_task_lifecycles() {
+        // parallel-for with 6 iterations
+        let mut b = FunctionBuilder::new(
+            "k",
+            vec![Type::ptr(Type::I32), Type::I64],
+            Type::Void,
+        );
+        let header = b.create_block("header");
+        let spawn = b.create_block("spawn");
+        let task = b.create_block("task");
+        let latch = b.create_block("latch");
+        let exit = b.create_block("exit");
+        let done = b.create_block("done");
+        let (a, n) = (b.param(0), b.param(1));
+        let zero = b.const_int(Type::I64, 0);
+        let one = b.const_int(Type::I64, 1);
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, zero)]);
+        let c = b.icmp(CmpPred::Slt, i, n);
+        b.cond_br(c, spawn, exit);
+        b.switch_to(spawn);
+        b.detach(task, latch);
+        b.switch_to(task);
+        let p = b.gep_index(a, i);
+        let one32 = b.const_int(Type::I32, 1);
+        b.store(p, one32);
+        b.reattach(latch);
+        b.switch_to(latch);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, latch, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+
+        let cfg = AcceleratorConfig {
+            record_events: true,
+            mem_bytes: 4096,
+            ..AcceleratorConfig::default()
+        };
+        let mut acc = Accelerator::elaborate(&m, &cfg).unwrap();
+        let out = acc.run(f, &[Val::Int(0), Val::Int(6)]).unwrap();
+        let events = acc.take_events();
+        assert!(!events.is_empty());
+        let count = |k: fn(&SimEventKind) -> bool| {
+            events.iter().filter(|e| k(&e.kind)).count() as u64
+        };
+        // 6 children + 1 host root spawned-and-completed
+        assert_eq!(count(|k| matches!(k, SimEventKind::Spawned)), 7);
+        assert_eq!(count(|k| matches!(k, SimEventKind::Completed)), 7);
+        assert_eq!(
+            count(|k| matches!(k, SimEventKind::SyncWait)),
+            1,
+            "the root parks once at its sync"
+        );
+        // Every slot's dispatch precedes its completion.
+        for e in &events {
+            if let SimEventKind::Completed = e.kind {
+                let d = events
+                    .iter()
+                    .find(|x| {
+                        x.unit == e.unit
+                            && x.slot == e.slot
+                            && matches!(x.kind, SimEventKind::Dispatched { .. })
+                    })
+                    .expect("dispatched before completed");
+                assert!(d.cycle <= e.cycle);
+            }
+        }
+        // Trace drained: second take is empty.
+        assert!(acc.take_events().is_empty());
+        assert_eq!(out.stats.spawns, 6);
+    }
+
+    #[test]
+    fn events_off_by_default() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        b.ret(None);
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mut acc =
+            Accelerator::elaborate(&m, &AcceleratorConfig::default()).unwrap();
+        acc.run(f, &[]).unwrap();
+        assert!(acc.take_events().is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Fibonacci — recursive parallelism with extremely fine-grain tasks
+//! (Table II: 26 instructions per task). Each invocation spawns
+//! `fib(n-1)` as a detached task and computes `fib(n-2)` in the
+//! continuation, exactly the classic `cilk_spawn` pattern; the hardware
+//! realizes the recursion through the task controller's asynchronous
+//! queuing (§IV-C).
+//!
+//! Spawned children cannot return values through SSA (nothing may escape a
+//! detached region), so each dynamic call writes its result into a scratch
+//! heap indexed like a complete binary tree: the instance at node `k`
+//! parks its left child's result at node `2k+1` — "return values are
+//! passed through the shared cache", as the paper puts it.
+
+use crate::BuiltWorkload;
+use tapas_ir::interp::Val;
+use tapas_ir::{CmpPred, FuncId, FunctionBuilder, Module, Type};
+
+/// Build `fib(n)`. The scratch heap needs `2^(n+1)` i32 slots; the result
+/// is the function's return value, also stored to slot 0 by the harness
+/// convention (output region = first 4 bytes).
+pub fn build(n: u64) -> BuiltWorkload {
+    let mut module = Module::new("fib");
+    let func = build_into(&mut module);
+
+    let slots = 1usize << (n + 1);
+    let mem = vec![0u8; slots * 4 + 4];
+    BuiltWorkload {
+        name: "fib".to_string(),
+        module,
+        func,
+        args: vec![Val::Int(n), Val::Int(4), Val::Int(0)],
+        mem,
+        output: (0, 4),
+        worker_task: "fib::task1".to_string(),
+        work_items: fib_value(n) as u64 + 1,
+    }
+}
+
+/// Add the `fib` function to an existing module and return its id.
+///
+/// Signature: `fib(n: i32-as-i64-truncated? no: (n: i32? )` — concretely
+/// `fib(n: i64, heap: i32*, node: i64) -> i32`, where `heap[node]` receives
+/// the result (so parents can read spawned children's values after sync).
+pub fn build_into(module: &mut Module) -> FuncId {
+    let heap_ty = Type::ptr(Type::I32);
+    let mut b = FunctionBuilder::new(
+        "fib",
+        vec![Type::I64, heap_ty, Type::I64],
+        Type::I32,
+    );
+    let rec = b.create_block("rec");
+    let base = b.create_block("base");
+    let task = b.create_block("task");
+    let cont = b.create_block("cont");
+    let after = b.create_block("after");
+    let (n, heap, node) = (b.param(0), b.param(1), b.param(2));
+    let two = b.const_int(Type::I64, 2);
+    let c = b.icmp(CmpPred::Slt, n, two);
+    b.cond_br(c, base, rec);
+
+    // base: heap[node] = n; return n
+    b.switch_to(base);
+    let n32 = b.trunc(n, Type::I32);
+    let pself = b.gep_index(heap, node);
+    b.store(pself, n32);
+    b.ret(Some(n32));
+
+    // rec: spawn fib(n-1) into the left child slot
+    b.switch_to(rec);
+    b.detach(task, cont);
+
+    b.switch_to(task);
+    let one = b.const_int(Type::I64, 1);
+    let n1 = b.sub(n, one);
+    let lnode0 = b.mul(node, two);
+    let lnode = b.add(lnode0, one);
+    b.call(FuncId(0), vec![n1, heap, lnode], Type::I32);
+    b.reattach(cont);
+
+    // cont: compute fib(n-2) serially into the right child slot
+    b.switch_to(cont);
+    let n2 = b.sub(n, two);
+    let rnode0 = b.mul(node, two);
+    let rnode = b.add(rnode0, two);
+    let r2 = b.call(FuncId(0), vec![n2, heap, rnode], Type::I32).unwrap();
+    b.sync(after);
+
+    // after: read the left child's parked result, add, park own result
+    b.switch_to(after);
+    let lnodeb0 = b.mul(node, two);
+    let lnodeb = b.add(lnodeb0, one);
+    let pl = b.gep_index(heap, lnodeb);
+    let r1 = b.load(pl);
+    let s = b.add(r1, r2);
+    let pown = b.gep_index(heap, node);
+    b.store(pown, s);
+    b.ret(Some(s));
+
+    module.add_function(b.finish())
+}
+
+/// Host-side fib oracle.
+pub fn fib_value(n: u64) -> u32 {
+    let (mut a, mut bv) = (0u32, 1u32);
+    for _ in 0..n {
+        let t = a.wrapping_add(bv);
+        a = bv;
+        bv = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreter_computes_fib() {
+        let wl = build(10);
+        let mut mem = wl.mem.clone();
+        let out = tapas_ir::interp::run(
+            &wl.module,
+            wl.func,
+            &wl.args,
+            &mut mem,
+            &tapas_ir::interp::InterpConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.ret, Some(Val::Int(55)));
+        assert_eq!(fib_value(10), 55);
+    }
+
+    #[test]
+    fn result_parked_at_root_node() {
+        let wl = build(9);
+        let mem = wl.golden_memory();
+        // args use node index 0 with heap at byte 4
+        let v = i32::from_le_bytes(mem[4..8].try_into().unwrap());
+        assert_eq!(v as u32, fib_value(9));
+    }
+
+    #[test]
+    fn oracle_sequence() {
+        let seq: Vec<u32> = (0..10).map(fib_value).collect();
+        assert_eq!(seq, vec![0, 1, 1, 2, 3, 5, 8, 13, 21, 34]);
+    }
+}

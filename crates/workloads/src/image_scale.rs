@@ -1,0 +1,128 @@
+//! Image scaling — nested parallel loops with if-else control inside the
+//! body (Table II: "Nested, If-else loops"). Scales a `w × h` 8-bit
+//! grayscale image up by 2× with edge clamping: interior output pixels
+//! average their two nearest source pixels, edge pixels replicate.
+
+use crate::loops::{cilk_for, if_then_else};
+use crate::BuiltWorkload;
+use tapas_ir::interp::Val;
+use tapas_ir::{CmpPred, FunctionBuilder, Module, Type};
+
+/// Build the 2× upscaler. Layout: source `w·h` bytes at 0, destination
+/// `2w·2h` bytes after it; the destination is the validated output.
+pub fn build(w: u64, h: u64) -> BuiltWorkload {
+    let ptr = Type::ptr(Type::I8);
+    let mut b = FunctionBuilder::new(
+        "image_scale",
+        vec![ptr.clone(), ptr, Type::I64, Type::I64],
+        Type::Void,
+    );
+    let (src, dst, wv, hv) = (b.param(0), b.param(1), b.param(2), b.param(3));
+    let zero = b.const_int(Type::I64, 0);
+    let one = b.const_int(Type::I64, 1);
+    let two = b.const_int(Type::I64, 2);
+    let h2 = b.mul(hv, two);
+    let w2 = b.mul(wv, two);
+    cilk_for(&mut b, zero, h2, |b, oy| {
+        let zero_i = b.const_int(Type::I64, 0);
+        cilk_for(b, zero_i, w2, |b, ox| {
+            // source coordinates
+            let sy = b.sdiv(oy, two);
+            let sx = b.sdiv(ox, two);
+            let srow = b.mul(sy, wv);
+            let sidx = b.add(srow, sx);
+            let ps = b.gep_index(src, sidx);
+            let base = b.load(ps);
+            let base16 = b.zext(base, Type::I16);
+            // odd columns blend with the right neighbour when in bounds
+            let oxbit = b.and(ox, one);
+            let is_odd = b.icmp(CmpPred::Eq, oxbit, one);
+            let sx1 = b.add(sx, one);
+            let in_bounds = b.icmp(CmpPred::Slt, sx1, wv);
+            let blend = b.and(is_odd, in_bounds);
+            let orow = b.mul(oy, w2);
+            let oidx = b.add(orow, ox);
+            let pd = b.gep_index(dst, oidx);
+            if_then_else(
+                b,
+                blend,
+                |b| {
+                    let sidx1 = b.add(sidx, one);
+                    let ps1 = b.gep_index(src, sidx1);
+                    let nb = b.load(ps1);
+                    let nb16 = b.zext(nb, Type::I16);
+                    let sum = b.add(base16, nb16);
+                    let one16 = b.const_int(Type::I16, 1);
+                    let avg = b.lshr(sum, one16);
+                    let avg8 = b.trunc(avg, Type::I8);
+                    b.store(pd, avg8);
+                },
+                |b| {
+                    b.store(pd, base);
+                },
+            );
+        });
+    });
+    b.ret(None);
+    let mut module = Module::new("image_scale");
+    let func = module.add_function(b.finish());
+
+    let (wu, hu) = (w as usize, h as usize);
+    let src_len = wu * hu;
+    let dst_len = src_len * 4;
+    let mut mem = vec![0u8; src_len + dst_len];
+    for k in 0..src_len {
+        mem[k] = ((k * 37 + 11) % 251) as u8;
+    }
+    BuiltWorkload {
+        name: "image_scale".to_string(),
+        module,
+        func,
+        args: vec![Val::Int(0), Val::Int(src_len as u64), Val::Int(w), Val::Int(h)],
+        mem,
+        output: (src_len as u64, dst_len),
+        worker_task: "image_scale::task2".to_string(),
+        work_items: 4 * w * h,
+    }
+}
+
+/// Host-side oracle for the scaled image.
+pub fn expected(w: u64, h: u64) -> Vec<u8> {
+    let (wu, hu) = (w as usize, h as usize);
+    let src: Vec<u8> = (0..wu * hu).map(|k| ((k * 37 + 11) % 251) as u8).collect();
+    let mut out = vec![0u8; wu * hu * 4];
+    for oy in 0..2 * hu {
+        for ox in 0..2 * wu {
+            let (sy, sx) = (oy / 2, ox / 2);
+            let base = src[sy * wu + sx] as u16;
+            let v = if ox % 2 == 1 && sx + 1 < wu {
+                let nb = src[sy * wu + sx + 1] as u16;
+                ((base + nb) >> 1) as u8
+            } else {
+                base as u8
+            };
+            out[oy * 2 * wu + ox] = v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreter_matches_oracle() {
+        let wl = build(8, 6);
+        let mem = wl.golden_memory();
+        assert_eq!(wl.output_of(&mem), expected(8, 6).as_slice());
+    }
+
+    #[test]
+    fn edge_columns_replicate() {
+        let exp = expected(4, 2);
+        // last output column duplicates the last source pixel of its row
+        let src: Vec<u8> = (0..8).map(|k| ((k * 37 + 11) % 251) as u8).collect();
+        assert_eq!(exp[7], src[3]);
+    }
+}

@@ -1,0 +1,152 @@
+//! # tapas-workloads — the paper's benchmarks as parallel IR programs
+//!
+//! Table II of the paper evaluates seven applications chosen to stress the
+//! patterns static HLS tools cannot express; this crate builds each of them
+//! directly in the Tapir-marked IR, plus the Fig. 12 spawn-rate
+//! microbenchmark:
+//!
+//! | name | pattern (paper's "HLS challenge") |
+//! |---|---|
+//! | [`matrix_add`] | nested parallel loops |
+//! | [`image_scale`] | nested loops with if-else |
+//! | [`saxpy`] | dynamic-exit parallel loop |
+//! | [`stencil`] | parallel loop over serial nested loops |
+//! | [`dedup`] | heterogeneous task pipeline with conditional stage |
+//! | [`mergesort`] | recursive parallelism with serial merge |
+//! | [`fib`] | recursive parallelism, fine-grain tasks |
+//! | [`scale_micro`] | Fig. 12 `cilk_for` spawn-rate microbenchmark |
+//!
+//! Every builder returns a [`BuiltWorkload`]: the module, entry function,
+//! call arguments, an initial memory image, and metadata (which task to
+//! scale tiles on, how many work items a run processes). The same IR runs
+//! on the reference interpreter, on the accelerator simulator, and through
+//! the multicore baseline model — exactly the paper's "identical Cilk
+//! programs" methodology.
+
+#![warn(missing_docs)]
+
+pub mod dedup;
+pub mod fib;
+pub mod image_scale;
+pub mod loops;
+pub mod matrix_add;
+pub mod mergesort;
+pub mod saxpy;
+pub mod scale_micro;
+pub mod source;
+pub mod stencil;
+
+use tapas_ir::interp::Val;
+use tapas_ir::{FuncId, Module};
+
+/// A fully-prepared workload instance.
+#[derive(Debug, Clone)]
+pub struct BuiltWorkload {
+    /// Workload name (matches the paper's tables).
+    pub name: String,
+    /// The IR module.
+    pub module: Module,
+    /// Entry function to invoke.
+    pub func: FuncId,
+    /// Invocation arguments.
+    pub args: Vec<Val>,
+    /// Initial memory image (device memory contents at offload).
+    pub mem: Vec<u8>,
+    /// Byte range `(start, len)` holding the result to validate.
+    pub output: (u64, usize),
+    /// Name of the task whose tile count the scalability experiments vary
+    /// (the "worker" task).
+    pub worker_task: String,
+    /// Work items processed per run (elements, chunks, ...), for
+    /// throughput metrics.
+    pub work_items: u64,
+}
+
+impl BuiltWorkload {
+    /// Run the workload on the reference interpreter, returning the final
+    /// memory image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if interpretation fails — workloads are expected to be
+    /// well-formed by construction.
+    pub fn golden_memory(&self) -> Vec<u8> {
+        let mut mem = self.mem.clone();
+        tapas_ir::interp::run(
+            &self.module,
+            self.func,
+            &self.args,
+            &mut mem,
+            &tapas_ir::interp::InterpConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("golden run of {} failed: {e}", self.name));
+        mem
+    }
+
+    /// The output region of a memory image.
+    pub fn output_of<'a>(&self, mem: &'a [u8]) -> &'a [u8] {
+        let (start, len) = self.output;
+        &mem[start as usize..start as usize + len]
+    }
+}
+
+/// The full benchmark suite at small "test" sizes (fast under the
+/// interpreter and debug-build simulator).
+pub fn suite_small() -> Vec<BuiltWorkload> {
+    vec![
+        matrix_add::build(16),
+        image_scale::build(16, 16),
+        saxpy::build(128),
+        stencil::build(8, 8),
+        dedup::build(24, 16),
+        mergesort::build(96, 12345),
+        fib::build(10),
+    ]
+}
+
+/// The benchmark suite at the "evaluation" sizes used by the figure
+/// harness (still simulator-friendly).
+pub fn suite_eval() -> Vec<BuiltWorkload> {
+    vec![
+        matrix_add::build(96),
+        image_scale::build(96, 96),
+        saxpy::build(8192),
+        stencil::build(48, 48),
+        dedup::build(192, 48),
+        mergesort::build(2048, 99),
+        fib::build(16),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_are_well_formed() {
+        for wl in suite_small() {
+            tapas_ir::verify_module(&wl.module)
+                .unwrap_or_else(|e| panic!("{} failed verify: {:?}", wl.name, e));
+            assert!(!wl.worker_task.is_empty());
+            assert!(wl.work_items > 0);
+            let (start, len) = wl.output;
+            assert!(start as usize + len <= wl.mem.len());
+        }
+    }
+
+    #[test]
+    fn suite_names_match_paper() {
+        let names: Vec<String> = suite_small().into_iter().map(|w| w.name).collect();
+        for expected in [
+            "matrix_add",
+            "image_scale",
+            "saxpy",
+            "stencil",
+            "dedup",
+            "mergesort",
+            "fib",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+}

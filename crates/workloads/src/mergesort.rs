@@ -1,0 +1,263 @@
+//! Merge sort — recursive parallelism (§IV-C, Fig. 11): partition, recurse
+//! on both halves in parallel (`cilk_spawn` both, `cilk_sync`), then a
+//! serial merge. Below a cutoff the task falls back to an in-place
+//! insertion sort, as real Cilk mergesorts do.
+//!
+//! The merge writes through a temporary buffer so the recursion operates
+//! in place on the primary array.
+
+use crate::loops::serial_for;
+use crate::BuiltWorkload;
+use tapas_ir::interp::Val;
+use tapas_ir::{CmpPred, FuncId, FunctionBuilder, Module, Type};
+
+/// Recursion cutoff below which the task sorts serially.
+pub const CUTOFF: i64 = 8;
+
+/// Build mergesort over `n` `i32` keys generated from `seed`.
+/// Layout: the array at 0, a temp buffer of the same size after it; the
+/// sorted array region is the output.
+pub fn build(n: u64, seed: u64) -> BuiltWorkload {
+    let mut module = Module::new("mergesort");
+    let func = build_into(&mut module);
+
+    let nu = n as usize;
+    let mut mem = vec![0u8; nu * 8];
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+    for k in 0..nu {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let v = (state >> 33) as i32;
+        mem[k * 4..k * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    BuiltWorkload {
+        name: "mergesort".to_string(),
+        module,
+        func,
+        args: vec![Val::Int(0), Val::Int(n * 4), Val::Int(0), Val::Int(n as u64)],
+        mem,
+        output: (0, nu * 4),
+        worker_task: "mergesort::task1".to_string(),
+        work_items: n,
+    }
+}
+
+/// Add `mergesort(list: i32*, tmp: i32*, start: i64, end: i64)` (end
+/// exclusive) to `module` and return its id.
+pub fn build_into(module: &mut Module) -> FuncId {
+    let ptr = Type::ptr(Type::I32);
+    let mut b = FunctionBuilder::new(
+        "mergesort",
+        vec![ptr.clone(), ptr, Type::I64, Type::I64],
+        Type::Void,
+    );
+    let small = b.create_block("small");
+    let recurse = b.create_block("recurse");
+    let t_left = b.create_block("t_left");
+    let c_left = b.create_block("c_left");
+    let t_right = b.create_block("t_right");
+    let c_right = b.create_block("c_right");
+    let merge = b.create_block("merge");
+
+    let (list, tmp, start, end) = (b.param(0), b.param(1), b.param(2), b.param(3));
+    let one = b.const_int(Type::I64, 1);
+    let two = b.const_int(Type::I64, 2);
+    let len = b.sub(end, start);
+    let cut = b.const_int(Type::I64, CUTOFF);
+    let is_small = b.icmp(CmpPred::Sle, len, cut);
+    b.cond_br(is_small, small, recurse);
+
+    // small: insertion sort [start, end)
+    b.switch_to(small);
+    {
+        let s1 = b.add(start, one);
+        serial_for(&mut b, s1, end, |b, i| {
+            // key = list[i]; shift larger elements right with a serial scan
+            let pi = b.gep_index(list, i);
+            let key = b.load(pi);
+            // j runs from start..i; find elements > key and rotate.
+            // Simple variant: for j in (start..i) from right: while-style
+            // loop expressed as serial_for over k with conditional swap is
+            // not a faithful insertion sort, so use an explicit while loop.
+            let wh = b.create_block("ins_while");
+            let wbody = b.create_block("ins_body");
+            let wexit = b.create_block("ins_exit");
+            let pre = b.current_block();
+            b.br(wh);
+            b.switch_to(wh);
+            let j = b.phi(Type::I64, vec![(pre, i)]);
+            let jgt = b.icmp(CmpPred::Sgt, j, start);
+            // guard: j > start && list[j-1] > key. The load is hoisted above
+            // the guard, so clamp the index to keep it in range when
+            // j == start (the loaded value is then ignored by the select).
+            let jm1 = b.sub(j, one);
+            let jm1_safe = b.select(jgt, jm1, j);
+            let pjm1 = b.gep_index(list, jm1_safe);
+            let prev = b.load(pjm1);
+            let gt = b.icmp(CmpPred::Sgt, prev, key);
+            let fls = b.const_bool(false);
+            let cond = b.select(jgt, gt, fls);
+            b.cond_br(cond, wbody, wexit);
+            b.switch_to(wbody);
+            let pj = b.gep_index(list, j);
+            b.store(pj, prev);
+            let j2 = b.sub(j, one);
+            b.add_phi_incoming(j, wbody, j2);
+            b.br(wh);
+            b.switch_to(wexit);
+            let pj_final = b.gep_index(list, j);
+            b.store(pj_final, key);
+        });
+        b.ret(None);
+    }
+
+    // recurse: mid = start + len/2; spawn sort(left); spawn sort(right); sync
+    b.switch_to(recurse);
+    let half = b.sdiv(len, two);
+    let mid = b.add(start, half);
+    b.detach(t_left, c_left);
+
+    b.switch_to(t_left);
+    b.call(FuncId(0), vec![list, tmp, start, mid], Type::Void);
+    b.reattach(c_left);
+
+    b.switch_to(c_left);
+    b.detach(t_right, c_right);
+
+    b.switch_to(t_right);
+    b.call(FuncId(0), vec![list, tmp, mid, end], Type::Void);
+    b.reattach(c_right);
+
+    b.switch_to(c_right);
+    b.sync(merge);
+
+    // merge [start,mid) and [mid,end) through tmp, then copy back
+    b.switch_to(merge);
+    {
+        // k: write cursor into tmp; i, j read cursors.
+        let wh = b.create_block("mg_while");
+        let wbody = b.create_block("mg_body");
+        let takel = b.create_block("mg_takel");
+        let taker = b.create_block("mg_taker");
+        let wlatch = b.create_block("mg_latch");
+        let wexit = b.create_block("mg_exit");
+        let pre = b.current_block();
+        b.br(wh);
+
+        b.switch_to(wh);
+        let i = b.phi(Type::I64, vec![(pre, start)]);
+        let j = b.phi(Type::I64, vec![(pre, mid)]);
+        let k = b.phi(Type::I64, vec![(pre, start)]);
+        let more = b.icmp(CmpPred::Slt, k, end);
+        b.cond_br(more, wbody, wexit);
+
+        b.switch_to(wbody);
+        // take from left if (i < mid) && (j >= end || list[i] <= list[j])
+        let li = b.icmp(CmpPred::Slt, i, mid);
+        let rj_done = b.icmp(CmpPred::Sge, j, end);
+        // guarded loads: clamp indices so speculative loads stay in range
+        let im = b.select(li, i, start);
+        let jm0 = b.icmp(CmpPred::Slt, j, end);
+        let jm = b.select(jm0, j, mid);
+        let pi = b.gep_index(list, im);
+        let pj = b.gep_index(list, jm);
+        let vi = b.load(pi);
+        let vj = b.load(pj);
+        let le = b.icmp(CmpPred::Sle, vi, vj);
+        let right_ok = b.bin(tapas_ir::BinOp::Or, rj_done, le);
+        let take_left = b.and(li, right_ok);
+        b.cond_br(take_left, takel, taker);
+
+        b.switch_to(takel);
+        let pk_l = b.gep_index(tmp, k);
+        b.store(pk_l, vi);
+        let i2 = b.add(i, one);
+        b.br(wlatch);
+
+        b.switch_to(taker);
+        let pk_r = b.gep_index(tmp, k);
+        b.store(pk_r, vj);
+        let j2 = b.add(j, one);
+        b.br(wlatch);
+
+        b.switch_to(wlatch);
+        let i_next = b.phi(Type::I64, vec![(takel, i2), (taker, i)]);
+        let j_next = b.phi(Type::I64, vec![(takel, j), (taker, j2)]);
+        let k2 = b.add(k, one);
+        b.add_phi_incoming(i, wlatch, i_next);
+        b.add_phi_incoming(j, wlatch, j_next);
+        b.add_phi_incoming(k, wlatch, k2);
+        b.br(wh);
+
+        b.switch_to(wexit);
+        serial_for(&mut b, start, end, |b, t| {
+            let pt = b.gep_index(tmp, t);
+            let v = b.load(pt);
+            let pl = b.gep_index(list, t);
+            b.store(pl, v);
+        });
+        b.ret(None);
+    }
+
+    module.add_function(b.finish())
+}
+
+/// Host-side oracle: the sorted keys for `(n, seed)`.
+pub fn expected(n: u64, seed: u64) -> Vec<u8> {
+    let nu = n as usize;
+    let mut keys = Vec::with_capacity(nu);
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+    for _ in 0..nu {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        keys.push((state >> 33) as i32);
+    }
+    keys.sort_unstable();
+    let mut out = Vec::with_capacity(nu * 4);
+    for k in keys {
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreter_sorts() {
+        let wl = build(64, 7);
+        let mem = wl.golden_memory();
+        assert_eq!(wl.output_of(&mem), expected(64, 7).as_slice());
+    }
+
+    #[test]
+    fn small_arrays_hit_insertion_path() {
+        let wl = build(CUTOFF as u64, 3);
+        let mut mem = wl.mem.clone();
+        let out = tapas_ir::interp::run(
+            &wl.module,
+            wl.func,
+            &wl.args,
+            &mut mem,
+            &tapas_ir::interp::InterpConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.stats.spawns, 0, "cutoff-sized input never recurses");
+        assert_eq!(wl.output_of(&mem), expected(CUTOFF as u64, 3).as_slice());
+    }
+
+    #[test]
+    fn recursion_spawns_two_children_per_level() {
+        let wl = build(2 * CUTOFF as u64, 5);
+        let mut mem = wl.mem.clone();
+        let out = tapas_ir::interp::run(
+            &wl.module,
+            wl.func,
+            &wl.args,
+            &mut mem,
+            &tapas_ir::interp::InterpConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.stats.spawns, 2);
+        assert_eq!(wl.output_of(&mem), expected(2 * CUTOFF as u64, 5).as_slice());
+    }
+}

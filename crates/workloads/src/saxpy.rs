@@ -1,0 +1,75 @@
+//! SAXPY — `y[i] = a·x[i] + y[i]` over `f32` vectors, as a `cilk_for`
+//! whose trip count is a runtime parameter (the paper's "dynamic exit
+//! loop": the bound is unknown at hardware-generation time).
+
+use crate::loops::cilk_for;
+use crate::BuiltWorkload;
+use tapas_ir::interp::Val;
+use tapas_ir::{FBinOp, FunctionBuilder, Module, Type};
+
+/// Build SAXPY over `n`-element `f32` vectors. Layout: `x` at 0, `y` at
+/// `4n`; the output is the `y` region.
+pub fn build(n: u64) -> BuiltWorkload {
+    let ptr = Type::ptr(Type::F32);
+    let mut b = FunctionBuilder::new(
+        "saxpy",
+        vec![ptr.clone(), ptr, Type::F32, Type::I64],
+        Type::Void,
+    );
+    let (x, y, a, nn) = (b.param(0), b.param(1), b.param(2), b.param(3));
+    let zero = b.const_int(Type::I64, 0);
+    cilk_for(&mut b, zero, nn, |b, i| {
+        let px = b.gep_index(x, i);
+        let py = b.gep_index(y, i);
+        let vx = b.load(px);
+        let vy = b.load(py);
+        let ax = b.fbin(FBinOp::FMul, a, vx);
+        let s = b.fbin(FBinOp::FAdd, ax, vy);
+        b.store(py, s);
+    });
+    b.ret(None);
+    let mut module = Module::new("saxpy");
+    let func = module.add_function(b.finish());
+
+    let mut mem = vec![0u8; (n as usize) * 8];
+    for k in 0..n as usize {
+        let xv = (k as f32) * 0.5 + 1.0;
+        let yv = (k as f32) * -0.25 + 2.0;
+        mem[k * 4..k * 4 + 4].copy_from_slice(&xv.to_le_bytes());
+        let off = (n as usize) * 4 + k * 4;
+        mem[off..off + 4].copy_from_slice(&yv.to_le_bytes());
+    }
+    BuiltWorkload {
+        name: "saxpy".to_string(),
+        module,
+        func,
+        args: vec![Val::Int(0), Val::Int(n * 4), Val::F32(2.0), Val::Int(n)],
+        mem,
+        output: (n * 4, n as usize * 4),
+        worker_task: "saxpy::task1".to_string(),
+        work_items: n,
+    }
+}
+
+/// Host-side oracle for the expected `y` contents.
+pub fn expected(n: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n as usize * 4);
+    for k in 0..n as usize {
+        let xv = (k as f32) * 0.5 + 1.0;
+        let yv = (k as f32) * -0.25 + 2.0;
+        out.extend_from_slice(&(2.0f32 * xv + yv).to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreter_matches_oracle() {
+        let wl = build(64);
+        let mem = wl.golden_memory();
+        assert_eq!(wl.output_of(&mem), expected(64));
+    }
+}

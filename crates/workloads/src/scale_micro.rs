@@ -1,0 +1,79 @@
+//! The Fig. 12 spawn-rate microbenchmark: `cilk_for(i in 0..n) { a[i]
+//! (+1)×W }` with a configurable amount of register work `W` per task.
+//! Used for the spawn-overhead study (§V-A), the utilization tables
+//! (Table III, Fig. 14) and the tile-scaling plot (Fig. 13).
+
+use crate::loops::cilk_for;
+use crate::BuiltWorkload;
+use tapas_ir::interp::Val;
+use tapas_ir::{FunctionBuilder, Module, Type};
+
+/// Build the `scale` microbenchmark: `n` tasks, each performing `adders`
+/// dependent integer additions on `a[i]` before storing it back.
+pub fn build(n: u64, adders: u32) -> BuiltWorkload {
+    let ptr = Type::ptr(Type::I32);
+    let mut b = FunctionBuilder::new("scale", vec![ptr, Type::I64], Type::Void);
+    let (a, nn) = (b.param(0), b.param(1));
+    let zero = b.const_int(Type::I64, 0);
+    cilk_for(&mut b, zero, nn, |b, i| {
+        let p = b.gep_index(a, i);
+        let mut v = b.load(p);
+        let one = b.const_int(Type::I32, 1);
+        for _ in 0..adders {
+            v = b.add(v, one);
+        }
+        b.store(p, v);
+    });
+    b.ret(None);
+    let mut module = Module::new("scale");
+    let func = module.add_function(b.finish());
+
+    let mem = vec![0u8; n as usize * 4];
+    BuiltWorkload {
+        name: format!("scale_w{adders}"),
+        module,
+        func,
+        args: vec![Val::Int(0), Val::Int(n)],
+        mem,
+        output: (0, n as usize * 4),
+        worker_task: "scale::task1".to_string(),
+        work_items: n * u64::from(adders),
+    }
+}
+
+/// Host-side oracle: every element equals `adders`.
+pub fn expected(n: u64, adders: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n as usize * 4);
+    for _ in 0..n {
+        out.extend_from_slice(&(adders as i32).to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreter_matches_oracle() {
+        let wl = build(32, 10);
+        let mem = wl.golden_memory();
+        assert_eq!(wl.output_of(&mem), expected(32, 10).as_slice());
+    }
+
+    #[test]
+    fn work_scales_with_adders() {
+        let w10 = build(16, 10);
+        let w50 = build(16, 50);
+        let mut m10 = w10.mem.clone();
+        let mut m50 = w50.mem.clone();
+        let cfg = tapas_ir::interp::InterpConfig::default();
+        let o10 =
+            tapas_ir::interp::run(&w10.module, w10.func, &w10.args, &mut m10, &cfg).unwrap();
+        let o50 =
+            tapas_ir::interp::run(&w50.module, w50.func, &w50.args, &mut m50, &cfg).unwrap();
+        assert!(o50.stats.insts > o10.stats.insts + 16 * 35);
+        assert_eq!(o10.stats.spawns, 16);
+        assert_eq!(o50.stats.spawns, 16);
+    }
+}

@@ -1,0 +1,192 @@
+//! The loop benchmarks expressed in the Cilk-like *source language* —
+//! the same kernels as the builder modules, but entering the toolchain the
+//! way the paper's Cilk programs do (source → Tapir-marked IR). Tests
+//! cross-check every source kernel against its builder twin, pinning the
+//! front end and the builder API to identical semantics.
+
+use crate::BuiltWorkload;
+use tapas_ir::interp::Val;
+
+/// SAXPY from source (`y[i] = a*x[i] + y[i]`).
+pub const SAXPY_SRC: &str = r#"
+fn saxpy(x: *f32, y: *f32, a: f32, n: i64) {
+    cilk_for i in 0..n {
+        y[i] = a * x[i] + y[i];
+    }
+}
+"#;
+
+/// Matrix addition from source (nested `cilk_for`, Fig. 3).
+pub const MATRIX_ADD_SRC: &str = r#"
+fn matrix_add(a: *i32, b: *i32, c: *i32, n: i64) {
+    cilk_for i in 0..n {
+        cilk_for j in 0..n {
+            c[i * n + j] = a[i * n + j] + b[i * n + j];
+        }
+    }
+}
+"#;
+
+/// Stencil from source (parallel positions, serial neighbourhood with
+/// bounds checks — Fig. 10).
+pub const STENCIL_SRC: &str = r#"
+fn stencil(inp: *i32, outp: *i32, nrows: i64, ncols: i64) {
+    cilk_for pos in 0..nrows * ncols {
+        let row = pos / ncols;
+        let col = pos % ncols;
+        for nr in 0..3 {
+            for nc in 0..3 {
+                let rr = row + nr - 1;
+                let cc = col + nc - 1;
+                if (rr >= 0 && rr < nrows) {
+                    if (cc >= 0 && cc < ncols) {
+                        outp[pos] = outp[pos] + inp[rr * ncols + cc];
+                    }
+                }
+            }
+        }
+    }
+}
+"#;
+
+/// Parallel fib from source (spawned recursion parking results in a heap,
+/// §IV-C).
+pub const FIB_SRC: &str = r#"
+fn fib(n: i64, heap: *i32, node: i64) -> i32 {
+    if (n < 2) {
+        heap[node] = n as i32;
+        return n as i32;
+    }
+    spawn { fib(n - 1, heap, 2 * node + 1); }
+    let r2 = fib(n - 2, heap, 2 * node + 2);
+    sync;
+    let r1 = heap[2 * node + 1];
+    let s = r1 + r2;
+    heap[node] = s;
+    return s;
+}
+"#;
+
+/// Build the source-language SAXPY with the same memory image and
+/// arguments as [`crate::saxpy::build`].
+///
+/// # Panics
+///
+/// Panics if the source fails to compile (a front-end regression).
+pub fn saxpy_from_source(n: u64) -> BuiltWorkload {
+    let twin = crate::saxpy::build(n);
+    let module = tapas_lang::compile(SAXPY_SRC).expect("saxpy source compiles");
+    let func = module.function_by_name("saxpy").expect("entry");
+    BuiltWorkload { module, func, name: "saxpy_src".to_string(), ..twin }
+}
+
+/// Source-language matrix addition, twin of [`crate::matrix_add::build`].
+///
+/// # Panics
+///
+/// Panics if the source fails to compile.
+pub fn matrix_add_from_source(n: u64) -> BuiltWorkload {
+    let twin = crate::matrix_add::build(n);
+    let module = tapas_lang::compile(MATRIX_ADD_SRC).expect("matrix source compiles");
+    let func = module.function_by_name("matrix_add").expect("entry");
+    BuiltWorkload { module, func, name: "matrix_add_src".to_string(), ..twin }
+}
+
+/// Source-language stencil, twin of [`crate::stencil::build`].
+///
+/// # Panics
+///
+/// Panics if the source fails to compile.
+pub fn stencil_from_source(nrows: u64, ncols: u64) -> BuiltWorkload {
+    let twin = crate::stencil::build(nrows, ncols);
+    let module = tapas_lang::compile(STENCIL_SRC).expect("stencil source compiles");
+    let func = module.function_by_name("stencil").expect("entry");
+    BuiltWorkload { module, func, name: "stencil_src".to_string(), ..twin }
+}
+
+/// Source-language parallel fib, twin of [`crate::fib::build`].
+///
+/// # Panics
+///
+/// Panics if the source fails to compile.
+pub fn fib_from_source(n: u64) -> BuiltWorkload {
+    let twin = crate::fib::build(n);
+    let module = tapas_lang::compile(FIB_SRC).expect("fib source compiles");
+    let func = module.function_by_name("fib").expect("entry");
+    BuiltWorkload {
+        module,
+        func,
+        name: "fib_src".to_string(),
+        args: vec![Val::Int(n), Val::Int(4), Val::Int(0)],
+        ..twin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outputs_match(a: &BuiltWorkload, b: &BuiltWorkload) {
+        let ma = a.golden_memory();
+        let mb = b.golden_memory();
+        assert_eq!(
+            a.output_of(&ma),
+            b.output_of(&mb),
+            "{} and {} diverge",
+            a.name,
+            b.name
+        );
+    }
+
+    #[test]
+    fn saxpy_source_equals_builder() {
+        outputs_match(&saxpy_from_source(96), &crate::saxpy::build(96));
+    }
+
+    #[test]
+    fn matrix_source_equals_builder() {
+        outputs_match(&matrix_add_from_source(12), &crate::matrix_add::build(12));
+    }
+
+    #[test]
+    fn stencil_source_equals_builder() {
+        outputs_match(&stencil_from_source(7, 9), &crate::stencil::build(7, 9));
+    }
+
+    #[test]
+    fn fib_source_equals_builder() {
+        let src = fib_from_source(11);
+        let mut mem = src.mem.clone();
+        let out = tapas_ir::interp::run(
+            &src.module,
+            src.func,
+            &src.args,
+            &mut mem,
+            &tapas_ir::interp::InterpConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.ret, Some(Val::Int(u64::from(crate::fib::fib_value(11)))));
+    }
+
+    #[test]
+    fn source_kernels_spawn_like_builders() {
+        // same dynamic task counts: the front end lowers cilk_for the same
+        // way the builder helper does
+        let a = saxpy_from_source(64);
+        let b = crate::saxpy::build(64);
+        let spawns = |wl: &BuiltWorkload| {
+            let mut mem = wl.mem.clone();
+            tapas_ir::interp::run(
+                &wl.module,
+                wl.func,
+                &wl.args,
+                &mut mem,
+                &tapas_ir::interp::InterpConfig::default(),
+            )
+            .unwrap()
+            .stats
+            .spawns
+        };
+        assert_eq!(spawns(&a), spawns(&b));
+    }
+}

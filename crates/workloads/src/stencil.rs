@@ -1,0 +1,128 @@
+//! Stencil — a parallel loop over all positions with *serial* nested
+//! neighbour loops and conditional bounds checks (Fig. 10 of the paper):
+//! each task accumulates its in-bounds neighbourhood. The inner loops are
+//! not parallel, so static HLS cannot just "parallelize the innermost
+//! loop"; TAPAS decomposes the nest into task units instead.
+
+use crate::loops::{cilk_for, if_then, serial_for};
+use crate::BuiltWorkload;
+use tapas_ir::interp::Val;
+use tapas_ir::{CmpPred, FunctionBuilder, Module, Type};
+
+/// Neighbourhood radius in rows/cols (the paper's `NBRROWS`/`NBRCOLS`).
+pub const RADIUS: u64 = 1;
+
+/// Build an `nrows × ncols` stencil over `i32` cells. Layout: input at 0,
+/// output at `nrows·ncols·4`; the output region is validated.
+pub fn build(nrows: u64, ncols: u64) -> BuiltWorkload {
+    let ptr = Type::ptr(Type::I32);
+    let mut b = FunctionBuilder::new(
+        "stencil",
+        vec![ptr.clone(), ptr, Type::I64, Type::I64],
+        Type::Void,
+    );
+    let (inp, outp, nr_v, nc_v) = (b.param(0), b.param(1), b.param(2), b.param(3));
+    let zero = b.const_int(Type::I64, 0);
+    let total = b.mul(nr_v, nc_v);
+    let span = b.const_int(Type::I64, 2 * RADIUS as i64 + 1);
+    let radius = b.const_int(Type::I64, RADIUS as i64);
+    cilk_for(&mut b, zero, total, |b, pos| {
+        // row = pos / ncols; col = pos % ncols
+        let row = b.sdiv(pos, nc_v);
+        let col = b.bin(tapas_ir::BinOp::SRem, pos, nc_v);
+        let pacc = b.gep_index(outp, pos);
+        serial_for(b, zero, span, |b, nr| {
+            serial_for(b, zero, span, |b, nc| {
+                let rr0 = b.add(row, nr);
+                let rr = b.sub(rr0, radius);
+                let cc0 = b.add(col, nc);
+                let cc = b.sub(cc0, radius);
+                // if (0 <= rr < nrows) and (0 <= cc < ncols): acc += in[rr][cc]
+                let rok1 = b.icmp(CmpPred::Sge, rr, zero);
+                let rok2 = b.icmp(CmpPred::Slt, rr, nr_v);
+                let rok = b.and(rok1, rok2);
+                let cok1 = b.icmp(CmpPred::Sge, cc, zero);
+                let cok2 = b.icmp(CmpPred::Slt, cc, nc_v);
+                let cok = b.and(cok1, cok2);
+                let ok = b.and(rok, cok);
+                if_then(b, ok, |b| {
+                    let roff = b.mul(rr, nc_v);
+                    let idx = b.add(roff, cc);
+                    let pin = b.gep_index(inp, idx);
+                    let v = b.load(pin);
+                    let acc = b.load(pacc);
+                    let acc2 = b.add(acc, v);
+                    b.store(pacc, acc2);
+                });
+            });
+        });
+    });
+    b.ret(None);
+    let mut module = Module::new("stencil");
+    let func = module.add_function(b.finish());
+
+    let cells = (nrows * ncols) as usize;
+    let mut mem = vec![0u8; cells * 8];
+    for k in 0..cells {
+        let v = (k as i32 % 17) - 8;
+        mem[k * 4..k * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    BuiltWorkload {
+        name: "stencil".to_string(),
+        module,
+        func,
+        args: vec![
+            Val::Int(0),
+            Val::Int(cells as u64 * 4),
+            Val::Int(nrows),
+            Val::Int(ncols),
+        ],
+        mem,
+        output: (cells as u64 * 4, cells * 4),
+        worker_task: "stencil::task1".to_string(),
+        work_items: nrows * ncols,
+    }
+}
+
+/// Host-side oracle: sum of the in-bounds 3×3 neighbourhood.
+pub fn expected(nrows: u64, ncols: u64) -> Vec<u8> {
+    let (nr, nc) = (nrows as i64, ncols as i64);
+    let input = |r: i64, c: i64| ((r * nc + c) as i32 % 17) - 8;
+    let mut out = Vec::new();
+    for r in 0..nr {
+        for c in 0..nc {
+            let mut acc = 0i32;
+            for dr in -(RADIUS as i64)..=(RADIUS as i64) {
+                for dc in -(RADIUS as i64)..=(RADIUS as i64) {
+                    let (rr, cc) = (r + dr, c + dc);
+                    if rr >= 0 && rr < nr && cc >= 0 && cc < nc {
+                        acc = acc.wrapping_add(input(rr, cc));
+                    }
+                }
+            }
+            out.extend_from_slice(&acc.to_le_bytes());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreter_matches_oracle() {
+        let wl = build(6, 5);
+        let mem = wl.golden_memory();
+        assert_eq!(wl.output_of(&mem), expected(6, 5));
+    }
+
+    #[test]
+    fn corner_cells_sum_fewer_neighbours() {
+        let exp = expected(4, 4);
+        let corner = i32::from_le_bytes(exp[0..4].try_into().unwrap());
+        // corner sees a 2x2 neighbourhood only
+        let input = |r: i64, c: i64| ((r * 4 + c) as i32 % 17) - 8;
+        assert_eq!(corner, input(0, 0) + input(0, 1) + input(1, 0) + input(1, 1));
+    }
+}

@@ -1,0 +1,47 @@
+//! Emit the Chisel RTL the toolchain generates for an accelerator (the
+//! paper's Fig. 4 / Fig. 6 output artifacts), plus the resource, frequency
+//! and power estimates for both evaluation boards.
+//!
+//! Run with `cargo run --example emit_rtl`.
+
+use tapas::res::{self, Board};
+use tapas::{AcceleratorConfig, Toolchain};
+use tapas_workloads::saxpy;
+
+fn main() {
+    let wl = saxpy::build(1024);
+    let design = Toolchain::new().compile(&wl.module).expect("compiles");
+    let cfg = AcceleratorConfig::default().with_tiles(&wl.worker_task, 3);
+
+    let rtl = design.emit_chisel(&cfg);
+    println!("==== generated Chisel (first 60 lines) ====");
+    for line in rtl.lines().take(60) {
+        println!("{line}");
+    }
+    println!("... ({} lines total)\n", rtl.lines().count());
+
+    let info = design.design_info(&cfg);
+    for board in [Board::CycloneV, Board::Arria10] {
+        let est = res::estimate(&info, board);
+        let power = res::power_watts(&est, est.fmax_mhz);
+        println!(
+            "{board:?}: {} ALMs ({:.1}% of chip), {} regs, {} BRAM, {:.0} MHz, {:.2} W",
+            est.alms,
+            est.utilization * 100.0,
+            est.regs,
+            est.brams,
+            est.fmax_mhz,
+            power
+        );
+    }
+
+    let breakdown = res::breakdown(&info);
+    println!(
+        "\nALM breakdown: tiles {} | parallel-for {} | task ctrl {} | mem arb {} | misc {}",
+        breakdown.tiles,
+        breakdown.parallel_for,
+        breakdown.task_ctrl,
+        breakdown.mem_arb,
+        breakdown.misc
+    );
+}

@@ -1,0 +1,230 @@
+//! End-to-end pipeline tests: every paper benchmark through
+//! IR → verify → Stage 1 (tasks) → Stage 2 (dataflow) → Stage 3
+//! (simulate / emit RTL / estimate resources), validated against the
+//! reference interpreter at several hardware configurations.
+
+use tapas::res::Board;
+use tapas::{AcceleratorConfig, Toolchain};
+use tapas_workloads::{suite_small, BuiltWorkload};
+
+fn run_and_check(wl: &BuiltWorkload, cfg: &AcceleratorConfig) -> tapas::SimOutcome {
+    let design = Toolchain::new().compile(&wl.module).expect("compiles");
+    let mut acc = design.instantiate(cfg).expect("elaborates");
+    acc.mem_mut().write_bytes(0, &wl.mem);
+    let out = acc.run(wl.func, &wl.args).expect("runs");
+    let golden = wl.golden_memory();
+    assert_eq!(
+        acc.mem().read_bytes(wl.output.0, wl.output.1),
+        wl.output_of(&golden),
+        "{}: output mismatch",
+        wl.name
+    );
+    out
+}
+
+fn cfg_for(wl: &BuiltWorkload, tiles: usize) -> AcceleratorConfig {
+    AcceleratorConfig {
+        ntasks: 512,
+        mem_bytes: wl.mem.len().max(4096),
+        ..AcceleratorConfig::default()
+    }
+    .with_default_tiles(tiles)
+}
+
+#[test]
+fn every_benchmark_matches_golden_at_one_tile() {
+    for wl in suite_small() {
+        run_and_check(&wl, &cfg_for(&wl, 1));
+    }
+}
+
+#[test]
+fn every_benchmark_matches_golden_at_four_tiles() {
+    for wl in suite_small() {
+        run_and_check(&wl, &cfg_for(&wl, 4));
+    }
+}
+
+#[test]
+fn tile_count_never_changes_results_only_time() {
+    for wl in suite_small() {
+        let c1 = run_and_check(&wl, &cfg_for(&wl, 1)).cycles;
+        let c8 = run_and_check(&wl, &cfg_for(&wl, 8)).cycles;
+        assert!(
+            c8 <= c1,
+            "{}: 8 tiles slower than 1 ({c8} vs {c1})",
+            wl.name
+        );
+    }
+}
+
+#[test]
+fn queue_depth_changes_timing_not_results() {
+    let wl = tapas_workloads::fib::build(12);
+    let shallow = AcceleratorConfig {
+        ntasks: 96,
+        mem_bytes: wl.mem.len().max(4096),
+        ..AcceleratorConfig::default()
+    }
+    .with_default_tiles(2);
+    let deep = AcceleratorConfig { ntasks: 256, ..shallow.clone() };
+    let a = run_and_check(&wl, &shallow);
+    let b = run_and_check(&wl, &deep);
+    assert_eq!(a.ret, b.ret);
+}
+
+#[test]
+fn rtl_emitted_for_every_benchmark() {
+    for wl in suite_small() {
+        let design = Toolchain::new().compile(&wl.module).expect("compiles");
+        let rtl = design.emit_chisel(&AcceleratorConfig::default());
+        assert!(rtl.contains("extends Module"), "{}", wl.name);
+        // one TXU class and one unit class per task
+        let txus = rtl.matches("Txu extends Module").count()
+            + rtl.matches("Txu\n").count().min(0);
+        assert!(txus >= design.num_tasks(), "{}: {txus} TXUs", wl.name);
+        assert!(rtl.contains("SharedL1cache"));
+    }
+}
+
+#[test]
+fn resource_estimates_cover_every_benchmark_and_board() {
+    for wl in suite_small() {
+        let design = Toolchain::new().compile(&wl.module).expect("compiles");
+        let info = design.design_info(&AcceleratorConfig::default());
+        for board in [Board::CycloneV, Board::Arria10] {
+            let est = tapas::res::estimate(&info, board);
+            assert!(est.alms > 500, "{}: {} ALMs", wl.name, est.alms);
+            assert!(est.fmax_mhz > 100.0);
+            assert!(est.brams >= info.units.len() as u64);
+            let w = tapas::res::power_watts(&est, est.fmax_mhz);
+            assert!(w > 0.6 && w < 10.0, "{}: {w} W", wl.name);
+        }
+    }
+}
+
+#[test]
+fn stats_account_for_all_spawned_tasks() {
+    for wl in suite_small() {
+        let out = run_and_check(&wl, &cfg_for(&wl, 2));
+        let executed: u64 = out.stats.units.iter().map(|u| u.tasks_executed).sum();
+        // every detach + every call + the host root = completed instances
+        assert_eq!(
+            executed,
+            out.stats.spawns + out.stats.calls + 1,
+            "{}: task accounting mismatch",
+            wl.name
+        );
+    }
+}
+
+#[test]
+fn interpreter_and_simulator_agree_on_return_values() {
+    let wl = tapas_workloads::fib::build(12);
+    let out = run_and_check(&wl, &cfg_for(&wl, 2));
+    let mut mem = wl.mem.clone();
+    let gold = tapas::ir::interp::run(
+        &wl.module,
+        wl.func,
+        &wl.args,
+        &mut mem,
+        &tapas::ir::interp::InterpConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(out.ret, gold.ret);
+}
+
+#[test]
+fn cold_vs_warm_cache_affects_cycles_not_output() {
+    let wl = tapas_workloads::saxpy::build(64);
+    let design = Toolchain::new().compile(&wl.module).expect("compiles");
+    let cfg = cfg_for(&wl, 2);
+    let mut acc = design.instantiate(&cfg).expect("elaborates");
+    acc.mem_mut().write_bytes(0, &wl.mem);
+    let cold = acc.run(wl.func, &wl.args).expect("cold run");
+    // Re-run warm: results recomputed over the mutated y, but the second
+    // run's new misses (cache counters are cumulative) must not exceed the
+    // cold run's.
+    let warm = acc.run(wl.func, &wl.args).expect("warm run");
+    let warm_misses = warm.stats.cache.misses - cold.stats.cache.misses;
+    assert!(warm_misses <= cold.stats.cache.misses);
+}
+
+#[test]
+fn textual_ir_roundtrips_every_benchmark() {
+    use tapas::ir::{printer, text};
+    for wl in suite_small() {
+        let t1 = printer::print_module(&wl.module);
+        let m2 = text::parse_module(&t1)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", wl.name));
+        tapas::ir::verify_module(&m2).unwrap();
+        let t2 = printer::print_module(&m2);
+        let m3 = text::parse_module(&t2).unwrap();
+        assert_eq!(
+            printer::print_module(&m3),
+            t2,
+            "{}: printed IR not a fixed point",
+            wl.name
+        );
+        // The reparsed module still runs and matches the oracle.
+        let f2 = m2.function_by_name(
+            &wl.module.function(wl.func).name,
+        )
+        .expect("entry survives roundtrip");
+        let mut mem = wl.mem.clone();
+        tapas::ir::interp::run(
+            &m2,
+            f2,
+            &wl.args,
+            &mut mem,
+            &tapas::ir::interp::InterpConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: reparsed module failed: {e}", wl.name));
+        let golden = wl.golden_memory();
+        assert_eq!(
+            wl.output_of(&mem),
+            wl.output_of(&golden),
+            "{}: roundtripped module diverges",
+            wl.name
+        );
+    }
+}
+
+#[test]
+fn optimizer_preserves_every_benchmark() {
+    use tapas::ir::opt;
+    for wl in suite_small() {
+        let mut m = wl.module.clone();
+        let stats = opt::optimize_module(&mut m);
+        tapas::ir::verify_module(&m)
+            .unwrap_or_else(|e| panic!("{}: opt broke verify: {e:?}", wl.name));
+        let f = m.function_by_name(&wl.module.function(wl.func).name).unwrap();
+        let mut mem = wl.mem.clone();
+        tapas::ir::interp::run(
+            &m,
+            f,
+            &wl.args,
+            &mut mem,
+            &tapas::ir::interp::InterpConfig::default(),
+        )
+        .unwrap();
+        let golden = wl.golden_memory();
+        assert_eq!(
+            wl.output_of(&mem),
+            wl.output_of(&golden),
+            "{}: optimizer changed results ({} rewrites)",
+            wl.name,
+            stats.total()
+        );
+        // And the optimized module still compiles + simulates correctly.
+        let out = {
+            let design = Toolchain::new().compile(&m).expect("optimized compiles");
+            let cfg = cfg_for(&wl, 2);
+            let mut acc = design.instantiate(&cfg).expect("elaborates");
+            acc.mem_mut().write_bytes(0, &wl.mem);
+            acc.run(f, &wl.args).expect("runs");
+            acc.mem().read_bytes(wl.output.0, wl.output.1).to_vec()
+        };
+        assert_eq!(out, wl.output_of(&golden), "{}", wl.name);
+    }
+}

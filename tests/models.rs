@@ -1,0 +1,147 @@
+//! Cross-crate model sanity: the resource/power/frequency models, the
+//! multicore baseline and the static-HLS model behave consistently on real
+//! compiled designs (shape properties the figures rely on).
+
+use tapas::baseline::{self, CoreConfig};
+use tapas::ir::interp::{self};
+use tapas::res::{self, Board};
+use tapas::{AcceleratorConfig, Toolchain};
+use tapas_workloads::{fib, matrix_add, saxpy, scale_micro};
+
+#[test]
+fn alms_monotonic_in_tiles_and_work() {
+    let wl = scale_micro::build(64, 10);
+    let design = Toolchain::new().compile(&wl.module).unwrap();
+    let mut last = 0;
+    for tiles in [1usize, 2, 4, 8] {
+        let cfg = AcceleratorConfig::default().with_default_tiles(tiles);
+        let est = res::estimate(&design.design_info(&cfg), Board::CycloneV);
+        assert!(est.alms > last, "ALMs grow with tiles");
+        last = est.alms;
+    }
+    let big = scale_micro::build(64, 40);
+    let dbig = Toolchain::new().compile(&big.module).unwrap();
+    let cfg = AcceleratorConfig::default();
+    assert!(
+        res::estimate(&dbig.design_info(&cfg), Board::CycloneV).alms
+            > res::estimate(&design.design_info(&cfg), Board::CycloneV).alms,
+        "ALMs grow with per-task work"
+    );
+}
+
+#[test]
+fn fmax_higher_on_arria() {
+    let wl = matrix_add::build(8);
+    let design = Toolchain::new().compile(&wl.module).unwrap();
+    let info = design.design_info(&AcceleratorConfig::default());
+    let cv = res::estimate(&info, Board::CycloneV);
+    let a10 = res::estimate(&info, Board::Arria10);
+    assert!(a10.fmax_mhz > 1.4 * cv.fmax_mhz, "paper: ~300 vs ~150 MHz");
+    assert_eq!(cv.alms, a10.alms, "same netlist, different fabric");
+}
+
+#[test]
+fn power_grows_with_logic_and_clock() {
+    let small = scale_micro::build(64, 1);
+    let big = scale_micro::build(64, 50);
+    let cfg = AcceleratorConfig::default().with_default_tiles(8);
+    let ds = Toolchain::new().compile(&small.module).unwrap();
+    let db = Toolchain::new().compile(&big.module).unwrap();
+    let es = res::estimate(&ds.design_info(&cfg), Board::CycloneV);
+    let eb = res::estimate(&db.design_info(&cfg), Board::CycloneV);
+    assert!(res::power_watts(&eb, 150.0) > res::power_watts(&es, 150.0));
+    assert!(res::power_watts(&es, 300.0) > res::power_watts(&es, 150.0));
+    // Always far below the i7 package.
+    assert!(res::power_watts(&eb, 300.0) < res::I7_PACKAGE_WATTS / 5.0);
+}
+
+#[test]
+fn multicore_speedup_bounded_by_cores_and_span() {
+    let wl = fib::build(14);
+    let mut mem = wl.mem.clone();
+    let out = interp::run(
+        &wl.module,
+        wl.func,
+        &wl.args,
+        &mut mem,
+        &interp::InterpConfig::default(),
+    )
+    .unwrap();
+    let t1 = baseline::run_multicore(&out.trace, &CoreConfig { cores: 1, ..CoreConfig::default() });
+    for cores in [2usize, 4, 8] {
+        let tp = baseline::run_multicore(
+            &out.trace,
+            &CoreConfig { cores, ..CoreConfig::default() },
+        );
+        let speedup = t1.cycles as f64 / tp.cycles as f64;
+        assert!(speedup <= cores as f64 + 1e-9, "{cores} cores: {speedup}");
+        // Fine-grain tasks can regress slightly with more cores (eager
+        // steals cost more than the stolen work — the paper's motivation),
+        // but catastrophic slowdowns would indicate a scheduler bug.
+        assert!(speedup >= 0.5, "{cores} cores: speedup collapsed to {speedup}");
+    }
+}
+
+#[test]
+fn coarsening_never_increases_total_work() {
+    let wl = saxpy::build(512);
+    let mut mem = wl.mem.clone();
+    let out = interp::run(
+        &wl.module,
+        wl.func,
+        &wl.args,
+        &mut mem,
+        &interp::InterpConfig::default(),
+    )
+    .unwrap();
+    for g in [1usize, 4, 16, 64] {
+        let t = baseline::coarsen_loops(&out.trace, g);
+        assert_eq!(
+            t.total_cost().total(),
+            out.trace.total_cost().total(),
+            "grainsize {g} changed work"
+        );
+    }
+}
+
+#[test]
+fn static_hls_memory_bound_like_tapas() {
+    // Both models are bound by the same streaming bandwidth on SAXPY, so
+    // runtimes land within a small factor (the Table V observation).
+    let n = 4096u64;
+    let hls = baseline::estimate_static_hls(
+        n,
+        &baseline::StaticHlsConfig {
+            unroll: 3,
+            mem_words_per_iter: 3,
+            mem_ports: 1,
+            ..baseline::StaticHlsConfig::default()
+        },
+    );
+    // 3 words/element over 1 port at realistic stream efficiency:
+    // ~13-14 cycles/element, the operating point Table V implies.
+    let per_elem = hls.cycles as f64 / n as f64;
+    assert!(per_elem > 10.0 && per_elem < 18.0, "{per_elem}");
+}
+
+#[test]
+fn spawn_latency_claim_holds_across_configs() {
+    for tiles in [1usize, 2, 4] {
+        let wl = scale_micro::build(128, 1);
+        let design = Toolchain::new().compile(&wl.module).unwrap();
+        let cfg = AcceleratorConfig {
+            mem_bytes: 4096,
+            ..AcceleratorConfig::default()
+        }
+        .with_default_tiles(tiles);
+        let mut acc = design.instantiate(&cfg).unwrap();
+        acc.mem_mut().write_bytes(0, &wl.mem);
+        let out = acc.run(wl.func, &wl.args).unwrap();
+        assert!(
+            out.stats.min_spawn_latency >= 8 && out.stats.min_spawn_latency <= 14,
+            "paper: ~10 cycles, got {} at {} tiles",
+            out.stats.min_spawn_latency,
+            tiles
+        );
+    }
+}
