@@ -138,10 +138,7 @@ fn coarsen_with(trace: &SpawnTrace, grain_of: impl Fn(usize) -> usize) -> SpawnT
     let n = frames.len();
     for fid in 0..n {
         let events = std::mem::take(&mut frames[fid].events);
-        let spawn_count = events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Spawn(_)))
-            .count();
+        let spawn_count = events.iter().filter(|e| matches!(e, TraceEvent::Spawn(_))).count();
         let grainsize = grain_of(spawn_count);
         if grainsize <= 1 || spawn_count <= grainsize {
             frames[fid].events = events;
@@ -334,13 +331,11 @@ pub fn run_multicore(trace: &SpawnTrace, cfg: &CoreConfig) -> McOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tapas_ir::interp::{run, InterpConfig, Val};
+    use tapas_ir::interp::{run, InterpConfig};
 
     fn trace_of(wl: &tapas_workloads::BuiltWorkload) -> SpawnTrace {
         let mut mem = wl.mem.clone();
-        run(&wl.module, wl.func, &wl.args, &mut mem, &InterpConfig::default())
-            .unwrap()
-            .trace
+        run(&wl.module, wl.func, &wl.args, &mut mem, &InterpConfig::default()).unwrap().trace
     }
 
     #[test]
@@ -350,12 +345,7 @@ mod tests {
         let trace = trace_of(&wl);
         let c1 = run_multicore(&trace, &CoreConfig { cores: 1, ..CoreConfig::default() });
         let c4 = run_multicore(&trace, &CoreConfig { cores: 4, ..CoreConfig::default() });
-        assert!(
-            c4.cycles < c1.cycles,
-            "4 cores {} vs 1 core {}",
-            c4.cycles,
-            c1.cycles
-        );
+        assert!(c4.cycles < c1.cycles, "4 cores {} vs 1 core {}", c4.cycles, c1.cycles);
     }
 
     #[test]
@@ -367,10 +357,7 @@ mod tests {
         let c1 = run_multicore(&trace, &CoreConfig { cores: 1, ..CoreConfig::default() });
         let c4 = run_multicore(&trace, &CoreConfig { cores: 4, ..CoreConfig::default() });
         let speedup = c1.cycles as f64 / c4.cycles as f64;
-        assert!(
-            speedup < 1.6,
-            "fine-grain speedup should collapse, got {speedup:.2}"
-        );
+        assert!(speedup < 1.6, "fine-grain speedup should collapse, got {speedup:.2}");
         // Spawn overhead dominates useful work.
         assert!(c1.cycles > 4 * c1.work_cycles);
     }

@@ -69,11 +69,7 @@ pub fn estimate_static_hls(n: u64, cfg: &StaticHlsConfig) -> StaticHlsOutcome {
     let ii = ((group_words as f64 / (cfg.mem_ports as f64 * eff)).ceil() as u64).max(1);
     let groups = n.div_ceil(cfg.unroll as u64);
     let cycles = u64::from(cfg.pipeline_depth) + groups * ii + cfg.dram_latency;
-    StaticHlsOutcome {
-        cycles,
-        ii,
-        millis: cycles as f64 / (cfg.fmax_mhz * 1e3),
-    }
+    StaticHlsOutcome { cycles, ii, millis: cycles as f64 / (cfg.fmax_mhz * 1e3) }
 }
 
 #[cfg(test)]

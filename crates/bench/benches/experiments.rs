@@ -1,91 +1,79 @@
-//! Criterion benches over the experiment kernels: one group per paper
-//! artifact, timing the simulation that regenerates it. Sample counts are
-//! kept small — each iteration is a full cycle-level accelerator run.
+//! Self-contained timing harness over the experiment kernels: one group
+//! per paper artifact, timing the simulation that regenerates it. Runs
+//! with `cargo bench -p tapas-bench` and needs no external bench
+//! framework; each sample is a full cycle-level accelerator run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 use tapas_bench::{ntasks_for, simulate};
 use tapas_res::Board;
 use tapas_workloads::{scale_micro, suite_small};
 
+const SAMPLES: u32 = 5;
+
+/// Time `f` for `SAMPLES` iterations and report the best observation —
+/// the conventional low-noise estimator for short deterministic kernels.
+fn bench<R>(group: &str, id: &str, mut f: impl FnMut() -> R) {
+    // One warmup run so lazily built state doesn't pollute the samples.
+    let _ = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    println!("{group}/{id}: {:.3} ms (best of {SAMPLES})", best * 1e3);
+}
+
 /// Fig. 13 kernel: spawn-rate microbenchmark across tile counts.
-fn bench_fig13_spawn_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig13_spawn_scaling");
-    g.sample_size(10);
+fn bench_fig13_spawn_scaling() {
     for tiles in [1usize, 3, 5] {
         let wl = scale_micro::build(256, 50);
-        g.bench_with_input(BenchmarkId::from_parameter(tiles), &tiles, |b, &t| {
-            b.iter(|| simulate(&wl, t, 64).cycles)
-        });
+        bench("fig13_spawn_scaling", &tiles.to_string(), || simulate(&wl, tiles, 64).cycles);
     }
-    g.finish();
 }
 
 /// Fig. 15/16 kernel: every benchmark at the paper's 4-tile operating
 /// point (also exercises Table IV inputs).
-fn bench_fig15_suite(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig15_suite_4tiles");
-    g.sample_size(10);
+fn bench_fig15_suite() {
     for wl in suite_small() {
-        g.bench_with_input(BenchmarkId::from_parameter(&wl.name), &wl, |b, wl| {
-            b.iter(|| simulate(wl, 4, ntasks_for(wl)).cycles)
-        });
+        bench("fig15_suite_4tiles", &wl.name, || simulate(&wl, 4, ntasks_for(&wl)).cycles);
     }
-    g.finish();
 }
 
 /// §V-A kernel: minimal tasks, maximum spawn pressure.
-fn bench_spawn_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("spawn_latency");
-    g.sample_size(10);
+fn bench_spawn_latency() {
     let wl = scale_micro::build(512, 1);
-    g.bench_function("scale_512x1", |b| b.iter(|| simulate(&wl, 5, 64).cycles));
-    g.finish();
+    bench("spawn_latency", "scale_512x1", || simulate(&wl, 5, 64).cycles);
 }
 
 /// Table III / Fig. 14 kernel: resource estimation (pure model, fast).
-fn bench_resource_model(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_resource_model");
+fn bench_resource_model() {
     let wl = scale_micro::build(64, 50);
-    g.bench_function("estimate_10tiles", |b| {
-        b.iter(|| tapas_bench::estimate(&wl, 10, Board::CycloneV).alms)
+    bench("table3_resource_model", "estimate_10tiles", || {
+        tapas_bench::estimate(&wl, 10, Board::CycloneV).alms
     });
-    g.finish();
 }
 
 /// Fig. 16/17 kernel: the multicore baseline model.
-fn bench_multicore_baseline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig16_i7_baseline");
-    g.sample_size(10);
+fn bench_multicore_baseline() {
     for wl in suite_small() {
-        g.bench_with_input(BenchmarkId::from_parameter(&wl.name), &wl, |b, wl| {
-            b.iter(|| tapas_bench::i7_seconds(wl, 4))
-        });
+        bench("fig16_i7_baseline", &wl.name, || tapas_bench::i7_seconds(&wl, 4));
     }
-    g.finish();
 }
 
 /// Table V kernel: the static-HLS analytic model.
-fn bench_static_hls(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table5_static_hls");
-    g.bench_function("saxpy_8192", |b| {
-        b.iter(|| {
-            tapas_baseline::estimate_static_hls(
-                8192,
-                &tapas_baseline::StaticHlsConfig::default(),
-            )
+fn bench_static_hls() {
+    bench("table5_static_hls", "saxpy_8192", || {
+        tapas_baseline::estimate_static_hls(8192, &tapas_baseline::StaticHlsConfig::default())
             .cycles
-        })
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig13_spawn_scaling,
-    bench_fig15_suite,
-    bench_spawn_latency,
-    bench_resource_model,
-    bench_multicore_baseline,
-    bench_static_hls
-);
-criterion_main!(benches);
+fn main() {
+    bench_fig13_spawn_scaling();
+    bench_fig15_suite();
+    bench_spawn_latency();
+    bench_resource_model();
+    bench_multicore_baseline();
+    bench_static_hls();
+}

@@ -5,10 +5,11 @@
 //! ```
 //!
 //! where `experiment` is one of `table2`, `spawn`, `fig13`, `table3`,
-//! `fig14`, `fig15`, `fig16`, `table4`, `fig17`, `table5`, or `all`
-//! (default). Pass `--json <path>` to also dump the raw rows.
+//! `fig14`, `fig15`, `fig16`, `table4`, `fig17`, `table5`, `lint`, or
+//! `all` (default). Pass `--json <path>` to also dump the raw rows.
 
 use tapas_bench::experiments as exp;
+use tapas_bench::json::ToJson;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +38,7 @@ fn main() {
         "grain" | "grain_ablation" => print_grain(&exp::grain_ablation()),
         "mem" | "mem_ablation" => print_mem(&exp::mem_ablation()),
         "elision" | "elision_ablation" => print_elision(&exp::elision_ablation()),
+        "lint" => print_lint(),
         "all" => {
             let all = exp::all();
             print_table2(&all.table2);
@@ -52,9 +54,9 @@ fn main() {
             print_grain(&all.grain_ablation);
             print_mem(&all.mem_ablation);
             print_elision(&all.elision_ablation);
+            print_lint();
             if let Some(p) = &json_path {
-                std::fs::write(p, serde_json::to_string_pretty(&all).unwrap())
-                    .expect("write json");
+                std::fs::write(p, all.to_json()).expect("write json");
                 println!("\nraw rows written to {p}");
             }
             return;
@@ -71,6 +73,20 @@ fn main() {
 
 fn hdr(title: &str) {
     println!("\n=== {title} ===");
+}
+
+fn print_lint() {
+    hdr("Static analysis: tapas-lint over the benchmark suite");
+    println!("{:<16} {:>6} worst", "bench", "diags");
+    let mut programs = tapas_workloads::suite_eval();
+    programs.extend(tapas_workloads::racy::racy_suite());
+    for wl in programs {
+        let report = tapas_lint::lint_module(&wl.module, &tapas_lint::LintConfig::default())
+            .expect("workloads are well-formed");
+        let worst =
+            report.diagnostics.first().map(|d| d.render()).unwrap_or_else(|| "clean".to_string());
+        println!("{:<16} {:>6} {}", wl.name, report.diagnostics.len(), worst);
+    }
 }
 
 fn print_table2(rows: &[exp::Table2Row]) {
@@ -158,11 +174,8 @@ fn print_fig15(rows: &[exp::Fig15Row]) {
     for n in names {
         print!("{n:<12}");
         for t in [1usize, 2, 4, 8] {
-            let v = rows
-                .iter()
-                .find(|r| r.name == n && r.tiles == t)
-                .map(|r| r.speedup)
-                .unwrap_or(0.0);
+            let v =
+                rows.iter().find(|r| r.name == n && r.tiles == t).map(|r| r.speedup).unwrap_or(0.0);
             print!(" {v:>8.2}x");
         }
         println!();
@@ -215,10 +228,7 @@ fn print_grain(rows: &[exp::GrainAblationRow]) {
 
 fn print_mem(rows: &[exp::MemAblationRow]) {
     hdr("Ablation: cache miss parallelism (SAXPY, 4 tiles)");
-    println!(
-        "{:>6} {:>11} {:>5} {:>10} {:>9}",
-        "MSHRs", "issue width", "L2", "cycles", "speedup"
-    );
+    println!("{:>6} {:>11} {:>5} {:>10} {:>9}", "MSHRs", "issue width", "L2", "cycles", "speedup");
     for r in rows {
         println!(
             "{:>6} {:>11} {:>5} {:>10} {:>8.2}x",
@@ -235,10 +245,7 @@ fn print_elision(rows: &[exp::ElisionAblationRow]) {
     hdr("Ablation: static task elision (scale microbenchmark)");
     println!("{:<9} {:>10} {:>8} {:>11}", "variant", "cycles", "ALMs", "task units");
     for r in rows {
-        println!(
-            "{:<9} {:>10} {:>8} {:>11}",
-            r.variant, r.cycles, r.alms, r.task_units
-        );
+        println!("{:<9} {:>10} {:>8} {:>11}", r.variant, r.cycles, r.alms, r.task_units);
     }
 }
 

@@ -1,14 +1,14 @@
 //! One function per table/figure of the paper's evaluation.
 
+use crate::json::json_object;
 use crate::{design_info, estimate, i7_seconds, ntasks_for, seconds_on_board, simulate};
-use serde::Serialize;
 use tapas::baseline::{estimate_static_hls, StaticHlsConfig};
 use tapas::res::{self, Board};
 use tapas::Toolchain;
 use tapas_workloads::{image_scale, saxpy, scale_micro, suite_eval, BuiltWorkload};
 
 /// Table II: per-task static properties of every benchmark.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Benchmark name.
     pub name: String,
@@ -52,7 +52,7 @@ pub fn table2() -> Vec<Table2Row> {
 
 /// §V-A: spawn overhead — the "tasks spawn in ~10 cycles" claim plus the
 /// peak spawn rate.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SpawnLatencyResult {
     /// Minimum (uncontended) spawn-to-dispatch latency in cycles.
     pub min_latency_cycles: u64,
@@ -78,7 +78,7 @@ pub fn spawn_latency() -> SpawnLatencyResult {
 
 /// Fig. 13: performance (million adds/s) scaling with worker tiles for
 /// varying per-task work, plus the software (i7 + Cilk) line.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig13Row {
     /// Adders per task (10..50).
     pub adders: u32,
@@ -117,7 +117,7 @@ pub fn fig13() -> Vec<Fig13Row> {
 }
 
 /// Table III: microbenchmark utilization points.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Board.
     pub board: String,
@@ -165,7 +165,7 @@ pub fn table3() -> Vec<Table3Row> {
 }
 
 /// Fig. 14: ALM share by sub-block for the four microbenchmark configs.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig14Row {
     /// Config label, e.g. `"10T/50Ins"`.
     pub config: String,
@@ -203,7 +203,7 @@ pub fn fig14() -> Vec<Fig14Row> {
 
 /// Fig. 15: performance scaling with 1/2/4/8 tiles per benchmark,
 /// normalized to 1 tile.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig15Row {
     /// Benchmark.
     pub name: String,
@@ -236,7 +236,7 @@ pub fn fig15() -> Vec<Fig15Row> {
 }
 
 /// Fig. 16: performance vs the Intel i7 (both boards, 4 tiles vs 4 cores).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig16Row {
     /// Benchmark.
     pub name: String,
@@ -270,7 +270,7 @@ pub fn fig16() -> Vec<Fig16Row> {
 }
 
 /// Table IV: per-benchmark resources and power on the Cyclone V.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table4Row {
     /// Benchmark.
     pub name: String,
@@ -323,7 +323,7 @@ pub fn table4() -> Vec<Table4Row> {
 }
 
 /// Fig. 17: performance/watt vs the i7.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig17Row {
     /// Benchmark.
     pub name: String,
@@ -355,7 +355,7 @@ pub fn fig17() -> Vec<Fig17Row> {
 }
 
 /// Table V: Intel HLS vs TAPAS on the statically expressible kernels.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table5Row {
     /// Benchmark.
     pub name: String,
@@ -431,7 +431,7 @@ pub fn table5() -> Vec<Table5Row> {
 /// baseline (a design-space knob the paper's methodology leaves implicit:
 /// Tapir's `cilk_for` spawns per iteration, while production Cilk Plus
 /// coarsens to `min(2048, N/8P)` iterations per task).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GrainAblationRow {
     /// Benchmark.
     pub name: String,
@@ -464,7 +464,7 @@ pub fn grain_ablation() -> Vec<GrainAblationRow> {
 /// on a memory-bound kernel — quantifying the paper's §VI observation that
 /// the released cache macro's "limited support for multiple outstanding
 /// cache misses" caps performance.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MemAblationRow {
     /// MSHRs (outstanding line fills).
     pub mshrs: usize,
@@ -536,7 +536,7 @@ pub fn mem_ablation() -> Vec<MemAblationRow> {
 /// §VI "Task controllers" future direction) — dynamic tasks vs statically
 /// elided (serialized) loops for a fine-grain kernel, on both time and
 /// area.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ElisionAblationRow {
     /// `"dynamic"` or `"elided"`.
     pub variant: String,
@@ -575,16 +575,17 @@ pub fn elision_ablation() -> Vec<ElisionAblationRow> {
             wl.output_of(&golden),
             "elision must preserve results"
         );
-        let est = res::estimate(
-            &tapas_res::DesignInfo::from_module(&module, 64, 16 * 1024, |_| {
-                if elide {
-                    1
-                } else {
-                    4
-                }
-            }),
-            Board::CycloneV,
-        );
+        let est =
+            res::estimate(
+                &tapas_res::DesignInfo::from_module(&module, 64, 16 * 1024, |_| {
+                    if elide {
+                        1
+                    } else {
+                        4
+                    }
+                }),
+                Board::CycloneV,
+            );
         rows.push(ElisionAblationRow {
             variant: if elide { "elided" } else { "dynamic" }.to_string(),
             cycles: out.cycles,
@@ -596,7 +597,7 @@ pub fn elision_ablation() -> Vec<ElisionAblationRow> {
 }
 
 /// Everything, serialized as one JSON document.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AllResults {
     /// Table II rows.
     pub table2: Vec<Table2Row>,
@@ -662,11 +663,7 @@ mod tests {
     #[test]
     fn spawn_latency_close_to_ten_cycles() {
         let r = spawn_latency();
-        assert!(
-            r.min_latency_cycles <= 12,
-            "paper: ~10 cycles; got {}",
-            r.min_latency_cycles
-        );
+        assert!(r.min_latency_cycles <= 12, "paper: ~10 cycles; got {}", r.min_latency_cycles);
         assert!(
             r.spawns_per_sec > 10e6,
             "paper: up to 40M spawns/s; got {:.1}M",
@@ -698,3 +695,39 @@ mod tests {
         assert!(big.mem_arb_pct < 12.0, "paper: network < 10%");
     }
 }
+
+json_object!(Table2Row { name, challenge, per_task_insts, mem_ops, tasks });
+json_object!(SpawnLatencyResult { min_latency_cycles, spawns_per_sec, clock_mhz });
+json_object!(Fig13Row { adders, tiles, madds_per_sec });
+json_object!(Table3Row { board, tiles, insts, mhz, alm, reg, bram, chip_pct });
+json_object!(Fig14Row {
+    config,
+    tiles_pct,
+    parallel_for_pct,
+    task_ctrl_pct,
+    mem_arb_pct,
+    misc_pct
+});
+json_object!(Fig15Row { name, tiles, cycles, speedup });
+json_object!(Fig16Row { name, board, fpga_ms, i7_ms, gain });
+json_object!(Table4Row { name, tiles, mhz, alms, regs, brams, power_w });
+json_object!(Fig17Row { name, board, perf_per_watt_gain });
+json_object!(Table5Row { name, tool, mhz, alms, regs, brams, runtime_ms });
+json_object!(GrainAblationRow { name, fine_ms, coarse_ms, coarsening_speedup });
+json_object!(MemAblationRow { mshrs, issue_width, l2, cycles, speedup });
+json_object!(ElisionAblationRow { variant, cycles, alms, task_units });
+json_object!(AllResults {
+    table2,
+    spawn,
+    fig13,
+    table3,
+    fig14,
+    fig15,
+    fig16,
+    table4,
+    fig17,
+    table5,
+    grain_ablation,
+    mem_ablation,
+    elision_ablation
+});

@@ -3,7 +3,7 @@
 //! Each function in [`experiments`] reproduces one evaluation artifact of
 //! the paper (Tables II–V, Figures 13–17 and the §V-A spawn-latency
 //! claim) and returns structured rows; the `reproduce` binary formats them
-//! and the Criterion benches time the underlying simulations.
+//! and the bench harness times the underlying simulations.
 //!
 //! Absolute numbers come from the calibrated models in `tapas-res` and the
 //! cycle-level simulator — the *shapes* (who wins, scaling trends,
@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 
 use tapas::ir::interp::{self, Val};
 use tapas::{AcceleratorConfig, SimOutcome, Toolchain};
@@ -97,14 +98,9 @@ pub fn i7_seconds(wl: &BuiltWorkload, cores: usize) -> f64 {
 /// applied — how a production Cilk Plus runtime would coarsen the loops.
 pub fn i7_seconds_coarsened(wl: &BuiltWorkload, cores: usize) -> f64 {
     let mut mem = wl.mem.clone();
-    let out = interp::run(
-        &wl.module,
-        wl.func,
-        &wl.args,
-        &mut mem,
-        &interp::InterpConfig::default(),
-    )
-    .expect("interpreter run");
+    let out =
+        interp::run(&wl.module, wl.func, &wl.args, &mut mem, &interp::InterpConfig::default())
+            .expect("interpreter run");
     let trace = tapas_baseline::coarsen_loops_auto(&out.trace, cores);
     let cfg = tapas_baseline::CoreConfig { cores, ..tapas_baseline::CoreConfig::default() };
     tapas_baseline::run_multicore(&trace, &cfg).seconds
@@ -114,14 +110,9 @@ pub fn i7_seconds_coarsened(wl: &BuiltWorkload, cores: usize) -> f64 {
 /// cost, as in the Fig. 12 microbenchmark).
 pub fn i7_seconds_grain(wl: &BuiltWorkload, cores: usize, grainsize: usize) -> f64 {
     let mut mem = wl.mem.clone();
-    let out = interp::run(
-        &wl.module,
-        wl.func,
-        &wl.args,
-        &mut mem,
-        &interp::InterpConfig::default(),
-    )
-    .expect("interpreter run");
+    let out =
+        interp::run(&wl.module, wl.func, &wl.args, &mut mem, &interp::InterpConfig::default())
+            .expect("interpreter run");
     let trace = tapas_baseline::coarsen_loops(&out.trace, grainsize);
     let cfg = tapas_baseline::CoreConfig { cores, ..tapas_baseline::CoreConfig::default() };
     tapas_baseline::run_multicore(&trace, &cfg).seconds

@@ -54,22 +54,22 @@ mod verilog;
 pub use rtl::emit_chisel;
 pub use verilog::emit_verilog;
 
-/// Re-export of the parallel IR crate.
-pub use tapas_ir as ir;
-/// Re-export of the task-extraction crate.
-pub use tapas_task as task;
-/// Re-export of the dataflow-generation crate.
-pub use tapas_dfg as dfg;
-/// Re-export of the memory-substrate crate.
-pub use tapas_mem as mem;
-/// Re-export of the accelerator simulator crate.
-pub use tapas_sim as sim;
-/// Re-export of the resource/power model crate.
-pub use tapas_res as res;
 /// Re-export of the baseline models crate.
 pub use tapas_baseline as baseline;
+/// Re-export of the dataflow-generation crate.
+pub use tapas_dfg as dfg;
+/// Re-export of the parallel IR crate.
+pub use tapas_ir as ir;
 /// Re-export of the Cilk-like front end.
 pub use tapas_lang as lang;
+/// Re-export of the memory-substrate crate.
+pub use tapas_mem as mem;
+/// Re-export of the resource/power model crate.
+pub use tapas_res as res;
+/// Re-export of the accelerator simulator crate.
+pub use tapas_sim as sim;
+/// Re-export of the task-extraction crate.
+pub use tapas_task as task;
 
 pub use tapas_sim::{Accelerator, AcceleratorConfig, SimError, SimOutcome, SimStats};
 
@@ -122,8 +122,7 @@ impl Toolchain {
     /// Returns [`ToolchainError`] when the module is not a well-formed
     /// Tapir program or a task uses constructs without a hardware mapping.
     pub fn compile(&self, module: &Module) -> Result<CompiledDesign, ToolchainError> {
-        let graphs =
-            extract_module(module).map_err(|e| ToolchainError::Task(e.to_string()))?;
+        let graphs = extract_module(module).map_err(|e| ToolchainError::Task(e.to_string()))?;
         let mut dfgs = Vec::with_capacity(graphs.len());
         for g in &graphs {
             dfgs.push(

@@ -328,10 +328,7 @@ pub fn lower_tasks(
     lat: &LatencyModel,
 ) -> Result<Vec<TaskDfg>, DfgError> {
     let f = m.function(graph.func);
-    graph
-        .task_ids()
-        .map(|tid| lower_task(f, graph, tid, lat))
-        .collect()
+    graph.task_ids().map(|tid| lower_task(f, graph, tid, lat)).collect()
 }
 
 fn lower_task(
@@ -437,13 +434,7 @@ fn lower_task(
                 Op::Load { ptr } => {
                     let ty = f.value_ty(*ptr).pointee().cloned().expect("load from ptr");
                     let size = access_size(&ty)?;
-                    (
-                        NodeOp::Load { size },
-                        vec![operand(*ptr, &local)],
-                        0,
-                        true,
-                        false,
-                    )
+                    (NodeOp::Load { size }, vec![operand(*ptr, &local)], 0, true, false)
                 }
                 Op::Store { ptr, value } => {
                     let ty = f.value_ty(*ptr).pointee().cloned().expect("store to ptr");
@@ -504,15 +495,7 @@ fn lower_task(
             if let Some(r) = result {
                 local.insert(r, idx);
             }
-            nodes.push(DfgNode {
-                op,
-                operands,
-                order_deps,
-                result,
-                width,
-                latency,
-                mem_port,
-            });
+            nodes.push(DfgNode { op, operands, order_deps, result, width, latency, mem_port });
         }
 
         let term = match &f.block(b).term {
@@ -531,12 +514,7 @@ fn lower_task(
                     .copied()
                     .find(|(site, _)| *site == b)
                     .expect("detach site recorded during extraction");
-                let args = graph
-                    .task(child)
-                    .args
-                    .iter()
-                    .map(|a| operand(*a, &local))
-                    .collect();
+                let args = graph.task(child).args.iter().map(|a| operand(*a, &local)).collect();
                 TermInfo::Detach { child, args, cont: *cont }
             }
             Terminator::Reattach { .. } => TermInfo::Reattach,
@@ -565,11 +543,7 @@ fn lower_gep(
 ) -> (Vec<GepStep>, Vec<Operand>) {
     let mut steps = Vec::new();
     let mut ops = vec![operand(base, local)];
-    let mut cur_ty = f
-        .value_ty(base)
-        .pointee()
-        .cloned()
-        .expect("gep base is a pointer");
+    let mut cur_ty = f.value_ty(base).pointee().cloned().expect("gep base is a pointer");
     for (i, ix) in indices.iter().enumerate() {
         let elem_ty = if i == 0 {
             cur_ty.clone()
@@ -618,9 +592,7 @@ fn type_bits(ty: &Type) -> u8 {
 fn access_size(ty: &Type) -> Result<u8, DfgError> {
     let s = ty.size_bytes();
     if s == 0 || s > 8 || !s.is_power_of_two() {
-        return Err(DfgError::UnsupportedAccess(format!(
-            "access of type {ty} ({s} bytes)"
-        )));
+        return Err(DfgError::UnsupportedAccess(format!("access of type {ty} ({s} bytes)")));
     }
     Ok(s as u8)
 }
@@ -668,11 +640,7 @@ mod tests {
         assert_eq!(prof.int_simple, 1, "the Add4B unit");
         // The add consumes the two load outputs locally.
         let blk = &dfg.blocks[0];
-        let add = blk
-            .nodes
-            .iter()
-            .find(|n| matches!(n.op, NodeOp::Alu(BinOp::Add)))
-            .unwrap();
+        let add = blk.nodes.iter().find(|n| matches!(n.op, NodeOp::Alu(BinOp::Add))).unwrap();
         assert!(matches!(add.operands[0], Operand::Local(_)));
         assert!(matches!(add.operands[1], Operand::Local(_)));
     }
@@ -724,8 +692,7 @@ mod tests {
 
     #[test]
     fn detach_term_carries_child_args() {
-        let mut b =
-            FunctionBuilder::new("sp", vec![Type::ptr(Type::I32), Type::I64], Type::Void);
+        let mut b = FunctionBuilder::new("sp", vec![Type::ptr(Type::I32), Type::I64], Type::Void);
         let task = b.create_block("task");
         let cont = b.create_block("cont");
         let done = b.create_block("done");
@@ -854,9 +821,7 @@ mod tests {
         match &header_dfg.nodes[0].op {
             NodeOp::Phi { incomings } => {
                 assert_eq!(incomings.len(), 2);
-                assert!(incomings
-                    .iter()
-                    .any(|(_, o)| matches!(o, Operand::Imm(_))));
+                assert!(incomings.iter().any(|(_, o)| matches!(o, Operand::Imm(_))));
                 assert!(incomings.iter().any(|(_, o)| matches!(o, Operand::Env(_))));
             }
             other => panic!("expected phi, got {other:?}"),

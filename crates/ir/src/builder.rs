@@ -72,8 +72,7 @@ impl FunctionBuilder {
     pub fn const_int(&mut self, ty: Type, val: i64) -> ValueId {
         let w = ty.int_width().expect("const_int requires an integer type");
         let bits = mask_to_width(val as u64, w);
-        self.func
-            .add_value(ValueDef::Const(Constant::Int { ty: ty.clone(), bits }), ty, None)
+        self.func.add_value(ValueDef::Const(Constant::Int { ty: ty.clone(), bits }), ty, None)
     }
 
     /// Boolean (`i1`) constant.
@@ -83,21 +82,18 @@ impl FunctionBuilder {
 
     /// `f32` constant.
     pub fn const_f32(&mut self, v: f32) -> ValueId {
-        self.func
-            .add_value(ValueDef::Const(Constant::F32(v)), Type::F32, None)
+        self.func.add_value(ValueDef::Const(Constant::F32(v)), Type::F32, None)
     }
 
     /// `f64` constant.
     pub fn const_f64(&mut self, v: f64) -> ValueId {
-        self.func
-            .add_value(ValueDef::Const(Constant::F64(v)), Type::F64, None)
+        self.func.add_value(ValueDef::Const(Constant::F64(v)), Type::F64, None)
     }
 
     /// Null pointer of type `ty` (must be a pointer type).
     pub fn const_null(&mut self, ty: Type) -> ValueId {
         assert!(ty.is_ptr(), "const_null requires a pointer type");
-        self.func
-            .add_value(ValueDef::Const(Constant::NullPtr(ty.clone())), ty, None)
+        self.func.add_value(ValueDef::Const(Constant::NullPtr(ty.clone())), ty, None)
     }
 
     // ---- instruction emission -------------------------------------------
@@ -236,22 +232,14 @@ impl FunctionBuilder {
 
     /// Emit a load; result type is the pointee of `ptr`.
     pub fn load(&mut self, ptr: ValueId) -> ValueId {
-        let ty = self
-            .ty_of(ptr)
-            .pointee()
-            .cloned()
-            .expect("load from non-pointer");
+        let ty = self.ty_of(ptr).pointee().cloned().expect("load from non-pointer");
         assert!(ty.is_first_class(), "load of non-first-class type {ty}");
         self.push(Op::Load { ptr }, Some(ty)).unwrap()
     }
 
     /// Emit a store of `value` through `ptr`.
     pub fn store(&mut self, ptr: ValueId, value: ValueId) {
-        let pointee = self
-            .ty_of(ptr)
-            .pointee()
-            .cloned()
-            .expect("store to non-pointer");
+        let pointee = self.ty_of(ptr).pointee().cloned().expect("store to non-pointer");
         assert_eq!(pointee, self.ty_of(value), "store type mismatch");
         self.push(Op::Store { ptr, value }, None);
     }
@@ -390,22 +378,18 @@ mod tests {
         // base: {i32, [4 x f32]}*
         let st = Type::Struct(vec![Type::I32, Type::array(Type::F32, 4)]);
         let base = Type::ptr(st);
-        let ty = gep_result_type(
-            &base,
-            &[GepIndex::Const(0), GepIndex::Const(1), GepIndex::Const(2)],
-        )
-        .unwrap();
+        let ty =
+            gep_result_type(&base, &[GepIndex::Const(0), GepIndex::Const(1), GepIndex::Const(2)])
+                .unwrap();
         assert_eq!(ty, Type::ptr(Type::F32));
     }
 
     #[test]
     fn gep_rejects_runtime_struct_index() {
         let st = Type::Struct(vec![Type::I32]);
-        let err = gep_result_type(
-            &Type::ptr(st),
-            &[GepIndex::Const(0), GepIndex::Value(ValueId(0))],
-        )
-        .unwrap_err();
+        let err =
+            gep_result_type(&Type::ptr(st), &[GepIndex::Const(0), GepIndex::Value(ValueId(0))])
+                .unwrap_err();
         assert!(err.contains("must be constant"));
     }
 

@@ -429,11 +429,7 @@ impl Function {
 
     /// Count memory instructions (loads + stores) across all blocks.
     pub fn num_mem_insts(&self) -> usize {
-        self.blocks
-            .iter()
-            .flat_map(|b| b.insts.iter())
-            .filter(|i| i.op.is_mem())
-            .count()
+        self.blocks.iter().flat_map(|b| b.insts.iter()).filter(|i| i.op.is_mem()).count()
     }
 
     pub(crate) fn set_value_def(&mut self, v: ValueId, def: ValueDef) {
@@ -499,18 +495,12 @@ impl Module {
 
     /// Find a function by name.
     pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
-        self.functions
-            .iter()
-            .position(|f| f.name == name)
-            .map(|i| FuncId(i as u32))
+        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
     }
 
     /// Iterate over `(id, function)` pairs.
     pub fn functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
-        self.functions
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (FuncId(i as u32), f))
+        self.functions.iter().enumerate().map(|(i, f)| (FuncId(i as u32), f))
     }
 
     /// Number of functions.

@@ -16,6 +16,7 @@ use crate::analysis::Cfg;
 use crate::builder::mask_to_width;
 use crate::core::*;
 use crate::types::Type;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// A dynamic value.
@@ -273,11 +274,14 @@ pub struct InterpConfig {
     /// Record the spawn trace (disable for pure functional runs to save
     /// memory on huge executions).
     pub record_trace: bool,
+    /// Run the SP-bags determinacy-race oracle alongside execution and
+    /// report observed races in [`Outcome::races`].
+    pub detect_races: bool,
 }
 
 impl Default for InterpConfig {
     fn default() -> Self {
-        InterpConfig { max_steps: 500_000_000, record_trace: true }
+        InterpConfig { max_steps: 500_000_000, record_trace: true, detect_races: false }
     }
 }
 
@@ -290,6 +294,191 @@ pub struct Outcome {
     pub stats: ExecStats,
     /// The fork-join DAG (empty if `record_trace` was off).
     pub trace: SpawnTrace,
+    /// Determinacy races observed by the SP-bags oracle (empty unless
+    /// [`InterpConfig::detect_races`] was set).
+    pub races: Vec<DynRace>,
+}
+
+/// Kind of a dynamically observed determinacy race, named by the program
+/// order of the two conflicting accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DynRaceKind {
+    /// Two logically parallel writes.
+    WriteWrite,
+    /// An earlier write raced by a logically parallel later read.
+    WriteRead,
+    /// An earlier read raced by a logically parallel later write.
+    ReadWrite,
+}
+
+/// One determinacy race observed by the SP-bags oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynRace {
+    /// Raced byte address.
+    pub addr: u64,
+    /// Conflict kind.
+    pub kind: DynRaceKind,
+}
+
+/// The SP-bags algorithm (Feng & Leiserson): executes the serial elision
+/// while maintaining, per procedure instance, an S-bag (descendants that
+/// logically *precede* the instance's current point) and a P-bag
+/// (completed spawned children that run logically *in parallel* with it).
+/// A read/write whose previous conflicting accessor sits in a P-bag is a
+/// determinacy race — for a terminating program this finds a race iff one
+/// exists on this input, independent of scheduling.
+struct SpBags {
+    /// Disjoint-set forest over bag ids; `is_p[find(x)]` tells whether the
+    /// bag containing `x` is currently a P-bag.
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    is_p: Vec<bool>,
+    /// Per-live-instance `(s_bag, p_bag)` ids, innermost last.
+    stack: Vec<(u32, u32)>,
+    /// Per-byte shadow: last writer bag and a representative reader bag.
+    shadow: HashMap<u64, (Option<u32>, Option<u32>)>,
+    races: Vec<DynRace>,
+    seen: HashSet<(u64, DynRaceKind)>,
+}
+
+impl SpBags {
+    fn new() -> SpBags {
+        let mut sp = SpBags {
+            parent: Vec::new(),
+            rank: Vec::new(),
+            is_p: Vec::new(),
+            stack: Vec::new(),
+            shadow: HashMap::new(),
+            races: Vec::new(),
+            seen: HashSet::new(),
+        };
+        sp.enter();
+        sp
+    }
+
+    fn new_bag(&mut self, is_p: bool) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.rank.push(0);
+        self.is_p.push(is_p);
+        id
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32, is_p: bool) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            self.is_p[ra as usize] = is_p;
+            return;
+        }
+        let (hi, lo) =
+            if self.rank[ra as usize] >= self.rank[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.is_p[hi as usize] = is_p;
+    }
+
+    /// New procedure instance (root, spawned child, or serial call).
+    fn enter(&mut self) {
+        let s = self.new_bag(false);
+        let p = self.new_bag(true);
+        self.stack.push((s, p));
+    }
+
+    /// A spawned child returned: its whole subtree becomes parallel with
+    /// the parent's continuation until the parent syncs.
+    fn exit_spawn(&mut self) {
+        let (s, p) = self.stack.pop().expect("spawn exit without instance");
+        let (_, pp) = *self.stack.last().expect("spawned child had no parent");
+        self.union(s, pp, true);
+        self.union(p, pp, true);
+    }
+
+    /// A serial call returned: its subtree precedes whatever the caller
+    /// does next.
+    fn exit_call(&mut self) {
+        let (s, p) = self.stack.pop().expect("call exit without instance");
+        let (ps, _) = *self.stack.last().expect("called child had no parent");
+        self.union(s, ps, false);
+        self.union(p, ps, false);
+    }
+
+    /// `sync`: every outstanding child now precedes the continuation.
+    fn sync(&mut self) {
+        let (s, p) = *self.stack.last().expect("sync without instance");
+        self.union(p, s, false);
+        let fresh = self.new_bag(true);
+        self.stack.last_mut().unwrap().1 = fresh;
+    }
+
+    fn record(&mut self, addr: u64, kind: DynRaceKind) {
+        if self.seen.insert((addr, kind)) {
+            self.races.push(DynRace { addr, kind });
+        }
+    }
+
+    fn on_read(&mut self, addr: u64, size: u64) {
+        let cur_s = self.stack.last().expect("read without instance").0;
+        for a in addr..addr.saturating_add(size) {
+            let (writer, reader) = self.shadow.get(&a).copied().unwrap_or((None, None));
+            if let Some(w) = writer {
+                let root = self.find(w);
+                if self.is_p[root as usize] {
+                    self.record(a, DynRaceKind::WriteRead);
+                }
+            }
+            // Keep the "most parallel" reader: replace only a serial one.
+            let keep = match reader {
+                Some(r) => {
+                    let root = self.find(r);
+                    self.is_p[root as usize]
+                }
+                None => false,
+            };
+            let entry = self.shadow.entry(a).or_insert((None, None));
+            entry.0 = writer;
+            if !keep {
+                entry.1 = Some(cur_s);
+            }
+        }
+    }
+
+    fn on_write(&mut self, addr: u64, size: u64) {
+        let cur_s = self.stack.last().expect("write without instance").0;
+        for a in addr..addr.saturating_add(size) {
+            let (writer, reader) = self.shadow.get(&a).copied().unwrap_or((None, None));
+            if let Some(r) = reader {
+                let root = self.find(r);
+                if self.is_p[root as usize] {
+                    self.record(a, DynRaceKind::ReadWrite);
+                }
+            }
+            if let Some(w) = writer {
+                let root = self.find(w);
+                if self.is_p[root as usize] {
+                    self.record(a, DynRaceKind::WriteWrite);
+                }
+            }
+            let entry = self.shadow.entry(a).or_insert((None, None));
+            entry.0 = Some(cur_s);
+            entry.1 = reader;
+        }
+    }
 }
 
 /// Run `func` from `module` with `args` against byte-addressed memory `mem`.
@@ -335,10 +524,12 @@ pub fn run(
         steps: 0,
         pending: Cost::default(),
         frame_stack: vec![FrameId(0)],
+        sp: cfg.detect_races.then(SpBags::new),
     };
     let ret = interp.exec_function(func, args)?;
     interp.flush_work();
-    Ok(Outcome { ret, stats: interp.stats, trace: interp.trace })
+    let races = interp.sp.map(|s| s.races).unwrap_or_default();
+    Ok(Outcome { ret, stats: interp.stats, trace: interp.trace, races })
 }
 
 struct Interp<'m> {
@@ -352,6 +543,8 @@ struct Interp<'m> {
     /// current frame when flushed.
     pending: Cost,
     frame_stack: Vec<FrameId>,
+    /// SP-bags race oracle, when enabled.
+    sp: Option<SpBags>,
 }
 
 /// One function activation's SSA environment.
@@ -373,9 +566,7 @@ impl<'m> Interp<'m> {
     fn flush_work(&mut self) {
         if self.cfg.record_trace && !self.pending.is_zero() {
             let fid = *self.frame_stack.last().unwrap();
-            self.trace.frames[fid.0 as usize]
-                .events
-                .push(TraceEvent::Work(self.pending));
+            self.trace.frames[fid.0 as usize].events.push(TraceEvent::Work(self.pending));
         }
         self.pending = Cost::default();
     }
@@ -388,9 +579,7 @@ impl<'m> Interp<'m> {
         let child = FrameId(self.trace.frames.len() as u32);
         self.trace.frames.push(Frame::default());
         let parent = *self.frame_stack.last().unwrap();
-        self.trace.frames[parent.0 as usize]
-            .events
-            .push(event_kind(child));
+        self.trace.frames[parent.0 as usize].events.push(event_kind(child));
         self.frame_stack.push(child);
         Some(child)
     }
@@ -466,11 +655,16 @@ impl<'m> Interp<'m> {
                     return Err(InterpError::StepLimit(self.cfg.max_steps));
                 }
                 if let Op::Call { callee, args } = &inst.op {
-                    let vals: Result<Vec<Val>, _> =
-                        args.iter().map(|a| act.get(*a)).collect();
+                    let vals: Result<Vec<Val>, _> = args.iter().map(|a| act.get(*a)).collect();
                     let vals = vals?;
                     self.push_frame(TraceEvent::Call);
+                    if let Some(sp) = &mut self.sp {
+                        sp.enter();
+                    }
                     let r = self.exec_function(*callee, &vals)?;
+                    if let Some(sp) = &mut self.sp {
+                        sp.exit_call();
+                    }
                     self.pop_frame();
                     if let (Some(res), Some(val)) = (inst.result, r) {
                         act.set(res, val);
@@ -504,8 +698,14 @@ impl<'m> Interp<'m> {
                 Terminator::Detach { task, cont } => {
                     self.stats.spawns += 1;
                     self.push_frame(TraceEvent::Spawn);
+                    if let Some(sp) = &mut self.sp {
+                        sp.enter();
+                    }
                     // Serial elision: run the child region to completion.
                     self.exec_region(f, *task, Some(*cont), act)?;
+                    if let Some(sp) = &mut self.sp {
+                        sp.exit_spawn();
+                    }
                     self.pop_frame();
                     // The reattach edge is the phi-relevant predecessor.
                     prev = Some(cur);
@@ -522,6 +722,9 @@ impl<'m> Interp<'m> {
                 Terminator::Sync { cont } => {
                     self.stats.syncs += 1;
                     self.emit_sync();
+                    if let Some(sp) = &mut self.sp {
+                        sp.sync();
+                    }
                     prev = Some(cur);
                     cur = *cont;
                 }
@@ -555,33 +758,30 @@ impl<'m> Interp<'m> {
         }
     }
 
-    fn eval(&mut self, f: &Function, op: &Op, act: &Activation) -> Result<Option<Val>, InterpError> {
+    fn eval(
+        &mut self,
+        f: &Function,
+        op: &Op,
+        act: &Activation,
+    ) -> Result<Option<Val>, InterpError> {
         let v = match op {
             Op::Bin { op, lhs, rhs } => {
                 let w = f.value_ty(*lhs).int_width().unwrap_or(64);
                 Some(eval_bin(*op, act.get(*lhs)?, act.get(*rhs)?, w)?)
             }
-            Op::FBin { op, lhs, rhs } => {
-                Some(eval_fbin(*op, act.get(*lhs)?, act.get(*rhs)?))
-            }
+            Op::FBin { op, lhs, rhs } => Some(eval_fbin(*op, act.get(*lhs)?, act.get(*rhs)?)),
             Op::Cmp { pred, lhs, rhs } => {
                 let w = f.value_ty(*lhs).int_width().unwrap_or(64);
-                Some(Val::Int(
-                    eval_cmp(*pred, act.get(*lhs)?, act.get(*rhs)?, w) as u64
-                ))
+                Some(Val::Int(eval_cmp(*pred, act.get(*lhs)?, act.get(*rhs)?, w) as u64))
             }
-            Op::FCmp { pred, lhs, rhs } => Some(Val::Int(eval_fcmp(
-                *pred,
-                act.get(*lhs)?,
-                act.get(*rhs)?,
-            ) as u64)),
+            Op::FCmp { pred, lhs, rhs } => {
+                Some(Val::Int(eval_fcmp(*pred, act.get(*lhs)?, act.get(*rhs)?) as u64))
+            }
             Op::Select { cond, if_true, if_false } => {
                 let c = act.get(*cond)?.as_int() & 1;
                 Some(if c == 1 { act.get(*if_true)? } else { act.get(*if_false)? })
             }
-            Op::Cast { kind, value, to } => {
-                Some(eval_cast(*kind, act.get(*value)?, f, *value, to))
-            }
+            Op::Cast { kind, value, to } => Some(eval_cast(*kind, act.get(*value)?, f, *value, to)),
             Op::Gep { base, indices } => {
                 let addr = self.eval_gep(f, *base, indices, act)?;
                 Some(Val::Int(addr))
@@ -611,11 +811,7 @@ impl<'m> Interp<'m> {
         act: &Activation,
     ) -> Result<u64, InterpError> {
         let mut addr = act.get(base)?.as_int();
-        let mut cur_ty = f
-            .value_ty(base)
-            .pointee()
-            .cloned()
-            .expect("gep base not a pointer");
+        let mut cur_ty = f.value_ty(base).pointee().cloned().expect("gep base not a pointer");
         for (i, ix) in indices.iter().enumerate() {
             let idx_val: i64 = match ix {
                 GepIndex::Value(v) => {
@@ -629,8 +825,7 @@ impl<'m> Interp<'m> {
             } else {
                 match &cur_ty {
                     Type::Array(elem, _) => {
-                        addr = addr
-                            .wrapping_add((idx_val as u64).wrapping_mul(elem.stride()));
+                        addr = addr.wrapping_add((idx_val as u64).wrapping_mul(elem.stride()));
                         cur_ty = (**elem).clone();
                     }
                     Type::Struct(_) => {
@@ -647,7 +842,7 @@ impl<'m> Interp<'m> {
     }
 
     fn check_bounds(&self, addr: u64, size: u64) -> Result<(), InterpError> {
-        if addr.checked_add(size).map_or(true, |end| end > self.mem.len() as u64) {
+        if addr.checked_add(size).is_none_or(|end| end > self.mem.len() as u64) {
             return Err(InterpError::OutOfBounds { addr, size, mem_size: self.mem.len() });
         }
         Ok(())
@@ -656,6 +851,9 @@ impl<'m> Interp<'m> {
     fn load_mem(&mut self, addr: u64, ty: &Type) -> Result<Val, InterpError> {
         let size = ty.size_bytes();
         self.check_bounds(addr, size)?;
+        if let Some(sp) = &mut self.sp {
+            sp.on_read(addr, size);
+        }
         let bytes = &self.mem[addr as usize..(addr + size) as usize];
         let mut raw = [0u8; 8];
         raw[..bytes.len()].copy_from_slice(bytes);
@@ -672,6 +870,9 @@ impl<'m> Interp<'m> {
     fn store_mem(&mut self, addr: u64, ty: &Type, val: Val) -> Result<(), InterpError> {
         let size = ty.size_bytes();
         self.check_bounds(addr, size)?;
+        if let Some(sp) = &mut self.sp {
+            sp.on_write(addr, size);
+        }
         let bits = match (ty, val) {
             (Type::F32, Val::F32(x)) => x.to_bits() as u64,
             (Type::F64, Val::F64(x)) => x.to_bits(),
@@ -870,8 +1071,7 @@ mod tests {
     /// detach/sync with memory: child stores 7, parent reads after sync.
     #[test]
     fn detach_then_sync() {
-        let mut b =
-            FunctionBuilder::new("spawnstore", vec![Type::ptr(Type::I32)], Type::I32);
+        let mut b = FunctionBuilder::new("spawnstore", vec![Type::ptr(Type::I32)], Type::I32);
         let task = b.create_block("task");
         let cont = b.create_block("cont");
         let after = b.create_block("after");
@@ -939,7 +1139,7 @@ mod tests {
         let mut m = Module::new("m");
         let f = m.add_function(b.finish());
         let mut mem = Vec::new();
-        let cfg = InterpConfig { max_steps: 1000, record_trace: false };
+        let cfg = InterpConfig { max_steps: 1000, record_trace: false, ..InterpConfig::default() };
         let err = run(&m, f, &[], &mut mem, &cfg).unwrap_err();
         assert!(matches!(err, InterpError::StepLimit(_)));
     }
@@ -1050,5 +1250,157 @@ mod tests {
     fn cmp_signed_vs_unsigned() {
         assert!(eval_cmp(CmpPred::Slt, Val::Int(0xff), Val::Int(0), 8)); // -1 < 0
         assert!(!eval_cmp(CmpPred::Ult, Val::Int(0xff), Val::Int(0), 8)); // 255 !< 0
+    }
+
+    fn run_racecheck(m: &Module, f: FuncId, args: &[Val], mem: &mut Vec<u8>) -> Outcome {
+        let cfg = InterpConfig { detect_races: true, ..InterpConfig::default() };
+        run(m, f, args, mem, &cfg).expect("interp failed")
+    }
+
+    /// detach { a[0] = 1 }; a[0] = 2 in the continuation before sync:
+    /// the oracle must flag the write-write race. The same stores after
+    /// the sync are race-free.
+    fn spawn_then_store(store_after_sync: bool) -> (Module, FuncId) {
+        let mut b = FunctionBuilder::new("k", vec![Type::ptr(Type::I64)], Type::Void);
+        let a = b.param(0);
+        let task = b.create_block("task");
+        let cont = b.create_block("cont");
+        let done = b.create_block("done");
+        let one = b.const_int(Type::I64, 1);
+        let two = b.const_int(Type::I64, 2);
+        let zero = b.const_int(Type::I64, 0);
+        b.detach(task, cont);
+        b.switch_to(task);
+        let p = b.gep_index(a, zero);
+        b.store(p, one);
+        b.reattach(cont);
+        b.switch_to(cont);
+        let p2 = b.gep_index(a, zero);
+        if !store_after_sync {
+            b.store(p2, two);
+        }
+        b.sync(done);
+        b.switch_to(done);
+        if store_after_sync {
+            b.store(p2, two);
+        }
+        b.ret(None);
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        crate::verify_module(&m).unwrap();
+        (m, f)
+    }
+
+    #[test]
+    fn sp_bags_flags_unsynced_write_write() {
+        let (m, f) = spawn_then_store(false);
+        let mut mem = vec![0u8; 8];
+        let out = run_racecheck(&m, f, &[Val::Int(0)], &mut mem);
+        assert!(
+            out.races.iter().any(|r| r.kind == DynRaceKind::WriteWrite),
+            "expected a write-write race, got {:?}",
+            out.races
+        );
+    }
+
+    #[test]
+    fn sp_bags_clean_after_sync() {
+        let (m, f) = spawn_then_store(true);
+        let mut mem = vec![0u8; 8];
+        let out = run_racecheck(&m, f, &[Val::Int(0)], &mut mem);
+        assert!(out.races.is_empty(), "post-sync store must not race: {:?}", out.races);
+    }
+
+    #[test]
+    fn sp_bags_flags_read_of_outstanding_write() {
+        // detach { a[0] = 1 }; read a[0] before sync.
+        let mut b = FunctionBuilder::new("k", vec![Type::ptr(Type::I64)], Type::I64);
+        let a = b.param(0);
+        let task = b.create_block("task");
+        let cont = b.create_block("cont");
+        let done = b.create_block("done");
+        let one = b.const_int(Type::I64, 1);
+        let zero = b.const_int(Type::I64, 0);
+        b.detach(task, cont);
+        b.switch_to(task);
+        let p = b.gep_index(a, zero);
+        b.store(p, one);
+        b.reattach(cont);
+        b.switch_to(cont);
+        let p2 = b.gep_index(a, zero);
+        let v = b.load(p2);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(Some(v));
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        crate::verify_module(&m).unwrap();
+        let mut mem = vec![0u8; 8];
+        let out = run_racecheck(&m, f, &[Val::Int(0)], &mut mem);
+        assert!(
+            out.races.iter().any(|r| r.kind == DynRaceKind::WriteRead),
+            "expected a write-read race, got {:?}",
+            out.races
+        );
+    }
+
+    #[test]
+    fn sp_bags_parallel_disjoint_slots_clean() {
+        // Two spawned tasks writing different slots: no race.
+        let mut b = FunctionBuilder::new("k", vec![Type::ptr(Type::I64)], Type::Void);
+        let a = b.param(0);
+        let t1 = b.create_block("t1");
+        let c1 = b.create_block("c1");
+        let t2 = b.create_block("t2");
+        let c2 = b.create_block("c2");
+        let done = b.create_block("done");
+        let one = b.const_int(Type::I64, 1);
+        let zero = b.const_int(Type::I64, 0);
+        b.detach(t1, c1);
+        b.switch_to(t1);
+        let p = b.gep_index(a, zero);
+        b.store(p, one);
+        b.reattach(c1);
+        b.switch_to(c1);
+        b.detach(t2, c2);
+        b.switch_to(t2);
+        let q = b.gep_index(a, one);
+        b.store(q, one);
+        b.reattach(c2);
+        b.switch_to(c2);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        crate::verify_module(&m).unwrap();
+        let mut mem = vec![0u8; 16];
+        let out = run_racecheck(&m, f, &[Val::Int(0)], &mut mem);
+        assert!(out.races.is_empty(), "disjoint slots must not race: {:?}", out.races);
+    }
+
+    #[test]
+    fn sp_bags_serial_calls_do_not_race() {
+        // g(a) stores a[0]; calling it twice serially is race-free.
+        let mut m = Module::new("m");
+        let mut gb = FunctionBuilder::new("g", vec![Type::ptr(Type::I64)], Type::Void);
+        let ga = gb.param(0);
+        let one = gb.const_int(Type::I64, 1);
+        let zero = gb.const_int(Type::I64, 0);
+        let p = gb.gep_index(ga, zero);
+        gb.store(p, one);
+        gb.ret(None);
+        let g = m.add_function(gb.finish());
+
+        let mut b = FunctionBuilder::new("k", vec![Type::ptr(Type::I64)], Type::Void);
+        let a = b.param(0);
+        b.call(g, vec![a], Type::Void);
+        b.call(g, vec![a], Type::Void);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        crate::verify_module(&m).unwrap();
+        let mut mem = vec![0u8; 8];
+        let out = run_racecheck(&m, f, &[Val::Int(0)], &mut mem);
+        assert!(out.races.is_empty(), "serial calls must not race: {:?}", out.races);
     }
 }

@@ -60,10 +60,11 @@ pub fn optimize_module(m: &mut Module) -> OptStats {
 pub fn optimize_function(f: &mut Function) -> OptStats {
     let mut total = OptStats::default();
     loop {
-        let mut round = OptStats::default();
-        round.folded = fold_constants(f);
-        round.branches_simplified = simplify_branches(f);
-        round.dce_removed = eliminate_dead_code(f);
+        let round = OptStats {
+            folded: fold_constants(f),
+            branches_simplified: simplify_branches(f),
+            dce_removed: eliminate_dead_code(f),
+        };
         if round.total() == 0 {
             return total;
         }
@@ -118,30 +119,22 @@ pub fn fold_constants(f: &mut Function) -> usize {
                     }
                 }
                 Op::FBin { op, lhs, rhs } => match (const_of(f, *lhs), const_of(f, *rhs)) {
-                    (Some(l), Some(r)) => {
-                        Some(eval_fbin(*op, const_to_val(l), const_to_val(r)))
-                    }
+                    (Some(l), Some(r)) => Some(eval_fbin(*op, const_to_val(l), const_to_val(r))),
                     _ => None,
                 },
                 Op::Cmp { pred, lhs, rhs } => match (const_of(f, *lhs), const_of(f, *rhs)) {
                     (Some(l), Some(r)) => {
                         let w = f.value_ty(*lhs).int_width().unwrap_or(64);
-                        Some(Val::Int(
-                            eval_cmp(*pred, const_to_val(l), const_to_val(r), w) as u64,
-                        ))
+                        Some(Val::Int(eval_cmp(*pred, const_to_val(l), const_to_val(r), w) as u64))
                     }
                     _ => None,
                 },
-                Op::FCmp { pred, lhs, rhs } => {
-                    match (const_of(f, *lhs), const_of(f, *rhs)) {
-                        (Some(l), Some(r)) => Some(Val::Int(eval_fcmp(
-                            *pred,
-                            const_to_val(l),
-                            const_to_val(r),
-                        ) as u64)),
-                        _ => None,
+                Op::FCmp { pred, lhs, rhs } => match (const_of(f, *lhs), const_of(f, *rhs)) {
+                    (Some(l), Some(r)) => {
+                        Some(Val::Int(eval_fcmp(*pred, const_to_val(l), const_to_val(r)) as u64))
                     }
-                }
+                    _ => None,
+                },
                 Op::Select { cond, if_true, if_false } => match const_of(f, *cond) {
                     Some(Constant::Int { bits, .. }) => {
                         let pick = if bits & 1 == 1 { *if_true } else { *if_false };
@@ -180,10 +173,7 @@ fn fold_cast(kind: CastKind, c: &Constant, from: &Type, to: &Type) -> Option<Val
         CastKind::ZExt => Val::Int(v.as_int()),
         CastKind::SExt => {
             let w = from.int_width()?;
-            Val::Int(mask_to_width(
-                sign_extend(v.as_int(), w) as u64,
-                to.int_width().unwrap_or(64),
-            ))
+            Val::Int(mask_to_width(sign_extend(v.as_int(), w) as u64, to.int_width().unwrap_or(64)))
         }
         CastKind::Trunc => Val::Int(mask_to_width(v.as_int(), to.int_width()?)),
         CastKind::SiToFp => {
@@ -238,9 +228,7 @@ fn rewrite_uses(f: &mut Function, map: &HashMap<ValueId, ValueId>) {
                     subst(value);
                 }
                 Op::Call { args, .. } => args.iter_mut().for_each(subst),
-                Op::Phi { incomings } => {
-                    incomings.iter_mut().for_each(|(_, v)| subst(v))
-                }
+                Op::Phi { incomings } => incomings.iter_mut().for_each(|(_, v)| subst(v)),
             }
         }
         match &mut f.block_mut(bid).term {
@@ -296,11 +284,8 @@ pub fn simplify_branches(f: &mut Function) -> usize {
         let bid = BlockId(b);
         if let Terminator::CondBr { cond, if_true, if_false } = f.block(bid).term.clone() {
             if let Some(Constant::Int { bits, .. }) = const_of(f, cond) {
-                let (target, dropped) = if bits & 1 == 1 {
-                    (if_true, if_false)
-                } else {
-                    (if_false, if_true)
-                };
+                let (target, dropped) =
+                    if bits & 1 == 1 { (if_true, if_false) } else { (if_false, if_true) };
                 f.block_mut(bid).term = Terminator::Br { target };
                 count += 1;
                 if dropped != target {
@@ -414,15 +399,11 @@ mod tests {
         let mut m = Module::new("m");
         let f = m.add_function(src_like);
         let mut mem = Vec::new();
-        let before = run(&m, f, &[Val::Int(5)], &mut mem, &InterpConfig::default())
-            .unwrap()
-            .ret;
+        let before = run(&m, f, &[Val::Int(5)], &mut mem, &InterpConfig::default()).unwrap().ret;
         let stats = optimize_module(&mut m);
         assert!(stats.folded >= 3);
         verify_module(&m).unwrap();
-        let after = run(&m, f, &[Val::Int(5)], &mut mem, &InterpConfig::default())
-            .unwrap()
-            .ret;
+        let after = run(&m, f, &[Val::Int(5)], &mut mem, &InterpConfig::default()).unwrap().ret;
         assert_eq!(before, after);
         assert_eq!(after, Some(Val::Int(13)));
         // Everything folded: only the final add remains.
@@ -452,9 +433,7 @@ mod tests {
         optimize_module(&mut m);
         verify_module(&m).unwrap();
         let func = m.function(f);
-        assert!(func
-            .block_ids()
-            .any(|b| matches!(func.block(b).term, Terminator::Detach { .. })));
+        assert!(func.block_ids().any(|b| matches!(func.block(b).term, Terminator::Detach { .. })));
         let mut mem = vec![0u8; 4];
         run(&m, f, &[Val::Int(0)], &mut mem, &InterpConfig::default()).unwrap();
         assert_eq!(mem[0], 3);

@@ -18,12 +18,8 @@ pub fn print_module(m: &Module) -> String {
 /// Render one function.
 pub fn print_function(f: &Function, m: &Module) -> String {
     let mut s = String::new();
-    let params: Vec<String> = f
-        .params
-        .iter()
-        .enumerate()
-        .map(|(i, t)| format!("{t} %{i}"))
-        .collect();
+    let params: Vec<String> =
+        f.params.iter().enumerate().map(|(i, t)| format!("{t} %{i}")).collect();
     let _ = writeln!(s, "define {} @{}({}) {{", f.ret_ty, f.name, params.join(", "));
     for b in f.block_ids() {
         let blk = f.block(b);
@@ -53,10 +49,7 @@ fn val(f: &Function, v: ValueId) -> String {
 }
 
 fn print_inst(inst: &Inst, f: &Function, m: &Module) -> String {
-    let lhs = inst
-        .result
-        .map(|r| format!("{r} = "))
-        .unwrap_or_default();
+    let lhs = inst.result.map(|r| format!("{r} = ")).unwrap_or_default();
     let body = match &inst.op {
         Op::Bin { op, lhs, rhs } => {
             format!("{} {}, {}", bin_name(*op), val(f, *lhs), val(f, *rhs))
@@ -84,12 +77,9 @@ fn print_inst(inst: &Inst, f: &Function, m: &Module) -> String {
             };
             format!("fcmp {name} {}, {}", val(f, *lhs), val(f, *rhs))
         }
-        Op::Select { cond, if_true, if_false } => format!(
-            "select {}, {}, {}",
-            val(f, *cond),
-            val(f, *if_true),
-            val(f, *if_false)
-        ),
+        Op::Select { cond, if_true, if_false } => {
+            format!("select {}, {}, {}", val(f, *cond), val(f, *if_true), val(f, *if_false))
+        }
         Op::Cast { kind, value, to } => {
             let name = match kind {
                 CastKind::ZExt => "zext",
@@ -131,10 +121,8 @@ fn print_inst(inst: &Inst, f: &Function, m: &Module) -> String {
                 .result
                 .map(|r| f.value_ty(r).to_string())
                 .unwrap_or_else(|| "void".to_string());
-            let a: Vec<String> = incomings
-                .iter()
-                .map(|(b, v)| format!("[{b}, {}]", val(f, *v)))
-                .collect();
+            let a: Vec<String> =
+                incomings.iter().map(|(b, v)| format!("[{b}, {}]", val(f, *v))).collect();
             format!("phi {ty} {}", a.join(", "))
         }
     };

@@ -66,11 +66,8 @@ pub fn parse_module(src: &str) -> Result<Module, TextError> {
             fnames.push(after[..paren].to_string());
         }
     }
-    let fids: HashMap<String, FuncId> = fnames
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.clone(), FuncId(i as u32)))
-        .collect();
+    let fids: HashMap<String, FuncId> =
+        fnames.iter().enumerate().map(|(i, n)| (n.clone(), FuncId(i as u32))).collect();
 
     let mut module = Module::new("parsed");
     while let Some((ln, line)) = lines.next() {
@@ -245,17 +242,16 @@ fn parse_type(line: usize, s: &str) -> Result<Type, TextError> {
         let x = inner
             .split_once(" x ")
             .ok_or_else(|| TextError { line: line + 1, message: format!("bad array {s}") })?;
-        let n: u64 = x.0.trim().parse().map_err(|_| TextError {
-            line: line + 1,
-            message: format!("bad array length {s}"),
-        })?;
+        let n: u64 = x
+            .0
+            .trim()
+            .parse()
+            .map_err(|_| TextError { line: line + 1, message: format!("bad array length {s}") })?;
         return Ok(Type::array(parse_type(line, x.1)?, n));
     }
     if let Some(inner) = s.strip_prefix('{').and_then(|x| x.strip_suffix('}')) {
-        let fields: Result<Vec<Type>, _> = split_args(inner)
-            .iter()
-            .map(|f| parse_type(line, f))
-            .collect();
+        let fields: Result<Vec<Type>, _> =
+            split_args(inner).iter().map(|f| parse_type(line, f)).collect();
         return Ok(Type::Struct(fields?));
     }
     match s {
@@ -276,41 +272,33 @@ impl<'a> FnParser<'a> {
     fn operand(&mut self, line: usize, s: &str) -> Result<ValueId, TextError> {
         let s = s.trim();
         if s.starts_with('%') {
-            return self
-                .values
-                .get(s)
-                .copied()
-                .ok_or_else(|| TextError {
-                    line: line + 1,
-                    message: format!("unknown value {s}"),
-                });
+            return self.values.get(s).copied().ok_or_else(|| TextError {
+                line: line + 1,
+                message: format!("unknown value {s}"),
+            });
         }
-        let (ty_s, lit) = s.rsplit_once(' ').ok_or_else(|| TextError {
-            line: line + 1,
-            message: format!("bad operand `{s}`"),
-        })?;
+        let (ty_s, lit) = s
+            .rsplit_once(' ')
+            .ok_or_else(|| TextError { line: line + 1, message: format!("bad operand `{s}`") })?;
         let ty = parse_type(line, ty_s)?;
         match (&ty, lit.trim()) {
             (Type::Ptr(_), "null") => Ok(self.b.const_null(ty)),
             (Type::F32, l) => {
-                let v: f32 = l.parse().map_err(|_| TextError {
-                    line: line + 1,
-                    message: format!("bad f32 `{l}`"),
-                })?;
+                let v: f32 = l
+                    .parse()
+                    .map_err(|_| TextError { line: line + 1, message: format!("bad f32 `{l}`") })?;
                 Ok(self.b.const_f32(v))
             }
             (Type::F64, l) => {
-                let v: f64 = l.parse().map_err(|_| TextError {
-                    line: line + 1,
-                    message: format!("bad f64 `{l}`"),
-                })?;
+                let v: f64 = l
+                    .parse()
+                    .map_err(|_| TextError { line: line + 1, message: format!("bad f64 `{l}`") })?;
                 Ok(self.b.const_f64(v))
             }
             (Type::Int(_), l) => {
-                let v: i64 = l.parse().map_err(|_| TextError {
-                    line: line + 1,
-                    message: format!("bad int `{l}`"),
-                })?;
+                let v: i64 = l
+                    .parse()
+                    .map_err(|_| TextError { line: line + 1, message: format!("bad int `{l}`") })?;
                 Ok(self.b.const_int(ty, v))
             }
             _ => err(line, format!("bad operand `{s}`")),
@@ -318,10 +306,10 @@ impl<'a> FnParser<'a> {
     }
 
     fn block_ref(&self, line: usize, s: &str) -> Result<BlockId, TextError> {
-        self.blocks.get(s.trim()).copied().ok_or_else(|| TextError {
-            line: line + 1,
-            message: format!("unknown block `{s}`"),
-        })
+        self.blocks
+            .get(s.trim())
+            .copied()
+            .ok_or_else(|| TextError { line: line + 1, message: format!("unknown block `{s}`") })
     }
 
     fn parse_line(&mut self, ln: usize, t: &str) -> Result<(), TextError> {
@@ -483,10 +471,9 @@ impl<'a> FnParser<'a> {
                     message: "call needs @name".into(),
                 })?;
                 let ret_ty = parse_type(ln, ty_s)?;
-                let paren = after.find('(').ok_or_else(|| TextError {
-                    line: ln + 1,
-                    message: "call needs (".into(),
-                })?;
+                let paren = after
+                    .find('(')
+                    .ok_or_else(|| TextError { line: ln + 1, message: "call needs (".into() })?;
                 let fname = &after[..paren];
                 let close = after.rfind(')').unwrap_or(after.len());
                 let args_s = &after[paren + 1..close];
@@ -510,13 +497,10 @@ impl<'a> FnParser<'a> {
                 let phi = self.b.phi(ty, vec![]);
                 for arm in split_args(rest2) {
                     let arm = arm.trim();
-                    let inner = arm
-                        .strip_prefix('[')
-                        .and_then(|x| x.strip_suffix(']'))
-                        .ok_or_else(|| TextError {
-                            line: ln + 1,
-                            message: format!("bad phi arm {arm}"),
-                        })?;
+                    let inner =
+                        arm.strip_prefix('[').and_then(|x| x.strip_suffix(']')).ok_or_else(
+                            || TextError { line: ln + 1, message: format!("bad phi arm {arm}") },
+                        )?;
                     let (blk_s, val_s) = inner.split_once(',').ok_or_else(|| TextError {
                         line: ln + 1,
                         message: format!("bad phi arm {arm}"),
@@ -609,11 +593,8 @@ mod tests {
     use crate::verify_module;
 
     fn sample_module() -> Module {
-        let mut b = FunctionBuilder::new(
-            "kernel",
-            vec![Type::ptr(Type::I32), Type::I64],
-            Type::I32,
-        );
+        let mut b =
+            FunctionBuilder::new("kernel", vec![Type::ptr(Type::I32), Type::I64], Type::I32);
         let header = b.create_block("header");
         let spawn = b.create_block("spawn");
         let task = b.create_block("task");
@@ -687,10 +668,7 @@ mod tests {
         let st = Type::Struct(vec![Type::I8, Type::array(Type::F32, 4)]);
         let mut b = FunctionBuilder::new("s", vec![Type::ptr(st)], Type::F32);
         let p = b.param(0);
-        let fp = b.gep(
-            p,
-            vec![GepIndex::Const(0), GepIndex::Const(1), GepIndex::Const(2)],
-        );
+        let fp = b.gep(p, vec![GepIndex::Const(0), GepIndex::Const(1), GepIndex::Const(2)]);
         let v = b.load(fp);
         let two = b.const_f32(2.5);
         let r = b.fbin(FBinOp::FMul, v, two);
@@ -718,7 +696,8 @@ mod tests {
 
     #[test]
     fn reports_error_with_line() {
-        let src = "; module m\n\ndefine i32 @f(i32 %0) {\nbb0: ; entry\n  %1 = bogus %0\n  ret %1\n}\n";
+        let src =
+            "; module m\n\ndefine i32 @f(i32 %0) {\nbb0: ; entry\n  %1 = bogus %0\n  ret %1\n}\n";
         let e = parse_module(src).unwrap_err();
         assert_eq!(e.line, 5);
         assert!(e.message.contains("bogus"));

@@ -34,11 +34,7 @@ use std::collections::HashSet;
 /// # Panics
 ///
 /// Panics if `func` is out of range.
-pub fn elide_detaches(
-    m: &mut Module,
-    func: FuncId,
-    sites: Option<&HashSet<BlockId>>,
-) -> usize {
+pub fn elide_detaches(m: &mut Module, func: FuncId, sites: Option<&HashSet<BlockId>>) -> usize {
     let f = m.function_mut(func);
     let mut count = 0;
     for b in 0..f.num_blocks() as u32 {
@@ -53,9 +49,7 @@ pub fn elide_detaches(
         }
     }
     // Rewrite syncs only when no detach remains anywhere.
-    let any_detach = f
-        .block_ids()
-        .any(|b| matches!(f.block(b).term, Terminator::Detach { .. }));
+    let any_detach = f.block_ids().any(|b| matches!(f.block(b).term, Terminator::Detach { .. }));
     if !any_detach {
         for b in f.block_ids().collect::<Vec<_>>() {
             if let Terminator::Sync { cont } = f.block(b).term {
@@ -68,8 +62,8 @@ pub fn elide_detaches(
 
 fn rewrite_region(f: &mut Function, task: BlockId, cont: BlockId) {
     let cfg = Cfg::compute(f);
-    let region = detached_region(f, &cfg, task, cont)
-        .expect("verified function has well-formed regions");
+    let region =
+        detached_region(f, &cfg, task, cont).expect("verified function has well-formed regions");
     for b in region {
         if let Terminator::Reattach { cont: rc } = f.block(b).term {
             debug_assert_eq!(rc, cont);
@@ -88,11 +82,7 @@ mod tests {
 
     fn spawning_sum() -> (Module, FuncId) {
         // parallel-for over a[0..n], a[i] += i
-        let mut b = FunctionBuilder::new(
-            "k",
-            vec![Type::ptr(Type::I64), Type::I64],
-            Type::Void,
-        );
+        let mut b = FunctionBuilder::new("k", vec![Type::ptr(Type::I64), Type::I64], Type::Void);
         let header = b.create_block("header");
         let spawn = b.create_block("spawn");
         let task = b.create_block("task");
@@ -133,8 +123,7 @@ mod tests {
     fn elision_preserves_semantics() {
         let (mut m, f) = spawning_sum();
         let mut before = vec![0u8; 64];
-        run(&m, f, &[Val::Int(0), Val::Int(8)], &mut before, &InterpConfig::default())
-            .unwrap();
+        run(&m, f, &[Val::Int(0), Val::Int(8)], &mut before, &InterpConfig::default()).unwrap();
 
         let n = elide_detaches(&mut m, f, None);
         assert_eq!(n, 1);
@@ -142,8 +131,7 @@ mod tests {
 
         let mut after = vec![0u8; 64];
         let out =
-            run(&m, f, &[Val::Int(0), Val::Int(8)], &mut after, &InterpConfig::default())
-                .unwrap();
+            run(&m, f, &[Val::Int(0), Val::Int(8)], &mut after, &InterpConfig::default()).unwrap();
         assert_eq!(before, after, "serial elision must not change results");
         assert_eq!(out.stats.spawns, 0, "no dynamic tasks remain");
         assert_eq!(out.stats.syncs, 0, "syncs became branches");

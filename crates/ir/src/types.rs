@@ -70,10 +70,7 @@ impl Type {
 
     /// Whether values of this type can be produced by an instruction.
     pub fn is_first_class(&self) -> bool {
-        matches!(
-            self,
-            Type::Int(_) | Type::F32 | Type::F64 | Type::Ptr(_)
-        )
+        matches!(self, Type::Int(_) | Type::F32 | Type::F64 | Type::Ptr(_))
     }
 
     /// Integer bit width, if an integer.
@@ -99,7 +96,7 @@ impl Type {
     pub fn size_bytes(&self) -> u64 {
         match self {
             Type::Void => 0,
-            Type::Int(w) => ((*w as u64) + 7) / 8,
+            Type::Int(w) => (*w as u64).div_ceil(8),
             Type::F32 => 4,
             Type::F64 => 8,
             Type::Ptr(_) => 8,
@@ -121,14 +118,12 @@ impl Type {
     pub fn align_bytes(&self) -> u64 {
         match self {
             Type::Void => 1,
-            Type::Int(w) => (((*w as u64) + 7) / 8).max(1),
+            Type::Int(w) => (*w as u64).div_ceil(8).max(1),
             Type::F32 => 4,
             Type::F64 => 8,
             Type::Ptr(_) => 8,
             Type::Array(elem, _) => elem.align_bytes(),
-            Type::Struct(fields) => {
-                fields.iter().map(Type::align_bytes).max().unwrap_or(1)
-            }
+            Type::Struct(fields) => fields.iter().map(Type::align_bytes).max().unwrap_or(1),
         }
     }
 
@@ -163,7 +158,7 @@ fn round_up(v: u64, align: u64) -> u64 {
     if align <= 1 {
         v
     } else {
-        (v + align - 1) / align * align
+        v.div_ceil(align) * align
     }
 }
 
@@ -240,10 +235,7 @@ mod tests {
         assert_eq!(Type::I32.to_string(), "i32");
         assert_eq!(Type::ptr(Type::F64).to_string(), "f64*");
         assert_eq!(Type::array(Type::I8, 4).to_string(), "[4 x i8]");
-        assert_eq!(
-            Type::Struct(vec![Type::I32, Type::BOOL]).to_string(),
-            "{i32, i1}"
-        );
+        assert_eq!(Type::Struct(vec![Type::I32, Type::BOOL]).to_string(), "{i32, i1}");
     }
 
     #[test]

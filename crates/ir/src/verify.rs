@@ -156,11 +156,7 @@ pub fn verify_function(f: &Function, m: &Module) -> Result<(), Vec<VerifyError>>
                 }
                 (Some(v), t) => {
                     if f.value_ty(*v) != t {
-                        err(
-                            &mut errs,
-                            Some(b),
-                            format!("ret type {} != {}", f.value_ty(*v), t),
-                        );
+                        err(&mut errs, Some(b), format!("ret type {} != {}", f.value_ty(*v), t));
                     }
                 }
             }
@@ -175,25 +171,20 @@ pub fn verify_function(f: &Function, m: &Module) -> Result<(), Vec<VerifyError>>
         if !reachable.contains(&b) {
             continue;
         }
-        let check_use = |errs: &mut Vec<VerifyError>,
-                         v: ValueId,
-                         use_block: BlockId,
-                         use_idx: usize| {
-            if let ValueDef::Inst(db, di) = f.value(v).def {
-                let ok = if db == use_block {
-                    di < use_idx
-                } else {
-                    dom.dominates(db, use_block)
-                };
-                if !ok {
-                    err(
-                        errs,
-                        Some(use_block),
-                        format!("use of {v} is not dominated by its definition in {db}"),
-                    );
+        let check_use =
+            |errs: &mut Vec<VerifyError>, v: ValueId, use_block: BlockId, use_idx: usize| {
+                if let ValueDef::Inst(db, di) = f.value(v).def {
+                    let ok =
+                        if db == use_block { di < use_idx } else { dom.dominates(db, use_block) };
+                    if !ok {
+                        err(
+                            errs,
+                            Some(use_block),
+                            format!("use of {v} is not dominated by its definition in {db}"),
+                        );
+                    }
                 }
-            }
-        };
+            };
         for (idx, inst) in f.block(b).insts.iter().enumerate() {
             if let Op::Phi { incomings } = &inst.op {
                 for (p, v) in incomings {
@@ -317,6 +308,17 @@ pub fn detached_region(
                 }
                 stack.push(*c2);
             }
+            Terminator::Sync { cont: sc } => {
+                // A sync inside a detached region must resume inside the
+                // region; continuing at the outer detach continuation
+                // would leak the child's control flow into the parent.
+                if *sc == cont {
+                    return Err(format!(
+                        "sync in {b} continues at the detach continuation {cont}; its continuation escapes the detached region"
+                    ));
+                }
+                stack.push(*sc);
+            }
             t => {
                 for s in t.successors() {
                     if s == cont {
@@ -392,9 +394,7 @@ mod tests {
         b.ret(None);
         let m = module_with(b.finish());
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| e.message.contains("without reattach")));
+        assert!(errs.iter().any(|e| e.message.contains("without reattach")));
     }
 
     #[test]
@@ -413,6 +413,103 @@ mod tests {
     }
 
     #[test]
+    fn rejects_multi_entry_task_region() {
+        // cont branches back into the task entry: the region gains a
+        // second entry besides the detach edge.
+        let mut b = FunctionBuilder::new("bad", vec![Type::BOOL], Type::Void);
+        let c = b.param(0);
+        let task = b.create_block("task");
+        let cont = b.create_block("cont");
+        let done = b.create_block("done");
+        b.detach(task, cont);
+        b.switch_to(task);
+        b.reattach(cont);
+        b.switch_to(cont);
+        b.cond_br(c, task, done);
+        b.switch_to(done);
+        b.ret(None);
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("entered from outside")), "got {errs:?}");
+    }
+
+    #[test]
+    fn rejects_reattach_to_wrong_continuation() {
+        // Two detaches; the second task reattaches to the first's cont.
+        let mut b = FunctionBuilder::new("bad", vec![], Type::Void);
+        let t1 = b.create_block("t1");
+        let c1 = b.create_block("c1");
+        let t2 = b.create_block("t2");
+        let c2 = b.create_block("c2");
+        let done = b.create_block("done");
+        b.detach(t1, c1);
+        b.switch_to(t1);
+        b.reattach(c1);
+        b.switch_to(c1);
+        b.detach(t2, c2);
+        b.switch_to(t2);
+        b.reattach(c1); // wrong: should be c2
+        b.switch_to(c2);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expected continuation")), "got {errs:?}");
+    }
+
+    #[test]
+    fn rejects_sync_escaping_detached_region() {
+        // The detached task syncs directly to the outer detach
+        // continuation instead of reattaching.
+        let mut b = FunctionBuilder::new("bad", vec![], Type::Void);
+        let task = b.create_block("task");
+        let cont = b.create_block("cont");
+        let done = b.create_block("done");
+        b.detach(task, cont);
+        b.switch_to(task);
+        b.sync(cont); // escapes: must stay inside the region
+        b.switch_to(cont);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.message.contains("escapes the detached region")),
+            "got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn accepts_sync_inside_detached_region() {
+        // A task that spawns a grandchild, syncs it at an in-region
+        // block, then reattaches — the dedup pipeline's shape.
+        let mut b = FunctionBuilder::new("ok", vec![], Type::Void);
+        let task = b.create_block("task");
+        let inner = b.create_block("inner");
+        let inner_cont = b.create_block("inner_cont");
+        let joined = b.create_block("joined");
+        let cont = b.create_block("cont");
+        let done = b.create_block("done");
+        b.detach(task, cont);
+        b.switch_to(task);
+        b.detach(inner, inner_cont);
+        b.switch_to(inner);
+        b.reattach(inner_cont);
+        b.switch_to(inner_cont);
+        b.sync(joined);
+        b.switch_to(joined);
+        b.reattach(cont);
+        b.switch_to(cont);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        let m = module_with(b.finish());
+        assert!(verify_module(&m).is_ok(), "{:?}", verify_module(&m));
+    }
+
+    #[test]
     fn rejects_stray_reattach() {
         let mut b = FunctionBuilder::new("bad", vec![], Type::Void);
         let other = b.create_block("other");
@@ -421,9 +518,7 @@ mod tests {
         b.ret(None);
         let m = module_with(b.finish());
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| e.message.contains("not a detach continuation")));
+        assert!(errs.iter().any(|e| e.message.contains("not a detach continuation")));
     }
 
     #[test]

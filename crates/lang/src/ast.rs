@@ -214,11 +214,7 @@ mod tests {
     fn assigned_vars_sees_nested_writes() {
         let blk = Block {
             stmts: vec![
-                Stmt::Let {
-                    name: "a".into(),
-                    ty: None,
-                    value: Expr::Int(0),
-                },
+                Stmt::Let { name: "a".into(), ty: None, value: Expr::Int(0) },
                 Stmt::If {
                     cond: Expr::Bool(true),
                     then_blk: Block {

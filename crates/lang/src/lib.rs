@@ -43,12 +43,7 @@ mod tests {
     use super::*;
     use tapas_ir::interp::{run, InterpConfig, Val};
 
-    fn exec(
-        src: &str,
-        func: &str,
-        args: &[Val],
-        mem: &mut Vec<u8>,
-    ) -> Option<Val> {
+    fn exec(src: &str, func: &str, args: &[Val], mem: &mut Vec<u8>) -> Option<Val> {
         let m = compile(src).unwrap();
         let f = m.function_by_name(func).unwrap();
         run(&m, f, args, mem, &InterpConfig::default()).unwrap().ret
@@ -239,12 +234,7 @@ mod tests {
         let out = run(
             &m,
             f,
-            &[
-                Val::Int(0),
-                Val::Int(cells as u64 * 4),
-                Val::Int(cells as u64 * 8),
-                Val::Int(n),
-            ],
+            &[Val::Int(0), Val::Int(cells as u64 * 4), Val::Int(cells as u64 * 8), Val::Int(n)],
             &mut mem,
             &InterpConfig::default(),
         )

@@ -14,8 +14,8 @@ use crate::ast::*;
 use crate::parser::ParseError;
 use std::collections::HashMap;
 use tapas_ir::{
-    BinOp, BlockId, CastKind, CmpPred, FCmpPred, FBinOp, FuncId, FunctionBuilder, Module,
-    Type, ValueId,
+    BinOp, BlockId, CastKind, CmpPred, FBinOp, FCmpPred, FuncId, FunctionBuilder, Module, Type,
+    ValueId,
 };
 
 /// Front-end failure: parse or lowering.
@@ -90,9 +90,8 @@ pub fn compile(src: &str) -> Result<Module, LangError> {
         let func = lower_func(f, &sigs)?;
         module.add_function(func);
     }
-    tapas_ir::verify_module(&module).map_err(|es| {
-        LangError::Verify(es.first().map(|e| e.to_string()).unwrap_or_default())
-    })?;
+    tapas_ir::verify_module(&module)
+        .map_err(|es| LangError::Verify(es.first().map(|e| e.to_string()).unwrap_or_default()))?;
     Ok(module)
 }
 
@@ -113,8 +112,7 @@ fn contains_spawn(blk: &Block) -> bool {
         Stmt::For { parallel: true, .. } => true,
         Stmt::For { body, .. } | Stmt::While { body, .. } => contains_spawn(body),
         Stmt::If { then_blk, else_blk, .. } => {
-            contains_spawn(then_blk)
-                || else_blk.as_ref().is_some_and(contains_spawn)
+            contains_spawn(then_blk) || else_blk.as_ref().is_some_and(contains_spawn)
         }
         _ => false,
     })
@@ -123,19 +121,10 @@ fn contains_spawn(blk: &Block) -> bool {
 fn lower_func(f: &FuncDecl, sigs: &Sigs) -> Result<tapas_ir::Function, LangError> {
     let params: Vec<Type> = f.params.iter().map(|(_, t)| t.clone()).collect();
     let b = FunctionBuilder::new(&f.name, params, f.ret.clone());
-    let mut cx = Ctx {
-        b,
-        sigs,
-        ret: f.ret.clone(),
-        has_spawns: contains_spawn(&f.body),
-        in_detached: 0,
-    };
-    let mut env: Env = f
-        .params
-        .iter()
-        .enumerate()
-        .map(|(i, (n, _))| (n.clone(), ValueId(i as u32)))
-        .collect();
+    let mut cx =
+        Ctx { b, sigs, ret: f.ret.clone(), has_spawns: contains_spawn(&f.body), in_detached: 0 };
+    let mut env: Env =
+        f.params.iter().enumerate().map(|(i, (n, _))| (n.clone(), ValueId(i as u32))).collect();
     let fell_through = lower_block(&mut cx, &f.body, &mut env)?;
     if fell_through {
         if cx.ret == Type::Void {
@@ -155,9 +144,7 @@ fn lower_block(cx: &mut Ctx, blk: &Block, env: &mut Env) -> Result<bool, LangErr
     for (i, stmt) in blk.stmts.iter().enumerate() {
         if !lower_stmt(cx, stmt, env)? {
             if i + 1 < blk.stmts.len() {
-                return Err(LangError::Lower(
-                    "unreachable statements after return".into(),
-                ));
+                return Err(LangError::Lower("unreachable statements after return".into()));
             }
             return Ok(false);
         }
@@ -215,7 +202,9 @@ fn lower_stmt(cx: &mut Ctx, stmt: &Stmt, env: &mut Env) -> Result<bool, LangErro
             cx.b.store(p, val);
             Ok(true)
         }
-        Stmt::If { cond, then_blk, else_blk } => lower_if(cx, env, cond, then_blk, else_blk.as_ref()),
+        Stmt::If { cond, then_blk, else_blk } => {
+            lower_if(cx, env, cond, then_blk, else_blk.as_ref())
+        }
         Stmt::While { cond, body } => lower_while(cx, env, cond, body),
         Stmt::For { var, from, to, parallel, body } => {
             lower_for(cx, env, var, from, to, *parallel, body)
@@ -233,9 +222,7 @@ fn lower_stmt(cx: &mut Ctx, stmt: &Stmt, env: &mut Env) -> Result<bool, LangErro
         }
         Stmt::Return(e) => {
             if cx.in_detached > 0 {
-                return Err(LangError::Lower(
-                    "cannot return from inside spawn / cilk_for".into(),
-                ));
+                return Err(LangError::Lower("cannot return from inside spawn / cilk_for".into()));
             }
             let v = match (e, cx.ret.clone()) {
                 (None, Type::Void) => None,
@@ -361,12 +348,7 @@ fn ret_dummy(cx: &mut Ctx) -> Option<ValueId> {
     }
 }
 
-fn lower_while(
-    cx: &mut Ctx,
-    env: &mut Env,
-    cond: &Expr,
-    body: &Block,
-) -> Result<bool, LangError> {
+fn lower_while(cx: &mut Ctx, env: &mut Env, cond: &Expr, body: &Block) -> Result<bool, LangError> {
     let mut assigned = Vec::new();
     assigned_vars(body, &mut assigned);
     assigned.retain(|n| env.contains_key(n));
@@ -399,9 +381,7 @@ fn lower_while(
         // Body always returns: the phis would be single-incoming; patch
         // them with their own value to stay well-formed (loop runs once).
         for (_, _phi) in &phis {}
-        return Err(LangError::Lower(
-            "while body must not unconditionally return".into(),
-        ));
+        return Err(LangError::Lower("while body must not unconditionally return".into()));
     }
     cx.b.switch_to(exit);
     Ok(true)
@@ -481,9 +461,7 @@ fn lower_for(
         let mut benv = env.clone();
         benv.insert(var.to_string(), i);
         if !lower_block(cx, body, &mut benv)? {
-            return Err(LangError::Lower(
-                "for body must not unconditionally return".into(),
-            ));
+            return Err(LangError::Lower("for body must not unconditionally return".into()));
         }
         let back = cx.b.current_block();
         for (name, phi) in &phis {
@@ -651,9 +629,7 @@ fn lower_expr(
                 .cloned()
                 .ok_or_else(|| LangError::Lower(format!("unknown function `{name}`")))?;
             if ret == Type::Void {
-                return Err(LangError::Lower(format!(
-                    "void function `{name}` used as a value"
-                )));
+                return Err(LangError::Lower(format!("void function `{name}` used as a value")));
             }
             let vals = lower_call_args(cx, env, args, &ptypes, name)?;
             Ok(cx.b.call(fid, vals, ret).expect("non-void call"))
@@ -661,9 +637,8 @@ fn lower_expr(
         Expr::Cast(inner, to) => {
             let v = lower_expr(cx, env, inner, None)?;
             let from = cx.b.ty_of(v);
-            let kind = cast_kind(&from, to).ok_or_else(|| {
-                LangError::Lower(format!("unsupported cast {from} as {to}"))
-            })?;
+            let kind = cast_kind(&from, to)
+                .ok_or_else(|| LangError::Lower(format!("unsupported cast {from} as {to}")))?;
             if kind == CastKind::PtrCast && &from == to {
                 return Ok(v);
             }
@@ -698,12 +673,7 @@ fn lower_bin(
     expected: Option<&Type>,
 ) -> Result<ValueId, LangError> {
     let arith_expected = match op {
-        BinKind::Lt
-        | BinKind::Le
-        | BinKind::Gt
-        | BinKind::Ge
-        | BinKind::EqEq
-        | BinKind::Ne => None,
+        BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge | BinKind::EqEq | BinKind::Ne => None,
         BinKind::LAnd | BinKind::LOr => Some(&Type::BOOL),
         _ => expected,
     };
@@ -722,9 +692,7 @@ fn lower_bin(
     let lt = cx.b.ty_of(l);
     let rt = cx.b.ty_of(r);
     if lt != rt {
-        return Err(LangError::Lower(format!(
-            "operand type mismatch: {lt} vs {rt}"
-        )));
+        return Err(LangError::Lower(format!("operand type mismatch: {lt} vs {rt}")));
     }
     let is_float = lt.is_float();
     match op {
@@ -735,9 +703,7 @@ fn lower_bin(
                     BinKind::Sub => FBinOp::FSub,
                     BinKind::Mul => FBinOp::FMul,
                     BinKind::Div => FBinOp::FDiv,
-                    BinKind::Rem => {
-                        return Err(LangError::Lower("no float remainder".into()))
-                    }
+                    BinKind::Rem => return Err(LangError::Lower("no float remainder".into())),
                     _ => unreachable!(),
                 };
                 Ok(cx.b.fbin(fop, l, r))

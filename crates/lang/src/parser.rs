@@ -35,8 +35,8 @@ struct Lexer<'a> {
 }
 
 const PUNCTS: &[&str] = &[
-    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "..", "(", ")", "{", "}", "[", "]",
-    ",", ";", ":", "+", "-", "*", "/", "%", "<", ">", "=", "&", "|", "^", "!",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "..", "(", ")", "{", "}", "[", "]", ",",
+    ";", ":", "+", "-", "*", "/", "%", "<", ">", "=", "&", "|", "^", "!",
 ];
 
 impl<'a> Lexer<'a> {
@@ -114,10 +114,7 @@ impl<'a> Lexer<'a> {
                 return Ok((start, Tok::Punct(p)));
             }
         }
-        Err(ParseError {
-            pos: start,
-            message: format!("unexpected character {:?}", c as char),
-        })
+        Err(ParseError { pos: start, message: format!("unexpected character {:?}", c as char) })
     }
 }
 
@@ -343,29 +340,26 @@ impl<'a> Parser<'a> {
 
     fn bin_expr(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
         let mut lhs = self.unary()?;
-        loop {
-            let (op, bp) = match &self.tok {
-                Tok::Punct(p) => match *p {
-                    "||" => (BinKind::LOr, 1),
-                    "&&" => (BinKind::LAnd, 2),
-                    "|" => (BinKind::Or, 3),
-                    "^" => (BinKind::Xor, 4),
-                    "&" => (BinKind::And, 5),
-                    "==" => (BinKind::EqEq, 6),
-                    "!=" => (BinKind::Ne, 6),
-                    "<" => (BinKind::Lt, 7),
-                    "<=" => (BinKind::Le, 7),
-                    ">" => (BinKind::Gt, 7),
-                    ">=" => (BinKind::Ge, 7),
-                    "<<" => (BinKind::Shl, 8),
-                    ">>" => (BinKind::Shr, 8),
-                    "+" => (BinKind::Add, 9),
-                    "-" => (BinKind::Sub, 9),
-                    "*" => (BinKind::Mul, 10),
-                    "/" => (BinKind::Div, 10),
-                    "%" => (BinKind::Rem, 10),
-                    _ => break,
-                },
+        while let Tok::Punct(p) = &self.tok {
+            let (op, bp) = match *p {
+                "||" => (BinKind::LOr, 1),
+                "&&" => (BinKind::LAnd, 2),
+                "|" => (BinKind::Or, 3),
+                "^" => (BinKind::Xor, 4),
+                "&" => (BinKind::And, 5),
+                "==" => (BinKind::EqEq, 6),
+                "!=" => (BinKind::Ne, 6),
+                "<" => (BinKind::Lt, 7),
+                "<=" => (BinKind::Le, 7),
+                ">" => (BinKind::Gt, 7),
+                ">=" => (BinKind::Ge, 7),
+                "<<" => (BinKind::Shl, 8),
+                ">>" => (BinKind::Shr, 8),
+                "+" => (BinKind::Add, 9),
+                "-" => (BinKind::Sub, 9),
+                "*" => (BinKind::Mul, 10),
+                "/" => (BinKind::Div, 10),
+                "%" => (BinKind::Rem, 10),
                 _ => break,
             };
             if bp < min_bp {

@@ -1,0 +1,296 @@
+//! Symbolic affine arithmetic for the race detector.
+//!
+//! Memory-access offsets are modeled as **linear forms over loop induction
+//! variables** whose coefficients are [`Poly`]s — polynomials over
+//! loop-invariant symbols (integer function parameters). Two design rules
+//! keep the math sound and cheap:
+//!
+//! * symbols are assumed **non-negative** (they are trip counts, sizes and
+//!   base offsets in every workload this toolchain targets), so a
+//!   polynomial whose coefficients are all `>= 0` is provably `>= 0`;
+//! * anything the evaluator cannot express exactly is marked **opaque**
+//!   and the race detector falls back to its conservative policy instead
+//!   of guessing.
+
+use std::collections::BTreeMap;
+use tapas_ir::ValueId;
+
+/// A polynomial over loop-invariant symbols with `i64` coefficients.
+///
+/// Keys are sorted monomials (lists of symbols); the empty monomial is the
+/// constant term. Zero coefficients are never stored.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    terms: BTreeMap<Vec<ValueId>, i64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: i64) -> Poly {
+        let mut p = Poly::default();
+        if c != 0 {
+            p.terms.insert(Vec::new(), c);
+        }
+        p
+    }
+
+    /// The polynomial `1 · sym`.
+    pub fn symbol(sym: ValueId) -> Poly {
+        let mut p = Poly::default();
+        p.terms.insert(vec![sym], 1);
+        p
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The constant value, if the polynomial has no symbolic terms.
+    pub fn as_const(&self) -> Option<i64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => self.terms.get(&Vec::new()).copied(),
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, key: Vec<ValueId>, coef: i64) {
+        if coef == 0 {
+            return;
+        }
+        let entry = self.terms.entry(key);
+        match entry {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(coef);
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                let next = o.get().wrapping_add(coef);
+                if next == 0 {
+                    o.remove();
+                } else {
+                    *o.get_mut() = next;
+                }
+            }
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (k, c) in &other.terms {
+            out.insert(k.clone(), *c);
+        }
+        out
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> Poly {
+        let mut out = Poly::default();
+        for (k, c) in &self.terms {
+            out.terms.insert(k.clone(), -*c);
+        }
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        self.add(&other.neg())
+    }
+
+    /// `self · k`.
+    pub fn scale(&self, k: i64) -> Poly {
+        let mut out = Poly::default();
+        if k == 0 {
+            return out;
+        }
+        for (key, c) in &self.terms {
+            out.terms.insert(key.clone(), c.wrapping_mul(k));
+        }
+        out
+    }
+
+    /// `self · other`.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out = Poly::default();
+        for (k1, c1) in &self.terms {
+            for (k2, c2) in &other.terms {
+                let mut key = k1.clone();
+                key.extend_from_slice(k2);
+                key.sort();
+                out.insert(key, c1.wrapping_mul(*c2));
+            }
+        }
+        out
+    }
+
+    /// Provably `>= 0` under the symbols-are-non-negative assumption:
+    /// true when every coefficient is non-negative.
+    pub fn provably_nonneg(&self) -> bool {
+        self.terms.values().all(|c| *c >= 0)
+    }
+
+    /// Provably `<= 0`: every coefficient non-positive.
+    pub fn provably_nonpos(&self) -> bool {
+        self.terms.values().all(|c| *c <= 0)
+    }
+}
+
+/// A linear form over induction variables: `Σ coef(φ)·φ + k`, where each
+/// `φ` is a recognized loop induction phi and the coefficients and constant
+/// are [`Poly`]s over loop-invariant symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Lin {
+    /// Induction-variable terms (keyed by the phi's `ValueId`).
+    pub terms: BTreeMap<ValueId, Poly>,
+    /// Invariant part.
+    pub k: Poly,
+    /// Set when the value could not be expressed exactly; every other
+    /// field is then meaningless and the consumer must be conservative.
+    pub opaque: bool,
+}
+
+impl Lin {
+    /// The zero form.
+    pub fn zero() -> Lin {
+        Lin::default()
+    }
+
+    /// A purely invariant form.
+    pub fn invariant(k: Poly) -> Lin {
+        Lin { k, ..Lin::default() }
+    }
+
+    /// The form `1 · ivar`.
+    pub fn ivar(phi: ValueId) -> Lin {
+        let mut terms = BTreeMap::new();
+        terms.insert(phi, Poly::constant(1));
+        Lin { terms, ..Lin::default() }
+    }
+
+    /// An opaque form.
+    pub fn opaque() -> Lin {
+        Lin { opaque: true, ..Lin::default() }
+    }
+
+    /// Whether the form has no induction-variable terms (and is not
+    /// opaque) — i.e. it is loop-invariant.
+    pub fn invariant_part(&self) -> Option<&Poly> {
+        if self.opaque || !self.terms.is_empty() {
+            None
+        } else {
+            Some(&self.k)
+        }
+    }
+
+    fn normalize(mut self) -> Lin {
+        self.terms.retain(|_, p| !p.is_zero());
+        self
+    }
+
+    /// `self + other` (opaqueness propagates).
+    pub fn add(&self, other: &Lin) -> Lin {
+        if self.opaque || other.opaque {
+            return Lin::opaque();
+        }
+        let mut terms = self.terms.clone();
+        for (v, p) in &other.terms {
+            let cur = terms.entry(*v).or_insert_with(Poly::zero);
+            *cur = cur.add(p);
+        }
+        Lin { terms, k: self.k.add(&other.k), opaque: false }.normalize()
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Lin) -> Lin {
+        self.add(&other.neg())
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> Lin {
+        if self.opaque {
+            return Lin::opaque();
+        }
+        let terms = self.terms.iter().map(|(v, p)| (*v, p.neg())).collect();
+        Lin { terms, k: self.k.neg(), opaque: false }
+    }
+
+    /// `self · p` for an invariant polynomial `p`.
+    pub fn mul_poly(&self, p: &Poly) -> Lin {
+        if self.opaque {
+            return Lin::opaque();
+        }
+        let terms = self.terms.iter().map(|(v, c)| (*v, c.mul(p))).collect();
+        Lin { terms, k: self.k.mul(p), opaque: false }.normalize()
+    }
+
+    /// The coefficient of `phi` (zero if absent).
+    pub fn coef(&self, phi: ValueId) -> Poly {
+        self.terms.get(&phi).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u32) -> ValueId {
+        ValueId(n)
+    }
+
+    #[test]
+    fn poly_arithmetic() {
+        let n = Poly::symbol(v(3));
+        let p = n.scale(4).add(&Poly::constant(2)); // 4n + 2
+        assert_eq!(p.sub(&p), Poly::zero());
+        assert!(p.provably_nonneg());
+        assert!(!p.neg().provably_nonneg());
+        assert!(p.neg().provably_nonpos());
+        assert_eq!(Poly::constant(6).as_const(), Some(6));
+        assert_eq!(p.as_const(), None);
+    }
+
+    #[test]
+    fn poly_products_merge_monomials() {
+        let n = Poly::symbol(v(1));
+        let m = Poly::symbol(v(2));
+        let nm = n.mul(&m);
+        let mn = m.mul(&n);
+        assert_eq!(nm, mn, "monomials are canonicalized by sorting");
+        let sq = n.mul(&n);
+        assert!(!sq.is_zero());
+        assert_eq!(sq.sub(&sq), Poly::zero());
+    }
+
+    #[test]
+    fn zero_poly_is_provably_both() {
+        assert!(Poly::zero().provably_nonneg());
+        assert!(Poly::zero().provably_nonpos());
+    }
+
+    #[test]
+    fn lin_combines_ivar_terms() {
+        let i = v(10);
+        let n = Poly::symbol(v(1));
+        // 4n·i + 4  minus  4n·i  =  4
+        let a = Lin::ivar(i).mul_poly(&n.scale(4)).add(&Lin::invariant(Poly::constant(4)));
+        let b = Lin::ivar(i).mul_poly(&n.scale(4));
+        let d = a.sub(&b);
+        assert!(d.terms.is_empty(), "equal ivar terms cancel");
+        assert_eq!(d.k.as_const(), Some(4));
+    }
+
+    #[test]
+    fn lin_opaque_propagates() {
+        let a = Lin::opaque();
+        let b = Lin::invariant(Poly::constant(1));
+        assert!(a.add(&b).opaque);
+        assert!(b.sub(&a).opaque);
+        assert!(a.mul_poly(&Poly::constant(2)).opaque);
+    }
+}

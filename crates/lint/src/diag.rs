@@ -1,0 +1,204 @@
+//! Reusable diagnostics framework: severity, rule codes, locations and a
+//! machine-readable report with a human rendering.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note; never indicates unsafe parallelism.
+    Note,
+    /// Suspicious construct that is probably a mistake.
+    Warning,
+    /// A construct that makes the generated accelerator nondeterministic
+    /// or can deadlock it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable rule identifiers (rendered as `TL####`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleCode {
+    /// Determinacy race: two logically parallel accesses to overlapping
+    /// memory, at least one a write.
+    DeterminacyRace,
+    /// Possible race the analysis could not prove disjoint (strict mode).
+    PossibleRace,
+    /// `sync` with no live preceding detach on any path.
+    RedundantSync,
+    /// Detached task with no memory effects and no value flowing out.
+    DeadDetach,
+    /// Continuation reads/writes memory a detached region touches without
+    /// an intervening `sync`.
+    UnsyncedContinuationUse,
+    /// Recursive spawn with no base-case branch dominating the detach.
+    UnboundedRecursion,
+}
+
+impl RuleCode {
+    /// The stable `TL####` code string.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RuleCode::DeterminacyRace => "TL0001",
+            RuleCode::PossibleRace => "TL0002",
+            RuleCode::RedundantSync => "TL0101",
+            RuleCode::DeadDetach => "TL0102",
+            RuleCode::UnsyncedContinuationUse => "TL0103",
+            RuleCode::UnboundedRecursion => "TL0104",
+        }
+    }
+
+    /// One-line description of what the rule catches.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            RuleCode::DeterminacyRace => {
+                "logically parallel tasks access overlapping memory (write/write or read/write)"
+            }
+            RuleCode::PossibleRace => {
+                "logically parallel accesses the analysis cannot prove disjoint"
+            }
+            RuleCode::RedundantSync => "sync with no preceding live detach",
+            RuleCode::DeadDetach => {
+                "detached task has no memory effects and produces no value for the continuation"
+            }
+            RuleCode::UnsyncedContinuationUse => {
+                "continuation uses memory a detached region touches without an intervening sync"
+            }
+            RuleCode::UnboundedRecursion => {
+                "recursive spawn with no base-case branch dominating the detach"
+            }
+        }
+    }
+}
+
+impl fmt::Display for RuleCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// Where a diagnostic points.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Location {
+    /// Function name.
+    pub function: String,
+    /// Block name, when the diagnostic is anchored to a block.
+    pub block: Option<String>,
+    /// Task name (`func::taskN`), when anchored to an extracted task.
+    pub task: Option<String>,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.function)?;
+        if let Some(t) = &self.task {
+            write!(f, " [{t}]")?;
+        }
+        if let Some(b) = &self.block {
+            write!(f, " at {b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One finding: machine-readable fields plus a rendered message.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable rule code.
+    pub rule: RuleCode,
+    /// Primary location.
+    pub location: Location,
+    /// Secondary location (e.g. the other half of a race pair).
+    pub related: Option<Location>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Render as a single `severity[CODE] location: message` line.
+    pub fn render(&self) -> String {
+        let mut s = format!("{}[{}] {}: {}", self.severity, self.rule, self.location, self.message);
+        if let Some(r) = &self.related {
+            s.push_str(&format!(" (related: {r})"));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// The result of linting a module: all diagnostics, sorted by severity
+/// (errors first) then by location.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// True when no diagnostics were produced.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Diagnostics at `Severity::Error`.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Diagnostics carrying one of the race rule codes.
+    pub fn races(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| {
+            matches!(
+                d.rule,
+                RuleCode::DeterminacyRace
+                    | RuleCode::PossibleRace
+                    | RuleCode::UnsyncedContinuationUse
+            )
+        })
+    }
+
+    /// Append a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Sort by (descending severity, rule, location) for stable output.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.rule.cmp(&b.rule))
+                .then_with(|| a.location.function.cmp(&b.location.function))
+                .then_with(|| a.location.block.cmp(&b.location.block))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return write!(f, "lint: clean (no diagnostics)");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(f, "lint: {} diagnostic(s)", self.diagnostics.len())
+    }
+}

@@ -1,0 +1,218 @@
+//! Per-function memory-effect collection.
+//!
+//! Every `load`/`store` is summarized as an [`Access`]: a base pointer (a
+//! pointer parameter when resolvable), a symbolic byte offset as a
+//! [`Lin`] over recognized induction variables, and the access width.
+//! Call sites are collected separately — the detector treats callee
+//! effects per the compositional Cilk contract (see `race`).
+
+use std::collections::HashMap;
+
+use tapas_ir::{BinOp, BlockId, CastKind, FuncId, GepIndex, Op, Type, ValueDef, ValueId};
+
+use crate::affine::{Lin, Poly};
+use crate::FnCtx;
+
+/// Where an address ultimately points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base {
+    /// Offset from the `n`-th function parameter (a pointer).
+    Param(usize),
+    /// Unresolvable base.
+    Unknown,
+}
+
+/// One static memory access.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// Block holding the instruction.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub inst: usize,
+    /// Store (`true`) or load (`false`).
+    pub write: bool,
+    /// Resolved base pointer.
+    pub base: Base,
+    /// Symbolic byte offset from the base.
+    pub lin: Lin,
+    /// Access width in bytes.
+    pub size: u64,
+}
+
+/// One static call site.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Block holding the call.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub inst: usize,
+    /// Called function.
+    pub callee: FuncId,
+}
+
+/// Symbolic evaluator with per-value memoization.
+pub struct Evaluator<'c, 'a> {
+    ctx: &'c FnCtx<'a>,
+    ints: HashMap<ValueId, Lin>,
+    ptrs: HashMap<ValueId, (Base, Lin)>,
+}
+
+impl<'c, 'a> Evaluator<'c, 'a> {
+    /// A fresh evaluator for one function.
+    pub fn new(ctx: &'c FnCtx<'a>) -> Self {
+        Evaluator { ctx, ints: HashMap::new(), ptrs: HashMap::new() }
+    }
+
+    /// Evaluate an integer value to a linear form.
+    pub fn eval_int(&mut self, v: ValueId) -> Lin {
+        if let Some(hit) = self.ints.get(&v) {
+            return hit.clone();
+        }
+        let out = self.eval_int_uncached(v);
+        self.ints.insert(v, out.clone());
+        out
+    }
+
+    fn eval_int_uncached(&mut self, v: ValueId) -> Lin {
+        let f = self.ctx.f;
+        if let Some(c) = crate::loops::const_int(f, v) {
+            return Lin::invariant(Poly::constant(c));
+        }
+        match &f.value(v).def {
+            ValueDef::Param(_) if f.value_ty(v).is_int() => Lin::invariant(Poly::symbol(v)),
+            ValueDef::Inst(b, i) => {
+                let op = f.block(*b).insts[*i].op.clone();
+                match op {
+                    Op::Phi { .. } if self.ctx.li.ivar_of.contains_key(&v) => Lin::ivar(v),
+                    Op::Bin { op: BinOp::Add, lhs, rhs } => {
+                        self.eval_int(lhs).add(&self.eval_int(rhs))
+                    }
+                    Op::Bin { op: BinOp::Sub, lhs, rhs } => {
+                        self.eval_int(lhs).sub(&self.eval_int(rhs))
+                    }
+                    Op::Bin { op: BinOp::Mul, lhs, rhs } => {
+                        let (a, b) = (self.eval_int(lhs), self.eval_int(rhs));
+                        if let Some(p) = a.invariant_part() {
+                            b.mul_poly(p)
+                        } else if let Some(p) = b.invariant_part() {
+                            a.mul_poly(p)
+                        } else {
+                            Lin::opaque()
+                        }
+                    }
+                    Op::Bin { op: BinOp::Shl, lhs, rhs } => match crate::loops::const_int(f, rhs) {
+                        Some(s) if (0..32).contains(&s) => {
+                            self.eval_int(lhs).mul_poly(&Poly::constant(1 << s))
+                        }
+                        _ => Lin::opaque(),
+                    },
+                    // Width changes are treated as value-preserving: offsets in
+                    // this corpus never wrap, and an actual wrap would already be
+                    // out of bounds at runtime.
+                    Op::Cast {
+                        kind: CastKind::SExt | CastKind::ZExt | CastKind::Trunc | CastKind::PtrToInt,
+                        value,
+                        ..
+                    } => self.eval_int(value),
+                    _ => Lin::opaque(),
+                }
+            }
+            _ => Lin::opaque(),
+        }
+    }
+
+    /// Evaluate a pointer value to (base, byte-offset) form.
+    pub fn eval_ptr(&mut self, v: ValueId) -> (Base, Lin) {
+        if let Some(hit) = self.ptrs.get(&v) {
+            return hit.clone();
+        }
+        let out = self.eval_ptr_uncached(v);
+        self.ptrs.insert(v, out.clone());
+        out
+    }
+
+    fn eval_ptr_uncached(&mut self, v: ValueId) -> (Base, Lin) {
+        let f = self.ctx.f;
+        match &f.value(v).def {
+            ValueDef::Param(i) if f.value_ty(v).is_ptr() => (Base::Param(*i), Lin::zero()),
+            ValueDef::Inst(b, i) => {
+                let op = f.block(*b).insts[*i].op.clone();
+                match op {
+                    Op::Gep { base, indices } => self.eval_gep(base, &indices),
+                    Op::Cast { kind: CastKind::PtrCast | CastKind::IntToPtr, value, .. } => {
+                        if f.value_ty(value).is_ptr() {
+                            self.eval_ptr(value)
+                        } else {
+                            (Base::Unknown, Lin::opaque())
+                        }
+                    }
+                    _ => (Base::Unknown, Lin::opaque()),
+                }
+            }
+            _ => (Base::Unknown, Lin::opaque()),
+        }
+    }
+
+    /// Mirror of the interpreter's gep address computation, symbolically.
+    fn eval_gep(&mut self, base: ValueId, indices: &[GepIndex]) -> (Base, Lin) {
+        let f = self.ctx.f;
+        let (root, mut off) = self.eval_ptr(base);
+        let Some(mut cur_ty) = f.value_ty(base).pointee().cloned() else {
+            return (Base::Unknown, Lin::opaque());
+        };
+        for (i, ix) in indices.iter().enumerate() {
+            let idx: Lin = match ix {
+                GepIndex::Value(v) => self.eval_int(*v),
+                GepIndex::Const(k) => Lin::invariant(Poly::constant(*k as i64)),
+            };
+            if i == 0 {
+                off = off.add(&idx.mul_poly(&Poly::constant(cur_ty.stride() as i64)));
+            } else {
+                match &cur_ty {
+                    Type::Array(elem, _) => {
+                        off = off.add(&idx.mul_poly(&Poly::constant(elem.stride() as i64)));
+                        cur_ty = (**elem).clone();
+                    }
+                    Type::Struct(fields) => {
+                        let Some(k) = idx.invariant_part().and_then(Poly::as_const) else {
+                            return (root, Lin::opaque());
+                        };
+                        if k < 0 || k as usize >= fields.len() {
+                            return (root, Lin::opaque());
+                        }
+                        off = off.add(&Lin::invariant(Poly::constant(
+                            cur_ty.field_offset(k as usize) as i64,
+                        )));
+                        cur_ty = fields[k as usize].clone();
+                    }
+                    _ => return (root, Lin::opaque()),
+                }
+            }
+        }
+        (root, off)
+    }
+}
+
+/// Collect every memory access and call site of the function.
+pub fn collect(ctx: &FnCtx<'_>) -> (Vec<Access>, Vec<CallSite>) {
+    let mut ev = Evaluator::new(ctx);
+    let mut accesses = Vec::new();
+    let mut calls = Vec::new();
+    for b in ctx.f.block_ids() {
+        for (i, inst) in ctx.f.block(b).insts.iter().enumerate() {
+            match &inst.op {
+                Op::Load { ptr } | Op::Store { ptr, .. } => {
+                    let write = matches!(inst.op, Op::Store { .. });
+                    let (base, lin) = ev.eval_ptr(*ptr);
+                    let size = ctx.f.value_ty(*ptr).pointee().map(|t| t.size_bytes()).unwrap_or(1);
+                    accesses.push(Access { block: b, inst: i, write, base, lin, size });
+                }
+                Op::Call { callee, .. } => {
+                    calls.push(CallSite { block: b, inst: i, callee: *callee });
+                }
+                _ => {}
+            }
+        }
+    }
+    (accesses, calls)
+}

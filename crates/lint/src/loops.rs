@@ -1,0 +1,258 @@
+//! Natural-loop discovery and canonical induction-variable recognition.
+//!
+//! The race detector needs to know, for every address expression, which
+//! loop each induction variable belongs to and how it advances per
+//! iteration. Loops are found from dominator-identified back edges; an
+//! induction variable is a header phi of the canonical shape the
+//! front-end emits for `for`/`cilk_for` loops:
+//!
+//! ```text
+//! header: i = phi [(preheader, init), (latch, i ± c)]
+//!         cond = icmp slt i, bound
+//!         cond_br cond, body, exit
+//! ```
+//!
+//! The `bound` is optional metadata (only exploited when the detector has
+//! to range-bound a free variable); the phi/step shape is what makes a
+//! variable *recognized* at all. Unrecognized cycles are still found as
+//! loops — the detector then treats any window crossing them as
+//! unanalyzable rather than mis-modeling them.
+
+use std::collections::{HashMap, HashSet};
+use tapas_ir::analysis::{Cfg, Dominators};
+use tapas_ir::{BinOp, BlockId, CmpPred, Constant, Function, Op, Terminator, ValueDef, ValueId};
+
+/// A recognized induction variable.
+#[derive(Debug, Clone)]
+pub struct IVar {
+    /// The header phi.
+    pub phi: ValueId,
+    /// Index of the owning loop in [`LoopInfo::loops`].
+    pub loop_idx: usize,
+    /// Per-iteration increment (may be negative).
+    pub step: i64,
+    /// Initial value (the non-loop incoming).
+    pub init: ValueId,
+    /// Exclusive upper bound from the header's `icmp slt` guard, when the
+    /// header has the canonical compare-and-branch shape.
+    pub bound: Option<ValueId>,
+}
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct NatLoop {
+    /// Loop header.
+    pub header: BlockId,
+    /// All blocks in the loop (header included).
+    pub body: HashSet<BlockId>,
+    /// Source blocks of back edges into `header`.
+    pub latches: Vec<BlockId>,
+    /// Recognized induction phis of this loop.
+    pub ivars: Vec<ValueId>,
+}
+
+/// Loop structure of one function.
+#[derive(Debug, Clone, Default)]
+pub struct LoopInfo {
+    /// All natural loops (one per header; multiple back edges merge).
+    pub loops: Vec<NatLoop>,
+    /// Map from back edge `(latch, header)` to loop index.
+    pub back_edges: HashMap<(BlockId, BlockId), usize>,
+    /// Map from recognized phi to its induction-variable facts.
+    pub ivar_of: HashMap<ValueId, IVar>,
+}
+
+impl LoopInfo {
+    /// Indices of loops whose body contains `b`.
+    pub fn containing(&self, b: BlockId) -> Vec<usize> {
+        (0..self.loops.len()).filter(|&i| self.loops[i].body.contains(&b)).collect()
+    }
+}
+
+/// The signed value of an integer constant (sign-extended from its width).
+pub fn const_int(f: &Function, v: ValueId) -> Option<i64> {
+    match &f.value(v).def {
+        ValueDef::Const(Constant::Int { ty, bits }) => {
+            let bits = *bits;
+            let w = ty.int_width()? as u32;
+            if w == 0 || w > 64 {
+                return None;
+            }
+            let shift = 64 - w;
+            Some(((bits << shift) as i64) >> shift)
+        }
+        _ => None,
+    }
+}
+
+/// Discover natural loops and recognize their induction variables.
+pub fn find_loops(f: &Function, cfg: &Cfg, dom: &Dominators) -> LoopInfo {
+    let reachable = cfg.reachable_from(f.entry());
+    let mut info = LoopInfo::default();
+    let mut header_loop: HashMap<BlockId, usize> = HashMap::new();
+
+    for &b in &reachable {
+        for &s in cfg.succs(b) {
+            if dom.dominates(s, b) {
+                let idx = *header_loop.entry(s).or_insert_with(|| {
+                    info.loops.push(NatLoop {
+                        header: s,
+                        body: HashSet::from([s]),
+                        latches: Vec::new(),
+                        ivars: Vec::new(),
+                    });
+                    info.loops.len() - 1
+                });
+                info.loops[idx].latches.push(b);
+                info.back_edges.insert((b, s), idx);
+                // Body: everything that reaches the latch without passing
+                // through the header.
+                let body = &mut info.loops[idx].body;
+                let mut stack = vec![b];
+                while let Some(x) = stack.pop() {
+                    if !body.insert(x) {
+                        continue;
+                    }
+                    for &p in cfg.preds(x) {
+                        if !body.contains(&p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for idx in 0..info.loops.len() {
+        recognize_ivars(f, idx, &mut info);
+    }
+    info
+}
+
+fn recognize_ivars(f: &Function, idx: usize, info: &mut LoopInfo) {
+    let header = info.loops[idx].header;
+    let body: HashSet<BlockId> = info.loops[idx].body.clone();
+    let hb = f.block(header);
+
+    // The canonical bound: a header `icmp slt phi, bound` feeding the
+    // header's conditional branch whose true edge stays in the loop.
+    let guard = match &hb.term {
+        Terminator::CondBr { cond, if_true, .. } if body.contains(if_true) => Some(*cond),
+        _ => None,
+    };
+
+    for inst in &hb.insts {
+        let (phi, incomings) = match (&inst.op, inst.result) {
+            (Op::Phi { incomings }, Some(r)) => (r, incomings),
+            _ => continue,
+        };
+        if !f.value_ty(phi).is_int() {
+            continue;
+        }
+        let mut init = None;
+        let mut next = None;
+        let mut ok = true;
+        for (pred, v) in incomings {
+            let slot = if body.contains(pred) { &mut next } else { &mut init };
+            match slot {
+                None => *slot = Some(*v),
+                Some(prev) if *prev == *v => {}
+                _ => ok = false,
+            }
+        }
+        let (init, next) = match (ok, init, next) {
+            (true, Some(i), Some(n)) => (i, n),
+            _ => continue,
+        };
+        let step = match &f.value(next).def {
+            ValueDef::Inst(..) => match op_of(f, next) {
+                Some(Op::Bin { op: BinOp::Add, lhs, rhs }) if *lhs == phi => const_int(f, *rhs),
+                Some(Op::Bin { op: BinOp::Add, lhs, rhs }) if *rhs == phi => const_int(f, *lhs),
+                Some(Op::Bin { op: BinOp::Sub, lhs, rhs }) if *lhs == phi => {
+                    const_int(f, *rhs).map(|c| -c)
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        let Some(step) = step else { continue };
+        if step == 0 {
+            continue;
+        }
+        let bound = guard.and_then(|g| match op_of(f, g) {
+            Some(Op::Cmp { pred: CmpPred::Slt, lhs, rhs }) if *lhs == phi => Some(*rhs),
+            _ => None,
+        });
+        info.loops[idx].ivars.push(phi);
+        info.ivar_of.insert(phi, IVar { phi, loop_idx: idx, step, init, bound });
+    }
+}
+
+fn op_of(f: &Function, v: ValueId) -> Option<&Op> {
+    match f.value(v).def {
+        ValueDef::Inst(b, i) => Some(&f.block(b).insts[i].op),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapas_ir::{FunctionBuilder, Type};
+
+    #[test]
+    fn recognizes_canonical_counted_loop() {
+        // fn f(n: i64, a: ptr i32) { for (i = 0; i < n; i += 1) a[i] = 7; }
+        let mut m = tapas_ir::Module::new("t");
+        let mut fb = FunctionBuilder::new("f", vec![Type::I64, Type::ptr(Type::I32)], Type::Void);
+        let n = fb.param(0);
+        let a = fb.param(1);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        let zero = fb.const_int(Type::I64, 0);
+        let one = fb.const_int(Type::I64, 1);
+        let seven = fb.const_int(Type::I32, 7);
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64, vec![(entry, zero)]);
+        let c = fb.icmp(CmpPred::Slt, i, n);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let p = fb.gep_index(a, i);
+        fb.store(p, seven);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let fid = m.add_function(fb.finish());
+        let f = m.function(fid);
+
+        let cfg = Cfg::compute(f);
+        let dom = Dominators::compute(f, &cfg);
+        let li = find_loops(f, &cfg, &dom);
+        assert_eq!(li.loops.len(), 1);
+        assert_eq!(li.loops[0].header, header);
+        assert!(li.loops[0].body.contains(&body));
+        assert!(!li.loops[0].body.contains(&exit));
+        assert_eq!(li.loops[0].ivars.len(), 1);
+        let iv = &li.ivar_of[&i];
+        assert_eq!(iv.step, 1);
+        assert_eq!(iv.init, zero);
+        assert_eq!(iv.bound, Some(n));
+        assert_eq!(li.back_edges.get(&(body, header)), Some(&0));
+    }
+
+    #[test]
+    fn const_int_sign_extends() {
+        let mut fb = FunctionBuilder::new("g", vec![], Type::Void);
+        let minus_one = fb.const_int(Type::I32, -1);
+        let small = fb.const_int(Type::I64, 5);
+        fb.ret(None);
+        let f = fb.finish();
+        assert_eq!(const_int(&f, minus_one), Some(-1));
+        assert_eq!(const_int(&f, small), Some(5));
+    }
+}

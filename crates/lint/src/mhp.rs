@@ -1,0 +1,115 @@
+//! May-happen-in-parallel windows over a task's strand CFG.
+//!
+//! After `detach(task, cont)` in task `T`, the spawned child runs in
+//! parallel with whatever `T` itself executes from `cont` up to the next
+//! `sync` — the child's *parallel window*. [`window`] computes whether a
+//! target block lies in the window starting at some block, restricted to
+//! `T`'s own blocks and cut at `sync` terminators, and characterizes the
+//! loop back edges such a path can cross (each crossing separates the two
+//! endpoints by at least one iteration of that loop).
+
+use std::collections::{BTreeSet, HashSet};
+use tapas_ir::{BlockId, Terminator};
+use tapas_task::TaskId;
+
+use crate::FnCtx;
+
+/// Result of a window query.
+#[derive(Debug, Clone, Default)]
+pub struct Window {
+    /// `to` is reachable from `from` within the task, sync-free.
+    pub reached: bool,
+    /// ... along a path crossing no loop back edge.
+    pub acyclic: bool,
+    /// Loops (indices into `LoopInfo::loops`) with a recognized induction
+    /// variable whose back edge some sync-free path crosses.
+    pub crossed: BTreeSet<usize>,
+    /// A reaching path crosses a cycle the analysis cannot characterize
+    /// (a loop with no recognized induction variable).
+    pub unknown_cycle: bool,
+}
+
+/// Successors of `b` along the strand of `task`: execution of the task
+/// itself, not of spawned children. `sync` is a barrier (no successors);
+/// `detach` continues at the continuation; `reattach`/`ret` end the strand.
+pub fn strand_succs(ctx: &FnCtx<'_>, task: TaskId, b: BlockId) -> Vec<BlockId> {
+    if ctx.tg.owner(b) != task {
+        return Vec::new();
+    }
+    match &ctx.f.block(b).term {
+        Terminator::Sync { .. } | Terminator::Reattach { .. } | Terminator::Ret { .. } => {
+            Vec::new()
+        }
+        Terminator::Detach { cont, .. } => vec![*cont],
+        _ => ctx.cfg.succs(b).iter().copied().filter(|s| ctx.tg.owner(*s) == task).collect(),
+    }
+}
+
+/// Compute the sync-free window of `task` from `from` to `to`.
+pub fn window(ctx: &FnCtx<'_>, task: TaskId, from: BlockId, to: BlockId) -> Window {
+    let mut w = Window::default();
+    if ctx.tg.owner(from) != task || ctx.tg.owner(to) != task {
+        return w;
+    }
+
+    // Forward sync-free reach from `from` (blocks themselves are reached
+    // even when their own terminator is a barrier).
+    let forward = reach(ctx, task, from, false);
+    w.reached = forward.contains(&to);
+    if !w.reached {
+        return w;
+    }
+    let forward_acyclic = reach(ctx, task, from, true);
+    w.acyclic = forward_acyclic.contains(&to);
+
+    // Backward sync-free reach to `to`.
+    let mut backward: HashSet<BlockId> = HashSet::new();
+    let mut stack = vec![to];
+    while let Some(b) = stack.pop() {
+        if !backward.insert(b) {
+            continue;
+        }
+        for &p in ctx.cfg.preds(b) {
+            if !backward.contains(&p) && strand_succs(ctx, task, p).contains(&b) {
+                stack.push(p);
+            }
+        }
+    }
+
+    // A back edge u -> h crossed by some path from `from` to `to`.
+    for (&(u, h), &loop_idx) in &ctx.li.back_edges {
+        if forward.contains(&u) && backward.contains(&h) && strand_succs(ctx, task, u).contains(&h)
+        {
+            if ctx.li.loops[loop_idx].ivars.is_empty() {
+                w.unknown_cycle = true;
+            } else {
+                w.crossed.insert(loop_idx);
+            }
+        }
+    }
+    // Reached only cyclically, but no characterizable back edge found:
+    // stay conservative.
+    if !w.acyclic && w.crossed.is_empty() {
+        w.unknown_cycle = true;
+    }
+    w
+}
+
+fn reach(ctx: &FnCtx<'_>, task: TaskId, from: BlockId, skip_back_edges: bool) -> HashSet<BlockId> {
+    let mut seen = HashSet::new();
+    let mut stack = vec![from];
+    while let Some(b) = stack.pop() {
+        if !seen.insert(b) {
+            continue;
+        }
+        for s in strand_succs(ctx, task, b) {
+            if skip_back_edges && ctx.li.back_edges.contains_key(&(b, s)) {
+                continue;
+            }
+            if !seen.contains(&s) {
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}

@@ -1,0 +1,474 @@
+//! Static determinacy-race detection.
+//!
+//! Two accesses can race when (1) they are *logically parallel* under the
+//! series-parallel relation induced by `detach`/`sync`, and (2) their
+//! address ranges can overlap. Step (1) enumerates **scenarios** — ways
+//! two dynamic access instances can be parallel, each fixing which loop's
+//! iterations separate them (`Vary`), which loops both instances share an
+//! iteration of (`Equal`), and which induction variables are unrelated
+//! (`Free`). Step (2) tries to prove, per scenario, that the symbolic
+//! address ranges are disjoint; a failed proof on a fully resolved pair
+//! is reported as a determinacy race.
+//!
+//! Unresolved pairs (opaque addresses, unknown bases, call sites) follow
+//! the compositional Cilk contract: a function's callees are assumed
+//! race-free internally and the caller is only responsible for its own
+//! accesses. The default policy therefore stays silent on them; `strict`
+//! mode surfaces each as a "possible race" warning instead.
+
+use std::collections::{BTreeSet, HashSet};
+
+use tapas_ir::{BlockId, Terminator};
+use tapas_task::TaskId;
+
+use crate::affine::Poly;
+use crate::diag::{Diagnostic, LintReport, RuleCode, Severity};
+use crate::effects::{Access, Base, CallSite};
+use crate::mhp::window;
+use crate::{FnCtx, LintConfig};
+
+/// One way two access instances can be logically parallel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scenario {
+    /// Loop whose iteration differs between the two instances (`None` for
+    /// an equal-context divergence scenario).
+    vary: Option<usize>,
+    /// Loops in which both instances share the same iteration.
+    equal: BTreeSet<usize>,
+    /// The parallel relation exists but cannot be characterized.
+    unknown: bool,
+    /// Side (0/1) whose access executes on the spawning task's own strand
+    /// while the other side's task is outstanding.
+    strand_side: Option<usize>,
+}
+
+/// Why a disjointness proof did not go through.
+enum Fail {
+    /// Addresses resolved, overlap not excluded: a determinacy race.
+    Unprovable,
+    /// Address or effect not resolvable (opaque / unknown base / call).
+    Unresolved,
+}
+
+/// Run race detection for one function and append diagnostics.
+pub fn check(
+    ctx: &FnCtx<'_>,
+    cfg: &LintConfig,
+    accesses: &[Access],
+    calls: &[CallSite],
+    report: &mut LintReport,
+) {
+    let mut seen = HashSet::new();
+    for i in 0..accesses.len() {
+        for j in i..accesses.len() {
+            let (a1, a2) = (&accesses[i], &accesses[j]);
+            if !a1.write && !a2.write {
+                continue;
+            }
+            let scs = scenarios(ctx, a1.block, a2.block);
+            for sc in &scs {
+                match prove_disjoint(ctx, cfg, a1, a2, sc) {
+                    Ok(()) => continue,
+                    Err(Fail::Unprovable) => {
+                        emit_race(ctx, a1, a2, sc, report, &mut seen);
+                        break;
+                    }
+                    Err(Fail::Unresolved) => {
+                        if cfg.strict {
+                            emit_possible(
+                                ctx,
+                                (a1.block, a1.inst),
+                                (a2.block, a2.inst),
+                                "cannot resolve both addresses to affine offsets",
+                                report,
+                                &mut seen,
+                            );
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Call sites: callee effects are opaque to this intraprocedural pass.
+    // Default mode relies on the compositional contract; strict mode
+    // surfaces every logically-parallel pair involving a call.
+    if cfg.strict {
+        for i in 0..calls.len() {
+            for j in i..calls.len() {
+                let (c1, c2) = (&calls[i], &calls[j]);
+                if !scenarios(ctx, c1.block, c2.block).is_empty() {
+                    emit_possible(
+                        ctx,
+                        (c1.block, c1.inst),
+                        (c2.block, c2.inst),
+                        "parallel calls; callee effects not analyzed (assumed race-free by composition)",
+                        report,
+                        &mut seen,
+                    );
+                }
+            }
+        }
+        for c in calls {
+            for a in accesses {
+                if !scenarios(ctx, c.block, a.block).is_empty() {
+                    emit_possible(
+                        ctx,
+                        (c.block, c.inst),
+                        (a.block, a.inst),
+                        "access parallel with a call; callee effects not analyzed",
+                        report,
+                        &mut seen,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The continuation block of the detach terminating `db`.
+fn cont_of(ctx: &FnCtx<'_>, db: BlockId) -> BlockId {
+    match ctx.f.block(db).term {
+        Terminator::Detach { cont, .. } => cont,
+        _ => unreachable!("detach site without detach terminator"),
+    }
+}
+
+/// Detach site of task `child` inside its parent.
+fn detach_site(ctx: &FnCtx<'_>, child: TaskId) -> BlockId {
+    let parent = ctx.tg.task(child).parent.expect("non-root task has a parent");
+    ctx.tg
+        .task(parent)
+        .detach_sites
+        .iter()
+        .find(|(_, c)| *c == child)
+        .map(|(b, _)| *b)
+        .expect("child registered at a detach site")
+}
+
+/// Ancestor chain from `t` to the root, inclusive.
+fn chain(ctx: &FnCtx<'_>, t: TaskId) -> Vec<TaskId> {
+    let mut out = vec![t];
+    let mut cur = t;
+    while let Some(p) = ctx.tg.task(cur).parent {
+        out.push(p);
+        cur = p;
+    }
+    out
+}
+
+/// Enumerate the scenarios under which an instance of an instruction in
+/// `b1` and an instance of one in `b2` are logically parallel.
+fn scenarios(ctx: &FnCtx<'_>, b1: BlockId, b2: BlockId) -> Vec<Scenario> {
+    let t1 = ctx.tg.owner(b1);
+    let t2 = ctx.tg.owner(b2);
+    let ch1 = chain(ctx, t1);
+    let ch2 = chain(ctx, t2);
+    let lca = *ch1.iter().find(|t| ch2.contains(t)).expect("all tasks share the root ancestor");
+
+    let mut out: Vec<Scenario> = Vec::new();
+    let mut push = |sc: Scenario| {
+        if !out.contains(&sc) {
+            out.push(sc);
+        }
+    };
+
+    // Divergence at the LCA: the two sides live in (or under) different
+    // children of `lca`, or one side is the `lca` strand itself.
+    if t1 != t2 {
+        let c1 = ch1[..ch1.iter().position(|t| *t == lca).unwrap()].last().copied();
+        let c2 = ch2[..ch2.iter().position(|t| *t == lca).unwrap()].last().copied();
+        match (c1, c2) {
+            (Some(c1), Some(c2)) => {
+                let (db1, db2) = (detach_site(ctx, c1), detach_site(ctx, c2));
+                for (from_db, to) in [(db1, db2), (db2, db1)] {
+                    let w = window(ctx, lca, cont_of(ctx, from_db), to);
+                    push_window_scenarios(ctx, &w, db1, db2, None, &mut push);
+                }
+            }
+            (None, Some(c2)) => {
+                let db2 = detach_site(ctx, c2);
+                let w = window(ctx, lca, cont_of(ctx, db2), b1);
+                push_window_scenarios(ctx, &w, db2, b1, Some(0), &mut push);
+            }
+            (Some(c1), None) => {
+                let db1 = detach_site(ctx, c1);
+                let w = window(ctx, lca, cont_of(ctx, db1), b2);
+                push_window_scenarios(ctx, &w, db1, b2, Some(1), &mut push);
+            }
+            (None, None) => unreachable!("t1 != t2 but both equal the LCA"),
+        }
+    }
+
+    // Ancestor self-parallelism: a common ancestor `c` re-detached while a
+    // previous instance (holding both accesses) is still outstanding.
+    let mut c = lca;
+    while let Some(p) = ctx.tg.task(c).parent {
+        let db = detach_site(ctx, c);
+        let w = window(ctx, p, cont_of(ctx, db), db);
+        if w.reached {
+            if w.unknown_cycle || w.crossed.is_empty() {
+                push(Scenario {
+                    vary: None,
+                    equal: BTreeSet::new(),
+                    unknown: true,
+                    strand_side: None,
+                });
+            }
+            let containing: BTreeSet<usize> = ctx.li.containing(db).into_iter().collect();
+            for &l in &w.crossed {
+                push(Scenario {
+                    vary: Some(l),
+                    equal: containing.difference(&w.crossed).copied().collect(),
+                    unknown: false,
+                    strand_side: None,
+                });
+            }
+        }
+        c = p;
+    }
+
+    out
+}
+
+/// Turn one divergence window into scenarios. `s1`/`s2` anchor the
+/// "same iteration" loops: a loop containing both anchors and not crossed
+/// by the window pins its induction variable equal on both sides.
+fn push_window_scenarios(
+    ctx: &FnCtx<'_>,
+    w: &crate::mhp::Window,
+    s1: BlockId,
+    s2: BlockId,
+    strand_side: Option<usize>,
+    push: &mut impl FnMut(Scenario),
+) {
+    if !w.reached {
+        return;
+    }
+    let containing: BTreeSet<usize> =
+        ctx.li.containing(s1).into_iter().filter(|l| ctx.li.loops[*l].body.contains(&s2)).collect();
+    if w.unknown_cycle {
+        push(Scenario { vary: None, equal: BTreeSet::new(), unknown: true, strand_side });
+    }
+    let equal: BTreeSet<usize> = containing.difference(&w.crossed).copied().collect();
+    if w.acyclic {
+        push(Scenario { vary: None, equal: equal.clone(), unknown: false, strand_side });
+    }
+    for &l in &w.crossed {
+        push(Scenario { vary: Some(l), equal: equal.clone(), unknown: false, strand_side });
+    }
+}
+
+/// Try to prove the two accesses' byte ranges disjoint in scenario `sc`.
+fn prove_disjoint(
+    ctx: &FnCtx<'_>,
+    cfg: &LintConfig,
+    a1: &Access,
+    a2: &Access,
+    sc: &Scenario,
+) -> Result<(), Fail> {
+    // Base resolution first: distinct restrict-style parameters never
+    // overlap regardless of offsets.
+    match (a1.base, a2.base) {
+        (Base::Param(p), Base::Param(q)) if p != q => {
+            return if cfg.assume_noalias_params { Ok(()) } else { Err(Fail::Unresolved) };
+        }
+        (Base::Unknown, _) | (_, Base::Unknown) => return Err(Fail::Unresolved),
+        _ => {}
+    }
+    if a1.lin.opaque || a2.lin.opaque {
+        return Err(Fail::Unresolved);
+    }
+    if sc.unknown {
+        return Err(Fail::Unprovable);
+    }
+
+    // Classify every induction variable appearing in either offset.
+    let mut ivars: BTreeSet<tapas_ir::ValueId> = a1.lin.terms.keys().copied().collect();
+    ivars.extend(a2.lin.terms.keys().copied());
+
+    // Difference d = addr1 - addr2 accumulated as:
+    //   d = D·Δ + d0 + Σ free contributions,  Δ = iteration gap (|Δ| >= 1)
+    let d0 = a1.lin.k.sub(&a2.lin.k);
+    let mut lo = Poly::zero(); // lower bound of the free part
+    let mut hi = Poly::zero(); // upper bound of the free part
+    let mut vary_step: Option<Poly> = None; // D = |coef| · |step|
+
+    for phi in ivars {
+        let iv = &ctx.li.ivar_of[&phi];
+        let c1 = a1.lin.coef(phi);
+        let c2 = a2.lin.coef(phi);
+        if sc.vary == Some(iv.loop_idx) {
+            // Both instances walk the same loop; a differing coefficient
+            // makes the gap contribution non-uniform — give up.
+            if c1 != c2 {
+                return Err(Fail::Unprovable);
+            }
+            if c1.is_zero() {
+                continue;
+            }
+            let abs = if c1.provably_nonneg() {
+                c1.clone()
+            } else if c1.provably_nonpos() {
+                c1.neg()
+            } else {
+                return Err(Fail::Unprovable);
+            };
+            if vary_step.is_some() {
+                return Err(Fail::Unprovable);
+            }
+            vary_step = Some(abs.scale(iv.step.abs()));
+        } else if sc.equal.contains(&iv.loop_idx) {
+            // Same iteration on both sides: contributions cancel only if
+            // the coefficients agree.
+            if c1 != c2 {
+                return Err(Fail::Unprovable);
+            }
+        } else {
+            // Free variable: bound its contribution by the loop range.
+            // Requires init/bound to be loop-invariant polynomials and
+            // non-negative coefficients (monotone contribution).
+            if !c1.provably_nonneg() || !c2.provably_nonneg() {
+                return Err(Fail::Unprovable);
+            }
+            let Some(bound) = iv.bound else { return Err(Fail::Unprovable) };
+            let (Some(init_p), Some(bound_p)) =
+                (invariant_poly(ctx, iv.init), invariant_poly(ctx, bound))
+            else {
+                return Err(Fail::Unprovable);
+            };
+            if iv.step != 1 {
+                return Err(Fail::Unprovable);
+            }
+            let top = bound_p.sub(&Poly::constant(1)); // last iteration value
+            lo = lo.add(&c1.mul(&init_p)).sub(&c2.mul(&top));
+            hi = hi.add(&c1.mul(&top)).sub(&c2.mul(&init_p));
+        }
+    }
+
+    let a = d0.add(&lo); // d >= A  (at Δ = 0)
+    let b = d0.add(&hi); // d <= B  (at Δ = 0)
+    let smax = Poly::constant(a1.size.max(a2.size) as i64);
+    let s1 = Poly::constant(a1.size as i64);
+    let s2 = Poly::constant(a2.size as i64);
+
+    match vary_step {
+        Some(step) => {
+            // d = ±D·|Δ| + r with r ∈ [A, B] and |Δ| >= 1. Ranges are
+            // disjoint when the per-iteration stride always clears the
+            // residual spread plus the access width:
+            //   D - smax - B >= 0  and  D - smax + A >= 0.
+            let ok = step.sub(&smax).sub(&b).provably_nonneg()
+                && step.sub(&smax).add(&a).provably_nonneg();
+            if ok {
+                Ok(())
+            } else {
+                Err(Fail::Unprovable)
+            }
+        }
+        None => {
+            // No varying term: disjoint iff the whole interval sits left
+            // or right of overlap: A >= s2 or -B >= s1.
+            let ok = a.sub(&s2).provably_nonneg() || b.neg().sub(&s1).provably_nonneg();
+            if ok {
+                Ok(())
+            } else {
+                Err(Fail::Unprovable)
+            }
+        }
+    }
+}
+
+fn invariant_poly(ctx: &FnCtx<'_>, v: tapas_ir::ValueId) -> Option<Poly> {
+    let mut ev = crate::effects::Evaluator::new(ctx);
+    ev.eval_int(v).invariant_part().cloned()
+}
+
+fn emit_race(
+    ctx: &FnCtx<'_>,
+    a1: &Access,
+    a2: &Access,
+    sc: &Scenario,
+    report: &mut LintReport,
+    seen: &mut HashSet<(RuleCode, BlockId, usize, BlockId, usize)>,
+) {
+    // A read on the spawning strand racing a write in the outstanding
+    // child is the "used the result before syncing" pattern.
+    let unsynced_read = match sc.strand_side {
+        Some(0) => !a1.write && a2.write,
+        Some(1) => !a2.write && a1.write,
+        _ => false,
+    };
+    let rule =
+        if unsynced_read { RuleCode::UnsyncedContinuationUse } else { RuleCode::DeterminacyRace };
+    if !seen.insert((rule, a1.block, a1.inst, a2.block, a2.inst)) {
+        return;
+    }
+    let kind = |w: bool| if w { "store" } else { "load" };
+    let (message, loc, rel) = if unsynced_read {
+        let (read, write) = if a1.write { (a2, a1) } else { (a1, a2) };
+        (
+            format!(
+                "load in {} reads memory a still-outstanding spawned task may write (store in {}); missing sync before the use",
+                ctx.block_label(read.block),
+                ctx.block_label(write.block),
+            ),
+            read.block,
+            write.block,
+        )
+    } else {
+        (
+            format!(
+                "{} in {} and {} in {} may touch overlapping addresses while logically parallel{}",
+                kind(a1.write),
+                ctx.block_label(a1.block),
+                kind(a2.write),
+                ctx.block_label(a2.block),
+                base_desc(ctx, a1),
+            ),
+            a1.block,
+            a2.block,
+        )
+    };
+    report.push(Diagnostic {
+        severity: Severity::Error,
+        rule,
+        location: ctx.location(loc),
+        related: Some(ctx.location(rel)),
+        message,
+    });
+}
+
+fn emit_possible(
+    ctx: &FnCtx<'_>,
+    s1: (BlockId, usize),
+    s2: (BlockId, usize),
+    why: &str,
+    report: &mut LintReport,
+    seen: &mut HashSet<(RuleCode, BlockId, usize, BlockId, usize)>,
+) {
+    if !seen.insert((RuleCode::PossibleRace, s1.0, s1.1, s2.0, s2.1)) {
+        return;
+    }
+    report.push(Diagnostic {
+        severity: Severity::Warning,
+        rule: RuleCode::PossibleRace,
+        location: ctx.location(s1.0),
+        related: Some(ctx.location(s2.0)),
+        message: format!("logically parallel with {}: {}", ctx.block_label(s2.0), why),
+    });
+}
+
+fn base_desc(ctx: &FnCtx<'_>, a: &Access) -> String {
+    match a.base {
+        Base::Param(i) => {
+            let v = ctx.f.param_values()[i];
+            match &ctx.f.value(v).name {
+                Some(n) => format!(" (base: parameter %{n})"),
+                None => format!(" (base: parameter {i})"),
+            }
+        }
+        Base::Unknown => String::new(),
+    }
+}

@@ -1,0 +1,101 @@
+//! Corpus-level validation: the seven paper workloads are race-free and
+//! lint-clean; deliberately racy variants are flagged; and the static
+//! detector agrees with the dynamic SP-bags oracle on every program.
+
+use tapas_ir::interp::{run, InterpConfig};
+use tapas_lint::{lint_module, LintConfig, RuleCode};
+use tapas_workloads::BuiltWorkload;
+
+fn static_races(wl: &BuiltWorkload, cfg: &LintConfig) -> Vec<String> {
+    let report =
+        lint_module(&wl.module, cfg).unwrap_or_else(|e| panic!("{}: lint failed: {e:?}", wl.name));
+    report.races().map(|d| d.render()).collect()
+}
+
+fn dynamic_races(wl: &BuiltWorkload) -> usize {
+    let mut mem = wl.mem.clone();
+    let cfg = InterpConfig { detect_races: true, ..InterpConfig::default() };
+    let out = run(&wl.module, wl.func, &wl.args, &mut mem, &cfg)
+        .unwrap_or_else(|e| panic!("{}: interp failed: {e}", wl.name));
+    out.races.len()
+}
+
+#[test]
+fn paper_workloads_are_clean() {
+    for wl in tapas_workloads::suite_small() {
+        let report = lint_module(&wl.module, &LintConfig::default())
+            .unwrap_or_else(|e| panic!("{}: lint failed: {e:?}", wl.name));
+        assert!(report.is_clean(), "{} has unexpected diagnostics:\n{report}", wl.name);
+    }
+}
+
+#[test]
+fn paper_workloads_pass_the_dynamic_oracle() {
+    for wl in tapas_workloads::suite_small() {
+        assert_eq!(dynamic_races(&wl), 0, "{}: oracle found races", wl.name);
+    }
+}
+
+#[test]
+fn racy_variants_are_flagged_statically() {
+    for wl in tapas_workloads::racy::racy_suite() {
+        let races = static_races(&wl, &LintConfig::default());
+        assert!(!races.is_empty(), "{}: expected a race diagnostic", wl.name);
+    }
+}
+
+#[test]
+fn racy_variants_are_caught_by_the_oracle() {
+    for wl in tapas_workloads::racy::racy_suite() {
+        assert!(dynamic_races(&wl) > 0, "{}: oracle missed the race", wl.name);
+    }
+}
+
+/// The soundness contract the ISSUE pins down: every race the dynamic
+/// oracle observes must also be flagged statically (no false negatives on
+/// the corpus), and the clean corpus shows zero static diagnostics (no
+/// false positives).
+#[test]
+fn static_detector_covers_the_oracle() {
+    let mut programs = tapas_workloads::suite_small();
+    programs.extend(tapas_workloads::racy::racy_suite());
+    for wl in programs {
+        let dynamic = dynamic_races(&wl);
+        let statics = static_races(&wl, &LintConfig::default());
+        if dynamic > 0 {
+            assert!(
+                !statics.is_empty(),
+                "{}: oracle saw {dynamic} race(s) but the static detector is silent",
+                wl.name
+            );
+        }
+    }
+}
+
+/// TL0103 specifically calls out the read-before-sync shape.
+#[test]
+fn unsynced_read_variant_reports_tl0103() {
+    let wl = tapas_workloads::racy::unsynced_reduce();
+    let report = lint_module(&wl.module, &LintConfig::default()).unwrap();
+    assert!(
+        report.diagnostics.iter().any(|d| d.rule == RuleCode::UnsyncedContinuationUse),
+        "expected TL0103:\n{report}"
+    );
+}
+
+/// Strict mode surfaces the call-composition assumption on the recursive
+/// workloads; default mode keeps them clean.
+#[test]
+fn strict_mode_surfaces_recursive_call_pairs() {
+    let strict = LintConfig { strict: true, ..LintConfig::default() };
+    for wl in tapas_workloads::suite_small() {
+        if wl.name == "fib" || wl.name == "mergesort" {
+            let races = static_races(&wl, &strict);
+            assert!(
+                !races.is_empty(),
+                "{}: strict mode should surface parallel call pairs",
+                wl.name
+            );
+        }
+    }
+}

@@ -202,10 +202,7 @@ impl Cache {
             // The line will be installed; mark dirty on write when it lands.
             if kind == MemOpKind::Write {
                 let tag2 = tag;
-                if let Some(line) = self
-                    .ways_of(set)
-                    .iter_mut()
-                    .find(|l| l.valid && l.tag == tag2)
+                if let Some(line) = self.ways_of(set).iter_mut().find(|l| l.valid && l.tag == tag2)
                 {
                     line.dirty = true;
                 }
@@ -241,21 +238,15 @@ impl Cache {
             }
         };
         let victim_dirty = ways[victim].valid && ways[victim].dirty;
-        let victim_addr =
-            (ways[victim].tag * self.cfg.sets() + set) * self.cfg.line_bytes;
+        let victim_addr = (ways[victim].tag * self.cfg.sets() + set) * self.cfg.line_bytes;
         if victim_dirty {
             // The writeback occupies the next level's channel first; the
             // backend serializes the following fill behind it.
             dram.writeback_line(victim_addr, now)?;
         }
         let fill_done = dram.fetch_line(line_addr, now)?;
-        self.ways_of(set)[victim] = Line {
-            tag,
-            valid: true,
-            dirty: kind == MemOpKind::Write,
-            lru: tick,
-            fill_done,
-        };
+        self.ways_of(set)[victim] =
+            Line { tag, valid: true, dirty: kind == MemOpKind::Write, lru: tick, fill_done };
         if victim_dirty {
             self.stats.writebacks += 1;
         }
@@ -320,13 +311,8 @@ mod tests {
     #[test]
     fn dirty_eviction_writes_back() {
         // 2-way cache: touch 3 lines mapping to the same set.
-        let cfg = CacheConfig {
-            size_bytes: 128,
-            line_bytes: 32,
-            ways: 2,
-            hit_latency: 1,
-            mshrs: 4,
-        };
+        let cfg =
+            CacheConfig { size_bytes: 128, line_bytes: 32, ways: 2, hit_latency: 1, mshrs: 4 };
         let mut c = Cache::new(cfg);
         assert_eq!(c.config().sets(), 2);
         let mut d = Dram::new(DramConfig::default());
@@ -342,13 +328,8 @@ mod tests {
 
     #[test]
     fn lru_keeps_recently_used_line() {
-        let cfg = CacheConfig {
-            size_bytes: 128,
-            line_bytes: 32,
-            ways: 2,
-            hit_latency: 1,
-            mshrs: 4,
-        };
+        let cfg =
+            CacheConfig { size_bytes: 128, line_bytes: 32, ways: 2, hit_latency: 1, mshrs: 4 };
         let mut c = Cache::new(cfg);
         let mut d = Dram::new(DramConfig::default());
         let t = c.try_access(0, MemOpKind::Read, 0, &mut d).unwrap();

@@ -295,11 +295,7 @@ mod tests {
         let t1 = ms.issue(req(1, 0, MemOpKind::Read, 0), 0).unwrap();
         assert!(t1 > u64::from(ms.cache.config().hit_latency), "miss pays DRAM latency");
         let t2 = ms.issue(req(2, 4, MemOpKind::Read, 0), t1).unwrap();
-        assert_eq!(
-            t2 - t1,
-            u64::from(ms.cache.config().hit_latency),
-            "same line now hits"
-        );
+        assert_eq!(t2 - t1, u64::from(ms.cache.config().hit_latency), "same line now hits");
         assert_eq!(ms.cache.stats().hits, 1);
         assert_eq!(ms.cache.stats().misses, 1);
     }
@@ -328,13 +324,7 @@ mod l2_tests {
 
     fn l2_cfg() -> CacheConfig {
         // A 512 KiB L2 with higher hit latency and more miss parallelism.
-        CacheConfig {
-            size_bytes: 512 * 1024,
-            line_bytes: 32,
-            ways: 8,
-            hit_latency: 8,
-            mshrs: 4,
-        }
+        CacheConfig { size_bytes: 512 * 1024, line_bytes: 32, ways: 8, hit_latency: 8, mshrs: 4 }
     }
 
     #[test]

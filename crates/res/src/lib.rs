@@ -183,11 +183,8 @@ impl DesignInfo {
             for dfg in dfgs {
                 let t = g.task(dfg.task);
                 let f = module.function(g.func);
-                let arg_bytes: usize = t
-                    .args
-                    .iter()
-                    .map(|a| f.value_ty(*a).size_bytes() as usize)
-                    .sum();
+                let arg_bytes: usize =
+                    t.args.iter().map(|a| f.value_ty(*a).size_bytes() as usize).sum();
                 units.push(UnitInfo {
                     name: t.name.clone(),
                     profile: dfg.profile(),
@@ -257,13 +254,7 @@ pub fn estimate_with(design: &DesignInfo, board: Board, cm: &CostModel) -> Estim
         brams += if u.recursive { 2 * queue_brams } else { queue_brams };
     }
     let utilization = alms as f64 / board.alm_capacity() as f64;
-    Estimate {
-        alms,
-        regs,
-        brams,
-        utilization,
-        fmax_mhz: board.fmax_mhz(utilization),
-    }
+    Estimate { alms, regs, brams, utilization, fmax_mhz: board.fmax_mhz(utilization) }
 }
 
 /// ALM breakdown by sub-block (Fig. 14).
@@ -317,13 +308,7 @@ pub fn intel_hls_estimate(
     let regs = (alms as f64 * 1.9) as u64; // deep static pipelines
     let brams = 12 * streams as u64 + 2;
     let utilization = alms as f64 / board.alm_capacity() as f64;
-    Estimate {
-        alms,
-        regs,
-        brams,
-        utilization,
-        fmax_mhz: board.fmax_mhz(utilization) * 0.98,
-    }
+    Estimate { alms, regs, brams, utilization, fmax_mhz: board.fmax_mhz(utilization) * 0.98 }
 }
 
 #[cfg(test)]
@@ -349,12 +334,7 @@ mod tests {
     #[test]
     fn table3_calibration_points_cyclone_v() {
         // (tiles, adders) -> paper ALMs
-        let points = [
-            (1usize, 1u32, 1314u64),
-            (1, 50, 2955),
-            (10, 1, 7107),
-            (10, 50, 24738),
-        ];
+        let points = [(1usize, 1u32, 1314u64), (1, 50, 2955), (10, 1, 7107), (10, 50, 24738)];
         for (tiles, adders, paper_alm) in points {
             let d = micro_design(tiles, adders);
             let e = estimate(&d, Board::CycloneV);
@@ -400,8 +380,7 @@ mod tests {
         let ctrl_share10 = b10.task_ctrl as f64 / b10.total() as f64;
         assert!(ctrl_share1 > 0.3, "control dominates tiny designs");
         assert!(ctrl_share10 < 0.08, "control amortized at scale");
-        let non_compute1 = 1.0
-            - (b1.tiles + b1.parallel_for) as f64 / b1.total() as f64;
+        let non_compute1 = 1.0 - (b1.tiles + b1.parallel_for) as f64 / b1.total() as f64;
         assert!(non_compute1 > 0.25);
     }
 
@@ -434,10 +413,7 @@ mod tests {
                 fmax_mhz: mhz,
             };
             let w = power_watts(&est, mhz);
-            assert!(
-                within(w, paper_w, 0.45),
-                "{name}: model {w:.3} vs paper {paper_w}"
-            );
+            assert!(within(w, paper_w, 0.45), "{name}: model {w:.3} vs paper {paper_w}");
         }
     }
 
@@ -449,10 +425,7 @@ mod tests {
         let es = estimate(&shallow, Board::CycloneV);
         let ed = estimate(&deep, Board::CycloneV);
         assert!(ed.brams > es.brams * 4, "deep queues grow BRAM");
-        assert!(
-            deep.units.iter().any(|u| u.recursive),
-            "fib tasks are recursive"
-        );
+        assert!(deep.units.iter().any(|u| u.recursive), "fib tasks are recursive");
     }
 
     #[test]
@@ -460,12 +433,7 @@ mod tests {
         let wl = tapas_workloads::saxpy::build(64);
         let d = DesignInfo::from_module(&wl.module, 32, 16 * 1024, |_| 3);
         let tapas = estimate(&d, Board::CycloneV);
-        let body = d
-            .units
-            .iter()
-            .find(|u| u.name.contains("task"))
-            .unwrap()
-            .profile;
+        let body = d.units.iter().find(|u| u.name.contains("task")).unwrap().profile;
         let ihls = intel_hls_estimate(&body, 3, 3, Board::CycloneV);
         assert!(
             ihls.brams > tapas.brams,
@@ -474,6 +442,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // sanity bound on a calibration constant
     fn i7_power_constant_matches_rapl_magnitude() {
         assert!(I7_PACKAGE_WATTS > 30.0 && I7_PACKAGE_WATTS < 100.0);
     }

@@ -4,12 +4,22 @@ use tapas_workloads::scale_micro;
 #[test]
 #[ignore]
 fn dump() {
-    for (tiles, adders, paper) in [(1usize,1u32,1314u64),(1,50,2955),(10,1,7107),(10,50,24738)] {
+    for (tiles, adders, paper) in
+        [(1usize, 1u32, 1314u64), (1, 50, 2955), (10, 1, 7107), (10, 50, 24738)]
+    {
         let wl = scale_micro::build(64, adders);
-        let d = DesignInfo::from_module(&wl.module, 32, 16*1024, |n| if n.contains("task") { tiles } else { 1 });
+        let d = DesignInfo::from_module(&wl.module, 32, 16 * 1024, |n| {
+            if n.contains("task") {
+                tiles
+            } else {
+                1
+            }
+        });
         let e = estimate(&d, Board::CycloneV);
         let b = breakdown(&d);
-        println!("{tiles}T/{adders}I: model {} paper {paper} | tiles {} pfor {} ctrl {} mem {} misc {}",
-                 e.alms, b.tiles, b.parallel_for, b.task_ctrl, b.mem_arb, b.misc);
+        println!(
+            "{tiles}T/{adders}I: model {} paper {paper} | tiles {} pfor {} ctrl {} mem {} misc {}",
+            e.alms, b.tiles, b.parallel_for, b.task_ctrl, b.mem_arb, b.misc
+        );
     }
 }

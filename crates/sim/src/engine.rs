@@ -295,19 +295,11 @@ impl Accelerator {
                 let tiles = cfg.tiles_for(&name);
                 let uid = units.len();
                 unit_of.insert((graph.func.0, tid.0), uid);
-                let block_index = dfg
-                    .blocks
-                    .iter()
-                    .enumerate()
-                    .map(|(i, b)| (b.block, i))
-                    .collect();
+                let block_index =
+                    dfg.blocks.iter().enumerate().map(|(i, b)| (b.block, i)).collect();
                 let ports = tiles * dfg.mem_ports;
                 units.push(TaskUnit {
-                    stats: UnitStats {
-                        name: name.clone(),
-                        tiles,
-                        ..UnitStats::default()
-                    },
+                    stats: UnitStats { name: name.clone(), tiles, ..UnitStats::default() },
                     name,
                     func: graph.func,
                     dfg: Rc::new(dfg),
@@ -321,10 +313,8 @@ impl Accelerator {
                 port_base += ports;
             }
         }
-        let databox = DataBox::new(DataBoxConfig {
-            ports: port_base.max(1),
-            ..cfg.databox.clone()
-        });
+        let databox =
+            DataBox::new(DataBoxConfig { ports: port_base.max(1), ..cfg.databox.clone() });
         Ok(Accelerator {
             module: Rc::new(module.clone()),
             units,
@@ -422,8 +412,7 @@ impl Accelerator {
             for u in &mut self.units {
                 let occ = u.occupancy();
                 u.stats.queue_peak = u.stats.queue_peak.max(occ);
-                u.stats.busy_tile_cycles +=
-                    u.tiles.iter().filter(|t| t.is_some()).count() as u64;
+                u.stats.busy_tile_cycles += u.tiles.iter().filter(|t| t.is_some()).count() as u64;
             }
             if self.progress || self.ms.has_pending() {
                 last_progress = now;
@@ -517,20 +506,15 @@ impl Accelerator {
                         let old = u.dfg.blocks[saved.block_idx].block;
                         saved.prev_block = Some(old);
                         saved.block_idx = idx;
-                        saved.nodes =
-                            vec![NodeState::fresh(); u.dfg.blocks[idx].nodes.len()];
+                        saved.nodes = vec![NodeState::fresh(); u.dfg.blocks[idx].nodes.len()];
                         saved.block_start = now;
                     }
                     *saved
                 }
                 None => {
                     let dfg = Rc::clone(&u.dfg);
-                    let env: HashMap<ValueId, Val> = dfg
-                        .args
-                        .iter()
-                        .copied()
-                        .zip(entry.args.iter().copied())
-                        .collect();
+                    let env: HashMap<ValueId, Val> =
+                        dfg.args.iter().copied().zip(entry.args.iter().copied()).collect();
                     let entry_idx = u.block_index[&dfg.entry];
                     Exec {
                         slot,
@@ -562,11 +546,7 @@ impl Accelerator {
         };
         let node = &u.dfg.blocks[exec.block_idx].nodes[target.node];
         let value = match &node.op {
-            NodeOp::Load { .. } => Some(load_value(
-                self.module.function(u.func),
-                node,
-                resp.rdata,
-            )),
+            NodeOp::Load { .. } => Some(load_value(self.module.function(u.func), node, resp.rdata)),
             NodeOp::Store { .. } => None,
             other => panic!("memory response for non-memory node {other:?}"),
         };
@@ -604,7 +584,14 @@ impl Accelerator {
                 NodeOp::Load { size } => {
                     let addr = self.operand_val(&node.operands[0], &exec).as_int();
                     if self.enqueue_mem(
-                        unit, tile, exec.block_idx, idx, addr, *size, MemOpKind::Read, 0,
+                        unit,
+                        tile,
+                        exec.block_idx,
+                        idx,
+                        addr,
+                        *size,
+                        MemOpKind::Read,
+                        0,
                         now,
                     ) {
                         exec.nodes[idx].issued = true;
@@ -615,8 +602,15 @@ impl Accelerator {
                     let addr = self.operand_val(&node.operands[0], &exec).as_int();
                     let data = val_bits(self.operand_val(&node.operands[1], &exec));
                     if self.enqueue_mem(
-                        unit, tile, exec.block_idx, idx, addr, *size, MemOpKind::Write,
-                        data, now,
+                        unit,
+                        tile,
+                        exec.block_idx,
+                        idx,
+                        addr,
+                        *size,
+                        MemOpKind::Write,
+                        data,
+                        now,
                     ) {
                         exec.nodes[idx].issued = true;
                         self.progress = true;
@@ -633,11 +627,8 @@ impl Accelerator {
                     if in_flight {
                         continue;
                     }
-                    let args: Vec<Val> = node
-                        .operands
-                        .iter()
-                        .map(|o| self.operand_val(o, &exec))
-                        .collect();
+                    let args: Vec<Val> =
+                        node.operands.iter().map(|o| self.operand_val(o, &exec)).collect();
                     let callee_unit = self.func_root[callee.0 as usize];
                     let cr = CallRet { unit, slot: exec.slot, node: idx };
                     if self
@@ -701,12 +692,9 @@ impl Accelerator {
             }
             TermInfo::Detach { child, args, cont } => {
                 let child_unit = self.unit_of[&(self.units[unit].func.0, child.0)];
-                let arg_vals: Vec<Val> =
-                    args.iter().map(|o| self.operand_val(o, &exec)).collect();
+                let arg_vals: Vec<Val> = args.iter().map(|o| self.operand_val(o, &exec)).collect();
                 let parent = Some((unit, exec.slot));
-                if self
-                    .alloc_entry(child_unit, arg_vals, parent, None, now, false, true)
-                    .is_some()
+                if self.alloc_entry(child_unit, arg_vals, parent, None, now, false, true).is_some()
                 {
                     self.spawns += 1;
                     self.units[unit].entries[exec.slot]
@@ -723,9 +711,7 @@ impl Accelerator {
             }
             TermInfo::Sync(cont) => {
                 let slot = exec.slot;
-                let entry = self.units[unit].entries[slot]
-                    .as_mut()
-                    .expect("running entry exists");
+                let entry = self.units[unit].entries[slot].as_mut().expect("running entry exists");
                 if entry.children == 0 {
                     self.enter_block(&mut exec, unit, cont, now + self.cfg.sync_cost);
                     self.units[unit].tiles[tile] = Some(exec);
@@ -763,9 +749,7 @@ impl Accelerator {
         self.units[unit].stats.tasks_executed += 1;
         if let Some(cr) = entry.call_ret {
             let dfg = Rc::clone(&self.units[cr.unit].dfg);
-            let caller = self.units[cr.unit].entries[cr.slot]
-                .as_mut()
-                .expect("caller entry alive");
+            let caller = self.units[cr.unit].entries[cr.slot].as_mut().expect("caller entry alive");
             let saved = caller.saved.as_mut().expect("caller suspended on call");
             let ns = &mut saved.nodes[cr.node];
             ns.done_at = now;
@@ -818,22 +802,17 @@ impl Accelerator {
 
     fn operand_val(&self, o: &Operand, exec: &Exec) -> Val {
         match o {
-            Operand::Local(i) => exec.nodes[*i]
-                .value
-                .unwrap_or_else(|| panic!("reading unfinished node {i}")),
-            Operand::Env(v) => *exec
-                .env
-                .get(v)
-                .unwrap_or_else(|| panic!("value {v} missing from TXU environment")),
+            Operand::Local(i) => {
+                exec.nodes[*i].value.unwrap_or_else(|| panic!("reading unfinished node {i}"))
+            }
+            Operand::Env(v) => {
+                *exec.env.get(v).unwrap_or_else(|| panic!("value {v} missing from TXU environment"))
+            }
             Operand::Imm(c) => const_val(c),
         }
     }
 
-    fn eval_fixed(
-        &self,
-        node: &DfgNode,
-        exec: &Exec,
-    ) -> Result<(Option<Val>, u32), SimError> {
+    fn eval_fixed(&self, node: &DfgNode, exec: &Exec) -> Result<(Option<Val>, u32), SimError> {
         let v = |i: usize| self.operand_val(&node.operands[i], exec);
         let value = match &node.op {
             NodeOp::Alu(op) => {
@@ -844,9 +823,7 @@ impl Accelerator {
                 Some(Val::Int(eval_cmp(*pred, v(0), v(1), *width) as u64))
             }
             NodeOp::FCmp(pred) => Some(Val::Int(eval_fcmp(*pred, v(0), v(1)) as u64)),
-            NodeOp::Select => {
-                Some(if v(0).as_int() & 1 == 1 { v(1) } else { v(2) })
-            }
+            NodeOp::Select => Some(if v(0).as_int() & 1 == 1 { v(1) } else { v(2) }),
             NodeOp::Cast { kind, from_width, to_width } => {
                 Some(eval_cast(*kind, v(0), *from_width, *to_width))
             }
@@ -857,9 +834,7 @@ impl Accelerator {
                     match s {
                         tapas_dfg::GepStep::Fixed(k) => addr = addr.wrapping_add(*k),
                         tapas_dfg::GepStep::Scaled { stride, .. } => {
-                            let ix = self
-                                .operand_val(&node.operands[next_operand], exec)
-                                .as_int();
+                            let ix = self.operand_val(&node.operands[next_operand], exec).as_int();
                             next_operand += 1;
                             addr = addr.wrapping_add(ix.wrapping_mul(*stride));
                         }
@@ -868,9 +843,7 @@ impl Accelerator {
                 Some(Val::Int(addr))
             }
             NodeOp::Phi { incomings } => {
-                let prev = exec
-                    .prev_block
-                    .expect("phi evaluated in an entry block");
+                let prev = exec.prev_block.expect("phi evaluated in an entry block");
                 let (_, o) = incomings
                     .iter()
                     .find(|(b, _)| *b == prev)
@@ -900,14 +873,11 @@ impl Accelerator {
         let u = &self.units[unit];
         let port = u.port_base
             + tile * u.dfg.mem_ports
-            + u.dfg.blocks[block_idx].nodes[node]
-                .mem_port
-                .expect("memory node has a port");
+            + u.dfg.blocks[block_idx].nodes[node].mem_port.expect("memory node has a port");
         let id = ReqId(self.next_req);
         let req = MemReq { id, port, addr, size, kind, wdata };
         if self.databox.enqueue(req, now) {
-            self.req_map
-                .insert(id.0, MemTarget { unit, tile, node });
+            self.req_map.insert(id.0, MemTarget { unit, tile, node });
             self.next_req += 1;
             true
         } else {
@@ -946,10 +916,7 @@ fn load_value(f: &Function, node: &DfgNode, rdata: u64) -> Val {
 fn eval_cast(kind: CastKind, v: Val, from_w: u8, to_w: u8) -> Val {
     match kind {
         CastKind::ZExt => Val::Int(v.as_int()),
-        CastKind::SExt => Val::Int(mask_to_width(
-            sign_extend(v.as_int(), from_w) as u64,
-            to_w,
-        )),
+        CastKind::SExt => Val::Int(mask_to_width(sign_extend(v.as_int(), from_w) as u64, to_w)),
         CastKind::Trunc => Val::Int(mask_to_width(v.as_int(), to_w)),
         CastKind::SiToFp => {
             let s = sign_extend(v.as_int(), from_w);
@@ -993,24 +960,16 @@ mod tests {
         let acc_mem = acc.mem().read_bytes(0, mem_init.len()).to_vec();
         // Interpreter golden model
         let mut im = mem_init.to_vec();
-        let gold = tapas_ir::interp::run(
-            m,
-            f,
-            args,
-            &mut im,
-            &tapas_ir::interp::InterpConfig::default(),
-        )
-        .unwrap();
+        let gold =
+            tapas_ir::interp::run(m, f, args, &mut im, &tapas_ir::interp::InterpConfig::default())
+                .unwrap();
         (out, acc_mem, gold.ret, im)
     }
 
     /// Parallel-for over an array: a[i] += 1 for i in 0..n (Fig. 2 shape).
     fn build_pfor_inc(m: &mut Module) -> FuncId {
-        let mut b = FunctionBuilder::new(
-            "pfor_inc",
-            vec![Type::ptr(Type::I32), Type::I64],
-            Type::Void,
-        );
+        let mut b =
+            FunctionBuilder::new("pfor_inc", vec![Type::ptr(Type::I32), Type::I64], Type::Void);
         let header = b.create_block("header");
         let spawn = b.create_block("spawn");
         let task = b.create_block("task");
@@ -1048,11 +1007,7 @@ mod tests {
 
     #[test]
     fn straight_line_task_matches_interpreter() {
-        let mut b = FunctionBuilder::new(
-            "axpy1",
-            vec![Type::ptr(Type::I32), Type::I32],
-            Type::I32,
-        );
+        let mut b = FunctionBuilder::new("axpy1", vec![Type::ptr(Type::I32), Type::I32], Type::I32);
         let (p, x) = (b.param(0), b.param(1));
         let v = b.load(p);
         let prod = b.mul(v, x);
@@ -1074,11 +1029,7 @@ mod tests {
     #[test]
     fn serial_loop_matches_interpreter() {
         // sum over memory: while i<n acc+=a[i]
-        let mut b = FunctionBuilder::new(
-            "sum",
-            vec![Type::ptr(Type::I32), Type::I64],
-            Type::I32,
-        );
+        let mut b = FunctionBuilder::new("sum", vec![Type::ptr(Type::I32), Type::I64], Type::I32);
         let header = b.create_block("header");
         let body = b.create_block("body");
         let exit = b.create_block("exit");
@@ -1126,8 +1077,7 @@ mod tests {
             mem.extend_from_slice(&(k * 3).to_le_bytes());
         }
         let cfg = AcceleratorConfig::default().with_default_tiles(2);
-        let (out, acc_mem, _, gold_mem) =
-            run_both(&m, f, &[Val::Int(0), Val::Int(n)], &mem, &cfg);
+        let (out, acc_mem, _, gold_mem) = run_both(&m, f, &[Val::Int(0), Val::Int(n)], &mem, &cfg);
         assert_eq!(acc_mem, gold_mem);
         assert_eq!(out.stats.spawns, n);
         // Uncontended spawn latency is small ("~10 cycles" claim); the
@@ -1208,11 +1158,7 @@ mod tests {
         //         x = spawn { fib(n-1) -> store to scratch }
         //         actually: spawn task computing fib(n-1) into mem[addr],
         //         compute fib(n-2) serially via call, sync, add.
-        let mut b = FunctionBuilder::new(
-            "fib",
-            vec![Type::I32, Type::ptr(Type::I32)],
-            Type::I32,
-        );
+        let mut b = FunctionBuilder::new("fib", vec![Type::I32, Type::ptr(Type::I32)], Type::I32);
         let rec = b.create_block("rec");
         let base = b.create_block("base");
         let task = b.create_block("task");
@@ -1256,13 +1202,9 @@ mod tests {
         tapas_ir::verify_module(&m).unwrap();
         // Scratch space: 66 slots per level, 12 levels is plenty for n=10.
         let mem = vec![0u8; 1 << 16];
-        let cfg = AcceleratorConfig {
-            ntasks: 256,
-            ..AcceleratorConfig::default()
-        }
-        .with_default_tiles(2);
-        let (out, _, gold_ret, _) =
-            run_both(&m, f, &[Val::Int(10), Val::Int(4096)], &mem, &cfg);
+        let cfg =
+            AcceleratorConfig { ntasks: 256, ..AcceleratorConfig::default() }.with_default_tiles(2);
+        let (out, _, gold_ret, _) = run_both(&m, f, &[Val::Int(10), Val::Int(4096)], &mem, &cfg);
         assert_eq!(gold_ret, Some(Val::Int(55)));
         assert_eq!(out.ret, Some(Val::Int(55)));
         assert!(out.stats.calls > 50, "recursion bridged through call spawns");
@@ -1336,11 +1278,7 @@ mod event_tests {
     #[test]
     fn event_trace_covers_task_lifecycles() {
         // parallel-for with 6 iterations
-        let mut b = FunctionBuilder::new(
-            "k",
-            vec![Type::ptr(Type::I32), Type::I64],
-            Type::Void,
-        );
+        let mut b = FunctionBuilder::new("k", vec![Type::ptr(Type::I32), Type::I64], Type::Void);
         let header = b.create_block("header");
         let spawn = b.create_block("spawn");
         let task = b.create_block("task");
@@ -1383,9 +1321,8 @@ mod event_tests {
         let out = acc.run(f, &[Val::Int(0), Val::Int(6)]).unwrap();
         let events = acc.take_events();
         assert!(!events.is_empty());
-        let count = |k: fn(&SimEventKind) -> bool| {
-            events.iter().filter(|e| k(&e.kind)).count() as u64
-        };
+        let count =
+            |k: fn(&SimEventKind) -> bool| events.iter().filter(|e| k(&e.kind)).count() as u64;
         // 6 children + 1 host root spawned-and-completed
         assert_eq!(count(|k| matches!(k, SimEventKind::Spawned)), 7);
         assert_eq!(count(|k| matches!(k, SimEventKind::Completed)), 7);
@@ -1419,8 +1356,7 @@ mod event_tests {
         b.ret(None);
         let mut m = Module::new("m");
         let f = m.add_function(b.finish());
-        let mut acc =
-            Accelerator::elaborate(&m, &AcceleratorConfig::default()).unwrap();
+        let mut acc = Accelerator::elaborate(&m, &AcceleratorConfig::default()).unwrap();
         acc.run(f, &[]).unwrap();
         assert!(acc.take_events().is_empty());
     }

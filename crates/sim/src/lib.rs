@@ -116,11 +116,7 @@ impl Default for AcceleratorConfig {
 impl AcceleratorConfig {
     /// Tiles for the task with the given name.
     pub fn tiles_for(&self, task_name: &str) -> usize {
-        self.tile_overrides
-            .get(task_name)
-            .copied()
-            .unwrap_or(self.ntiles)
-            .max(1)
+        self.tile_overrides.get(task_name).copied().unwrap_or(self.ntiles).max(1)
     }
 
     /// Builder-style override of the tile count for one task.
@@ -142,9 +138,7 @@ mod config_tests {
 
     #[test]
     fn tile_overrides_apply() {
-        let c = AcceleratorConfig::default()
-            .with_default_tiles(2)
-            .with_tiles("f::task1", 8);
+        let c = AcceleratorConfig::default().with_default_tiles(2).with_tiles("f::task1", 8);
         assert_eq!(c.tiles_for("f::task1"), 8);
         assert_eq!(c.tiles_for("f::root"), 2);
     }

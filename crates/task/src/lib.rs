@@ -142,12 +142,7 @@ impl TaskGraph {
                 let _ = writeln!(s, "  {} -> {};", t.id, c);
             }
             for f in &t.calls {
-                let _ = writeln!(
-                    s,
-                    "  {} -> \"@{}\" [style=dashed];",
-                    t.id,
-                    m.function(*f).name
-                );
+                let _ = writeln!(s, "  {} -> \"@{}\" [style=dashed];", t.id, m.function(*f).name);
             }
         }
         s.push_str("}\n");
@@ -216,9 +211,7 @@ impl std::error::Error for TaskError {}
 pub fn extract_tasks(m: &Module, func: FuncId) -> Result<TaskGraph, TaskError> {
     let f = m.function(func);
     if let Err(errs) = tapas_ir::verify_function(f, m) {
-        return Err(TaskError::Malformed(
-            errs.first().map(|e| e.to_string()).unwrap_or_default(),
-        ));
+        return Err(TaskError::Malformed(errs.first().map(|e| e.to_string()).unwrap_or_default()));
     }
     let cfg = Cfg::compute(f);
 
@@ -240,8 +233,7 @@ pub fn extract_tasks(m: &Module, func: FuncId) -> Result<TaskGraph, TaskError> {
     });
 
     // Iterative region walk: (task, start block, reattach continuation).
-    let mut work: Vec<(TaskId, BlockId, Option<BlockId>)> =
-        vec![(TaskId(0), f.entry(), None)];
+    let mut work: Vec<(TaskId, BlockId, Option<BlockId>)> = vec![(TaskId(0), f.entry(), None)];
     while let Some((tid, start, stop_cont)) = work.pop() {
         let mut stack = vec![start];
         while let Some(b) = stack.pop() {
@@ -304,9 +296,9 @@ pub fn extract_tasks(m: &Module, func: FuncId) -> Result<TaskGraph, TaskError> {
     // set that crosses the spawn port — constants are materialized in the
     // TXU and excluded. (The paper's "live variable analysis"; for these
     // single-entry regions use-minus-def is exactly the live-in set.)
-    for tid in 1..tasks.len() {
+    for (tid, task) in tasks.iter_mut().enumerate().skip(1) {
         let mut used: HashSet<ValueId> = HashSet::new();
-        for &b in &tasks[tid].blocks {
+        for &b in &task.blocks {
             for inst in &f.block(b).insts {
                 used.extend(inst.op.operands());
             }
@@ -316,14 +308,12 @@ pub fn extract_tasks(m: &Module, func: FuncId) -> Result<TaskGraph, TaskError> {
             .into_iter()
             .filter(|v| match f.value(*v).def {
                 tapas_ir::ValueDef::Param(_) => true,
-                tapas_ir::ValueDef::Inst(db, _) => {
-                    block_owner[db.0 as usize] != TaskId(tid as u32)
-                }
+                tapas_ir::ValueDef::Inst(db, _) => block_owner[db.0 as usize] != TaskId(tid as u32),
                 tapas_ir::ValueDef::Const(_) => false,
             })
             .collect();
         args.sort();
-        tasks[tid].args = args;
+        task.args = args;
     }
     // Thread args through intermediate tasks: if a child needs a value that
     // is not defined in (or an argument of) its parent, the parent must
@@ -387,11 +377,7 @@ pub fn extract_tasks(m: &Module, func: FuncId) -> Result<TaskGraph, TaskError> {
         for &a in &t.args {
             let ty = f.value_ty(a);
             if !ty.is_first_class() {
-                return Err(TaskError::BadArgType {
-                    task: t.id,
-                    value: a,
-                    ty: ty.clone(),
-                });
+                return Err(TaskError::BadArgType { task: t.id, value: a, ty: ty.clone() });
             }
         }
     }
@@ -427,12 +413,8 @@ fn has_internal_cycle(cfg: &Cfg, blocks: &[BlockId]) -> bool {
         let mut stack = vec![(start, 0usize)];
         color.insert(start, 1);
         while let Some((b, i)) = stack.pop() {
-            let succs: Vec<BlockId> = cfg
-                .succs(b)
-                .iter()
-                .copied()
-                .filter(|s| set.contains(s))
-                .collect();
+            let succs: Vec<BlockId> =
+                cfg.succs(b).iter().copied().filter(|s| set.contains(s)).collect();
             if i < succs.len() {
                 stack.push((b, i + 1));
                 let s = succs[i];
@@ -469,11 +451,7 @@ mod tests {
     /// Parallel-for skeleton mirroring Fig. 2 of the paper: a root loop
     /// detaches a body task per iteration.
     fn build_parallel_for() -> (Module, FuncId) {
-        let mut b = FunctionBuilder::new(
-            "pfor",
-            vec![Type::ptr(Type::I32), Type::I64],
-            Type::Void,
-        );
+        let mut b = FunctionBuilder::new("pfor", vec![Type::ptr(Type::I32), Type::I64], Type::Void);
         let header = b.create_block("header");
         let spawn = b.create_block("spawn");
         let task = b.create_block("task");

@@ -61,14 +61,8 @@ pub fn build(nchunks: u64, chunk_len: u64) -> BuiltWorkload {
         ],
         Type::Void,
     );
-    let (data, fps, table, outp, nchunks_v, clen) = (
-        b.param(0),
-        b.param(1),
-        b.param(2),
-        b.param(3),
-        b.param(4),
-        b.param(5),
-    );
+    let (data, fps, table, outp, nchunks_v, clen) =
+        (b.param(0), b.param(1), b.param(2), b.param(3), b.param(4), b.param(5));
     let zero = b.const_int(Type::I64, 0);
     let one = b.const_int(Type::I64, 1);
     let two = b.const_int(Type::I64, 2);

@@ -43,11 +43,7 @@ pub fn build(n: u64) -> BuiltWorkload {
 /// the result (so parents can read spawned children's values after sync).
 pub fn build_into(module: &mut Module) -> FuncId {
     let heap_ty = Type::ptr(Type::I32);
-    let mut b = FunctionBuilder::new(
-        "fib",
-        vec![Type::I64, heap_ty, Type::I64],
-        Type::I32,
-    );
+    let mut b = FunctionBuilder::new("fib", vec![Type::I64, heap_ty, Type::I64], Type::I32);
     let rec = b.create_block("rec");
     let base = b.create_block("base");
     let task = b.create_block("task");

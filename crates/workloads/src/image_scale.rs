@@ -71,8 +71,8 @@ pub fn build(w: u64, h: u64) -> BuiltWorkload {
     let src_len = wu * hu;
     let dst_len = src_len * 4;
     let mut mem = vec![0u8; src_len + dst_len];
-    for k in 0..src_len {
-        mem[k] = ((k * 37 + 11) % 251) as u8;
+    for (k, px) in mem.iter_mut().enumerate().take(src_len) {
+        *px = ((k * 37 + 11) % 251) as u8;
     }
     BuiltWorkload {
         name: "image_scale".to_string(),

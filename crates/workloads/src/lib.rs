@@ -31,6 +31,8 @@ pub mod image_scale;
 pub mod loops;
 pub mod matrix_add;
 pub mod mergesort;
+pub mod racy;
+pub mod rng;
 pub mod saxpy;
 pub mod scale_micro;
 pub mod source;
@@ -137,15 +139,9 @@ mod tests {
     #[test]
     fn suite_names_match_paper() {
         let names: Vec<String> = suite_small().into_iter().map(|w| w.name).collect();
-        for expected in [
-            "matrix_add",
-            "image_scale",
-            "saxpy",
-            "stencil",
-            "dedup",
-            "mergesort",
-            "fib",
-        ] {
+        for expected in
+            ["matrix_add", "image_scale", "saxpy", "stencil", "dedup", "mergesort", "fib"]
+        {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }
     }

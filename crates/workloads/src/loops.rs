@@ -133,11 +133,7 @@ mod tests {
 
     #[test]
     fn cilk_for_increments_every_element() {
-        let mut b = FunctionBuilder::new(
-            "k",
-            vec![Type::ptr(Type::I32), Type::I64],
-            Type::Void,
-        );
+        let mut b = FunctionBuilder::new("k", vec![Type::ptr(Type::I32), Type::I64], Type::Void);
         let (a, n) = (b.param(0), b.param(1));
         let zero = b.const_int(Type::I64, 0);
         cilk_for(&mut b, zero, n, |b, i| {
@@ -152,8 +148,8 @@ mod tests {
         let f = m.add_function(b.finish());
         tapas_ir::verify_module(&m).unwrap();
         let mut mem = vec![0u8; 40];
-        let out = run(&m, f, &[Val::Int(0), Val::Int(10)], &mut mem, &InterpConfig::default())
-            .unwrap();
+        let out =
+            run(&m, f, &[Val::Int(0), Val::Int(10)], &mut mem, &InterpConfig::default()).unwrap();
         assert_eq!(out.stats.spawns, 10);
         for k in 0..10 {
             assert_eq!(mem[k * 4], 1);
@@ -163,11 +159,7 @@ mod tests {
     #[test]
     fn nested_serial_in_parallel() {
         // a[i] = sum of 0..4 for each i
-        let mut b = FunctionBuilder::new(
-            "k",
-            vec![Type::ptr(Type::I64), Type::I64],
-            Type::Void,
-        );
+        let mut b = FunctionBuilder::new("k", vec![Type::ptr(Type::I64), Type::I64], Type::Void);
         let (a, n) = (b.param(0), b.param(1));
         let zero = b.const_int(Type::I64, 0);
         let four = b.const_int(Type::I64, 4);

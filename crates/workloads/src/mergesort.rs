@@ -23,17 +23,14 @@ pub fn build(n: u64, seed: u64) -> BuiltWorkload {
 
     let nu = n as usize;
     let mut mem = vec![0u8; nu * 8];
-    let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
-    for k in 0..nu {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        let v = (state >> 33) as i32;
+    for (k, v) in crate::rng::lcg_keys(n, seed).into_iter().enumerate() {
         mem[k * 4..k * 4 + 4].copy_from_slice(&v.to_le_bytes());
     }
     BuiltWorkload {
         name: "mergesort".to_string(),
         module,
         func,
-        args: vec![Val::Int(0), Val::Int(n * 4), Val::Int(0), Val::Int(n as u64)],
+        args: vec![Val::Int(0), Val::Int(n * 4), Val::Int(0), Val::Int(n)],
         mem,
         output: (0, nu * 4),
         worker_task: "mergesort::task1".to_string(),
@@ -45,11 +42,8 @@ pub fn build(n: u64, seed: u64) -> BuiltWorkload {
 /// exclusive) to `module` and return its id.
 pub fn build_into(module: &mut Module) -> FuncId {
     let ptr = Type::ptr(Type::I32);
-    let mut b = FunctionBuilder::new(
-        "mergesort",
-        vec![ptr.clone(), ptr, Type::I64, Type::I64],
-        Type::Void,
-    );
+    let mut b =
+        FunctionBuilder::new("mergesort", vec![ptr.clone(), ptr, Type::I64, Type::I64], Type::Void);
     let small = b.create_block("small");
     let recurse = b.create_block("recurse");
     let t_left = b.create_block("t_left");
@@ -204,12 +198,7 @@ pub fn build_into(module: &mut Module) -> FuncId {
 /// Host-side oracle: the sorted keys for `(n, seed)`.
 pub fn expected(n: u64, seed: u64) -> Vec<u8> {
     let nu = n as usize;
-    let mut keys = Vec::with_capacity(nu);
-    let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
-    for _ in 0..nu {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        keys.push((state >> 33) as i32);
-    }
+    let mut keys = crate::rng::lcg_keys(n, seed);
     keys.sort_unstable();
     let mut out = Vec::with_capacity(nu * 4);
     for k in keys {

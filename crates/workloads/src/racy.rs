@@ -1,0 +1,161 @@
+//! Deliberately racy variants of the paper workloads.
+//!
+//! These exist to validate the race-detection stack from both sides: the
+//! static detector in `tapas-lint` must flag each of them, and the
+//! dynamic SP-bags oracle in the interpreter must observe the race at
+//! runtime. None of them belongs in a benchmark suite — their outputs are
+//! schedule-dependent by construction.
+
+use crate::loops::cilk_for;
+use crate::BuiltWorkload;
+use tapas_ir::interp::Val;
+use tapas_ir::{FunctionBuilder, Module, Type};
+
+/// SAXPY-style reduction gone wrong: every parallel iteration accumulates
+/// into `y[0]` (`cilk_for i { y[0] += x[i] }`), so all instances collide
+/// on one slot — write/write and read/write races across iterations.
+pub fn saxpy_racy(n: u64) -> BuiltWorkload {
+    let ptr = Type::ptr(Type::I32);
+    let mut b = FunctionBuilder::new("saxpy_racy", vec![ptr.clone(), ptr, Type::I64], Type::Void);
+    let (x, y, nn) = (b.param(0), b.param(1), b.param(2));
+    let zero = b.const_int(Type::I64, 0);
+    cilk_for(&mut b, zero, nn, |b, i| {
+        let px = b.gep_index(x, i);
+        let py = b.gep_index(y, zero);
+        let vx = b.load(px);
+        let acc = b.load(py);
+        let s = b.add(acc, vx);
+        b.store(py, s);
+    });
+    b.ret(None);
+    let mut module = Module::new("saxpy_racy");
+    let func = module.add_function(b.finish());
+
+    let mut mem = vec![0u8; n as usize * 4 + 4];
+    for k in 0..n as usize {
+        mem[k * 4..k * 4 + 4].copy_from_slice(&(k as i32 + 1).to_le_bytes());
+    }
+    BuiltWorkload {
+        name: "saxpy_racy".to_string(),
+        module,
+        func,
+        args: vec![Val::Int(0), Val::Int(n * 4), Val::Int(n)],
+        mem,
+        output: (n * 4, 4),
+        worker_task: "saxpy_racy::task1".to_string(),
+        work_items: n,
+    }
+}
+
+/// Matrix-add variant whose inner task writes both `c[idx]` and
+/// `c[idx + 1]`: iteration `j` and iteration `j + 1` of the inner
+/// parallel loop overlap on one element — a write/write race between
+/// logically parallel siblings.
+pub fn matrix_add_racy(n: u64) -> BuiltWorkload {
+    let ptr = Type::ptr(Type::I32);
+    let mut b = FunctionBuilder::new(
+        "matrix_add_racy",
+        vec![ptr.clone(), ptr.clone(), ptr, Type::I64],
+        Type::Void,
+    );
+    let (pa, pb, pc, nn) = (b.param(0), b.param(1), b.param(2), b.param(3));
+    let zero = b.const_int(Type::I64, 0);
+    cilk_for(&mut b, zero, nn, |b, i| {
+        cilk_for(b, zero, nn, |b, j| {
+            let one = b.const_int(Type::I64, 1);
+            let row = b.mul(i, nn);
+            let idx = b.add(row, j);
+            let idx1 = b.add(idx, one);
+            let ea = b.gep_index(pa, idx);
+            let eb = b.gep_index(pb, idx);
+            let ec = b.gep_index(pc, idx);
+            let ec1 = b.gep_index(pc, idx1);
+            let va = b.load(ea);
+            let vb = b.load(eb);
+            let s = b.add(va, vb);
+            b.store(ec, s);
+            b.store(ec1, s);
+        });
+    });
+    b.ret(None);
+    let mut module = Module::new("matrix_add_racy");
+    let func = module.add_function(b.finish());
+
+    let elems = (n * n) as usize;
+    // One spare slot so the last instance's `c[idx + 1]` stays in bounds.
+    let mut mem = vec![0u8; elems * 8 + (elems + 1) * 4];
+    for k in 0..elems {
+        mem[k * 4..k * 4 + 4].copy_from_slice(&(k as i32).to_le_bytes());
+        let off = elems * 4 + k * 4;
+        mem[off..off + 4].copy_from_slice(&(2 * k as i32).to_le_bytes());
+    }
+    BuiltWorkload {
+        name: "matrix_add_racy".to_string(),
+        module,
+        func,
+        args: vec![Val::Int(0), Val::Int(n * n * 4), Val::Int(n * n * 8), Val::Int(n)],
+        mem,
+        output: (n * n * 8, (elems + 1) * 4),
+        worker_task: "matrix_add_racy::task2".to_string(),
+        work_items: n * n,
+    }
+}
+
+/// The read-before-sync bug: a task is spawned to produce `a[0]`, but the
+/// continuation reads it and stores the copy to `a[1]` *before* the sync.
+pub fn unsynced_reduce() -> BuiltWorkload {
+    let mut b = FunctionBuilder::new("unsynced_reduce", vec![Type::ptr(Type::I64)], Type::Void);
+    let a = b.param(0);
+    let task = b.create_block("task");
+    let cont = b.create_block("cont");
+    let done = b.create_block("done");
+    let zero = b.const_int(Type::I64, 0);
+    let one = b.const_int(Type::I64, 1);
+    let val = b.const_int(Type::I64, 42);
+    b.detach(task, cont);
+    b.switch_to(task);
+    let p0 = b.gep_index(a, zero);
+    b.store(p0, val);
+    b.reattach(cont);
+    b.switch_to(cont);
+    let p0b = b.gep_index(a, zero);
+    let v = b.load(p0b);
+    let p1 = b.gep_index(a, one);
+    b.store(p1, v);
+    b.sync(done);
+    b.switch_to(done);
+    b.ret(None);
+    let mut module = Module::new("unsynced_reduce");
+    let func = module.add_function(b.finish());
+
+    BuiltWorkload {
+        name: "unsynced_reduce".to_string(),
+        module,
+        func,
+        args: vec![Val::Int(0)],
+        mem: vec![0u8; 16],
+        output: (8, 8),
+        worker_task: "unsynced_reduce::task1".to_string(),
+        work_items: 1,
+    }
+}
+
+/// All racy variants, for corpus-level cross-validation.
+pub fn racy_suite() -> Vec<BuiltWorkload> {
+    vec![saxpy_racy(16), matrix_add_racy(8), unsynced_reduce()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn racy_variants_are_structurally_valid() {
+        for wl in racy_suite() {
+            tapas_ir::verify_module(&wl.module)
+                .unwrap_or_else(|e| panic!("{} failed verify: {e:?}", wl.name));
+            // They must still execute under serial elision.
+            let _ = wl.golden_memory();
+        }
+    }
+}

@@ -11,11 +11,8 @@ use tapas_ir::{FBinOp, FunctionBuilder, Module, Type};
 /// `4n`; the output is the `y` region.
 pub fn build(n: u64) -> BuiltWorkload {
     let ptr = Type::ptr(Type::F32);
-    let mut b = FunctionBuilder::new(
-        "saxpy",
-        vec![ptr.clone(), ptr, Type::F32, Type::I64],
-        Type::Void,
-    );
+    let mut b =
+        FunctionBuilder::new("saxpy", vec![ptr.clone(), ptr, Type::F32, Type::I64], Type::Void);
     let (x, y, a, nn) = (b.param(0), b.param(1), b.param(2), b.param(3));
     let zero = b.const_int(Type::I64, 0);
     cilk_for(&mut b, zero, nn, |b, i| {

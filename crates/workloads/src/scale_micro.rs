@@ -68,10 +68,8 @@ mod tests {
         let mut m10 = w10.mem.clone();
         let mut m50 = w50.mem.clone();
         let cfg = tapas_ir::interp::InterpConfig::default();
-        let o10 =
-            tapas_ir::interp::run(&w10.module, w10.func, &w10.args, &mut m10, &cfg).unwrap();
-        let o50 =
-            tapas_ir::interp::run(&w50.module, w50.func, &w50.args, &mut m50, &cfg).unwrap();
+        let o10 = tapas_ir::interp::run(&w10.module, w10.func, &w10.args, &mut m10, &cfg).unwrap();
+        let o50 = tapas_ir::interp::run(&w50.module, w50.func, &w50.args, &mut m50, &cfg).unwrap();
         assert!(o50.stats.insts > o10.stats.insts + 16 * 35);
         assert_eq!(o10.stats.spawns, 16);
         assert_eq!(o50.stats.spawns, 16);

@@ -129,13 +129,7 @@ mod tests {
     fn outputs_match(a: &BuiltWorkload, b: &BuiltWorkload) {
         let ma = a.golden_memory();
         let mb = b.golden_memory();
-        assert_eq!(
-            a.output_of(&ma),
-            b.output_of(&mb),
-            "{} and {} diverge",
-            a.name,
-            b.name
-        );
+        assert_eq!(a.output_of(&ma), b.output_of(&mb), "{} and {} diverge", a.name, b.name);
     }
 
     #[test]

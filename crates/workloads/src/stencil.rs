@@ -16,11 +16,8 @@ pub const RADIUS: u64 = 1;
 /// output at `nrows·ncols·4`; the output region is validated.
 pub fn build(nrows: u64, ncols: u64) -> BuiltWorkload {
     let ptr = Type::ptr(Type::I32);
-    let mut b = FunctionBuilder::new(
-        "stencil",
-        vec![ptr.clone(), ptr, Type::I64, Type::I64],
-        Type::Void,
-    );
+    let mut b =
+        FunctionBuilder::new("stencil", vec![ptr.clone(), ptr, Type::I64, Type::I64], Type::Void);
     let (inp, outp, nr_v, nc_v) = (b.param(0), b.param(1), b.param(2), b.param(3));
     let zero = b.const_int(Type::I64, 0);
     let total = b.mul(nr_v, nc_v);
@@ -71,12 +68,7 @@ pub fn build(nrows: u64, ncols: u64) -> BuiltWorkload {
         name: "stencil".to_string(),
         module,
         func,
-        args: vec![
-            Val::Int(0),
-            Val::Int(cells as u64 * 4),
-            Val::Int(nrows),
-            Val::Int(ncols),
-        ],
+        args: vec![Val::Int(0), Val::Int(cells as u64 * 4), Val::Int(nrows), Val::Int(ncols)],
         mem,
         output: (cells as u64 * 4, cells * 4),
         worker_task: "stencil::task1".to_string(),

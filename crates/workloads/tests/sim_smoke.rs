@@ -16,9 +16,8 @@ fn all_workloads_match_golden_on_accelerator() {
         let mut acc = Accelerator::elaborate(&wl.module, &cfg)
             .unwrap_or_else(|e| panic!("{}: elaborate failed: {e}", wl.name));
         acc.mem_mut().write_bytes(0, &wl.mem);
-        let out = acc
-            .run(wl.func, &wl.args)
-            .unwrap_or_else(|e| panic!("{}: sim failed: {e}", wl.name));
+        let out =
+            acc.run(wl.func, &wl.args).unwrap_or_else(|e| panic!("{}: sim failed: {e}", wl.name));
         let gold = wl.golden_memory();
         assert_eq!(
             acc.mem().read_bytes(wl.output.0, wl.output.1),

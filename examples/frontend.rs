@@ -39,7 +39,10 @@ fn main() {
     println!("{}", tapas::ir::printer::print_module(&module));
 
     let design = Toolchain::new().compile(&module).expect("toolchain compiles");
-    println!("task units: {:?}\n", design.task_report().iter().map(|r| &r.task).collect::<Vec<_>>());
+    println!(
+        "task units: {:?}\n",
+        design.task_report().iter().map(|r| &r.task).collect::<Vec<_>>()
+    );
 
     let n = 64u64;
     let cfg = AcceleratorConfig::default().with_default_tiles(2);
@@ -48,9 +51,8 @@ fn main() {
         acc.mem_mut().write_bytes(k * 4, &((k * k % 97) as i32).to_le_bytes());
     }
     let func = module.function_by_name("main_kernel").expect("entry exists");
-    let out = acc
-        .run(func, &[Val::Int(0), Val::Int(n * 4), Val::Int(n), Val::Int(2)])
-        .expect("runs");
+    let out =
+        acc.run(func, &[Val::Int(0), Val::Int(n * 4), Val::Int(n), Val::Int(2)]).expect("runs");
     println!("ran 2 smoothing rounds over {n} elements in {} cycles", out.cycles);
     println!("spawned {} tasks through {} calls", out.stats.spawns, out.stats.calls);
 

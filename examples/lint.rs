@@ -1,0 +1,36 @@
+//! Run the static parallelism lints over the paper workloads and over
+//! deliberately racy variants, cross-checking each verdict against the
+//! interpreter's dynamic SP-bags race oracle.
+//!
+//! ```text
+//! cargo run --example lint
+//! ```
+
+use tapas_ir::interp::{run, InterpConfig};
+use tapas_lint::{lint_module, LintConfig};
+use tapas_workloads::BuiltWorkload;
+
+fn oracle_races(wl: &BuiltWorkload) -> usize {
+    let mut mem = wl.mem.clone();
+    let cfg = InterpConfig { detect_races: true, ..InterpConfig::default() };
+    run(&wl.module, wl.func, &wl.args, &mut mem, &cfg).map(|o| o.races.len()).unwrap_or(0)
+}
+
+fn main() {
+    let mut programs = tapas_workloads::suite_small();
+    programs.extend(tapas_workloads::racy::racy_suite());
+    for wl in programs {
+        let report = lint_module(&wl.module, &LintConfig::default()).expect("well-formed module");
+        println!("== {} ==", wl.name);
+        println!("{report}");
+        println!("dynamic oracle: {} race(s) observed\n", oracle_races(&wl));
+    }
+
+    // Strict mode surfaces what the default policy assumes away: pairs the
+    // analysis cannot resolve, such as parallel recursive calls.
+    let fib = tapas_workloads::fib::build(10);
+    let strict = LintConfig { strict: true, ..LintConfig::default() };
+    let report = lint_module(&fib.module, &strict).expect("well-formed module");
+    println!("== {} (strict mode) ==", fib.name);
+    println!("{report}");
+}

@@ -4,7 +4,6 @@
 //!
 //! Run with `cargo run --example nested_loops`.
 
-use tapas::ir::interp::Val;
 use tapas::{AcceleratorConfig, Toolchain};
 use tapas_workloads::matrix_add;
 
@@ -21,11 +20,9 @@ fn main() {
     println!("\n tiles |    cycles | speedup | tile busy%");
     let mut base = None;
     for tiles in [1usize, 2, 4, 8] {
-        let cfg = AcceleratorConfig {
-            mem_bytes: wl.mem.len().max(4096),
-            ..AcceleratorConfig::default()
-        }
-        .with_tiles(&wl.worker_task, tiles);
+        let cfg =
+            AcceleratorConfig { mem_bytes: wl.mem.len().max(4096), ..AcceleratorConfig::default() }
+                .with_tiles(&wl.worker_task, tiles);
         let mut acc = design.instantiate(&cfg).expect("elaborates");
         acc.mem_mut().write_bytes(0, &wl.mem);
         let out = acc.run(wl.func, &wl.args).expect("runs");
@@ -36,14 +33,10 @@ fn main() {
             "results must be tile-count invariant"
         );
         let base_cycles = *base.get_or_insert(out.cycles);
-        let worker = out
-            .stats
-            .units
-            .iter()
-            .find(|u| u.name == wl.worker_task)
-            .expect("worker unit");
-        let busy = 100.0 * worker.busy_tile_cycles as f64
-            / (out.cycles as f64 * worker.tiles as f64);
+        let worker =
+            out.stats.units.iter().find(|u| u.name == wl.worker_task).expect("worker unit");
+        let busy =
+            100.0 * worker.busy_tile_cycles as f64 / (out.cycles as f64 * worker.tiles as f64);
         println!(
             " {tiles:>5} | {:>9} | {:>6.2}x | {busy:>8.1}%",
             out.cycles,

@@ -24,11 +24,9 @@ fn main() {
         );
     }
 
-    let cfg = AcceleratorConfig {
-        mem_bytes: wl.mem.len().max(4096),
-        ..AcceleratorConfig::default()
-    }
-    .with_default_tiles(2);
+    let cfg =
+        AcceleratorConfig { mem_bytes: wl.mem.len().max(4096), ..AcceleratorConfig::default() }
+            .with_default_tiles(2);
     let mut acc = design.instantiate(&cfg).expect("elaborates");
     acc.mem_mut().write_bytes(0, &wl.mem);
     let out = acc.run(wl.func, &wl.args).expect("runs");
@@ -52,9 +50,6 @@ fn main() {
         out.stats.spawns,
         nchunks - u64::from(dups)
     );
-    assert_eq!(
-        out.stats.spawns, expected_spawns,
-        "duplicates must bypass the compress stage"
-    );
+    assert_eq!(out.stats.spawns, expected_spawns, "duplicates must bypass the compress stage");
     println!("cycles: {}, output matches golden model ✓", out.cycles);
 }

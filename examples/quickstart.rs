@@ -10,11 +10,7 @@ use tapas::{AcceleratorConfig, Toolchain};
 
 fn main() {
     // --- 1. a parallel program: a[i] = a[i] * 3 + 1 over a cilk_for -----
-    let mut b = FunctionBuilder::new(
-        "affine",
-        vec![Type::ptr(Type::I32), Type::I64],
-        Type::Void,
-    );
+    let mut b = FunctionBuilder::new("affine", vec![Type::ptr(Type::I32), Type::I64], Type::Void);
     let (a, n) = (b.param(0), b.param(1));
 
     // cilk_for i in 0..n { spawned task per iteration }
@@ -71,18 +67,14 @@ fn main() {
     let cfg = AcceleratorConfig::default().with_tiles("affine::task1", 4);
     let mut acc = design.instantiate(&cfg).expect("elaborates");
     for k in 0..N {
-        acc.mem_mut()
-            .write_bytes(k * 4, &(k as i32).to_le_bytes());
+        acc.mem_mut().write_bytes(k * 4, &(k as i32).to_le_bytes());
     }
     let out = acc.run(func, &[Val::Int(0), Val::Int(N)]).expect("runs");
     println!(
         "\naccelerator: {} cycles, {} spawns, min spawn latency {} cycles",
         out.cycles, out.stats.spawns, out.stats.min_spawn_latency
     );
-    println!(
-        "cache: {} hits / {} misses",
-        out.stats.cache.hits, out.stats.cache.misses
-    );
+    println!("cache: {} hits / {} misses", out.stats.cache.hits, out.stats.cache.misses);
 
     // --- 4. validate against the reference interpreter ------------------
     let mut golden = vec![0u8; (N * 4) as usize];

@@ -50,17 +50,13 @@ fn main() {
         }
         println!("{:<22} |{}|", name, String::from_utf8(row).unwrap());
     }
-    println!(
-        "\nlegend: '.' spawn queued   '#' executing   's' sync-parked   'c' call-parked"
-    );
+    println!("\nlegend: '.' spawn queued   '#' executing   's' sync-parked   'c' call-parked");
     println!("(1 column ≈ {scale} cycles)");
 
     // The stage structure is visible: the ordered probe loop (root) runs the
     // whole time, the fingerprint stage fills the front, compress/write
     // stages trail it.
-    let spawned: Vec<&SimEvent> = events
-        .iter()
-        .filter(|e| matches!(e.kind, SimEventKind::Spawned))
-        .collect();
+    let spawned: Vec<&SimEvent> =
+        events.iter().filter(|e| matches!(e.kind, SimEventKind::Spawned)).collect();
     assert_eq!(spawned.len() as u64, out.stats.spawns + 1);
 }

@@ -31,11 +31,7 @@ fn run_source(
     let out = acc.run(f, args).expect("simulate");
 
     assert_eq!(out.ret, gold.ret, "return value mismatch");
-    assert_eq!(
-        acc.mem().read_bytes(0, mem_init.len()),
-        &gold_mem[..],
-        "memory mismatch"
-    );
+    assert_eq!(acc.mem().read_bytes(0, mem_init.len()), &gold_mem[..], "memory mismatch");
     (out.ret, gold_mem, out.stats)
 }
 
@@ -52,18 +48,10 @@ fn parallel_vector_scale_from_source() {
     for v in 0..32i32 {
         mem.extend_from_slice(&v.to_le_bytes());
     }
-    let (_, gold, stats) = run_source(
-        src,
-        "scale",
-        &[Val::Int(0), Val::Int(32), Val::Int(3)],
-        &mem,
-    );
+    let (_, gold, stats) =
+        run_source(src, "scale", &[Val::Int(0), Val::Int(32), Val::Int(3)], &mem);
     assert_eq!(stats.spawns, 32);
-    assert_eq!(
-        i32::from_le_bytes(gold[4..8].try_into().unwrap()),
-        3,
-        "a[1] = 1 * 3"
-    );
+    assert_eq!(i32::from_le_bytes(gold[4..8].try_into().unwrap()), 3, "a[1] = 1 * 3");
 }
 
 #[test]
@@ -98,13 +86,7 @@ fn recursive_tree_sum_from_source() {
     let (ret, _, stats) = run_source(
         src,
         "tree_sum",
-        &[
-            Val::Int(0),
-            Val::Int(n as u64 * 8),
-            Val::Int(0),
-            Val::Int(n as u64),
-            Val::Int(0),
-        ],
+        &[Val::Int(0), Val::Int(n as u64 * 8), Val::Int(0), Val::Int(n as u64), Val::Int(0)],
         &mem,
     );
     assert_eq!(ret, Some(Val::Int((n as u64 * (n as u64 - 1)) / 2)));
@@ -139,9 +121,7 @@ fn conditional_parallel_work_from_source() {
         &mem,
     );
     // even indices squared, odd untouched
-    let d = |i: usize| {
-        i32::from_le_bytes(gold[(n + i) * 4..(n + i) * 4 + 4].try_into().unwrap())
-    };
+    let d = |i: usize| i32::from_le_bytes(gold[(n + i) * 4..(n + i) * 4 + 4].try_into().unwrap());
     assert_eq!(d(0), 1);
     assert_eq!(d(1), 2);
     assert_eq!(d(2), 9);
@@ -161,12 +141,8 @@ fn float_pipeline_from_source() {
     for i in 0..16 {
         mem.extend_from_slice(&(i as f64 * 4.0).to_le_bytes());
     }
-    let (_, gold, _) = run_source(
-        src,
-        "normalize",
-        &[Val::Int(0), Val::Int(16), Val::F64(2.0)],
-        &mem,
-    );
+    let (_, gold, _) =
+        run_source(src, "normalize", &[Val::Int(0), Val::Int(16), Val::F64(2.0)], &mem);
     let v3 = f64::from_le_bytes(gold[24..32].try_into().unwrap());
     assert_eq!(v3, 6.0);
 }

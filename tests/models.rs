@@ -59,20 +59,13 @@ fn power_grows_with_logic_and_clock() {
 fn multicore_speedup_bounded_by_cores_and_span() {
     let wl = fib::build(14);
     let mut mem = wl.mem.clone();
-    let out = interp::run(
-        &wl.module,
-        wl.func,
-        &wl.args,
-        &mut mem,
-        &interp::InterpConfig::default(),
-    )
-    .unwrap();
+    let out =
+        interp::run(&wl.module, wl.func, &wl.args, &mut mem, &interp::InterpConfig::default())
+            .unwrap();
     let t1 = baseline::run_multicore(&out.trace, &CoreConfig { cores: 1, ..CoreConfig::default() });
     for cores in [2usize, 4, 8] {
-        let tp = baseline::run_multicore(
-            &out.trace,
-            &CoreConfig { cores, ..CoreConfig::default() },
-        );
+        let tp =
+            baseline::run_multicore(&out.trace, &CoreConfig { cores, ..CoreConfig::default() });
         let speedup = t1.cycles as f64 / tp.cycles as f64;
         assert!(speedup <= cores as f64 + 1e-9, "{cores} cores: {speedup}");
         // Fine-grain tasks can regress slightly with more cores (eager
@@ -86,14 +79,9 @@ fn multicore_speedup_bounded_by_cores_and_span() {
 fn coarsening_never_increases_total_work() {
     let wl = saxpy::build(512);
     let mut mem = wl.mem.clone();
-    let out = interp::run(
-        &wl.module,
-        wl.func,
-        &wl.args,
-        &mut mem,
-        &interp::InterpConfig::default(),
-    )
-    .unwrap();
+    let out =
+        interp::run(&wl.module, wl.func, &wl.args, &mut mem, &interp::InterpConfig::default())
+            .unwrap();
     for g in [1usize, 4, 16, 64] {
         let t = baseline::coarsen_loops(&out.trace, g);
         assert_eq!(
@@ -129,11 +117,8 @@ fn spawn_latency_claim_holds_across_configs() {
     for tiles in [1usize, 2, 4] {
         let wl = scale_micro::build(128, 1);
         let design = Toolchain::new().compile(&wl.module).unwrap();
-        let cfg = AcceleratorConfig {
-            mem_bytes: 4096,
-            ..AcceleratorConfig::default()
-        }
-        .with_default_tiles(tiles);
+        let cfg = AcceleratorConfig { mem_bytes: 4096, ..AcceleratorConfig::default() }
+            .with_default_tiles(tiles);
         let mut acc = design.instantiate(&cfg).unwrap();
         acc.mem_mut().write_bytes(0, &wl.mem);
         let out = acc.run(wl.func, &wl.args).unwrap();
