@@ -5,23 +5,48 @@
 //! ```
 //!
 //! where `experiment` is one of `table2`, `spawn`, `fig13`, `table3`,
-//! `fig14`, `fig15`, `fig16`, `table4`, `fig17`, `table5`, `lint`, or
-//! `all` (default). Pass `--json <path>` to also dump the raw rows.
+//! `fig14`, `fig15`, `fig16`, `table4`, `fig17`, `table5`, `lint`,
+//! `profile`, or `all` (default). Pass `--json <path>` to also dump the
+//! raw rows (for `all` and `profile`; the dump carries a
+//! `schema_version` field). `check-json <path>` validates a previously
+//! written dump: well-formed JSON with the current schema version.
 
 use tapas_bench::experiments as exp;
-use tapas_bench::json::ToJson;
+use tapas_bench::json::{self, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut which = "all".to_string();
+    let mut positional: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--json" {
             json_path = it.next();
         } else {
-            which = a;
+            positional.push(a);
         }
+    }
+    let which = positional.first().map(String::as_str).unwrap_or("all").to_string();
+
+    match which.as_str() {
+        "profile" => {
+            let results = exp::profile_results();
+            print_profile(&results.rows);
+            if let Some(p) = &json_path {
+                std::fs::write(p, results.to_json()).expect("write json");
+                println!("\nraw rows written to {p}");
+            }
+            return;
+        }
+        "check-json" => {
+            let path = positional.get(1).unwrap_or_else(|| {
+                eprintln!("usage: reproduce check-json <path>");
+                std::process::exit(2);
+            });
+            check_json(path);
+            return;
+        }
+        _ => {}
     }
 
     match which.as_str() {
@@ -54,6 +79,7 @@ fn main() {
             print_grain(&all.grain_ablation);
             print_mem(&all.mem_ablation);
             print_elision(&all.elision_ablation);
+            print_profile(&all.profile);
             print_lint();
             if let Some(p) = &json_path {
                 std::fs::write(p, all.to_json()).expect("write json");
@@ -67,12 +93,63 @@ fn main() {
         }
     }
     if json_path.is_some() {
-        eprintln!("--json is only supported with `all`");
+        eprintln!("--json is only supported with `all` and `profile`");
     }
 }
 
 fn hdr(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// Validate a `reproduce --json` dump: parses as JSON and carries the
+/// current schema version.
+fn check_json(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("check-json: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("check-json: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let version = doc.get("schema_version").and_then(json::JsonValue::as_f64);
+    match version {
+        Some(v) if v == exp::JSON_SCHEMA_VERSION as f64 => {
+            println!("{path}: valid, schema version {}", exp::JSON_SCHEMA_VERSION);
+        }
+        Some(v) => {
+            eprintln!(
+                "check-json: {path} has schema version {v}, expected {}",
+                exp::JSON_SCHEMA_VERSION
+            );
+            std::process::exit(1);
+        }
+        None => {
+            eprintln!("check-json: {path} lacks a numeric top-level `schema_version`");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn print_profile(rows: &[exp::ProfileRow]) {
+    hdr("Cycle attribution: what bounds each benchmark");
+    println!(
+        "{:<12} {:>5} {:>9} {:<14} {:>8} {:>7} {:>7} {:<18}",
+        "bench", "tiles", "cycles", "verdict", "compute", "mem", "spawn", "dominant stall"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>5} {:>9} {:<14} {:>7.0}% {:>6.0}% {:>6.0}% {:<18}",
+            r.name,
+            r.tiles,
+            r.cycles,
+            r.class,
+            r.compute_frac * 100.0,
+            r.memory_frac * 100.0,
+            r.spawn_frac * 100.0,
+            r.dominant
+        );
+    }
 }
 
 fn print_lint() {

@@ -4,8 +4,13 @@ use crate::json::json_object;
 use crate::{design_info, estimate, i7_seconds, ntasks_for, seconds_on_board, simulate};
 use tapas::baseline::{estimate_static_hls, StaticHlsConfig};
 use tapas::res::{self, Board};
-use tapas::Toolchain;
-use tapas_workloads::{image_scale, saxpy, scale_micro, suite_eval, BuiltWorkload};
+use tapas::{ProfileLevel, Toolchain};
+use tapas_workloads::{image_scale, saxpy, scale_micro, suite_eval, suite_small, BuiltWorkload};
+
+/// Version stamped into every JSON document `reproduce --json` writes.
+/// Bump whenever a row struct gains, loses or renames a field so that
+/// downstream plotting scripts can detect stale dumps.
+pub const JSON_SCHEMA_VERSION: u64 = 2;
 
 /// Table II: per-task static properties of every benchmark.
 #[derive(Debug, Clone)]
@@ -70,7 +75,7 @@ pub fn spawn_latency() -> SpawnLatencyResult {
     let est = estimate(&wl, 5, Board::Arria10);
     let secs = out.cycles as f64 / (est.fmax_mhz * 1e6);
     SpawnLatencyResult {
-        min_latency_cycles: out.stats.min_spawn_latency,
+        min_latency_cycles: out.stats.min_spawn_latency.unwrap_or(0),
         spawns_per_sec: out.stats.spawns as f64 / secs,
         clock_mhz: est.fmax_mhz,
     }
@@ -596,9 +601,93 @@ pub fn elision_ablation() -> Vec<ElisionAblationRow> {
     rows
 }
 
+/// Cycle-attribution verdict for one benchmark (the `reproduce profile`
+/// experiment built on the simulator's stall profiler).
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    /// Benchmark.
+    pub name: String,
+    /// Worker tiles (the paper's Table IV per-benchmark choices).
+    pub tiles: usize,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Verdict label: `"compute-bound"`, `"memory-bound"` or
+    /// `"spawn-bound"`.
+    pub class: String,
+    /// Fraction of tile-cycles doing or waiting on compute.
+    pub compute_frac: f64,
+    /// Fraction of tile-cycles waiting on the memory system.
+    pub memory_frac: f64,
+    /// Fraction of tile-cycles idle on task-parallel machinery.
+    pub spawn_frac: f64,
+    /// The single largest stall reason.
+    pub dominant: String,
+    /// Raw spawn-backpressure tile-cycles (redistributed before
+    /// classification).
+    pub backpressure_cycles: u64,
+}
+
+/// Profile every benchmark with full cycle attribution and classify what
+/// bounds it. Panics if any run violates the attribution invariant —
+/// the experiment doubles as an end-to-end check of the profiler's books.
+pub fn profile_report() -> Vec<ProfileRow> {
+    suite_small()
+        .into_iter()
+        .map(|wl| {
+            let tiles = table4_tiles(&wl.name);
+            // Tile like the paper's designs: recursive benchmarks spread
+            // tiles everywhere (the recursion is the worker), loop
+            // benchmarks concentrate them on the body task so idle control
+            // units don't drown the attribution.
+            let cfg = if crate::is_recursive(&wl) {
+                crate::accel_config(&wl, tiles, ntasks_for(&wl))
+            } else {
+                tapas::AcceleratorConfig {
+                    ntasks: ntasks_for(&wl),
+                    mem_bytes: wl.mem.len().next_power_of_two().max(1 << 20),
+                    ..tapas::AcceleratorConfig::default()
+                }
+                .with_tiles(&wl.worker_task, tiles)
+            };
+            let cfg = tapas::AcceleratorConfig { profile: ProfileLevel::Full, ..cfg };
+            let out = crate::simulate_configured(&wl, &cfg).0;
+            let p = out.profile.expect("profiling was enabled");
+            p.check_invariant().unwrap_or_else(|e| panic!("{}: {e}", wl.name));
+            let r = p.bottleneck();
+            ProfileRow {
+                tiles,
+                cycles: out.cycles,
+                class: r.class.label().to_string(),
+                compute_frac: r.compute_frac,
+                memory_frac: r.memory_frac,
+                spawn_frac: r.spawn_frac,
+                dominant: r.dominant.label().to_string(),
+                backpressure_cycles: r.backpressure_cycles,
+                name: wl.name,
+            }
+        })
+        .collect()
+}
+
+/// The `reproduce profile --json` document: versioned profile rows.
+#[derive(Debug, Clone)]
+pub struct ProfileResults {
+    /// [`JSON_SCHEMA_VERSION`] at the time of the run.
+    pub schema_version: u64,
+    /// One verdict per benchmark.
+    pub rows: Vec<ProfileRow>,
+}
+
+/// Run the profile experiment and wrap it for serialization.
+pub fn profile_results() -> ProfileResults {
+    ProfileResults { schema_version: JSON_SCHEMA_VERSION, rows: profile_report() }
+}
+
 /// Everything, serialized as one JSON document.
 #[derive(Debug, Clone)]
 pub struct AllResults {
+    /// [`JSON_SCHEMA_VERSION`] at the time of the run.
+    pub schema_version: u64,
     /// Table II rows.
     pub table2: Vec<Table2Row>,
     /// Spawn latency / rate.
@@ -625,11 +714,14 @@ pub struct AllResults {
     pub mem_ablation: Vec<MemAblationRow>,
     /// Task-elision ablation rows.
     pub elision_ablation: Vec<ElisionAblationRow>,
+    /// Cycle-attribution verdicts.
+    pub profile: Vec<ProfileRow>,
 }
 
 /// Run every experiment.
 pub fn all() -> AllResults {
     AllResults {
+        schema_version: JSON_SCHEMA_VERSION,
         table2: table2(),
         spawn: spawn_latency(),
         fig13: fig13(),
@@ -643,6 +735,7 @@ pub fn all() -> AllResults {
         grain_ablation: grain_ablation(),
         mem_ablation: mem_ablation(),
         elision_ablation: elision_ablation(),
+        profile: profile_report(),
     }
 }
 
@@ -716,7 +809,20 @@ json_object!(Table5Row { name, tool, mhz, alms, regs, brams, runtime_ms });
 json_object!(GrainAblationRow { name, fine_ms, coarse_ms, coarsening_speedup });
 json_object!(MemAblationRow { mshrs, issue_width, l2, cycles, speedup });
 json_object!(ElisionAblationRow { variant, cycles, alms, task_units });
+json_object!(ProfileRow {
+    name,
+    tiles,
+    cycles,
+    class,
+    compute_frac,
+    memory_frac,
+    spawn_frac,
+    dominant,
+    backpressure_cycles
+});
+json_object!(ProfileResults { schema_version, rows });
 json_object!(AllResults {
+    schema_version,
     table2,
     spawn,
     fig13,
@@ -729,5 +835,6 @@ json_object!(AllResults {
     table5,
     grain_ablation,
     mem_ablation,
-    elision_ablation
+    elision_ablation,
+    profile
 });

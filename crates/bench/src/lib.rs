@@ -16,16 +16,25 @@ pub mod experiments;
 pub mod json;
 
 use tapas::ir::interp::{self, Val};
-use tapas::{AcceleratorConfig, SimOutcome, Toolchain};
+use tapas::{Accelerator, AcceleratorConfig, ProfileLevel, SimOutcome, Toolchain};
 use tapas_res::{Board, DesignInfo};
 use tapas_workloads::BuiltWorkload;
 
 /// Simulate `wl` with `tiles` tiles on its worker task; panics on failure
 /// (experiments are expected to run green).
 pub fn simulate(wl: &BuiltWorkload, tiles: usize, ntasks: usize) -> SimOutcome {
-    let cfg = accel_config(wl, tiles, ntasks);
+    simulate_configured(wl, &accel_config(wl, tiles, ntasks)).0
+}
+
+/// Simulate `wl` under an explicit configuration, revalidating functional
+/// correctness against the golden model; returns the outcome and the
+/// post-run accelerator (for event traces / memory inspection).
+pub fn simulate_configured(
+    wl: &BuiltWorkload,
+    cfg: &AcceleratorConfig,
+) -> (SimOutcome, Accelerator) {
     let design = Toolchain::new().compile(&wl.module).expect("compiles");
-    let mut acc = design.instantiate(&cfg).expect("elaborates");
+    let mut acc = design.instantiate(cfg).expect("elaborates");
     acc.mem_mut().write_bytes(0, &wl.mem);
     let out = acc.run(wl.func, &wl.args).expect("runs");
     // Every experiment run revalidates functional correctness.
@@ -36,7 +45,27 @@ pub fn simulate(wl: &BuiltWorkload, tiles: usize, ntasks: usize) -> SimOutcome {
         "{}: accelerator diverged from golden model",
         wl.name
     );
-    out
+    (out, acc)
+}
+
+/// Simulate `wl` with cycle attribution enabled at `level`.
+pub fn simulate_profiled(
+    wl: &BuiltWorkload,
+    tiles: usize,
+    ntasks: usize,
+    level: ProfileLevel,
+) -> SimOutcome {
+    let cfg = AcceleratorConfig { profile: level, ..accel_config(wl, tiles, ntasks) };
+    simulate_configured(wl, &cfg).0
+}
+
+/// Simulate `wl` with event recording on and return the Chrome
+/// trace-event JSON alongside the outcome.
+pub fn simulate_traced(wl: &BuiltWorkload, tiles: usize, ntasks: usize) -> (SimOutcome, String) {
+    let cfg = AcceleratorConfig { record_events: true, ..accel_config(wl, tiles, ntasks) };
+    let (out, acc) = simulate_configured(wl, &cfg);
+    let trace = acc.chrome_trace();
+    (out, trace)
 }
 
 /// The accelerator configuration used for `wl` at a given tile count.

@@ -51,8 +51,17 @@
 mod rtl;
 mod verilog;
 
-pub use rtl::emit_chisel;
-pub use verilog::emit_verilog;
+/// Emit parameterized Chisel-style RTL for a compiled design.
+#[deprecated(since = "0.2.0", note = "use `CompiledDesign::emit_chisel` instead")]
+pub fn emit_chisel(design: &CompiledDesign, cfg: &AcceleratorConfig) -> String {
+    rtl::emit_chisel(design, cfg)
+}
+
+/// Emit structural Verilog for a compiled design.
+#[deprecated(since = "0.2.0", note = "use `CompiledDesign::emit_verilog` instead")]
+pub fn emit_verilog(design: &CompiledDesign, cfg: &AcceleratorConfig) -> String {
+    verilog::emit_verilog(design, cfg)
+}
 
 /// Re-export of the baseline models crate.
 pub use tapas_baseline as baseline;
@@ -71,7 +80,11 @@ pub use tapas_sim as sim;
 /// Re-export of the task-extraction crate.
 pub use tapas_task as task;
 
-pub use tapas_sim::{Accelerator, AcceleratorConfig, SimError, SimOutcome, SimStats};
+pub use tapas_sim::{
+    Accelerator, AcceleratorConfig, AcceleratorConfigBuilder, BottleneckReport, BoundClass,
+    ConfigError, Profile, ProfileLevel, SimError, SimEvent, SimEventKind, SimOutcome, SimStats,
+    StallReason,
+};
 
 use tapas_dfg::{lower_tasks, LatencyModel, TaskDfg};
 use tapas_ir::Module;
@@ -97,6 +110,59 @@ impl std::fmt::Display for ToolchainError {
 }
 
 impl std::error::Error for ToolchainError {}
+
+/// Any failure the `tapas` façade can produce, so callers can `?` through
+/// the whole compile → configure → simulate pipeline with one error type.
+///
+/// Each variant wraps the subsystem's typed error and surfaces it through
+/// [`std::error::Error::source`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Stage 1/2 failed (task extraction or dataflow lowering).
+    Toolchain(ToolchainError),
+    /// The accelerator configuration was rejected.
+    Config(ConfigError),
+    /// The simulation failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Toolchain(_) => write!(f, "compilation failed"),
+            Error::Config(_) => write!(f, "invalid accelerator configuration"),
+            Error::Sim(_) => write!(f, "simulation failed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Toolchain(e) => Some(e),
+            Error::Config(e) => Some(e),
+            Error::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<ToolchainError> for Error {
+    fn from(e: ToolchainError) -> Self {
+        Error::Toolchain(e)
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
 
 /// The TAPAS HLS driver.
 #[derive(Debug, Clone, Default)]
@@ -163,13 +229,13 @@ impl CompiledDesign {
 
     /// Stage 3 (RTL backend): emit parameterized Chisel-style RTL.
     pub fn emit_chisel(&self, cfg: &AcceleratorConfig) -> String {
-        emit_chisel(self, cfg)
+        rtl::emit_chisel(self, cfg)
     }
 
     /// Stage 3 (RTL backend): emit structural Verilog (the post-Chisel
     /// artifact of the paper's flow).
     pub fn emit_verilog(&self, cfg: &AcceleratorConfig) -> String {
-        emit_verilog(self, cfg)
+        verilog::emit_verilog(self, cfg)
     }
 
     /// Stage 3 (resource backend): design description for `tapas-res`.
@@ -249,5 +315,48 @@ mod tests {
         let design = Toolchain::new().compile(&wl.module).unwrap();
         let info = design.design_info(&AcceleratorConfig::default());
         assert_eq!(info.units.len(), design.num_tasks());
+    }
+
+    #[test]
+    fn unified_error_wraps_and_chains() {
+        use std::error::Error as _;
+        // Toolchain failure converts and exposes its source.
+        use tapas_ir::{FunctionBuilder, Type};
+        let mut b = FunctionBuilder::new("bad", vec![], Type::I32);
+        b.ret(None);
+        let mut m = Module::new("m");
+        m.add_function(b.finish());
+        let run = |m: &Module| -> Result<(), Error> {
+            Toolchain::new().compile(m)?;
+            Ok(())
+        };
+        let err = run(&m).unwrap_err();
+        assert!(matches!(err, Error::Toolchain(_)));
+        let src = err.source().expect("source preserved");
+        assert!(src.to_string().contains("task"), "{src}");
+
+        // Config failure converts too.
+        let cfg_err: Error = AcceleratorConfig::builder().tiles(0).build().unwrap_err().into();
+        assert!(matches!(cfg_err, Error::Config(ConfigError::ZeroTiles { .. })));
+        assert!(cfg_err.source().is_some());
+
+        // Sim failure converts.
+        let sim_err: Error = SimError::DivByZero.into();
+        assert!(matches!(sim_err, Error::Sim(SimError::DivByZero)));
+        assert_eq!(sim_err.source().unwrap().to_string(), "division by zero");
+    }
+
+    #[test]
+    fn pipeline_runs_through_the_unified_error_type() {
+        let wl = tapas_workloads::matrix_add::build(4);
+        let run = || -> Result<u64, Error> {
+            let design = Toolchain::new().compile(&wl.module)?;
+            let cfg = AcceleratorConfig::builder().tiles(2).build()?;
+            let mut acc = design.instantiate(&cfg)?;
+            acc.mem_mut().write_bytes(0, &wl.mem);
+            let out = acc.run(wl.func, &wl.args)?;
+            Ok(out.cycles)
+        };
+        assert!(run().unwrap() > 0);
     }
 }

@@ -89,6 +89,22 @@ impl CacheStats {
     }
 }
 
+/// Classification of the most recent [`Cache::try_access`] call — the
+/// profiler's view of *why* an access took the time it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Hit in the cache (possibly waiting behind an in-flight fill).
+    Hit,
+    /// Merged into an MSHR whose fill is already outstanding.
+    MshrMerge,
+    /// Missed and allocated a new line fill.
+    Miss,
+    /// Refused: every MSHR is busy.
+    RejectMshrFull,
+    /// Refused: every way of the target set is mid-fill.
+    RejectSetBusy,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Line {
     tag: u64,
@@ -116,6 +132,7 @@ pub struct Cache {
     mshrs: Vec<Mshr>,
     stats: CacheStats,
     tick: u64, // LRU clock
+    last_outcome: Option<AccessOutcome>,
 }
 
 impl Cache {
@@ -135,6 +152,7 @@ impl Cache {
             cfg,
             stats: CacheStats::default(),
             tick: 0,
+            last_outcome: None,
         }
     }
 
@@ -146,6 +164,12 @@ impl Cache {
     /// Counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Classification of the most recent [`Cache::try_access`] call
+    /// (`None` before the first access).
+    pub fn last_outcome(&self) -> Option<AccessOutcome> {
+        self.last_outcome
     }
 
     fn set_of(&self, line_addr: u64) -> u64 {
@@ -192,6 +216,7 @@ impl Cache {
             // If the line is still being filled, the access waits for it.
             let base = line.fill_done.max(now);
             self.stats.hits += 1;
+            self.last_outcome = Some(AccessOutcome::Hit);
             return Some(base + hit_lat);
         }
 
@@ -207,12 +232,14 @@ impl Cache {
                     line.dirty = true;
                 }
             }
+            self.last_outcome = Some(AccessOutcome::MshrMerge);
             return Some(done + hit_lat);
         }
 
         // True miss: need a free MSHR.
         if self.mshrs.len() >= self.cfg.mshrs {
             self.stats.rejections += 1;
+            self.last_outcome = Some(AccessOutcome::RejectMshrFull);
             return None;
         }
 
@@ -232,6 +259,7 @@ impl Cache {
                     None => {
                         // Every way in the set is mid-fill; retry later.
                         self.stats.rejections += 1;
+                        self.last_outcome = Some(AccessOutcome::RejectSetBusy);
                         return None;
                     }
                 }
@@ -242,9 +270,17 @@ impl Cache {
         if victim_dirty {
             // The writeback occupies the next level's channel first; the
             // backend serializes the following fill behind it.
-            dram.writeback_line(victim_addr, now)?;
+            if dram.writeback_line(victim_addr, now).is_none() {
+                // Next level refused (only possible with an L2): report as
+                // MSHR-style pressure, without disturbing the seed counters.
+                self.last_outcome = Some(AccessOutcome::RejectMshrFull);
+                return None;
+            }
         }
-        let fill_done = dram.fetch_line(line_addr, now)?;
+        let Some(fill_done) = dram.fetch_line(line_addr, now) else {
+            self.last_outcome = Some(AccessOutcome::RejectMshrFull);
+            return None;
+        };
         self.ways_of(set)[victim] =
             Line { tag, valid: true, dirty: kind == MemOpKind::Write, lru: tick, fill_done };
         if victim_dirty {
@@ -252,6 +288,7 @@ impl Cache {
         }
         self.mshrs.push(Mshr { line_addr, done_at: fill_done });
         self.stats.misses += 1;
+        self.last_outcome = Some(AccessOutcome::Miss);
         Some(fill_done + hit_lat)
     }
 
@@ -350,6 +387,24 @@ mod tests {
         c.flush();
         let t2 = c.try_access(0, MemOpKind::Read, t, &mut d).unwrap();
         assert!(t2 - t >= 40, "post-flush access misses again");
+    }
+
+    #[test]
+    fn outcomes_track_access_classes() {
+        let cfg = CacheConfig { mshrs: 1, ..CacheConfig::default() };
+        let mut c = Cache::new(cfg);
+        let mut d = Dram::new(DramConfig::default());
+        assert_eq!(c.last_outcome(), None);
+        c.try_access(0, MemOpKind::Read, 0, &mut d).unwrap();
+        assert_eq!(c.last_outcome(), Some(AccessOutcome::Miss));
+        // Same line while the fill is in flight: the installed line is found
+        // by the hit path (the access waits on `fill_done`).
+        c.try_access(16, MemOpKind::Read, 1, &mut d).unwrap();
+        assert_eq!(c.last_outcome(), Some(AccessOutcome::Hit));
+        assert!(c.try_access(4096, MemOpKind::Read, 2, &mut d).is_none());
+        assert_eq!(c.last_outcome(), Some(AccessOutcome::RejectMshrFull));
+        c.try_access(0, MemOpKind::Read, 1000, &mut d).unwrap();
+        assert_eq!(c.last_outcome(), Some(AccessOutcome::Hit));
     }
 
     #[test]

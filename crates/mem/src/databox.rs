@@ -8,7 +8,8 @@
 //! each direction. Staging-buffer byte selection/alignment is folded into
 //! the port logic (accesses are naturally aligned in our IR).
 
-use crate::{MemReq, MemResp, MemSystem};
+use crate::cache::AccessOutcome;
+use crate::{MemReq, MemResp, MemSystem, ReqId};
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Data box parameters.
@@ -39,6 +40,33 @@ pub struct DataBoxStats {
     pub cache_stalls: u64,
     /// Enqueue attempts refused because the port queue was full.
     pub backpressure: u64,
+}
+
+/// How a granted (or refused) request fared at the cache — recorded in the
+/// data box's grant log when profiling is enabled, so the simulator can
+/// attribute the cycles a dataflow node subsequently spends waiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantClass {
+    /// Hit (or wait bounded by the hit pipeline).
+    Hit,
+    /// Missed: the wait is a DRAM line fill (or a merge into one).
+    Miss,
+    /// Missed *and* queued behind a busy DRAM channel.
+    MissDramQueued,
+    /// The cache refused the grant this cycle (MSHR/set pressure); the
+    /// request stays queued in its port.
+    Rejected,
+}
+
+/// One grant-log record: the request, how it classified, and its address.
+#[derive(Debug, Clone, Copy)]
+pub struct GrantEvent {
+    /// The request's correlation id.
+    pub id: ReqId,
+    /// Outcome at the cache.
+    pub class: GrantClass,
+    /// Byte address of the access.
+    pub addr: u64,
 }
 
 #[derive(Debug)]
@@ -73,6 +101,8 @@ pub struct DataBox {
     rr_next: usize,
     delayed: BinaryHeap<Delayed>,
     stats: DataBoxStats,
+    log_grants: bool,
+    grant_log: Vec<GrantEvent>,
 }
 
 impl DataBox {
@@ -86,7 +116,23 @@ impl DataBox {
             rr_next: 0,
             delayed: BinaryHeap::new(),
             stats: DataBoxStats::default(),
+            log_grants: false,
+            grant_log: Vec::new(),
         }
+    }
+
+    /// Enable or disable the grant log (off by default — the log grows by
+    /// one record per grant attempt while enabled).
+    pub fn set_grant_log(&mut self, on: bool) {
+        self.log_grants = on;
+        if !on {
+            self.grant_log.clear();
+        }
+    }
+
+    /// Drain the grant log accumulated since the last call.
+    pub fn take_grant_log(&mut self) -> Vec<GrantEvent> {
+        std::mem::take(&mut self.grant_log)
     }
 
     /// The configuration.
@@ -134,15 +180,42 @@ impl DataBox {
             let q = &mut self.queues[idx];
             if let Some(&(req, eligible)) = q.front() {
                 if eligible <= now {
+                    let dram_ops_before = ms.dram.reads + ms.dram.writes;
                     match ms.issue(req, now) {
                         Some(_) => {
                             q.pop_front();
                             granted += 1;
                             self.stats.issued += 1;
+                            if self.log_grants {
+                                let dram_touched = ms.dram.reads + ms.dram.writes > dram_ops_before;
+                                let class = match ms.cache.last_outcome() {
+                                    Some(AccessOutcome::Miss | AccessOutcome::MshrMerge)
+                                        if dram_touched && ms.dram.last_queue_delay() > 0 =>
+                                    {
+                                        GrantClass::MissDramQueued
+                                    }
+                                    Some(AccessOutcome::Miss | AccessOutcome::MshrMerge) => {
+                                        GrantClass::Miss
+                                    }
+                                    _ => GrantClass::Hit,
+                                };
+                                self.grant_log.push(GrantEvent {
+                                    id: req.id,
+                                    class,
+                                    addr: req.addr,
+                                });
+                            }
                         }
                         None => {
                             // Cache refused (MSHRs full); leave queued.
                             self.stats.cache_stalls += 1;
+                            if self.log_grants {
+                                self.grant_log.push(GrantEvent {
+                                    id: req.id,
+                                    class: GrantClass::Rejected,
+                                    addr: req.addr,
+                                });
+                            }
                         }
                     }
                 }
@@ -271,6 +344,40 @@ mod tests {
         }
         assert_eq!(grant_cycles.len(), 8);
         assert!(grant_cycles.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn grant_log_classifies_miss_then_hit() {
+        let (mut db, mut ms) = mk(2);
+        db.set_grant_log(true);
+        assert!(db.enqueue(req(1, 0, 8), 0));
+        let _ = run_until_n_responses(&mut db, &mut ms, 1, 200);
+        assert!(db.enqueue(req(2, 0, 12), 500));
+        let _ = run_until_n_responses(&mut db, &mut ms, 1, 200 + 700);
+        let log = db.take_grant_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].class, GrantClass::Miss);
+        assert_eq!(log[0].addr, 8);
+        assert_eq!(log[1].class, GrantClass::Hit);
+        assert!(db.take_grant_log().is_empty(), "log drained");
+    }
+
+    #[test]
+    fn grant_log_records_rejections() {
+        let db_cfg = DataBoxConfig { ports: 2, issue_width: 2, queue_depth: 4 };
+        let mut db = DataBox::new(db_cfg);
+        let cache = CacheConfig { mshrs: 1, ..CacheConfig::default() };
+        let mut ms = MemSystem::new(65536, cache, DramConfig::default());
+        db.set_grant_log(true);
+        // Two different lines: the second grant finds the only MSHR busy.
+        assert!(db.enqueue(req(1, 0, 0), 0));
+        assert!(db.enqueue(req(2, 1, 4096), 0));
+        for now in 0..20 {
+            db.tick(now, &mut ms);
+            db.pop_responses(now);
+        }
+        let log = db.take_grant_log();
+        assert!(log.iter().any(|g| g.class == GrantClass::Rejected), "MSHR pressure logged");
     }
 
     #[test]

@@ -42,12 +42,23 @@ pub struct Dram {
     pub writes: u64,
     /// Cycles the channel spent busy (occupancy).
     pub busy_cycles: u64,
+    /// Cycles transfers spent queued behind the busy channel (total).
+    pub queue_cycles: u64,
+    last_queue_delay: u64,
 }
 
 impl Dram {
     /// Create a channel with the given parameters.
     pub fn new(cfg: DramConfig) -> Self {
-        Dram { cfg, channel_free_at: 0, reads: 0, writes: 0, busy_cycles: 0 }
+        Dram {
+            cfg,
+            channel_free_at: 0,
+            reads: 0,
+            writes: 0,
+            busy_cycles: 0,
+            queue_cycles: 0,
+            last_queue_delay: 0,
+        }
     }
 
     /// The configuration.
@@ -71,6 +82,8 @@ impl Dram {
     fn schedule(&mut self, now: u64) -> u64 {
         let start = now.max(self.channel_free_at);
         let occupancy = self.cfg.beats();
+        self.last_queue_delay = start - now;
+        self.queue_cycles += self.last_queue_delay;
         self.channel_free_at = start + occupancy;
         self.busy_cycles += occupancy;
         start + self.cfg.latency + occupancy
@@ -79,6 +92,12 @@ impl Dram {
     /// Cycle at which the channel next becomes free.
     pub fn free_at(&self) -> u64 {
         self.channel_free_at
+    }
+
+    /// Cycles the most recently scheduled transfer waited for the channel
+    /// before it could start (0 when the channel was idle).
+    pub fn last_queue_delay(&self) -> u64 {
+        self.last_queue_delay
     }
 }
 
@@ -117,6 +136,16 @@ mod tests {
         assert_eq!(d.busy_cycles, 2 * d.config().beats());
         assert_eq!(d.reads, 1);
         assert_eq!(d.writes, 1);
+    }
+
+    #[test]
+    fn queue_delay_tracks_channel_contention() {
+        let mut d = Dram::new(DramConfig::default());
+        d.schedule_read(0);
+        assert_eq!(d.last_queue_delay(), 0, "idle channel starts immediately");
+        d.schedule_read(0);
+        assert_eq!(d.last_queue_delay(), d.config().beats(), "queued behind first transfer");
+        assert_eq!(d.queue_cycles, d.config().beats());
     }
 
     #[test]

@@ -18,8 +18,8 @@ mod databox;
 mod dram;
 mod scratchpad;
 
-pub use cache::{Cache, CacheConfig, CacheStats, NextLevel};
-pub use databox::{DataBox, DataBoxConfig, DataBoxStats};
+pub use cache::{AccessOutcome, Cache, CacheConfig, CacheStats, NextLevel};
+pub use databox::{DataBox, DataBoxConfig, DataBoxStats, GrantClass, GrantEvent};
 pub use dram::{Dram, DramConfig};
 pub use scratchpad::Scratchpad;
 

@@ -1,0 +1,413 @@
+//! Accelerator configuration: the Stage 3 parameters, a validating
+//! builder, and the typed errors the builder reports.
+//!
+//! [`AcceleratorConfig`] remains a plain-old-data struct (every field is
+//! public, and `Default` reproduces the paper's operating point), but the
+//! preferred construction path is the builder:
+//!
+//! ```
+//! use tapas_sim::{AcceleratorConfig, ProfileLevel};
+//!
+//! let cfg = AcceleratorConfig::builder()
+//!     .tiles(4)
+//!     .cache_kib(16)
+//!     .profile(ProfileLevel::Summary)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(cfg.ntiles, 4);
+//! ```
+//!
+//! The builder front-loads the geometry mistakes that previously surfaced
+//! as panics deep inside elaboration (zero tiles, a non-power-of-two cache,
+//! a zero-depth data-box queue) into a typed [`ConfigError`].
+
+use crate::profile::ProfileLevel;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use tapas_dfg::LatencyModel;
+use tapas_mem::{CacheConfig, DataBoxConfig, DramConfig};
+
+/// Configuration of the elaborated accelerator (the paper's Stage 3
+/// parameters: queue depths, tiles per task, memory system).
+#[derive(Debug, Clone)]
+pub struct AcceleratorConfig {
+    /// Task queue entries per task unit (`Ntasks`).
+    pub ntasks: usize,
+    /// Default TXU tiles per task unit (`Ntiles`).
+    pub ntiles: usize,
+    /// Per-task tile overrides, keyed by task name (e.g. `"dedup::task2"`).
+    pub tile_overrides: HashMap<String, usize>,
+    /// Shared L1 cache parameters.
+    pub cache: CacheConfig,
+    /// Optional L2 between the L1 and DRAM (the §VI cache-hierarchy
+    /// improvement; `None` reproduces the paper's released memory system).
+    pub l2: Option<CacheConfig>,
+    /// DRAM/AXI parameters.
+    pub dram: DramConfig,
+    /// Data box issue width and queue depth (ports are sized automatically).
+    pub databox: DataBoxConfig,
+    /// Functional-unit latencies.
+    pub latencies: LatencyModel,
+    /// Cycles for the spawn handshake (queue allocation + args write).
+    pub spawn_cost: u64,
+    /// Cycles to resume from a sync join.
+    pub sync_cost: u64,
+    /// Cycles between successive block dataflows of one instance.
+    pub block_transition: u64,
+    /// Accelerator memory size in bytes.
+    pub mem_bytes: usize,
+    /// Abort the simulation after this many cycles.
+    pub max_cycles: u64,
+    /// Record a task-level event trace (spawn/dispatch/suspend/complete),
+    /// retrievable with [`Accelerator::take_events`](crate::Accelerator).
+    /// Off by default — long runs generate many events.
+    pub record_events: bool,
+    /// Cycle-attribution profiling level. [`ProfileLevel::Off`] (the
+    /// default) adds no per-cycle work to the engine loop; higher levels
+    /// attach a [`Profile`](crate::Profile) to the
+    /// [`SimOutcome`](crate::SimOutcome).
+    pub profile: ProfileLevel,
+    /// Write a Chrome `chrome://tracing` event trace to this path at the
+    /// end of every run. Implies event recording.
+    pub trace_path: Option<PathBuf>,
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        AcceleratorConfig {
+            ntasks: 32,
+            ntiles: 1,
+            tile_overrides: HashMap::new(),
+            cache: CacheConfig::default(),
+            l2: None,
+            dram: DramConfig::default(),
+            databox: DataBoxConfig::default(),
+            latencies: LatencyModel::default(),
+            spawn_cost: 10,
+            sync_cost: 2,
+            block_transition: 2,
+            mem_bytes: 16 * 1024 * 1024,
+            max_cycles: 500_000_000,
+            record_events: false,
+            profile: ProfileLevel::Off,
+            trace_path: None,
+        }
+    }
+}
+
+impl AcceleratorConfig {
+    /// Start building a configuration from the paper's defaults.
+    pub fn builder() -> AcceleratorConfigBuilder {
+        AcceleratorConfigBuilder { cfg: AcceleratorConfig::default() }
+    }
+
+    /// Tiles for the task with the given name.
+    pub fn tiles_for(&self, task_name: &str) -> usize {
+        self.tile_overrides.get(task_name).copied().unwrap_or(self.ntiles).max(1)
+    }
+
+    /// Builder-style override of the tile count for one task.
+    pub fn with_tiles(mut self, task_name: &str, tiles: usize) -> Self {
+        self.tile_overrides.insert(task_name.to_string(), tiles);
+        self
+    }
+
+    /// Builder-style setting of the default tile count.
+    pub fn with_default_tiles(mut self, tiles: usize) -> Self {
+        self.ntiles = tiles;
+        self
+    }
+
+    /// Validate the configuration's geometry; [`AcceleratorConfigBuilder::build`]
+    /// calls this, and [`Accelerator::elaborate`](crate::Accelerator) relies
+    /// on it having held.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.ntiles == 0 {
+            return Err(ConfigError::ZeroTiles { task: None });
+        }
+        if let Some((task, _)) = self.tile_overrides.iter().find(|(_, &t)| t == 0) {
+            return Err(ConfigError::ZeroTiles { task: Some(task.clone()) });
+        }
+        if self.ntasks == 0 {
+            return Err(ConfigError::ZeroQueueDepth { queue: "task queue (ntasks)" });
+        }
+        if self.databox.queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth { queue: "data box port queue" });
+        }
+        if self.mem_bytes == 0 {
+            return Err(ConfigError::ZeroMemory);
+        }
+        for (label, c) in
+            std::iter::once(("L1", &self.cache)).chain(self.l2.as_ref().map(|c| ("L2", c)))
+        {
+            if !c.size_bytes.is_power_of_two() || c.size_bytes < c.line_bytes {
+                return Err(ConfigError::NonPowerOfTwoCache { level: label, bytes: c.size_bytes });
+            }
+            if c.line_bytes != self.dram.line_bytes {
+                return Err(ConfigError::LineMismatch {
+                    level: label,
+                    cache_line: c.line_bytes,
+                    dram_line: self.dram.line_bytes,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A configuration the builder refused to produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A tile count of zero (default or per-task override).
+    ZeroTiles {
+        /// The offending per-task override, or `None` for the default count.
+        task: Option<String>,
+    },
+    /// A queue somewhere in the design has no entries.
+    ZeroQueueDepth {
+        /// Which queue.
+        queue: &'static str,
+    },
+    /// Cache capacity must be a power of two no smaller than one line.
+    NonPowerOfTwoCache {
+        /// Which cache level.
+        level: &'static str,
+        /// The rejected capacity.
+        bytes: u64,
+    },
+    /// Cache line size must match the DRAM burst size.
+    LineMismatch {
+        /// Which cache level.
+        level: &'static str,
+        /// The cache's line size in bytes.
+        cache_line: u64,
+        /// The DRAM burst size in bytes.
+        dram_line: u64,
+    },
+    /// The accelerator has no memory.
+    ZeroMemory,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroTiles { task: None } => {
+                write!(f, "default tile count must be at least 1")
+            }
+            ConfigError::ZeroTiles { task: Some(t) } => {
+                write!(f, "tile override for task {t:?} must be at least 1")
+            }
+            ConfigError::ZeroQueueDepth { queue } => {
+                write!(f, "{queue} must have at least one entry")
+            }
+            ConfigError::NonPowerOfTwoCache { level, bytes } => write!(
+                f,
+                "{level} capacity of {bytes} bytes is not a power of two of at least one line"
+            ),
+            ConfigError::LineMismatch { level, cache_line, dram_line } => write!(
+                f,
+                "{level} line size ({cache_line} B) must match the DRAM burst ({dram_line} B)"
+            ),
+            ConfigError::ZeroMemory => write!(f, "accelerator memory size must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`AcceleratorConfig`]; obtained from
+/// [`AcceleratorConfig::builder`]. Every setter returns `self`;
+/// [`AcceleratorConfigBuilder::build`] validates the result.
+#[derive(Debug, Clone)]
+pub struct AcceleratorConfigBuilder {
+    cfg: AcceleratorConfig,
+}
+
+impl AcceleratorConfigBuilder {
+    /// Default TXU tiles per task unit (`Ntiles`).
+    pub fn tiles(mut self, n: usize) -> Self {
+        self.cfg.ntiles = n;
+        self
+    }
+
+    /// Override the tile count for one task by name.
+    pub fn tile_override(mut self, task: &str, n: usize) -> Self {
+        self.cfg.tile_overrides.insert(task.to_string(), n);
+        self
+    }
+
+    /// Task queue entries per task unit (`Ntasks`).
+    pub fn ntasks(mut self, n: usize) -> Self {
+        self.cfg.ntasks = n;
+        self
+    }
+
+    /// L1 capacity in KiB, keeping the default geometry otherwise.
+    pub fn cache_kib(mut self, kib: u64) -> Self {
+        self.cfg.cache.size_bytes = kib * 1024;
+        self
+    }
+
+    /// Full L1 cache parameters.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cfg.cache = cache;
+        self
+    }
+
+    /// Insert an L2 between the L1 and DRAM.
+    pub fn l2(mut self, l2: CacheConfig) -> Self {
+        self.cfg.l2 = Some(l2);
+        self
+    }
+
+    /// DRAM/AXI channel parameters.
+    pub fn dram(mut self, dram: DramConfig) -> Self {
+        self.cfg.dram = dram;
+        self
+    }
+
+    /// Data box issue width and queue depth.
+    pub fn databox(mut self, databox: DataBoxConfig) -> Self {
+        self.cfg.databox = databox;
+        self
+    }
+
+    /// Functional-unit latency model.
+    pub fn latencies(mut self, latencies: LatencyModel) -> Self {
+        self.cfg.latencies = latencies;
+        self
+    }
+
+    /// Cycles for the spawn handshake.
+    pub fn spawn_cost(mut self, cycles: u64) -> Self {
+        self.cfg.spawn_cost = cycles;
+        self
+    }
+
+    /// Cycles to resume from a sync join.
+    pub fn sync_cost(mut self, cycles: u64) -> Self {
+        self.cfg.sync_cost = cycles;
+        self
+    }
+
+    /// Cycles between successive block dataflows of one instance.
+    pub fn block_transition(mut self, cycles: u64) -> Self {
+        self.cfg.block_transition = cycles;
+        self
+    }
+
+    /// Accelerator memory size in bytes.
+    pub fn mem_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.mem_bytes = bytes;
+        self
+    }
+
+    /// Cycle budget.
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.max_cycles = cycles;
+        self
+    }
+
+    /// Record the task-level event trace.
+    pub fn record_events(mut self, on: bool) -> Self {
+        self.cfg.record_events = on;
+        self
+    }
+
+    /// Cycle-attribution profiling level.
+    pub fn profile(mut self, level: ProfileLevel) -> Self {
+        self.cfg.profile = level;
+        self
+    }
+
+    /// Write a Chrome trace to this path at the end of every run.
+    pub fn trace_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cfg.trace_path = Some(path.into());
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the geometry is unusable: zero tiles,
+    /// a zero-depth queue, a non-power-of-two cache, a cache/DRAM line-size
+    /// mismatch, or zero memory.
+    pub fn build(self) -> Result<AcceleratorConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_overrides_apply() {
+        let c = AcceleratorConfig::default().with_default_tiles(2).with_tiles("f::task1", 8);
+        assert_eq!(c.tiles_for("f::task1"), 8);
+        assert_eq!(c.tiles_for("f::root"), 2);
+    }
+
+    #[test]
+    fn tiles_never_zero() {
+        let c = AcceleratorConfig::default().with_tiles("x", 0);
+        assert_eq!(c.tiles_for("x"), 1);
+    }
+
+    #[test]
+    fn builder_defaults_validate() {
+        let c = AcceleratorConfig::builder().build().unwrap();
+        assert_eq!(c.ntasks, 32);
+        assert_eq!(c.profile, ProfileLevel::Off);
+    }
+
+    #[test]
+    fn builder_rejects_zero_tiles() {
+        let err = AcceleratorConfig::builder().tiles(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroTiles { task: None });
+        let err = AcceleratorConfig::builder().tile_override("f::task1", 0).build().unwrap_err();
+        assert!(matches!(err, ConfigError::ZeroTiles { task: Some(_) }));
+    }
+
+    #[test]
+    fn builder_rejects_non_power_of_two_cache() {
+        let err = AcceleratorConfig::builder().cache_kib(3).build().unwrap_err();
+        assert!(matches!(err, ConfigError::NonPowerOfTwoCache { level: "L1", .. }));
+        assert!(err.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn builder_rejects_zero_queue_depth() {
+        let err = AcceleratorConfig::builder().ntasks(0).build().unwrap_err();
+        assert!(matches!(err, ConfigError::ZeroQueueDepth { .. }));
+        let db = DataBoxConfig { queue_depth: 0, ..DataBoxConfig::default() };
+        let err = AcceleratorConfig::builder().databox(db).build().unwrap_err();
+        assert!(matches!(err, ConfigError::ZeroQueueDepth { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_line_mismatch_and_zero_memory() {
+        let bad = CacheConfig { line_bytes: 64, ..CacheConfig::default() };
+        let err = AcceleratorConfig::builder().cache(bad).build().unwrap_err();
+        assert!(matches!(err, ConfigError::LineMismatch { level: "L1", .. }));
+        let err = AcceleratorConfig::builder().mem_bytes(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroMemory);
+    }
+
+    #[test]
+    fn builder_sets_observability_knobs() {
+        let c = AcceleratorConfig::builder()
+            .tiles(4)
+            .cache_kib(16)
+            .profile(ProfileLevel::Full)
+            .trace_path("/tmp/t.json")
+            .build()
+            .unwrap();
+        assert_eq!(c.ntiles, 4);
+        assert_eq!(c.cache.size_bytes, 16 * 1024);
+        assert_eq!(c.profile, ProfileLevel::Full);
+        assert!(c.trace_path.is_some());
+    }
+}

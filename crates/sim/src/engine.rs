@@ -1,6 +1,7 @@
 //! The accelerator execution engine: task units, queues, tiles, and the
 //! top-level cycle loop.
 
+use crate::profile::{NodeClass, Profile, ProfileLevel, QueueSummary, StallReason, TileProfile};
 use crate::AcceleratorConfig;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -9,8 +10,9 @@ use tapas_ir::interp::{eval_bin, eval_cmp, eval_fbin, eval_fcmp, sign_extend, Va
 use tapas_ir::{
     mask_to_width, BlockId, CastKind, Constant, FuncId, Function, Module, Type, ValueId,
 };
-use tapas_mem::{DataBox, DataBoxConfig, MemOpKind, MemReq, MemSystem, ReqId};
+use tapas_mem::{DataBox, DataBoxConfig, GrantClass, MemOpKind, MemReq, MemSystem, ReqId};
 use tapas_task::extract_module;
+use tapas_task::queue::QueueOccupancy;
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +35,9 @@ pub enum SimError {
     },
     /// A dataflow construct the engine cannot execute.
     Unsupported(String),
+    /// Writing the Chrome event trace to
+    /// [`AcceleratorConfig::trace_path`](crate::AcceleratorConfig) failed.
+    Trace(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -48,6 +53,7 @@ impl std::fmt::Display for SimError {
                  program's spawn depth (increase ntasks)"
             ),
             SimError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            SimError::Trace(s) => write!(f, "writing the event trace failed: {s}"),
         }
     }
 }
@@ -72,7 +78,12 @@ pub struct SimEvent {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimEventKind {
     /// Entry allocated in the task queue (spawn accepted).
-    Spawned,
+    Spawned {
+        /// The spawning parent's `(unit, slot)`, when spawned by a
+        /// `detach` (the paper's `ParentID`); `None` for host invocations
+        /// and call-bridged spawns.
+        parent: Option<(usize, usize)>,
+    },
     /// Instance dispatched to a tile.
     Dispatched {
         /// The tile it landed on.
@@ -84,6 +95,11 @@ pub enum SimEventKind {
     CallWait,
     /// Instance completed and its slot freed.
     Completed,
+    /// A memory request from this instance missed in the cache.
+    CacheMiss {
+        /// The missing address.
+        addr: u64,
+    },
 }
 
 /// Per-task-unit counters.
@@ -117,8 +133,8 @@ pub struct SimStats {
     /// `min_spawn_latency`.
     pub total_spawn_latency: u64,
     /// Minimum observed spawn-to-dispatch latency (the uncontended spawn
-    /// overhead of §V-A; `u64::MAX` when nothing spawned).
-    pub min_spawn_latency: u64,
+    /// overhead of §V-A); `None` when nothing was spawned via `detach`.
+    pub min_spawn_latency: Option<u64>,
     /// Per-unit counters.
     pub units: Vec<UnitStats>,
     /// Cache counters at the end of the run.
@@ -154,6 +170,10 @@ pub struct SimOutcome {
     pub cycles: u64,
     /// Full statistics.
     pub stats: SimStats,
+    /// Cycle-attribution profile; present when
+    /// [`AcceleratorConfig::profile`](crate::AcceleratorConfig) is not
+    /// [`ProfileLevel::Off`].
+    pub profile: Option<Profile>,
 }
 
 #[derive(Debug, Clone)]
@@ -240,6 +260,80 @@ struct MemTarget {
     node: usize,
 }
 
+/// Live profiler state, boxed behind an `Option` so a disabled profiler
+/// costs one pointer test per instrumentation site.
+#[derive(Debug)]
+struct Prof {
+    level: ProfileLevel,
+    /// `[unit][tile][reason]` cycle counters.
+    stalls: Vec<Vec<[u64; 9]>>,
+    /// Per-cycle scratch: the tile finished or parked an instance this
+    /// cycle (so an empty tile still counts as having worked).
+    worked: Vec<Vec<bool>>,
+    queues: Vec<QueueOccupancy>,
+    /// `[unit][class]` issued-node counters ([`ProfileLevel::Full`] only).
+    node_mix: Vec<[u64; 5]>,
+    /// Outstanding request id → memory stall class, from data-box grants.
+    req_class: HashMap<u64, StallReason>,
+}
+
+impl Prof {
+    fn new(level: ProfileLevel, units: &[TaskUnit], ntasks: usize) -> Prof {
+        Prof {
+            level,
+            stalls: units.iter().map(|u| vec![[0; 9]; u.tiles.len()]).collect(),
+            worked: units.iter().map(|u| vec![false; u.tiles.len()]).collect(),
+            queues: units.iter().map(|_| QueueOccupancy::new(ntasks as u32)).collect(),
+            node_mix: vec![[0; 5]; units.len()],
+            req_class: HashMap::new(),
+        }
+    }
+
+    fn finish(self, cycles: u64, units: &[TaskUnit]) -> Profile {
+        let unit_profiles = units
+            .iter()
+            .zip(self.stalls)
+            .zip(self.queues)
+            .zip(self.node_mix)
+            .map(|(((u, stalls), q), node_mix)| crate::profile::UnitProfile {
+                name: u.name.clone(),
+                tiles: stalls.into_iter().map(|s| TileProfile { stalls: s }).collect(),
+                queue: QueueSummary {
+                    mean_occupancy: q.mean_occupancy(),
+                    peak: q.peak(),
+                    full_cycles: q.full_cycles(),
+                    capacity: q.capacity(),
+                },
+                node_mix,
+            })
+            .collect();
+        Profile { level: self.level, cycles, units: unit_profiles }
+    }
+}
+
+fn node_class(op: &NodeOp) -> NodeClass {
+    match op {
+        NodeOp::Alu(_) | NodeOp::Cmp { .. } | NodeOp::Select | NodeOp::Cast { .. } => {
+            NodeClass::IntAlu
+        }
+        NodeOp::FAlu(_) | NodeOp::FCmp(_) => NodeClass::FloatAlu,
+        NodeOp::Load { .. } | NodeOp::Store { .. } | NodeOp::Gep { .. } => NodeClass::Memory,
+        NodeOp::Phi { .. } => NodeClass::Control,
+        NodeOp::CallSpawn { .. } => NodeClass::Spawn,
+    }
+}
+
+/// Rank memory stall classes by severity, so a tile with several
+/// outstanding requests is charged the most constrained one.
+fn mem_severity(r: StallReason) -> u8 {
+    match r {
+        StallReason::MshrFull => 3,
+        StallReason::DramQueue => 2,
+        StallReason::CacheMiss => 1,
+        _ => 0,
+    }
+}
+
 /// An elaborated TAPAS accelerator: the module's task units wired to the
 /// shared memory system, ready to simulate.
 pub struct Accelerator {
@@ -260,6 +354,7 @@ pub struct Accelerator {
     host_result: Option<Option<Val>>,
     progress: bool,
     events: Vec<SimEvent>,
+    prof: Option<Box<Prof>>,
 }
 
 impl std::fmt::Debug for Accelerator {
@@ -341,6 +436,7 @@ impl Accelerator {
             host_result: None,
             progress: false,
             events: Vec::new(),
+            prof: None,
         })
     }
 
@@ -351,9 +447,22 @@ impl Accelerator {
     }
 
     fn record(&mut self, cycle: u64, unit: usize, slot: usize, kind: SimEventKind) {
-        if self.cfg.record_events {
+        if self.tracing() {
             self.events.push(SimEvent { cycle, unit, slot, kind });
         }
+    }
+
+    /// Whether task-level events are being recorded (explicitly, or
+    /// implied by a trace path).
+    fn tracing(&self) -> bool {
+        self.cfg.record_events || self.cfg.trace_path.is_some()
+    }
+
+    /// Render the recorded event trace in the Chrome `chrome://tracing`
+    /// trace-event JSON format (see [`crate::profile::chrome_trace`]).
+    /// Empty unless events were recorded.
+    pub fn chrome_trace(&self) -> String {
+        crate::profile::chrome_trace(&self.events, &self.unit_names())
     }
 
     /// The accelerator's shared memory.
@@ -388,6 +497,12 @@ impl Accelerator {
     pub fn run(&mut self, func: FuncId, args: &[Val]) -> Result<SimOutcome, SimError> {
         let root_unit = self.func_root[func.0 as usize];
         self.host_result = None;
+        self.prof = match self.cfg.profile {
+            ProfileLevel::Off => None,
+            level => Some(Box::new(Prof::new(level, &self.units, self.cfg.ntasks))),
+        };
+        let instrumented = self.prof.is_some() || self.tracing();
+        self.databox.set_grant_log(instrumented);
         let start_cycle = self.cycle;
         let slot = self
             .alloc_entry(root_unit, args.to_vec(), None, None, self.cycle, true, false)
@@ -397,6 +512,9 @@ impl Accelerator {
         while self.host_result.is_none() {
             let now = self.cycle;
             self.databox.tick(now, &mut self.ms);
+            if instrumented {
+                self.classify_grants(now);
+            }
             for resp in self.databox.pop_responses(now) {
                 self.route_response(resp, now);
                 self.progress = true;
@@ -409,10 +527,18 @@ impl Accelerator {
                     self.advance_tile(u, t, now)?;
                 }
             }
+            if self.prof.is_some() {
+                self.attribute_cycle(now);
+            }
+            let prof = self.prof.as_deref_mut();
+            let mut queues = prof.map(|p| p.queues.iter_mut());
             for u in &mut self.units {
                 let occ = u.occupancy();
                 u.stats.queue_peak = u.stats.queue_peak.max(occ);
                 u.stats.busy_tile_cycles += u.tiles.iter().filter(|t| t.is_some()).count() as u64;
+                if let Some(qs) = queues.as_mut() {
+                    qs.next().expect("one occupancy accumulator per unit").observe(occ as u32);
+                }
             }
             if self.progress || self.ms.has_pending() {
                 last_progress = now;
@@ -431,7 +557,8 @@ impl Accelerator {
             spawns: self.spawns,
             calls: self.calls,
             total_spawn_latency: self.total_spawn_latency,
-            min_spawn_latency: self.min_spawn_latency,
+            min_spawn_latency: (self.min_spawn_latency != u64::MAX)
+                .then_some(self.min_spawn_latency),
             units: self.units.iter().map(|u| u.stats.clone()).collect(),
             cache: self.ms.cache.stats(),
             dram_reads: self.ms.dram.reads,
@@ -439,7 +566,148 @@ impl Accelerator {
             databox_issued: self.databox.stats().issued,
             cache_stalls: self.databox.stats().cache_stalls,
         };
-        Ok(SimOutcome { ret: self.host_result.take().flatten(), cycles, stats })
+        let profile = self.prof.take().map(|p| p.finish(cycles, &self.units));
+        if let Some(path) = self.cfg.trace_path.clone() {
+            let trace = self.chrome_trace();
+            std::fs::write(&path, trace)
+                .map_err(|e| SimError::Trace(format!("{}: {e}", path.display())))?;
+        }
+        Ok(SimOutcome { ret: self.host_result.take().flatten(), cycles, stats, profile })
+    }
+
+    /// Fold this cycle's data-box grant log into the profiler's
+    /// per-request stall classes and the event trace (cache misses).
+    fn classify_grants(&mut self, now: u64) {
+        for g in self.databox.take_grant_log() {
+            let class = match g.class {
+                GrantClass::Hit => StallReason::WaitingDatabox,
+                GrantClass::Miss => StallReason::CacheMiss,
+                GrantClass::MissDramQueued => StallReason::DramQueue,
+                GrantClass::Rejected => StallReason::MshrFull,
+            };
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.req_class.insert(g.id.0, class);
+            }
+            if matches!(g.class, GrantClass::Miss | GrantClass::MissDramQueued) && self.tracing() {
+                if let Some(t) = self.req_map.get(&g.id.0).copied() {
+                    let slot = self.units[t.unit].tiles[t.tile].as_ref().map(|e| e.slot);
+                    if let Some(slot) = slot {
+                        self.record(now, t.unit, slot, SimEventKind::CacheMiss { addr: g.addr });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Charge exactly one [`StallReason`] to every tile for this cycle.
+    /// Runs once per engine-loop iteration, which is what makes the
+    /// [`Profile::check_invariant`] accounting exact.
+    fn attribute_cycle(&mut self, now: u64) {
+        let Some(mut prof) = self.prof.take() else {
+            return;
+        };
+        // Worst outstanding memory class per (unit, tile).
+        let mut mem_wait: HashMap<(usize, usize), StallReason> = HashMap::new();
+        for (id, t) in &self.req_map {
+            let class = prof.req_class.get(id).copied().unwrap_or(StallReason::WaitingDatabox);
+            let worst = mem_wait.entry((t.unit, t.tile)).or_insert(class);
+            if mem_severity(class) > mem_severity(*worst) {
+                *worst = class;
+            }
+        }
+        for u in 0..self.units.len() {
+            for t in 0..self.units[u].tiles.len() {
+                let worked = std::mem::take(&mut prof.worked[u][t]);
+                let reason = self.classify_tile(u, t, now, &mem_wait, worked);
+                prof.stalls[u][t][reason as usize] += 1;
+            }
+        }
+        self.prof = Some(prof);
+    }
+
+    fn classify_tile(
+        &self,
+        unit: usize,
+        tile: usize,
+        now: u64,
+        mem_wait: &HashMap<(usize, usize), StallReason>,
+        worked: bool,
+    ) -> StallReason {
+        let u = &self.units[unit];
+        let Some(exec) = u.tiles[tile].as_ref() else {
+            // Idle tile: attribute to what the task unit is waiting on.
+            if worked {
+                return StallReason::Busy;
+            }
+            if u.occupancy() == 0 {
+                return StallReason::QueueEmpty;
+            }
+            let parked = u.entries.iter().flatten().any(|e| e.waiting_sync || e.saved.is_some());
+            return if parked { StallReason::SyncWait } else { StallReason::QueueEmpty };
+        };
+        if now < exec.block_start {
+            return StallReason::Busy; // block transition in flight
+        }
+        let blk = &u.dfg.blocks[exec.block_idx];
+        let mut mem_in_flight = false;
+        for (i, ns) in exec.nodes.iter().enumerate() {
+            if ns.issued && !ns.done(now) {
+                match blk.nodes[i].op {
+                    NodeOp::Load { .. } | NodeOp::Store { .. } => mem_in_flight = true,
+                    // A suspended call never stays on a tile.
+                    NodeOp::CallSpawn { .. } => {}
+                    // A fixed-latency functional unit is computing.
+                    _ => return StallReason::Busy,
+                }
+            }
+        }
+        if mem_in_flight {
+            return mem_wait.get(&(unit, tile)).copied().unwrap_or(StallReason::WaitingDatabox);
+        }
+        let mut any_unissued = false;
+        for (i, ns) in exec.nodes.iter().enumerate() {
+            if ns.issued {
+                continue;
+            }
+            any_unissued = true;
+            let node = &blk.nodes[i];
+            if self.deps_ready(node, exec, now) {
+                return match node.op {
+                    // Ready but unissued: the issue attempt was refused.
+                    NodeOp::CallSpawn { .. } => StallReason::SpawnBackpressure,
+                    NodeOp::Load { .. } | NodeOp::Store { .. } => StallReason::WaitingDatabox,
+                    // Became ready after this cycle's issue pass; it will
+                    // issue next cycle.
+                    _ => StallReason::Busy,
+                };
+            }
+        }
+        if any_unissued {
+            return StallReason::WaitingOperand;
+        }
+        // Every node drained but the instance is still resident: only a
+        // backpressured detach terminator holds a tile in this state.
+        match blk.term {
+            TermInfo::Detach { .. } => StallReason::SpawnBackpressure,
+            _ => StallReason::Busy,
+        }
+    }
+
+    /// Mark a tile as having done useful work this cycle even though it
+    /// ends the cycle empty (instance completion or suspension).
+    fn mark_worked(&mut self, unit: usize, tile: usize) {
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.worked[unit][tile] = true;
+        }
+    }
+
+    /// Count an issued node's class ([`ProfileLevel::Full`] only).
+    fn note_issue(&mut self, unit: usize, class: NodeClass) {
+        if let Some(p) = self.prof.as_deref_mut() {
+            if p.level == ProfileLevel::Full {
+                p.node_mix[unit][class as usize] += 1;
+            }
+        }
     }
 
     // ---- queue management --------------------------------------------------
@@ -471,7 +739,7 @@ impl Accelerator {
             via_detach,
         });
         u.ready.push(slot);
-        self.record(now, unit, slot, SimEventKind::Spawned);
+        self.record(now, unit, slot, SimEventKind::Spawned { parent });
         Some(slot)
     }
 
@@ -537,6 +805,9 @@ impl Accelerator {
     // ---- responses ----------------------------------------------------------
 
     fn route_response(&mut self, resp: tapas_mem::MemResp, now: u64) {
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.req_class.remove(&resp.id.0);
+        }
         let Some(target) = self.req_map.remove(&resp.id.0) else {
             return;
         };
@@ -596,6 +867,7 @@ impl Accelerator {
                     ) {
                         exec.nodes[idx].issued = true;
                         self.progress = true;
+                        self.note_issue(unit, NodeClass::Memory);
                     }
                 }
                 NodeOp::Store { size } => {
@@ -614,6 +886,7 @@ impl Accelerator {
                     ) {
                         exec.nodes[idx].issued = true;
                         self.progress = true;
+                        self.note_issue(unit, NodeClass::Memory);
                     }
                 }
                 NodeOp::CallSpawn { callee } => {
@@ -637,6 +910,7 @@ impl Accelerator {
                     {
                         self.calls += 1;
                         exec.nodes[idx].issued = true;
+                        self.note_issue(unit, NodeClass::Spawn);
                         // Suspend: context returns to the queue entry, the
                         // tile frees for other ready tasks.
                         let slot = exec.slot;
@@ -645,6 +919,7 @@ impl Accelerator {
                             .expect("running entry exists")
                             .saved = Some(Box::new(exec));
                         self.record(now, unit, slot, SimEventKind::CallWait);
+                        self.mark_worked(unit, tile);
                         return Ok(());
                     }
                     // Callee queue full: retry next cycle.
@@ -653,6 +928,7 @@ impl Accelerator {
                 _ => {
                     let (value, lat) = self.eval_fixed(node, &exec)?;
                     self.progress = true;
+                    let class = node_class(&node.op);
                     let ns = &mut exec.nodes[idx];
                     ns.issued = true;
                     ns.done_at = now + u64::from(lat);
@@ -660,6 +936,7 @@ impl Accelerator {
                     if let (Some(r), Some(v)) = (node.result, ns.value) {
                         exec.env.insert(r, v);
                     }
+                    self.note_issue(unit, class);
                 }
             }
         }
@@ -686,9 +963,11 @@ impl Accelerator {
             TermInfo::Ret(v) => {
                 let value = v.map(|o| self.operand_val(&o, &exec));
                 self.finish_instance(unit, exec.slot, value, now);
+                self.mark_worked(unit, tile);
             }
             TermInfo::Reattach => {
                 self.finish_instance(unit, exec.slot, None, now);
+                self.mark_worked(unit, tile);
             }
             TermInfo::Detach { child, args, cont } => {
                 let child_unit = self.unit_of[&(self.units[unit].func.0, child.0)];
@@ -697,6 +976,7 @@ impl Accelerator {
                 if self.alloc_entry(child_unit, arg_vals, parent, None, now, false, true).is_some()
                 {
                     self.spawns += 1;
+                    self.note_issue(unit, NodeClass::Spawn);
                     self.units[unit].entries[exec.slot]
                         .as_mut()
                         .expect("running entry exists")
@@ -721,6 +1001,7 @@ impl Accelerator {
                     exec.resume_block = Some(cont);
                     entry.saved = Some(Box::new(exec));
                     self.record(now, unit, slot, SimEventKind::SyncWait);
+                    self.mark_worked(unit, tile);
                 }
             }
         }
@@ -1082,11 +1363,26 @@ mod tests {
         assert_eq!(out.stats.spawns, n);
         // Uncontended spawn latency is small ("~10 cycles" claim); the
         // average includes queueing delay when producers outrun tiles.
-        assert!(
-            out.stats.min_spawn_latency <= 12,
-            "min spawn latency {}",
-            out.stats.min_spawn_latency
-        );
+        let min = out.stats.min_spawn_latency.expect("detaches ran, latency is defined");
+        assert!(min <= 12, "min spawn latency {min}");
+    }
+
+    #[test]
+    fn spawn_latency_fields_well_defined_without_spawns() {
+        let mut b = FunctionBuilder::new("leaf", vec![Type::I32], Type::I32);
+        let x = b.param(0);
+        let one = b.const_int(Type::I32, 1);
+        let y = b.add(x, one);
+        b.ret(Some(y));
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mut acc = Accelerator::elaborate(&m, &AcceleratorConfig::default()).unwrap();
+        let out = acc.run(f, &[Val::Int(4)]).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(5)));
+        assert_eq!(out.stats.spawns, 0);
+        assert_eq!(out.stats.min_spawn_latency, None, "no sentinel for the empty run");
+        assert_eq!(out.stats.avg_spawn_latency(), 0.0);
+        assert_eq!(out.stats.total_spawn_latency, 0);
     }
 
     #[test]
@@ -1324,7 +1620,12 @@ mod event_tests {
         let count =
             |k: fn(&SimEventKind) -> bool| events.iter().filter(|e| k(&e.kind)).count() as u64;
         // 6 children + 1 host root spawned-and-completed
-        assert_eq!(count(|k| matches!(k, SimEventKind::Spawned)), 7);
+        assert_eq!(count(|k| matches!(k, SimEventKind::Spawned { .. })), 7);
+        assert_eq!(
+            count(|k| matches!(k, SimEventKind::Spawned { parent: Some(_) })),
+            6,
+            "every detach-spawn carries its parent id"
+        );
         assert_eq!(count(|k| matches!(k, SimEventKind::Completed)), 7);
         assert_eq!(
             count(|k| matches!(k, SimEventKind::SyncWait)),
@@ -1359,5 +1660,106 @@ mod event_tests {
         let mut acc = Accelerator::elaborate(&m, &AcceleratorConfig::default()).unwrap();
         acc.run(f, &[]).unwrap();
         assert!(acc.take_events().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod profile_tests {
+    use super::*;
+    use crate::{AcceleratorConfig, ProfileLevel, StallReason};
+    use tapas_ir::{CmpPred, FunctionBuilder, Module, Type};
+
+    fn build_pfor(m: &mut Module) -> FuncId {
+        let mut b = FunctionBuilder::new("pf", vec![Type::ptr(Type::I32), Type::I64], Type::Void);
+        let header = b.create_block("header");
+        let spawn = b.create_block("spawn");
+        let task = b.create_block("task");
+        let latch = b.create_block("latch");
+        let exit = b.create_block("exit");
+        let done = b.create_block("done");
+        let (a, n) = (b.param(0), b.param(1));
+        let zero = b.const_int(Type::I64, 0);
+        let one = b.const_int(Type::I64, 1);
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, zero)]);
+        let c = b.icmp(CmpPred::Slt, i, n);
+        b.cond_br(c, spawn, exit);
+        b.switch_to(spawn);
+        b.detach(task, latch);
+        b.switch_to(task);
+        let p = b.gep_index(a, i);
+        let v = b.load(p);
+        let one32 = b.const_int(Type::I32, 1);
+        let v2 = b.add(v, one32);
+        b.store(p, v2);
+        b.reattach(latch);
+        b.switch_to(latch);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, latch, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        m.add_function(b.finish())
+    }
+
+    #[test]
+    fn profile_attribution_sums_to_cycles() {
+        let mut m = Module::new("m");
+        let f = build_pfor(&mut m);
+        let cfg =
+            AcceleratorConfig::builder().tiles(2).profile(ProfileLevel::Full).build().unwrap();
+        let mut acc = Accelerator::elaborate(&m, &cfg).unwrap();
+        let out = acc.run(f, &[Val::Int(0), Val::Int(16)]).unwrap();
+        let profile = out.profile.expect("profiling was on");
+        profile.check_invariant().unwrap();
+        assert_eq!(profile.cycles, out.cycles);
+        assert_eq!(profile.units.len(), 2);
+        assert!(profile.stall_total(StallReason::Busy) > 0, "somebody worked");
+        assert_eq!(profile.attributed_cycles(), profile.cycles * profile.tile_count() as u64);
+        // Full level records the node mix; this kernel has memory nodes.
+        let mem_class = crate::NodeClass::Memory as usize;
+        let total_mem: u64 = profile.units.iter().map(|u| u.node_mix[mem_class]).sum();
+        assert!(total_mem > 0);
+        // The queue saw the spawned entries.
+        assert!(profile.units[1].queue.peak > 0);
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_the_simulation() {
+        let mut m = Module::new("m");
+        let f = build_pfor(&mut m);
+        let run_with = |level: ProfileLevel| {
+            let cfg = AcceleratorConfig::builder().tiles(2).profile(level).build().unwrap();
+            let mut acc = Accelerator::elaborate(&m, &cfg).unwrap();
+            acc.run(f, &[Val::Int(0), Val::Int(24)]).unwrap()
+        };
+        let off = run_with(ProfileLevel::Off);
+        let on = run_with(ProfileLevel::Full);
+        assert!(off.profile.is_none());
+        assert_eq!(off.cycles, on.cycles, "profiling must be timing-neutral");
+        assert_eq!(off.ret, on.ret);
+        assert_eq!(off.stats.spawns, on.stats.spawns);
+        assert_eq!(off.stats.cache.hits, on.stats.cache.hits);
+        assert_eq!(off.stats.cache.misses, on.stats.cache.misses);
+    }
+
+    #[test]
+    fn trace_path_writes_chrome_json() {
+        let mut m = Module::new("m");
+        let f = build_pfor(&mut m);
+        let dir = std::env::temp_dir().join("tapas-sim-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let cfg = AcceleratorConfig::builder().trace_path(&path).build().unwrap();
+        let mut acc = Accelerator::elaborate(&m, &cfg).unwrap();
+        acc.run(f, &[Val::Int(0), Val::Int(8)]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("{\"traceEvents\":["));
+        assert!(body.contains("\"ph\":\"X\""));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -20,6 +20,15 @@
 //! into its queue entry, and releases the tile — the task controller's
 //! asynchronous queuing is what lets a task spawn itself without deadlock.
 //!
+//! # Observability
+//!
+//! The simulator can attribute every tile-cycle to a [`StallReason`]
+//! (build the configuration with `.profile(ProfileLevel::Summary)`); the
+//! resulting [`Profile`] satisfies an exact accounting invariant and feeds
+//! a [`BottleneckReport`]. With `.trace_path(..)` the run also writes a
+//! Chrome `chrome://tracing` event trace. Both are strictly passive:
+//! enabling them never changes simulated timing or results.
+//!
 //! # Examples
 //!
 //! Compile and simulate a one-task function:
@@ -38,7 +47,8 @@
 //! let mut m = Module::new("demo");
 //! let f = m.add_function(b.finish());
 //!
-//! let mut acc = Accelerator::elaborate(&m, &AcceleratorConfig::default()).unwrap();
+//! let cfg = AcceleratorConfig::builder().build().unwrap();
+//! let mut acc = Accelerator::elaborate(&m, &cfg).unwrap();
 //! acc.mem_mut().write_bytes(0, &41i32.to_le_bytes());
 //! let out = acc.run(f, &[Val::Int(0)]).unwrap();
 //! assert_eq!(acc.mem().read_bits(0, 4), 42);
@@ -47,105 +57,13 @@
 
 #![warn(missing_docs)]
 
+mod config;
 mod engine;
+pub mod profile;
 
+pub use config::{AcceleratorConfig, AcceleratorConfigBuilder, ConfigError};
 pub use engine::{Accelerator, SimError, SimEvent, SimEventKind, SimOutcome, SimStats, UnitStats};
-
-use std::collections::HashMap;
-use tapas_dfg::LatencyModel;
-use tapas_mem::{CacheConfig, DataBoxConfig, DramConfig};
-
-/// Configuration of the elaborated accelerator (the paper's Stage 3
-/// parameters: queue depths, tiles per task, memory system).
-#[derive(Debug, Clone)]
-pub struct AcceleratorConfig {
-    /// Task queue entries per task unit (`Ntasks`).
-    pub ntasks: usize,
-    /// Default TXU tiles per task unit (`Ntiles`).
-    pub ntiles: usize,
-    /// Per-task tile overrides, keyed by task name (e.g. `"dedup::task2"`).
-    pub tile_overrides: HashMap<String, usize>,
-    /// Shared L1 cache parameters.
-    pub cache: CacheConfig,
-    /// Optional L2 between the L1 and DRAM (the §VI cache-hierarchy
-    /// improvement; `None` reproduces the paper's released memory system).
-    pub l2: Option<CacheConfig>,
-    /// DRAM/AXI parameters.
-    pub dram: DramConfig,
-    /// Data box issue width and queue depth (ports are sized automatically).
-    pub databox: DataBoxConfig,
-    /// Functional-unit latencies.
-    pub latencies: LatencyModel,
-    /// Cycles for the spawn handshake (queue allocation + args write).
-    pub spawn_cost: u64,
-    /// Cycles to resume from a sync join.
-    pub sync_cost: u64,
-    /// Cycles between successive block dataflows of one instance.
-    pub block_transition: u64,
-    /// Accelerator memory size in bytes.
-    pub mem_bytes: usize,
-    /// Abort the simulation after this many cycles.
-    pub max_cycles: u64,
-    /// Record a task-level event trace (spawn/dispatch/suspend/complete),
-    /// retrievable with [`Accelerator::take_events`]. Off by default —
-    /// long runs generate many events.
-    pub record_events: bool,
-}
-
-impl Default for AcceleratorConfig {
-    fn default() -> Self {
-        AcceleratorConfig {
-            ntasks: 32,
-            ntiles: 1,
-            tile_overrides: HashMap::new(),
-            cache: CacheConfig::default(),
-            l2: None,
-            dram: DramConfig::default(),
-            databox: DataBoxConfig::default(),
-            latencies: LatencyModel::default(),
-            spawn_cost: 10,
-            sync_cost: 2,
-            block_transition: 2,
-            mem_bytes: 16 * 1024 * 1024,
-            max_cycles: 500_000_000,
-            record_events: false,
-        }
-    }
-}
-
-impl AcceleratorConfig {
-    /// Tiles for the task with the given name.
-    pub fn tiles_for(&self, task_name: &str) -> usize {
-        self.tile_overrides.get(task_name).copied().unwrap_or(self.ntiles).max(1)
-    }
-
-    /// Builder-style override of the tile count for one task.
-    pub fn with_tiles(mut self, task_name: &str, tiles: usize) -> Self {
-        self.tile_overrides.insert(task_name.to_string(), tiles);
-        self
-    }
-
-    /// Builder-style setting of the default tile count.
-    pub fn with_default_tiles(mut self, tiles: usize) -> Self {
-        self.ntiles = tiles;
-        self
-    }
-}
-
-#[cfg(test)]
-mod config_tests {
-    use super::*;
-
-    #[test]
-    fn tile_overrides_apply() {
-        let c = AcceleratorConfig::default().with_default_tiles(2).with_tiles("f::task1", 8);
-        assert_eq!(c.tiles_for("f::task1"), 8);
-        assert_eq!(c.tiles_for("f::root"), 2);
-    }
-
-    #[test]
-    fn tiles_never_zero() {
-        let c = AcceleratorConfig::default().with_tiles("x", 0);
-        assert_eq!(c.tiles_for("x"), 1);
-    }
-}
+pub use profile::{
+    chrome_trace, BottleneckReport, BoundClass, NodeClass, Profile, ProfileLevel, QueueSummary,
+    StallReason, TileProfile, UnitProfile,
+};

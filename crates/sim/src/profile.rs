@@ -1,0 +1,505 @@
+//! Cycle-attribution profiling: where did every tile-cycle go?
+//!
+//! When [`AcceleratorConfig::profile`](crate::AcceleratorConfig) is not
+//! [`ProfileLevel::Off`], the engine charges **exactly one**
+//! [`StallReason`] to every tile on every simulated cycle and aggregates
+//! the counts into a hierarchical [`Profile`]: per task unit → per tile →
+//! (at [`ProfileLevel::Full`]) per DFG node class. Because the attribution
+//! pass runs once per engine-loop iteration and the cycle counter advances
+//! once per iteration, the accounting is exact by construction —
+//! [`Profile::check_invariant`] verifies that each tile's attributed
+//! cycles sum to the run's cycle count.
+//!
+//! The same instrumentation feeds a streaming task-lifecycle event trace
+//! that [`chrome_trace`] renders in the Chrome `chrome://tracing` /
+//! Perfetto trace-event JSON format: task instances become duration
+//! events, spawns become flow arrows from parent to child, and cache
+//! misses become instant events.
+
+use crate::engine::{SimEvent, SimEventKind};
+
+/// Why a tile spent a cycle the way it did. One reason is charged per
+/// tile per cycle; [`StallReason::Busy`] is "the tile did useful work".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StallReason {
+    /// The tile made forward progress: a node issued, a fixed-latency
+    /// functional unit was mid-computation, or a block transition was in
+    /// flight.
+    Busy,
+    /// Dataflow nodes were pending but their operands were not ready and
+    /// nothing else was in flight (a dependence-height limit).
+    WaitingOperand,
+    /// A memory request sat in the data box (port queue or an in-flight
+    /// hit's round trip).
+    WaitingDatabox,
+    /// An outstanding request missed in the cache and was waiting on the
+    /// line fill.
+    CacheMiss,
+    /// The cache refused the request this cycle: all MSHRs (or all ways of
+    /// the target set) were busy.
+    MshrFull,
+    /// The missing line's fetch was additionally queued behind the busy
+    /// DRAM channel.
+    DramQueue,
+    /// A `detach` or call-spawn was blocked on a full downstream task
+    /// queue (ready-valid backpressure).
+    SpawnBackpressure,
+    /// The tile was idle while queue entries sat parked at a `sync` or a
+    /// serial call, waiting on children.
+    SyncWait,
+    /// The tile was idle with no dispatchable work (an empty or
+    /// still-handshaking queue) — spawn-rate limited.
+    QueueEmpty,
+}
+
+impl StallReason {
+    /// All reasons, in charge-priority order.
+    pub const ALL: [StallReason; 9] = [
+        StallReason::Busy,
+        StallReason::WaitingOperand,
+        StallReason::WaitingDatabox,
+        StallReason::CacheMiss,
+        StallReason::MshrFull,
+        StallReason::DramQueue,
+        StallReason::SpawnBackpressure,
+        StallReason::SyncWait,
+        StallReason::QueueEmpty,
+    ];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallReason::Busy => "busy",
+            StallReason::WaitingOperand => "operand-wait",
+            StallReason::WaitingDatabox => "databox-wait",
+            StallReason::CacheMiss => "cache-miss",
+            StallReason::MshrFull => "mshr-full",
+            StallReason::DramQueue => "dram-queue",
+            StallReason::SpawnBackpressure => "spawn-backpressure",
+            StallReason::SyncWait => "sync-wait",
+            StallReason::QueueEmpty => "queue-empty",
+        }
+    }
+}
+
+/// How much per-cycle bookkeeping the engine performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileLevel {
+    /// No profiling; the engine loop carries no instrumentation cost and
+    /// the [`SimOutcome`](crate::SimOutcome) has no profile.
+    #[default]
+    Off,
+    /// Per-tile stall attribution and per-unit queue occupancy.
+    Summary,
+    /// Everything in `Summary` plus the per-unit DFG node-class mix.
+    Full,
+}
+
+/// Classes of DFG nodes, for the [`ProfileLevel::Full`] issue mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeClass {
+    /// Integer ALU ops, comparisons, selects and casts.
+    IntAlu,
+    /// Floating-point ALU ops and comparisons.
+    FloatAlu,
+    /// Loads, stores and address generation.
+    Memory,
+    /// Control dataflow (phi nodes).
+    Control,
+    /// Spawn-bridged serial calls.
+    Spawn,
+}
+
+impl NodeClass {
+    /// All classes, in display order.
+    pub const ALL: [NodeClass; 5] = [
+        NodeClass::IntAlu,
+        NodeClass::FloatAlu,
+        NodeClass::Memory,
+        NodeClass::Control,
+        NodeClass::Spawn,
+    ];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeClass::IntAlu => "int-alu",
+            NodeClass::FloatAlu => "float-alu",
+            NodeClass::Memory => "memory",
+            NodeClass::Control => "control",
+            NodeClass::Spawn => "spawn",
+        }
+    }
+}
+
+/// Stall-attribution counters for one TXU tile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TileProfile {
+    /// Cycles charged to each reason, indexed by [`StallReason::ALL`]
+    /// order.
+    pub stalls: [u64; 9],
+}
+
+impl TileProfile {
+    /// Cycles charged to `reason`.
+    pub fn get(&self, reason: StallReason) -> u64 {
+        self.stalls[reason as usize]
+    }
+
+    /// Total attributed cycles (must equal the run's cycle count).
+    pub fn total(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+}
+
+/// Task-queue occupancy summary for one unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueueSummary {
+    /// Mean live entries per cycle.
+    pub mean_occupancy: f64,
+    /// Peak live entries in any cycle.
+    pub peak: u32,
+    /// Cycles the queue sat completely full (spawns backpressured).
+    pub full_cycles: u64,
+    /// Queue capacity (`Ntasks`).
+    pub capacity: u32,
+}
+
+/// Profile of one task unit: its tiles plus queue and node-mix summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitProfile {
+    /// Task unit (= task) name.
+    pub name: String,
+    /// One entry per TXU tile.
+    pub tiles: Vec<TileProfile>,
+    /// Task-queue occupancy over the run.
+    pub queue: QueueSummary,
+    /// Nodes issued per class ([`NodeClass::ALL`] order); all zero below
+    /// [`ProfileLevel::Full`].
+    pub node_mix: [u64; 5],
+}
+
+impl UnitProfile {
+    /// Cycles charged to `reason`, summed over this unit's tiles.
+    pub fn stall_total(&self, reason: StallReason) -> u64 {
+        self.tiles.iter().map(|t| t.get(reason)).sum()
+    }
+}
+
+/// The hierarchical cycle-attribution profile of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// The level the run was profiled at.
+    pub level: ProfileLevel,
+    /// Cycles the run simulated.
+    pub cycles: u64,
+    /// Per-unit breakdown, in elaboration order.
+    pub units: Vec<UnitProfile>,
+}
+
+impl Profile {
+    /// Cycles charged to `reason` across every tile of every unit.
+    pub fn stall_total(&self, reason: StallReason) -> u64 {
+        self.units.iter().map(|u| u.stall_total(reason)).sum()
+    }
+
+    /// Total tiles in the design.
+    pub fn tile_count(&self) -> usize {
+        self.units.iter().map(|u| u.tiles.len()).sum()
+    }
+
+    /// Total tile-cycles attributed (= `cycles × tile_count` when the
+    /// accounting invariant holds).
+    pub fn attributed_cycles(&self) -> u64 {
+        self.units.iter().flat_map(|u| &u.tiles).map(TileProfile::total).sum()
+    }
+
+    /// Verify the accounting invariant: every tile's attributed cycles sum
+    /// exactly to the run's cycle count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first tile whose books don't balance.
+    pub fn check_invariant(&self) -> Result<(), String> {
+        for u in &self.units {
+            for (i, t) in u.tiles.iter().enumerate() {
+                let sum = t.total();
+                if sum != self.cycles {
+                    return Err(format!(
+                        "unit {} tile {i}: attributed {sum} cycles, simulated {}",
+                        u.name, self.cycles
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Classify what bounds the run. See [`BottleneckReport`].
+    pub fn bottleneck(&self) -> BottleneckReport {
+        BottleneckReport::from_profile(self)
+    }
+}
+
+/// What fundamentally limits a run's performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundClass {
+    /// Tiles spend their cycles computing — more tiles or faster
+    /// functional units would help.
+    Compute,
+    /// Tiles wait on the memory system — cache misses, MSHR pressure or
+    /// the DRAM channel dominate.
+    Memory,
+    /// Tiles starve or park on task-parallel machinery — spawn rate,
+    /// sync joins or queue capacity dominate.
+    Spawn,
+}
+
+impl BoundClass {
+    /// Display label, e.g. `"memory-bound"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            BoundClass::Compute => "compute-bound",
+            BoundClass::Memory => "memory-bound",
+            BoundClass::Spawn => "spawn-bound",
+        }
+    }
+}
+
+/// The profiler's verdict on a run, with the evidence.
+///
+/// Spawn-backpressure cycles are a symptom of downstream congestion (the
+/// producer is blocked *because* the consumer is slow), so before
+/// classifying they are redistributed proportionally over the other three
+/// buckets; the report keeps the raw count in
+/// [`BottleneckReport::backpressure_cycles`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckReport {
+    /// The verdict.
+    pub class: BoundClass,
+    /// Fraction of tile-cycles doing or waiting on compute
+    /// (busy + operand waits).
+    pub compute_frac: f64,
+    /// Fraction of tile-cycles waiting on memory
+    /// (data box + cache miss + MSHR + DRAM queue).
+    pub memory_frac: f64,
+    /// Fraction of tile-cycles idle on task machinery
+    /// (sync waits + empty queues).
+    pub spawn_frac: f64,
+    /// Raw spawn-backpressure tile-cycles (redistributed before
+    /// classification).
+    pub backpressure_cycles: u64,
+    /// The single largest stall reason overall.
+    pub dominant: StallReason,
+}
+
+impl BottleneckReport {
+    fn from_profile(p: &Profile) -> BottleneckReport {
+        let total = |r: StallReason| p.stall_total(r) as f64;
+        let compute = total(StallReason::Busy) + total(StallReason::WaitingOperand);
+        let memory = total(StallReason::WaitingDatabox)
+            + total(StallReason::CacheMiss)
+            + total(StallReason::MshrFull)
+            + total(StallReason::DramQueue);
+        let spawn = total(StallReason::SyncWait) + total(StallReason::QueueEmpty);
+        let bp = total(StallReason::SpawnBackpressure);
+        // Backpressure is caused by whatever the rest of the design is
+        // doing; spread it proportionally (all-backpressure runs count as
+        // spawn-bound).
+        let base = compute + memory + spawn;
+        let (compute, memory, spawn) = if base > 0.0 {
+            (compute + bp * compute / base, memory + bp * memory / base, spawn + bp * spawn / base)
+        } else {
+            (compute, memory, spawn + bp)
+        };
+        let all = (compute + memory + spawn).max(1.0);
+        let class = if memory >= compute && memory >= spawn {
+            BoundClass::Memory
+        } else if spawn >= compute {
+            BoundClass::Spawn
+        } else {
+            BoundClass::Compute
+        };
+        let dominant = StallReason::ALL
+            .into_iter()
+            .max_by_key(|&r| p.stall_total(r))
+            .expect("non-empty reason list");
+        BottleneckReport {
+            class,
+            compute_frac: compute / all,
+            memory_frac: memory / all,
+            spawn_frac: spawn / all,
+            backpressure_cycles: bp as u64,
+            dominant,
+        }
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render a recorded event trace in the Chrome `chrome://tracing` /
+/// Perfetto trace-event JSON format.
+///
+/// Each task unit becomes a thread (named via `"M"` metadata events); each
+/// dispatched span of a task instance becomes an `"X"` duration event;
+/// each spawn with a known parent becomes an `"s"`/`"f"` flow arrow; each
+/// cache miss becomes an `"i"` instant event. One cycle is rendered as one
+/// microsecond. The output is deterministic for a given event list.
+pub fn chrome_trace(events: &[SimEvent], unit_names: &[String]) -> String {
+    use std::collections::HashMap;
+    use std::fmt::Write;
+    let mut out = String::with_capacity(events.len() * 64 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    macro_rules! emit {
+        ($($arg:tt)*) => {{
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write!(out, $($arg)*).expect("writing to a String cannot fail");
+        }};
+    }
+    for (i, name) in unit_names.iter().enumerate() {
+        emit!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{i},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        );
+    }
+    // (unit, slot) -> (dispatch cycle, tile) for the open span.
+    let mut open: HashMap<(usize, usize), (u64, usize)> = HashMap::new();
+    let mut flow_id = 0u64;
+    for e in events {
+        match e.kind {
+            SimEventKind::Spawned { parent } => {
+                if let Some((pu, _ps)) = parent {
+                    flow_id += 1;
+                    emit!(
+                        "{{\"ph\":\"s\",\"id\":{flow_id},\"pid\":0,\"tid\":{pu},\
+                         \"ts\":{},\"name\":\"spawn\",\"cat\":\"spawn\"}}",
+                        e.cycle
+                    );
+                    emit!(
+                        "{{\"ph\":\"f\",\"bp\":\"e\",\"id\":{flow_id},\"pid\":0,\
+                         \"tid\":{},\"ts\":{},\"name\":\"spawn\",\"cat\":\"spawn\"}}",
+                        e.unit,
+                        e.cycle
+                    );
+                }
+            }
+            SimEventKind::Dispatched { tile } => {
+                open.insert((e.unit, e.slot), (e.cycle, tile));
+            }
+            SimEventKind::SyncWait | SimEventKind::CallWait | SimEventKind::Completed => {
+                if let Some((start, tile)) = open.remove(&(e.unit, e.slot)) {
+                    let name = unit_names.get(e.unit).map(String::as_str).unwrap_or("task");
+                    emit!(
+                        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{start},\"dur\":{},\
+                         \"name\":\"{}\",\"cat\":\"task\",\
+                         \"args\":{{\"slot\":{},\"tile\":{tile}}}}}",
+                        e.unit,
+                        (e.cycle - start).max(1),
+                        esc(name),
+                        e.slot
+                    );
+                }
+            }
+            SimEventKind::CacheMiss { addr } => {
+                emit!(
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{},\
+                     \"name\":\"cache-miss\",\"cat\":\"mem\",\"args\":{{\"addr\":{addr}}}}}",
+                    e.unit,
+                    e.cycle
+                );
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"tapas-sim\",\"clock\":\"1 cycle = 1us\"}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tile_profile(a: [u64; 9], b: [u64; 9]) -> Profile {
+        let cycles: u64 = a.iter().sum();
+        Profile {
+            level: ProfileLevel::Summary,
+            cycles,
+            units: vec![UnitProfile {
+                name: "u".into(),
+                tiles: vec![TileProfile { stalls: a }, TileProfile { stalls: b }],
+                queue: QueueSummary::default(),
+                node_mix: [0; 5],
+            }],
+        }
+    }
+
+    #[test]
+    fn invariant_detects_imbalance() {
+        let mut p = two_tile_profile([10, 0, 0, 0, 0, 0, 0, 0, 0], [5, 5, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(p.check_invariant().is_ok());
+        p.units[0].tiles[1].stalls[0] = 4;
+        let err = p.check_invariant().unwrap_err();
+        assert!(err.contains("tile 1"), "{err}");
+    }
+
+    #[test]
+    fn bottleneck_classes() {
+        // Memory dominated.
+        let p = two_tile_profile([1, 0, 3, 4, 0, 2, 0, 0, 0], [1, 0, 3, 4, 0, 2, 0, 0, 0]);
+        let r = p.bottleneck();
+        assert_eq!(r.class, BoundClass::Memory);
+        assert!(r.memory_frac > r.compute_frac);
+        assert_eq!(r.dominant, StallReason::CacheMiss);
+        // Spawn/queue dominated.
+        let p = two_tile_profile([2, 0, 0, 0, 0, 0, 0, 5, 3], [2, 0, 0, 0, 0, 0, 0, 5, 3]);
+        assert_eq!(p.bottleneck().class, BoundClass::Spawn);
+        // Compute dominated.
+        let p = two_tile_profile([8, 1, 1, 0, 0, 0, 0, 0, 0], [8, 1, 1, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(p.bottleneck().class, BoundClass::Compute);
+    }
+
+    #[test]
+    fn backpressure_redistributes_to_the_congested_side() {
+        // One tile all backpressure, one tile mostly memory: the
+        // backpressure is a memory symptom here.
+        let p = two_tile_profile([1, 0, 0, 0, 0, 0, 9, 0, 0], [2, 0, 4, 4, 0, 0, 0, 0, 0]);
+        let r = p.bottleneck();
+        assert_eq!(r.class, BoundClass::Memory);
+        assert_eq!(r.backpressure_cycles, 9);
+    }
+
+    #[test]
+    fn chrome_trace_renders_all_event_shapes() {
+        let names = vec!["root".to_string(), "task".to_string()];
+        let events = vec![
+            SimEvent { cycle: 0, unit: 0, slot: 0, kind: SimEventKind::Spawned { parent: None } },
+            SimEvent { cycle: 2, unit: 0, slot: 0, kind: SimEventKind::Dispatched { tile: 0 } },
+            SimEvent {
+                cycle: 4,
+                unit: 1,
+                slot: 1,
+                kind: SimEventKind::Spawned { parent: Some((0, 0)) },
+            },
+            SimEvent { cycle: 5, unit: 0, slot: 0, kind: SimEventKind::SyncWait },
+            SimEvent { cycle: 6, unit: 1, slot: 1, kind: SimEventKind::Dispatched { tile: 0 } },
+            SimEvent { cycle: 7, unit: 1, slot: 1, kind: SimEventKind::CacheMiss { addr: 64 } },
+            SimEvent { cycle: 9, unit: 1, slot: 1, kind: SimEventKind::Completed },
+        ];
+        let json = chrome_trace(&events, &names);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"addr\":64"));
+        // Deterministic.
+        assert_eq!(json, chrome_trace(&events, &names));
+    }
+}

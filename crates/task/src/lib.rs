@@ -15,6 +15,8 @@
 
 #![warn(missing_docs)]
 
+pub mod queue;
+
 use std::collections::{HashMap, HashSet};
 use tapas_ir::analysis::Cfg;
 use tapas_ir::{BlockId, FuncId, Function, Module, Op, Terminator, Type, ValueId};

@@ -64,15 +64,19 @@ fn main() {
 
     // --- 3. Stage 3: instantiate with 4 worker tiles and simulate -------
     const N: u64 = 64;
-    let cfg = AcceleratorConfig::default().with_tiles("affine::task1", 4);
+    let cfg = AcceleratorConfig::builder()
+        .tile_override("affine::task1", 4)
+        .build()
+        .expect("valid configuration");
     let mut acc = design.instantiate(&cfg).expect("elaborates");
     for k in 0..N {
         acc.mem_mut().write_bytes(k * 4, &(k as i32).to_le_bytes());
     }
     let out = acc.run(func, &[Val::Int(0), Val::Int(N)]).expect("runs");
+    let min_spawn = out.stats.min_spawn_latency.expect("detaches ran");
     println!(
-        "\naccelerator: {} cycles, {} spawns, min spawn latency {} cycles",
-        out.cycles, out.stats.spawns, out.stats.min_spawn_latency
+        "\naccelerator: {} cycles, {} spawns, min spawn latency {min_spawn} cycles",
+        out.cycles, out.stats.spawns
     );
     println!("cache: {} hits / {} misses", out.stats.cache.hits, out.stats.cache.misses);
 

@@ -37,11 +37,12 @@ fn main() {
         for e in events.iter().filter(|e| e.unit == u) {
             let col = (e.cycle as usize / scale).min(COLS - 1);
             let ch = match e.kind {
-                SimEventKind::Spawned => b'.',
+                SimEventKind::Spawned { .. } => b'.',
                 SimEventKind::Dispatched { .. } => b'#',
                 SimEventKind::SyncWait => b's',
                 SimEventKind::CallWait => b'c',
                 SimEventKind::Completed => b'#',
+                SimEventKind::CacheMiss { .. } => b'm',
             };
             // dispatch/complete dominate visual weight
             if row[col] != b'#' {
@@ -50,13 +51,16 @@ fn main() {
         }
         println!("{:<22} |{}|", name, String::from_utf8(row).unwrap());
     }
-    println!("\nlegend: '.' spawn queued   '#' executing   's' sync-parked   'c' call-parked");
+    println!(
+        "\nlegend: '.' spawn queued   '#' executing   's' sync-parked   'c' call-parked   \
+         'm' cache miss"
+    );
     println!("(1 column ≈ {scale} cycles)");
 
     // The stage structure is visible: the ordered probe loop (root) runs the
     // whole time, the fingerprint stage fills the front, compress/write
     // stages trail it.
     let spawned: Vec<&SimEvent> =
-        events.iter().filter(|e| matches!(e.kind, SimEventKind::Spawned)).collect();
+        events.iter().filter(|e| matches!(e.kind, SimEventKind::Spawned { .. })).collect();
     assert_eq!(spawned.len() as u64, out.stats.spawns + 1);
 }

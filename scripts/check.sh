@@ -15,4 +15,8 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> reproduce profile smoke (JSON schema gate)"
+./target/release/reproduce profile --json /tmp/profile.json >/dev/null
+./target/release/reproduce check-json /tmp/profile.json
+
 echo "All checks passed."

@@ -70,6 +70,28 @@ fn queue_depth_changes_timing_not_results() {
 }
 
 #[test]
+fn profiling_never_changes_the_simulation() {
+    // The profiler must be pure observation: for every benchmark the
+    // outcome of a profiled run is indistinguishable from an unprofiled
+    // one (same cycles, same result, same counters) — profiling off means
+    // literally nothing changes but the attached `profile`.
+    for wl in suite_small() {
+        let off = run_and_check(&wl, &cfg_for(&wl, 2));
+        let profiled = AcceleratorConfig { profile: tapas::ProfileLevel::Full, ..cfg_for(&wl, 2) };
+        let on = run_and_check(&wl, &profiled);
+        assert!(off.profile.is_none(), "{}: no profile unless requested", wl.name);
+        assert!(on.profile.is_some(), "{}", wl.name);
+        assert_eq!(off.cycles, on.cycles, "{}: profiling perturbed timing", wl.name);
+        assert_eq!(off.ret, on.ret, "{}", wl.name);
+        assert_eq!(off.stats.spawns, on.stats.spawns, "{}", wl.name);
+        assert_eq!(off.stats.calls, on.stats.calls, "{}", wl.name);
+        assert_eq!(off.stats.cache.hits, on.stats.cache.hits, "{}", wl.name);
+        assert_eq!(off.stats.cache.misses, on.stats.cache.misses, "{}", wl.name);
+        assert_eq!(off.stats.min_spawn_latency, on.stats.min_spawn_latency, "{}", wl.name);
+    }
+}
+
+#[test]
 fn rtl_emitted_for_every_benchmark() {
     for wl in suite_small() {
         let design = Toolchain::new().compile(&wl.module).expect("compiles");

@@ -122,11 +122,7 @@ fn spawn_latency_claim_holds_across_configs() {
         let mut acc = design.instantiate(&cfg).unwrap();
         acc.mem_mut().write_bytes(0, &wl.mem);
         let out = acc.run(wl.func, &wl.args).unwrap();
-        assert!(
-            out.stats.min_spawn_latency >= 8 && out.stats.min_spawn_latency <= 14,
-            "paper: ~10 cycles, got {} at {} tiles",
-            out.stats.min_spawn_latency,
-            tiles
-        );
+        let min = out.stats.min_spawn_latency.expect("the microbenchmark spawns tasks");
+        assert!((8..=14).contains(&min), "paper: ~10 cycles, got {min} at {tiles} tiles");
     }
 }

@@ -153,6 +153,35 @@ fn random_straightline_program_sim_equals_interp() {
 }
 
 #[test]
+fn stall_attribution_balances_on_random_programs() {
+    use tapas::ProfileLevel;
+    let mut r = SplitMix64::new(0x5eed_0009);
+    for round in 0..24 {
+        let ops = rand_ops(&mut r, 1, 24);
+        let (module, f) = build_random_program(&ops);
+        let (x, y) = (r.next_i32(), r.next_i32());
+        let args = [Val::Int(0), Val::Int(x as u32 as u64), Val::Int(y as u32 as u64)];
+        let design = Toolchain::new().compile(&module).unwrap();
+        let cfg = tapas::AcceleratorConfig::builder()
+            .mem_bytes(4096)
+            .profile(ProfileLevel::Full)
+            .build()
+            .unwrap();
+        let mut acc = design.instantiate(&cfg).unwrap();
+        acc.mem_mut().write_bytes(0, &[0u8; 8]);
+        let out = acc.run(f, &args).unwrap();
+        let p = out.profile.expect("profiling was on");
+        p.check_invariant().unwrap_or_else(|e| panic!("round {round}, ops {ops:?}: {e}"));
+        assert_eq!(p.cycles, out.cycles, "round {round}");
+        assert_eq!(
+            p.attributed_cycles(),
+            p.cycles * p.tile_count() as u64,
+            "round {round}: every tile-cycle charged exactly once"
+        );
+    }
+}
+
+#[test]
 fn accelerator_sorts_arbitrary_arrays() {
     let mut r = SplitMix64::new(0x5eed_0002);
     for _ in 0..12 {
