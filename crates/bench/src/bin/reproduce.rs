@@ -6,10 +6,14 @@
 //!
 //! where `experiment` is one of `table2`, `spawn`, `fig13`, `table3`,
 //! `fig14`, `fig15`, `fig16`, `table4`, `fig17`, `table5`, `lint`,
-//! `profile`, or `all` (default). Pass `--json <path>` to also dump the
-//! raw rows (for `all` and `profile`; the dump carries a
-//! `schema_version` field). `check-json <path>` validates a previously
+//! `profile`, `faults`, or `all` (default). Pass `--json <path>` to also
+//! dump the raw rows (for `all`, `profile` and `faults`; the dump carries
+//! a `schema_version` field). `check-json <path>` validates a previously
 //! written dump: well-formed JSON with the current schema version.
+//!
+//! `faults` runs every benchmark under the fault-injection matrix and
+//! exits non-zero if any run is silently wrong (completed with corrupted
+//! output instead of being masked or failing with a typed error).
 
 use tapas_bench::experiments as exp;
 use tapas_bench::json::{self, ToJson};
@@ -35,6 +39,20 @@ fn main() {
             if let Some(p) = &json_path {
                 std::fs::write(p, results.to_json()).expect("write json");
                 println!("\nraw rows written to {p}");
+            }
+            return;
+        }
+        "faults" => {
+            let results = exp::fault_results();
+            print_faults(&results.rows);
+            if let Some(p) = &json_path {
+                std::fs::write(p, results.to_json()).expect("write json");
+                println!("\nraw rows written to {p}");
+            }
+            let wrong = results.rows.iter().filter(|r| r.silently_wrong()).count();
+            if wrong > 0 {
+                eprintln!("faults: {wrong} run(s) completed with silently corrupted output");
+                std::process::exit(1);
             }
             return;
         }
@@ -80,6 +98,7 @@ fn main() {
             print_mem(&all.mem_ablation);
             print_elision(&all.elision_ablation);
             print_profile(&all.profile);
+            print_faults(&all.faults);
             print_lint();
             if let Some(p) = &json_path {
                 std::fs::write(p, all.to_json()).expect("write json");
@@ -148,6 +167,27 @@ fn print_profile(rows: &[exp::ProfileRow]) {
             r.memory_frac * 100.0,
             r.spawn_frac * 100.0,
             r.dominant
+        );
+    }
+}
+
+fn print_faults(rows: &[exp::FaultRow]) {
+    hdr("Robustness: fault-injection matrix (masked or detected, never silent)");
+    println!(
+        "{:<12} {:<16} {:<10} {:>7} {:>7} {:>4} {:>6} detail",
+        "bench", "scenario", "outcome", "inject", "retries", "ecc", "fenced"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:<16} {:<10} {:>7} {:>7} {:>4} {:>6} {}",
+            r.name,
+            r.scenario,
+            r.outcome,
+            r.faults_injected,
+            r.mem_retries,
+            r.ecc_retries,
+            r.quarantined_tiles,
+            r.detail
         );
     }
 }

@@ -4,13 +4,13 @@ use crate::json::json_object;
 use crate::{design_info, estimate, i7_seconds, ntasks_for, seconds_on_board, simulate};
 use tapas::baseline::{estimate_static_hls, StaticHlsConfig};
 use tapas::res::{self, Board};
-use tapas::{ProfileLevel, Toolchain};
+use tapas::{Fault, FaultPlan, FaultTolerance, ProfileLevel, Toolchain};
 use tapas_workloads::{image_scale, saxpy, scale_micro, suite_eval, suite_small, BuiltWorkload};
 
 /// Version stamped into every JSON document `reproduce --json` writes.
 /// Bump whenever a row struct gains, loses or renames a field so that
 /// downstream plotting scripts can detect stale dumps.
-pub const JSON_SCHEMA_VERSION: u64 = 2;
+pub const JSON_SCHEMA_VERSION: u64 = 3;
 
 /// Table II: per-task static properties of every benchmark.
 #[derive(Debug, Clone)]
@@ -683,6 +683,153 @@ pub fn profile_results() -> ProfileResults {
     ProfileResults { schema_version: JSON_SCHEMA_VERSION, rows: profile_report() }
 }
 
+/// One benchmark × fault-scenario cell of the robustness matrix.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Fault-scenario label.
+    pub scenario: &'static str,
+    /// `"masked"` (results byte-identical to fault-free), `"detected"`
+    /// (typed error), or `"silent-corruption"` — the one outcome the
+    /// fault model must never produce.
+    pub outcome: String,
+    /// The typed error for detected runs; empty when masked.
+    pub detail: String,
+    /// Simulated cycles for completed runs.
+    pub cycles: Option<u64>,
+    /// Faults the plan actually injected.
+    pub faults_injected: u64,
+    /// Memory retries performed during recovery.
+    pub mem_retries: u64,
+    /// ECC-triggered refetches.
+    pub ecc_retries: u64,
+    /// Tiles fenced by quarantine.
+    pub quarantined_tiles: u64,
+}
+
+impl FaultRow {
+    /// A run that completed with wrong output bytes.
+    pub fn silently_wrong(&self) -> bool {
+        self.outcome == "silent-corruption"
+    }
+}
+
+/// Run every benchmark under a matrix of fault scenarios and verify each
+/// run is **masked** (output byte-identical to the fault-free run) or
+/// **detected** (fails with a typed [`tapas::SimError`]). The matrix
+/// covers transient tile stalls, dropped + duplicated grants, ECC-corrected
+/// corruption, DRAM response timeouts, queue parity errors, retry
+/// exhaustion, and a quarantine scenario where a 4-tile unit loses a tile
+/// mid-run and keeps producing correct results.
+pub fn fault_matrix() -> Vec<FaultRow> {
+    let mut rows = Vec::new();
+    for wl in suite_small() {
+        let design = Toolchain::new().compile(&wl.module).expect("compiles");
+        // Four tiles on every unit: the degradation scenarios need spare
+        // tiles to fall back on.
+        let base = crate::accel_config(&wl, 4, ntasks_for(&wl));
+        let mut probe = design.instantiate(&base).expect("elaborates");
+        probe.mem_mut().write_bytes(0, &wl.mem);
+        let baseline = probe.run(wl.func, &wl.args).expect("fault-free baseline runs");
+        let worker = probe.unit_names().iter().position(|n| *n == wl.worker_task).unwrap_or(0);
+        let golden = wl.golden_memory();
+        let expected = wl.output_of(&golden);
+        let tol = FaultTolerance::default();
+        let scenarios: Vec<(&'static str, FaultPlan, FaultTolerance)> = vec![
+            (
+                "tile-stall",
+                FaultPlan::new().with(Fault::TileStall {
+                    unit: worker,
+                    tile: 1,
+                    at: (baseline.cycles / 4).max(1),
+                    cycles: 500,
+                }),
+                tol,
+            ),
+            (
+                "drop+dup-retry",
+                FaultPlan::new()
+                    .with(Fault::DropResponse { nth: 3 })
+                    .with(Fault::DuplicateResponse { nth: 5 }),
+                tol,
+            ),
+            ("corrupt-ecc", FaultPlan::new().with(Fault::CorruptResponse { nth: 2, bit: 11 }), tol),
+            (
+                "dram-timeout",
+                FaultPlan::new().with(Fault::DelayResponse { nth: 1, cycles: 50_000 }),
+                tol,
+            ),
+            (
+                "parity-detect",
+                FaultPlan::new().with(Fault::QueueParity { nth_spawn: 2, bit: 3 }),
+                tol,
+            ),
+            (
+                "retry-exhausted",
+                FaultPlan::new().with(Fault::DropResponse { nth: 1 }),
+                FaultTolerance { max_mem_retries: 0, ..tol },
+            ),
+            (
+                "quarantine-wedge",
+                FaultPlan::new().with(Fault::TileWedge {
+                    unit: worker,
+                    tile: 2,
+                    at: (baseline.cycles / 3).max(1),
+                }),
+                tol,
+            ),
+        ];
+        for (scenario, plan, tolerance) in scenarios {
+            let cfg = tapas::AcceleratorConfig { faults: Some(plan), tolerance, ..base.clone() };
+            let mut acc = design.instantiate(&cfg).expect("elaborates");
+            acc.mem_mut().write_bytes(0, &wl.mem);
+            rows.push(match acc.run(wl.func, &wl.args) {
+                Ok(out) => {
+                    let good = acc.mem().read_bytes(wl.output.0, wl.output.1) == expected;
+                    FaultRow {
+                        name: wl.name.clone(),
+                        scenario,
+                        outcome: if good { "masked" } else { "silent-corruption" }.to_string(),
+                        detail: String::new(),
+                        cycles: Some(out.cycles),
+                        faults_injected: out.stats.faults_injected,
+                        mem_retries: out.stats.mem_retries,
+                        ecc_retries: out.stats.ecc_retries,
+                        quarantined_tiles: out.stats.quarantined_tiles,
+                    }
+                }
+                Err(e) => FaultRow {
+                    name: wl.name.clone(),
+                    scenario,
+                    outcome: "detected".to_string(),
+                    detail: e.to_string(),
+                    cycles: None,
+                    faults_injected: 0,
+                    mem_retries: 0,
+                    ecc_retries: 0,
+                    quarantined_tiles: 0,
+                },
+            });
+        }
+    }
+    rows
+}
+
+/// The `reproduce faults --json` document: versioned fault-matrix rows.
+#[derive(Debug, Clone)]
+pub struct FaultMatrixResults {
+    /// [`JSON_SCHEMA_VERSION`] at the time of the run.
+    pub schema_version: u64,
+    /// One row per benchmark × scenario.
+    pub rows: Vec<FaultRow>,
+}
+
+/// Run the fault matrix and wrap it for serialization.
+pub fn fault_results() -> FaultMatrixResults {
+    FaultMatrixResults { schema_version: JSON_SCHEMA_VERSION, rows: fault_matrix() }
+}
+
 /// Everything, serialized as one JSON document.
 #[derive(Debug, Clone)]
 pub struct AllResults {
@@ -716,6 +863,8 @@ pub struct AllResults {
     pub elision_ablation: Vec<ElisionAblationRow>,
     /// Cycle-attribution verdicts.
     pub profile: Vec<ProfileRow>,
+    /// Fault-injection robustness matrix.
+    pub faults: Vec<FaultRow>,
 }
 
 /// Run every experiment.
@@ -736,6 +885,7 @@ pub fn all() -> AllResults {
         mem_ablation: mem_ablation(),
         elision_ablation: elision_ablation(),
         profile: profile_report(),
+        faults: fault_matrix(),
     }
 }
 
@@ -821,6 +971,18 @@ json_object!(ProfileRow {
     backpressure_cycles
 });
 json_object!(ProfileResults { schema_version, rows });
+json_object!(FaultRow {
+    name,
+    scenario,
+    outcome,
+    detail,
+    cycles,
+    faults_injected,
+    mem_retries,
+    ecc_retries,
+    quarantined_tiles
+});
+json_object!(FaultMatrixResults { schema_version, rows });
 json_object!(AllResults {
     schema_version,
     table2,
@@ -836,5 +998,6 @@ json_object!(AllResults {
     grain_ablation,
     mem_ablation,
     elision_ablation,
-    profile
+    profile,
+    faults
 });

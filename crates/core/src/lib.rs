@@ -82,8 +82,8 @@ pub use tapas_task as task;
 
 pub use tapas_sim::{
     Accelerator, AcceleratorConfig, AcceleratorConfigBuilder, BottleneckReport, BoundClass,
-    ConfigError, Profile, ProfileLevel, SimError, SimEvent, SimEventKind, SimOutcome, SimStats,
-    StallReason,
+    ConfigError, DeadlockDiagnosis, Fault, FaultPlan, FaultTolerance, Profile, ProfileLevel,
+    SimError, SimEvent, SimEventKind, SimOutcome, SimStats, StallReason, WaitCause,
 };
 
 use tapas_dfg::{lower_tasks, LatencyModel, TaskDfg};

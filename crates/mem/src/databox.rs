@@ -9,7 +9,7 @@
 //! the port logic (accesses are naturally aligned in our IR).
 
 use crate::cache::AccessOutcome;
-use crate::{MemReq, MemResp, MemSystem, ReqId};
+use crate::{MemFault, MemReq, MemResp, MemSystem, ReqId};
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Data box parameters.
@@ -171,7 +171,14 @@ impl DataBox {
     /// One cycle of arbitration: grant up to `issue_width` eligible requests
     /// (round-robin over ports) to the memory system, and stage completed
     /// responses into the out demux network.
-    pub fn tick(&mut self, now: u64, ms: &mut MemSystem) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] when a granted request is malformed (out of
+    /// bounds, misaligned or a bad size); the request is removed from its
+    /// port queue so the caller can surface the error and keep the box
+    /// consistent.
+    pub fn tick(&mut self, now: u64, ms: &mut MemSystem) -> Result<(), MemFault> {
         let mut granted = 0;
         let ports = self.cfg.ports;
         let mut scanned = 0;
@@ -181,9 +188,18 @@ impl DataBox {
             if let Some(&(req, eligible)) = q.front() {
                 if eligible <= now {
                     let dram_ops_before = ms.dram.reads + ms.dram.writes;
-                    match ms.issue(req, now) {
+                    let issued = match ms.issue(req, now) {
+                        Ok(v) => v,
+                        Err(err) => {
+                            // Remove the poisoned request so the box stays
+                            // consistent if the caller recovers.
+                            self.queues[idx].pop_front();
+                            return Err(MemFault { req, err });
+                        }
+                    };
+                    match issued {
                         Some(_) => {
-                            q.pop_front();
+                            self.queues[idx].pop_front();
                             granted += 1;
                             self.stats.issued += 1;
                             if self.log_grants {
@@ -228,6 +244,7 @@ impl DataBox {
         for resp in ms.pop_ready(now) {
             self.delayed.push(Delayed { at: now + self.levels, resp });
         }
+        Ok(())
     }
 
     /// Responses whose demux traversal has completed by cycle `now`.
@@ -235,6 +252,7 @@ impl DataBox {
         let mut out = Vec::new();
         while let Some(d) = self.delayed.peek() {
             if d.at <= now {
+                // invariant: peek just returned Some, so pop cannot fail.
                 out.push(self.delayed.pop().unwrap().resp);
             } else {
                 break;
@@ -277,7 +295,7 @@ mod tests {
     ) -> Vec<(u64, MemResp)> {
         let mut got = Vec::new();
         for now in 0..max_cycles {
-            db.tick(now, ms);
+            db.tick(now, ms).unwrap();
             for r in db.pop_responses(now) {
                 got.push((now, r));
             }
@@ -336,7 +354,7 @@ mod tests {
         let mut grant_cycles = Vec::new();
         for now in 1000..1200u64 {
             let before = db.stats().issued;
-            db.tick(now, &mut ms);
+            db.tick(now, &mut ms).unwrap();
             if db.stats().issued > before {
                 grant_cycles.push(now);
             }
@@ -373,11 +391,31 @@ mod tests {
         assert!(db.enqueue(req(1, 0, 0), 0));
         assert!(db.enqueue(req(2, 1, 4096), 0));
         for now in 0..20 {
-            db.tick(now, &mut ms);
+            db.tick(now, &mut ms).unwrap();
             db.pop_responses(now);
         }
         let log = db.take_grant_log();
         assert!(log.iter().any(|g| g.class == GrantClass::Rejected), "MSHR pressure logged");
+    }
+
+    #[test]
+    fn malformed_request_surfaces_as_fault_and_is_dropped() {
+        let (mut db, mut ms) = mk(2);
+        assert!(db.enqueue(req(1, 0, 1_000_000), 0), "the box accepts; the memory refuses");
+        let mut fault = None;
+        for now in 0..20 {
+            match db.tick(now, &mut ms) {
+                Ok(()) => {}
+                Err(f) => {
+                    fault = Some(f);
+                    break;
+                }
+            }
+        }
+        let fault = fault.expect("out-of-bounds request faulted");
+        assert_eq!(fault.req.id, ReqId(1));
+        assert!(matches!(fault.err, crate::MemError::OutOfBounds { .. }));
+        assert_eq!(db.queued(), 0, "the poisoned request was removed");
     }
 
     #[test]

@@ -64,6 +64,64 @@ pub struct MemResp {
     pub rdata: u64,
 }
 
+/// A malformed memory request the system refused to execute. Reachable
+/// from hostile configurations (an accelerator memory sized smaller than
+/// the program's footprint) and from injected faults that corrupt
+/// addresses, so it is a typed error rather than a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The access extends past the end of accelerator memory.
+    OutOfBounds {
+        /// Byte address of the access.
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+        /// Configured memory size in bytes.
+        mem_bytes: usize,
+    },
+    /// The access is not naturally aligned.
+    Misaligned {
+        /// Byte address of the access.
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// The access size is not 1, 2, 4 or 8 bytes.
+    BadSize {
+        /// The rejected size.
+        size: u8,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, size, mem_bytes } => write!(
+                f,
+                "{size}-byte access at {addr:#x} is outside the {mem_bytes}-byte accelerator memory"
+            ),
+            MemError::Misaligned { addr, size } => {
+                write!(f, "{size}-byte access at {addr:#x} is not naturally aligned")
+            }
+            MemError::BadSize { size } => {
+                write!(f, "unsupported access size {size} (must be 1, 2, 4 or 8)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// A request the data box could not service: the offending request plus
+/// the reason the memory system refused it.
+#[derive(Debug, Clone, Copy)]
+pub struct MemFault {
+    /// The refused request.
+    pub req: MemReq,
+    /// Why it was refused.
+    pub err: MemError,
+}
+
 /// The shared memory system: functional storage + L1 cache + DRAM timing.
 ///
 /// # Examples
@@ -76,7 +134,7 @@ pub struct MemResp {
 /// let t = ms.issue(MemReq {
 ///     id: ReqId(1), port: 0, addr: 64, size: 4,
 ///     kind: MemOpKind::Read, wdata: 0,
-/// }, 0).expect("cache accepts");
+/// }, 0).expect("well-formed request").expect("cache accepts");
 /// // The response is available once the (miss) latency has elapsed.
 /// let resp = ms.pop_ready(t).into_iter().next().unwrap();
 /// assert_eq!(resp.rdata, 42);
@@ -161,28 +219,37 @@ impl MemSystem {
     ///
     /// The functional effect is applied immediately (issue order is program
     /// order at each port; the dataflow serializes dependent accesses). The
-    /// returned cycle is when the response becomes available, or `None` if
-    /// the cache cannot accept the request this cycle (MSHRs full / port
-    /// conflict) — the caller must retry.
-    pub fn issue(&mut self, req: MemReq, now: u64) -> Option<u64> {
-        debug_assert!(
-            req.size.is_power_of_two() && req.size <= 8,
-            "unsupported access size {}",
-            req.size
-        );
-        debug_assert_eq!(
-            req.addr % req.size as u64,
-            0,
-            "unaligned access at {:#x} size {}",
-            req.addr,
-            req.size
-        );
-        let done = match &mut self.l2 {
+    /// returned cycle is when the response becomes available, or
+    /// `Ok(None)` if the cache cannot accept the request this cycle (MSHRs
+    /// full / port conflict) — the caller must retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for a malformed request (bad size, misaligned,
+    /// or out of bounds) *before* any functional or timing effect.
+    pub fn issue(&mut self, req: MemReq, now: u64) -> Result<Option<u64>, MemError> {
+        if !req.size.is_power_of_two() || req.size > 8 {
+            return Err(MemError::BadSize { size: req.size });
+        }
+        if !req.addr.is_multiple_of(u64::from(req.size)) {
+            return Err(MemError::Misaligned { addr: req.addr, size: req.size });
+        }
+        if u128::from(req.addr) + u128::from(req.size) > self.data.len() as u128 {
+            return Err(MemError::OutOfBounds {
+                addr: req.addr,
+                size: req.size,
+                mem_bytes: self.data.len(),
+            });
+        }
+        let outcome = match &mut self.l2 {
             Some(l2) => {
                 let mut backend = L2Backend { l2, dram: &mut self.dram };
-                self.cache.try_access(req.addr, req.kind, now, &mut backend)?
+                self.cache.try_access(req.addr, req.kind, now, &mut backend)
             }
-            None => self.cache.try_access(req.addr, req.kind, now, &mut self.dram)?,
+            None => self.cache.try_access(req.addr, req.kind, now, &mut self.dram),
+        };
+        let Some(done) = outcome else {
+            return Ok(None);
         };
         let rdata = match req.kind {
             MemOpKind::Read => self.read_bits(req.addr, req.size),
@@ -195,7 +262,7 @@ impl MemSystem {
             ready_at: done,
             resp: MemResp { id: req.id, port: req.port, rdata },
         });
-        Some(done)
+        Ok(Some(done))
     }
 
     /// Pop all responses ready at or before cycle `now`.
@@ -203,6 +270,7 @@ impl MemSystem {
         let mut out = Vec::new();
         while let Some(top) = self.pending.peek() {
             if top.ready_at <= now {
+                // invariant: peek just returned Some, so pop cannot fail.
                 out.push(self.pending.pop().unwrap().resp);
             } else {
                 break;
@@ -281,8 +349,8 @@ mod tests {
     #[test]
     fn read_after_write_roundtrip() {
         let mut ms = MemSystem::new(256, CacheConfig::default(), DramConfig::default());
-        let t1 = ms.issue(req(1, 16, MemOpKind::Write, 0xdead_beef), 0).unwrap();
-        let t2 = ms.issue(req(2, 16, MemOpKind::Read, 0), t1).unwrap();
+        let t1 = ms.issue(req(1, 16, MemOpKind::Write, 0xdead_beef), 0).unwrap().unwrap();
+        let t2 = ms.issue(req(2, 16, MemOpKind::Read, 0), t1).unwrap().unwrap();
         let resps = ms.pop_ready(t1.max(t2));
         assert_eq!(resps.len(), 2);
         let read = resps.iter().find(|r| r.id == ReqId(2)).unwrap();
@@ -292,9 +360,9 @@ mod tests {
     #[test]
     fn first_touch_misses_then_hits() {
         let mut ms = MemSystem::new(256, CacheConfig::default(), DramConfig::default());
-        let t1 = ms.issue(req(1, 0, MemOpKind::Read, 0), 0).unwrap();
+        let t1 = ms.issue(req(1, 0, MemOpKind::Read, 0), 0).unwrap().unwrap();
         assert!(t1 > u64::from(ms.cache.config().hit_latency), "miss pays DRAM latency");
-        let t2 = ms.issue(req(2, 4, MemOpKind::Read, 0), t1).unwrap();
+        let t2 = ms.issue(req(2, 4, MemOpKind::Read, 0), t1).unwrap().unwrap();
         assert_eq!(t2 - t1, u64::from(ms.cache.config().hit_latency), "same line now hits");
         assert_eq!(ms.cache.stats().hits, 1);
         assert_eq!(ms.cache.stats().misses, 1);
@@ -303,7 +371,7 @@ mod tests {
     #[test]
     fn next_event_tracks_earliest_pending() {
         let mut ms = MemSystem::new(256, CacheConfig::default(), DramConfig::default());
-        let t = ms.issue(req(1, 0, MemOpKind::Read, 0), 0).unwrap();
+        let t = ms.issue(req(1, 0, MemOpKind::Read, 0), 0).unwrap().unwrap();
         assert_eq!(ms.next_event(), Some(t));
         assert!(ms.pop_ready(t - 1).is_empty());
         assert_eq!(ms.pop_ready(t).len(), 1);
@@ -315,6 +383,28 @@ mod tests {
     fn oob_read_panics() {
         let ms = MemSystem::new(8, CacheConfig::default(), DramConfig::default());
         ms.read_bits(8, 4);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        let mut ms = MemSystem::new(64, CacheConfig::default(), DramConfig::default());
+        let oob = ms.issue(req(1, 64, MemOpKind::Read, 0), 0).unwrap_err();
+        assert_eq!(oob, MemError::OutOfBounds { addr: 64, size: 4, mem_bytes: 64 });
+        let mis = ms.issue(req(2, 2, MemOpKind::Read, 0), 0).unwrap_err();
+        assert_eq!(mis, MemError::Misaligned { addr: 2, size: 4 });
+        let bad = ms
+            .issue(
+                MemReq { id: ReqId(3), port: 0, addr: 0, size: 3, ..req(3, 0, MemOpKind::Read, 0) },
+                0,
+            )
+            .unwrap_err();
+        assert_eq!(bad, MemError::BadSize { size: 3 });
+        // No functional or timing effect from any of them.
+        assert!(!ms.has_pending());
+        assert_eq!(ms.cache.stats().hits + ms.cache.stats().misses, 0);
+        // A huge address must not overflow the bounds check.
+        let huge = ms.issue(req(4, u64::MAX - 7, MemOpKind::Read, 0), 0).unwrap_err();
+        assert!(matches!(huge, MemError::OutOfBounds { .. }));
     }
 }
 
@@ -350,7 +440,7 @@ mod l2_tests {
                     wdata: 0,
                 };
                 let done = loop {
-                    match ms.issue(req, *now) {
+                    match ms.issue(req, *now).unwrap() {
                         Some(d) => break d,
                         None => *now += 1,
                     }
@@ -390,7 +480,7 @@ mod l2_tests {
                     wdata: k * 7,
                 };
                 now = loop {
-                    match ms.issue(req, now) {
+                    match ms.issue(req, now).unwrap() {
                         Some(d) => break d,
                         None => now += 1,
                     }

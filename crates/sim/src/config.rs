@@ -21,6 +21,7 @@
 //! as panics deep inside elaboration (zero tiles, a non-power-of-two cache,
 //! a zero-depth data-box queue) into a typed [`ConfigError`].
 
+use crate::fault::{FaultPlan, FaultTolerance};
 use crate::profile::ProfileLevel;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -70,6 +71,12 @@ pub struct AcceleratorConfig {
     /// Write a Chrome `chrome://tracing` event trace to this path at the
     /// end of every run. Implies event recording.
     pub trace_path: Option<PathBuf>,
+    /// Deterministic fault-injection plan. `None` (the default) is the
+    /// fault-free fast path: no recovery machinery perturbs the timing.
+    pub faults: Option<FaultPlan>,
+    /// Recovery mechanisms armed while a fault plan is active (watchdog,
+    /// memory retry, ECC, queue parity, tile quarantine).
+    pub tolerance: FaultTolerance,
 }
 
 impl Default for AcceleratorConfig {
@@ -91,6 +98,8 @@ impl Default for AcceleratorConfig {
             record_events: false,
             profile: ProfileLevel::Off,
             trace_path: None,
+            faults: None,
+            tolerance: FaultTolerance::default(),
         }
     }
 }
@@ -136,6 +145,12 @@ impl AcceleratorConfig {
         }
         if self.mem_bytes == 0 {
             return Err(ConfigError::ZeroMemory);
+        }
+        if self.tolerance.mem_retry && self.tolerance.mem_timeout == 0 {
+            return Err(ConfigError::ZeroTimeout { which: "memory retry timeout" });
+        }
+        if self.tolerance.watchdog_timeout == Some(0) {
+            return Err(ConfigError::ZeroTimeout { which: "watchdog timeout" });
         }
         for (label, c) in
             std::iter::once(("L1", &self.cache)).chain(self.l2.as_ref().map(|c| ("L2", c)))
@@ -186,6 +201,12 @@ pub enum ConfigError {
     },
     /// The accelerator has no memory.
     ZeroMemory,
+    /// A fault-tolerance timeout of zero would fire before the event it
+    /// guards could ever complete.
+    ZeroTimeout {
+        /// Which timeout.
+        which: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -209,6 +230,9 @@ impl std::fmt::Display for ConfigError {
                 "{level} line size ({cache_line} B) must match the DRAM burst ({dram_line} B)"
             ),
             ConfigError::ZeroMemory => write!(f, "accelerator memory size must be non-zero"),
+            ConfigError::ZeroTimeout { which } => {
+                write!(f, "{which} must be at least one cycle when its mechanism is enabled")
+            }
         }
     }
 }
@@ -326,6 +350,18 @@ impl AcceleratorConfigBuilder {
         self
     }
 
+    /// Arm deterministic fault injection with this plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Recovery mechanisms used while faults are injected.
+    pub fn tolerance(mut self, tolerance: FaultTolerance) -> Self {
+        self.cfg.tolerance = tolerance;
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
@@ -394,6 +430,25 @@ mod tests {
         assert!(matches!(err, ConfigError::LineMismatch { level: "L1", .. }));
         let err = AcceleratorConfig::builder().mem_bytes(0).build().unwrap_err();
         assert_eq!(err, ConfigError::ZeroMemory);
+    }
+
+    #[test]
+    fn builder_sets_fault_knobs_and_rejects_zero_timeouts() {
+        let c = AcceleratorConfig::builder()
+            .faults(FaultPlan::random(7))
+            .tolerance(FaultTolerance { max_mem_retries: 2, ..FaultTolerance::default() })
+            .build()
+            .unwrap();
+        assert!(c.faults.as_ref().is_some_and(|p| !p.is_empty()));
+        assert_eq!(c.tolerance.max_mem_retries, 2);
+
+        let tol = FaultTolerance { mem_timeout: 0, ..FaultTolerance::default() };
+        let err = AcceleratorConfig::builder().tolerance(tol).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroTimeout { which: "memory retry timeout" });
+
+        let tol = FaultTolerance { watchdog_timeout: Some(0), ..FaultTolerance::default() };
+        let err = AcceleratorConfig::builder().tolerance(tol).build().unwrap_err();
+        assert!(err.to_string().contains("watchdog"));
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! The accelerator execution engine: task units, queues, tiles, and the
 //! top-level cycle loop.
 
+use crate::fault::{
+    BlockedTask, DeadlockDiagnosis, FaultRt, RespFault, UnitWaitState, WaitCause, WaitEdge,
+    WaitKind,
+};
 use crate::profile::{NodeClass, Profile, ProfileLevel, QueueSummary, StallReason, TileProfile};
 use crate::AcceleratorConfig;
 use std::collections::HashMap;
@@ -10,7 +14,9 @@ use tapas_ir::interp::{eval_bin, eval_cmp, eval_fbin, eval_fcmp, sign_extend, Va
 use tapas_ir::{
     mask_to_width, BlockId, CastKind, Constant, FuncId, Function, Module, Type, ValueId,
 };
-use tapas_mem::{DataBox, DataBoxConfig, GrantClass, MemOpKind, MemReq, MemSystem, ReqId};
+use tapas_mem::{
+    DataBox, DataBoxConfig, GrantClass, MemError, MemOpKind, MemReq, MemResp, MemSystem, ReqId,
+};
 use tapas_task::extract_module;
 use tapas_task::queue::QueueOccupancy;
 
@@ -25,13 +31,65 @@ pub enum SimError {
     DivByZero,
     /// The invoked function's root queue had no free entry.
     QueueFull,
-    /// No component made progress for a long window: the task queues are
-    /// sized too small for the program's recursion/spawn depth (increase
-    /// `ntasks` — the hardware analogue is the deep queue BRAMs the paper's
-    /// recursive designs allocate).
+    /// No component made progress for a long window. The payload reports
+    /// what the design was actually stuck on: the wait-for cycle between
+    /// task units, per-unit queue occupancy, and the oldest blocked task's
+    /// `(SID, DyID)`.
     Deadlock {
         /// Cycle at which the deadlock was declared.
         at: u64,
+        /// What the wait-for-graph diagnoser found.
+        diagnosis: Box<DeadlockDiagnosis>,
+    },
+    /// A per-unit watchdog fired: one tile made no progress for the
+    /// configured window (see
+    /// [`FaultTolerance::watchdog_timeout`](crate::FaultTolerance)).
+    WatchdogTimeout {
+        /// Name of the stuck task unit.
+        unit: String,
+        /// The stuck tile.
+        tile: usize,
+        /// Cycle the watchdog fired.
+        at: u64,
+        /// What the tile was waiting on.
+        waiting_on: WaitCause,
+    },
+    /// A memory request was retried
+    /// [`max_mem_retries`](crate::FaultTolerance::max_mem_retries) times
+    /// without ever receiving a response.
+    MemRetryExhausted {
+        /// Name of the issuing task unit.
+        unit: String,
+        /// The issuing tile.
+        tile: usize,
+        /// Byte address of the access.
+        addr: u64,
+        /// Retries attempted.
+        attempts: u32,
+    },
+    /// Queue-RAM parity detected a corrupted entry at dispatch.
+    QueueParity {
+        /// Name of the task unit whose queue is corrupted.
+        unit: String,
+        /// The corrupted slot (the `DyID`).
+        slot: usize,
+    },
+    /// Quarantine would fence a unit's last healthy tile: the unit cannot
+    /// degrade any further.
+    AllTilesFailed {
+        /// Name of the fully degraded task unit.
+        unit: String,
+    },
+    /// The memory system refused a malformed request (out of bounds,
+    /// misaligned or a bad size).
+    Memory {
+        /// Name of the issuing task unit, when the request could be
+        /// attributed.
+        unit: Option<String>,
+        /// The issuing tile, when attributable.
+        tile: Option<usize>,
+        /// Why the request was refused.
+        fault: MemError,
     },
     /// A dataflow construct the engine cannot execute.
     Unsupported(String),
@@ -47,11 +105,34 @@ impl std::fmt::Display for SimError {
             SimError::CycleLimit(n) => write!(f, "cycle limit of {n} exceeded"),
             SimError::DivByZero => write!(f, "division by zero"),
             SimError::QueueFull => write!(f, "root task queue full"),
-            SimError::Deadlock { at } => write!(
+            SimError::Deadlock { at, diagnosis } => {
+                write!(f, "deadlock at cycle {at}: {diagnosis}")
+            }
+            SimError::WatchdogTimeout { unit, tile, at, waiting_on } => write!(
                 f,
-                "deadlock at cycle {at}: task queues too small for the \
-                 program's spawn depth (increase ntasks)"
+                "watchdog timeout at cycle {at}: unit {unit} tile {tile} stuck on {waiting_on}"
             ),
+            SimError::MemRetryExhausted { unit, tile, addr, attempts } => write!(
+                f,
+                "memory retry exhausted: unit {unit} tile {tile} got no response for \
+                 {addr:#x} after {attempts} retries"
+            ),
+            SimError::QueueParity { unit, slot } => {
+                write!(f, "queue-RAM parity error in unit {unit} slot {slot}")
+            }
+            SimError::AllTilesFailed { unit } => {
+                write!(f, "every tile of unit {unit} exceeded its fault budget")
+            }
+            SimError::Memory { unit, tile, fault } => {
+                write!(f, "memory fault")?;
+                if let Some(u) = unit {
+                    write!(f, " from unit {u}")?;
+                }
+                if let Some(t) = tile {
+                    write!(f, " tile {t}")?;
+                }
+                write!(f, ": {fault}")
+            }
             SimError::Unsupported(s) => write!(f, "unsupported: {s}"),
             SimError::Trace(s) => write!(f, "writing the event trace failed: {s}"),
         }
@@ -147,6 +228,19 @@ pub struct SimStats {
     pub databox_issued: u64,
     /// Requests the cache refused (MSHR pressure), i.e. memory stalls.
     pub cache_stalls: u64,
+    /// Memory requests re-arbitrated after a response timeout (dropped or
+    /// overdue grants).
+    pub mem_retries: u64,
+    /// Corrupted responses ECC caught and converted into retries.
+    pub ecc_retries: u64,
+    /// Responses with no matching outstanding request (duplicated grants,
+    /// or late originals already superseded by a retry) — detected and
+    /// discarded.
+    pub spurious_responses: u64,
+    /// Faults the injection plan actually delivered this run.
+    pub faults_injected: u64,
+    /// Tiles fenced off by quarantine.
+    pub quarantined_tiles: u64,
 }
 
 impl SimStats {
@@ -224,6 +318,9 @@ struct QueueEntry {
     dispatched_once: bool,
     host: bool,
     via_detach: bool,
+    /// Queue-RAM parity mismatch injected on this entry; detected at
+    /// dispatch when parity checking is enabled.
+    poisoned: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -231,6 +328,38 @@ struct CallRet {
     unit: usize,
     slot: usize,
     node: usize,
+}
+
+/// One TXU tile plus its fault-tolerance state. Fault-free runs leave the
+/// extra fields at their defaults, so the engine behaves exactly as if
+/// the tile were a bare `Option<Exec>`.
+#[derive(Debug, Default)]
+struct Tile {
+    exec: Option<Exec>,
+    /// Fenced off by quarantine; never dispatched to again.
+    fenced: bool,
+    /// Frozen until this cycle by an injected stall (`u64::MAX` = wedged).
+    stall_until: u64,
+    /// Injected faults absorbed so far (quarantine fences past the budget).
+    fault_count: u32,
+    /// Cycle of the most recent injected fault, for the watchdog.
+    faulted_at: u64,
+    /// Waiting for outstanding memory to drain before fencing.
+    quarantine_pending: bool,
+}
+
+impl Tile {
+    fn frozen(&self, now: u64) -> bool {
+        self.fenced || now < self.stall_until
+    }
+
+    fn wedged(&self) -> bool {
+        self.stall_until == u64::MAX
+    }
+
+    fn accepts_dispatch(&self, now: u64) -> bool {
+        self.exec.is_none() && !self.quarantine_pending && !self.frozen(now)
+    }
 }
 
 #[derive(Debug)]
@@ -242,7 +371,7 @@ struct TaskUnit {
     entries: Vec<Option<QueueEntry>>,
     free: Vec<usize>,
     ready: Vec<usize>, // LIFO: depth-first scheduling bounds queue growth
-    tiles: Vec<Option<Exec>>,
+    tiles: Vec<Tile>,
     port_base: usize,
     stats: UnitStats,
 }
@@ -253,11 +382,20 @@ impl TaskUnit {
     }
 }
 
+/// Everything the engine must remember about an outstanding memory
+/// request: where its response routes, the request itself (for retries),
+/// and the retry bookkeeping.
 #[derive(Debug, Clone, Copy)]
-struct MemTarget {
+struct ReqMeta {
     unit: usize,
     tile: usize,
     node: usize,
+    req: MemReq,
+    /// Cycle after which the request is considered lost (`u64::MAX` when
+    /// no recovery mechanism is armed).
+    deadline: u64,
+    /// Retries already performed for this access.
+    attempts: u32,
 }
 
 /// Live profiler state, boxed behind an `Option` so a disabled profiler
@@ -266,7 +404,7 @@ struct MemTarget {
 struct Prof {
     level: ProfileLevel,
     /// `[unit][tile][reason]` cycle counters.
-    stalls: Vec<Vec<[u64; 9]>>,
+    stalls: Vec<Vec<[u64; 10]>>,
     /// Per-cycle scratch: the tile finished or parked an instance this
     /// cycle (so an empty tile still counts as having worked).
     worked: Vec<Vec<bool>>,
@@ -281,7 +419,7 @@ impl Prof {
     fn new(level: ProfileLevel, units: &[TaskUnit], ntasks: usize) -> Prof {
         Prof {
             level,
-            stalls: units.iter().map(|u| vec![[0; 9]; u.tiles.len()]).collect(),
+            stalls: units.iter().map(|u| vec![[0; 10]; u.tiles.len()]).collect(),
             worked: units.iter().map(|u| vec![false; u.tiles.len()]).collect(),
             queues: units.iter().map(|_| QueueOccupancy::new(ntasks as u32)).collect(),
             node_mix: vec![[0; 5]; units.len()],
@@ -327,6 +465,7 @@ fn node_class(op: &NodeOp) -> NodeClass {
 /// outstanding requests is charged the most constrained one.
 fn mem_severity(r: StallReason) -> u8 {
     match r {
+        StallReason::FaultStall => 4,
         StallReason::MshrFull => 3,
         StallReason::DramQueue => 2,
         StallReason::CacheMiss => 1,
@@ -343,7 +482,7 @@ pub struct Accelerator {
     func_root: Vec<usize>,
     databox: DataBox,
     ms: MemSystem,
-    req_map: HashMap<u64, MemTarget>,
+    req_map: HashMap<u64, ReqMeta>,
     next_req: u64,
     cycle: u64,
     cfg: AcceleratorConfig,
@@ -355,6 +494,14 @@ pub struct Accelerator {
     progress: bool,
     events: Vec<SimEvent>,
     prof: Option<Box<Prof>>,
+    /// Injection state, rebuilt from the plan at the start of every run;
+    /// `None` when no plan is configured (the fault-free fast path).
+    fault_rt: Option<Box<FaultRt>>,
+    mem_retries: u64,
+    ecc_retries: u64,
+    spurious_responses: u64,
+    faults_injected: u64,
+    quarantined_tiles: u64,
 }
 
 impl std::fmt::Debug for Accelerator {
@@ -402,7 +549,7 @@ impl Accelerator {
                     entries: (0..cfg.ntasks).map(|_| None).collect(),
                     free: (0..cfg.ntasks).rev().collect(),
                     ready: Vec::new(),
-                    tiles: (0..tiles).map(|_| None).collect(),
+                    tiles: (0..tiles).map(|_| Tile::default()).collect(),
                     port_base,
                 });
                 port_base += ports;
@@ -437,6 +584,12 @@ impl Accelerator {
             progress: false,
             events: Vec::new(),
             prof: None,
+            fault_rt: None,
+            mem_retries: 0,
+            ecc_retries: 0,
+            spurious_responses: 0,
+            faults_injected: 0,
+            quarantined_tiles: 0,
         })
     }
 
@@ -503,6 +656,26 @@ impl Accelerator {
         };
         let instrumented = self.prof.is_some() || self.tracing();
         self.databox.set_grant_log(instrumented);
+        // Rebuild injection state from the plan every run so repeated runs
+        // observe the same fault sequence, and reset recovery bookkeeping.
+        self.fault_rt = self.cfg.faults.as_ref().filter(|p| !p.is_empty()).map(|p| {
+            let geometry: Vec<usize> = self.units.iter().map(|u| u.tiles.len()).collect();
+            Box::new(FaultRt::new(p, &geometry))
+        });
+        self.mem_retries = 0;
+        self.ecc_retries = 0;
+        self.spurious_responses = 0;
+        self.faults_injected = 0;
+        self.quarantined_tiles = 0;
+        for u in &mut self.units {
+            for t in &mut u.tiles {
+                t.fenced = false;
+                t.stall_until = 0;
+                t.fault_count = 0;
+                t.faulted_at = 0;
+                t.quarantine_pending = false;
+            }
+        }
         let start_cycle = self.cycle;
         let slot = self
             .alloc_entry(root_unit, args.to_vec(), None, None, self.cycle, true, false)
@@ -511,21 +684,38 @@ impl Accelerator {
         let mut last_progress = self.cycle;
         while self.host_result.is_none() {
             let now = self.cycle;
-            self.databox.tick(now, &mut self.ms);
+            if self.fault_rt.is_some() {
+                self.apply_tile_faults(now);
+                self.process_quarantines(now)?;
+            }
+            if let Err(fault) = self.databox.tick(now, &mut self.ms) {
+                let meta = self.req_map.get(&fault.req.id.0).copied();
+                return Err(SimError::Memory {
+                    unit: meta.map(|m| self.units[m.unit].name.clone()),
+                    tile: meta.map(|m| m.tile),
+                    fault: fault.err,
+                });
+            }
             if instrumented {
                 self.classify_grants(now);
             }
             for resp in self.databox.pop_responses(now) {
-                self.route_response(resp, now);
-                self.progress = true;
+                self.route_with_faults(resp, now);
+            }
+            if self.fault_rt.is_some() {
+                self.deliver_delayed(now);
+                self.scan_retries(now)?;
             }
             for u in 0..self.units.len() {
-                self.dispatch(u, now);
+                self.dispatch(u, now)?;
             }
             for u in 0..self.units.len() {
                 for t in 0..self.units[u].tiles.len() {
                     self.advance_tile(u, t, now)?;
                 }
+            }
+            if self.fault_rt.is_some() {
+                self.check_watchdog(now)?;
             }
             if self.prof.is_some() {
                 self.attribute_cycle(now);
@@ -535,8 +725,11 @@ impl Accelerator {
             for u in &mut self.units {
                 let occ = u.occupancy();
                 u.stats.queue_peak = u.stats.queue_peak.max(occ);
-                u.stats.busy_tile_cycles += u.tiles.iter().filter(|t| t.is_some()).count() as u64;
+                u.stats.busy_tile_cycles +=
+                    u.tiles.iter().filter(|t| t.exec.is_some()).count() as u64;
                 if let Some(qs) = queues.as_mut() {
+                    // invariant: the profiler allocates exactly one
+                    // accumulator per unit before the loop starts.
                     qs.next().expect("one occupancy accumulator per unit").observe(occ as u32);
                 }
             }
@@ -544,7 +737,10 @@ impl Accelerator {
                 last_progress = now;
                 self.progress = false;
             } else if now - last_progress > 100_000 {
-                return Err(SimError::Deadlock { at: now });
+                return Err(SimError::Deadlock {
+                    at: now,
+                    diagnosis: Box::new(self.diagnose_deadlock(now)),
+                });
             }
             self.cycle += 1;
             if self.cycle - start_cycle > self.cfg.max_cycles {
@@ -565,6 +761,11 @@ impl Accelerator {
             dram_writes: self.ms.dram.writes,
             databox_issued: self.databox.stats().issued,
             cache_stalls: self.databox.stats().cache_stalls,
+            mem_retries: self.mem_retries,
+            ecc_retries: self.ecc_retries,
+            spurious_responses: self.spurious_responses,
+            faults_injected: self.faults_injected,
+            quarantined_tiles: self.quarantined_tiles,
         };
         let profile = self.prof.take().map(|p| p.finish(cycles, &self.units));
         if let Some(path) = self.cfg.trace_path.clone() {
@@ -590,7 +791,7 @@ impl Accelerator {
             }
             if matches!(g.class, GrantClass::Miss | GrantClass::MissDramQueued) && self.tracing() {
                 if let Some(t) = self.req_map.get(&g.id.0).copied() {
-                    let slot = self.units[t.unit].tiles[t.tile].as_ref().map(|e| e.slot);
+                    let slot = self.units[t.unit].tiles[t.tile].exec.as_ref().map(|e| e.slot);
                     if let Some(slot) = slot {
                         self.record(now, t.unit, slot, SimEventKind::CacheMiss { addr: g.addr });
                     }
@@ -609,7 +810,13 @@ impl Accelerator {
         // Worst outstanding memory class per (unit, tile).
         let mut mem_wait: HashMap<(usize, usize), StallReason> = HashMap::new();
         for (id, t) in &self.req_map {
-            let class = prof.req_class.get(id).copied().unwrap_or(StallReason::WaitingDatabox);
+            let class = if t.attempts > 0 {
+                // A request on its retry path is fault recovery, not an
+                // ordinary memory stall.
+                StallReason::FaultStall
+            } else {
+                prof.req_class.get(id).copied().unwrap_or(StallReason::WaitingDatabox)
+            };
             let worst = mem_wait.entry((t.unit, t.tile)).or_insert(class);
             if mem_severity(class) > mem_severity(*worst) {
                 *worst = class;
@@ -634,7 +841,12 @@ impl Accelerator {
         worked: bool,
     ) -> StallReason {
         let u = &self.units[unit];
-        let Some(exec) = u.tiles[tile].as_ref() else {
+        if u.tiles[tile].frozen(now) || u.tiles[tile].quarantine_pending {
+            // Fenced, stalled, or draining for quarantine: the cycle is
+            // lost to the injected fault, whatever the tile holds.
+            return StallReason::FaultStall;
+        }
+        let Some(exec) = u.tiles[tile].exec.as_ref() else {
             // Idle tile: attribute to what the task unit is waiting on.
             if worked {
                 return StallReason::Busy;
@@ -723,6 +935,19 @@ impl Accelerator {
         host: bool,
         via_detach: bool,
     ) -> Option<usize> {
+        // Queue-RAM parity injection: flip a bit in the first argument word
+        // as the entry is written. Parity checking catches it at dispatch.
+        let mut args = args;
+        let mut poisoned = false;
+        if let Some(rt) = self.fault_rt.as_deref_mut() {
+            if let Some(bit) = rt.on_spawn() {
+                self.faults_injected += 1;
+                poisoned = true;
+                if let Some(first) = args.first_mut() {
+                    *first = Val::Int(val_bits(*first) ^ (1u64 << (bit % 64)));
+                }
+            }
+        }
         let u = &mut self.units[unit];
         let slot = u.free.pop()?;
         u.entries[slot] = Some(QueueEntry {
@@ -737,17 +962,18 @@ impl Accelerator {
             dispatched_once: false,
             host,
             via_detach,
+            poisoned,
         });
         u.ready.push(slot);
         self.record(now, unit, slot, SimEventKind::Spawned { parent });
         Some(slot)
     }
 
-    fn dispatch(&mut self, unit: usize, now: u64) {
+    fn dispatch(&mut self, unit: usize, now: u64) -> Result<(), SimError> {
         loop {
             let u = &mut self.units[unit];
-            let Some(tile_idx) = u.tiles.iter().position(Option::is_none) else {
-                return;
+            let Some(tile_idx) = u.tiles.iter().position(|t| t.accepts_dispatch(now)) else {
+                return Ok(());
             };
             // LIFO scan for a dispatchable entry.
             let Some(pos) = u
@@ -755,10 +981,17 @@ impl Accelerator {
                 .iter()
                 .rposition(|&s| u.entries[s].as_ref().is_some_and(|e| e.ready_at <= now))
             else {
-                return;
+                return Ok(());
             };
             let slot = u.ready.remove(pos);
+            // invariant: the ready list only holds slots whose entry is
+            // occupied; entries are cleared strictly after leaving it.
             let entry = u.entries[slot].as_mut().expect("ready entry exists");
+            if entry.poisoned && self.cfg.tolerance.parity {
+                // Parity mismatch on queue-RAM read: detected, never
+                // silently executed with corrupted arguments.
+                return Err(SimError::QueueParity { unit: u.name.clone(), slot });
+            }
             if !entry.dispatched_once {
                 entry.dispatched_once = true;
                 if entry.via_detach {
@@ -796,7 +1029,7 @@ impl Accelerator {
                 }
             };
             let slot = exec.slot;
-            u.tiles[tile_idx] = Some(exec);
+            u.tiles[tile_idx].exec = Some(exec);
             self.progress = true;
             self.record(now, unit, slot, SimEventKind::Dispatched { tile: tile_idx });
         }
@@ -804,21 +1037,80 @@ impl Accelerator {
 
     // ---- responses ----------------------------------------------------------
 
+    /// Pass a memory response through the fault runtime's out-demux model
+    /// before delivering it: the response may be dropped, duplicated,
+    /// bit-flipped, or delayed. Fault-free runs take the first branch.
+    fn route_with_faults(&mut self, resp: MemResp, now: u64) {
+        let fault = match self.fault_rt.as_deref_mut() {
+            Some(rt) => rt.on_response(),
+            None => RespFault::None,
+        };
+        match fault {
+            RespFault::None => {
+                self.route_response(resp, now);
+                self.progress = true;
+            }
+            RespFault::Drop => {
+                // The request's `ReqMeta` stays in place; once its deadline
+                // lapses the retry scan re-issues it (or fails typed).
+                self.faults_injected += 1;
+            }
+            RespFault::Duplicate => {
+                self.faults_injected += 1;
+                self.route_response(resp, now);
+                // The second copy finds no `ReqMeta` and is discarded as
+                // spurious.
+                self.route_response(resp, now);
+                self.progress = true;
+            }
+            RespFault::Corrupt(bit) => {
+                self.faults_injected += 1;
+                if self.cfg.tolerance.ecc {
+                    // ECC detects the flip; discard the word and re-fetch.
+                    self.ecc_retries += 1;
+                    self.retry_request(resp.id.0, now);
+                } else {
+                    let mut resp = resp;
+                    resp.rdata ^= 1u64 << (bit % 64);
+                    self.route_response(resp, now);
+                    self.progress = true;
+                }
+            }
+            RespFault::Delay(cycles) => {
+                self.faults_injected += 1;
+                if let Some(rt) = self.fault_rt.as_deref_mut() {
+                    rt.delayed.push((now + cycles, resp));
+                }
+            }
+        }
+    }
+
     fn route_response(&mut self, resp: tapas_mem::MemResp, now: u64) {
         if let Some(p) = self.prof.as_deref_mut() {
             p.req_class.remove(&resp.id.0);
         }
         let Some(target) = self.req_map.remove(&resp.id.0) else {
+            // No outstanding request behind this id: a duplicated grant, a
+            // late original overtaken by its retry, or a delayed copy that
+            // outlived its requester. Discarding is safe — workloads are
+            // determinacy-race-free, so a retried access returns the same
+            // data the stale response carried.
+            self.spurious_responses += 1;
             return;
         };
         let u = &mut self.units[target.unit];
-        let Some(exec) = u.tiles[target.tile].as_mut() else {
+        let Some(exec) = u.tiles[target.tile].exec.as_mut() else {
+            // invariant: a task with in-flight memory never suspends (the
+            // call-spawn quiesce check) and quarantine drains outstanding
+            // requests before re-parking, so the tile must hold the task.
             panic!("memory response for an empty tile (suspension invariant broken)");
         };
         let node = &u.dfg.blocks[exec.block_idx].nodes[target.node];
         let value = match &node.op {
             NodeOp::Load { .. } => Some(load_value(self.module.function(u.func), node, resp.rdata)),
             NodeOp::Store { .. } => None,
+            // invariant: request ids are only minted by issue_mem for
+            // Load/Store nodes, so a response can never target another op.
             other => panic!("memory response for non-memory node {other:?}"),
         };
         let ns = &mut exec.nodes[target.node];
@@ -829,14 +1121,280 @@ impl Accelerator {
         }
     }
 
+    // ---- fault recovery -----------------------------------------------------
+
+    /// Fire the tile stall/wedge faults scheduled for this cycle and mark
+    /// over-budget tiles for quarantine.
+    fn apply_tile_faults(&mut self, now: u64) {
+        let due = match self.fault_rt.as_deref_mut() {
+            Some(rt) => rt.due_tile_faults(now),
+            None => Vec::new(),
+        };
+        for ev in due {
+            self.faults_injected += 1;
+            let budget = self.cfg.tolerance.tile_fault_budget;
+            let quarantine = self.cfg.tolerance.quarantine;
+            let t = &mut self.units[ev.unit].tiles[ev.tile];
+            if t.fenced {
+                continue;
+            }
+            t.faulted_at = now;
+            if ev.wedge {
+                t.stall_until = u64::MAX;
+                // A wedge never recovers: force it past any budget so
+                // quarantine (when armed) always fences the tile.
+                t.fault_count = t.fault_count.max(budget.saturating_add(1));
+            } else {
+                t.stall_until = t.stall_until.max(now + ev.cycles);
+                t.fault_count += 1;
+            }
+            if quarantine && t.fault_count > budget {
+                t.quarantine_pending = true;
+            }
+        }
+    }
+
+    /// Fence tiles that exhausted their fault budget once their outstanding
+    /// memory drains, re-parking any resident task so it resumes on a
+    /// healthy tile. Degrades gracefully while at least one tile survives.
+    fn process_quarantines(&mut self, now: u64) -> Result<(), SimError> {
+        for unit in 0..self.units.len() {
+            for tile in 0..self.units[unit].tiles.len() {
+                if !self.units[unit].tiles[tile].quarantine_pending {
+                    continue;
+                }
+                // Outstanding responses are routed by (unit, tile); wait
+                // for them to drain so none lands on the tile's successor.
+                if self.req_map.values().any(|m| m.unit == unit && m.tile == tile) {
+                    continue;
+                }
+                let u = &mut self.units[unit];
+                let t = &mut u.tiles[tile];
+                t.quarantine_pending = false;
+                t.fenced = true;
+                self.quarantined_tiles += 1;
+                if let Some(exec) = t.exec.take() {
+                    // Re-park the in-flight instance; its saved context
+                    // (including completed node results) re-dispatches
+                    // wherever a healthy tile frees up.
+                    let slot = exec.slot;
+                    // invariant: a running exec always back-references the
+                    // queue entry it was dispatched from, and that entry is
+                    // not freed until the task completes.
+                    let entry = u.entries[slot].as_mut().expect("running entry exists");
+                    entry.saved = Some(Box::new(exec));
+                    entry.ready_at = now + 1;
+                    u.ready.push(slot);
+                }
+                self.progress = true;
+                if u.tiles.iter().all(|t| t.fenced) {
+                    return Err(SimError::AllTilesFailed { unit: u.name.clone() });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-issue the request behind `id` under a fresh id with a backed-off
+    /// deadline. The old id is forgotten, so a late original response is
+    /// discarded as spurious rather than delivered twice.
+    fn retry_request(&mut self, id: u64, now: u64) {
+        let Some(meta) = self.req_map.remove(&id) else {
+            return;
+        };
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.req_class.remove(&id);
+        }
+        let attempts = meta.attempts + 1;
+        let mut req = meta.req;
+        req.id = ReqId(self.next_req);
+        // Exponential backoff, capped so the deadline arithmetic cannot
+        // overflow even after many retries.
+        let backoff = self.cfg.tolerance.mem_timeout << u64::from(attempts.min(6));
+        if self.databox.enqueue(req, now) {
+            self.next_req += 1;
+            self.req_map
+                .insert(req.id.0, ReqMeta { req, deadline: now + backoff, attempts, ..meta });
+        } else {
+            // Databox queue full this cycle: keep the original id and poll
+            // again next cycle without consuming a retry attempt.
+            self.req_map.insert(id, ReqMeta { deadline: now + 1, ..meta });
+        }
+        self.progress = true;
+    }
+
+    /// Find outstanding requests past their deadline and recover: re-issue
+    /// them (bounded retries) or fail with a typed error when retries are
+    /// exhausted or recovery is disabled.
+    fn scan_retries(&mut self, now: u64) -> Result<(), SimError> {
+        let tol = self.cfg.tolerance;
+        if !tol.mem_retry && tol.watchdog_timeout.is_none() {
+            return Ok(());
+        }
+        // Collect then sort: `HashMap` iteration order must never leak
+        // into simulated behaviour (determinism).
+        let mut due: Vec<u64> =
+            self.req_map.iter().filter(|(_, m)| m.deadline <= now).map(|(&id, _)| id).collect();
+        due.sort_unstable();
+        for id in due {
+            let meta = self.req_map[&id];
+            if !tol.mem_retry {
+                // Watchdog-only mode: a lost response is detected, not
+                // retried.
+                return Err(SimError::WatchdogTimeout {
+                    unit: self.units[meta.unit].name.clone(),
+                    tile: meta.tile,
+                    at: now,
+                    waiting_on: WaitCause::Memory { addr: meta.req.addr, attempts: meta.attempts },
+                });
+            }
+            if meta.attempts >= tol.max_mem_retries {
+                return Err(SimError::MemRetryExhausted {
+                    unit: self.units[meta.unit].name.clone(),
+                    tile: meta.tile,
+                    addr: meta.req.addr,
+                    attempts: meta.attempts,
+                });
+            }
+            self.mem_retries += 1;
+            self.retry_request(id, now);
+        }
+        Ok(())
+    }
+
+    /// Release responses an injected delay has been holding back.
+    fn deliver_delayed(&mut self, now: u64) {
+        let due = match self.fault_rt.as_deref_mut() {
+            Some(rt) => rt.due_delayed(now),
+            None => Vec::new(),
+        };
+        for resp in due {
+            self.route_response(resp, now);
+            self.progress = true;
+        }
+    }
+
+    /// Detect tiles wedged past the watchdog window. Quarantine normally
+    /// fences a wedge first; the watchdog is the backstop when quarantine
+    /// is disabled (or the fence cannot drain).
+    fn check_watchdog(&mut self, now: u64) -> Result<(), SimError> {
+        let Some(window) = self.cfg.tolerance.watchdog_timeout else {
+            return Ok(());
+        };
+        for u in &self.units {
+            for (ti, t) in u.tiles.iter().enumerate() {
+                if t.wedged() && !t.fenced && !t.quarantine_pending && now - t.faulted_at >= window
+                {
+                    return Err(SimError::WatchdogTimeout {
+                        unit: u.name.clone(),
+                        tile: ti,
+                        at: now,
+                        waiting_on: WaitCause::Fault,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the wait-for-graph diagnosis reported inside
+    /// [`SimError::Deadlock`]: who waits on whom (and why), the cyclic
+    /// dependency if one exists, queue occupancy, the oldest blocked task,
+    /// and any wedged tiles.
+    fn diagnose_deadlock(&self, _now: u64) -> DeadlockDiagnosis {
+        let units: Vec<UnitWaitState> = self
+            .units
+            .iter()
+            .map(|u| UnitWaitState {
+                name: u.name.clone(),
+                occupancy: u.occupancy(),
+                capacity: u.entries.len(),
+                fenced_tiles: u.tiles.iter().filter(|t| t.fenced).count(),
+            })
+            .collect();
+        // Wait-for edges between task units. A unit waits on another when
+        // one of its live entries is suspended on that unit: a parent
+        // syncing on children, a caller awaiting a callee, or a detach /
+        // call-spawn backpressured by a full target queue.
+        let mut edges: Vec<WaitEdge> = Vec::new();
+        let mut add = |from: usize, to: usize, kind: WaitKind| {
+            if !edges.iter().any(|e| e.from == from && e.to == to && e.kind == kind) {
+                edges.push(WaitEdge { from, to, kind });
+            }
+        };
+        for (ui, u) in self.units.iter().enumerate() {
+            for entry in u.entries.iter().flatten() {
+                if let Some(cr) = entry.call_ret {
+                    // This entry is a callee: its caller waits on us.
+                    add(cr.unit, ui, WaitKind::Call);
+                }
+                if entry.waiting_sync {
+                    // The children of (ui, slot) live in child units; find
+                    // them by parent backlink.
+                    for (ci, cu) in self.units.iter().enumerate() {
+                        let has_child = cu
+                            .entries
+                            .iter()
+                            .flatten()
+                            .any(|ce| ce.parent.is_some_and(|(pu, _)| pu == ui) && ci != ui);
+                        if has_child {
+                            add(ui, ci, WaitKind::Join);
+                        }
+                    }
+                }
+            }
+            // A full queue blocks every unit that spawns into it.
+            if u.free.is_empty() {
+                for (pi, pu) in self.units.iter().enumerate() {
+                    if pi != ui && pu.entries.iter().flatten().any(|e| e.saved.is_some()) {
+                        add(pi, ui, WaitKind::Spawn);
+                    }
+                }
+            }
+        }
+        let cycle = find_cycle(self.units.len(), &edges);
+        let oldest = self
+            .units
+            .iter()
+            .enumerate()
+            .flat_map(|(ui, u)| {
+                u.entries
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(slot, e)| e.as_ref().map(|e| (ui, slot, e.spawned_at)))
+            })
+            .min_by_key(|&(_, _, at)| at)
+            .map(|(unit, slot, spawned_at)| BlockedTask { unit, slot, spawned_at });
+        let wedged: Vec<(usize, usize)> = self
+            .units
+            .iter()
+            .enumerate()
+            .flat_map(|(ui, u)| {
+                u.tiles
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.wedged() || t.fenced)
+                    .map(move |(ti, _)| (ui, ti))
+            })
+            .collect();
+        DeadlockDiagnosis { units, cycle, oldest, wedged }
+    }
+
     // ---- tile execution -------------------------------------------------------
 
     fn advance_tile(&mut self, unit: usize, tile: usize, now: u64) -> Result<(), SimError> {
-        let Some(mut exec) = self.units[unit].tiles[tile].take() else {
+        if self.units[unit].tiles[tile].frozen(now)
+            || self.units[unit].tiles[tile].quarantine_pending
+        {
+            // A frozen or draining tile holds its state but makes no
+            // forward progress this cycle.
+            return Ok(());
+        }
+        let Some(mut exec) = self.units[unit].tiles[tile].exec.take() else {
             return Ok(());
         };
         if now < exec.block_start {
-            self.units[unit].tiles[tile] = Some(exec);
+            self.units[unit].tiles[tile].exec = Some(exec);
             return Ok(());
         }
         let dfg = Rc::clone(&self.units[unit].dfg);
@@ -944,20 +1502,20 @@ impl Accelerator {
         // Terminator fires once every node in the block has drained.
         let all_done = exec.nodes.iter().all(|n| n.done(now));
         if !all_done {
-            self.units[unit].tiles[tile] = Some(exec);
+            self.units[unit].tiles[tile].exec = Some(exec);
             return Ok(());
         }
         match blk.term.clone() {
             TermInfo::Br(t) => {
                 self.enter_block(&mut exec, unit, t, now + self.cfg.block_transition);
-                self.units[unit].tiles[tile] = Some(exec);
+                self.units[unit].tiles[tile].exec = Some(exec);
                 self.progress = true;
             }
             TermInfo::CondBr { cond, if_true, if_false } => {
                 let c = self.operand_val(&cond, &exec).as_int() & 1;
                 let t = if c == 1 { if_true } else { if_false };
                 self.enter_block(&mut exec, unit, t, now + self.cfg.block_transition);
-                self.units[unit].tiles[tile] = Some(exec);
+                self.units[unit].tiles[tile].exec = Some(exec);
                 self.progress = true;
             }
             TermInfo::Ret(v) => {
@@ -982,19 +1540,21 @@ impl Accelerator {
                         .expect("running entry exists")
                         .children += 1;
                     self.enter_block(&mut exec, unit, cont, now + 1);
-                    self.units[unit].tiles[tile] = Some(exec);
+                    self.units[unit].tiles[tile].exec = Some(exec);
                 } else {
                     // Ready-valid backpressure: retry next cycle.
                     self.units[child_unit].stats.spawn_stalls += 1;
-                    self.units[unit].tiles[tile] = Some(exec);
+                    self.units[unit].tiles[tile].exec = Some(exec);
                 }
             }
             TermInfo::Sync(cont) => {
                 let slot = exec.slot;
+                // invariant: exec.slot back-references the live queue entry
+                // this instance was dispatched from.
                 let entry = self.units[unit].entries[slot].as_mut().expect("running entry exists");
                 if entry.children == 0 {
                     self.enter_block(&mut exec, unit, cont, now + self.cfg.sync_cost);
-                    self.units[unit].tiles[tile] = Some(exec);
+                    self.units[unit].tiles[tile].exec = Some(exec);
                 } else {
                     // SYNC state: context parks in the queue entry.
                     entry.waiting_sync = true;
@@ -1011,6 +1571,8 @@ impl Accelerator {
     fn enter_block(&self, exec: &mut Exec, unit: usize, block: BlockId, at: u64) {
         let u = &self.units[unit];
         let old = u.dfg.blocks[exec.block_idx].block;
+        // invariant: lowering only emits branch targets inside the task's
+        // own DFG; block ids never cross a task boundary.
         let idx = *u
             .block_index
             .get(&block)
@@ -1024,12 +1586,16 @@ impl Accelerator {
     fn finish_instance(&mut self, unit: usize, slot: usize, value: Option<Val>, now: u64) {
         self.progress = true;
         self.record(now, unit, slot, SimEventKind::Completed);
+        // invariant: only a running exec reaches finish_instance, and its
+        // slot stays occupied for the task's whole lifetime.
         let entry = self.units[unit].entries[slot].take().expect("finishing live entry");
         debug_assert_eq!(entry.children, 0, "task completed with outstanding children");
         self.units[unit].free.push(slot);
         self.units[unit].stats.tasks_executed += 1;
         if let Some(cr) = entry.call_ret {
             let dfg = Rc::clone(&self.units[cr.unit].dfg);
+            // invariant: a callee outlives its caller's queue entry — the
+            // caller suspends (saved context parked) until the return lands.
             let caller = self.units[cr.unit].entries[cr.slot].as_mut().expect("caller entry alive");
             let saved = caller.saved.as_mut().expect("caller suspended on call");
             let ns = &mut saved.nodes[cr.node];
@@ -1044,6 +1610,8 @@ impl Accelerator {
             self.units[cr.unit].ready.push(cr.slot);
         }
         if let Some((pu, ps)) = entry.parent {
+            // invariant: reattach semantics — a parent cannot retire before
+            // every detached child has completed.
             let p = self.units[pu].entries[ps]
                 .as_mut()
                 .expect("parent entry alive during child completion");
@@ -1083,6 +1651,9 @@ impl Accelerator {
 
     fn operand_val(&self, o: &Operand, exec: &Exec) -> Val {
         match o {
+            // invariant: dataflow firing order — a node only issues once
+            // every operand producer has completed, and the environment is
+            // populated at dispatch with every live-in the DFG references.
             Operand::Local(i) => {
                 exec.nodes[*i].value.unwrap_or_else(|| panic!("reading unfinished node {i}"))
             }
@@ -1124,6 +1695,8 @@ impl Accelerator {
                 Some(Val::Int(addr))
             }
             NodeOp::Phi { incomings } => {
+                // invariant: lowering never places a phi in an entry block,
+                // and every predecessor edge carries an incoming value.
                 let prev = exec.prev_block.expect("phi evaluated in an entry block");
                 let (_, o) = incomings
                     .iter()
@@ -1158,13 +1731,72 @@ impl Accelerator {
         let id = ReqId(self.next_req);
         let req = MemReq { id, port, addr, size, kind, wdata };
         if self.databox.enqueue(req, now) {
-            self.req_map.insert(id.0, MemTarget { unit, tile, node });
+            let deadline = self.initial_deadline(now);
+            self.req_map.insert(id.0, ReqMeta { unit, tile, node, req, deadline, attempts: 0 });
             self.next_req += 1;
             true
         } else {
             false
         }
     }
+
+    /// Deadline for a freshly issued request: the retry timeout when memory
+    /// retry is armed, the watchdog window when only the watchdog is, and
+    /// "never" on the fault-free fast path (so fault-free timing is
+    /// untouched by recovery machinery).
+    fn initial_deadline(&self, now: u64) -> u64 {
+        if self.fault_rt.is_none() {
+            return u64::MAX;
+        }
+        let tol = &self.cfg.tolerance;
+        if tol.mem_retry {
+            now + tol.mem_timeout
+        } else if let Some(w) = tol.watchdog_timeout {
+            now + w
+        } else {
+            u64::MAX
+        }
+    }
+}
+
+/// Find a directed cycle in the unit wait-for graph, returned as its edge
+/// sequence (empty when the graph is acyclic).
+fn find_cycle(n: usize, edges: &[WaitEdge]) -> Vec<WaitEdge> {
+    fn dfs(
+        v: usize,
+        state: &mut [u8], // 0 = unvisited, 1 = on path, 2 = done
+        path: &mut Vec<WaitEdge>,
+        edges: &[WaitEdge],
+    ) -> Option<usize> {
+        state[v] = 1;
+        for e in edges.iter().filter(|e| e.from == v) {
+            if state[e.to] == 1 {
+                path.push(*e);
+                return Some(e.to);
+            }
+            if state[e.to] == 0 {
+                path.push(*e);
+                if let Some(root) = dfs(e.to, state, path, edges) {
+                    return Some(root);
+                }
+                path.pop();
+            }
+        }
+        state[v] = 2;
+        None
+    }
+    let mut state = vec![0u8; n];
+    let mut path: Vec<WaitEdge> = Vec::new();
+    for v in 0..n {
+        if state[v] == 0 {
+            path.clear();
+            if let Some(root) = dfs(v, &mut state, &mut path, edges) {
+                let start = path.iter().position(|e| e.from == root).unwrap_or(0);
+                return path[start..].to_vec();
+            }
+        }
+    }
+    Vec::new()
 }
 
 fn const_val(c: &Constant) -> Val {

@@ -1,0 +1,590 @@
+//! Deterministic fault injection and the accelerator's fault-tolerance
+//! model.
+//!
+//! TAPAS designs are latency-insensitive by construction — every operation
+//! handshakes ready/valid and tolerates non-deterministic memory latency —
+//! so a correctly built accelerator should *mask* transient hardware
+//! faults (a stalled tile, a lost or duplicated data-box grant, a delayed
+//! DRAM response) and *detect* the rest (corrupted payloads, parity errors
+//! in queue RAM, permanently wedged tiles) rather than ever producing a
+//! silently wrong result. This module provides both halves:
+//!
+//! * [`FaultPlan`] — a deterministic, seedable list of [`Fault`]s to
+//!   inject, installed via
+//!   [`AcceleratorConfigBuilder::faults`](crate::AcceleratorConfigBuilder::faults).
+//!   Faults trigger on *event counts* (the nth memory response, the nth
+//!   spawn) or at fixed cycles, so the same plan on the same program
+//!   yields the same cycle count every run.
+//! * [`FaultTolerance`] — the recovery mechanisms carried by the design:
+//!   memory retry with bounded exponential backoff, response ECC,
+//!   queue-RAM parity, per-unit watchdog timers, and tile quarantine with
+//!   graceful degradation (a tile exceeding its fault budget is fenced
+//!   and its in-flight task re-enqueues onto surviving tiles).
+//! * [`DeadlockDiagnosis`] — the payload of
+//!   [`SimError::Deadlock`](crate::SimError): the actual wait-for cycle
+//!   between task units, per-unit queue occupancy, and the oldest blocked
+//!   task's `(SID, DyID)`.
+//!
+//! # Why retried writes are safe
+//!
+//! A dropped or timed-out request is re-issued verbatim, which re-applies
+//! the functional effect of a write. That re-application is idempotent
+//! only because TAPAS programs are determinacy-race-free (enforced
+//! statically by `tapas-lint` and dynamically by the interpreter's SP-bags
+//! oracle): no other task can have written the same location between the
+//! original grant and the retry, so replaying the store cannot change the
+//! final memory image.
+
+use std::collections::{HashMap, HashSet};
+use tapas_mem::MemResp;
+
+/// One injected hardware fault.
+///
+/// Memory-response faults (`DropResponse`, `DuplicateResponse`,
+/// `CorruptResponse`, `DelayResponse`) trigger on the *nth response*
+/// (1-based) leaving the data box; queue faults trigger on the *nth queue
+/// allocation* (1-based, counting the host invocation); tile faults
+/// trigger at an absolute cycle. Unit and tile indices are resolved
+/// modulo the design's actual geometry, so a randomly generated plan is
+/// valid for any design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The tile freezes for `cycles` cycles starting at cycle `at`
+    /// (transient: an SEU in control logic that self-clears).
+    TileStall {
+        /// Task-unit index (modulo the number of units).
+        unit: usize,
+        /// Tile index within the unit (modulo its tile count).
+        tile: usize,
+        /// Cycle the stall begins.
+        at: u64,
+        /// Stall duration in cycles.
+        cycles: u64,
+    },
+    /// The tile freezes permanently at cycle `at` (a hard fault). Counts
+    /// as exceeding any fault budget, so quarantine fences it if enabled.
+    TileWedge {
+        /// Task-unit index (modulo the number of units).
+        unit: usize,
+        /// Tile index within the unit (modulo its tile count).
+        tile: usize,
+        /// Cycle the tile wedges.
+        at: u64,
+    },
+    /// The nth memory response is dropped in the out-demux network (a
+    /// lost data-box grant).
+    DropResponse {
+        /// 1-based response ordinal.
+        nth: u64,
+    },
+    /// The nth memory response is delivered twice (a duplicated grant).
+    DuplicateResponse {
+        /// 1-based response ordinal.
+        nth: u64,
+    },
+    /// The nth memory response has one data bit flipped in flight.
+    CorruptResponse {
+        /// 1-based response ordinal.
+        nth: u64,
+        /// Which bit of the 64-bit payload to flip (taken modulo 64).
+        bit: u8,
+    },
+    /// The nth memory response is held for `cycles` extra cycles (a DRAM
+    /// response timeout).
+    DelayResponse {
+        /// 1-based response ordinal.
+        nth: u64,
+        /// Extra delivery delay in cycles.
+        cycles: u64,
+    },
+    /// The nth task-queue allocation has one bit flipped in its stored
+    /// arguments (queue-RAM corruption).
+    QueueParity {
+        /// 1-based spawn ordinal (the host invocation is spawn 1).
+        nth_spawn: u64,
+        /// Which bit of the first argument to flip (taken modulo 64).
+        bit: u8,
+    },
+}
+
+/// A deterministic list of faults to inject during a run.
+///
+/// ```
+/// use tapas_sim::{AcceleratorConfig, Fault, FaultPlan};
+///
+/// let plan = FaultPlan::new()
+///     .with(Fault::TileStall { unit: 1, tile: 0, at: 500, cycles: 200 })
+///     .with(Fault::DropResponse { nth: 3 });
+/// let cfg = AcceleratorConfig::builder().tiles(4).faults(plan).build().unwrap();
+/// assert!(cfg.faults.is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The faults to inject.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (arms the tolerance machinery without injecting).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Append one fault.
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Generate a random-but-deterministic plan from `seed` (SplitMix64):
+    /// the same seed always yields the same plan, and therefore — because
+    /// every trigger is an event count or fixed cycle — the same simulated
+    /// cycle count.
+    pub fn random(seed: u64) -> FaultPlan {
+        let mut state = seed;
+        let mut next = move || splitmix64(&mut state);
+        let count = 2 + (next() % 4) as usize;
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            let f = match next() % 7 {
+                0 => Fault::TileStall {
+                    unit: (next() % 4) as usize,
+                    tile: (next() % 4) as usize,
+                    at: 100 + next() % 4000,
+                    cycles: 50 + next() % 1500,
+                },
+                1 => Fault::TileWedge {
+                    unit: (next() % 4) as usize,
+                    tile: (next() % 4) as usize,
+                    at: 100 + next() % 4000,
+                },
+                2 => Fault::DropResponse { nth: 1 + next() % 40 },
+                3 => Fault::DuplicateResponse { nth: 1 + next() % 40 },
+                4 => Fault::CorruptResponse { nth: 1 + next() % 40, bit: (next() % 64) as u8 },
+                5 => Fault::DelayResponse { nth: 1 + next() % 40, cycles: 1_000 + next() % 20_000 },
+                _ => Fault::QueueParity { nth_spawn: 1 + next() % 8, bit: (next() % 64) as u8 },
+            };
+            faults.push(f);
+        }
+        FaultPlan { faults }
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The recovery mechanisms the elaborated design carries. The defaults
+/// enable everything; individual mechanisms can be disabled to observe
+/// how each fault class escalates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultTolerance {
+    /// Per-unit watchdog: a permanently wedged (un-quarantined) tile or a
+    /// memory request overdue with retry disabled raises
+    /// [`SimError::WatchdogTimeout`](crate::SimError) after this many
+    /// cycles. `None` disables the watchdog.
+    pub watchdog_timeout: Option<u64>,
+    /// Re-arbitrate memory requests whose response has not arrived within
+    /// the timeout (masks dropped grants and response timeouts).
+    pub mem_retry: bool,
+    /// Cycles to wait for a memory response before the first retry;
+    /// subsequent retries back off exponentially. Must comfortably exceed
+    /// the worst legitimate round trip (DRAM latency + queueing).
+    pub mem_timeout: u64,
+    /// Retries per request before
+    /// [`SimError::MemRetryExhausted`](crate::SimError).
+    pub max_mem_retries: u32,
+    /// Response ECC: a corrupted payload is detected and the request
+    /// retried instead of consuming flipped bits.
+    pub ecc: bool,
+    /// Queue-RAM parity: corrupted queue entries raise
+    /// [`SimError::QueueParity`](crate::SimError) at dispatch instead of
+    /// executing with flipped arguments.
+    pub parity: bool,
+    /// Fence tiles that exceed [`FaultTolerance::tile_fault_budget`] and
+    /// re-enqueue their in-flight task onto surviving tiles.
+    pub quarantine: bool,
+    /// Transient faults a tile may absorb before quarantine fences it
+    /// (a wedge always exceeds the budget).
+    pub tile_fault_budget: u32,
+}
+
+impl Default for FaultTolerance {
+    fn default() -> Self {
+        FaultTolerance {
+            watchdog_timeout: Some(100_000),
+            mem_retry: true,
+            mem_timeout: 20_000,
+            max_mem_retries: 4,
+            ecc: true,
+            parity: true,
+            quarantine: true,
+            tile_fault_budget: 1,
+        }
+    }
+}
+
+/// What a watchdog-reported unit was waiting on when it fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitCause {
+    /// An outstanding memory request whose response never arrived.
+    Memory {
+        /// Byte address of the overdue access.
+        addr: u64,
+        /// Retries already attempted for it.
+        attempts: u32,
+    },
+    /// A tile wedged by an injected hard fault (quarantine disabled).
+    Fault,
+}
+
+impl std::fmt::Display for WaitCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitCause::Memory { addr, attempts } => {
+                write!(f, "memory response for {addr:#x} ({attempts} retries attempted)")
+            }
+            WaitCause::Fault => write!(f, "a wedged tile"),
+        }
+    }
+}
+
+/// Why one task unit waits on another in the wait-for graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitKind {
+    /// A `detach` is backpressured by the child unit's full queue.
+    Spawn,
+    /// A parent parked at `sync` waits on children in the other unit.
+    Join,
+    /// A serial call is blocked on the callee's full root queue, or a
+    /// suspended caller waits on the callee's completion.
+    Call,
+}
+
+impl WaitKind {
+    fn label(self) -> &'static str {
+        match self {
+            WaitKind::Spawn => "spawn",
+            WaitKind::Join => "join",
+            WaitKind::Call => "call",
+        }
+    }
+}
+
+/// One edge of the wait-for graph: `from` cannot progress until `to` does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// Waiting task-unit index.
+    pub from: usize,
+    /// Awaited task-unit index.
+    pub to: usize,
+    /// Why.
+    pub kind: WaitKind,
+}
+
+/// Queue snapshot of one task unit at deadlock time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitWaitState {
+    /// Task unit (= task) name.
+    pub name: String,
+    /// Live queue entries.
+    pub occupancy: usize,
+    /// Queue capacity (`Ntasks`).
+    pub capacity: usize,
+    /// Tiles fenced off by quarantine.
+    pub fenced_tiles: usize,
+}
+
+/// The oldest task instance still blocked at deadlock time — the paper's
+/// `(SID, DyID)` naming: static task id (= unit index) and dynamic queue
+/// slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedTask {
+    /// Task-unit index (the `SID`).
+    pub unit: usize,
+    /// Queue slot (the `DyID`).
+    pub slot: usize,
+    /// Cycle the instance was spawned.
+    pub spawned_at: u64,
+}
+
+/// Payload of [`SimError::Deadlock`](crate::SimError): what the design was
+/// actually stuck on, instead of a guess.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockDiagnosis {
+    /// Per-unit queue occupancy, in elaboration order.
+    pub units: Vec<UnitWaitState>,
+    /// The wait-for cycle found between task units (empty if progress
+    /// stopped without a cyclic dependency — e.g. every response was
+    /// lost and recovery is disabled).
+    pub cycle: Vec<WaitEdge>,
+    /// The oldest task instance still occupying a queue entry.
+    pub oldest: Option<BlockedTask>,
+    /// `(unit, tile)` pairs wedged by injected hard faults.
+    pub wedged: Vec<(usize, usize)>,
+}
+
+impl std::fmt::Display for DeadlockDiagnosis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = |i: usize| self.units.get(i).map(|u| u.name.as_str()).unwrap_or("?");
+        if self.cycle.is_empty() {
+            write!(f, "no wait-for cycle between task units")?;
+        } else {
+            write!(f, "wait-for cycle: ")?;
+            for (i, e) in self.cycle.iter().enumerate() {
+                if i == 0 {
+                    write!(f, "{}", name(e.from))?;
+                }
+                write!(f, " --{}--> {}", e.kind.label(), name(e.to))?;
+            }
+        }
+        if let Some(b) = &self.oldest {
+            write!(
+                f,
+                "; oldest blocked task SID={} ({}) DyID={} spawned at cycle {}",
+                b.unit,
+                name(b.unit),
+                b.slot,
+                b.spawned_at
+            )?;
+        }
+        write!(f, "; queues:")?;
+        for u in &self.units {
+            write!(
+                f,
+                " {} {}/{}{}",
+                u.name,
+                u.occupancy,
+                u.capacity,
+                if u.occupancy == u.capacity { " (full)" } else { "" }
+            )?;
+        }
+        if !self.wedged.is_empty() {
+            write!(f, "; wedged tiles:")?;
+            for (u, t) in &self.wedged {
+                write!(f, " {}#{t}", name(*u))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---- runtime state (crate-internal) ------------------------------------
+
+/// A tile fault resolved against the design's geometry, sorted by cycle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TileFaultEvent {
+    pub unit: usize,
+    pub tile: usize,
+    pub at: u64,
+    pub wedge: bool,
+    pub cycles: u64,
+}
+
+/// What the out-demux network does to the current response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RespFault {
+    None,
+    Drop,
+    Duplicate,
+    Corrupt(u8),
+    Delay(u64),
+}
+
+/// Live injection state for one run, built from a [`FaultPlan`] resolved
+/// against the elaborated design.
+#[derive(Debug)]
+pub(crate) struct FaultRt {
+    drop: HashSet<u64>,
+    dup: HashSet<u64>,
+    corrupt: HashMap<u64, u8>,
+    delay: HashMap<u64, u64>,
+    parity: HashMap<u64, u8>,
+    /// Sorted by `at`; `next_tile_fault` indexes the first undelivered one.
+    tile_faults: Vec<TileFaultEvent>,
+    next_tile_fault: usize,
+    resp_seen: u64,
+    spawn_seen: u64,
+    /// Responses held back by injected delays: `(deliver_at, resp)`.
+    pub delayed: Vec<(u64, MemResp)>,
+}
+
+impl FaultRt {
+    /// Resolve `plan` against the design: `tiles_per_unit[u]` is unit
+    /// `u`'s tile count, used to wrap out-of-range fault coordinates.
+    pub fn new(plan: &FaultPlan, tiles_per_unit: &[usize]) -> FaultRt {
+        let nunits = tiles_per_unit.len().max(1);
+        let mut rt = FaultRt {
+            drop: HashSet::new(),
+            dup: HashSet::new(),
+            corrupt: HashMap::new(),
+            delay: HashMap::new(),
+            parity: HashMap::new(),
+            tile_faults: Vec::new(),
+            next_tile_fault: 0,
+            resp_seen: 0,
+            spawn_seen: 0,
+            delayed: Vec::new(),
+        };
+        for f in &plan.faults {
+            match *f {
+                Fault::TileStall { unit, tile, at, cycles } => {
+                    let unit = unit % nunits;
+                    let tile = tile % tiles_per_unit[unit].max(1);
+                    rt.tile_faults.push(TileFaultEvent { unit, tile, at, wedge: false, cycles });
+                }
+                Fault::TileWedge { unit, tile, at } => {
+                    let unit = unit % nunits;
+                    let tile = tile % tiles_per_unit[unit].max(1);
+                    rt.tile_faults.push(TileFaultEvent { unit, tile, at, wedge: true, cycles: 0 });
+                }
+                Fault::DropResponse { nth } => {
+                    rt.drop.insert(nth);
+                }
+                Fault::DuplicateResponse { nth } => {
+                    rt.dup.insert(nth);
+                }
+                Fault::CorruptResponse { nth, bit } => {
+                    rt.corrupt.insert(nth, bit);
+                }
+                Fault::DelayResponse { nth, cycles } => {
+                    rt.delay.insert(nth, cycles);
+                }
+                Fault::QueueParity { nth_spawn, bit } => {
+                    rt.parity.insert(nth_spawn, bit);
+                }
+            }
+        }
+        rt.tile_faults.sort_by_key(|e| e.at);
+        rt
+    }
+
+    /// Classify the next response leaving the data box. Drop takes
+    /// priority over corrupt over duplicate over delay when several
+    /// faults name the same ordinal.
+    pub fn on_response(&mut self) -> RespFault {
+        self.resp_seen += 1;
+        let n = self.resp_seen;
+        if self.drop.contains(&n) {
+            RespFault::Drop
+        } else if let Some(&bit) = self.corrupt.get(&n) {
+            RespFault::Corrupt(bit)
+        } else if self.dup.contains(&n) {
+            RespFault::Duplicate
+        } else if let Some(&cycles) = self.delay.get(&n) {
+            RespFault::Delay(cycles)
+        } else {
+            RespFault::None
+        }
+    }
+
+    /// Bit to flip in the next queue allocation's stored args, if any.
+    pub fn on_spawn(&mut self) -> Option<u8> {
+        self.spawn_seen += 1;
+        self.parity.get(&self.spawn_seen).copied()
+    }
+
+    /// Tile faults due at or before `now`, in injection order.
+    pub fn due_tile_faults(&mut self, now: u64) -> Vec<TileFaultEvent> {
+        let start = self.next_tile_fault;
+        let mut end = start;
+        while end < self.tile_faults.len() && self.tile_faults[end].at <= now {
+            end += 1;
+        }
+        self.next_tile_fault = end;
+        self.tile_faults[start..end].to_vec()
+    }
+
+    /// Delayed responses due at or before `now`, in original order.
+    pub fn due_delayed(&mut self, now: u64) -> Vec<MemResp> {
+        let mut due = Vec::new();
+        self.delayed.retain(|&(at, resp)| {
+            if at <= now {
+                due.push(resp);
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_deterministic_and_distinct() {
+        let a = FaultPlan::random(7);
+        let b = FaultPlan::random(7);
+        assert_eq!(a, b, "same seed, same plan");
+        assert!(!a.is_empty());
+        let c = FaultPlan::random(8);
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn tile_coordinates_wrap_to_geometry() {
+        let plan = FaultPlan::new().with(Fault::TileWedge { unit: 9, tile: 9, at: 5 });
+        let mut rt = FaultRt::new(&plan, &[1, 2]);
+        let due = rt.due_tile_faults(5);
+        assert_eq!(due.len(), 1);
+        assert!(due[0].unit < 2);
+        assert!(due[0].tile < 2);
+        assert!(rt.due_tile_faults(1_000_000).is_empty(), "delivered once");
+    }
+
+    #[test]
+    fn response_faults_trigger_on_their_ordinal() {
+        let plan = FaultPlan::new()
+            .with(Fault::DropResponse { nth: 2 })
+            .with(Fault::CorruptResponse { nth: 3, bit: 5 });
+        let mut rt = FaultRt::new(&plan, &[1]);
+        assert_eq!(rt.on_response(), RespFault::None);
+        assert_eq!(rt.on_response(), RespFault::Drop);
+        assert_eq!(rt.on_response(), RespFault::Corrupt(5));
+        assert_eq!(rt.on_response(), RespFault::None);
+    }
+
+    #[test]
+    fn diagnosis_display_names_the_cycle() {
+        let d = DeadlockDiagnosis {
+            units: vec![
+                UnitWaitState {
+                    name: "fib::root".into(),
+                    occupancy: 2,
+                    capacity: 2,
+                    fenced_tiles: 0,
+                },
+                UnitWaitState {
+                    name: "fib::task1".into(),
+                    occupancy: 1,
+                    capacity: 2,
+                    fenced_tiles: 0,
+                },
+            ],
+            cycle: vec![
+                WaitEdge { from: 0, to: 1, kind: WaitKind::Join },
+                WaitEdge { from: 1, to: 0, kind: WaitKind::Call },
+            ],
+            oldest: Some(BlockedTask { unit: 0, slot: 0, spawned_at: 12 }),
+            wedged: vec![],
+        };
+        let s = d.to_string();
+        assert!(s.contains("fib::root --join--> fib::task1"), "{s}");
+        assert!(s.contains("--call--> fib::root"), "{s}");
+        assert!(s.contains("SID=0"), "{s}");
+        assert!(s.contains("2/2 (full)"), "{s}");
+    }
+}

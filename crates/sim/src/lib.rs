@@ -29,6 +29,20 @@
 //! Chrome `chrome://tracing` event trace. Both are strictly passive:
 //! enabling them never changes simulated timing or results.
 //!
+//! # Robustness
+//!
+//! A seeded [`FaultPlan`] (armed with `.faults(..)` on the builder)
+//! deterministically injects tile stalls and wedges, dropped / duplicated /
+//! corrupted / delayed memory responses, and queue-RAM parity errors.
+//! Opposite it, [`FaultTolerance`] arms per-unit watchdogs, bounded memory
+//! retry with exponential backoff, ECC on read data, queue parity checks,
+//! and tile quarantine with graceful degradation. Every injected fault is
+//! either **masked** (the run produces byte-identical results to a
+//! fault-free run) or **detected** (the run fails with a typed
+//! [`SimError`]) — never silently wrong. When progress stops, the engine
+//! reports a [`DeadlockDiagnosis`] built from the unit wait-for graph
+//! instead of a bare timeout.
+//!
 //! # Examples
 //!
 //! Compile and simulate a one-task function:
@@ -59,10 +73,15 @@
 
 mod config;
 mod engine;
+pub mod fault;
 pub mod profile;
 
 pub use config::{AcceleratorConfig, AcceleratorConfigBuilder, ConfigError};
 pub use engine::{Accelerator, SimError, SimEvent, SimEventKind, SimOutcome, SimStats, UnitStats};
+pub use fault::{
+    BlockedTask, DeadlockDiagnosis, Fault, FaultPlan, FaultTolerance, UnitWaitState, WaitCause,
+    WaitEdge, WaitKind,
+};
 pub use profile::{
     chrome_trace, BottleneckReport, BoundClass, NodeClass, Profile, ProfileLevel, QueueSummary,
     StallReason, TileProfile, UnitProfile,

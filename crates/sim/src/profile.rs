@@ -50,11 +50,14 @@ pub enum StallReason {
     /// The tile was idle with no dispatchable work (an empty or
     /// still-handshaking queue) — spawn-rate limited.
     QueueEmpty,
+    /// The cycle was lost to an injected fault or its recovery: a stalled,
+    /// wedged, or quarantined tile, or a memory access on its retry path.
+    FaultStall,
 }
 
 impl StallReason {
     /// All reasons, in charge-priority order.
-    pub const ALL: [StallReason; 9] = [
+    pub const ALL: [StallReason; 10] = [
         StallReason::Busy,
         StallReason::WaitingOperand,
         StallReason::WaitingDatabox,
@@ -64,6 +67,7 @@ impl StallReason {
         StallReason::SpawnBackpressure,
         StallReason::SyncWait,
         StallReason::QueueEmpty,
+        StallReason::FaultStall,
     ];
 
     /// Short display label.
@@ -78,6 +82,7 @@ impl StallReason {
             StallReason::SpawnBackpressure => "spawn-backpressure",
             StallReason::SyncWait => "sync-wait",
             StallReason::QueueEmpty => "queue-empty",
+            StallReason::FaultStall => "fault-stall",
         }
     }
 }
@@ -137,7 +142,7 @@ impl NodeClass {
 pub struct TileProfile {
     /// Cycles charged to each reason, indexed by [`StallReason::ALL`]
     /// order.
-    pub stalls: [u64; 9],
+    pub stalls: [u64; 10],
 }
 
 impl TileProfile {
@@ -297,10 +302,13 @@ impl BottleneckReport {
     fn from_profile(p: &Profile) -> BottleneckReport {
         let total = |r: StallReason| p.stall_total(r) as f64;
         let compute = total(StallReason::Busy) + total(StallReason::WaitingOperand);
+        // Fault stalls bucket with memory: retry waits and frozen tiles
+        // present to the rest of the design exactly like slow memory.
         let memory = total(StallReason::WaitingDatabox)
             + total(StallReason::CacheMiss)
             + total(StallReason::MshrFull)
-            + total(StallReason::DramQueue);
+            + total(StallReason::DramQueue)
+            + total(StallReason::FaultStall);
         let spawn = total(StallReason::SyncWait) + total(StallReason::QueueEmpty);
         let bp = total(StallReason::SpawnBackpressure);
         // Backpressure is caused by whatever the rest of the design is
@@ -323,6 +331,7 @@ impl BottleneckReport {
         let dominant = StallReason::ALL
             .into_iter()
             .max_by_key(|&r| p.stall_total(r))
+            // invariant: ALL is a non-empty const array.
             .expect("non-empty reason list");
         BottleneckReport {
             class,
@@ -425,7 +434,7 @@ pub fn chrome_trace(events: &[SimEvent], unit_names: &[String]) -> String {
 mod tests {
     use super::*;
 
-    fn two_tile_profile(a: [u64; 9], b: [u64; 9]) -> Profile {
+    fn two_tile_profile(a: [u64; 10], b: [u64; 10]) -> Profile {
         let cycles: u64 = a.iter().sum();
         Profile {
             level: ProfileLevel::Summary,
@@ -441,7 +450,8 @@ mod tests {
 
     #[test]
     fn invariant_detects_imbalance() {
-        let mut p = two_tile_profile([10, 0, 0, 0, 0, 0, 0, 0, 0], [5, 5, 0, 0, 0, 0, 0, 0, 0]);
+        let mut p =
+            two_tile_profile([10, 0, 0, 0, 0, 0, 0, 0, 0, 0], [5, 5, 0, 0, 0, 0, 0, 0, 0, 0]);
         assert!(p.check_invariant().is_ok());
         p.units[0].tiles[1].stalls[0] = 4;
         let err = p.check_invariant().unwrap_err();
@@ -451,16 +461,16 @@ mod tests {
     #[test]
     fn bottleneck_classes() {
         // Memory dominated.
-        let p = two_tile_profile([1, 0, 3, 4, 0, 2, 0, 0, 0], [1, 0, 3, 4, 0, 2, 0, 0, 0]);
+        let p = two_tile_profile([1, 0, 3, 4, 0, 2, 0, 0, 0, 0], [1, 0, 3, 4, 0, 2, 0, 0, 0, 0]);
         let r = p.bottleneck();
         assert_eq!(r.class, BoundClass::Memory);
         assert!(r.memory_frac > r.compute_frac);
         assert_eq!(r.dominant, StallReason::CacheMiss);
         // Spawn/queue dominated.
-        let p = two_tile_profile([2, 0, 0, 0, 0, 0, 0, 5, 3], [2, 0, 0, 0, 0, 0, 0, 5, 3]);
+        let p = two_tile_profile([2, 0, 0, 0, 0, 0, 0, 5, 3, 0], [2, 0, 0, 0, 0, 0, 0, 5, 3, 0]);
         assert_eq!(p.bottleneck().class, BoundClass::Spawn);
         // Compute dominated.
-        let p = two_tile_profile([8, 1, 1, 0, 0, 0, 0, 0, 0], [8, 1, 1, 0, 0, 0, 0, 0, 0]);
+        let p = two_tile_profile([8, 1, 1, 0, 0, 0, 0, 0, 0, 0], [8, 1, 1, 0, 0, 0, 0, 0, 0, 0]);
         assert_eq!(p.bottleneck().class, BoundClass::Compute);
     }
 
@@ -468,7 +478,7 @@ mod tests {
     fn backpressure_redistributes_to_the_congested_side() {
         // One tile all backpressure, one tile mostly memory: the
         // backpressure is a memory symptom here.
-        let p = two_tile_profile([1, 0, 0, 0, 0, 0, 9, 0, 0], [2, 0, 4, 4, 0, 0, 0, 0, 0]);
+        let p = two_tile_profile([1, 0, 0, 0, 0, 0, 9, 0, 0, 0], [2, 0, 4, 4, 0, 0, 0, 0, 0, 0]);
         let r = p.bottleneck();
         assert_eq!(r.class, BoundClass::Memory);
         assert_eq!(r.backpressure_cycles, 9);

@@ -322,6 +322,8 @@ pub fn extract_tasks(m: &Module, func: FuncId) -> Result<TaskGraph, TaskError> {
     // receive it at its own spawn port to forward it. Children always have
     // larger ids than their parents, so one high-to-low pass suffices.
     for tid in (1..tasks.len()).rev() {
+        // invariant: task 0 is the only root; every task discovered during
+        // extraction is recorded with the parent that detached it.
         let parent = tasks[tid].parent.expect("non-root task has a parent");
         if parent.0 == 0 {
             continue; // root holds the function parameters already

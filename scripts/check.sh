@@ -19,4 +19,8 @@ echo "==> reproduce profile smoke (JSON schema gate)"
 ./target/release/reproduce profile --json /tmp/profile.json >/dev/null
 ./target/release/reproduce check-json /tmp/profile.json
 
+echo "==> reproduce faults smoke (robustness gate)"
+./target/release/reproduce faults --json /tmp/faults.json >/dev/null
+./target/release/reproduce check-json /tmp/faults.json
+
 echo "All checks passed."

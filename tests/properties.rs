@@ -243,7 +243,7 @@ fn memory_system_matches_flat_shadow() {
             };
             // retry until the cache accepts
             let done = loop {
-                match ms.issue(req, now) {
+                match ms.issue(req, now).expect("well-formed request") {
                     Some(d) => break d,
                     None => now += 1,
                 }
