@@ -6,14 +6,20 @@
 //!
 //! where `experiment` is one of `table2`, `spawn`, `fig13`, `table3`,
 //! `fig14`, `fig15`, `fig16`, `table4`, `fig17`, `table5`, `lint`,
-//! `profile`, `faults`, or `all` (default). Pass `--json <path>` to also
-//! dump the raw rows (for `all`, `profile` and `faults`; the dump carries
-//! a `schema_version` field). `check-json <path>` validates a previously
-//! written dump: well-formed JSON with the current schema version.
+//! `profile`, `faults`, `stress`, or `all` (default). Pass `--json <path>`
+//! to also dump the raw rows (for `all`, `profile`, `faults` and `stress`;
+//! the dump carries a `schema_version` field). `check-json <path>`
+//! validates a previously written dump: well-formed JSON with the current
+//! schema version.
 //!
 //! `faults` runs every benchmark under the fault-injection matrix and
 //! exits non-zero if any run is silently wrong (completed with corrupted
 //! output instead of being masked or failing with a typed error).
+//!
+//! `stress` runs the paper suite plus the `deeprec` spawn-chain with task
+//! queues shrunk to Ntasks ∈ {1, 2, 4} and admission control armed; every
+//! cell's output is revalidated byte-for-byte against the interpreter
+//! golden model (a divergence or deadlock aborts the run).
 
 use tapas_bench::experiments as exp;
 use tapas_bench::json::{self, ToJson};
@@ -53,6 +59,15 @@ fn main() {
             if wrong > 0 {
                 eprintln!("faults: {wrong} run(s) completed with silently corrupted output");
                 std::process::exit(1);
+            }
+            return;
+        }
+        "stress" => {
+            let results = exp::stress_results();
+            print_stress(&results.rows);
+            if let Some(p) = &json_path {
+                std::fs::write(p, results.to_json()).expect("write json");
+                println!("\nraw rows written to {p}");
             }
             return;
         }
@@ -112,7 +127,7 @@ fn main() {
         }
     }
     if json_path.is_some() {
-        eprintln!("--json is only supported with `all` and `profile`");
+        eprintln!("--json is only supported with `all`, `profile`, `faults` and `stress`");
     }
 }
 
@@ -153,12 +168,21 @@ fn check_json(path: &str) {
 fn print_profile(rows: &[exp::ProfileRow]) {
     hdr("Cycle attribution: what bounds each benchmark");
     println!(
-        "{:<12} {:>5} {:>9} {:<14} {:>8} {:>7} {:>7} {:<18}",
-        "bench", "tiles", "cycles", "verdict", "compute", "mem", "spawn", "dominant stall"
+        "{:<12} {:>5} {:>9} {:<14} {:>8} {:>7} {:>7} {:>8} {:<18}",
+        "bench",
+        "tiles",
+        "cycles",
+        "verdict",
+        "compute",
+        "mem",
+        "spawn",
+        "q-full",
+        "dominant stall"
     );
     for r in rows {
+        let q_full: u64 = r.unit_queues.iter().map(|u| u.full_cycles).sum();
         println!(
-            "{:<12} {:>5} {:>9} {:<14} {:>7.0}% {:>6.0}% {:>6.0}% {:<18}",
+            "{:<12} {:>5} {:>9} {:<14} {:>7.0}% {:>6.0}% {:>6.0}% {:>8} {:<18}",
             r.name,
             r.tiles,
             r.cycles,
@@ -166,7 +190,22 @@ fn print_profile(rows: &[exp::ProfileRow]) {
             r.compute_frac * 100.0,
             r.memory_frac * 100.0,
             r.spawn_frac * 100.0,
+            q_full,
             r.dominant
+        );
+    }
+}
+
+fn print_stress(rows: &[exp::StressRow]) {
+    hdr("Bounded resources: undersized-queue stress matrix (output == golden)");
+    println!(
+        "{:<12} {:>6} {:>10} {:>8} {:>8} {:>8}",
+        "bench", "ntasks", "cycles", "spills", "refills", "inline"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>6} {:>10} {:>8} {:>8} {:>8}",
+            r.name, r.ntasks, r.cycles, r.spills, r.refills, r.inline_spawns
         );
     }
 }

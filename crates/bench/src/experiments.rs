@@ -10,7 +10,7 @@ use tapas_workloads::{image_scale, saxpy, scale_micro, suite_eval, suite_small, 
 /// Version stamped into every JSON document `reproduce --json` writes.
 /// Bump whenever a row struct gains, loses or renames a field so that
 /// downstream plotting scripts can detect stale dumps.
-pub const JSON_SCHEMA_VERSION: u64 = 3;
+pub const JSON_SCHEMA_VERSION: u64 = 4;
 
 /// Table II: per-task static properties of every benchmark.
 #[derive(Debug, Clone)]
@@ -625,6 +625,19 @@ pub struct ProfileRow {
     /// Raw spawn-backpressure tile-cycles (redistributed before
     /// classification).
     pub backpressure_cycles: u64,
+    /// Per-task-unit queue-full cycles — cycles the unit's task queue
+    /// refused (or would refuse) a spawn, the raw signal behind
+    /// spawn-backpressure verdicts.
+    pub unit_queues: Vec<UnitQueueRow>,
+}
+
+/// One task unit's queue-pressure summary inside a [`ProfileRow`].
+#[derive(Debug, Clone)]
+pub struct UnitQueueRow {
+    /// Task-unit name.
+    pub unit: String,
+    /// Cycles the queue sat full or turned a spawn away.
+    pub full_cycles: u64,
 }
 
 /// Profile every benchmark with full cycle attribution and classify what
@@ -654,6 +667,11 @@ pub fn profile_report() -> Vec<ProfileRow> {
             let p = out.profile.expect("profiling was enabled");
             p.check_invariant().unwrap_or_else(|e| panic!("{}: {e}", wl.name));
             let r = p.bottleneck();
+            let unit_queues = p
+                .units
+                .iter()
+                .map(|u| UnitQueueRow { unit: u.name.clone(), full_cycles: u.queue.full_cycles })
+                .collect();
             ProfileRow {
                 tiles,
                 cycles: out.cycles,
@@ -663,6 +681,7 @@ pub fn profile_report() -> Vec<ProfileRow> {
                 spawn_frac: r.spawn_frac,
                 dominant: r.dominant.label().to_string(),
                 backpressure_cycles: r.backpressure_cycles,
+                unit_queues,
                 name: wl.name,
             }
         })
@@ -830,6 +849,77 @@ pub fn fault_results() -> FaultMatrixResults {
     FaultMatrixResults { schema_version: JSON_SCHEMA_VERSION, rows: fault_matrix() }
 }
 
+/// One cell of the bounded-resource stress matrix: a workload forced
+/// through a deliberately undersized task queue with admission control
+/// armed (`reproduce stress`).
+#[derive(Debug, Clone)]
+pub struct StressRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Queue entries per task unit for this cell (1, 2 or 4 — all far
+    /// below the paper's 32–512 sizing).
+    pub ntasks: usize,
+    /// Simulated cycles; the run also revalidated its output region
+    /// byte-for-byte against the interpreter golden model.
+    pub cycles: u64,
+    /// Queue entries spilled to the DRAM-backed overflow arena.
+    pub spills: u64,
+    /// Spilled entries refilled as queue slots drained.
+    pub refills: u64,
+    /// Refused spawns executed inline on the spawning tile.
+    pub inline_spawns: u64,
+}
+
+/// Run `programs` through the undersized-queue matrix. Every cell runs
+/// with [`tapas::AdmissionControl::default`] (inline degradation + queue
+/// virtualization + deadlock recovery) and is validated byte-for-byte
+/// against the golden model inside [`crate::simulate_configured`] — a
+/// wrong result panics, so a returned row *is* the correctness proof.
+pub fn stress_matrix_for(programs: Vec<BuiltWorkload>, queue_sizes: &[usize]) -> Vec<StressRow> {
+    let mut rows = Vec::new();
+    for wl in programs {
+        for &ntasks in queue_sizes {
+            let cfg = tapas::AcceleratorConfig {
+                admission: Some(tapas::AdmissionControl::default()),
+                ..crate::accel_config(&wl, 2, ntasks)
+            };
+            let (out, _) = crate::simulate_configured(&wl, &cfg);
+            rows.push(StressRow {
+                name: wl.name.clone(),
+                ntasks,
+                cycles: out.cycles,
+                spills: out.stats.spills,
+                refills: out.stats.refills,
+                inline_spawns: out.stats.inline_spawns,
+            });
+        }
+    }
+    rows
+}
+
+/// The full stress matrix: the paper suite plus the `deeprec` spawn-chain
+/// (which *cannot* run without admission control on any realistic queue),
+/// each at Ntasks ∈ {1, 2, 4}.
+pub fn stress_matrix() -> Vec<StressRow> {
+    let mut programs = suite_small();
+    programs.push(tapas_workloads::deeprec::build(400));
+    stress_matrix_for(programs, &[1, 2, 4])
+}
+
+/// The `reproduce stress --json` document: versioned stress rows.
+#[derive(Debug, Clone)]
+pub struct StressResults {
+    /// [`JSON_SCHEMA_VERSION`] at the time of the run.
+    pub schema_version: u64,
+    /// One row per benchmark × queue size.
+    pub rows: Vec<StressRow>,
+}
+
+/// Run the stress matrix and wrap it for serialization.
+pub fn stress_results() -> StressResults {
+    StressResults { schema_version: JSON_SCHEMA_VERSION, rows: stress_matrix() }
+}
+
 /// Everything, serialized as one JSON document.
 #[derive(Debug, Clone)]
 pub struct AllResults {
@@ -927,6 +1017,22 @@ mod tests {
     }
 
     #[test]
+    fn stress_cell_survives_single_entry_queue() {
+        // deeprec needs `depth` live queue entries without admission; with
+        // it, one entry must suffice. simulate_configured asserts the
+        // output matches the golden model, so a returned row is proof of
+        // correct termination.
+        let rows = stress_matrix_for(vec![tapas_workloads::deeprec::build(64)], &[1]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].ntasks, 1);
+        assert!(rows[0].cycles > 0);
+        assert!(
+            rows[0].inline_spawns + rows[0].spills > 0,
+            "a one-entry queue must have degraded somewhere"
+        );
+    }
+
+    #[test]
     fn fig14_overhead_amortizes() {
         let rows = fig14();
         let tiny = rows.iter().find(|r| r.config == "1T/1Ins").unwrap();
@@ -968,9 +1074,13 @@ json_object!(ProfileRow {
     memory_frac,
     spawn_frac,
     dominant,
-    backpressure_cycles
+    backpressure_cycles,
+    unit_queues
 });
+json_object!(UnitQueueRow { unit, full_cycles });
 json_object!(ProfileResults { schema_version, rows });
+json_object!(StressRow { name, ntasks, cycles, spills, refills, inline_spawns });
+json_object!(StressResults { schema_version, rows });
 json_object!(FaultRow {
     name,
     scenario,

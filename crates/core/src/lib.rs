@@ -81,9 +81,9 @@ pub use tapas_sim as sim;
 pub use tapas_task as task;
 
 pub use tapas_sim::{
-    Accelerator, AcceleratorConfig, AcceleratorConfigBuilder, BottleneckReport, BoundClass,
-    ConfigError, DeadlockDiagnosis, Fault, FaultPlan, FaultTolerance, Profile, ProfileLevel,
-    SimError, SimEvent, SimEventKind, SimOutcome, SimStats, StallReason, WaitCause,
+    Accelerator, AcceleratorConfig, AcceleratorConfigBuilder, AdmissionControl, BottleneckReport,
+    BoundClass, ConfigError, DeadlockDiagnosis, Fault, FaultPlan, FaultTolerance, Profile,
+    ProfileLevel, SimError, SimEvent, SimEventKind, SimOutcome, SimStats, StallReason, WaitCause,
 };
 
 use tapas_dfg::{lower_tasks, LatencyModel, TaskDfg};

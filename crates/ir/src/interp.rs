@@ -98,6 +98,9 @@ pub enum InterpError {
     DivByZero,
     /// The step budget was exhausted (likely an infinite loop).
     StepLimit(u64),
+    /// Call/detach nesting exceeded [`InterpConfig::max_depth`] (likely
+    /// runaway recursion).
+    DepthExceeded(usize),
     /// A phi had no incoming entry for the edge taken.
     MissingPhiIncoming {
         /// Block containing the phi.
@@ -116,6 +119,7 @@ impl fmt::Display for InterpError {
             ),
             InterpError::DivByZero => write!(f, "integer division by zero"),
             InterpError::StepLimit(n) => write!(f, "step limit of {n} exceeded"),
+            InterpError::DepthExceeded(n) => write!(f, "recursion depth limit of {n} exceeded"),
             InterpError::MissingPhiIncoming { block } => {
                 write!(f, "phi in {block} has no incoming for the edge taken")
             }
@@ -277,11 +281,19 @@ pub struct InterpConfig {
     /// Run the SP-bags determinacy-race oracle alongside execution and
     /// report observed races in [`Outcome::races`].
     pub detect_races: bool,
+    /// Abort once call/detach nesting exceeds this many activations
+    /// (guards runaway recursion overflowing the host stack).
+    pub max_depth: usize,
 }
 
 impl Default for InterpConfig {
     fn default() -> Self {
-        InterpConfig { max_steps: 500_000_000, record_trace: true, detect_races: false }
+        InterpConfig {
+            max_steps: 500_000_000,
+            record_trace: true,
+            detect_races: false,
+            max_depth: 10_000,
+        }
     }
 }
 
@@ -522,6 +534,7 @@ pub fn run(
         stats: ExecStats::default(),
         trace: SpawnTrace { frames: vec![Frame::default()] },
         steps: 0,
+        depth: 0,
         pending: Cost::default(),
         frame_stack: vec![FrameId(0)],
         sp: cfg.detect_races.then(SpBags::new),
@@ -539,6 +552,8 @@ struct Interp<'m> {
     stats: ExecStats,
     trace: SpawnTrace,
     steps: u64,
+    /// Current call/detach nesting, checked against `cfg.max_depth`.
+    depth: usize,
     /// Cost accumulated since the last trace event, attributed to the
     /// current frame when flushed.
     pending: Cost,
@@ -600,6 +615,9 @@ impl<'m> Interp<'m> {
     }
 
     fn exec_function(&mut self, func: FuncId, args: &[Val]) -> Result<Option<Val>, InterpError> {
+        if self.depth >= self.cfg.max_depth {
+            return Err(InterpError::DepthExceeded(self.cfg.max_depth));
+        }
         let f = self.module.function(func);
         assert_eq!(args.len(), f.params.len(), "argument count mismatch calling @{}", f.name);
         let mut act = Activation { values: vec![None; f.num_values()] };
@@ -613,7 +631,10 @@ impl<'m> Interp<'m> {
         }
         let cfg_an = Cfg::compute(f);
         let _ = &cfg_an; // CFG not needed for execution; kept for clarity
-        self.exec_region(f, f.entry(), None, &mut act)
+        self.depth += 1;
+        let r = self.exec_region(f, f.entry(), None, &mut act);
+        self.depth -= 1;
+        r
     }
 
     /// Execute from `start` until a `Ret` (returns its value) or, when
@@ -696,13 +717,19 @@ impl<'m> Interp<'m> {
                     return Ok(rv);
                 }
                 Terminator::Detach { task, cont } => {
+                    if self.depth >= self.cfg.max_depth {
+                        return Err(InterpError::DepthExceeded(self.cfg.max_depth));
+                    }
                     self.stats.spawns += 1;
                     self.push_frame(TraceEvent::Spawn);
                     if let Some(sp) = &mut self.sp {
                         sp.enter();
                     }
                     // Serial elision: run the child region to completion.
-                    self.exec_region(f, *task, Some(*cont), act)?;
+                    self.depth += 1;
+                    let region = self.exec_region(f, *task, Some(*cont), act);
+                    self.depth -= 1;
+                    region?;
                     if let Some(sp) = &mut self.sp {
                         sp.exit_spawn();
                     }
@@ -1142,6 +1169,22 @@ mod tests {
         let cfg = InterpConfig { max_steps: 1000, record_trace: false, ..InterpConfig::default() };
         let err = run(&m, f, &[], &mut mem, &cfg).unwrap_err();
         assert!(matches!(err, InterpError::StepLimit(_)));
+    }
+
+    #[test]
+    fn depth_limit_stops_runaway_recursion() {
+        // f(x) = f(x): unbounded self-recursion must fail with a typed
+        // error before the host stack overflows.
+        let mut b = FunctionBuilder::new("rec", vec![Type::I32], Type::I32);
+        let x = b.param(0);
+        let r = b.call(FuncId(0), vec![x], Type::I32).unwrap();
+        b.ret(Some(r));
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mut mem = Vec::new();
+        let cfg = InterpConfig { max_depth: 32, record_trace: false, ..InterpConfig::default() };
+        let err = run(&m, f, &[Val::Int(1)], &mut mem, &cfg).unwrap_err();
+        assert_eq!(err, InterpError::DepthExceeded(32));
     }
 
     #[test]

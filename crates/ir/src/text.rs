@@ -109,6 +109,9 @@ struct FnParser<'a> {
     blocks: HashMap<String, BlockId>,
     /// (phi value, incoming block, textual operand) to resolve at the end.
     phi_fixups: Vec<(ValueId, BlockId, String)>,
+    /// Blocks whose terminator has been parsed; further instructions in
+    /// them are a parse error (the builder would panic otherwise).
+    terminated: std::collections::HashSet<BlockId>,
 }
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TextError> {
@@ -135,6 +138,9 @@ fn parse_function(
     let close = after
         .rfind(')')
         .ok_or_else(|| TextError { line: hdr_line + 1, message: "missing )".into() })?;
+    if close <= paren {
+        return err(hdr_line, "mismatched parentheses in function header");
+    }
     let params_src = &after[paren + 1..close];
     let mut params = Vec::new();
     let mut param_names = Vec::new();
@@ -161,6 +167,7 @@ fn parse_function(
         fids,
         blocks: HashMap::new(),
         phi_fixups: Vec::new(),
+        terminated: std::collections::HashSet::new(),
     };
 
     // Pre-create blocks in textual order. bb0 is the builder's entry.
@@ -247,7 +254,13 @@ fn parse_type(line: usize, s: &str) -> Result<Type, TextError> {
             .trim()
             .parse()
             .map_err(|_| TextError { line: line + 1, message: format!("bad array length {s}") })?;
-        return Ok(Type::array(parse_type(line, x.1)?, n));
+        let elem = parse_type(line, x.1)?;
+        // Cap the total size so size/stride arithmetic over the type (and
+        // over any array wrapping it) cannot overflow.
+        if elem.stride().checked_mul(n).filter(|s| *s <= 1 << 48).is_none() {
+            return err(line, format!("array type too large: {s}"));
+        }
+        return Ok(Type::array(elem, n));
     }
     if let Some(inner) = s.strip_prefix('{').and_then(|x| x.strip_suffix('}')) {
         let fields: Result<Vec<Type>, _> =
@@ -312,7 +325,21 @@ impl<'a> FnParser<'a> {
             .ok_or_else(|| TextError { line: line + 1, message: format!("unknown block `{s}`") })
     }
 
+    /// Error unless the current block can still take instructions; the
+    /// builder asserts (panics) on emission into a terminated block.
+    fn check_open(&self, ln: usize) -> Result<(), TextError> {
+        if self.terminated.contains(&self.b.current_block()) {
+            return err(ln, "instruction after block terminator");
+        }
+        Ok(())
+    }
+
+    fn mark_terminated(&mut self) {
+        self.terminated.insert(self.b.current_block());
+    }
+
     fn parse_line(&mut self, ln: usize, t: &str) -> Result<(), TextError> {
+        self.check_open(ln)?;
         // `%N = <op> ...` or a resultless op / terminator.
         if let Some((lhs, rhs)) = t.split_once(" = ") {
             let result_name = lhs.trim().to_string();
@@ -355,6 +382,10 @@ impl<'a> FnParser<'a> {
             }
             let l = self.operand(ln, &args[0])?;
             let r = self.operand(ln, &args[1])?;
+            let ty = self.b.ty_of(l);
+            if !ty.is_int() || ty != self.b.ty_of(r) {
+                return err(ln, format!("{head} operands must be matching integers"));
+            }
             return Ok(Some(self.b.bin(op, l, r)));
         }
         let fbin = match head {
@@ -366,8 +397,15 @@ impl<'a> FnParser<'a> {
         };
         if let Some(op) = fbin {
             let args = split_args(rest);
+            if args.len() != 2 {
+                return err(ln, format!("{head} expects 2 operands"));
+            }
             let l = self.operand(ln, &args[0])?;
             let r = self.operand(ln, &args[1])?;
+            let ty = self.b.ty_of(l);
+            if !ty.is_float() || ty != self.b.ty_of(r) {
+                return err(ln, format!("{head} operands must be matching floats"));
+            }
             return Ok(Some(self.b.fbin(op, l, r)));
         }
         match head {
@@ -390,8 +428,15 @@ impl<'a> FnParser<'a> {
                     other => return err(ln, format!("bad predicate {other}")),
                 };
                 let args = split_args(args_s);
+                if args.len() != 2 {
+                    return err(ln, "icmp expects 2 operands");
+                }
                 let l = self.operand(ln, &args[0])?;
                 let r = self.operand(ln, &args[1])?;
+                let ty = self.b.ty_of(l);
+                if !(ty.is_int() || ty.is_ptr()) || ty != self.b.ty_of(r) {
+                    return err(ln, "icmp operands must be matching integers or pointers");
+                }
                 Ok(Some(self.b.icmp(pred, l, r)))
             }
             "fcmp" => {
@@ -409,15 +454,31 @@ impl<'a> FnParser<'a> {
                     other => return err(ln, format!("bad predicate {other}")),
                 };
                 let args = split_args(args_s);
+                if args.len() != 2 {
+                    return err(ln, "fcmp expects 2 operands");
+                }
                 let l = self.operand(ln, &args[0])?;
                 let r = self.operand(ln, &args[1])?;
+                let ty = self.b.ty_of(l);
+                if !ty.is_float() || ty != self.b.ty_of(r) {
+                    return err(ln, "fcmp operands must be matching floats");
+                }
                 Ok(Some(self.b.fcmp(pred, l, r)))
             }
             "select" => {
                 let args = split_args(rest);
+                if args.len() != 3 {
+                    return err(ln, "select expects cond, a, b");
+                }
                 let c = self.operand(ln, &args[0])?;
                 let a = self.operand(ln, &args[1])?;
                 let b2 = self.operand(ln, &args[2])?;
+                if self.b.ty_of(c) != Type::BOOL {
+                    return err(ln, "select condition must be i1");
+                }
+                if self.b.ty_of(a) != self.b.ty_of(b2) {
+                    return err(ln, "select arm type mismatch");
+                }
                 Ok(Some(self.b.select(c, a, b2)))
             }
             "zext" | "sext" | "trunc" | "sitofp" | "fptosi" | "ptrcast" | "ptrtoint"
@@ -444,6 +505,9 @@ impl<'a> FnParser<'a> {
             }
             "gep" => {
                 let args = split_args(rest);
+                if args.is_empty() {
+                    return err(ln, "gep expects a base pointer");
+                }
                 let base = self.operand(ln, &args[0])?;
                 let mut indices = Vec::new();
                 for a in &args[1..] {
@@ -458,12 +522,20 @@ impl<'a> FnParser<'a> {
                         indices.push(GepIndex::Value(self.operand(ln, a)?));
                     }
                 }
+                let base_ty = self.b.ty_of(base);
+                if let Err(e) = crate::builder::gep_result_type(&base_ty, &indices) {
+                    return err(ln, format!("invalid gep: {e}"));
+                }
                 Ok(Some(self.b.gep(base, indices)))
             }
-            "load" => Ok(Some({
+            "load" => {
                 let p = self.operand(ln, rest)?;
-                self.b.load(p)
-            })),
+                match self.b.ty_of(p).pointee() {
+                    Some(t) if t.is_first_class() => {}
+                    _ => return err(ln, "load requires a pointer to a first-class type"),
+                }
+                Ok(Some(self.b.load(p)))
+            }
             "call" => {
                 // call <ret-ty> @name(args)
                 let (ty_s, after) = rest.split_once(" @").ok_or_else(|| TextError {
@@ -476,6 +548,9 @@ impl<'a> FnParser<'a> {
                     .ok_or_else(|| TextError { line: ln + 1, message: "call needs (".into() })?;
                 let fname = &after[..paren];
                 let close = after.rfind(')').unwrap_or(after.len());
+                if close <= paren {
+                    return err(ln, "mismatched parentheses in call");
+                }
                 let args_s = &after[paren + 1..close];
                 let fid = *self.fids.get(fname).ok_or_else(|| TextError {
                     line: ln + 1,
@@ -526,6 +601,10 @@ impl<'a> FnParser<'a> {
                 }
                 let v = self.operand(ln, &args[0])?;
                 let p = self.operand(ln, &args[1])?;
+                match self.b.ty_of(p).pointee() {
+                    Some(t) if *t == self.b.ty_of(v) => {}
+                    _ => return err(ln, "store needs a pointer to the stored value's type"),
+                }
                 self.b.store(p, v);
                 Ok(())
             }
@@ -539,6 +618,7 @@ impl<'a> FnParser<'a> {
                 match args.len() {
                     1 => {
                         let tgt = self.block_ref(ln, &args[0])?;
+                        self.mark_terminated();
                         self.b.br(tgt);
                         Ok(())
                     }
@@ -546,6 +626,10 @@ impl<'a> FnParser<'a> {
                         let c = self.operand(ln, &args[0])?;
                         let tt = self.block_ref(ln, &args[1])?;
                         let ff = self.block_ref(ln, &args[2])?;
+                        if self.b.ty_of(c) != Type::BOOL {
+                            return err(ln, "br condition must be i1");
+                        }
+                        self.mark_terminated();
                         self.b.cond_br(c, tt, ff);
                         Ok(())
                     }
@@ -554,9 +638,11 @@ impl<'a> FnParser<'a> {
             }
             "ret" => {
                 if rest.trim() == "void" {
+                    self.mark_terminated();
                     self.b.ret(None);
                 } else {
                     let v = self.operand(ln, rest)?;
+                    self.mark_terminated();
                     self.b.ret(Some(v));
                 }
                 Ok(())
@@ -564,22 +650,31 @@ impl<'a> FnParser<'a> {
             "detach" => {
                 // detach task bbN, cont bbM
                 let args = split_args(rest);
+                if args.len() != 2 {
+                    return err(ln, "detach expects task bbN, cont bbM");
+                }
                 let task = self.block_ref(ln, args[0].trim().trim_start_matches("task "))?;
                 let cont = self.block_ref(ln, args[1].trim().trim_start_matches("cont "))?;
+                self.mark_terminated();
                 self.b.detach(task, cont);
                 Ok(())
             }
             "reattach" => {
                 let c = self.block_ref(ln, rest)?;
+                self.mark_terminated();
                 self.b.reattach(c);
                 Ok(())
             }
             "sync" => {
                 let c = self.block_ref(ln, rest)?;
+                self.mark_terminated();
                 self.b.sync(c);
                 Ok(())
             }
-            "unreachable" => Ok(()),
+            "unreachable" => {
+                self.mark_terminated();
+                Ok(())
+            }
             other => err(ln, format!("unknown statement `{other}`")),
         }
     }

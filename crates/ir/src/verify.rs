@@ -77,6 +77,21 @@ pub fn verify_function(f: &Function, m: &Module) -> Result<(), Vec<VerifyError>>
         err(&mut errs, None, format!("return type {} is not first class", f.ret_ty));
     }
 
+    // Successor targets must be in range before any CFG-based analysis runs:
+    // Cfg::compute and the detached-region walks index blocks directly.
+    let mut bad_succ = false;
+    for b in f.block_ids() {
+        for s in f.block(b).term.successors() {
+            if (s.0 as usize) >= f.num_blocks() {
+                err(&mut errs, Some(b), format!("branch to unknown block {s}"));
+                bad_succ = true;
+            }
+        }
+    }
+    if bad_succ {
+        return Err(errs);
+    }
+
     let cfg = Cfg::compute(f);
 
     // Block-local structural checks.
@@ -130,6 +145,9 @@ pub fn verify_function(f: &Function, m: &Module) -> Result<(), Vec<VerifyError>>
                         );
                     } else {
                         for (i, (a, pt)) in args.iter().zip(&g.params).enumerate() {
+                            if (a.0 as usize) >= f.num_values() {
+                                continue; // already reported as out of range
+                            }
                             if f.value_ty(*a) != pt {
                                 err(
                                     &mut errs,
@@ -142,9 +160,9 @@ pub fn verify_function(f: &Function, m: &Module) -> Result<(), Vec<VerifyError>>
                 }
             }
         }
-        for s in blk.term.successors() {
-            if (s.0 as usize) >= f.num_blocks() {
-                err(&mut errs, Some(b), format!("branch to unknown block {s}"));
+        for v in blk.term.operands() {
+            if (v.0 as usize) >= f.num_values() {
+                err(&mut errs, Some(b), format!("terminator operand {v} out of range"));
             }
         }
         if let Terminator::Ret { value } = &blk.term {
@@ -155,7 +173,7 @@ pub fn verify_function(f: &Function, m: &Module) -> Result<(), Vec<VerifyError>>
                     err(&mut errs, Some(b), "ret value from void function".to_string())
                 }
                 (Some(v), t) => {
-                    if f.value_ty(*v) != t {
+                    if (v.0 as usize) < f.num_values() && f.value_ty(*v) != t {
                         err(&mut errs, Some(b), format!("ret type {} != {}", f.value_ty(*v), t));
                     }
                 }
@@ -173,6 +191,9 @@ pub fn verify_function(f: &Function, m: &Module) -> Result<(), Vec<VerifyError>>
         }
         let check_use =
             |errs: &mut Vec<VerifyError>, v: ValueId, use_block: BlockId, use_idx: usize| {
+                if (v.0 as usize) >= f.num_values() {
+                    return; // reported by the operand-range pass
+                }
                 if let ValueDef::Inst(db, di) = f.value(v).def {
                     let ok =
                         if db == use_block { di < use_idx } else { dom.dominates(db, use_block) };
@@ -276,6 +297,22 @@ pub fn detached_region(
     task: BlockId,
     cont: BlockId,
 ) -> Result<HashSet<BlockId>, String> {
+    detached_region_at(f, _cfg, task, cont, 0)
+}
+
+fn detached_region_at(
+    f: &Function,
+    _cfg: &Cfg,
+    task: BlockId,
+    cont: BlockId,
+    depth: usize,
+) -> Result<HashSet<BlockId>, String> {
+    // Nested detaches recurse; bound the depth so pathological inputs (deep
+    // machine-generated nesting) fail with an error instead of overflowing
+    // the stack.
+    if depth > 512 {
+        return Err("detach nesting exceeds 512 levels".to_string());
+    }
     let mut region = HashSet::new();
     let mut stack = vec![task];
     while let Some(b) = stack.pop() {
@@ -299,7 +336,7 @@ pub fn detached_region(
             Terminator::Detach { task: t2, cont: c2 } => {
                 // Nested parallelism: the inner region has its own
                 // continuation; recurse, then continue from the inner cont.
-                let inner = detached_region(f, _cfg, *t2, *c2)?;
+                let inner = detached_region_at(f, _cfg, *t2, *c2, depth + 1)?;
                 region.extend(inner);
                 if *c2 == cont {
                     return Err(format!(

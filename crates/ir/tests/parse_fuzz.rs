@@ -1,0 +1,293 @@
+//! Fuzz-style crash hardening for the textual IR parser and verifier.
+//!
+//! The contract under test: for *any* input string, `parse_module` returns
+//! either `Ok(module)` or a typed `TextError` — never a panic — and any
+//! module it accepts can be fed to `verify_module` without panicking
+//! either. The corpus is deterministic: truncations, line edits, and
+//! LCG-driven byte mutations of printed valid modules, plus handcrafted
+//! inputs targeting every precondition the builder asserts on.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use tapas_ir::printer::print_module;
+use tapas_ir::text::parse_module;
+use tapas_ir::{verify_module, CmpPred, FBinOp, FuncId, FunctionBuilder, GepIndex, Module, Type};
+
+/// Parse `src`; when it parses, the verifier must also accept or reject it
+/// without panicking. Panics (test failure) only if either layer panics.
+fn exercise(src: &str) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Ok(m) = parse_module(src) {
+            let _ = verify_module(&m);
+        }
+    }));
+    if outcome.is_err() {
+        panic!("parser or verifier panicked on input:\n---\n{src}\n---");
+    }
+}
+
+/// A parallel-for over an i32 array: loop, detach/reattach, phi, gep,
+/// load/store, sync — the full statement surface the printer emits.
+fn sample_pfor() -> Module {
+    let mut b = FunctionBuilder::new("pfor", vec![Type::ptr(Type::I32), Type::I64], Type::I32);
+    let header = b.create_block("header");
+    let spawn = b.create_block("spawn");
+    let task = b.create_block("task");
+    let latch = b.create_block("latch");
+    let exit = b.create_block("exit");
+    let done = b.create_block("done");
+    let (a, n) = (b.param(0), b.param(1));
+    let zero = b.const_int(Type::I64, 0);
+    let one = b.const_int(Type::I64, 1);
+    let entry = b.current_block();
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Type::I64, vec![(entry, zero)]);
+    let c = b.icmp(CmpPred::Slt, i, n);
+    b.cond_br(c, spawn, exit);
+    b.switch_to(spawn);
+    b.detach(task, latch);
+    b.switch_to(task);
+    let p = b.gep_index(a, i);
+    let v = b.load(p);
+    let three = b.const_int(Type::I32, 3);
+    let v2 = b.mul(v, three);
+    b.store(p, v2);
+    b.reattach(latch);
+    b.switch_to(latch);
+    let i2 = b.add(i, one);
+    b.add_phi_incoming(i, latch, i2);
+    b.br(header);
+    b.switch_to(exit);
+    b.sync(done);
+    b.switch_to(done);
+    let r = b.trunc(n, Type::I32);
+    b.ret(Some(r));
+    let mut m = Module::new("fuzz_pfor");
+    m.add_function(b.finish());
+    m
+}
+
+/// Recursion, float ops, select, struct/array types and calls.
+fn sample_misc() -> Module {
+    let mut m = Module::new("fuzz_misc");
+    let st = Type::Struct(vec![Type::I8, Type::array(Type::F64, 3)]);
+    let mut b = FunctionBuilder::new("leaf", vec![Type::ptr(st.clone())], Type::F64);
+    let p = b.param(0);
+    let fp = b.gep(p, vec![GepIndex::Const(0), GepIndex::Const(1), GepIndex::Const(2)]);
+    let v = b.load(fp);
+    let k = b.const_f64(1.5);
+    let s = b.fbin(FBinOp::FAdd, v, k);
+    b.ret(Some(s));
+    m.add_function(b.finish());
+
+    let mut b = FunctionBuilder::new("driver", vec![Type::I32, Type::ptr(st)], Type::F64);
+    let (x, q) = (b.param(0), b.param(1));
+    let zero = b.const_int(Type::I32, 0);
+    let c = b.icmp(CmpPred::Sgt, x, zero);
+    let one = b.const_int(Type::I32, 1);
+    let xm = b.sub(x, one);
+    let pick = b.select(c, xm, zero);
+    let r = b.call(FuncId(1), vec![pick, q], Type::F64).unwrap();
+    b.ret(Some(r));
+    m.add_function(b.finish());
+    m
+}
+
+/// Tiny deterministic generator (no external deps, no wall clock).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+#[test]
+fn truncations_never_panic() {
+    for m in [sample_pfor(), sample_misc()] {
+        let text = print_module(&m);
+        // Every char-boundary prefix.
+        for (i, _) in text.char_indices() {
+            exercise(&text[..i]);
+        }
+        exercise(&text);
+        // Every suffix too: drops the header first, which stresses the
+        // top-level dispatch.
+        for (i, _) in text.char_indices() {
+            exercise(&text[i..]);
+        }
+    }
+}
+
+#[test]
+fn line_edits_never_panic() {
+    for m in [sample_pfor(), sample_misc()] {
+        let text = print_module(&m);
+        let lines: Vec<&str> = text.lines().collect();
+        // Drop each single line.
+        for skip in 0..lines.len() {
+            let mut edited: Vec<&str> = Vec::new();
+            for (i, l) in lines.iter().enumerate() {
+                if i != skip {
+                    edited.push(l);
+                }
+            }
+            exercise(&edited.join("\n"));
+        }
+        // Duplicate each single line (double terminators, repeated labels).
+        for dup in 0..lines.len() {
+            let mut edited: Vec<&str> = Vec::new();
+            for (i, l) in lines.iter().enumerate() {
+                edited.push(l);
+                if i == dup {
+                    edited.push(l);
+                }
+            }
+            exercise(&edited.join("\n"));
+        }
+        // Swap each adjacent pair (instructions after terminators, uses
+        // before defs, labels out of order).
+        for at in 0..lines.len().saturating_sub(1) {
+            let mut edited = lines.clone();
+            edited.swap(at, at + 1);
+            exercise(&edited.join("\n"));
+        }
+    }
+}
+
+#[test]
+fn byte_mutations_never_panic() {
+    const CHARSET: &[u8] = b"%@()[]{},:;*#=-. x0123456789abijznrtfgdphv\n";
+    let mut rng = Lcg(0x0007_a9a5_u64.wrapping_mul(0x9e37_79b9));
+    for m in [sample_pfor(), sample_misc()] {
+        let text = print_module(&m);
+        for _ in 0..2500 {
+            let mut bytes = text.as_bytes().to_vec();
+            for _ in 0..1 + rng.below(3) {
+                let at = rng.below(bytes.len());
+                match rng.below(3) {
+                    0 => bytes[at] = CHARSET[rng.below(CHARSET.len())],
+                    1 => {
+                        bytes.remove(at);
+                    }
+                    _ => bytes.insert(at, CHARSET[rng.below(CHARSET.len())]),
+                }
+            }
+            if let Ok(s) = std::str::from_utf8(&bytes) {
+                exercise(s);
+            }
+        }
+    }
+}
+
+#[test]
+fn handcrafted_nasties_never_panic() {
+    let nasties: &[&str] = &[
+        "",
+        "\n\n\n",
+        "define",
+        "define \n",
+        "define i32 @\n",
+        "define i32 @f\n}",
+        "define i32 @f( {\n}",
+        // Close paren before open in the header.
+        "define i32 @f)x( {\n}",
+        "define i32 @f() {\n}",
+        "define i32 @f(i32) {\n}",
+        // Oversized and nested-oversized array types.
+        "define void @f([99999999999999999 x i64]* %0) {\nbb0:\n  ret void\n}",
+        "define void @f([4294967295 x [4294967295 x i8]]* %0) {\nbb0:\n  ret void\n}",
+        "define void @f([3 x i64* %0) {\nbb0:\n  ret void\n}",
+        // Instructions after a terminator.
+        "define i32 @f(i32 %0) {\nbb0:\n  ret %0\n  %1 = add %0, %0\n}",
+        "define i32 @f(i32 %0) {\nbb0:\n  ret %0\n  ret %0\n}",
+        // Operand-count and type-mismatch probes for every checked op.
+        "define f32 @f(f32 %0) {\nbb0:\n  %1 = fadd %0\n  ret %1\n}",
+        "define f32 @f(f32 %0, i32 %1) {\nbb0:\n  %2 = fadd %0, %1\n  ret %2\n}",
+        "define i32 @f(i32 %0, i64 %1) {\nbb0:\n  %2 = add %0, %1\n  ret %2\n}",
+        "define i32 @f(f32 %0) {\nbb0:\n  %1 = add %0, %0\n  ret %1\n}",
+        "define i1 @f(i32 %0) {\nbb0:\n  %1 = icmp slt %0\n  ret %1\n}",
+        "define i1 @f(f32 %0, f32 %1) {\nbb0:\n  %2 = icmp eq %0, %1\n  ret %2\n}",
+        "define i1 @f(f64 %0) {\nbb0:\n  %1 = fcmp olt %1\n  ret %1\n}",
+        "define i1 @f(i32 %0, i32 %1) {\nbb0:\n  %2 = fcmp oeq %0, %1\n  ret %2\n}",
+        "define i32 @f(i32 %0) {\nbb0:\n  %1 = select %0, %0\n  ret %1\n}",
+        "define i32 @f(i32 %0, i64 %1) {\nbb0:\n  %2 = select %0, %1, %1\n  ret %2\n}",
+        "define i32 @f(i1 %0, i32 %1, i64 %2) {\nbb0:\n  %3 = select %0, %1, %2\n  ret %3\n}",
+        // gep/load/store on the wrong types.
+        "define i32* @f(i32 %0) {\nbb0:\n  %1 = gep\n  ret %1\n}",
+        "define i32* @f(i32 %0) {\nbb0:\n  %1 = gep %0, #0\n  ret %1\n}",
+        "define i32* @f({i32}* %0) {\nbb0:\n  %1 = gep %0, #0, #7\n  ret %1\n}",
+        "define i32 @f(i32 %0) {\nbb0:\n  %1 = load %0\n  ret %1\n}",
+        "define i32 @f({i32}* %0) {\nbb0:\n  %1 = load %0\n  ret %1\n}",
+        "define void @f(i32 %0) {\nbb0:\n  store %0, %0\n  ret void\n}",
+        "define void @f(i64 %0, i32* %1) {\nbb0:\n  store %0, %1\n  ret void\n}",
+        "define void @f(i32* %0) {\nbb0:\n  store %0\n  ret void\n}",
+        // Calls: mismatched parens, unknown callee, unknown value.
+        "define i32 @f(i32 %0) {\nbb0:\n  %1 = call i32 @f)x(\n  ret %1\n}",
+        "define i32 @f(i32 %0) {\nbb0:\n  %1 = call i32 @nope(%0)\n  ret %1\n}",
+        "define i32 @f(i32 %0) {\nbb0:\n  %1 = call i32 @f(%9)\n  ret %1\n}",
+        "define i32 @f(i32 %0) {\nbb0:\n  %1 = call i32 @f(%0\n  ret %1\n}",
+        // Branch/terminator shapes.
+        "define void @f(i32 %0) {\nbb0:\n  br %0, bb0, bb0\n}",
+        "define void @f(i1 %0) {\nbb0:\n  br %0, bb9, bb0\n}",
+        "define void @f() {\nbb0:\n  br\n}",
+        "define void @f() {\nbb0:\n  detach\n}",
+        "define void @f() {\nbb0:\n  detach task bb0\n}",
+        "define void @f() {\nbb0:\n  detach task bb9, cont bb0\n}",
+        "define void @f() {\nbb0:\n  reattach bb9\n}",
+        "define void @f() {\nbb0:\n  sync\n}",
+        "define void @f() {\nbb0:\n  unreachable\n  ret void\n}",
+        // Phi probes.
+        "define i32 @f(i32 %0) {\nbb0:\n  %1 = phi\n  ret %1\n}",
+        "define i32 @f(i32 %0) {\nbb0:\n  %1 = phi i32 [bb0 %0]\n  ret %1\n}",
+        "define i32 @f(i32 %0) {\nbb0:\n  %1 = phi i32 [bb9, %0]\n  ret %1\n}",
+        "define i32 @f(i32 %0) {\nbb0:\n  %1 = phi i32 [bb0, %9]\n  ret %1\n}",
+        // Casts and constants.
+        "define i64 @f(i32 %0) {\nbb0:\n  %1 = zext %0\n  ret %1\n}",
+        "define i64 @f(i32 %0) {\nbb0:\n  %1 = zext %0 to bogus\n  ret %1\n}",
+        "define i32 @f() {\nbb0:\n  ret i32 99999999999999999999999\n}",
+        "define f32 @f() {\nbb0:\n  ret f32 nan\n}",
+        "define i32* @f() {\nbb0:\n  ret i32* null\n}",
+        "define i32 @f() {\nbb0:\n  ret i32* null\n}",
+        // Results that produce no value / missing results.
+        "define void @f(i32* %0, i32 %1) {\nbb0:\n  %2 = store %1, %0\n  ret void\n}",
+        "define void @f() {\nbb0:\n  %1 = call void @f()\n  ret void\n}",
+        // Top-level noise.
+        "}\n",
+        "bb0:\n  ret void\n",
+        "; module x\n}\ndefine void @f() {\nbb0:\n  ret void\n}",
+    ];
+    for n in nasties {
+        exercise(n);
+    }
+}
+
+#[test]
+fn accepted_mutants_still_roundtrip() {
+    // Anything the parser accepts should print and reparse without
+    // panicking — the durability contract behind golden files.
+    let mut rng = Lcg(0xfeed_beef);
+    let text = print_module(&sample_pfor());
+    let mut accepted = 0u32;
+    for _ in 0..1500 {
+        let mut bytes = text.as_bytes().to_vec();
+        let at = rng.below(bytes.len());
+        bytes[at] = b"%@#,:;*() 0123456789"[rng.below(20)];
+        let Ok(s) = std::str::from_utf8(&bytes) else { continue };
+        if let Ok(m) = parse_module(s) {
+            accepted += 1;
+            let printed = print_module(&m);
+            let again = parse_module(&printed)
+                .unwrap_or_else(|e| panic!("printed form of accepted mutant failed: {e}"));
+            let _ = verify_module(&again);
+        }
+    }
+    // The corpus must actually exercise the accept path, not just reject
+    // everything (single-byte edits to comments/whitespace stay valid).
+    assert!(accepted > 0, "no mutants were accepted; corpus too weak");
+}

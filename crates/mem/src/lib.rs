@@ -336,6 +336,19 @@ impl MemSystem {
         assert!(a + len <= self.data.len());
         &self.data[a..a + len]
     }
+
+    /// Reserve an 8-byte-aligned overflow arena above the program-visible
+    /// address space and return its base address. The arena is ordinary
+    /// modeled DRAM — accesses to it travel through the cache hierarchy
+    /// like any other — but it sits past the configured memory size, so a
+    /// program that stays within its declared footprint can never collide
+    /// with it. Used by the simulator's task-queue virtualization to park
+    /// spilled queue entries.
+    pub fn reserve_overflow(&mut self, bytes: usize) -> u64 {
+        let base = self.data.len().next_multiple_of(8);
+        self.data.resize(base + bytes, 0u8);
+        base as u64
+    }
 }
 
 #[cfg(test)]
@@ -383,6 +396,31 @@ mod tests {
     fn oob_read_panics() {
         let ms = MemSystem::new(8, CacheConfig::default(), DramConfig::default());
         ms.read_bits(8, 4);
+    }
+
+    #[test]
+    fn overflow_arena_is_aligned_and_addressable() {
+        let mut ms = MemSystem::new(100, CacheConfig::default(), DramConfig::default());
+        let base = ms.reserve_overflow(64);
+        assert_eq!(base, 104, "base rounds the 100-byte footprint up to 8");
+        assert_eq!(ms.data.len(), 104 + 64);
+        // Arena addresses are serviceable through the timing path.
+        let t = ms
+            .issue(
+                MemReq {
+                    id: ReqId(9),
+                    port: 0,
+                    addr: base,
+                    size: 8,
+                    kind: MemOpKind::Write,
+                    wdata: 0x1234,
+                },
+                0,
+            )
+            .unwrap()
+            .unwrap();
+        ms.pop_ready(t);
+        assert_eq!(ms.read_bits(base, 8), 0x1234);
     }
 
     #[test]

@@ -77,6 +77,12 @@ pub struct AcceleratorConfig {
     /// Recovery mechanisms armed while a fault plan is active (watchdog,
     /// memory retry, ECC, queue parity, tile quarantine).
     pub tolerance: FaultTolerance,
+    /// Bounded-resource admission control. `None` (the default) reproduces
+    /// the paper's behaviour exactly: a spawn into a full task queue
+    /// backpressures the producer and can wedge the design. `Some` arms
+    /// the inline-spawn / queue-virtualization / deadlock-recovery paths,
+    /// making every legal program terminate on any finite queue geometry.
+    pub admission: Option<AdmissionControl>,
 }
 
 impl Default for AcceleratorConfig {
@@ -100,7 +106,69 @@ impl Default for AcceleratorConfig {
             trace_path: None,
             faults: None,
             tolerance: FaultTolerance::default(),
+            admission: None,
         }
+    }
+}
+
+/// How the engine responds when a spawn targets a full task queue
+/// (selected with [`AcceleratorConfigBuilder::admission`]).
+///
+/// Three cooperating mechanisms bound live tasks without losing work:
+///
+/// * **Inline spawn** (Cilk work-first degradation): a task unit that
+///   cannot enqueue a child executes the child — and, transitively, its
+///   whole subtree — serially on the spawning tile.
+/// * **Queue virtualization**: overflow entries spill through the data
+///   box into a DRAM-backed overflow arena and refill, oldest first, as
+///   queue slots drain.
+/// * **Deadlock recovery**: when no component makes progress for
+///   [`recovery_window`](AdmissionControl::recovery_window) cycles, the
+///   oldest spilled spawn is forced down the inline path, breaking
+///   spawn-edge wait-for cycles instead of reporting
+///   [`SimError::Deadlock`](crate::SimError).
+///
+/// The default enables both mechanisms; [`AdmissionControl::work_first`]
+/// and [`AdmissionControl::virtualized`] select one apiece.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionControl {
+    /// Execute refused spawns inline on the spawning tile.
+    pub inline_spawn: bool,
+    /// Spill refused spawns to the DRAM-backed overflow arena.
+    pub spill: bool,
+    /// Overflow arena capacity in queue entries (one 8-byte tag word of
+    /// modeled DRAM per entry).
+    pub overflow_entries: usize,
+    /// Cycles without progress before deadlock recovery forces the oldest
+    /// blocked spawn inline. Must be large enough to never race a legal
+    /// quiet period (non-memory stalls are bounded by the spawn/sync/block
+    /// handshakes, all well under 100 cycles at the default operating
+    /// point).
+    pub recovery_window: u64,
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        AdmissionControl {
+            inline_spawn: true,
+            spill: true,
+            overflow_entries: 4096,
+            recovery_window: 1_000,
+        }
+    }
+}
+
+impl AdmissionControl {
+    /// Inline-spawn only: refused spawns run serially on the spawning
+    /// tile; nothing ever spills.
+    pub fn work_first() -> Self {
+        AdmissionControl { spill: false, ..AdmissionControl::default() }
+    }
+
+    /// Queue virtualization only: refused spawns spill to the overflow
+    /// arena. Inline execution still backstops deadlock recovery.
+    pub fn virtualized() -> Self {
+        AdmissionControl { inline_spawn: false, ..AdmissionControl::default() }
     }
 }
 
@@ -151,6 +219,17 @@ impl AcceleratorConfig {
         }
         if self.tolerance.watchdog_timeout == Some(0) {
             return Err(ConfigError::ZeroTimeout { which: "watchdog timeout" });
+        }
+        if let Some(a) = &self.admission {
+            if !a.inline_spawn && !a.spill {
+                return Err(ConfigError::AdmissionWithoutMechanism);
+            }
+            if a.spill && a.overflow_entries == 0 {
+                return Err(ConfigError::ZeroQueueDepth { queue: "admission overflow arena" });
+            }
+            if a.recovery_window == 0 {
+                return Err(ConfigError::ZeroTimeout { which: "admission recovery window" });
+            }
         }
         for (label, c) in
             std::iter::once(("L1", &self.cache)).chain(self.l2.as_ref().map(|c| ("L2", c)))
@@ -207,6 +286,10 @@ pub enum ConfigError {
         /// Which timeout.
         which: &'static str,
     },
+    /// Admission control was requested with every mechanism disabled —
+    /// indistinguishable from plain backpressure, so almost certainly a
+    /// configuration mistake.
+    AdmissionWithoutMechanism,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -232,6 +315,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroMemory => write!(f, "accelerator memory size must be non-zero"),
             ConfigError::ZeroTimeout { which } => {
                 write!(f, "{which} must be at least one cycle when its mechanism is enabled")
+            }
+            ConfigError::AdmissionWithoutMechanism => {
+                write!(f, "admission control needs inline spawns, spilling, or both enabled")
             }
         }
     }
@@ -362,6 +448,14 @@ impl AcceleratorConfigBuilder {
         self
     }
 
+    /// Arm bounded-resource admission control: inline spawn execution,
+    /// task-queue spilling, and deadlock recovery (see
+    /// [`AdmissionControl`]).
+    pub fn admission(mut self, admission: AdmissionControl) -> Self {
+        self.cfg.admission = Some(admission);
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
@@ -449,6 +543,36 @@ mod tests {
         let tol = FaultTolerance { watchdog_timeout: Some(0), ..FaultTolerance::default() };
         let err = AcceleratorConfig::builder().tolerance(tol).build().unwrap_err();
         assert!(err.to_string().contains("watchdog"));
+    }
+
+    #[test]
+    fn admission_is_off_by_default_and_builder_arms_it() {
+        let c = AcceleratorConfig::builder().build().unwrap();
+        assert!(c.admission.is_none(), "seed behaviour unless explicitly requested");
+        let c =
+            AcceleratorConfig::builder().admission(AdmissionControl::default()).build().unwrap();
+        let a = c.admission.unwrap();
+        assert!(a.inline_spawn && a.spill);
+        assert!(AdmissionControl::work_first().inline_spawn);
+        assert!(!AdmissionControl::work_first().spill);
+        assert!(AdmissionControl::virtualized().spill);
+        assert!(!AdmissionControl::virtualized().inline_spawn);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_admission() {
+        let none = AdmissionControl { inline_spawn: false, spill: false, ..Default::default() };
+        let err = AcceleratorConfig::builder().admission(none).build().unwrap_err();
+        assert_eq!(err, ConfigError::AdmissionWithoutMechanism);
+        assert!(err.to_string().contains("admission"));
+
+        let empty = AdmissionControl { overflow_entries: 0, ..Default::default() };
+        let err = AcceleratorConfig::builder().admission(empty).build().unwrap_err();
+        assert!(matches!(err, ConfigError::ZeroQueueDepth { .. }));
+
+        let hair = AdmissionControl { recovery_window: 0, ..Default::default() };
+        let err = AcceleratorConfig::builder().admission(hair).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroTimeout { which: "admission recovery window" });
     }
 
     #[test]

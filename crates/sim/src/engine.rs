@@ -241,6 +241,14 @@ pub struct SimStats {
     pub faults_injected: u64,
     /// Tiles fenced off by quarantine.
     pub quarantined_tiles: u64,
+    /// Task-queue entries spilled to the DRAM-backed overflow arena
+    /// (admission control's queue virtualization).
+    pub spills: u64,
+    /// Spilled entries refilled into a task queue as slots drained.
+    pub refills: u64,
+    /// Refused spawns executed inline on the spawning tile (work-first
+    /// degradation), including deadlock-recovery forced inlines.
+    pub inline_spawns: u64,
 }
 
 impl SimStats {
@@ -336,6 +344,9 @@ struct CallRet {
 #[derive(Debug, Default)]
 struct Tile {
     exec: Option<Exec>,
+    /// The tile is executing a refused spawn inline until this cycle
+    /// (admission control); always 0 when admission is off.
+    inline_busy_until: u64,
     /// Fenced off by quarantine; never dispatched to again.
     fenced: bool,
     /// Frozen until this cycle by an injected stall (`u64::MAX` = wedged).
@@ -362,6 +373,30 @@ impl Tile {
     }
 }
 
+/// A spawn the queue could not hold, parked in the DRAM-backed overflow
+/// arena. The arena traffic is modeled through the data box; the payload
+/// itself is tracked host-side (the modeled 8-byte transfer stands in for
+/// bandwidth and latency, not for an argument encoding).
+#[derive(Debug)]
+struct SpilledEntry {
+    args: Vec<Val>,
+    parent: Option<(usize, usize)>,
+    call_ret: Option<CallRet>,
+    via_detach: bool,
+    spawned_at: u64,
+    /// Arena slot holding the modeled copy; returned to the free pool on
+    /// refill or recovery.
+    addr: u64,
+}
+
+/// A refill in flight: the queue slot is reserved while the arena read
+/// travels through the memory system.
+#[derive(Debug)]
+struct PendingRefill {
+    slot: usize,
+    entry: SpilledEntry,
+}
+
 #[derive(Debug)]
 struct TaskUnit {
     name: String,
@@ -374,6 +409,13 @@ struct TaskUnit {
     tiles: Vec<Tile>,
     port_base: usize,
     stats: UnitStats,
+    /// Spilled spawns awaiting a free queue slot, oldest first.
+    overflow: std::collections::VecDeque<SpilledEntry>,
+    /// At most one refill read outstanding per unit.
+    pending_refill: Option<PendingRefill>,
+    /// A spawn into this unit was refused this cycle (feeds the
+    /// `full_cycles` queue statistic); cleared every cycle.
+    spawn_refused: bool,
 }
 
 impl TaskUnit {
@@ -382,11 +424,26 @@ impl TaskUnit {
     }
 }
 
+/// What an outstanding memory request is for, so responses route to the
+/// right consumer. Tile requests carry a live `(tile, node)` target;
+/// spill/refill requests belong to a unit's queue-virtualization machinery
+/// and leave those fields unused (`usize::MAX`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqKind {
+    /// A dataflow load/store issued by a TXU tile.
+    Tile,
+    /// A queue entry spilling into the overflow arena.
+    SpillWrite,
+    /// A spilled entry refilling from the overflow arena.
+    RefillRead,
+}
+
 /// Everything the engine must remember about an outstanding memory
 /// request: where its response routes, the request itself (for retries),
 /// and the retry bookkeeping.
 #[derive(Debug, Clone, Copy)]
 struct ReqMeta {
+    kind: ReqKind,
     unit: usize,
     tile: usize,
     node: usize,
@@ -404,7 +461,7 @@ struct ReqMeta {
 struct Prof {
     level: ProfileLevel,
     /// `[unit][tile][reason]` cycle counters.
-    stalls: Vec<Vec<[u64; 10]>>,
+    stalls: Vec<Vec<[u64; 11]>>,
     /// Per-cycle scratch: the tile finished or parked an instance this
     /// cycle (so an empty tile still counts as having worked).
     worked: Vec<Vec<bool>>,
@@ -419,7 +476,7 @@ impl Prof {
     fn new(level: ProfileLevel, units: &[TaskUnit], ntasks: usize) -> Prof {
         Prof {
             level,
-            stalls: units.iter().map(|u| vec![[0; 10]; u.tiles.len()]).collect(),
+            stalls: units.iter().map(|u| vec![[0; 11]; u.tiles.len()]).collect(),
             worked: units.iter().map(|u| vec![false; u.tiles.len()]).collect(),
             queues: units.iter().map(|_| QueueOccupancy::new(ntasks as u32)).collect(),
             node_mix: vec![[0; 5]; units.len()],
@@ -502,6 +559,17 @@ pub struct Accelerator {
     spurious_responses: u64,
     faults_injected: u64,
     quarantined_tiles: u64,
+    spills: u64,
+    refills: u64,
+    inline_spawns: u64,
+    /// Overflow-arena bounds ([`spill_base`, `spill_limit`) in bytes);
+    /// both 0 when queue virtualization is off. Also marks the top of the
+    /// program-visible address space for inline execution's bounds checks.
+    spill_base: u64,
+    spill_limit: u64,
+    /// Bump allocator over the arena, with a free list of returned slots.
+    spill_next: u64,
+    spill_free: Vec<u64>,
 }
 
 impl std::fmt::Debug for Accelerator {
@@ -551,27 +619,39 @@ impl Accelerator {
                     ready: Vec::new(),
                     tiles: (0..tiles).map(|_| Tile::default()).collect(),
                     port_base,
+                    overflow: std::collections::VecDeque::new(),
+                    pending_refill: None,
+                    spawn_refused: false,
                 });
                 port_base += ports;
             }
         }
         let databox =
             DataBox::new(DataBoxConfig { ports: port_base.max(1), ..cfg.databox.clone() });
+        let mut ms = match &cfg.l2 {
+            Some(l2) => {
+                MemSystem::with_l2(cfg.mem_bytes, cfg.cache.clone(), l2.clone(), cfg.dram.clone())
+            }
+            None => MemSystem::new(cfg.mem_bytes, cfg.cache.clone(), cfg.dram.clone()),
+        };
+        // Queue virtualization parks overflow entries in a DRAM region
+        // above the program's declared footprint; reserving it here keeps
+        // the address map stable across runs.
+        let (spill_base, spill_limit) = match &cfg.admission {
+            Some(a) if a.spill => {
+                let bytes = a.overflow_entries * 8;
+                let base = ms.reserve_overflow(bytes);
+                (base, base + bytes as u64)
+            }
+            _ => (0, 0),
+        };
         Ok(Accelerator {
             module: Rc::new(module.clone()),
             units,
             unit_of,
             func_root,
             databox,
-            ms: match &cfg.l2 {
-                Some(l2) => MemSystem::with_l2(
-                    cfg.mem_bytes,
-                    cfg.cache.clone(),
-                    l2.clone(),
-                    cfg.dram.clone(),
-                ),
-                None => MemSystem::new(cfg.mem_bytes, cfg.cache.clone(), cfg.dram.clone()),
-            },
+            ms,
             req_map: HashMap::new(),
             next_req: 0,
             cycle: 0,
@@ -590,6 +670,13 @@ impl Accelerator {
             spurious_responses: 0,
             faults_injected: 0,
             quarantined_tiles: 0,
+            spills: 0,
+            refills: 0,
+            inline_spawns: 0,
+            spill_base,
+            spill_limit,
+            spill_next: spill_base,
+            spill_free: Vec::new(),
         })
     }
 
@@ -667,6 +754,9 @@ impl Accelerator {
         self.spurious_responses = 0;
         self.faults_injected = 0;
         self.quarantined_tiles = 0;
+        self.spills = 0;
+        self.refills = 0;
+        self.inline_spawns = 0;
         for u in &mut self.units {
             for t in &mut u.tiles {
                 t.fenced = false;
@@ -674,12 +764,22 @@ impl Accelerator {
                 t.fault_count = 0;
                 t.faulted_at = 0;
                 t.quarantine_pending = false;
+                t.inline_busy_until = 0;
+            }
+        }
+        if self.cfg.admission.is_some() {
+            self.spill_next = self.spill_base;
+            self.spill_free.clear();
+            for u in &mut self.units {
+                u.overflow.clear();
+                u.pending_refill = None;
+                u.spawn_refused = false;
             }
         }
         let start_cycle = self.cycle;
         let slot = self
             .alloc_entry(root_unit, args.to_vec(), None, None, self.cycle, true, false)
-            .ok_or(SimError::QueueFull)?;
+            .map_err(|_| SimError::QueueFull)?;
         let _ = slot;
         let mut last_progress = self.cycle;
         while self.host_result.is_none() {
@@ -706,6 +806,9 @@ impl Accelerator {
                 self.deliver_delayed(now);
                 self.scan_retries(now)?;
             }
+            if self.cfg.admission.is_some() {
+                self.pump_refills(now);
+            }
             for u in 0..self.units.len() {
                 self.dispatch(u, now)?;
             }
@@ -724,23 +827,32 @@ impl Accelerator {
             let mut queues = prof.map(|p| p.queues.iter_mut());
             for u in &mut self.units {
                 let occ = u.occupancy();
+                let refused = std::mem::take(&mut u.spawn_refused);
                 u.stats.queue_peak = u.stats.queue_peak.max(occ);
                 u.stats.busy_tile_cycles +=
                     u.tiles.iter().filter(|t| t.exec.is_some()).count() as u64;
                 if let Some(qs) = queues.as_mut() {
                     // invariant: the profiler allocates exactly one
                     // accumulator per unit before the loop starts.
-                    qs.next().expect("one occupancy accumulator per unit").observe(occ as u32);
+                    qs.next()
+                        .expect("one occupancy accumulator per unit")
+                        .observe_spawns(occ as u32, refused);
                 }
             }
             if self.progress || self.ms.has_pending() {
                 last_progress = now;
                 self.progress = false;
-            } else if now - last_progress > 100_000 {
-                return Err(SimError::Deadlock {
-                    at: now,
-                    diagnosis: Box::new(self.diagnose_deadlock(now)),
-                });
+            } else {
+                let stalled = now - last_progress;
+                let recover = self.cfg.admission.is_some_and(|a| stalled > a.recovery_window);
+                if recover && self.recover_blocked_spawn(now)? {
+                    last_progress = now;
+                } else if stalled > 100_000 {
+                    return Err(SimError::Deadlock {
+                        at: now,
+                        diagnosis: Box::new(self.diagnose_deadlock(now)),
+                    });
+                }
             }
             self.cycle += 1;
             if self.cycle - start_cycle > self.cfg.max_cycles {
@@ -766,6 +878,9 @@ impl Accelerator {
             spurious_responses: self.spurious_responses,
             faults_injected: self.faults_injected,
             quarantined_tiles: self.quarantined_tiles,
+            spills: self.spills,
+            refills: self.refills,
+            inline_spawns: self.inline_spawns,
         };
         let profile = self.prof.take().map(|p| p.finish(cycles, &self.units));
         if let Some(path) = self.cfg.trace_path.clone() {
@@ -790,7 +905,9 @@ impl Accelerator {
                 p.req_class.insert(g.id.0, class);
             }
             if matches!(g.class, GrantClass::Miss | GrantClass::MissDramQueued) && self.tracing() {
-                if let Some(t) = self.req_map.get(&g.id.0).copied() {
+                if let Some(t) =
+                    self.req_map.get(&g.id.0).copied().filter(|t| t.kind == ReqKind::Tile)
+                {
                     let slot = self.units[t.unit].tiles[t.tile].exec.as_ref().map(|e| e.slot);
                     if let Some(slot) = slot {
                         self.record(now, t.unit, slot, SimEventKind::CacheMiss { addr: g.addr });
@@ -810,6 +927,11 @@ impl Accelerator {
         // Worst outstanding memory class per (unit, tile).
         let mut mem_wait: HashMap<(usize, usize), StallReason> = HashMap::new();
         for (id, t) in &self.req_map {
+            if t.kind != ReqKind::Tile {
+                // Spill/refill traffic is charged via the queue-side
+                // SpillStall classification, not as a tile memory wait.
+                continue;
+            }
             let class = if t.attempts > 0 {
                 // A request on its retry path is fault recovery, not an
                 // ordinary memory stall.
@@ -846,10 +968,19 @@ impl Accelerator {
             // lost to the injected fault, whatever the tile holds.
             return StallReason::FaultStall;
         }
+        if now < u.tiles[tile].inline_busy_until {
+            // The tile is serially executing a spawn its queue refused.
+            return StallReason::SpillStall;
+        }
         let Some(exec) = u.tiles[tile].exec.as_ref() else {
             // Idle tile: attribute to what the task unit is waiting on.
             if worked {
                 return StallReason::Busy;
+            }
+            if u.pending_refill.is_some() || !u.overflow.is_empty() {
+                // Work exists but is parked in the overflow arena; the
+                // idle cycle is the cost of queue virtualization.
+                return StallReason::SpillStall;
             }
             if u.occupancy() == 0 {
                 return StallReason::QueueEmpty;
@@ -924,6 +1055,9 @@ impl Accelerator {
 
     // ---- queue management --------------------------------------------------
 
+    /// Allocate a queue entry for a spawn, or hand the argument vector
+    /// back (`Err`) when the queue is full so admission control can route
+    /// it down the spill or inline path without cloning.
     #[allow(clippy::too_many_arguments)]
     fn alloc_entry(
         &mut self,
@@ -934,9 +1068,11 @@ impl Accelerator {
         now: u64,
         host: bool,
         via_detach: bool,
-    ) -> Option<usize> {
+    ) -> Result<usize, Vec<Val>> {
         // Queue-RAM parity injection: flip a bit in the first argument word
         // as the entry is written. Parity checking catches it at dispatch.
+        // The injection draw happens before the capacity check so fault
+        // sequences are unchanged by the admission refactor.
         let mut args = args;
         let mut poisoned = false;
         if let Some(rt) = self.fault_rt.as_deref_mut() {
@@ -949,7 +1085,9 @@ impl Accelerator {
             }
         }
         let u = &mut self.units[unit];
-        let slot = u.free.pop()?;
+        let Some(slot) = u.free.pop() else {
+            return Err(args);
+        };
         u.entries[slot] = Some(QueueEntry {
             args,
             parent,
@@ -966,7 +1104,7 @@ impl Accelerator {
         });
         u.ready.push(slot);
         self.record(now, unit, slot, SimEventKind::Spawned { parent });
-        Some(slot)
+        Ok(slot)
     }
 
     fn dispatch(&mut self, unit: usize, now: u64) -> Result<(), SimError> {
@@ -1098,6 +1236,16 @@ impl Accelerator {
             self.spurious_responses += 1;
             return;
         };
+        match target.kind {
+            ReqKind::Tile => {}
+            // The arena write's ack needs no action: the entry already
+            // sits in the overflow list.
+            ReqKind::SpillWrite => return,
+            ReqKind::RefillRead => {
+                self.install_refill(target.unit, now);
+                return;
+            }
+        }
         let u = &mut self.units[target.unit];
         let Some(exec) = u.tiles[target.tile].exec.as_mut() else {
             // invariant: a task with in-flight memory never suspends (the
@@ -1462,26 +1610,71 @@ impl Accelerator {
                         node.operands.iter().map(|o| self.operand_val(o, &exec)).collect();
                     let callee_unit = self.func_root[callee.0 as usize];
                     let cr = CallRet { unit, slot: exec.slot, node: idx };
-                    if self
-                        .alloc_entry(callee_unit, args, None, Some(cr), now, false, false)
-                        .is_some()
-                    {
-                        self.calls += 1;
-                        exec.nodes[idx].issued = true;
-                        self.note_issue(unit, NodeClass::Spawn);
-                        // Suspend: context returns to the queue entry, the
-                        // tile frees for other ready tasks.
-                        let slot = exec.slot;
-                        self.units[unit].entries[slot]
-                            .as_mut()
-                            .expect("running entry exists")
-                            .saved = Some(Box::new(exec));
-                        self.record(now, unit, slot, SimEventKind::CallWait);
-                        self.mark_worked(unit, tile);
-                        return Ok(());
+                    match self.alloc_entry(callee_unit, args, None, Some(cr), now, false, false) {
+                        Ok(_) => {
+                            self.calls += 1;
+                            exec.nodes[idx].issued = true;
+                            self.note_issue(unit, NodeClass::Spawn);
+                            // Suspend: context returns to the queue entry,
+                            // the tile frees for other ready tasks.
+                            let slot = exec.slot;
+                            self.units[unit].entries[slot]
+                                .as_mut()
+                                .expect("running entry exists")
+                                .saved = Some(Box::new(exec));
+                            self.record(now, unit, slot, SimEventKind::CallWait);
+                            self.mark_worked(unit, tile);
+                            return Ok(());
+                        }
+                        Err(args) => {
+                            let adm = self.cfg.admission;
+                            let args = if adm.is_some_and(|a| a.spill) {
+                                match self.try_spill(callee_unit, args, None, Some(cr), false, now)
+                                {
+                                    Ok(()) => {
+                                        // A spilled callee behaves like an
+                                        // accepted spawn: the caller suspends
+                                        // until it refills, runs and returns.
+                                        self.calls += 1;
+                                        exec.nodes[idx].issued = true;
+                                        self.note_issue(unit, NodeClass::Spawn);
+                                        let slot = exec.slot;
+                                        self.units[unit].entries[slot]
+                                            .as_mut()
+                                            .expect("running entry exists")
+                                            .saved = Some(Box::new(exec));
+                                        self.record(now, unit, slot, SimEventKind::CallWait);
+                                        self.mark_worked(unit, tile);
+                                        return Ok(());
+                                    }
+                                    Err(a) => a,
+                                }
+                            } else {
+                                args
+                            };
+                            if adm.is_some_and(|a| a.inline_spawn) {
+                                // Work-first degradation: run the callee to
+                                // completion on this tile, charging its
+                                // modeled cost as tile busy time.
+                                let (ret, cost) = self.exec_inline(callee_unit, args, 0)?;
+                                self.calls += 1;
+                                let ns = &mut exec.nodes[idx];
+                                ns.issued = true;
+                                ns.done_at = now + cost;
+                                ns.value = Some(ret.unwrap_or(Val::Int(0)));
+                                if let (Some(r), Some(v)) = (node.result, ns.value) {
+                                    exec.env.insert(r, v);
+                                }
+                                self.note_issue(unit, NodeClass::Spawn);
+                                self.units[unit].tiles[tile].inline_busy_until = now + cost;
+                                self.progress = true;
+                            } else {
+                                // Callee queue full: retry next cycle.
+                                self.units[unit].stats.spawn_stalls += 1;
+                                self.units[callee_unit].spawn_refused = true;
+                            }
+                        }
                     }
-                    // Callee queue full: retry next cycle.
-                    self.units[unit].stats.spawn_stalls += 1;
                 }
                 _ => {
                     let (value, lat) = self.eval_fixed(node, &exec)?;
@@ -1531,20 +1724,59 @@ impl Accelerator {
                 let child_unit = self.unit_of[&(self.units[unit].func.0, child.0)];
                 let arg_vals: Vec<Val> = args.iter().map(|o| self.operand_val(o, &exec)).collect();
                 let parent = Some((unit, exec.slot));
-                if self.alloc_entry(child_unit, arg_vals, parent, None, now, false, true).is_some()
-                {
-                    self.spawns += 1;
-                    self.note_issue(unit, NodeClass::Spawn);
-                    self.units[unit].entries[exec.slot]
-                        .as_mut()
-                        .expect("running entry exists")
-                        .children += 1;
-                    self.enter_block(&mut exec, unit, cont, now + 1);
-                    self.units[unit].tiles[tile].exec = Some(exec);
-                } else {
-                    // Ready-valid backpressure: retry next cycle.
-                    self.units[child_unit].stats.spawn_stalls += 1;
-                    self.units[unit].tiles[tile].exec = Some(exec);
+                match self.alloc_entry(child_unit, arg_vals, parent, None, now, false, true) {
+                    Ok(_) => {
+                        self.spawns += 1;
+                        self.note_issue(unit, NodeClass::Spawn);
+                        self.units[unit].entries[exec.slot]
+                            .as_mut()
+                            .expect("running entry exists")
+                            .children += 1;
+                        self.enter_block(&mut exec, unit, cont, now + 1);
+                        self.units[unit].tiles[tile].exec = Some(exec);
+                    }
+                    Err(arg_vals) => {
+                        let adm = self.cfg.admission;
+                        let arg_vals = if adm.is_some_and(|a| a.spill) {
+                            match self.try_spill(child_unit, arg_vals, parent, None, true, now) {
+                                Ok(()) => {
+                                    // A spilled child still counts against
+                                    // the parent's join counter; it completes
+                                    // after refilling.
+                                    self.spawns += 1;
+                                    self.note_issue(unit, NodeClass::Spawn);
+                                    self.units[unit].entries[exec.slot]
+                                        .as_mut()
+                                        .expect("running entry exists")
+                                        .children += 1;
+                                    self.enter_block(&mut exec, unit, cont, now + 1);
+                                    self.units[unit].tiles[tile].exec = Some(exec);
+                                    return Ok(());
+                                }
+                                Err(a) => a,
+                            }
+                        } else {
+                            arg_vals
+                        };
+                        if adm.is_some_and(|a| a.inline_spawn) {
+                            // Work-first degradation: execute the child
+                            // serially now; the continuation starts once its
+                            // modeled cost has elapsed.
+                            let (_, cost) = self.exec_inline(child_unit, arg_vals, 0)?;
+                            self.spawns += 1;
+                            self.note_issue(unit, NodeClass::Spawn);
+                            let resume = now + 1 + cost;
+                            self.units[unit].tiles[tile].inline_busy_until = resume;
+                            self.enter_block(&mut exec, unit, cont, resume);
+                            self.units[unit].tiles[tile].exec = Some(exec);
+                            self.progress = true;
+                        } else {
+                            // Ready-valid backpressure: retry next cycle.
+                            self.units[child_unit].stats.spawn_stalls += 1;
+                            self.units[child_unit].spawn_refused = true;
+                            self.units[unit].tiles[tile].exec = Some(exec);
+                        }
+                    }
                 }
             }
             TermInfo::Sync(cont) => {
@@ -1592,7 +1824,25 @@ impl Accelerator {
         debug_assert_eq!(entry.children, 0, "task completed with outstanding children");
         self.units[unit].free.push(slot);
         self.units[unit].stats.tasks_executed += 1;
-        if let Some(cr) = entry.call_ret {
+        self.deliver_completion(entry.parent, entry.call_ret, value, now);
+        if entry.host {
+            self.host_result = Some(value);
+        }
+    }
+
+    /// Deliver a finished task's side effects to its waiters: resume a
+    /// suspended caller with the return value, and decrement the parent's
+    /// join counter (waking its `sync` at zero). Shared by the queue path
+    /// ([`finish_instance`](Self::finish_instance)) and the inline
+    /// deadlock-recovery path, where the task never held a queue entry.
+    fn deliver_completion(
+        &mut self,
+        parent: Option<(usize, usize)>,
+        call_ret: Option<CallRet>,
+        value: Option<Val>,
+        now: u64,
+    ) {
+        if let Some(cr) = call_ret {
             let dfg = Rc::clone(&self.units[cr.unit].dfg);
             // invariant: a callee outlives its caller's queue entry — the
             // caller suspends (saved context parked) until the return lands.
@@ -1609,7 +1859,7 @@ impl Accelerator {
             caller.ready_at = now + 1;
             self.units[cr.unit].ready.push(cr.slot);
         }
-        if let Some((pu, ps)) = entry.parent {
+        if let Some((pu, ps)) = parent {
             // invariant: reattach semantics — a parent cannot retire before
             // every detached child has completed.
             let p = self.units[pu].entries[ps]
@@ -1621,9 +1871,6 @@ impl Accelerator {
                 p.ready_at = now + self.cfg.sync_cost;
                 self.units[pu].ready.push(ps);
             }
-        }
-        if entry.host {
-            self.host_result = Some(value);
         }
     }
 
@@ -1665,7 +1912,20 @@ impl Accelerator {
     }
 
     fn eval_fixed(&self, node: &DfgNode, exec: &Exec) -> Result<(Option<Val>, u32), SimError> {
-        let v = |i: usize| self.operand_val(&node.operands[i], exec);
+        self.eval_pure(node, &|o| self.operand_val(o, exec), exec.prev_block)
+    }
+
+    /// Evaluate a fixed-latency dataflow node given an operand resolver.
+    /// Shared by the cycle-level tile path ([`Self::eval_fixed`]) and the
+    /// functional inline executor, which resolve operands from different
+    /// state.
+    fn eval_pure(
+        &self,
+        node: &DfgNode,
+        ov: &dyn Fn(&Operand) -> Val,
+        prev_block: Option<BlockId>,
+    ) -> Result<(Option<Val>, u32), SimError> {
+        let v = |i: usize| ov(&node.operands[i]);
         let value = match &node.op {
             NodeOp::Alu(op) => {
                 Some(eval_bin(*op, v(0), v(1), node.width).map_err(|_| SimError::DivByZero)?)
@@ -1686,7 +1946,7 @@ impl Accelerator {
                     match s {
                         tapas_dfg::GepStep::Fixed(k) => addr = addr.wrapping_add(*k),
                         tapas_dfg::GepStep::Scaled { stride, .. } => {
-                            let ix = self.operand_val(&node.operands[next_operand], exec).as_int();
+                            let ix = ov(&node.operands[next_operand]).as_int();
                             next_operand += 1;
                             addr = addr.wrapping_add(ix.wrapping_mul(*stride));
                         }
@@ -1697,12 +1957,12 @@ impl Accelerator {
             NodeOp::Phi { incomings } => {
                 // invariant: lowering never places a phi in an entry block,
                 // and every predecessor edge carries an incoming value.
-                let prev = exec.prev_block.expect("phi evaluated in an entry block");
+                let prev = prev_block.expect("phi evaluated in an entry block");
                 let (_, o) = incomings
                     .iter()
                     .find(|(b, _)| *b == prev)
                     .expect("phi has incoming for edge taken");
-                Some(self.operand_val(o, exec))
+                Some(ov(o))
             }
             NodeOp::Load { .. } | NodeOp::Store { .. } | NodeOp::CallSpawn { .. } => {
                 unreachable!("dynamic nodes handled by caller")
@@ -1732,7 +1992,10 @@ impl Accelerator {
         let req = MemReq { id, port, addr, size, kind, wdata };
         if self.databox.enqueue(req, now) {
             let deadline = self.initial_deadline(now);
-            self.req_map.insert(id.0, ReqMeta { unit, tile, node, req, deadline, attempts: 0 });
+            self.req_map.insert(
+                id.0,
+                ReqMeta { kind: ReqKind::Tile, unit, tile, node, req, deadline, attempts: 0 },
+            );
             self.next_req += 1;
             true
         } else {
@@ -1755,6 +2018,342 @@ impl Accelerator {
             now + w
         } else {
             u64::MAX
+        }
+    }
+
+    // ---- bounded-resource admission control --------------------------------
+
+    /// Park a refused spawn in the overflow arena: allocate an arena slot,
+    /// push the modeled 8-byte write through the data box, and append the
+    /// entry to the unit's overflow list. Hands the arguments back when
+    /// the arena is exhausted or the data box refused the write this
+    /// cycle, so the caller can fall through to the inline path.
+    fn try_spill(
+        &mut self,
+        unit: usize,
+        args: Vec<Val>,
+        parent: Option<(usize, usize)>,
+        call_ret: Option<CallRet>,
+        via_detach: bool,
+        now: u64,
+    ) -> Result<(), Vec<Val>> {
+        let addr = match self.spill_free.pop() {
+            Some(a) => a,
+            None if self.spill_next < self.spill_limit => {
+                let a = self.spill_next;
+                self.spill_next += 8;
+                a
+            }
+            None => return Err(args),
+        };
+        let id = ReqId(self.next_req);
+        let req = MemReq {
+            id,
+            port: self.units[unit].port_base,
+            addr,
+            size: 8,
+            kind: MemOpKind::Write,
+            wdata: args.first().copied().map(val_bits).unwrap_or(0),
+        };
+        if !self.databox.enqueue(req, now) {
+            self.spill_free.push(addr);
+            return Err(args);
+        }
+        self.next_req += 1;
+        let deadline = self.initial_deadline(now);
+        self.req_map.insert(
+            id.0,
+            ReqMeta {
+                kind: ReqKind::SpillWrite,
+                unit,
+                tile: usize::MAX,
+                node: usize::MAX,
+                req,
+                deadline,
+                attempts: 0,
+            },
+        );
+        self.units[unit].overflow.push_back(SpilledEntry {
+            args,
+            parent,
+            call_ret,
+            via_detach,
+            spawned_at: now,
+            addr,
+        });
+        self.spills += 1;
+        self.progress = true;
+        Ok(())
+    }
+
+    /// Start refills for units that have both a spilled entry and a free
+    /// queue slot: reserve the slot and issue the modeled arena read. The
+    /// entry is installed when the response arrives
+    /// ([`Self::install_refill`]). Units are scanned in index order and at
+    /// most one refill is outstanding per unit, keeping the schedule
+    /// deterministic.
+    fn pump_refills(&mut self, now: u64) {
+        for unit in 0..self.units.len() {
+            if self.units[unit].pending_refill.is_some()
+                || self.units[unit].overflow.is_empty()
+                || self.units[unit].free.is_empty()
+            {
+                continue;
+            }
+            let addr = self.units[unit].overflow.front().expect("nonempty overflow").addr;
+            let id = ReqId(self.next_req);
+            let req = MemReq {
+                id,
+                port: self.units[unit].port_base,
+                addr,
+                size: 8,
+                kind: MemOpKind::Read,
+                wdata: 0,
+            };
+            if !self.databox.enqueue(req, now) {
+                continue;
+            }
+            self.next_req += 1;
+            let deadline = self.initial_deadline(now);
+            self.req_map.insert(
+                id.0,
+                ReqMeta {
+                    kind: ReqKind::RefillRead,
+                    unit,
+                    tile: usize::MAX,
+                    node: usize::MAX,
+                    req,
+                    deadline,
+                    attempts: 0,
+                },
+            );
+            let u = &mut self.units[unit];
+            let entry = u.overflow.pop_front().expect("nonempty overflow");
+            let slot = u.free.pop().expect("nonempty free list");
+            u.pending_refill = Some(PendingRefill { slot, entry });
+            self.progress = true;
+        }
+    }
+
+    /// The arena read came back: install the spilled entry into its
+    /// reserved queue slot as a freshly arrived spawn (original spawn time
+    /// preserved for latency accounting) and return the arena slot.
+    fn install_refill(&mut self, unit: usize, now: u64) {
+        let spawn_cost = self.cfg.spawn_cost;
+        let u = &mut self.units[unit];
+        // invariant: refill request ids map 1:1 to the unit's single
+        // outstanding refill.
+        let PendingRefill { slot, entry } =
+            u.pending_refill.take().expect("refill response with a pending refill");
+        let SpilledEntry { args, parent, call_ret, via_detach, spawned_at, addr } = entry;
+        u.entries[slot] = Some(QueueEntry {
+            args,
+            parent,
+            call_ret,
+            children: 0,
+            waiting_sync: false,
+            saved: None,
+            ready_at: now + spawn_cost,
+            spawned_at,
+            dispatched_once: false,
+            host: false,
+            via_detach,
+            poisoned: false,
+        });
+        u.ready.push(slot);
+        self.spill_free.push(addr);
+        self.refills += 1;
+        self.record(now, unit, slot, SimEventKind::Spawned { parent });
+    }
+
+    /// Deadlock recovery: break a spawn-edge wait cycle by forcing the
+    /// globally oldest spilled spawn down the inline path (even when
+    /// `inline_spawn` is off — this is the break-glass mechanism that
+    /// keeps `Deadlock` reserved for genuinely unrecoverable states).
+    /// Returns `false` when nothing is spilled, i.e. the stall is not a
+    /// spawn cycle this mechanism can break.
+    fn recover_blocked_spawn(&mut self, now: u64) -> Result<bool, SimError> {
+        let Some(unit) =
+            (0..self.units.len()).filter(|&u| !self.units[u].overflow.is_empty()).min_by_key(
+                |&u| self.units[u].overflow.front().map(|e| e.spawned_at).unwrap_or(u64::MAX),
+            )
+        else {
+            return Ok(false);
+        };
+        let entry = self.units[unit].overflow.pop_front().expect("nonempty overflow");
+        let SpilledEntry { args, parent, call_ret, addr, .. } = entry;
+        self.spill_free.push(addr);
+        let (value, _cost) = self.exec_inline(unit, args, 0)?;
+        self.deliver_completion(parent, call_ret, value, now);
+        self.progress = true;
+        Ok(true)
+    }
+
+    /// Bounds/alignment check for an inline (functional) memory access,
+    /// mirroring [`MemSystem::issue`]'s validation but bounded by the
+    /// program-visible footprint (the overflow arena above it is reserved
+    /// for the engine).
+    fn check_inline_access(&self, unit: usize, addr: u64, size: u8) -> Result<(), SimError> {
+        let bounds = if self.spill_base > 0 { self.spill_base } else { self.ms.data.len() as u64 };
+        let fault = if !size.is_power_of_two() || size > 8 {
+            Some(MemError::BadSize { size })
+        } else if !addr.is_multiple_of(u64::from(size)) {
+            Some(MemError::Misaligned { addr, size })
+        } else if u128::from(addr) + u128::from(size) > u128::from(bounds) {
+            Some(MemError::OutOfBounds { addr, size, mem_bytes: bounds as usize })
+        } else {
+            None
+        };
+        match fault {
+            Some(fault) => Err(SimError::Memory {
+                unit: Some(self.units[unit].name.clone()),
+                tile: None,
+                fault,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Execute one dynamic instance of `unit`'s task functionally, on the
+    /// spawning tile's behalf (Cilk-style work-first serial elision).
+    /// Memory effects go straight through the functional store — the
+    /// timing/functional split keeps [`MemSystem::data`] coherent with the
+    /// cycle-level path — and the returned cost (accumulated node
+    /// latencies, hit-latency per access, and spawn/sync/block-transition
+    /// overheads) models the serial execution time the tile pays.
+    fn exec_inline(
+        &mut self,
+        unit: usize,
+        args: Vec<Val>,
+        depth: usize,
+    ) -> Result<(Option<Val>, u64), SimError> {
+        if depth > 2048 {
+            return Err(SimError::Unsupported(
+                "inline spawn recursion exceeded 2048 frames".into(),
+            ));
+        }
+        self.inline_spawns += 1;
+        self.units[unit].stats.tasks_executed += 1;
+        let dfg = Rc::clone(&self.units[unit].dfg);
+        let func = self.units[unit].func;
+        let hit = u64::from(self.ms.cache.config().hit_latency);
+        let mut env: HashMap<ValueId, Val> =
+            dfg.args.iter().copied().zip(args.iter().copied()).collect();
+        let mut cost = 0u64;
+        let mut prev_block: Option<BlockId> = None;
+        let mut block_idx = self.units[unit].block_index[&dfg.entry];
+        loop {
+            let blk = &dfg.blocks[block_idx];
+            let n = blk.nodes.len();
+            let mut done = vec![false; n];
+            let mut vals: Vec<Option<Val>> = vec![None; n];
+            let mut remaining = n;
+            while remaining > 0 {
+                let mut progressed = false;
+                for idx in 0..n {
+                    if done[idx] {
+                        continue;
+                    }
+                    let node = &blk.nodes[idx];
+                    let op_ready = |o: &Operand| match o {
+                        Operand::Local(i) => done[*i],
+                        Operand::Env(_) | Operand::Imm(_) => true,
+                    };
+                    let data_ok = match &node.op {
+                        NodeOp::Phi { incomings } => incomings
+                            .iter()
+                            .find(|(b, _)| Some(*b) == prev_block)
+                            .map(|(_, o)| op_ready(o))
+                            .unwrap_or(false),
+                        _ => node.operands.iter().all(op_ready),
+                    };
+                    if !data_ok || !node.order_deps.iter().all(|&d| done[d]) {
+                        continue;
+                    }
+                    let value = match &node.op {
+                        NodeOp::Load { size } => {
+                            let addr = resolve_inline(&node.operands[0], &vals, &env).as_int();
+                            self.check_inline_access(unit, addr, *size)?;
+                            let raw = self.ms.read_bits(addr, *size);
+                            cost += hit;
+                            Some(load_value(self.module.function(func), node, raw))
+                        }
+                        NodeOp::Store { size } => {
+                            let addr = resolve_inline(&node.operands[0], &vals, &env).as_int();
+                            let data = val_bits(resolve_inline(&node.operands[1], &vals, &env));
+                            self.check_inline_access(unit, addr, *size)?;
+                            self.ms.write_bits(addr, *size, data);
+                            cost += hit;
+                            None
+                        }
+                        NodeOp::CallSpawn { callee } => {
+                            let cargs: Vec<Val> = node
+                                .operands
+                                .iter()
+                                .map(|o| resolve_inline(o, &vals, &env))
+                                .collect();
+                            let callee_unit = self.func_root[callee.0 as usize];
+                            let (r, c) = self.exec_inline(callee_unit, cargs, depth + 1)?;
+                            cost += c + self.cfg.spawn_cost;
+                            Some(r.unwrap_or(Val::Int(0)))
+                        }
+                        _ => {
+                            let (v, lat) = self.eval_pure(
+                                node,
+                                &|o| resolve_inline(o, &vals, &env),
+                                prev_block,
+                            )?;
+                            cost += u64::from(lat);
+                            v
+                        }
+                    };
+                    if let (Some(r), Some(v)) = (node.result, value) {
+                        env.insert(r, v);
+                    }
+                    vals[idx] = value;
+                    done[idx] = true;
+                    remaining -= 1;
+                    progressed = true;
+                }
+                if !progressed {
+                    return Err(SimError::Unsupported(
+                        "inline executor wedged on an unready dataflow node".into(),
+                    ));
+                }
+            }
+            let cur = blk.block;
+            let term = blk.term.clone();
+            let next = match term {
+                TermInfo::Br(t) => t,
+                TermInfo::CondBr { cond, if_true, if_false } => {
+                    if resolve_inline(&cond, &vals, &env).as_int() & 1 == 1 {
+                        if_true
+                    } else {
+                        if_false
+                    }
+                }
+                TermInfo::Ret(v) => {
+                    return Ok((v.map(|o| resolve_inline(&o, &vals, &env)), cost));
+                }
+                TermInfo::Reattach => return Ok((None, cost)),
+                TermInfo::Detach { child, args: dargs, cont } => {
+                    let cargs: Vec<Val> =
+                        dargs.iter().map(|o| resolve_inline(o, &vals, &env)).collect();
+                    let child_unit = self.unit_of[&(func.0, child.0)];
+                    let (_, c) = self.exec_inline(child_unit, cargs, depth + 1)?;
+                    cost += c + self.cfg.spawn_cost;
+                    cont
+                }
+                TermInfo::Sync(cont) => {
+                    // Children already ran synchronously above; the sync
+                    // itself still pays its modeled cost.
+                    cost += self.cfg.sync_cost;
+                    cont
+                }
+            };
+            cost += self.cfg.block_transition;
+            prev_block = Some(cur);
+            block_idx = self.units[unit].block_index[&next];
         }
     }
 }
@@ -1797,6 +2396,16 @@ fn find_cycle(n: usize, edges: &[WaitEdge]) -> Vec<WaitEdge> {
         }
     }
     Vec::new()
+}
+
+/// Resolve an operand during inline (functional) execution: a completed
+/// local node's value, an environment binding, or an immediate.
+fn resolve_inline(o: &Operand, vals: &[Option<Val>], env: &HashMap<ValueId, Val>) -> Val {
+    match o {
+        Operand::Local(i) => vals[*i].expect("local operand of a completed node"),
+        Operand::Env(v) => *env.get(v).expect("env value bound before inline use"),
+        Operand::Imm(c) => const_val(c),
+    }
 }
 
 fn const_val(c: &Constant) -> Val {
@@ -2393,5 +3002,229 @@ mod profile_tests {
         assert!(body.starts_with("{\"traceEvents\":["));
         assert!(body.contains("\"ph\":\"X\""));
         std::fs::remove_file(&path).ok();
+    }
+}
+
+#[cfg(test)]
+mod admission_tests {
+    use super::*;
+    use crate::{AcceleratorConfig, AdmissionControl, ProfileLevel, StallReason};
+    use tapas_ir::{CmpPred, FunctionBuilder, Module, Type};
+
+    /// Parallel-for a[i] += 1 (same shape as the main test module's).
+    fn build_pfor(m: &mut Module) -> FuncId {
+        let mut b = FunctionBuilder::new("pf", vec![Type::ptr(Type::I32), Type::I64], Type::Void);
+        let header = b.create_block("header");
+        let spawn = b.create_block("spawn");
+        let task = b.create_block("task");
+        let latch = b.create_block("latch");
+        let exit = b.create_block("exit");
+        let done = b.create_block("done");
+        let (a, n) = (b.param(0), b.param(1));
+        let zero = b.const_int(Type::I64, 0);
+        let one = b.const_int(Type::I64, 1);
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, zero)]);
+        let c = b.icmp(CmpPred::Slt, i, n);
+        b.cond_br(c, spawn, exit);
+        b.switch_to(spawn);
+        b.detach(task, latch);
+        b.switch_to(task);
+        let p = b.gep_index(a, i);
+        let v = b.load(p);
+        let one32 = b.const_int(Type::I32, 1);
+        let v2 = b.add(v, one32);
+        b.store(p, v2);
+        b.reattach(latch);
+        b.switch_to(latch);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, latch, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        m.add_function(b.finish())
+    }
+
+    /// Recursive parallel fib (same shape as the main test module's).
+    fn build_fib(m: &mut Module) -> FuncId {
+        let mut b = FunctionBuilder::new("fib", vec![Type::I32, Type::ptr(Type::I32)], Type::I32);
+        let rec = b.create_block("rec");
+        let base = b.create_block("base");
+        let task = b.create_block("task");
+        let cont = b.create_block("cont");
+        let after = b.create_block("after");
+        let (n, out) = (b.param(0), b.param(1));
+        let two = b.const_int(Type::I32, 2);
+        let c = b.icmp(CmpPred::Slt, n, two);
+        b.cond_br(c, base, rec);
+        b.switch_to(base);
+        b.ret(Some(n));
+        b.switch_to(rec);
+        b.detach(task, cont);
+        b.switch_to(task);
+        let one = b.const_int(Type::I32, 1);
+        let n1 = b.sub(n, one);
+        let one64 = b.const_int(Type::I64, 1);
+        let sub_out = b.gep_index(out, one64);
+        let r1 = b.call(FuncId(0), vec![n1, sub_out], Type::I32).unwrap();
+        b.store(out, r1);
+        b.reattach(cont);
+        b.switch_to(cont);
+        let n2 = b.sub(n, two);
+        let k33 = b.const_int(Type::I64, 33);
+        let sub_out2 = b.gep_index(out, k33);
+        let r2 = b.call(FuncId(0), vec![n2, sub_out2], Type::I32).unwrap();
+        b.sync(after);
+        b.switch_to(after);
+        let r1v = b.load(out);
+        let s = b.add(r1v, r2);
+        b.ret(Some(s));
+        m.add_function(b.finish())
+    }
+
+    fn pfor_mem(n: u64) -> Vec<u8> {
+        let mut mem = vec![0u8; (n * 4) as usize];
+        for k in 0..n as usize {
+            mem[k * 4..k * 4 + 4].copy_from_slice(&(k as i32 * 3).to_le_bytes());
+        }
+        mem
+    }
+
+    fn run_pfor(cfg: &AcceleratorConfig, n: u64) -> (SimOutcome, Vec<u8>) {
+        let mut m = Module::new("m");
+        let f = build_pfor(&mut m);
+        let mem = pfor_mem(n);
+        let mut acc = Accelerator::elaborate(&m, cfg).unwrap();
+        acc.mem_mut().write_bytes(0, &mem);
+        let out = acc.run(f, &[Val::Int(0), Val::Int(n)]).unwrap();
+        let final_mem = acc.mem().read_bytes(0, mem.len()).to_vec();
+        (out, final_mem)
+    }
+
+    fn golden_pfor(n: u64) -> Vec<u8> {
+        let mut m = Module::new("m");
+        let f = build_pfor(&mut m);
+        let mut im = pfor_mem(n);
+        tapas_ir::interp::run(
+            &m,
+            f,
+            &[Val::Int(0), Val::Int(n)],
+            &mut im,
+            &tapas_ir::interp::InterpConfig::default(),
+        )
+        .unwrap();
+        im
+    }
+
+    #[test]
+    fn one_entry_queue_completes_inline_and_matches() {
+        let n = 24u64;
+        let cfg = AcceleratorConfig {
+            ntasks: 1,
+            mem_bytes: 4096,
+            admission: Some(AdmissionControl::work_first()),
+            ..AcceleratorConfig::default()
+        };
+        let (out, mem) = run_pfor(&cfg, n);
+        assert_eq!(mem, golden_pfor(n), "inline degradation must preserve results");
+        assert!(out.stats.inline_spawns > 0, "Ntasks=1 must force inline spawns");
+        assert_eq!(out.stats.spills, 0, "work-first admission never spills");
+    }
+
+    #[test]
+    fn tiny_queue_spills_refills_and_matches() {
+        let n = 32u64;
+        let cfg = AcceleratorConfig {
+            ntasks: 2,
+            mem_bytes: 4096,
+            admission: Some(AdmissionControl::virtualized()),
+            ..AcceleratorConfig::default()
+        };
+        let (out, mem) = run_pfor(&cfg, n);
+        assert_eq!(mem, golden_pfor(n), "queue virtualization must preserve results");
+        assert!(out.stats.spills > 0, "Ntasks=2 must overflow into the arena");
+        assert_eq!(out.stats.spills, out.stats.refills, "every spill drains back");
+        assert_eq!(out.stats.inline_spawns, 0, "virtualized admission never inlines");
+    }
+
+    #[test]
+    fn recursion_on_tiny_queue_recovers_instead_of_deadlocking() {
+        let mut m = Module::new("m");
+        let f = build_fib(&mut m);
+        let cfg = AcceleratorConfig {
+            ntasks: 2,
+            admission: Some(AdmissionControl::default()),
+            ..AcceleratorConfig::default()
+        }
+        .with_default_tiles(2);
+        let mut acc = Accelerator::elaborate(&m, &cfg).unwrap();
+        let out = acc.run(f, &[Val::Int(10), Val::Int(4096)]).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(55)), "fib(10) under a 2-entry queue");
+    }
+
+    #[test]
+    fn deadlock_diagnosis_is_deterministic_without_admission() {
+        // Satellite: the same blocked-spawn cycle must render byte-identical
+        // across independent runs (stable unit order, no map-order leaks).
+        let run_once = || {
+            let mut m = Module::new("m");
+            let f = build_fib(&mut m);
+            let cfg = AcceleratorConfig { ntasks: 2, ..AcceleratorConfig::default() }
+                .with_default_tiles(2);
+            let mut acc = Accelerator::elaborate(&m, &cfg).unwrap();
+            match acc.run(f, &[Val::Int(10), Val::Int(4096)]) {
+                Err(SimError::Deadlock { at, diagnosis }) => (at, diagnosis.to_string()),
+                other => panic!("expected spawn-cycle deadlock, got {other:?}"),
+            }
+        };
+        let (at1, d1) = run_once();
+        let (at2, d2) = run_once();
+        assert_eq!(at1, at2, "deadlock detected at the same cycle");
+        assert_eq!(d1, d2, "diagnosis rendering must be byte-identical");
+        assert!(d1.contains("spawn"), "diagnosis names the blocked spawn: {d1}");
+    }
+
+    #[test]
+    fn admission_is_timing_neutral_when_queues_are_roomy() {
+        let n = 24u64;
+        let base = AcceleratorConfig { mem_bytes: 4096, ..AcceleratorConfig::default() };
+        let armed =
+            AcceleratorConfig { admission: Some(AdmissionControl::default()), ..base.clone() };
+        let (off, mem_off) = run_pfor(&base, n);
+        let (on, mem_on) = run_pfor(&armed, n);
+        assert_eq!(off.cycles, on.cycles, "unused admission machinery must cost zero cycles");
+        assert_eq!(mem_off, mem_on);
+        assert_eq!(on.stats.spills, 0);
+        assert_eq!(on.stats.inline_spawns, 0);
+    }
+
+    #[test]
+    fn spill_pressure_shows_up_as_spill_stall() {
+        let n = 32u64;
+        let cfg = AcceleratorConfig {
+            ntasks: 2,
+            mem_bytes: 4096,
+            admission: Some(AdmissionControl::default()),
+            profile: ProfileLevel::Summary,
+            ..AcceleratorConfig::default()
+        };
+        let mut m = Module::new("m");
+        let f = build_pfor(&mut m);
+        let mut acc = Accelerator::elaborate(&m, &cfg).unwrap();
+        acc.mem_mut().write_bytes(0, &pfor_mem(n));
+        let out = acc.run(f, &[Val::Int(0), Val::Int(n)]).unwrap();
+        let profile = out.profile.expect("profiling was on");
+        profile.check_invariant().unwrap();
+        assert!(
+            profile.stall_total(StallReason::SpillStall) > 0,
+            "queue pressure under virtualization must be attributed to spill-stall"
+        );
+        // Refused spawns count the child queue as full even when spilling
+        // keeps occupancy below nominal capacity.
+        assert!(profile.units[1].queue.full_cycles > 0);
     }
 }

@@ -43,6 +43,17 @@
 //! reports a [`DeadlockDiagnosis`] built from the unit wait-for graph
 //! instead of a bare timeout.
 //!
+//! Finite task queues need not be fatal: arming
+//! [`AdmissionControl`] (`admission: Some(..)` on [`AcceleratorConfig`])
+//! makes any queue size survivable — refused spawns execute inline on the
+//! spawning tile (work-first degradation), overflow entries spill through
+//! the data box into a DRAM-backed arena and refill as slots drain, and
+//! blocked-spawn cycles are broken by inlining the oldest spilled entry.
+//! The default (`None`) takes none of these paths and is cycle-identical
+//! to the unhardened simulator; [`SimStats`] counts `inline_spawns`,
+//! `spills` and `refills`, and spill traffic shows up in the profiler as
+//! a dedicated `spill-stall` bucket.
+//!
 //! # Examples
 //!
 //! Compile and simulate a one-task function:
@@ -76,7 +87,7 @@ mod engine;
 pub mod fault;
 pub mod profile;
 
-pub use config::{AcceleratorConfig, AcceleratorConfigBuilder, ConfigError};
+pub use config::{AcceleratorConfig, AcceleratorConfigBuilder, AdmissionControl, ConfigError};
 pub use engine::{Accelerator, SimError, SimEvent, SimEventKind, SimOutcome, SimStats, UnitStats};
 pub use fault::{
     BlockedTask, DeadlockDiagnosis, Fault, FaultPlan, FaultTolerance, UnitWaitState, WaitCause,

@@ -53,11 +53,15 @@ pub enum StallReason {
     /// The cycle was lost to an injected fault or its recovery: a stalled,
     /// wedged, or quarantined tile, or a memory access on its retry path.
     FaultStall,
+    /// The cycle was spent on bounded-resource admission: a tile executing
+    /// a refused spawn inline, or idling while its unit's overflow entries
+    /// spilled to or refilled from the DRAM-backed arena.
+    SpillStall,
 }
 
 impl StallReason {
     /// All reasons, in charge-priority order.
-    pub const ALL: [StallReason; 10] = [
+    pub const ALL: [StallReason; 11] = [
         StallReason::Busy,
         StallReason::WaitingOperand,
         StallReason::WaitingDatabox,
@@ -68,6 +72,7 @@ impl StallReason {
         StallReason::SyncWait,
         StallReason::QueueEmpty,
         StallReason::FaultStall,
+        StallReason::SpillStall,
     ];
 
     /// Short display label.
@@ -83,6 +88,7 @@ impl StallReason {
             StallReason::SyncWait => "sync-wait",
             StallReason::QueueEmpty => "queue-empty",
             StallReason::FaultStall => "fault-stall",
+            StallReason::SpillStall => "spill-stall",
         }
     }
 }
@@ -142,7 +148,7 @@ impl NodeClass {
 pub struct TileProfile {
     /// Cycles charged to each reason, indexed by [`StallReason::ALL`]
     /// order.
-    pub stalls: [u64; 10],
+    pub stalls: [u64; 11],
 }
 
 impl TileProfile {
@@ -309,7 +315,11 @@ impl BottleneckReport {
             + total(StallReason::MshrFull)
             + total(StallReason::DramQueue)
             + total(StallReason::FaultStall);
-        let spawn = total(StallReason::SyncWait) + total(StallReason::QueueEmpty);
+        // Spill stalls bucket with spawn: they are the price of task-queue
+        // capacity pressure, just paid inline instead of by backpressure.
+        let spawn = total(StallReason::SyncWait)
+            + total(StallReason::QueueEmpty)
+            + total(StallReason::SpillStall);
         let bp = total(StallReason::SpawnBackpressure);
         // Backpressure is caused by whatever the rest of the design is
         // doing; spread it proportionally (all-backpressure runs count as
@@ -434,7 +444,7 @@ pub fn chrome_trace(events: &[SimEvent], unit_names: &[String]) -> String {
 mod tests {
     use super::*;
 
-    fn two_tile_profile(a: [u64; 10], b: [u64; 10]) -> Profile {
+    fn two_tile_profile(a: [u64; 11], b: [u64; 11]) -> Profile {
         let cycles: u64 = a.iter().sum();
         Profile {
             level: ProfileLevel::Summary,
@@ -451,7 +461,7 @@ mod tests {
     #[test]
     fn invariant_detects_imbalance() {
         let mut p =
-            two_tile_profile([10, 0, 0, 0, 0, 0, 0, 0, 0, 0], [5, 5, 0, 0, 0, 0, 0, 0, 0, 0]);
+            two_tile_profile([10, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0], [5, 5, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
         assert!(p.check_invariant().is_ok());
         p.units[0].tiles[1].stalls[0] = 4;
         let err = p.check_invariant().unwrap_err();
@@ -461,24 +471,34 @@ mod tests {
     #[test]
     fn bottleneck_classes() {
         // Memory dominated.
-        let p = two_tile_profile([1, 0, 3, 4, 0, 2, 0, 0, 0, 0], [1, 0, 3, 4, 0, 2, 0, 0, 0, 0]);
+        let p =
+            two_tile_profile([1, 0, 3, 4, 0, 2, 0, 0, 0, 0, 0], [1, 0, 3, 4, 0, 2, 0, 0, 0, 0, 0]);
         let r = p.bottleneck();
         assert_eq!(r.class, BoundClass::Memory);
         assert!(r.memory_frac > r.compute_frac);
         assert_eq!(r.dominant, StallReason::CacheMiss);
         // Spawn/queue dominated.
-        let p = two_tile_profile([2, 0, 0, 0, 0, 0, 0, 5, 3, 0], [2, 0, 0, 0, 0, 0, 0, 5, 3, 0]);
+        let p =
+            two_tile_profile([2, 0, 0, 0, 0, 0, 0, 5, 3, 0, 0], [2, 0, 0, 0, 0, 0, 0, 5, 3, 0, 0]);
         assert_eq!(p.bottleneck().class, BoundClass::Spawn);
         // Compute dominated.
-        let p = two_tile_profile([8, 1, 1, 0, 0, 0, 0, 0, 0, 0], [8, 1, 1, 0, 0, 0, 0, 0, 0, 0]);
+        let p =
+            two_tile_profile([8, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0], [8, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0]);
         assert_eq!(p.bottleneck().class, BoundClass::Compute);
+        // Spill stalls count toward the spawn bucket.
+        let p =
+            two_tile_profile([2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7], [2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7]);
+        let r = p.bottleneck();
+        assert_eq!(r.class, BoundClass::Spawn);
+        assert_eq!(r.dominant, StallReason::SpillStall);
     }
 
     #[test]
     fn backpressure_redistributes_to_the_congested_side() {
         // One tile all backpressure, one tile mostly memory: the
         // backpressure is a memory symptom here.
-        let p = two_tile_profile([1, 0, 0, 0, 0, 0, 9, 0, 0, 0], [2, 0, 4, 4, 0, 0, 0, 0, 0, 0]);
+        let p =
+            two_tile_profile([1, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0], [2, 0, 4, 4, 0, 0, 0, 0, 0, 0, 0]);
         let r = p.bottleneck();
         assert_eq!(r.class, BoundClass::Memory);
         assert_eq!(r.backpressure_cycles, 9);

@@ -54,10 +54,19 @@ impl QueueOccupancy {
 
     /// Record the queue's live-entry count for one cycle.
     pub fn observe(&mut self, occupied: u32) {
+        self.observe_spawns(occupied, false);
+    }
+
+    /// Record one cycle, additionally noting whether a spawn into this
+    /// queue was actually refused. A queue counts as full either when its
+    /// occupancy hits capacity or when it turned a producer away this
+    /// cycle — overflow entries spilled to memory can make the latter
+    /// happen below nominal capacity.
+    pub fn observe_spawns(&mut self, occupied: u32, spawn_refused: bool) {
         self.samples += 1;
         self.total += u64::from(occupied);
         self.peak = self.peak.max(occupied);
-        if self.capacity > 0 && occupied >= self.capacity {
+        if spawn_refused || (self.capacity > 0 && occupied >= self.capacity) {
             self.full_cycles += 1;
         }
     }
@@ -116,6 +125,19 @@ mod tests {
         assert!((q.mean_occupancy() - 2.4).abs() < 1e-9);
         assert_eq!(q.peak(), 4);
         assert_eq!(q.full_cycles(), 2);
+    }
+
+    #[test]
+    fn refused_spawns_count_as_full_even_below_capacity() {
+        let mut q = QueueOccupancy::new(4);
+        q.observe_spawns(1, true);
+        q.observe_spawns(1, false);
+        q.observe_spawns(4, false);
+        // Refusal and capacity-full each count once; a refusal at full
+        // occupancy would not double count.
+        assert_eq!(q.full_cycles(), 2);
+        q.observe_spawns(4, true);
+        assert_eq!(q.full_cycles(), 3);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Deep spawn-chain recursion — the bounded-resource stress workload.
+//!
+//! `deeprec(depth)` is a linear chain: every level detaches exactly one
+//! child that recurses one level deeper, syncs on it, then increments a
+//! shared counter. Each level's queue entry stays parked at its `sync`
+//! until the *entire* subtree below it completes, so running the chain
+//! needs `depth` live task-queue entries at once — far beyond any
+//! realistic `Ntasks`. Without admission control the accelerator
+//! deadlocks almost immediately; with it, every run must terminate with
+//! the counter equal to `depth` regardless of queue size. Not part of the
+//! paper suite; used by the `reproduce stress` matrix.
+
+use crate::BuiltWorkload;
+use tapas_ir::interp::Val;
+use tapas_ir::{CmpPred, FuncId, FunctionBuilder, Module, Type};
+
+/// Build a chain of `depth` nested spawns. Memory: a single i32 counter at
+/// byte 0 that finishes equal to `depth`.
+pub fn build(depth: u64) -> BuiltWorkload {
+    let mut module = Module::new("deeprec");
+    let func = build_into(&mut module);
+    BuiltWorkload {
+        name: "deeprec".to_string(),
+        module,
+        func,
+        args: vec![Val::Int(depth), Val::Int(0)],
+        mem: vec![0u8; 8],
+        output: (0, 4),
+        worker_task: "deeprec::task1".to_string(),
+        work_items: depth,
+    }
+}
+
+/// Add the `deeprec` function to `module` and return its id.
+///
+/// Signature: `deeprec(n: i64, ctr: i32*) -> i32`. Level `n` spawns level
+/// `n-1`, syncs, then bumps `*ctr`; the increments are fully serialized by
+/// the syncs, so the result is determinate.
+pub fn build_into(module: &mut Module) -> FuncId {
+    let ctr_ty = Type::ptr(Type::I32);
+    let mut b = FunctionBuilder::new("deeprec", vec![Type::I64, ctr_ty], Type::I32);
+    let rec = b.create_block("rec");
+    let base = b.create_block("base");
+    let task = b.create_block("task");
+    let cont = b.create_block("cont");
+    let after = b.create_block("after");
+    let (n, ctr) = (b.param(0), b.param(1));
+    let zero = b.const_int(Type::I64, 0);
+    let stop = b.icmp(CmpPred::Sle, n, zero);
+    b.cond_br(stop, base, rec);
+
+    b.switch_to(base);
+    let z32 = b.const_int(Type::I32, 0);
+    b.ret(Some(z32));
+
+    // rec: spawn the next link of the chain, then wait for the whole
+    // subtree before touching the counter.
+    b.switch_to(rec);
+    b.detach(task, cont);
+
+    b.switch_to(task);
+    let one = b.const_int(Type::I64, 1);
+    let n1 = b.sub(n, one);
+    b.call(FuncId(0), vec![n1, ctr], Type::I32);
+    b.reattach(cont);
+
+    b.switch_to(cont);
+    b.sync(after);
+
+    b.switch_to(after);
+    let v = b.load(ctr);
+    let one32 = b.const_int(Type::I32, 1);
+    let v2 = b.add(v, one32);
+    b.store(ctr, v2);
+    b.ret(Some(v2));
+
+    module.add_function(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreter_counts_every_level() {
+        let wl = build(300);
+        let mem = wl.golden_memory();
+        let v = i32::from_le_bytes(mem[0..4].try_into().unwrap());
+        assert_eq!(v, 300);
+    }
+
+    #[test]
+    fn chain_is_verifier_clean() {
+        let wl = build(4);
+        tapas_ir::verify_module(&wl.module).unwrap();
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`mergesort`] | recursive parallelism with serial merge |
 //! | [`fib`] | recursive parallelism, fine-grain tasks |
 //! | [`scale_micro`] | Fig. 12 `cilk_for` spawn-rate microbenchmark |
+//! | [`deeprec`] | deep spawn-chain (bounded-resource stress, not in the paper) |
 //!
 //! Every builder returns a [`BuiltWorkload`]: the module, entry function,
 //! call arguments, an initial memory image, and metadata (which task to
@@ -26,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod dedup;
+pub mod deeprec;
 pub mod fib;
 pub mod image_scale;
 pub mod loops;

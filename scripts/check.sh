@@ -23,4 +23,11 @@ echo "==> reproduce faults smoke (robustness gate)"
 ./target/release/reproduce faults --json /tmp/faults.json >/dev/null
 ./target/release/reproduce check-json /tmp/faults.json
 
+echo "==> reproduce stress (bounded-resource gate, must finish well under a minute)"
+timeout 60 ./target/release/reproduce stress --json /tmp/stress.json >/dev/null
+./target/release/reproduce check-json /tmp/stress.json
+
+echo "==> parser fuzz corpus (crash-hardening gate)"
+timeout 300 cargo test -q -p tapas-ir --test parse_fuzz
+
 echo "All checks passed."
