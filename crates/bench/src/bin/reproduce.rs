@@ -6,11 +6,11 @@
 //!
 //! where `experiment` is one of `table2`, `spawn`, `fig13`, `table3`,
 //! `fig14`, `fig15`, `fig16`, `table4`, `fig17`, `table5`, `lint`,
-//! `profile`, `faults`, `stress`, or `all` (default). Pass `--json <path>`
-//! to also dump the raw rows (for `all`, `profile`, `faults` and `stress`;
-//! the dump carries a `schema_version` field). `check-json <path>`
-//! validates a previously written dump: well-formed JSON with the current
-//! schema version.
+//! `profile`, `faults`, `stress`, `tune`, or `all` (default). Pass
+//! `--json <path>` to also dump the raw rows (for `all`, `profile`,
+//! `faults`, `stress` and `tune`; the dump carries a `schema_version`
+//! field). `check-json <path>` validates a previously written dump:
+//! well-formed JSON with the current schema version.
 //!
 //! `faults` runs every benchmark under the fault-injection matrix and
 //! exits non-zero if any run is silently wrong (completed with corrupted
@@ -20,6 +20,11 @@
 //! queues shrunk to Ntasks ∈ {1, 2, 4} and admission control armed; every
 //! cell's output is revalidated byte-for-byte against the interpreter
 //! golden model (a divergence or deadlock aborts the run).
+//!
+//! `tune` runs the opt-in performance knobs (cross-unit work stealing and
+//! the banked L1) alone and composed at 4 tiles per unit and reports
+//! cycles, steal/bank counters and speedup over the seed configuration;
+//! every cell is revalidated against the golden model.
 
 use tapas_bench::experiments as exp;
 use tapas_bench::json::{self, ToJson};
@@ -65,6 +70,15 @@ fn main() {
         "stress" => {
             let results = exp::stress_results();
             print_stress(&results.rows);
+            if let Some(p) = &json_path {
+                std::fs::write(p, results.to_json()).expect("write json");
+                println!("\nraw rows written to {p}");
+            }
+            return;
+        }
+        "tune" => {
+            let results = exp::tune_results();
+            print_tune(&results.rows);
             if let Some(p) = &json_path {
                 std::fs::write(p, results.to_json()).expect("write json");
                 println!("\nraw rows written to {p}");
@@ -127,7 +141,7 @@ fn main() {
         }
     }
     if json_path.is_some() {
-        eprintln!("--json is only supported with `all`, `profile`, `faults` and `stress`");
+        eprintln!("--json is only supported with `all`, `profile`, `faults`, `stress` and `tune`");
     }
 }
 
@@ -206,6 +220,27 @@ fn print_stress(rows: &[exp::StressRow]) {
         println!(
             "{:<12} {:>6} {:>10} {:>8} {:>8} {:>8}",
             r.name, r.ntasks, r.cycles, r.spills, r.refills, r.inline_spawns
+        );
+    }
+}
+
+fn print_tune(rows: &[exp::TuneRow]) {
+    hdr("Tuning: opt-in work stealing + banked L1 (output == golden)");
+    println!(
+        "{:<12} {:<14} {:>5} {:>10} {:>7} {:>9} {:>9} {:>8}",
+        "bench", "variant", "tiles", "cycles", "steals", "stealfail", "bankconf", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:<14} {:>5} {:>10} {:>7} {:>9} {:>9} {:>7.2}x",
+            r.name,
+            r.variant,
+            r.tiles,
+            r.cycles,
+            r.steals,
+            r.steal_fail,
+            r.bank_conflicts,
+            r.speedup
         );
     }
 }

@@ -10,7 +10,7 @@ use tapas_workloads::{image_scale, saxpy, scale_micro, suite_eval, suite_small, 
 /// Version stamped into every JSON document `reproduce --json` writes.
 /// Bump whenever a row struct gains, loses or renames a field so that
 /// downstream plotting scripts can detect stale dumps.
-pub const JSON_SCHEMA_VERSION: u64 = 4;
+pub const JSON_SCHEMA_VERSION: u64 = 5;
 
 /// Table II: per-task static properties of every benchmark.
 #[derive(Debug, Clone)]
@@ -920,6 +920,104 @@ pub fn stress_results() -> StressResults {
     StressResults { schema_version: JSON_SCHEMA_VERSION, rows: stress_matrix() }
 }
 
+/// One benchmark × feature-variant cell of the performance-tuning matrix
+/// (`reproduce tune`): the opt-in cross-unit work-stealing and banked-L1
+/// knobs, alone and composed, against the seed configuration.
+#[derive(Debug, Clone)]
+pub struct TuneRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Feature variant: `"seed"`, `"steal"`, `"banks4"` or
+    /// `"steal+banks4"`.
+    pub variant: &'static str,
+    /// Worker tiles per task unit.
+    pub tiles: usize,
+    /// Simulated cycles; the run also revalidated its output region
+    /// byte-for-byte against the interpreter golden model.
+    pub cycles: u64,
+    /// Queue entries stolen by idle sibling-unit tiles.
+    pub steals: u64,
+    /// Steal probes that found no eligible victim entry.
+    pub steal_fail: u64,
+    /// Grants deferred by L1 bank conflicts.
+    pub bank_conflicts: u64,
+    /// Speedup over this benchmark's `"seed"` row (>1 is faster).
+    pub speedup: f64,
+}
+
+/// The four feature variants every tune benchmark runs under.
+pub fn tune_variants() -> [(&'static str, Option<tapas::StealConfig>, usize); 4] {
+    [
+        ("seed", None, 1),
+        ("steal", Some(tapas::StealConfig::default()), 1),
+        ("banks4", None, 4),
+        ("steal+banks4", Some(tapas::StealConfig::default()), 4),
+    ]
+}
+
+/// Run `programs` through the feature-variant matrix at `tiles` tiles per
+/// unit. Every cell is validated byte-for-byte against the golden model
+/// inside [`crate::simulate_configured`], and the `"seed"` cell runs with
+/// both knobs at their defaults — so the first row of each benchmark *is*
+/// the baseline the speedup column normalizes against.
+pub fn tune_matrix_for(programs: Vec<BuiltWorkload>, tiles: usize) -> Vec<TuneRow> {
+    let mut rows = Vec::new();
+    for wl in programs {
+        let mut seed_cycles = None;
+        for (variant, steal, banks) in tune_variants() {
+            let cfg = tapas::AcceleratorConfig {
+                steal,
+                l1_banks: banks,
+                ..crate::accel_config(&wl, tiles, ntasks_for(&wl))
+            };
+            let (out, _) = crate::simulate_configured(&wl, &cfg);
+            let base = *seed_cycles.get_or_insert(out.cycles);
+            rows.push(TuneRow {
+                name: wl.name.clone(),
+                variant,
+                tiles,
+                cycles: out.cycles,
+                steals: out.stats.steals,
+                steal_fail: out.stats.steal_fail,
+                bank_conflicts: out.stats.bank_conflicts,
+                speedup: base as f64 / out.cycles as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// The full tuning matrix at 4 tiles: the recursive benchmarks (where
+/// stealing bites), the `deeprec` spawn chain (a serial worst case the
+/// features must at least not hurt), and the memory-bound kernels (where
+/// banking bites).
+pub fn tune_matrix() -> Vec<TuneRow> {
+    use tapas_workloads::{deeprec, fib, matrix_add, mergesort, stencil};
+    let programs = vec![
+        fib::build(13),
+        mergesort::build(256, 12345),
+        deeprec::build(200),
+        saxpy::build(2048),
+        matrix_add::build(32),
+        stencil::build(16, 16),
+    ];
+    tune_matrix_for(programs, 4)
+}
+
+/// The `reproduce tune --json` document: versioned tune rows.
+#[derive(Debug, Clone)]
+pub struct TuneResults {
+    /// [`JSON_SCHEMA_VERSION`] at the time of the run.
+    pub schema_version: u64,
+    /// One row per benchmark × feature variant.
+    pub rows: Vec<TuneRow>,
+}
+
+/// Run the tuning matrix and wrap it for serialization.
+pub fn tune_results() -> TuneResults {
+    TuneResults { schema_version: JSON_SCHEMA_VERSION, rows: tune_matrix() }
+}
+
 /// Everything, serialized as one JSON document.
 #[derive(Debug, Clone)]
 pub struct AllResults {
@@ -1081,6 +1179,8 @@ json_object!(UnitQueueRow { unit, full_cycles });
 json_object!(ProfileResults { schema_version, rows });
 json_object!(StressRow { name, ntasks, cycles, spills, refills, inline_spawns });
 json_object!(StressResults { schema_version, rows });
+json_object!(TuneRow { name, variant, tiles, cycles, steals, steal_fail, bank_conflicts, speedup });
+json_object!(TuneResults { schema_version, rows });
 json_object!(FaultRow {
     name,
     scenario,

@@ -81,7 +81,7 @@ pub fn accel_config(wl: &BuiltWorkload, tiles: usize, ntasks: usize) -> Accelera
 /// Recursive workloads spread tiles across every unit (the recursion *is*
 /// the worker); loop workloads concentrate tiles on the body task.
 pub fn is_recursive(wl: &BuiltWorkload) -> bool {
-    matches!(wl.name.as_str(), "fib" | "mergesort")
+    matches!(wl.name.as_str(), "fib" | "mergesort" | "deeprec")
 }
 
 /// Queue depth per workload: recursive designs need deep queues (that is

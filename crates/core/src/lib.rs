@@ -83,7 +83,8 @@ pub use tapas_task as task;
 pub use tapas_sim::{
     Accelerator, AcceleratorConfig, AcceleratorConfigBuilder, AdmissionControl, BottleneckReport,
     BoundClass, ConfigError, DeadlockDiagnosis, Fault, FaultPlan, FaultTolerance, Profile,
-    ProfileLevel, SimError, SimEvent, SimEventKind, SimOutcome, SimStats, StallReason, WaitCause,
+    ProfileLevel, SimError, SimEvent, SimEventKind, SimOutcome, SimStats, StallReason, StealConfig,
+    WaitCause,
 };
 
 use tapas_dfg::{lower_tasks, LatencyModel, TaskDfg};

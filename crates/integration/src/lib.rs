@@ -1,3 +1,294 @@
 #![warn(missing_docs)]
 
-//! (under construction)
+//! Differential test harness for the accelerator's opt-in performance
+//! knobs (cross-unit work stealing, banked L1).
+//!
+//! The harness draws seeded random configuration samples — steal on/off ×
+//! banks ∈ {1, 2, 4} × tiles × queue depth × admission control — and for
+//! every workload × sample asserts two properties:
+//!
+//! 1. **Functional**: the simulator's output region is byte-identical to
+//!    the interpreter golden model.
+//! 2. **Timing opt-in**: a sample with both features disabled is
+//!    cycle-identical to the *seed twin* — the same configuration built
+//!    without ever touching the `steal`/`l1_banks` knobs — proving the
+//!    new plumbing is free when off.
+//!
+//! A failing sample is greedily [minimized][minimize] and reported as a
+//! one-line repro string (workload, seed and every knob), so a CI failure
+//! can be replayed directly with [`check_sample`].
+
+use tapas::{AcceleratorConfig, AdmissionControl, StealConfig, Toolchain};
+use tapas_workloads::rng::SplitMix64;
+use tapas_workloads::{suite_small, BuiltWorkload};
+
+/// One sampled accelerator configuration, small enough to print whole.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigSample {
+    /// Steal latency in cycles; `None` leaves stealing disabled.
+    pub steal_latency: Option<u64>,
+    /// L1 bank count (power of two).
+    pub banks: usize,
+    /// Worker tiles on every task unit.
+    pub tiles: usize,
+    /// Queue entries per task unit.
+    pub ntasks: usize,
+    /// Whether admission control (spill + inline degradation) is armed.
+    pub admission: bool,
+}
+
+/// Recursive workloads need deep queues when admission control is off —
+/// every live level of the recursion holds a queue entry.
+fn is_recursive(name: &str) -> bool {
+    matches!(name, "fib" | "mergesort" | "deeprec")
+}
+
+impl ConfigSample {
+    /// Draw one sample from `rng`. `recursive` constrains the queue depth
+    /// so the sample cannot deadlock by construction (recursion without
+    /// admission control needs one live entry per level).
+    pub fn draw(rng: &mut SplitMix64, recursive: bool) -> ConfigSample {
+        let admission = rng.chance(1, 3);
+        let steal_latency = if rng.chance(1, 2) { Some(1 + rng.next_below(6)) } else { None };
+        let banks = [1usize, 2, 4][rng.next_below(3) as usize];
+        let tiles = 1 + rng.next_below(4) as usize;
+        let ntasks = if admission {
+            [2usize, 4, 8, 32][rng.next_below(4) as usize]
+        } else if recursive {
+            [256usize, 512][rng.next_below(2) as usize]
+        } else {
+            [8usize, 16, 32][rng.next_below(3) as usize]
+        };
+        ConfigSample { steal_latency, banks, tiles, ntasks, admission }
+    }
+
+    /// Both performance knobs at their seed defaults?
+    pub fn features_disabled(&self) -> bool {
+        self.steal_latency.is_none() && self.banks == 1
+    }
+
+    /// The one-line repro string a failure report carries.
+    pub fn repro(&self, workload: &str) -> String {
+        format!(
+            "workload={workload} steal={} banks={} tiles={} ntasks={} admission={}",
+            self.steal_latency.map_or("off".to_string(), |l| l.to_string()),
+            self.banks,
+            self.tiles,
+            self.ntasks,
+            self.admission,
+        )
+    }
+
+    /// Materialize the sample through the public builder API (so the
+    /// sweep also exercises the builder's validation paths).
+    pub fn config(&self, wl: &BuiltWorkload) -> AcceleratorConfig {
+        let mut b = AcceleratorConfig::builder()
+            .tiles(self.tiles)
+            .ntasks(self.ntasks)
+            .mem_bytes(wl.mem.len().next_power_of_two().max(1 << 20))
+            .l1_banks(self.banks);
+        if let Some(latency) = self.steal_latency {
+            b = b.steal(StealConfig { latency });
+        }
+        if self.admission {
+            b = b.admission(AdmissionControl::default());
+        }
+        b.build().expect("sampled configurations are valid by construction")
+    }
+
+    /// The seed twin: the same shape built without ever touching the
+    /// `steal`/`l1_banks` knobs. For a features-disabled sample this must
+    /// behave cycle-identically to [`ConfigSample::config`].
+    pub fn seed_twin(&self, wl: &BuiltWorkload) -> AcceleratorConfig {
+        let mut b = AcceleratorConfig::builder()
+            .tiles(self.tiles)
+            .ntasks(self.ntasks)
+            .mem_bytes(wl.mem.len().next_power_of_two().max(1 << 20));
+        if self.admission {
+            b = b.admission(AdmissionControl::default());
+        }
+        b.build().expect("seed twin of a valid sample is valid")
+    }
+}
+
+/// What one simulation run produced.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// End-to-end simulated cycles.
+    pub cycles: u64,
+    /// The workload's declared output region after the run.
+    pub output: Vec<u8>,
+    /// Successful cross-unit steals.
+    pub steals: u64,
+}
+
+/// Compile, elaborate and run `wl` under `cfg`.
+///
+/// # Errors
+///
+/// Any toolchain or simulation failure (including deadlock detection) is
+/// rendered into the error string.
+pub fn simulate(wl: &BuiltWorkload, cfg: &AcceleratorConfig) -> Result<SimRun, String> {
+    let design = Toolchain::new().compile(&wl.module).map_err(|e| format!("compile: {e}"))?;
+    let mut acc = design.instantiate(cfg).map_err(|e| format!("elaborate: {e}"))?;
+    acc.mem_mut().write_bytes(0, &wl.mem);
+    let out = acc.run(wl.func, &wl.args).map_err(|e| format!("run: {e}"))?;
+    Ok(SimRun {
+        cycles: out.cycles,
+        output: acc.mem().read_bytes(wl.output.0, wl.output.1).to_vec(),
+        steals: out.stats.steals,
+    })
+}
+
+/// Check one workload × sample: simulator output must match the
+/// interpreter golden model, and a features-disabled sample must be
+/// cycle-identical to its seed twin.
+///
+/// # Errors
+///
+/// Returns the (unminimized) repro string plus what diverged.
+pub fn check_sample(wl: &BuiltWorkload, s: &ConfigSample) -> Result<(), String> {
+    let run = simulate(wl, &s.config(wl)).map_err(|e| format!("{}: {e}", s.repro(&wl.name)))?;
+    let golden_mem = wl.golden_memory();
+    let golden = wl.output_of(&golden_mem);
+    if run.output != golden {
+        return Err(format!(
+            "{}: output diverged from interpreter golden model",
+            s.repro(&wl.name)
+        ));
+    }
+    if s.features_disabled() {
+        let twin = simulate(wl, &s.seed_twin(wl))
+            .map_err(|e| format!("{} (seed twin): {e}", s.repro(&wl.name)))?;
+        if twin.cycles != run.cycles {
+            return Err(format!(
+                "{}: disabled features changed timing ({} cycles vs seed {})",
+                s.repro(&wl.name),
+                run.cycles,
+                twin.cycles
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Greedily minimize a failing sample: repeatedly try the simplifying
+/// mutations (steal off, one bank, admission off, one tile, smallest
+/// queue) and keep any that still fails `fails`. The result is the
+/// simplest configuration that reproduces the failure.
+pub fn minimize<F: Fn(&ConfigSample) -> bool>(sample: &ConfigSample, fails: &F) -> ConfigSample {
+    let mut best = sample.clone();
+    loop {
+        let mut candidates = Vec::new();
+        if best.steal_latency.is_some() {
+            candidates.push(ConfigSample { steal_latency: None, ..best.clone() });
+        }
+        if best.banks > 1 {
+            candidates.push(ConfigSample { banks: 1, ..best.clone() });
+        }
+        if best.admission {
+            candidates.push(ConfigSample { admission: false, ..best.clone() });
+        }
+        if best.tiles > 1 {
+            candidates.push(ConfigSample { tiles: 1, ..best.clone() });
+        }
+        if best.ntasks > 256 {
+            candidates.push(ConfigSample { ntasks: 256, ..best.clone() });
+        }
+        match candidates.into_iter().find(|c| fails(c)) {
+            Some(simpler) => best = simpler,
+            None => return best,
+        }
+    }
+}
+
+/// Run the full differential sweep: `samples_per_workload` seeded samples
+/// for every workload in the small suite. Returns the number of checks
+/// performed.
+///
+/// # Errors
+///
+/// The first failure is minimized and returned as
+/// `"<minimized repro (seed=N)>: <what diverged>"`.
+pub fn differential_sweep(seed: u64, samples_per_workload: usize) -> Result<usize, String> {
+    let mut rng = SplitMix64::new(seed);
+    let mut checked = 0usize;
+    for wl in suite_small() {
+        for _ in 0..samples_per_workload {
+            let sample = ConfigSample::draw(&mut rng, is_recursive(&wl.name));
+            if let Err(err) = check_sample(&wl, &sample) {
+                let minimized =
+                    minimize(&sample, &|c: &ConfigSample| check_sample(&wl, c).is_err());
+                return Err(format!(
+                    "differential sweep failed (seed={seed}): {err}\nminimized repro: {}",
+                    minimized.repro(&wl.name)
+                ));
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_stream_is_deterministic() {
+        let draw = |seed| {
+            let mut rng = SplitMix64::new(seed);
+            (0..16).map(|i| ConfigSample::draw(&mut rng, i % 2 == 0)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn samples_cannot_deadlock_by_construction() {
+        let mut rng = SplitMix64::new(99);
+        for i in 0..256 {
+            let s = ConfigSample::draw(&mut rng, i % 2 == 0);
+            if !s.admission && i % 2 == 0 {
+                assert!(s.ntasks >= 256, "recursive without admission needs a deep queue");
+            }
+            assert!(s.banks.is_power_of_two());
+            assert!((1..=4).contains(&s.tiles));
+        }
+    }
+
+    #[test]
+    fn minimize_strips_irrelevant_knobs() {
+        // A synthetic failure that only depends on banks > 1: the
+        // minimizer must drop stealing, admission and extra tiles, and
+        // keep the banked cache.
+        let sample = ConfigSample {
+            steal_latency: Some(3),
+            banks: 4,
+            tiles: 4,
+            ntasks: 512,
+            admission: true,
+        };
+        let min = minimize(&sample, &|c: &ConfigSample| c.banks > 1);
+        assert_eq!(min.steal_latency, None);
+        assert_eq!(min.banks, 4, "the failing knob survives");
+        assert!(!min.admission);
+        assert_eq!(min.tiles, 1);
+        assert_eq!(min.ntasks, 256);
+    }
+
+    #[test]
+    fn repro_string_round_trips_the_knobs() {
+        let s = ConfigSample {
+            steal_latency: Some(2),
+            banks: 2,
+            tiles: 3,
+            ntasks: 32,
+            admission: false,
+        };
+        assert_eq!(
+            s.repro("saxpy"),
+            "workload=saxpy steal=2 banks=2 tiles=3 ntasks=32 admission=false"
+        );
+    }
+}

@@ -213,10 +213,17 @@ impl Cache {
             if kind == MemOpKind::Write {
                 line.dirty = true;
             }
-            // If the line is still being filled, the access waits for it.
+            // If the line is still being filled, the access merges into the
+            // outstanding MSHR and waits behind the fill; only a landed line
+            // counts as a plain hit.
             let base = line.fill_done.max(now);
-            self.stats.hits += 1;
-            self.last_outcome = Some(AccessOutcome::Hit);
+            if line.fill_done > now {
+                self.stats.mshr_merges += 1;
+                self.last_outcome = Some(AccessOutcome::MshrMerge);
+            } else {
+                self.stats.hits += 1;
+                self.last_outcome = Some(AccessOutcome::Hit);
+            }
             return Some(base + hit_lat);
         }
 
@@ -397,10 +404,11 @@ mod tests {
         assert_eq!(c.last_outcome(), None);
         c.try_access(0, MemOpKind::Read, 0, &mut d).unwrap();
         assert_eq!(c.last_outcome(), Some(AccessOutcome::Miss));
-        // Same line while the fill is in flight: the installed line is found
-        // by the hit path (the access waits on `fill_done`).
+        // Same line while the fill is in flight: the access merges into the
+        // outstanding MSHR (it waits on `fill_done`, not a fresh fetch).
         c.try_access(16, MemOpKind::Read, 1, &mut d).unwrap();
-        assert_eq!(c.last_outcome(), Some(AccessOutcome::Hit));
+        assert_eq!(c.last_outcome(), Some(AccessOutcome::MshrMerge));
+        assert_eq!(c.stats().mshr_merges, 1);
         assert!(c.try_access(4096, MemOpKind::Read, 2, &mut d).is_none());
         assert_eq!(c.last_outcome(), Some(AccessOutcome::RejectMshrFull));
         c.try_access(0, MemOpKind::Read, 1000, &mut d).unwrap();

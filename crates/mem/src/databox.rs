@@ -40,6 +40,9 @@ pub struct DataBoxStats {
     pub cache_stalls: u64,
     /// Enqueue attempts refused because the port queue was full.
     pub backpressure: u64,
+    /// Grant attempts deferred because the target L1 bank had already
+    /// used its grants this cycle (only possible with a banked L1).
+    pub bank_conflicts: u64,
 }
 
 /// How a granted (or refused) request fared at the cache — recorded in the
@@ -56,6 +59,9 @@ pub enum GrantClass {
     /// The cache refused the grant this cycle (MSHR/set pressure); the
     /// request stays queued in its port.
     Rejected,
+    /// The target L1 bank had already consumed its grants this cycle; the
+    /// request stays queued in its port (banked L1 only).
+    BankConflict,
 }
 
 /// One grant-log record: the request, how it classified, and its address.
@@ -103,6 +109,7 @@ pub struct DataBox {
     stats: DataBoxStats,
     log_grants: bool,
     grant_log: Vec<GrantEvent>,
+    bank_grants: Vec<usize>, // per-bank grants this cycle (reused buffer)
 }
 
 impl DataBox {
@@ -118,6 +125,7 @@ impl DataBox {
             stats: DataBoxStats::default(),
             log_grants: false,
             grant_log: Vec::new(),
+            bank_grants: Vec::new(),
         }
     }
 
@@ -179,14 +187,37 @@ impl DataBox {
     /// port queue so the caller can surface the error and keep the box
     /// consistent.
     pub fn tick(&mut self, now: u64, ms: &mut MemSystem) -> Result<(), MemFault> {
+        // Each L1 bank accepts up to `issue_width` grants per cycle: with
+        // one bank this is exactly the seed arbitration; with N banks, up
+        // to N×issue_width independent requests proceed and same-bank
+        // collisions are deferred as bank conflicts.
+        let banks = ms.banks();
+        self.bank_grants.clear();
+        self.bank_grants.resize(banks, 0);
         let mut granted = 0;
+        let max_grants = self.cfg.issue_width * banks;
         let ports = self.cfg.ports;
         let mut scanned = 0;
         let mut idx = self.rr_next;
-        while granted < self.cfg.issue_width && scanned < ports {
+        while granted < max_grants && scanned < ports {
             let q = &mut self.queues[idx];
             if let Some(&(req, eligible)) = q.front() {
                 if eligible <= now {
+                    let bank = ms.bank_of(req.addr);
+                    if self.bank_grants[bank] >= self.cfg.issue_width {
+                        // Bank already saturated this cycle; leave queued.
+                        self.stats.bank_conflicts += 1;
+                        if self.log_grants {
+                            self.grant_log.push(GrantEvent {
+                                id: req.id,
+                                class: GrantClass::BankConflict,
+                                addr: req.addr,
+                            });
+                        }
+                        idx = (idx + 1) % ports;
+                        scanned += 1;
+                        continue;
+                    }
                     let dram_ops_before = ms.dram.reads + ms.dram.writes;
                     let issued = match ms.issue(req, now) {
                         Ok(v) => v,
@@ -201,10 +232,11 @@ impl DataBox {
                         Some(_) => {
                             self.queues[idx].pop_front();
                             granted += 1;
+                            self.bank_grants[bank] += 1;
                             self.stats.issued += 1;
                             if self.log_grants {
                                 let dram_touched = ms.dram.reads + ms.dram.writes > dram_ops_before;
-                                let class = match ms.cache.last_outcome() {
+                                let class = match ms.l1_last_outcome() {
                                     Some(AccessOutcome::Miss | AccessOutcome::MshrMerge)
                                         if dram_touched && ms.dram.last_queue_delay() > 0 =>
                                     {
@@ -416,6 +448,68 @@ mod tests {
         assert_eq!(fault.req.id, ReqId(1));
         assert!(matches!(fault.err, crate::MemError::OutOfBounds { .. }));
         assert_eq!(db.queued(), 0, "the poisoned request was removed");
+    }
+
+    #[test]
+    fn banked_l1_grants_in_parallel_across_banks() {
+        // Four hits to four different banks must all grant in one cycle
+        // even with issue_width 1; the same four requests through a single
+        // bank take four cycles.
+        let run = |banks: usize| {
+            let mut db = DataBox::new(DataBoxConfig { ports: 4, issue_width: 1, queue_depth: 4 });
+            let mut ms = MemSystem::new(65536, CacheConfig::default(), DramConfig::default());
+            ms.split_banks(banks);
+            // Warm four lines in four different banks.
+            for (k, p) in (0..4u64).zip(0..4usize) {
+                assert!(db.enqueue(req(k, p, k * 32), 0));
+            }
+            let _ = run_until_n_responses(&mut db, &mut ms, 4, 500);
+            for (k, p) in (0..4u64).zip(0..4usize) {
+                assert!(db.enqueue(req(100 + k, p, k * 32 + 4), 1000));
+            }
+            let mut first_grant_cycle = None;
+            let mut last_grant_cycle = None;
+            for now in 1000..1200u64 {
+                let before = db.stats().issued;
+                db.tick(now, &mut ms).unwrap();
+                if db.stats().issued > before {
+                    first_grant_cycle.get_or_insert(now);
+                    last_grant_cycle = Some(now);
+                }
+                db.pop_responses(now);
+                if db.stats().issued >= 8 {
+                    break;
+                }
+            }
+            last_grant_cycle.unwrap() - first_grant_cycle.unwrap()
+        };
+        assert_eq!(run(4), 0, "four banks grant all four hits the same cycle");
+        assert_eq!(run(1), 3, "a single bank serializes them");
+    }
+
+    #[test]
+    fn same_bank_collisions_count_as_conflicts() {
+        let mut db = DataBox::new(DataBoxConfig { ports: 4, issue_width: 1, queue_depth: 4 });
+        let mut ms = MemSystem::new(65536, CacheConfig::default(), DramConfig::default());
+        ms.split_banks(4);
+        db.set_grant_log(true);
+        // Two requests to the same line — same bank — from two ports.
+        assert!(db.enqueue(req(1, 0, 0), 0));
+        assert!(db.enqueue(req(2, 1, 4), 0));
+        let _ = run_until_n_responses(&mut db, &mut ms, 2, 500);
+        assert!(db.stats().bank_conflicts > 0, "second port deferred by bank arbitration");
+        let log = db.take_grant_log();
+        assert!(log.iter().any(|g| g.class == GrantClass::BankConflict));
+    }
+
+    #[test]
+    fn single_bank_never_reports_conflicts() {
+        let (mut db, mut ms) = mk(4);
+        for p in 0..4 {
+            assert!(db.enqueue(req(p as u64, p, p as u64 * 4), 0));
+        }
+        let _ = run_until_n_responses(&mut db, &mut ms, 4, 500);
+        assert_eq!(db.stats().bank_conflicts, 0);
     }
 
     #[test]

@@ -143,13 +143,18 @@ pub struct MemFault {
 pub struct MemSystem {
     /// Functional backing store (the accelerator's view of DRAM contents).
     pub data: Vec<u8>,
-    /// The shared L1 cache timing model.
+    /// The shared L1 cache timing model (bank 0 when the L1 is banked).
     pub cache: Cache,
     /// Optional L2 between the L1 and DRAM (the SoC's shared 512 KiB L2 —
     /// the §VI "cache hierarchy" improvement).
     pub l2: Option<Cache>,
     /// The AXI/DRAM channel timing model.
     pub dram: Dram,
+    /// L1 banks 1..N when the L1 is address-interleaved ([`Self::split_banks`]);
+    /// empty in the default single-bank configuration.
+    extra_banks: Vec<Cache>,
+    /// Which bank serviced the most recent [`Self::issue`] call.
+    last_bank: usize,
     pending: std::collections::BinaryHeap<PendingResp>,
 }
 
@@ -165,6 +170,37 @@ impl NextLevel for L2Backend<'_> {
 
     fn writeback_line(&mut self, addr: u64, now: u64) -> Option<u64> {
         self.l2.try_access(addr, MemOpKind::Write, now, self.dram)
+    }
+}
+
+/// Restores bank-interleaved line addresses on their way to the next level.
+///
+/// Each L1 bank indexes with a *bank-local* line number (`global / banks`)
+/// so its full set array is usable, but the L2/DRAM behind the banks must
+/// see the original global address — two different lines in two different
+/// banks would otherwise alias in the shared L2. The mapping
+/// `local * banks + bank` is the exact inverse of the interleave.
+struct BankBackend<'a> {
+    inner: &'a mut dyn NextLevel,
+    banks: u64,
+    bank: u64,
+    line_bytes: u64,
+}
+
+impl BankBackend<'_> {
+    fn global(&self, local_addr: u64) -> u64 {
+        ((local_addr / self.line_bytes) * self.banks + self.bank) * self.line_bytes
+            + local_addr % self.line_bytes
+    }
+}
+
+impl NextLevel for BankBackend<'_> {
+    fn fetch_line(&mut self, addr: u64, now: u64) -> Option<u64> {
+        self.inner.fetch_line(self.global(addr), now)
+    }
+
+    fn writeback_line(&mut self, addr: u64, now: u64) -> Option<u64> {
+        self.inner.writeback_line(self.global(addr), now)
     }
 }
 
@@ -199,8 +235,69 @@ impl MemSystem {
             cache: Cache::new(cache_cfg),
             l2: None,
             dram: Dram::new(dram_cfg),
+            extra_banks: Vec::new(),
+            last_bank: 0,
             pending: std::collections::BinaryHeap::new(),
         }
+    }
+
+    /// Split the L1 into `banks` address-interleaved banks (consecutive
+    /// lines round-robin across banks), each holding `1/banks` of the
+    /// configured capacity with its own MSHR file. Must be called before
+    /// any access; `banks == 1` is a no-op and leaves the system
+    /// bit-identical to the unbanked default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is not a power of two, exceeds the capacity, or
+    /// would leave a bank with zero sets.
+    pub fn split_banks(&mut self, banks: usize) {
+        assert!(banks >= 1 && banks.is_power_of_two(), "bank count must be a power of two");
+        if banks == 1 {
+            return;
+        }
+        let cfg = self.cache.config().clone();
+        assert!(
+            cfg.size_bytes.is_multiple_of(banks as u64),
+            "cache capacity must divide evenly across {banks} banks"
+        );
+        let per_bank = CacheConfig { size_bytes: cfg.size_bytes / banks as u64, ..cfg };
+        self.cache = Cache::new(per_bank.clone());
+        self.extra_banks = (1..banks).map(|_| Cache::new(per_bank.clone())).collect();
+    }
+
+    /// Number of L1 banks (1 unless [`Self::split_banks`] was called).
+    pub fn banks(&self) -> usize {
+        1 + self.extra_banks.len()
+    }
+
+    /// The bank an address maps to (always 0 when unbanked): consecutive
+    /// cache lines interleave round-robin across banks.
+    pub fn bank_of(&self, addr: u64) -> usize {
+        ((addr / self.cache.config().line_bytes) % self.banks() as u64) as usize
+    }
+
+    /// Classification of the most recent [`Self::issue`] call at the bank
+    /// that serviced it (`None` before the first access).
+    pub fn l1_last_outcome(&self) -> Option<AccessOutcome> {
+        match self.last_bank {
+            0 => self.cache.last_outcome(),
+            b => self.extra_banks[b - 1].last_outcome(),
+        }
+    }
+
+    /// Aggregate L1 counters summed across all banks.
+    pub fn l1_stats(&self) -> CacheStats {
+        let mut total = self.cache.stats();
+        for b in &self.extra_banks {
+            let s = b.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.mshr_merges += s.mshr_merges;
+            total.rejections += s.rejections;
+            total.writebacks += s.writebacks;
+        }
+        total
     }
 
     /// Create a memory system with an L2 between the L1 and DRAM.
@@ -241,12 +338,38 @@ impl MemSystem {
                 mem_bytes: self.data.len(),
             });
         }
-        let outcome = match &mut self.l2 {
-            Some(l2) => {
-                let mut backend = L2Backend { l2, dram: &mut self.dram };
-                self.cache.try_access(req.addr, req.kind, now, &mut backend)
+        let outcome = if self.extra_banks.is_empty() {
+            match &mut self.l2 {
+                Some(l2) => {
+                    let mut backend = L2Backend { l2, dram: &mut self.dram };
+                    self.cache.try_access(req.addr, req.kind, now, &mut backend)
+                }
+                None => self.cache.try_access(req.addr, req.kind, now, &mut self.dram),
             }
-            None => self.cache.try_access(req.addr, req.kind, now, &mut self.dram),
+        } else {
+            // Banked L1: route by interleaved line number and index the bank
+            // with the bank-local address so its full set array is used; the
+            // BankBackend shim restores the global address for the L2/DRAM.
+            let banks = self.banks() as u64;
+            let line_bytes = self.cache.config().line_bytes;
+            let line = req.addr / line_bytes;
+            let bank = (line % banks) as usize;
+            let local = (line / banks) * line_bytes + req.addr % line_bytes;
+            self.last_bank = bank;
+            let cache = if bank == 0 { &mut self.cache } else { &mut self.extra_banks[bank - 1] };
+            match &mut self.l2 {
+                Some(l2) => {
+                    let mut inner = L2Backend { l2, dram: &mut self.dram };
+                    let mut backend =
+                        BankBackend { inner: &mut inner, banks, bank: bank as u64, line_bytes };
+                    cache.try_access(local, req.kind, now, &mut backend)
+                }
+                None => {
+                    let mut backend =
+                        BankBackend { inner: &mut self.dram, banks, bank: bank as u64, line_bytes };
+                    cache.try_access(local, req.kind, now, &mut backend)
+                }
+            }
         };
         let Some(done) = outcome else {
             return Ok(None);
@@ -443,6 +566,138 @@ mod tests {
         // A huge address must not overflow the bounds check.
         let huge = ms.issue(req(4, u64::MAX - 7, MemOpKind::Read, 0), 0).unwrap_err();
         assert!(matches!(huge, MemError::OutOfBounds { .. }));
+    }
+}
+
+#[cfg(test)]
+mod bank_tests {
+    use super::*;
+
+    fn req(id: u64, addr: u64, kind: MemOpKind, wdata: u64) -> MemReq {
+        MemReq { id: ReqId(id), port: 0, addr, size: 4, kind, wdata }
+    }
+
+    #[test]
+    fn consecutive_lines_interleave_across_banks() {
+        let mut ms = MemSystem::new(4096, CacheConfig::default(), DramConfig::default());
+        ms.split_banks(4);
+        assert_eq!(ms.banks(), 4);
+        let lb = ms.cache.config().line_bytes;
+        for line in 0..8u64 {
+            assert_eq!(ms.bank_of(line * lb), (line % 4) as usize);
+            assert_eq!(ms.bank_of(line * lb + lb - 4), (line % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn split_divides_capacity_and_keeps_geometry() {
+        let mut ms = MemSystem::new(4096, CacheConfig::default(), DramConfig::default());
+        let sets_before = ms.cache.config().sets();
+        ms.split_banks(4);
+        assert_eq!(ms.cache.config().size_bytes, 4 * 1024);
+        assert_eq!(ms.cache.config().sets(), sets_before / 4);
+    }
+
+    #[test]
+    fn one_bank_split_is_a_no_op() {
+        let mut ms = MemSystem::new(4096, CacheConfig::default(), DramConfig::default());
+        ms.split_banks(1);
+        assert_eq!(ms.banks(), 1);
+        assert_eq!(ms.cache.config().size_bytes, 16 * 1024);
+    }
+
+    #[test]
+    fn banked_functional_results_identical_to_unbanked() {
+        let run = |banks: usize| {
+            let mut ms = MemSystem::new(8192, CacheConfig::default(), DramConfig::default());
+            ms.split_banks(banks);
+            let mut now = 0;
+            let mut reads = Vec::new();
+            for k in 0..96u64 {
+                let r = MemReq {
+                    id: ReqId(k),
+                    port: 0,
+                    addr: ((k * 36) % 4096) & !3,
+                    size: 4,
+                    kind: if k % 3 == 0 { MemOpKind::Write } else { MemOpKind::Read },
+                    wdata: k.wrapping_mul(0x9e37) & 0xffff_ffff,
+                };
+                now = loop {
+                    match ms.issue(r, now).unwrap() {
+                        Some(d) => break d,
+                        None => now += 1,
+                    }
+                };
+                for resp in ms.pop_ready(now) {
+                    if r.kind == MemOpKind::Read && resp.id == r.id {
+                        reads.push((resp.id, resp.rdata));
+                    }
+                }
+            }
+            (ms.data, reads)
+        };
+        let (data1, reads1) = run(1);
+        let (data4, reads4) = run(4);
+        assert_eq!(data1, data4, "banking is timing-only; data must be identical");
+        assert_eq!(reads1, reads4, "read responses must be byte-identical");
+    }
+
+    #[test]
+    fn per_bank_mshrs_allow_parallel_misses() {
+        // With mshrs=1 a single-bank L1 rejects a second miss to another
+        // line; four banks each bring their own MSHR, so misses to lines in
+        // different banks proceed in parallel.
+        let cfg = CacheConfig { mshrs: 1, ..CacheConfig::default() };
+        let mut single = MemSystem::new(8192, cfg.clone(), DramConfig::default());
+        let t = single.issue(req(1, 0, MemOpKind::Read, 0), 0).unwrap();
+        assert!(t.is_some());
+        assert!(single.issue(req(2, 32, MemOpKind::Read, 0), 0).unwrap().is_none());
+
+        let mut banked = MemSystem::new(8192, cfg, DramConfig::default());
+        banked.split_banks(4);
+        assert!(banked.issue(req(1, 0, MemOpKind::Read, 0), 0).unwrap().is_some());
+        assert!(
+            banked.issue(req(2, 32, MemOpKind::Read, 0), 0).unwrap().is_some(),
+            "line 1 lives in bank 1 with its own MSHR"
+        );
+        assert_eq!(banked.l1_stats().misses, 2);
+        assert_eq!(banked.l1_stats().rejections, 0);
+    }
+
+    #[test]
+    fn last_outcome_tracks_the_servicing_bank() {
+        let mut ms = MemSystem::new(8192, CacheConfig::default(), DramConfig::default());
+        ms.split_banks(2);
+        let t = ms.issue(req(1, 32, MemOpKind::Read, 0), 0).unwrap().unwrap();
+        assert_eq!(ms.l1_last_outcome(), Some(AccessOutcome::Miss));
+        ms.pop_ready(t);
+        ms.issue(req(2, 36, MemOpKind::Read, 0), t).unwrap().unwrap();
+        assert_eq!(ms.l1_last_outcome(), Some(AccessOutcome::Hit));
+        // Bank 0 never saw an access; the aggregate still has both.
+        assert_eq!(ms.cache.stats().hits + ms.cache.stats().misses, 0);
+        assert_eq!(ms.l1_stats().hits, 1);
+        assert_eq!(ms.l1_stats().misses, 1);
+    }
+
+    #[test]
+    fn banked_l1_under_l2_sees_global_addresses() {
+        // Lines 0 and 1 land in different banks; both bank-local line
+        // numbers are 0. Without address restoration they would alias in
+        // the shared L2 and the second access would falsely hit.
+        let l2 = CacheConfig {
+            size_bytes: 512 * 1024,
+            line_bytes: 32,
+            ways: 8,
+            hit_latency: 8,
+            mshrs: 4,
+        };
+        let mut ms = MemSystem::with_l2(8192, CacheConfig::default(), l2, DramConfig::default());
+        ms.split_banks(2);
+        let t1 = ms.issue(req(1, 0, MemOpKind::Read, 0), 0).unwrap().unwrap();
+        let t2 = ms.issue(req(2, 32, MemOpKind::Read, 0), t1).unwrap().unwrap();
+        let l2 = ms.l2.as_ref().unwrap();
+        assert_eq!(l2.stats().misses, 2, "distinct global lines must both miss in the L2");
+        let _ = t2;
     }
 }
 

@@ -83,6 +83,16 @@ pub struct AcceleratorConfig {
     /// the inline-spawn / queue-virtualization / deadlock-recovery paths,
     /// making every legal program terminate on any finite queue geometry.
     pub admission: Option<AdmissionControl>,
+    /// Cross-unit work stealing. `None` (the default) reproduces the
+    /// paper's placement exactly: a tile only ever dispatches entries from
+    /// its own unit's queue. `Some` lets idle tiles claim READY entries
+    /// from sibling queues through a steal port (see [`StealConfig`]).
+    pub steal: Option<StealConfig>,
+    /// Number of address-interleaved L1 banks. `1` (the default) is the
+    /// paper's single shared cache, bit-identical to seed; powers of two
+    /// above 1 split the L1 into independent banks with per-bank MSHRs so
+    /// same-cycle accesses to different banks stop serializing.
+    pub l1_banks: usize,
 }
 
 impl Default for AcceleratorConfig {
@@ -107,7 +117,34 @@ impl Default for AcceleratorConfig {
             faults: None,
             tolerance: FaultTolerance::default(),
             admission: None,
+            steal: None,
+            l1_banks: 1,
         }
+    }
+}
+
+/// How cross-unit work stealing behaves
+/// (selected with [`AcceleratorConfigBuilder::steal`]).
+///
+/// The paper binds each task queue to one task unit, so recursive
+/// workloads leave every tile of a cold unit idle behind one hot queue.
+/// With stealing armed, a tile whose own queue has no dispatchable entry
+/// probes sibling queues round-robin and claims their **oldest** READY
+/// entry, provided the thief tile's memory-port count covers the stolen
+/// task's needs. The owner always wins a same-cycle pop/steal race: steal
+/// probes run strictly after every unit's own dispatch, so an entry can
+/// never dispatch twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealConfig {
+    /// Cycles a stolen entry spends in flight over the steal port before
+    /// the thief tile can issue its first node (the cost of reading a
+    /// remote queue entry and moving its payload).
+    pub latency: u64,
+}
+
+impl Default for StealConfig {
+    fn default() -> Self {
+        StealConfig { latency: 4 }
     }
 }
 
@@ -245,6 +282,14 @@ impl AcceleratorConfig {
                 });
             }
         }
+        if !self.l1_banks.is_power_of_two() {
+            return Err(ConfigError::BadBankCount { banks: self.l1_banks });
+        }
+        let per_bank = self.cache.size_bytes / self.l1_banks as u64;
+        if per_bank < self.cache.line_bytes * self.cache.ways {
+            // Each bank must still hold at least one full set.
+            return Err(ConfigError::NonPowerOfTwoCache { level: "L1 bank", bytes: per_bank });
+        }
         Ok(())
     }
 }
@@ -290,6 +335,12 @@ pub enum ConfigError {
     /// indistinguishable from plain backpressure, so almost certainly a
     /// configuration mistake.
     AdmissionWithoutMechanism,
+    /// The L1 bank count must be a power of two (address interleaving is a
+    /// line-index modulus) of at least 1.
+    BadBankCount {
+        /// The rejected bank count.
+        banks: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -318,6 +369,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::AdmissionWithoutMechanism => {
                 write!(f, "admission control needs inline spawns, spilling, or both enabled")
+            }
+            ConfigError::BadBankCount { banks } => {
+                write!(f, "L1 bank count of {banks} is not a power of two of at least 1")
             }
         }
     }
@@ -456,6 +510,20 @@ impl AcceleratorConfigBuilder {
         self
     }
 
+    /// Arm cross-unit work stealing: idle tiles claim READY entries from
+    /// sibling task queues (see [`StealConfig`]).
+    pub fn steal(mut self, steal: StealConfig) -> Self {
+        self.cfg.steal = Some(steal);
+        self
+    }
+
+    /// Split the shared L1 into `n` address-interleaved banks with
+    /// per-bank MSHRs. `1` keeps the paper's single cache.
+    pub fn l1_banks(mut self, n: usize) -> Self {
+        self.cfg.l1_banks = n;
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
@@ -573,6 +641,29 @@ mod tests {
         let hair = AdmissionControl { recovery_window: 0, ..Default::default() };
         let err = AcceleratorConfig::builder().admission(hair).build().unwrap_err();
         assert_eq!(err, ConfigError::ZeroTimeout { which: "admission recovery window" });
+    }
+
+    #[test]
+    fn steal_and_banking_are_off_by_default_and_builder_arms_them() {
+        let c = AcceleratorConfig::builder().build().unwrap();
+        assert!(c.steal.is_none(), "seed placement unless explicitly requested");
+        assert_eq!(c.l1_banks, 1, "seed cache unless explicitly requested");
+
+        let c =
+            AcceleratorConfig::builder().steal(StealConfig::default()).l1_banks(4).build().unwrap();
+        assert_eq!(c.steal.unwrap().latency, StealConfig::default().latency);
+        assert_eq!(c.l1_banks, 4);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_banking() {
+        let err = AcceleratorConfig::builder().l1_banks(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::BadBankCount { banks: 0 });
+        let err = AcceleratorConfig::builder().l1_banks(3).build().unwrap_err();
+        assert!(err.to_string().contains("bank count"));
+        // 16 KiB / 512 banks = 32 B per bank — less than one 2-way set.
+        let err = AcceleratorConfig::builder().l1_banks(512).build().unwrap_err();
+        assert!(matches!(err, ConfigError::NonPowerOfTwoCache { level: "L1 bank", .. }));
     }
 
     #[test]

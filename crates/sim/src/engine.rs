@@ -19,6 +19,7 @@ use tapas_mem::{
 };
 use tapas_task::extract_module;
 use tapas_task::queue::QueueOccupancy;
+use tapas_task::steal::StealPort;
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -181,6 +182,15 @@ pub enum SimEventKind {
         /// The missing address.
         addr: u64,
     },
+    /// The entry was claimed by an idle tile of another unit through the
+    /// cross-unit steal port (recorded on the owning unit, immediately
+    /// before the matching [`SimEventKind::Dispatched`]).
+    Stolen {
+        /// The thief's unit index.
+        by: usize,
+        /// The thief tile the entry executes on.
+        tile: usize,
+    },
 }
 
 /// Per-task-unit counters.
@@ -228,6 +238,9 @@ pub struct SimStats {
     pub databox_issued: u64,
     /// Requests the cache refused (MSHR pressure), i.e. memory stalls.
     pub cache_stalls: u64,
+    /// Grants deferred because their L1 bank already granted this cycle
+    /// (always 0 with a single bank).
+    pub bank_conflicts: u64,
     /// Memory requests re-arbitrated after a response timeout (dropped or
     /// overdue grants).
     pub mem_retries: u64,
@@ -249,6 +262,12 @@ pub struct SimStats {
     /// Refused spawns executed inline on the spawning tile (work-first
     /// degradation), including deadlock-recovery forced inlines.
     pub inline_spawns: u64,
+    /// READY entries claimed from sibling queues through the cross-unit
+    /// steal port (always 0 with stealing disabled).
+    pub steals: u64,
+    /// Steal probe rounds that found no eligible entry in any victim
+    /// (always 0 with stealing disabled).
+    pub steal_fail: u64,
 }
 
 impl SimStats {
@@ -300,9 +319,17 @@ impl NodeState {
 #[derive(Debug, Clone)]
 struct Exec {
     slot: usize,
+    /// The unit owning the queue entry this instance was dispatched from.
+    /// Equal to the executing tile's unit except for stolen instances,
+    /// whose queue bookkeeping (entry, join counters, completion) stays
+    /// with the victim while the datapath runs on the thief's tile.
+    home: usize,
     block_idx: usize,
     prev_block: Option<BlockId>,
     block_start: u64,
+    /// The steal port is still moving this instance's payload until this
+    /// cycle (0 for ordinary dispatches); profiled as `steal-stall`.
+    steal_until: u64,
     nodes: Vec<NodeState>,
     env: HashMap<ValueId, Val>,
     /// When resuming from a sync, enter this block instead of continuing.
@@ -461,7 +488,7 @@ struct ReqMeta {
 struct Prof {
     level: ProfileLevel,
     /// `[unit][tile][reason]` cycle counters.
-    stalls: Vec<Vec<[u64; 11]>>,
+    stalls: Vec<Vec<[u64; 13]>>,
     /// Per-cycle scratch: the tile finished or parked an instance this
     /// cycle (so an empty tile still counts as having worked).
     worked: Vec<Vec<bool>>,
@@ -476,7 +503,7 @@ impl Prof {
     fn new(level: ProfileLevel, units: &[TaskUnit], ntasks: usize) -> Prof {
         Prof {
             level,
-            stalls: units.iter().map(|u| vec![[0; 11]; u.tiles.len()]).collect(),
+            stalls: units.iter().map(|u| vec![[0; 13]; u.tiles.len()]).collect(),
             worked: units.iter().map(|u| vec![false; u.tiles.len()]).collect(),
             queues: units.iter().map(|_| QueueOccupancy::new(ntasks as u32)).collect(),
             node_mix: vec![[0; 5]; units.len()],
@@ -525,7 +552,7 @@ fn mem_severity(r: StallReason) -> u8 {
         StallReason::FaultStall => 4,
         StallReason::MshrFull => 3,
         StallReason::DramQueue => 2,
-        StallReason::CacheMiss => 1,
+        StallReason::CacheMiss | StallReason::BankConflict => 1,
         _ => 0,
     }
 }
@@ -539,6 +566,9 @@ pub struct Accelerator {
     func_root: Vec<usize>,
     databox: DataBox,
     ms: MemSystem,
+    /// One steal port per unit (round-robin victim cursor + counters);
+    /// only consulted when [`AcceleratorConfig::steal`] is armed.
+    steal_ports: Vec<StealPort>,
     req_map: HashMap<u64, ReqMeta>,
     next_req: u64,
     cycle: u64,
@@ -634,6 +664,9 @@ impl Accelerator {
             }
             None => MemSystem::new(cfg.mem_bytes, cfg.cache.clone(), cfg.dram.clone()),
         };
+        // Split the L1 into address-interleaved banks; `1` is a no-op that
+        // keeps the seed cache bit-identical.
+        ms.split_banks(cfg.l1_banks);
         // Queue virtualization parks overflow entries in a DRAM region
         // above the program's declared footprint; reserving it here keeps
         // the address map stable across runs.
@@ -645,6 +678,7 @@ impl Accelerator {
             }
             _ => (0, 0),
         };
+        let steal_ports = (0..units.len()).map(|_| StealPort::new()).collect();
         Ok(Accelerator {
             module: Rc::new(module.clone()),
             units,
@@ -652,6 +686,7 @@ impl Accelerator {
             func_root,
             databox,
             ms,
+            steal_ports,
             req_map: HashMap::new(),
             next_req: 0,
             cycle: 0,
@@ -757,6 +792,9 @@ impl Accelerator {
         self.spills = 0;
         self.refills = 0;
         self.inline_spawns = 0;
+        for p in &mut self.steal_ports {
+            *p = StealPort::new();
+        }
         for u in &mut self.units {
             for t in &mut u.tiles {
                 t.fenced = false;
@@ -811,6 +849,12 @@ impl Accelerator {
             }
             for u in 0..self.units.len() {
                 self.dispatch(u, now)?;
+            }
+            // Steal probes run strictly after every unit's own dispatch:
+            // the owner wins a same-cycle pop/steal race by construction,
+            // and an entry can never dispatch twice in one cycle.
+            if self.cfg.steal.is_some() {
+                self.steal_pass(now);
             }
             for u in 0..self.units.len() {
                 for t in 0..self.units[u].tiles.len() {
@@ -868,11 +912,12 @@ impl Accelerator {
             min_spawn_latency: (self.min_spawn_latency != u64::MAX)
                 .then_some(self.min_spawn_latency),
             units: self.units.iter().map(|u| u.stats.clone()).collect(),
-            cache: self.ms.cache.stats(),
+            cache: self.ms.l1_stats(),
             dram_reads: self.ms.dram.reads,
             dram_writes: self.ms.dram.writes,
             databox_issued: self.databox.stats().issued,
             cache_stalls: self.databox.stats().cache_stalls,
+            bank_conflicts: self.databox.stats().bank_conflicts,
             mem_retries: self.mem_retries,
             ecc_retries: self.ecc_retries,
             spurious_responses: self.spurious_responses,
@@ -881,6 +926,8 @@ impl Accelerator {
             spills: self.spills,
             refills: self.refills,
             inline_spawns: self.inline_spawns,
+            steals: self.steal_ports.iter().map(|p| p.steals).sum(),
+            steal_fail: self.steal_ports.iter().map(|p| p.failures).sum(),
         };
         let profile = self.prof.take().map(|p| p.finish(cycles, &self.units));
         if let Some(path) = self.cfg.trace_path.clone() {
@@ -900,6 +947,7 @@ impl Accelerator {
                 GrantClass::Miss => StallReason::CacheMiss,
                 GrantClass::MissDramQueued => StallReason::DramQueue,
                 GrantClass::Rejected => StallReason::MshrFull,
+                GrantClass::BankConflict => StallReason::BankConflict,
             };
             if let Some(p) = self.prof.as_deref_mut() {
                 p.req_class.insert(g.id.0, class);
@@ -908,9 +956,13 @@ impl Accelerator {
                 if let Some(t) =
                     self.req_map.get(&g.id.0).copied().filter(|t| t.kind == ReqKind::Tile)
                 {
-                    let slot = self.units[t.unit].tiles[t.tile].exec.as_ref().map(|e| e.slot);
-                    if let Some(slot) = slot {
-                        self.record(now, t.unit, slot, SimEventKind::CacheMiss { addr: g.addr });
+                    // Key the trace event by the owning (home) unit so it
+                    // lands on the same track as the task's exec span even
+                    // when a stolen instance misses from a foreign tile.
+                    let target =
+                        self.units[t.unit].tiles[t.tile].exec.as_ref().map(|e| (e.home, e.slot));
+                    if let Some((home, slot)) = target {
+                        self.record(now, home, slot, SimEventKind::CacheMiss { addr: g.addr });
                     }
                 }
             }
@@ -988,10 +1040,13 @@ impl Accelerator {
             let parked = u.entries.iter().flatten().any(|e| e.waiting_sync || e.saved.is_some());
             return if parked { StallReason::SyncWait } else { StallReason::QueueEmpty };
         };
+        if now < exec.steal_until {
+            return StallReason::StealStall; // paying the cross-unit steal latency
+        }
         if now < exec.block_start {
             return StallReason::Busy; // block transition in flight
         }
-        let blk = &u.dfg.blocks[exec.block_idx];
+        let blk = &self.units[exec.home].dfg.blocks[exec.block_idx];
         let mut mem_in_flight = false;
         for (i, ns) in exec.nodes.iter().enumerate() {
             if ns.issued && !ns.done(now) {
@@ -1157,9 +1212,11 @@ impl Accelerator {
                     let entry_idx = u.block_index[&dfg.entry];
                     Exec {
                         slot,
+                        home: unit,
                         block_idx: entry_idx,
                         prev_block: None,
                         block_start: now,
+                        steal_until: 0,
                         nodes: vec![NodeState::fresh(); dfg.blocks[entry_idx].nodes.len()],
                         env,
                         resume_block: None,
@@ -1170,6 +1227,108 @@ impl Accelerator {
             u.tiles[tile_idx].exec = Some(exec);
             self.progress = true;
             self.record(now, unit, slot, SimEventKind::Dispatched { tile: tile_idx });
+        }
+    }
+
+    /// Cross-unit work stealing. Runs strictly after every unit's own
+    /// dispatch pass, so the owner always wins a same-cycle pop/steal race
+    /// and an entry can never dispatch twice. Each tile still idle after
+    /// owner dispatch probes sibling queues in its unit's deterministic
+    /// round-robin order and claims the **oldest** ready, never-dispatched
+    /// entry (the owner dispatches LIFO, so thieves take the opposite end
+    /// of the queue). The stolen instance pays the configured steal
+    /// latency before its first node can issue, and borrows its home
+    /// unit's memory ports — stealing shares compute tiles, not the
+    /// arbitration network. Queue bookkeeping (entry, join counters,
+    /// completion) stays with the victim via [`Exec::home`]. Every unit
+    /// reserves one tile for its own queue (so single-tile units never
+    /// steal): lending the last tile lets a blocked stolen instance starve
+    /// the owner's drain path into a deadlock.
+    fn steal_pass(&mut self, now: u64) {
+        // invariant: the caller gates this pass on `cfg.steal`.
+        let latency = self.cfg.steal.expect("steal pass requires steal config").latency;
+        let nunits = self.units.len();
+        if nunits < 2 {
+            return;
+        }
+        for thief in 0..nunits {
+            // A unit never lends its last tile: at least one tile must stay
+            // free of stolen work so the unit's own queue can always drain.
+            // Without the reservation a stolen instance that blocks spawning
+            // into the thief unit's own full queue holds the only tile that
+            // could empty it — a deadlock the seed schedule cannot reach.
+            let mut lent = self.units[thief]
+                .tiles
+                .iter()
+                .filter(|t| t.exec.as_ref().is_some_and(|e| e.home != thief))
+                .count();
+            while let Some(tile_idx) =
+                self.units[thief].tiles.iter().position(|t| t.accepts_dispatch(now))
+            {
+                if lent + 1 >= self.units[thief].tiles.len() {
+                    break;
+                }
+                let mut claimed = false;
+                for victim in self.steal_ports[thief].probe_order(thief, nunits) {
+                    let v = &self.units[victim];
+                    // Oldest ready entry first; suspended contexts and
+                    // poisoned entries stay home (parity is the owner's
+                    // check, saved state is bound to the home datapath).
+                    let Some(pos) = v.ready.iter().position(|&s| {
+                        v.entries[s]
+                            .as_ref()
+                            .is_some_and(|e| e.ready_at <= now && e.saved.is_none() && !e.poisoned)
+                    }) else {
+                        continue;
+                    };
+                    let slot = self.units[victim].ready.remove(pos);
+                    let u = &mut self.units[victim];
+                    // invariant: the ready list only holds occupied slots.
+                    let entry = u.entries[slot].as_mut().expect("ready entry exists");
+                    if !entry.dispatched_once {
+                        entry.dispatched_once = true;
+                        if entry.via_detach {
+                            let lat = now - entry.spawned_at;
+                            self.total_spawn_latency += lat;
+                            self.min_spawn_latency = self.min_spawn_latency.min(lat);
+                        }
+                    }
+                    let dfg = Rc::clone(&u.dfg);
+                    let env: HashMap<ValueId, Val> =
+                        dfg.args.iter().copied().zip(entry.args.iter().copied()).collect();
+                    let entry_idx = u.block_index[&dfg.entry];
+                    let exec = Exec {
+                        slot,
+                        home: victim,
+                        block_idx: entry_idx,
+                        prev_block: None,
+                        block_start: now + latency,
+                        steal_until: now + latency,
+                        nodes: vec![NodeState::fresh(); dfg.blocks[entry_idx].nodes.len()],
+                        env,
+                        resume_block: None,
+                    };
+                    self.units[thief].tiles[tile_idx].exec = Some(exec);
+                    self.steal_ports[thief].record_steal(victim);
+                    self.progress = true;
+                    self.record(
+                        now,
+                        victim,
+                        slot,
+                        SimEventKind::Stolen { by: thief, tile: tile_idx },
+                    );
+                    self.record(now, victim, slot, SimEventKind::Dispatched { tile: tile_idx });
+                    lent += 1;
+                    claimed = true;
+                    break;
+                }
+                if !claimed {
+                    // One failed probe round per thief per cycle: the
+                    // victim queues cannot change again within this pass.
+                    self.steal_ports[thief].record_failure();
+                    break;
+                }
+            }
         }
     }
 
@@ -1246,21 +1405,29 @@ impl Accelerator {
                 return;
             }
         }
-        let u = &mut self.units[target.unit];
-        let Some(exec) = u.tiles[target.tile].exec.as_mut() else {
+        let Some((home, block_idx)) =
+            self.units[target.unit].tiles[target.tile].exec.as_ref().map(|e| (e.home, e.block_idx))
+        else {
             // invariant: a task with in-flight memory never suspends (the
             // call-spawn quiesce check) and quarantine drains outstanding
             // requests before re-parking, so the tile must hold the task.
             panic!("memory response for an empty tile (suspension invariant broken)");
         };
-        let node = &u.dfg.blocks[exec.block_idx].nodes[target.node];
+        // A stolen instance executes its *home* unit's dataflow graph.
+        let dfg = Rc::clone(&self.units[home].dfg);
+        let func = self.units[home].func;
+        let node = &dfg.blocks[block_idx].nodes[target.node];
         let value = match &node.op {
-            NodeOp::Load { .. } => Some(load_value(self.module.function(u.func), node, resp.rdata)),
+            NodeOp::Load { .. } => Some(load_value(self.module.function(func), node, resp.rdata)),
             NodeOp::Store { .. } => None,
             // invariant: request ids are only minted by issue_mem for
             // Load/Store nodes, so a response can never target another op.
             other => panic!("memory response for non-memory node {other:?}"),
         };
+        let exec = self.units[target.unit].tiles[target.tile]
+            .exec
+            .as_mut()
+            .expect("tile occupancy checked above");
         let ns = &mut exec.nodes[target.node];
         ns.done_at = now;
         ns.value = value;
@@ -1316,25 +1483,29 @@ impl Accelerator {
                 if self.req_map.values().any(|m| m.unit == unit && m.tile == tile) {
                     continue;
                 }
-                let u = &mut self.units[unit];
-                let t = &mut u.tiles[tile];
+                let t = &mut self.units[unit].tiles[tile];
                 t.quarantine_pending = false;
                 t.fenced = true;
                 self.quarantined_tiles += 1;
                 if let Some(exec) = t.exec.take() {
-                    // Re-park the in-flight instance; its saved context
-                    // (including completed node results) re-dispatches
-                    // wherever a healthy tile frees up.
+                    // Re-park the in-flight instance into its *home*
+                    // unit's queue (a stolen instance may be fenced on a
+                    // foreign tile); its saved context (including
+                    // completed node results) re-dispatches wherever a
+                    // healthy tile frees up.
                     let slot = exec.slot;
+                    let home = exec.home;
                     // invariant: a running exec always back-references the
                     // queue entry it was dispatched from, and that entry is
                     // not freed until the task completes.
-                    let entry = u.entries[slot].as_mut().expect("running entry exists");
+                    let entry =
+                        self.units[home].entries[slot].as_mut().expect("running entry exists");
                     entry.saved = Some(Box::new(exec));
                     entry.ready_at = now + 1;
-                    u.ready.push(slot);
+                    self.units[home].ready.push(slot);
                 }
                 self.progress = true;
+                let u = &self.units[unit];
                 if u.tiles.iter().all(|t| t.fenced) {
                     return Err(SimError::AllTilesFailed { unit: u.name.clone() });
                 }
@@ -1545,7 +1716,11 @@ impl Accelerator {
             self.units[unit].tiles[tile].exec = Some(exec);
             return Ok(());
         }
-        let dfg = Rc::clone(&self.units[unit].dfg);
+        // `unit`/`tile` locate the physical datapath (memory ports, busy
+        // state); `home` owns the task's queue entry, DFG and events. They
+        // differ only for instances claimed by the work-stealing pass.
+        let home = exec.home;
+        let dfg = Rc::clone(&self.units[home].dfg);
         let blk = &dfg.blocks[exec.block_idx];
 
         // Issue whatever has become ready.
@@ -1563,6 +1738,7 @@ impl Accelerator {
                     if self.enqueue_mem(
                         unit,
                         tile,
+                        home,
                         exec.block_idx,
                         idx,
                         addr,
@@ -1573,7 +1749,7 @@ impl Accelerator {
                     ) {
                         exec.nodes[idx].issued = true;
                         self.progress = true;
-                        self.note_issue(unit, NodeClass::Memory);
+                        self.note_issue(home, NodeClass::Memory);
                     }
                 }
                 NodeOp::Store { size } => {
@@ -1582,6 +1758,7 @@ impl Accelerator {
                     if self.enqueue_mem(
                         unit,
                         tile,
+                        home,
                         exec.block_idx,
                         idx,
                         addr,
@@ -1592,7 +1769,7 @@ impl Accelerator {
                     ) {
                         exec.nodes[idx].issued = true;
                         self.progress = true;
-                        self.note_issue(unit, NodeClass::Memory);
+                        self.note_issue(home, NodeClass::Memory);
                     }
                 }
                 NodeOp::CallSpawn { callee } => {
@@ -1609,20 +1786,22 @@ impl Accelerator {
                     let args: Vec<Val> =
                         node.operands.iter().map(|o| self.operand_val(o, &exec)).collect();
                     let callee_unit = self.func_root[callee.0 as usize];
-                    let cr = CallRet { unit, slot: exec.slot, node: idx };
+                    // The return lands on the *home* entry: a stolen
+                    // caller suspends back into its own unit's queue.
+                    let cr = CallRet { unit: home, slot: exec.slot, node: idx };
                     match self.alloc_entry(callee_unit, args, None, Some(cr), now, false, false) {
                         Ok(_) => {
                             self.calls += 1;
                             exec.nodes[idx].issued = true;
-                            self.note_issue(unit, NodeClass::Spawn);
+                            self.note_issue(home, NodeClass::Spawn);
                             // Suspend: context returns to the queue entry,
                             // the tile frees for other ready tasks.
                             let slot = exec.slot;
-                            self.units[unit].entries[slot]
+                            self.units[home].entries[slot]
                                 .as_mut()
                                 .expect("running entry exists")
                                 .saved = Some(Box::new(exec));
-                            self.record(now, unit, slot, SimEventKind::CallWait);
+                            self.record(now, home, slot, SimEventKind::CallWait);
                             self.mark_worked(unit, tile);
                             return Ok(());
                         }
@@ -1637,13 +1816,13 @@ impl Accelerator {
                                         // until it refills, runs and returns.
                                         self.calls += 1;
                                         exec.nodes[idx].issued = true;
-                                        self.note_issue(unit, NodeClass::Spawn);
+                                        self.note_issue(home, NodeClass::Spawn);
                                         let slot = exec.slot;
-                                        self.units[unit].entries[slot]
+                                        self.units[home].entries[slot]
                                             .as_mut()
                                             .expect("running entry exists")
                                             .saved = Some(Box::new(exec));
-                                        self.record(now, unit, slot, SimEventKind::CallWait);
+                                        self.record(now, home, slot, SimEventKind::CallWait);
                                         self.mark_worked(unit, tile);
                                         return Ok(());
                                     }
@@ -1665,12 +1844,12 @@ impl Accelerator {
                                 if let (Some(r), Some(v)) = (node.result, ns.value) {
                                     exec.env.insert(r, v);
                                 }
-                                self.note_issue(unit, NodeClass::Spawn);
+                                self.note_issue(home, NodeClass::Spawn);
                                 self.units[unit].tiles[tile].inline_busy_until = now + cost;
                                 self.progress = true;
                             } else {
                                 // Callee queue full: retry next cycle.
-                                self.units[unit].stats.spawn_stalls += 1;
+                                self.units[home].stats.spawn_stalls += 1;
                                 self.units[callee_unit].spawn_refused = true;
                             }
                         }
@@ -1687,7 +1866,7 @@ impl Accelerator {
                     if let (Some(r), Some(v)) = (node.result, ns.value) {
                         exec.env.insert(r, v);
                     }
-                    self.note_issue(unit, class);
+                    self.note_issue(home, class);
                 }
             }
         }
@@ -1700,39 +1879,39 @@ impl Accelerator {
         }
         match blk.term.clone() {
             TermInfo::Br(t) => {
-                self.enter_block(&mut exec, unit, t, now + self.cfg.block_transition);
+                self.enter_block(&mut exec, home, t, now + self.cfg.block_transition);
                 self.units[unit].tiles[tile].exec = Some(exec);
                 self.progress = true;
             }
             TermInfo::CondBr { cond, if_true, if_false } => {
                 let c = self.operand_val(&cond, &exec).as_int() & 1;
                 let t = if c == 1 { if_true } else { if_false };
-                self.enter_block(&mut exec, unit, t, now + self.cfg.block_transition);
+                self.enter_block(&mut exec, home, t, now + self.cfg.block_transition);
                 self.units[unit].tiles[tile].exec = Some(exec);
                 self.progress = true;
             }
             TermInfo::Ret(v) => {
                 let value = v.map(|o| self.operand_val(&o, &exec));
-                self.finish_instance(unit, exec.slot, value, now);
+                self.finish_instance(home, exec.slot, value, now);
                 self.mark_worked(unit, tile);
             }
             TermInfo::Reattach => {
-                self.finish_instance(unit, exec.slot, None, now);
+                self.finish_instance(home, exec.slot, None, now);
                 self.mark_worked(unit, tile);
             }
             TermInfo::Detach { child, args, cont } => {
-                let child_unit = self.unit_of[&(self.units[unit].func.0, child.0)];
+                let child_unit = self.unit_of[&(self.units[home].func.0, child.0)];
                 let arg_vals: Vec<Val> = args.iter().map(|o| self.operand_val(o, &exec)).collect();
-                let parent = Some((unit, exec.slot));
+                let parent = Some((home, exec.slot));
                 match self.alloc_entry(child_unit, arg_vals, parent, None, now, false, true) {
                     Ok(_) => {
                         self.spawns += 1;
-                        self.note_issue(unit, NodeClass::Spawn);
-                        self.units[unit].entries[exec.slot]
+                        self.note_issue(home, NodeClass::Spawn);
+                        self.units[home].entries[exec.slot]
                             .as_mut()
                             .expect("running entry exists")
                             .children += 1;
-                        self.enter_block(&mut exec, unit, cont, now + 1);
+                        self.enter_block(&mut exec, home, cont, now + 1);
                         self.units[unit].tiles[tile].exec = Some(exec);
                     }
                     Err(arg_vals) => {
@@ -1744,12 +1923,12 @@ impl Accelerator {
                                     // the parent's join counter; it completes
                                     // after refilling.
                                     self.spawns += 1;
-                                    self.note_issue(unit, NodeClass::Spawn);
-                                    self.units[unit].entries[exec.slot]
+                                    self.note_issue(home, NodeClass::Spawn);
+                                    self.units[home].entries[exec.slot]
                                         .as_mut()
                                         .expect("running entry exists")
                                         .children += 1;
-                                    self.enter_block(&mut exec, unit, cont, now + 1);
+                                    self.enter_block(&mut exec, home, cont, now + 1);
                                     self.units[unit].tiles[tile].exec = Some(exec);
                                     return Ok(());
                                 }
@@ -1764,10 +1943,10 @@ impl Accelerator {
                             // modeled cost has elapsed.
                             let (_, cost) = self.exec_inline(child_unit, arg_vals, 0)?;
                             self.spawns += 1;
-                            self.note_issue(unit, NodeClass::Spawn);
+                            self.note_issue(home, NodeClass::Spawn);
                             let resume = now + 1 + cost;
                             self.units[unit].tiles[tile].inline_busy_until = resume;
-                            self.enter_block(&mut exec, unit, cont, resume);
+                            self.enter_block(&mut exec, home, cont, resume);
                             self.units[unit].tiles[tile].exec = Some(exec);
                             self.progress = true;
                         } else {
@@ -1783,16 +1962,16 @@ impl Accelerator {
                 let slot = exec.slot;
                 // invariant: exec.slot back-references the live queue entry
                 // this instance was dispatched from.
-                let entry = self.units[unit].entries[slot].as_mut().expect("running entry exists");
+                let entry = self.units[home].entries[slot].as_mut().expect("running entry exists");
                 if entry.children == 0 {
-                    self.enter_block(&mut exec, unit, cont, now + self.cfg.sync_cost);
+                    self.enter_block(&mut exec, home, cont, now + self.cfg.sync_cost);
                     self.units[unit].tiles[tile].exec = Some(exec);
                 } else {
                     // SYNC state: context parks in the queue entry.
                     entry.waiting_sync = true;
                     exec.resume_block = Some(cont);
                     entry.saved = Some(Box::new(exec));
-                    self.record(now, unit, slot, SimEventKind::SyncWait);
+                    self.record(now, home, slot, SimEventKind::SyncWait);
                     self.mark_worked(unit, tile);
                 }
             }
@@ -1976,6 +2155,7 @@ impl Accelerator {
         &mut self,
         unit: usize,
         tile: usize,
+        home: usize,
         block_idx: usize,
         node: usize,
         addr: u64,
@@ -1984,10 +2164,16 @@ impl Accelerator {
         wdata: u64,
         now: u64,
     ) -> bool {
-        let u = &self.units[unit];
-        let port = u.port_base
-            + tile * u.dfg.mem_ports
-            + u.dfg.blocks[block_idx].nodes[node].mem_port.expect("memory node has a port");
+        let h = &self.units[home];
+        // Requests always use the *home* unit's port range: a stolen
+        // instance borrows its home unit's memory bandwidth (the thief's
+        // tile index is folded onto the home tile-slot ports, sharing that
+        // port's queue), so stealing never changes the arbitration network
+        // — response routing is by request id, not port. For a non-stolen
+        // instance `home == unit` and this is exactly the seed port.
+        let port = h.port_base
+            + (tile % h.tiles.len()) * h.dfg.mem_ports
+            + h.dfg.blocks[block_idx].nodes[node].mem_port.expect("memory node has a port");
         let id = ReqId(self.next_req);
         let req = MemReq { id, port, addr, size, kind, wdata };
         if self.databox.enqueue(req, now) {
@@ -2489,7 +2675,7 @@ mod tests {
     }
 
     /// Parallel-for over an array: a[i] += 1 for i in 0..n (Fig. 2 shape).
-    fn build_pfor_inc(m: &mut Module) -> FuncId {
+    pub(super) fn build_pfor_inc(m: &mut Module) -> FuncId {
         let mut b =
             FunctionBuilder::new("pfor_inc", vec![Type::ptr(Type::I32), Type::I64], Type::Void);
         let header = b.create_block("header");
@@ -3226,5 +3412,214 @@ mod admission_tests {
         // Refused spawns count the child queue as full even when spilling
         // keeps occupancy below nominal capacity.
         assert!(profile.units[1].queue.full_cycles > 0);
+    }
+}
+
+#[cfg(test)]
+mod steal_bank_tests {
+    use super::*;
+    use crate::{AcceleratorConfig, ProfileLevel, StallReason, StealConfig};
+    use tapas_ir::{CmpPred, FunctionBuilder, Module, Type};
+
+    /// Recursive parallel fib (same shape as the main test module's): both
+    /// units touch memory, so steals flow in either direction.
+    fn build_fib(m: &mut Module) -> FuncId {
+        let mut b = FunctionBuilder::new("fib", vec![Type::I32, Type::ptr(Type::I32)], Type::I32);
+        let rec = b.create_block("rec");
+        let base = b.create_block("base");
+        let task = b.create_block("task");
+        let cont = b.create_block("cont");
+        let after = b.create_block("after");
+        let (n, out) = (b.param(0), b.param(1));
+        let two = b.const_int(Type::I32, 2);
+        let c = b.icmp(CmpPred::Slt, n, two);
+        b.cond_br(c, base, rec);
+        b.switch_to(base);
+        b.ret(Some(n));
+        b.switch_to(rec);
+        b.detach(task, cont);
+        b.switch_to(task);
+        let one = b.const_int(Type::I32, 1);
+        let n1 = b.sub(n, one);
+        let one64 = b.const_int(Type::I64, 1);
+        let sub_out = b.gep_index(out, one64);
+        let r1 = b.call(FuncId(0), vec![n1, sub_out], Type::I32).unwrap();
+        b.store(out, r1);
+        b.reattach(cont);
+        b.switch_to(cont);
+        let n2 = b.sub(n, two);
+        let k33 = b.const_int(Type::I64, 33);
+        let sub_out2 = b.gep_index(out, k33);
+        let r2 = b.call(FuncId(0), vec![n2, sub_out2], Type::I32).unwrap();
+        b.sync(after);
+        b.switch_to(after);
+        let r1v = b.load(out);
+        let s = b.add(r1v, r2);
+        b.ret(Some(s));
+        m.add_function(b.finish())
+    }
+
+    fn run_fib(cfg: &AcceleratorConfig) -> SimOutcome {
+        let mut m = Module::new("m");
+        let f = build_fib(&mut m);
+        let mut acc = Accelerator::elaborate(&m, cfg).unwrap();
+        acc.run(f, &[Val::Int(10), Val::Int(4096)]).unwrap()
+    }
+
+    fn fib_cfg() -> AcceleratorConfig {
+        AcceleratorConfig { ntasks: 256, ..AcceleratorConfig::default() }.with_default_tiles(2)
+    }
+
+    #[test]
+    fn stealing_preserves_results_and_helps_fib() {
+        let off = run_fib(&fib_cfg());
+        let on_cfg = AcceleratorConfig { steal: Some(StealConfig::default()), ..fib_cfg() };
+        let on = run_fib(&on_cfg);
+        assert_eq!(on.ret, Some(Val::Int(55)), "stolen instances compute the same answer");
+        assert_eq!(off.ret, on.ret);
+        assert!(on.stats.steals > 0, "idle tiles found work to steal");
+        assert!(
+            on.cycles <= off.cycles,
+            "stealing must not slow fib down ({} vs {})",
+            on.cycles,
+            off.cycles
+        );
+    }
+
+    #[test]
+    fn steal_trace_is_deterministic() {
+        let cfg = AcceleratorConfig {
+            steal: Some(StealConfig { latency: 2 }),
+            record_events: true,
+            ..fib_cfg()
+        };
+        let run_once = || {
+            let mut m = Module::new("m");
+            let f = build_fib(&mut m);
+            let mut acc = Accelerator::elaborate(&m, &cfg).unwrap();
+            let out = acc.run(f, &[Val::Int(10), Val::Int(4096)]).unwrap();
+            let steals: Vec<(u64, usize, usize)> = acc
+                .take_events()
+                .iter()
+                .filter(|e| matches!(e.kind, SimEventKind::Stolen { .. }))
+                .map(|e| (e.cycle, e.unit, e.slot))
+                .collect();
+            (out.cycles, out.stats.steals, steals)
+        };
+        let (c1, s1, t1) = run_once();
+        let (c2, s2, t2) = run_once();
+        assert_eq!(c1, c2, "cycle count must be run-to-run deterministic");
+        assert_eq!(s1, s2);
+        assert_eq!(t1, t2, "the full steal trace must be byte-identical");
+        assert!(!t1.is_empty());
+    }
+
+    #[test]
+    fn owner_wins_no_entry_dispatches_twice() {
+        // Regression for the pop/steal same-cycle race: dispatch events per
+        // entry must balance spawn + park events exactly. A double dispatch
+        // (owner and thief both claiming an entry) breaks the equation.
+        let cfg = AcceleratorConfig {
+            steal: Some(StealConfig { latency: 1 }),
+            record_events: true,
+            ..fib_cfg()
+        };
+        let mut m = Module::new("m");
+        let f = build_fib(&mut m);
+        let mut acc = Accelerator::elaborate(&m, &cfg).unwrap();
+        let out = acc.run(f, &[Val::Int(10), Val::Int(4096)]).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(55)));
+        let events = acc.take_events();
+        let count =
+            |k: fn(&SimEventKind) -> bool| events.iter().filter(|e| k(&e.kind)).count() as u64;
+        let dispatched = count(|k| matches!(k, SimEventKind::Dispatched { .. }));
+        let spawned = count(|k| matches!(k, SimEventKind::Spawned { .. }));
+        let parked = count(|k| matches!(k, SimEventKind::SyncWait | SimEventKind::CallWait));
+        assert_eq!(
+            dispatched,
+            spawned + parked,
+            "every entry dispatches exactly once per spawn or un-park"
+        );
+        assert!(count(|k| matches!(k, SimEventKind::Stolen { .. })) > 0);
+    }
+
+    #[test]
+    fn steal_latency_is_attributed_to_steal_stall() {
+        let cfg = AcceleratorConfig {
+            steal: Some(StealConfig { latency: 6 }),
+            profile: ProfileLevel::Summary,
+            ..fib_cfg()
+        };
+        let out = run_fib(&cfg);
+        let profile = out.profile.expect("profiling was on");
+        profile.check_invariant().unwrap();
+        assert!(
+            profile.stall_total(StallReason::StealStall) > 0,
+            "in-flight steals must show up in the steal-stall bucket"
+        );
+    }
+
+    #[test]
+    fn banked_cache_preserves_results_and_timing_neutral_at_one_bank() {
+        let n = 32u64;
+        let mut mem = vec![0u8; (n * 4) as usize];
+        for k in 0..n as usize {
+            mem[k * 4..k * 4 + 4].copy_from_slice(&(k as i32 * 3).to_le_bytes());
+        }
+        let run_with = |banks: usize| {
+            let mut m = Module::new("m");
+            let f = super::tests::build_pfor_inc(&mut m);
+            let cfg = AcceleratorConfig { l1_banks: banks, mem_bytes: 4096, ..Default::default() }
+                .with_default_tiles(4);
+            let mut acc = Accelerator::elaborate(&m, &cfg).unwrap();
+            acc.mem_mut().write_bytes(0, &mem);
+            let out = acc.run(f, &[Val::Int(0), Val::Int(n)]).unwrap();
+            (out, acc.mem().read_bytes(0, mem.len()).to_vec())
+        };
+        let (seed, seed_mem) = run_with(1);
+        let (banked, banked_mem) = run_with(4);
+        assert_eq!(seed_mem, banked_mem, "banking must not change results");
+        assert!(
+            banked.cycles <= seed.cycles,
+            "4 banks must not slow the memory-bound pfor down ({} vs {})",
+            banked.cycles,
+            seed.cycles
+        );
+        // L1 totals are aggregated across banks: same accesses either way.
+        assert_eq!(
+            seed.stats.cache.hits + seed.stats.cache.misses,
+            banked.stats.cache.hits + banked.stats.cache.misses
+        );
+    }
+
+    #[test]
+    fn both_features_compose_and_match_the_interpreter() {
+        let cfg =
+            AcceleratorConfig { steal: Some(StealConfig::default()), l1_banks: 4, ..fib_cfg() };
+        let out = run_fib(&cfg);
+        assert_eq!(out.ret, Some(Val::Int(55)));
+        let seed = run_fib(&fib_cfg());
+        assert!(
+            out.cycles <= seed.cycles,
+            "steal + 4 banks must not regress fib ({} vs {})",
+            out.cycles,
+            seed.cycles
+        );
+    }
+
+    #[test]
+    fn disabled_features_are_cycle_identical_to_seed() {
+        // The builder's defaults (steal off, one bank) must take the exact
+        // seed code paths: same cycles, same stats, zero feature counters.
+        let seed = run_fib(&fib_cfg());
+        let explicit = AcceleratorConfig { steal: None, l1_banks: 1, ..fib_cfg() };
+        let off = run_fib(&explicit);
+        assert_eq!(seed.cycles, off.cycles);
+        assert_eq!(seed.ret, off.ret);
+        assert_eq!(off.stats.steals, 0);
+        assert_eq!(off.stats.steal_fail, 0);
+        assert_eq!(off.stats.bank_conflicts, 0);
+        assert_eq!(seed.stats.cache.hits, off.stats.cache.hits);
+        assert_eq!(seed.stats.cache.misses, off.stats.cache.misses);
     }
 }

@@ -54,6 +54,23 @@
 //! `spills` and `refills`, and spill traffic shows up in the profiler as
 //! a dedicated `spill-stall` bucket.
 //!
+//! # Performance knobs
+//!
+//! Two opt-in features rebalance the paper's fixed design, and both are
+//! cycle-identical to seed when left at their defaults:
+//!
+//! * **Cross-unit work stealing** (`.steal(StealConfig { .. })`): an idle
+//!   tile claims the oldest READY entry from a sibling unit's queue after
+//!   a bounded steal latency. Victim probing is deterministic round-robin
+//!   and the owner always wins a same-cycle pop/steal race. [`SimStats`]
+//!   counts `steals` and `steal_fail`; the profiler charges in-flight
+//!   steal cycles to a `steal-stall` bucket.
+//! * **Banked non-blocking L1** (`.l1_banks(n)`): the shared cache splits
+//!   into `n` address-interleaved banks with per-bank MSHRs, so
+//!   same-cycle accesses to different banks grant in parallel. Lost bank
+//!   arbitration is counted (`bank_conflicts`) and profiled as
+//!   `bank-conflict`.
+//!
 //! # Examples
 //!
 //! Compile and simulate a one-task function:
@@ -87,7 +104,9 @@ mod engine;
 pub mod fault;
 pub mod profile;
 
-pub use config::{AcceleratorConfig, AcceleratorConfigBuilder, AdmissionControl, ConfigError};
+pub use config::{
+    AcceleratorConfig, AcceleratorConfigBuilder, AdmissionControl, ConfigError, StealConfig,
+};
 pub use engine::{Accelerator, SimError, SimEvent, SimEventKind, SimOutcome, SimStats, UnitStats};
 pub use fault::{
     BlockedTask, DeadlockDiagnosis, Fault, FaultPlan, FaultTolerance, UnitWaitState, WaitCause,

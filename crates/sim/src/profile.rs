@@ -57,11 +57,19 @@ pub enum StallReason {
     /// a refused spawn inline, or idling while its unit's overflow entries
     /// spilled to or refilled from the DRAM-backed arena.
     SpillStall,
+    /// The tile was covering the bounded latency of a cross-unit work
+    /// steal: the entry was claimed from a sibling queue but its payload
+    /// was still in flight over the steal port.
+    StealStall,
+    /// A memory request lost L1 bank arbitration: the target bank had
+    /// already consumed its grants this cycle and the request stayed
+    /// queued in the data box.
+    BankConflict,
 }
 
 impl StallReason {
     /// All reasons, in charge-priority order.
-    pub const ALL: [StallReason; 11] = [
+    pub const ALL: [StallReason; 13] = [
         StallReason::Busy,
         StallReason::WaitingOperand,
         StallReason::WaitingDatabox,
@@ -73,6 +81,8 @@ impl StallReason {
         StallReason::QueueEmpty,
         StallReason::FaultStall,
         StallReason::SpillStall,
+        StallReason::StealStall,
+        StallReason::BankConflict,
     ];
 
     /// Short display label.
@@ -89,6 +99,8 @@ impl StallReason {
             StallReason::QueueEmpty => "queue-empty",
             StallReason::FaultStall => "fault-stall",
             StallReason::SpillStall => "spill-stall",
+            StallReason::StealStall => "steal-stall",
+            StallReason::BankConflict => "bank-conflict",
         }
     }
 }
@@ -148,7 +160,7 @@ impl NodeClass {
 pub struct TileProfile {
     /// Cycles charged to each reason, indexed by [`StallReason::ALL`]
     /// order.
-    pub stalls: [u64; 11],
+    pub stalls: [u64; 13],
 }
 
 impl TileProfile {
@@ -314,12 +326,16 @@ impl BottleneckReport {
             + total(StallReason::CacheMiss)
             + total(StallReason::MshrFull)
             + total(StallReason::DramQueue)
-            + total(StallReason::FaultStall);
+            + total(StallReason::FaultStall)
+            + total(StallReason::BankConflict);
         // Spill stalls bucket with spawn: they are the price of task-queue
         // capacity pressure, just paid inline instead of by backpressure.
+        // Steal stalls do too: they are the latency of rebalancing work
+        // across task queues, not of computing or of memory.
         let spawn = total(StallReason::SyncWait)
             + total(StallReason::QueueEmpty)
-            + total(StallReason::SpillStall);
+            + total(StallReason::SpillStall)
+            + total(StallReason::StealStall);
         let bp = total(StallReason::SpawnBackpressure);
         // Backpressure is caused by whatever the rest of the design is
         // doing; spread it proportionally (all-backpressure runs count as
@@ -426,6 +442,18 @@ pub fn chrome_trace(events: &[SimEvent], unit_names: &[String]) -> String {
                     );
                 }
             }
+            SimEventKind::Stolen { by, tile } => {
+                // Instant marker on the victim's track; the following
+                // Dispatched event opens the execution span as usual.
+                emit!(
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{},\
+                     \"name\":\"steal\",\"cat\":\"steal\",\
+                     \"args\":{{\"by\":{by},\"tile\":{tile},\"slot\":{}}}}}",
+                    e.unit,
+                    e.cycle,
+                    e.slot
+                );
+            }
             SimEventKind::CacheMiss { addr } => {
                 emit!(
                     "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{},\
@@ -444,7 +472,7 @@ pub fn chrome_trace(events: &[SimEvent], unit_names: &[String]) -> String {
 mod tests {
     use super::*;
 
-    fn two_tile_profile(a: [u64; 11], b: [u64; 11]) -> Profile {
+    fn two_tile_profile(a: [u64; 13], b: [u64; 13]) -> Profile {
         let cycles: u64 = a.iter().sum();
         Profile {
             level: ProfileLevel::Summary,
@@ -460,8 +488,10 @@ mod tests {
 
     #[test]
     fn invariant_detects_imbalance() {
-        let mut p =
-            two_tile_profile([10, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0], [5, 5, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let mut p = two_tile_profile(
+            [10, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            [5, 5, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+        );
         assert!(p.check_invariant().is_ok());
         p.units[0].tiles[1].stalls[0] = 4;
         let err = p.check_invariant().unwrap_err();
@@ -471,34 +501,71 @@ mod tests {
     #[test]
     fn bottleneck_classes() {
         // Memory dominated.
-        let p =
-            two_tile_profile([1, 0, 3, 4, 0, 2, 0, 0, 0, 0, 0], [1, 0, 3, 4, 0, 2, 0, 0, 0, 0, 0]);
+        let p = two_tile_profile(
+            [1, 0, 3, 4, 0, 2, 0, 0, 0, 0, 0, 0, 0],
+            [1, 0, 3, 4, 0, 2, 0, 0, 0, 0, 0, 0, 0],
+        );
         let r = p.bottleneck();
         assert_eq!(r.class, BoundClass::Memory);
         assert!(r.memory_frac > r.compute_frac);
         assert_eq!(r.dominant, StallReason::CacheMiss);
         // Spawn/queue dominated.
-        let p =
-            two_tile_profile([2, 0, 0, 0, 0, 0, 0, 5, 3, 0, 0], [2, 0, 0, 0, 0, 0, 0, 5, 3, 0, 0]);
+        let p = two_tile_profile(
+            [2, 0, 0, 0, 0, 0, 0, 5, 3, 0, 0, 0, 0],
+            [2, 0, 0, 0, 0, 0, 0, 5, 3, 0, 0, 0, 0],
+        );
         assert_eq!(p.bottleneck().class, BoundClass::Spawn);
         // Compute dominated.
-        let p =
-            two_tile_profile([8, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0], [8, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let p = two_tile_profile(
+            [8, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            [8, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+        );
         assert_eq!(p.bottleneck().class, BoundClass::Compute);
         // Spill stalls count toward the spawn bucket.
-        let p =
-            two_tile_profile([2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7], [2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7]);
+        let p = two_tile_profile(
+            [2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7, 0, 0],
+            [2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7, 0, 0],
+        );
         let r = p.bottleneck();
         assert_eq!(r.class, BoundClass::Spawn);
         assert_eq!(r.dominant, StallReason::SpillStall);
     }
 
     #[test]
+    fn new_buckets_classify_and_balance() {
+        // Steal stalls are spawn-machinery time: the run is rebalancing
+        // work, not computing.
+        let p = two_tile_profile(
+            [2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7, 0],
+            [2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7, 0],
+        );
+        let r = p.bottleneck();
+        assert_eq!(r.class, BoundClass::Spawn);
+        assert_eq!(r.dominant, StallReason::StealStall);
+        // Bank conflicts are memory time: the L1 is the contended resource.
+        let p = two_tile_profile(
+            [2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7],
+            [2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7],
+        );
+        let r = p.bottleneck();
+        assert_eq!(r.class, BoundClass::Memory);
+        assert_eq!(r.dominant, StallReason::BankConflict);
+        // The accounting invariant stays exact with the widened array.
+        assert!(p.check_invariant().is_ok());
+        assert_eq!(p.stall_total(StallReason::BankConflict), 14);
+        assert_eq!(StallReason::ALL.len(), 13);
+        assert_eq!(StallReason::StealStall.label(), "steal-stall");
+        assert_eq!(StallReason::BankConflict.label(), "bank-conflict");
+    }
+
+    #[test]
     fn backpressure_redistributes_to_the_congested_side() {
         // One tile all backpressure, one tile mostly memory: the
         // backpressure is a memory symptom here.
-        let p =
-            two_tile_profile([1, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0], [2, 0, 4, 4, 0, 0, 0, 0, 0, 0, 0]);
+        let p = two_tile_profile(
+            [1, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0],
+            [2, 0, 4, 4, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+        );
         let r = p.bottleneck();
         assert_eq!(r.class, BoundClass::Memory);
         assert_eq!(r.backpressure_cycles, 9);

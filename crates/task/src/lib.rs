@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod queue;
+pub mod steal;
 
 use std::collections::{HashMap, HashSet};
 use tapas_ir::analysis::Cfg;

@@ -1,0 +1,98 @@
+//! The task queue's **steal port**: victim selection and accounting for
+//! cross-unit work stealing.
+//!
+//! The paper fixes one task queue per static task, which leaves tiles idle
+//! behind one hot unit on recursive workloads. The steal port is the extra
+//! read port a hardened task controller exposes so that an idle tile of
+//! *another* unit can claim a READY entry. This module owns the policy
+//! half — a deterministic round-robin victim cursor plus steal counters —
+//! while the simulator owns the datapath (actually moving the entry).
+//!
+//! Determinism rules, matching the documented pop/steal priority:
+//!
+//! * the **owner wins**: a unit's own tiles claim READY entries first, and
+//!   the steal port only serves entries the owner left unclaimed in the
+//!   same cycle (an entry can never dispatch twice);
+//! * victims are probed in a fixed round-robin order starting after the
+//!   last successful victim, so identical runs produce identical steal
+//!   traces.
+
+/// Round-robin victim selector and steal counters for one thief unit.
+#[derive(Debug, Clone, Default)]
+pub struct StealPort {
+    /// Unit index after which the next victim probe starts.
+    cursor: usize,
+    /// Entries successfully stolen through this port.
+    pub steals: u64,
+    /// Probe rounds that found no eligible entry in any victim.
+    pub failures: u64,
+}
+
+impl StealPort {
+    /// Create a steal port for a design with any number of units.
+    pub fn new() -> Self {
+        StealPort::default()
+    }
+
+    /// The victim probe order for a thief at unit `me` among `units`
+    /// units: every *other* unit exactly once, round-robin starting after
+    /// the most recent successful victim.
+    pub fn probe_order(&self, me: usize, units: usize) -> Vec<usize> {
+        // `units` consecutive offsets cover every unit exactly once; the
+        // thief itself is then dropped, leaving all `units - 1` victims.
+        (1..=units).map(|k| (self.cursor + k) % units).filter(|&v| v != me).collect()
+    }
+
+    /// Record a successful steal from `victim`; the next probe round
+    /// starts after it.
+    pub fn record_steal(&mut self, victim: usize) {
+        self.cursor = victim;
+        self.steals += 1;
+    }
+
+    /// Record a probe round that found nothing to steal.
+    pub fn record_failure(&mut self) {
+        self.failures += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_order_visits_every_other_unit_once() {
+        let p = StealPort::new();
+        assert_eq!(p.probe_order(0, 4), vec![1, 2, 3]);
+        assert_eq!(p.probe_order(2, 4), vec![1, 3, 0]);
+        assert_eq!(p.probe_order(0, 1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn cursor_rotates_after_a_steal() {
+        let mut p = StealPort::new();
+        p.record_steal(2);
+        assert_eq!(p.probe_order(0, 4), vec![3, 1, 2], "starts after the last victim");
+        assert_eq!(p.steals, 1);
+    }
+
+    #[test]
+    fn failures_accumulate_without_moving_the_cursor() {
+        let mut p = StealPort::new();
+        let before = p.probe_order(1, 3);
+        p.record_failure();
+        assert_eq!(p.probe_order(1, 3), before);
+        assert_eq!(p.failures, 1);
+    }
+
+    #[test]
+    fn identical_histories_give_identical_orders() {
+        let mut a = StealPort::new();
+        let mut b = StealPort::new();
+        for v in [1usize, 3, 2] {
+            a.record_steal(v);
+            b.record_steal(v);
+        }
+        assert_eq!(a.probe_order(0, 5), b.probe_order(0, 5));
+    }
+}

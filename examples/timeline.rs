@@ -43,6 +43,7 @@ fn main() {
                 SimEventKind::CallWait => b'c',
                 SimEventKind::Completed => b'#',
                 SimEventKind::CacheMiss { .. } => b'm',
+                SimEventKind::Stolen { .. } => b'!',
             };
             // dispatch/complete dominate visual weight
             if row[col] != b'#' {
@@ -53,7 +54,7 @@ fn main() {
     }
     println!(
         "\nlegend: '.' spawn queued   '#' executing   's' sync-parked   'c' call-parked   \
-         'm' cache miss"
+         'm' cache miss   '!' stolen"
     );
     println!("(1 column ≈ {scale} cycles)");
 

@@ -1,33 +1,61 @@
 #!/usr/bin/env bash
 # Full local gate: what CI runs, in the order that fails fastest.
+# Each gate reports its wall time so slowdowns are caught as regressions,
+# not discovered as CI timeouts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+# The differential sweep seed: must match SWEEP_SEED in
+# tests/differential.rs so a failure here replays locally unchanged.
+DIFF_SEED=0x7A9A5CAF
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+gate() {
+  local name="$1"; shift
+  echo "==> ${name}"
+  local t0=${SECONDS}
+  "$@"
+  echo "    (${name}: $((SECONDS - t0))s)"
+}
 
-echo "==> cargo build --release"
-cargo build --release --workspace
+profile_smoke() {
+  ./target/release/reproduce profile --json /tmp/profile.json >/dev/null
+  ./target/release/reproduce check-json /tmp/profile.json
+}
 
-echo "==> cargo test"
-cargo test --workspace -q
+faults_smoke() {
+  ./target/release/reproduce faults --json /tmp/faults.json >/dev/null
+  ./target/release/reproduce check-json /tmp/faults.json
+}
 
-echo "==> reproduce profile smoke (JSON schema gate)"
-./target/release/reproduce profile --json /tmp/profile.json >/dev/null
-./target/release/reproduce check-json /tmp/profile.json
+stress_smoke() {
+  timeout 60 ./target/release/reproduce stress --json /tmp/stress.json >/dev/null
+  ./target/release/reproduce check-json /tmp/stress.json
+}
 
-echo "==> reproduce faults smoke (robustness gate)"
-./target/release/reproduce faults --json /tmp/faults.json >/dev/null
-./target/release/reproduce check-json /tmp/faults.json
+tune_smoke() {
+  # The opt-in feature matrix: every cell revalidates against the golden
+  # model, the seed column must come out 1.00x, and the dump must
+  # round-trip the schema check.
+  timeout 120 ./target/release/reproduce tune --json /tmp/tune.json >/dev/null
+  ./target/release/reproduce check-json /tmp/tune.json
+}
 
-echo "==> reproduce stress (bounded-resource gate, must finish well under a minute)"
-timeout 60 ./target/release/reproduce stress --json /tmp/stress.json >/dev/null
-./target/release/reproduce check-json /tmp/stress.json
+differential_sweep() {
+  # Seeded random configs (steal x banks x tiles x ntasks x admission)
+  # against the interpreter golden model; seed ${DIFF_SEED} is fixed in
+  # tests/differential.rs.
+  timeout 300 cargo test -q -p tapas-integration --test differential
+}
 
-echo "==> parser fuzz corpus (crash-hardening gate)"
-timeout 300 cargo test -q -p tapas-ir --test parse_fuzz
+gate "cargo fmt --check" cargo fmt --all -- --check
+gate "cargo clippy (deny warnings)" cargo clippy --workspace --all-targets -- -D warnings
+gate "cargo build --release" cargo build --release --workspace
+gate "cargo test" cargo test --workspace -q
+gate "reproduce profile smoke (JSON schema gate)" profile_smoke
+gate "reproduce faults smoke (robustness gate)" faults_smoke
+gate "reproduce stress (bounded-resource gate)" stress_smoke
+gate "reproduce tune smoke (opt-in feature gate)" tune_smoke
+gate "differential sweep (seed ${DIFF_SEED})" differential_sweep
+gate "parser fuzz corpus (crash-hardening gate)" timeout 300 cargo test -q -p tapas-ir --test parse_fuzz
 
 echo "All checks passed."

@@ -1,0 +1,173 @@
+//! Property tests (seeded, no external frameworks) for the two opt-in
+//! performance features:
+//!
+//! * **Steal determinism** — the same configuration replays to the same
+//!   cycle count and the same steal trace, event for event.
+//! * **MSHR merge soundness** — responses served through same-line miss
+//!   merging are byte-identical to the same accesses served one at a
+//!   time with no merging in play.
+//! * **Profiler books** — `Profile::check_invariant` stays exact with the
+//!   two new stall buckets (`steal-stall`, `bank-conflict`) in the sum.
+//! * **Suite-wide opt-in** — with both features disabled every small-suite
+//!   run is cycle-identical to the seed configuration.
+
+use tapas::sim::SimEventKind;
+use tapas::{AcceleratorConfig, ProfileLevel, StallReason, StealConfig, Toolchain};
+use tapas_mem::{
+    CacheConfig, DataBox, DataBoxConfig, DramConfig, MemOpKind, MemReq, MemSystem, ReqId,
+};
+use tapas_workloads::{fib, suite_small, BuiltWorkload};
+
+fn run_with(
+    wl: &BuiltWorkload,
+    cfg: &AcceleratorConfig,
+) -> (tapas::SimOutcome, tapas::Accelerator) {
+    let design = Toolchain::new().compile(&wl.module).expect("compiles");
+    let mut acc = design.instantiate(cfg).expect("elaborates");
+    acc.mem_mut().write_bytes(0, &wl.mem);
+    let out = acc.run(wl.func, &wl.args).expect("runs");
+    (out, acc)
+}
+
+fn steal_cfg(wl: &BuiltWorkload, latency: u64) -> AcceleratorConfig {
+    AcceleratorConfig::builder()
+        .tiles(2)
+        .ntasks(256)
+        .mem_bytes(wl.mem.len().next_power_of_two().max(1 << 20))
+        .steal(StealConfig { latency })
+        .record_events(true)
+        .build()
+        .expect("valid config")
+}
+
+#[test]
+fn steal_trace_replays_identically() {
+    let wl = fib::build(10);
+    let trace_of = || {
+        let (out, mut acc) = run_with(&wl, &steal_cfg(&wl, 2));
+        let steals: Vec<(u64, usize, usize, usize, usize)> = acc
+            .take_events()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                SimEventKind::Stolen { by, tile } => Some((e.cycle, e.unit, e.slot, by, tile)),
+                _ => None,
+            })
+            .collect();
+        (out.cycles, out.stats.steals, steals)
+    };
+    let (c1, s1, t1) = trace_of();
+    let (c2, s2, t2) = trace_of();
+    assert!(s1 > 0, "the property is vacuous unless stealing actually fired");
+    assert_eq!(s1 as usize, t1.len(), "one Stolen event per counted steal");
+    assert_eq!(c1, c2, "cycle count replays");
+    assert_eq!(s1, s2, "steal count replays");
+    assert_eq!(t1, t2, "steal trace replays event-for-event");
+}
+
+/// Drive a data box + memory system until `n` responses arrive; returns
+/// `(request id, read data)` sorted by id.
+fn drain(db: &mut DataBox, ms: &mut MemSystem, n: usize, from: u64) -> Vec<(u64, u64)> {
+    let mut got = Vec::new();
+    for now in from..from + 5000 {
+        db.tick(now, ms).expect("well-formed requests");
+        for r in db.pop_responses(now) {
+            got.push((r.id.0, r.rdata));
+        }
+        if got.len() >= n {
+            break;
+        }
+    }
+    assert_eq!(got.len(), n, "all responses arrived");
+    got.sort_unstable();
+    got
+}
+
+#[test]
+fn mshr_merged_responses_match_unmerged() {
+    let pattern: Vec<u8> = (0u8..64).map(|b| b.wrapping_mul(37).wrapping_add(11)).collect();
+    let reqs: Vec<MemReq> = (0..8u64)
+        .map(|k| MemReq {
+            id: ReqId(k),
+            port: k as usize % 4,
+            // Two cache lines, four words each: plenty of same-line misses
+            // in flight at once.
+            addr: (k % 2) * 32 + (k / 2) * 4,
+            size: 4,
+            kind: MemOpKind::Read,
+            wdata: 0,
+        })
+        .collect();
+
+    // Merged: everything in flight at once, same-line misses coalesce.
+    let mut db = DataBox::new(DataBoxConfig { ports: 4, issue_width: 4, queue_depth: 8 });
+    let mut ms = MemSystem::new(4096, CacheConfig::default(), DramConfig::default());
+    ms.write_bytes(0, &pattern);
+    for r in &reqs {
+        assert!(db.enqueue(*r, 0), "queues sized for the burst");
+    }
+    let merged = drain(&mut db, &mut ms, reqs.len(), 0);
+    assert!(ms.l1_stats().mshr_merges > 0, "the property is vacuous without a merge");
+
+    // Unmerged: a fresh system serves the same accesses strictly one at a
+    // time, so no two same-line misses ever coexist.
+    let mut db = DataBox::new(DataBoxConfig { ports: 4, issue_width: 1, queue_depth: 8 });
+    let mut ms = MemSystem::new(4096, CacheConfig::default(), DramConfig::default());
+    ms.write_bytes(0, &pattern);
+    let mut unmerged = Vec::new();
+    let mut t = 0u64;
+    for r in &reqs {
+        assert!(db.enqueue(*r, t));
+        unmerged.extend(drain(&mut db, &mut ms, 1, t));
+        t += 1000;
+    }
+    assert_eq!(ms.l1_stats().mshr_merges, 0, "serialized accesses cannot merge");
+    unmerged.sort_unstable();
+    assert_eq!(merged, unmerged, "merged responses are byte-identical to unmerged");
+}
+
+#[test]
+fn profiler_invariant_holds_with_both_features_on() {
+    let wl = fib::build(10);
+    let cfg = AcceleratorConfig {
+        profile: ProfileLevel::Full,
+        ..AcceleratorConfig::builder()
+            .tiles(2)
+            .ntasks(256)
+            .mem_bytes(wl.mem.len().next_power_of_two().max(1 << 20))
+            .steal(StealConfig { latency: 5 })
+            .l1_banks(4)
+            .build()
+            .expect("valid config")
+    };
+    let (out, _) = run_with(&wl, &cfg);
+    let p = out.profile.expect("profiling was on");
+    p.check_invariant().expect("books balance with steal-stall and bank-conflict buckets");
+    assert!(
+        p.stall_total(StallReason::StealStall) > 0,
+        "steal latency must be attributed, not lost"
+    );
+}
+
+#[test]
+fn disabled_features_are_cycle_identical_across_the_suite() {
+    for wl in suite_small() {
+        let recursive = matches!(wl.name.as_str(), "fib" | "mergesort");
+        let ntasks = if recursive { 512 } else { 32 };
+        let mem_bytes = wl.mem.len().next_power_of_two().max(1 << 20);
+        let seed = AcceleratorConfig { ntasks, mem_bytes, ..AcceleratorConfig::default() }
+            .with_default_tiles(2);
+        let disabled = AcceleratorConfig::builder()
+            .tiles(2)
+            .ntasks(ntasks)
+            .mem_bytes(mem_bytes)
+            .l1_banks(1)
+            .build()
+            .expect("valid config");
+        let (a, _) = run_with(&wl, &seed);
+        let (b, _) = run_with(&wl, &disabled);
+        assert_eq!(a.cycles, b.cycles, "{}: disabled features changed timing", wl.name);
+        assert_eq!(a.stats.steals, 0, "{}", wl.name);
+        assert_eq!(b.stats.steals, 0, "{}", wl.name);
+        assert_eq!(b.stats.bank_conflicts, 0, "{}", wl.name);
+    }
+}
