@@ -1,0 +1,161 @@
+//! Interval arithmetic over dynamic counts.
+//!
+//! Every quantity the analyzer derives — instructions executed, critical-path
+//! length, spawns, live-task nesting — is reported as a closed interval
+//! `[lo, hi]` with an explicit top (`hi == None`) for "no finite static
+//! bound". All arithmetic saturates, so a deep recursion can never wrap a
+//! bound back into an unsound small number.
+
+use std::fmt;
+
+/// A sound interval `[lo, hi]` over a dynamic `u64` count.
+///
+/// `lo` is a proven lower bound (0 when nothing better is known); `hi` is a
+/// proven upper bound, with `None` meaning the analysis could not bound the
+/// quantity above. The defining soundness contract, asserted against the
+/// interpreter by the cross-validation tests, is `lo <= measured <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bound {
+    /// Proven lower bound.
+    pub lo: u64,
+    /// Proven upper bound; `None` = unbounded above.
+    pub hi: Option<u64>,
+}
+
+impl Bound {
+    /// The exact interval `[0, 0]`.
+    pub const ZERO: Bound = Bound { lo: 0, hi: Some(0) };
+    /// The top interval `[0, ∞)`.
+    pub const TOP: Bound = Bound { lo: 0, hi: None };
+
+    /// The degenerate interval `[n, n]`.
+    pub fn exact(n: u64) -> Bound {
+        Bound { lo: n, hi: Some(n) }
+    }
+
+    /// An interval from explicit endpoints.
+    pub fn new(lo: u64, hi: Option<u64>) -> Bound {
+        debug_assert!(hi.is_none_or(|h| lo <= h), "inverted bound [{lo}, {hi:?}]");
+        Bound { lo, hi }
+    }
+
+    /// Whether a finite upper bound exists.
+    pub fn is_bounded(&self) -> bool {
+        self.hi.is_some()
+    }
+
+    /// Whether `x` lies inside the interval — the bracketing predicate the
+    /// dynamic oracle checks.
+    pub fn contains(&self, x: u64) -> bool {
+        self.lo <= x && self.hi.is_none_or(|h| x <= h)
+    }
+
+    /// A representative finite value: the upper bound when it exists, else
+    /// the lower bound. Used for density ratios, never for soundness claims.
+    pub fn rep(&self) -> u64 {
+        self.hi.unwrap_or(self.lo)
+    }
+
+    /// Sequential composition: both parts execute.
+    #[allow(clippy::should_implement_trait)] // interval algebra, not `ops::Add` semantics
+    pub fn add(self, o: Bound) -> Bound {
+        Bound {
+            lo: self.lo.saturating_add(o.lo),
+            hi: match (self.hi, o.hi) {
+                (Some(a), Some(b)) => Some(a.saturating_add(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Repetition: one part executes between `o.lo` and `o.hi` times.
+    #[allow(clippy::should_implement_trait)] // interval algebra, not `ops::Mul` semantics
+    pub fn mul(self, o: Bound) -> Bound {
+        Bound {
+            lo: self.lo.saturating_mul(o.lo),
+            hi: match (self.hi, o.hi) {
+                (Some(a), Some(b)) => Some(a.saturating_mul(b)),
+                _ => {
+                    // 0 * top is still exactly 0.
+                    if self.hi == Some(0) || o.hi == Some(0) {
+                        Some(0)
+                    } else {
+                        None
+                    }
+                }
+            },
+        }
+    }
+
+    /// Control-flow join: either alternative may execute.
+    pub fn join(self, o: Bound) -> Bound {
+        Bound {
+            lo: self.lo.min(o.lo),
+            hi: match (self.hi, o.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Pointwise maximum — both endpoints raised to the larger value
+    /// (used for "worst chain over alternatives" in the occupancy lattice).
+    pub fn max(self, o: Bound) -> Bound {
+        Bound {
+            lo: self.lo.max(o.lo),
+            hi: match (self.hi, o.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.hi {
+            Some(h) if h == self.lo => write!(f, "{}", self.lo),
+            Some(h) => write!(f, "[{}, {}]", self.lo, h),
+            None => write!(f, "[{}, inf)", self.lo),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_algebra() {
+        let a = Bound::exact(3);
+        let b = Bound::new(1, Some(5));
+        assert_eq!(a.add(b), Bound::new(4, Some(8)));
+        assert_eq!(a.mul(b), Bound::new(3, Some(15)));
+        assert_eq!(a.join(b), Bound::new(1, Some(5)));
+        assert_eq!(a.max(b), Bound::new(3, Some(5)));
+        assert!(b.contains(1) && b.contains(5) && !b.contains(6));
+    }
+
+    #[test]
+    fn top_poisons_hi_but_not_lo() {
+        let t = Bound::TOP;
+        let a = Bound::exact(7);
+        assert_eq!(a.add(t), Bound::new(7, None));
+        assert!(a.add(t).contains(u64::MAX));
+        assert_eq!(Bound::ZERO.mul(t), Bound::ZERO, "0 iterations of anything is 0");
+    }
+
+    #[test]
+    fn saturation_never_wraps() {
+        let big = Bound::exact(u64::MAX - 1);
+        assert_eq!(big.add(big).hi, Some(u64::MAX));
+        assert_eq!(big.mul(big).lo, u64::MAX);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Bound::exact(4).to_string(), "4");
+        assert_eq!(Bound::new(1, Some(2)).to_string(), "[1, 2]");
+        assert_eq!(Bound::new(3, None).to_string(), "[3, inf)");
+    }
+}

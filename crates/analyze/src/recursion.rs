@@ -1,0 +1,285 @@
+//! Recursion-depth bounds for self-recursive functions.
+//!
+//! The detector recognizes the guarded-descent shape every corpus
+//! divide-and-conquer program has: a comparison of a **metric** (an [`Sx`]
+//! expression over the parameters, e.g. `n` or `end - start`) against a
+//! constant decides base case vs recursion, and every self-call shrinks the
+//! metric — either by a constant (`n - 1`, `n - 2`) or by a midpoint split
+//! (`len/2` and `len - len/2`). Given the concrete entry arguments the
+//! worst- and best-case chains are then *simulated*: repeatedly apply the
+//! slowest (resp. fastest) admissible shrink until the metric drops below
+//! the recursion threshold. Anything outside the shape widens to "no upper
+//! bound", which downstream turns into "not provably safe without admission
+//! control" — the analysis fails closed.
+
+use crate::symx::{sx_of, Sx};
+use tapas_ir::analysis::{Cfg, Dominators};
+use tapas_ir::{BlockId, CmpPred, FuncId, Function, Op, Terminator};
+
+/// Bounds on the depth of nested activations of one self-recursive function
+/// (the root activation counts, so a non-recursing call has depth 1).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DepthBound {
+    /// Guaranteed depth — only above 1 when recursion is mandatory on the
+    /// recursive side of the guard.
+    pub lo: u64,
+    /// Maximum depth; `None` when the shape was not recognized.
+    pub hi: Option<u64>,
+    /// Maximum total activations in the recursion tree, assuming every
+    /// recursing activation reaches every self-call site; `None` when the
+    /// shape was not recognized. This — not the depth — bounds how many
+    /// activations can be simultaneously live: sibling subtrees occupy
+    /// task-queue entries breadth-first, so occupancy proofs must cover
+    /// the whole tree.
+    pub nodes: Option<u64>,
+    /// Whether every pass through the recursive side must self-call.
+    pub mandatory: bool,
+}
+
+impl DepthBound {
+    pub(crate) fn unknown() -> Self {
+        DepthBound { lo: 1, hi: None, nodes: None, mandatory: false }
+    }
+}
+
+/// One self-call's effect on the guard metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shrink {
+    /// `m' = m - s`, `s >= 1`.
+    Sub(i64),
+    /// `m' = floor(m/2)` — the lower midpoint half.
+    HalfLo,
+    /// `m' = m - floor(m/2)` — the upper midpoint half.
+    HalfHi,
+}
+
+impl Shrink {
+    /// The exact child metric this site recurses on.
+    fn child(&self, m: i64) -> i64 {
+        match self {
+            Shrink::Sub(k) => m - k,
+            Shrink::HalfLo => m.div_euclid(2),
+            Shrink::HalfHi => m - m.div_euclid(2),
+        }
+    }
+}
+
+/// Analyze `f` (= `fid`) given the concrete arguments of its outermost
+/// invocation, when known.
+pub(crate) fn depth_bound(f: &Function, fid: FuncId, args: Option<&[i64]>) -> DepthBound {
+    match depth_bound_inner(f, fid, args) {
+        Some(d) => d,
+        None => DepthBound::unknown(),
+    }
+}
+
+fn depth_bound_inner(f: &Function, fid: FuncId, args: Option<&[i64]>) -> Option<DepthBound> {
+    let call_blocks: Vec<BlockId> = f
+        .block_ids()
+        .filter(|b| {
+            f.block(*b)
+                .insts
+                .iter()
+                .any(|i| matches!(&i.op, Op::Call { callee, .. } if *callee == fid))
+        })
+        .collect();
+    if call_blocks.is_empty() {
+        return Some(DepthBound { lo: 1, hi: Some(1), nodes: Some(1), mandatory: false });
+    }
+
+    let cfg = Cfg::compute(f);
+    let dom = Dominators::compute(f, &cfg);
+
+    // Find the dominating guard: the first conditional reached from entry
+    // along unconditional branches.
+    let mut gb = f.entry();
+    let (cond, if_true, if_false) = loop {
+        match &f.block(gb).term {
+            Terminator::CondBr { cond, if_true, if_false } => break (*cond, *if_true, *if_false),
+            Terminator::Br { target } if *target != gb => gb = *target,
+            _ => return None,
+        }
+    };
+    if !call_blocks.iter().all(|cb| dom.dominates(gb, *cb)) {
+        return None;
+    }
+
+    // Which side is the base case: the one from which no self-call block is
+    // reachable.
+    let reaches_call = |start: BlockId| -> bool {
+        let mut seen = vec![false; f.num_blocks()];
+        let mut stack = vec![start];
+        seen[start.0 as usize] = true;
+        while let Some(u) = stack.pop() {
+            if call_blocks.contains(&u) {
+                return true;
+            }
+            for s in cfg.succs(u) {
+                if !seen[s.0 as usize] {
+                    seen[s.0 as usize] = true;
+                    stack.push(*s);
+                }
+            }
+        }
+        false
+    };
+    let (base_on_true, rec_entry) = match (reaches_call(if_true), reaches_call(if_false)) {
+        (false, true) => (true, if_false),
+        (true, false) => (false, if_true),
+        _ => return None,
+    };
+
+    // Metric and threshold: recursion runs while `m >= t`.
+    let (pred, lhs, rhs) = match &f.value(cond).def {
+        tapas_ir::ValueDef::Inst(b, i) => match &f.block(*b).insts[*i].op {
+            Op::Cmp { pred, lhs, rhs } => (*pred, *lhs, *rhs),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let (m, c, pred) = match (sx_of(f, lhs), sx_of(f, rhs)) {
+        (mx, Sx::Const(c)) if mx != Sx::Opaque => (mx, c, pred),
+        (Sx::Const(c), mx) if mx != Sx::Opaque => (mx, c, swap(pred)),
+        _ => return None,
+    };
+    let t: i64 = match (pred, base_on_true) {
+        // base when m <= c → recurse while m >= c + 1
+        (CmpPred::Sle, true) => c.checked_add(1)?,
+        // base when m < c → recurse while m >= c
+        (CmpPred::Slt, true) => c,
+        // recurse when m > c → while m >= c + 1
+        (CmpPred::Sgt, false) => c.checked_add(1)?,
+        // recurse when m >= c
+        (CmpPred::Sge, false) => c,
+        _ => return None,
+    };
+
+    // Per-site descent classification.
+    let mut shrinks = Vec::new();
+    for b in f.block_ids() {
+        for inst in &f.block(b).insts {
+            let Op::Call { callee, args: cargs } = &inst.op else { continue };
+            if *callee != fid {
+                continue;
+            }
+            let subst: Vec<Sx> = cargs.iter().map(|a| sx_of(f, *a)).collect();
+            let m2 = m.substitute(&subst).simplify();
+            let half = Sx::Div(Box::new(m.clone()), 2);
+            let shrink = if m2 == half {
+                Shrink::HalfLo
+            } else if m2 == Sx::Sub(Box::new(m.clone()), Box::new(half.clone())) {
+                Shrink::HalfHi
+            } else if let Sx::Sub(a, s) = &m2 {
+                match (**a == m, &**s) {
+                    (true, Sx::Const(s)) if *s >= 1 => Shrink::Sub(*s),
+                    _ => return None,
+                }
+            } else {
+                return None;
+            };
+            shrinks.push(shrink);
+        }
+    }
+
+    let mandatory = recursion_mandatory(f, rec_entry, &call_blocks);
+    let Some(args) = args else {
+        return Some(DepthBound { lo: 1, hi: None, nodes: None, mandatory });
+    };
+    let Some(m0) = m.eval(args) else {
+        return Some(DepthBound { lo: 1, hi: None, nodes: None, mandatory });
+    };
+
+    let slow = |m: i64| -> i64 { shrinks.iter().map(|s| s.child(m)).max().unwrap() };
+    let fast = |m: i64| -> i64 { shrinks.iter().map(|s| s.child(m)).min().unwrap() };
+    let hi = simulate(m0, t, slow);
+    let lo = if mandatory { simulate(m0, t, fast).unwrap_or(1) } else { 1 };
+    let nodes = count_nodes(m0, t, &shrinks);
+    Some(DepthBound { lo, hi, nodes, mandatory })
+}
+
+/// Total activations in the worst-case recursion tree: every recursing
+/// activation invokes every self-call site once, each on its exact child
+/// metric. Evaluated by an ascending dynamic program over metric values
+/// (every child metric is strictly smaller, so `n[child]` is final when
+/// `v` is computed); per-site exactness is what makes `fib`'s bound the
+/// Fibonacci-shaped tree rather than the full binary tree.
+fn count_nodes(m0: i64, t: i64, shrinks: &[Shrink]) -> Option<u64> {
+    const CAP: i64 = 1 << 20;
+    if m0 < t {
+        return Some(1);
+    }
+    if !(0..=CAP).contains(&m0) {
+        return None; // a tree this size exceeds any real queue anyway
+    }
+    let mut n = vec![1u64; m0 as usize + 1];
+    for v in 0..=m0 {
+        if v < t {
+            continue; // base case: the activation itself
+        }
+        let mut acc: u64 = 1;
+        for s in shrinks {
+            let c = s.child(v);
+            if c >= v {
+                return None; // no progress: unbounded tree, fail closed
+            }
+            acc = acc.saturating_add(if c < 0 { 1 } else { n[c as usize] });
+        }
+        n[v as usize] = acc;
+    }
+    Some(n[m0 as usize])
+}
+
+/// Walk the chain `m0 → step(m0) → …` until the metric drops below the
+/// recursion threshold; the number of activations visited bounds the depth.
+fn simulate(m0: i64, t: i64, step: impl Fn(i64) -> i64) -> Option<u64> {
+    const CAP: u64 = 4_000_000;
+    let mut m = m0;
+    let mut d: u64 = 1;
+    while m >= t {
+        let next = step(m);
+        if next >= m || d >= CAP {
+            return None; // no progress (or absurd depth): fail closed
+        }
+        m = next;
+        d += 1;
+    }
+    Some(d)
+}
+
+/// True when every serial-elision path through the recursive side executes a
+/// self-call: reachability to `ret` with the self-call blocks deleted.
+fn recursion_mandatory(f: &Function, rec_entry: BlockId, call_blocks: &[BlockId]) -> bool {
+    let cfg = crate::paths::mode_cfg(f, crate::paths::Mode::Serial);
+    let mut seen = vec![false; f.num_blocks()];
+    if call_blocks.contains(&rec_entry) {
+        return true;
+    }
+    let mut stack = vec![rec_entry];
+    seen[rec_entry.0 as usize] = true;
+    while let Some(u) = stack.pop() {
+        if matches!(f.block(u).term, Terminator::Ret { .. }) {
+            return false; // a self-call-free serial path escapes
+        }
+        for s in &cfg.succs[u.0 as usize] {
+            if !seen[s.0 as usize] && !call_blocks.contains(s) {
+                seen[s.0 as usize] = true;
+                stack.push(*s);
+            }
+        }
+    }
+    true
+}
+
+fn swap(p: CmpPred) -> CmpPred {
+    match p {
+        CmpPred::Slt => CmpPred::Sgt,
+        CmpPred::Sle => CmpPred::Sge,
+        CmpPred::Sgt => CmpPred::Slt,
+        CmpPred::Sge => CmpPred::Sle,
+        CmpPred::Ult => CmpPred::Ugt,
+        CmpPred::Ule => CmpPred::Uge,
+        CmpPred::Ugt => CmpPred::Ult,
+        CmpPred::Uge => CmpPred::Ule,
+        p => p,
+    }
+}

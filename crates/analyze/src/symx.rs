@@ -1,0 +1,220 @@
+//! Symbolic value expressions over function parameters.
+//!
+//! The trip-count and recursion-descent detectors both need to answer "what
+//! is this SSA value, as a function of the entry arguments?". [`Sx`] is a
+//! tiny expression language — parameters, integer constants, and the handful
+//! of arithmetic shapes the workload generators emit — with constant folding
+//! and the two rewrites (`(a+b)-a → b`, `a-(b+c) → (a-b)-c`) needed to
+//! recognize divide-and-conquer descent through midpoint splits.
+
+use tapas_ir::{BinOp, CastKind, Constant, Function, Op, Type, ValueDef, ValueId};
+
+/// A symbolic expression in terms of the enclosing function's parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sx {
+    /// The `i`-th parameter.
+    Param(usize),
+    /// A signed integer constant.
+    Const(i64),
+    /// Addition.
+    Add(Box<Sx>, Box<Sx>),
+    /// Subtraction.
+    Sub(Box<Sx>, Box<Sx>),
+    /// Multiplication.
+    Mul(Box<Sx>, Box<Sx>),
+    /// Signed division by a positive constant (SDiv semantics).
+    Div(Box<Sx>, i64),
+    /// Anything the language does not model (loads, phis, selects, ...).
+    Opaque,
+}
+
+impl Sx {
+    /// Evaluate with concrete entry arguments; `None` on opacity, division
+    /// by zero, or an out-of-range parameter.
+    pub fn eval(&self, args: &[i64]) -> Option<i64> {
+        match self {
+            Sx::Param(i) => args.get(*i).copied(),
+            Sx::Const(c) => Some(*c),
+            Sx::Add(a, b) => Some(a.eval(args)?.wrapping_add(b.eval(args)?)),
+            Sx::Sub(a, b) => Some(a.eval(args)?.wrapping_sub(b.eval(args)?)),
+            Sx::Mul(a, b) => Some(a.eval(args)?.wrapping_mul(b.eval(args)?)),
+            Sx::Div(a, d) => {
+                if *d == 0 {
+                    None
+                } else {
+                    Some(a.eval(args)?.wrapping_div(*d))
+                }
+            }
+            Sx::Opaque => None,
+        }
+    }
+
+    /// Fold constants and canonicalize midpoint-split shapes.
+    pub fn simplify(self) -> Sx {
+        match self {
+            Sx::Add(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (&a, &b) {
+                    (Sx::Const(x), Sx::Const(y)) => Sx::Const(x.wrapping_add(*y)),
+                    (Sx::Const(0), _) => b,
+                    (_, Sx::Const(0)) => a,
+                    _ => Sx::Add(Box::new(a), Box::new(b)),
+                }
+            }
+            Sx::Sub(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (&a, &b) {
+                    (Sx::Const(x), Sx::Const(y)) => Sx::Const(x.wrapping_sub(*y)),
+                    (_, Sx::Const(0)) => a,
+                    _ if a == b => Sx::Const(0),
+                    // (x + y) - x → y,  (x + y) - y → x
+                    (Sx::Add(x, y), _) if **x == b => (**y).clone(),
+                    (Sx::Add(x, y), _) if **y == b => (**x).clone(),
+                    // a - (x + y) → (a - x) - y, which re-triggers the
+                    // rules above (how `end - mid` becomes `len - len/2`).
+                    (_, Sx::Add(x, y)) => {
+                        Sx::Sub(Box::new(Sx::Sub(Box::new(a), x.clone()).simplify()), y.clone())
+                            .simplify()
+                    }
+                    _ => Sx::Sub(Box::new(a), Box::new(b)),
+                }
+            }
+            Sx::Mul(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (&a, &b) {
+                    (Sx::Const(x), Sx::Const(y)) => Sx::Const(x.wrapping_mul(*y)),
+                    (Sx::Const(1), _) => b,
+                    (_, Sx::Const(1)) => a,
+                    (Sx::Const(0), _) | (_, Sx::Const(0)) => Sx::Const(0),
+                    _ => Sx::Mul(Box::new(a), Box::new(b)),
+                }
+            }
+            Sx::Div(a, d) => {
+                let a = a.simplify();
+                match (&a, d) {
+                    (_, 0) => Sx::Opaque,
+                    (Sx::Const(x), _) => Sx::Const(x.wrapping_div(d)),
+                    (_, 1) => a,
+                    _ => Sx::Div(Box::new(a), d),
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Substitute parameter `i` with `subst[i]` (expressions in the caller's
+    /// parameter space) — how a callee-side metric is pulled back through a
+    /// call site.
+    pub fn substitute(&self, subst: &[Sx]) -> Sx {
+        match self {
+            Sx::Param(i) => subst.get(*i).cloned().unwrap_or(Sx::Opaque),
+            Sx::Const(c) => Sx::Const(*c),
+            Sx::Add(a, b) => Sx::Add(Box::new(a.substitute(subst)), Box::new(b.substitute(subst))),
+            Sx::Sub(a, b) => Sx::Sub(Box::new(a.substitute(subst)), Box::new(b.substitute(subst))),
+            Sx::Mul(a, b) => Sx::Mul(Box::new(a.substitute(subst)), Box::new(b.substitute(subst))),
+            Sx::Div(a, d) => Sx::Div(Box::new(a.substitute(subst)), *d),
+            Sx::Opaque => Sx::Opaque,
+        }
+    }
+}
+
+/// Sign-extend a [`Constant`] to `i64`, if it is an integer.
+pub fn const_to_i64(c: &Constant) -> Option<i64> {
+    match c {
+        Constant::Int { ty: Type::Int(w), bits } => {
+            let w = u32::from(*w);
+            if w >= 64 {
+                Some(*bits as i64)
+            } else {
+                let shift = 64 - w;
+                Some(((*bits << shift) as i64) >> shift)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Resolve `v` to a symbolic expression over `f`'s parameters.
+///
+/// Phis, loads, selects and calls are [`Sx::Opaque`] — only straight-line
+/// arithmetic from parameters and constants resolves, which is exactly what
+/// guard metrics and loop bounds in the corpus are made of.
+pub fn sx_of(f: &Function, v: ValueId) -> Sx {
+    sx_rec(f, v, 0).simplify()
+}
+
+fn sx_rec(f: &Function, v: ValueId, depth: usize) -> Sx {
+    if depth > 24 {
+        return Sx::Opaque;
+    }
+    match &f.value(v).def {
+        ValueDef::Param(i) => Sx::Param(*i),
+        ValueDef::Const(c) => const_to_i64(c).map_or(Sx::Opaque, Sx::Const),
+        ValueDef::Inst(b, i) => match &f.block(*b).insts[*i].op {
+            Op::Bin { op: BinOp::Add, lhs, rhs } => {
+                Sx::Add(Box::new(sx_rec(f, *lhs, depth + 1)), Box::new(sx_rec(f, *rhs, depth + 1)))
+            }
+            Op::Bin { op: BinOp::Sub, lhs, rhs } => {
+                Sx::Sub(Box::new(sx_rec(f, *lhs, depth + 1)), Box::new(sx_rec(f, *rhs, depth + 1)))
+            }
+            Op::Bin { op: BinOp::Mul, lhs, rhs } => {
+                Sx::Mul(Box::new(sx_rec(f, *lhs, depth + 1)), Box::new(sx_rec(f, *rhs, depth + 1)))
+            }
+            Op::Bin { op: BinOp::SDiv, lhs, rhs } => match sx_rec(f, *rhs, depth + 1).simplify() {
+                Sx::Const(d) if d > 0 => Sx::Div(Box::new(sx_rec(f, *lhs, depth + 1)), d),
+                _ => Sx::Opaque,
+            },
+            // Width changes are transparent for the non-negative sizes and
+            // offsets these expressions describe.
+            Op::Cast { kind: CastKind::ZExt | CastKind::SExt, value, .. } => {
+                sx_rec(f, *value, depth + 1)
+            }
+            _ => Sx::Opaque,
+        },
+    }
+}
+
+/// The constant value of `v`, if it resolves without any parameter.
+pub fn const_of(f: &Function, v: ValueId) -> Option<i64> {
+    sx_of(f, v).eval(&[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> Box<Sx> {
+        Box::new(Sx::Param(i))
+    }
+
+    #[test]
+    fn midpoint_split_canonicalizes() {
+        // mid = start + (end - start) / 2; (mid - start) → len/2 and
+        // (end - mid) → len - len/2, where len = end - start.
+        let len = Sx::Sub(p(3), p(2));
+        let mid = Sx::Add(p(2), Box::new(Sx::Div(Box::new(len.clone()), 2)));
+        let left = Sx::Sub(Box::new(mid.clone()), p(2)).simplify();
+        assert_eq!(left, Sx::Div(Box::new(len.clone()), 2));
+        let right = Sx::Sub(p(3), Box::new(mid)).simplify();
+        assert_eq!(right, Sx::Sub(Box::new(len.clone()), Box::new(Sx::Div(Box::new(len), 2))));
+    }
+
+    #[test]
+    fn eval_and_fold() {
+        let e = Sx::Add(Box::new(Sx::Mul(p(0), Box::new(Sx::Const(3)))), Box::new(Sx::Const(4)));
+        assert_eq!(e.eval(&[5]), Some(19));
+        assert_eq!(
+            Sx::Sub(Box::new(Sx::Const(9)), Box::new(Sx::Const(4))).simplify(),
+            Sx::Const(5)
+        );
+        assert_eq!(Sx::Opaque.eval(&[1, 2]), None);
+    }
+
+    #[test]
+    fn narrow_constants_sign_extend() {
+        let c = Constant::Int { ty: Type::I32, bits: 0xFFFF_FFFF };
+        assert_eq!(const_to_i64(&c), Some(-1));
+        let c = Constant::Int { ty: Type::I64, bits: 7 };
+        assert_eq!(const_to_i64(&c), Some(7));
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-validation of the static analyzer against the reference
+//! interpreter: on every corpus program, at both the "test" and
+//! "evaluation" input sizes, every static interval must bracket the
+//! exact dynamic counter, and the occupancy verdicts must separate the
+//! deep spawn chain (`deeprec`) from the bounded fork-join suite.
+
+use tapas_analyze::{analyze, AnalysisReport};
+use tapas_ir::interp::{run, InterpConfig, Outcome};
+use tapas_workloads::{deeprec, suite_eval, suite_small, BuiltWorkload};
+
+/// Seed simulator defaults the verdicts are judged against.
+const SEED_NTASKS: u64 = 32;
+/// `ntasks` the harness uses for recursive workloads.
+const RECURSIVE_NTASKS: u64 = 512;
+
+fn analyze_and_run(wl: &BuiltWorkload) -> (AnalysisReport, Outcome) {
+    let report = analyze(&wl.module, wl.func, &wl.args)
+        .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", wl.name));
+    let mut mem = wl.mem.clone();
+    let out = run(&wl.module, wl.func, &wl.args, &mut mem, &InterpConfig::default())
+        .unwrap_or_else(|e| panic!("{}: interpretation failed: {e}", wl.name));
+    (report, out)
+}
+
+fn assert_brackets(wl: &BuiltWorkload, report: &AnalysisReport, out: &Outcome) {
+    let checks = [
+        ("work", report.work, out.work),
+        ("span", report.span, out.span),
+        ("mem_ops", report.mem_ops, out.stats.loads + out.stats.stores),
+        ("spawns", report.spawns, out.stats.spawns),
+        ("peak_tasks", report.peak_tasks, out.peak_live_tasks),
+    ];
+    for (what, bound, dynamic) in checks {
+        assert!(
+            bound.contains(dynamic),
+            "{}: static {what} bound {bound} does not bracket the measured {dynamic}",
+            wl.name
+        );
+    }
+}
+
+#[test]
+fn static_bounds_bracket_the_interpreter_on_every_corpus_program() {
+    let mut corpus = suite_small();
+    corpus.extend(suite_eval());
+    corpus.push(deeprec::build(25));
+    corpus.push(deeprec::build(400));
+    for wl in &corpus {
+        let (report, out) = analyze_and_run(wl);
+        assert_brackets(wl, &report, &out);
+    }
+}
+
+#[test]
+fn fork_join_suite_is_proven_safe_at_the_harness_defaults() {
+    for wl in suite_small() {
+        let (report, _) = analyze_and_run(&wl);
+        let ntasks = if report.recursive { RECURSIVE_NTASKS } else { SEED_NTASKS };
+        let verdict = report.check_config(ntasks, false);
+        assert!(
+            verdict.safe,
+            "{}: expected proven safe at ntasks={ntasks}, got: {}",
+            wl.name, verdict.reason
+        );
+        if !report.recursive {
+            // A fork-join region with a dominating sync needs only one
+            // outstanding entry per unit in the worst serialization.
+            assert_eq!(
+                report.min_safe_ntasks,
+                Some(1),
+                "{}: non-recursive programs are safe at ntasks=1",
+                wl.name
+            );
+        }
+    }
+}
+
+#[test]
+fn deeprec_is_flagged_deadlock_prone_at_seed_and_safe_past_its_chain() {
+    let depth = 400u64;
+    let wl = deeprec::build(depth);
+    let (report, out) = analyze_and_run(&wl);
+
+    // The blocking chain holds depth+1 entries on one unit; the seed
+    // queues cannot cover it without admission control.
+    let at_seed = report.check_config(SEED_NTASKS, false);
+    assert!(!at_seed.safe, "deeprec must not be provably safe at seed ntasks");
+    let need = report.min_safe_ntasks.expect("deeprec occupancy is statically bounded");
+    assert!(need > SEED_NTASKS && need <= depth + 1, "min-safe {need} vs depth {depth}");
+    // min-safe is per unit; the measured global peak spans every unit, so
+    // it can only exceed the per-unit requirement by the unit count.
+    assert!(
+        out.peak_live_tasks >= need,
+        "measured peak {} below the per-unit requirement {need}",
+        out.peak_live_tasks
+    );
+
+    // Provisioning ntasks at the analyzer's bound — or arming admission
+    // control at any ntasks — restores a safety proof.
+    assert!(report.check_config(need, false).safe);
+    assert!(report.check_config(SEED_NTASKS, true).safe);
+}
+
+#[test]
+fn speedup_ceiling_respects_brents_law_on_the_suite() {
+    for wl in suite_small() {
+        let (report, out) = analyze_and_run(&wl);
+        // T₁/T∞ from the exact counters is the true parallelism; the
+        // static ceiling uses optimistic interval ends, so it can only
+        // be larger.
+        let true_par = out.work as f64 / out.span.max(1) as f64;
+        assert!(
+            report.parallelism() + 1e-9 >= true_par,
+            "{}: static parallelism {} below measured {}",
+            wl.name,
+            report.parallelism(),
+            true_par
+        );
+        // And with one tile the ceiling collapses to (at most) 1.
+        assert!(report.speedup_ceiling(1) <= 1.0 + 1e-9, "{}", wl.name);
+    }
+}

@@ -6,11 +6,11 @@
 //!
 //! where `experiment` is one of `table2`, `spawn`, `fig13`, `table3`,
 //! `fig14`, `fig15`, `fig16`, `table4`, `fig17`, `table5`, `lint`,
-//! `profile`, `faults`, `stress`, `tune`, or `all` (default). Pass
-//! `--json <path>` to also dump the raw rows (for `all`, `profile`,
-//! `faults`, `stress` and `tune`; the dump carries a `schema_version`
-//! field). `check-json <path>` validates a previously written dump:
-//! well-formed JSON with the current schema version.
+//! `profile`, `faults`, `stress`, `tune`, `analyze`, or `all` (default).
+//! Pass `--json <path>` to also dump the raw rows (for `all`, `profile`,
+//! `faults`, `stress`, `tune` and `analyze`; the dump carries a
+//! `schema_version` field). `check-json <path>` validates a previously
+//! written dump: well-formed JSON with the current schema version.
 //!
 //! `faults` runs every benchmark under the fault-injection matrix and
 //! exits non-zero if any run is silently wrong (completed with corrupted
@@ -25,6 +25,12 @@
 //! the banked L1) alone and composed at 4 tiles per unit and reports
 //! cycles, steal/bank counters and speedup over the seed configuration;
 //! every cell is revalidated against the golden model.
+//!
+//! `analyze` runs the static work/span and task-occupancy analyzer over
+//! the paper suite plus the `deeprec` spawn chain and cross-checks every
+//! bound against the interpreter's exact counters (a bound that fails to
+//! bracket its measurement aborts the run) and every predicted bottleneck
+//! class against the cycle-level profiler's verdict.
 
 use tapas_bench::experiments as exp;
 use tapas_bench::json::{self, ToJson};
@@ -85,6 +91,15 @@ fn main() {
             }
             return;
         }
+        "analyze" => {
+            let results = exp::analyze_results();
+            print_analyze(&results.rows);
+            if let Some(p) = &json_path {
+                std::fs::write(p, results.to_json()).expect("write json");
+                println!("\nraw rows written to {p}");
+            }
+            return;
+        }
         "check-json" => {
             let path = positional.get(1).unwrap_or_else(|| {
                 eprintln!("usage: reproduce check-json <path>");
@@ -137,11 +152,19 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment `{other}`");
+            eprintln!(
+                "expected one of: table2, spawn, fig13, table3, fig14, fig15, fig16, table4, \
+                 fig17, table5, grain, mem, elision, lint, profile, faults, stress, tune, \
+                 analyze, check-json, all"
+            );
             std::process::exit(2);
         }
     }
     if json_path.is_some() {
-        eprintln!("--json is only supported with `all`, `profile`, `faults`, `stress` and `tune`");
+        eprintln!(
+            "--json is only supported with `all`, `profile`, `faults`, `stress`, `tune` and \
+             `analyze`"
+        );
     }
 }
 
@@ -241,6 +264,44 @@ fn print_tune(rows: &[exp::TuneRow]) {
             r.steal_fail,
             r.bank_conflicts,
             r.speedup
+        );
+    }
+}
+
+fn print_analyze(rows: &[exp::AnalyzeRow]) {
+    hdr("Static analysis: predicted vs measured (bounds bracket the interpreter)");
+    println!(
+        "{:<12} {:>16} {:>9} {:>13} {:>8} {:>7} {:>7} {:>9} {:>7} {:>5} {:<14} {:<14}",
+        "bench",
+        "work [lo,hi]",
+        "dyn",
+        "span [lo,hi]",
+        "dyn",
+        "mem",
+        "spawns",
+        "min-safe",
+        "seed-ok",
+        "peak",
+        "predicted",
+        "measured"
+    );
+    let fmt_hi = |hi: Option<u64>| hi.map(|h| h.to_string()).unwrap_or_else(|| "inf".to_string());
+    for r in rows {
+        println!(
+            "{:<12} {:>16} {:>9} {:>13} {:>8} {:>7} {:>7} {:>9} {:>7} {:>5} {:<14} {:<14}{}",
+            r.name,
+            format!("[{},{}]", r.work_lo, fmt_hi(r.work_hi)),
+            r.dyn_work,
+            format!("[{},{}]", r.span_lo, fmt_hi(r.span_hi)),
+            r.dyn_span,
+            r.dyn_mem,
+            r.dyn_spawns,
+            r.min_safe_ntasks.map(|n| n.to_string()).unwrap_or_else(|| "none".to_string()),
+            if r.safe_at_seed { "yes" } else { "NO" },
+            r.dyn_peak_tasks,
+            r.predicted,
+            r.measured,
+            if r.agree { "" } else { "  <- disagree" }
         );
     }
 }

@@ -10,7 +10,7 @@ use tapas_workloads::{image_scale, saxpy, scale_micro, suite_eval, suite_small, 
 /// Version stamped into every JSON document `reproduce --json` writes.
 /// Bump whenever a row struct gains, loses or renames a field so that
 /// downstream plotting scripts can detect stale dumps.
-pub const JSON_SCHEMA_VERSION: u64 = 5;
+pub const JSON_SCHEMA_VERSION: u64 = 6;
 
 /// Table II: per-task static properties of every benchmark.
 #[derive(Debug, Clone)]
@@ -640,6 +640,26 @@ pub struct UnitQueueRow {
     pub full_cycles: u64,
 }
 
+/// The configuration `reproduce profile` (and the analyze cross-check)
+/// measures a benchmark under: the paper's Table IV tile count, tiled like
+/// the paper's designs — recursive benchmarks spread tiles everywhere (the
+/// recursion is the worker), loop benchmarks concentrate them on the body
+/// task so idle control units don't drown the attribution.
+pub fn profile_config(wl: &BuiltWorkload) -> tapas::AcceleratorConfig {
+    let tiles = table4_tiles(&wl.name);
+    let cfg = if crate::is_recursive(wl) {
+        crate::accel_config(wl, tiles, ntasks_for(wl))
+    } else {
+        tapas::AcceleratorConfig {
+            ntasks: ntasks_for(wl),
+            mem_bytes: wl.mem.len().next_power_of_two().max(1 << 20),
+            ..tapas::AcceleratorConfig::default()
+        }
+        .with_tiles(&wl.worker_task, tiles)
+    };
+    tapas::AcceleratorConfig { profile: ProfileLevel::Full, ..cfg }
+}
+
 /// Profile every benchmark with full cycle attribution and classify what
 /// bounds it. Panics if any run violates the attribution invariant —
 /// the experiment doubles as an end-to-end check of the profiler's books.
@@ -648,21 +668,7 @@ pub fn profile_report() -> Vec<ProfileRow> {
         .into_iter()
         .map(|wl| {
             let tiles = table4_tiles(&wl.name);
-            // Tile like the paper's designs: recursive benchmarks spread
-            // tiles everywhere (the recursion is the worker), loop
-            // benchmarks concentrate them on the body task so idle control
-            // units don't drown the attribution.
-            let cfg = if crate::is_recursive(&wl) {
-                crate::accel_config(&wl, tiles, ntasks_for(&wl))
-            } else {
-                tapas::AcceleratorConfig {
-                    ntasks: ntasks_for(&wl),
-                    mem_bytes: wl.mem.len().next_power_of_two().max(1 << 20),
-                    ..tapas::AcceleratorConfig::default()
-                }
-                .with_tiles(&wl.worker_task, tiles)
-            };
-            let cfg = tapas::AcceleratorConfig { profile: ProfileLevel::Full, ..cfg };
+            let cfg = profile_config(&wl);
             let out = crate::simulate_configured(&wl, &cfg).0;
             let p = out.profile.expect("profiling was enabled");
             p.check_invariant().unwrap_or_else(|e| panic!("{}: {e}", wl.name));
@@ -1018,6 +1024,148 @@ pub fn tune_results() -> TuneResults {
     TuneResults { schema_version: JSON_SCHEMA_VERSION, rows: tune_matrix() }
 }
 
+/// Predicted-vs-measured verdict for one benchmark of the static-analysis
+/// experiment (`reproduce analyze`): the analyzer's work/span/occupancy
+/// intervals against the interpreter's exact counters, its proven-safe
+/// minimum `ntasks` against the seed configuration, and its predicted
+/// bottleneck class against the dynamic profiler's verdict.
+#[derive(Debug, Clone)]
+pub struct AnalyzeRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Static work lower bound (T₁).
+    pub work_lo: u64,
+    /// Static work upper bound; `None` = unbounded.
+    pub work_hi: Option<u64>,
+    /// Instructions the interpreter actually executed.
+    pub dyn_work: u64,
+    /// Static span lower bound (T∞).
+    pub span_lo: u64,
+    /// Static span upper bound; `None` = unbounded.
+    pub span_hi: Option<u64>,
+    /// Critical-path length the interpreter actually measured.
+    pub dyn_span: u64,
+    /// Static memory-operation lower bound.
+    pub mem_lo: u64,
+    /// Static memory-operation upper bound; `None` = unbounded.
+    pub mem_hi: Option<u64>,
+    /// Loads + stores the interpreter actually executed.
+    pub dyn_mem: u64,
+    /// Static spawn-count lower bound.
+    pub spawns_lo: u64,
+    /// Static spawn-count upper bound; `None` = unbounded.
+    pub spawns_hi: Option<u64>,
+    /// Detaches the interpreter actually executed.
+    pub dyn_spawns: u64,
+    /// Static peak-live-task lower bound.
+    pub tasks_lo: u64,
+    /// Static peak-live-task upper bound; `None` = unbounded.
+    pub tasks_hi: Option<u64>,
+    /// Peak live tasks the interpreter actually observed.
+    pub dyn_peak_tasks: u64,
+    /// Smallest `ntasks` proven deadlock-free without admission control.
+    pub min_safe_ntasks: Option<u64>,
+    /// The seed configuration's `ntasks` the verdict below judges.
+    pub seed_ntasks: usize,
+    /// Whether the seed configuration (no admission control) is statically
+    /// proven deadlock-free for this benchmark.
+    pub safe_at_seed: bool,
+    /// The analyzer's predicted bottleneck class.
+    pub predicted: String,
+    /// The dynamic profiler's measured bottleneck class.
+    pub measured: String,
+    /// Whether prediction and measurement agree.
+    pub agree: bool,
+}
+
+/// Run the static analyzer over `programs` and cross-check every bound
+/// against the interpreter and every bottleneck prediction against the
+/// cycle-level profiler. Panics if any static interval fails to bracket
+/// its dynamic measurement — the experiment doubles as a soundness check.
+pub fn analyze_report_for(programs: Vec<BuiltWorkload>) -> Vec<AnalyzeRow> {
+    use tapas_ir::interp::{run, InterpConfig};
+    let seed_ntasks = tapas::AcceleratorConfig::default().ntasks;
+    programs
+        .into_iter()
+        .map(|wl| {
+            let report = tapas::analyze::analyze(&wl.module, wl.func, &wl.args)
+                .expect("workloads are analyzable");
+
+            // Dynamic oracle 1: the interpreter's exact counters.
+            let mut mem = wl.mem.clone();
+            let out = run(&wl.module, wl.func, &wl.args, &mut mem, &InterpConfig::default())
+                .expect("workloads interpret");
+            for (what, b, v) in [
+                ("work", report.work, out.work),
+                ("span", report.span, out.span),
+                ("memory ops", report.mem_ops, out.stats.loads + out.stats.stores),
+                ("spawns", report.spawns, out.stats.spawns),
+                ("peak live tasks", report.peak_tasks, out.peak_live_tasks),
+            ] {
+                assert!(b.contains(v), "{}: static {what} {b} must bracket dynamic {v}", wl.name);
+            }
+
+            // Dynamic oracle 2: the profiler's bottleneck verdict under the
+            // same configuration `reproduce profile` measures.
+            let sim = crate::simulate_configured(&wl, &profile_config(&wl)).0;
+            let measured =
+                sim.profile.expect("profiling was enabled").bottleneck().class.label().to_string();
+            let predicted = report.predicted.label().to_string();
+
+            AnalyzeRow {
+                work_lo: report.work.lo,
+                work_hi: report.work.hi,
+                dyn_work: out.work,
+                span_lo: report.span.lo,
+                span_hi: report.span.hi,
+                dyn_span: out.span,
+                mem_lo: report.mem_ops.lo,
+                mem_hi: report.mem_ops.hi,
+                dyn_mem: out.stats.loads + out.stats.stores,
+                spawns_lo: report.spawns.lo,
+                spawns_hi: report.spawns.hi,
+                dyn_spawns: out.stats.spawns,
+                tasks_lo: report.peak_tasks.lo,
+                tasks_hi: report.peak_tasks.hi,
+                dyn_peak_tasks: out.peak_live_tasks,
+                min_safe_ntasks: report.min_safe_ntasks,
+                seed_ntasks,
+                safe_at_seed: report.check_config(seed_ntasks as u64, false).safe,
+                agree: predicted == measured,
+                predicted,
+                measured,
+                name: wl.name,
+            }
+        })
+        .collect()
+}
+
+/// The full static-analysis cross-check: the paper suite plus the
+/// `deeprec` spawn chain. The analyzer flags `deeprec` (one live queue
+/// entry per recursion level, far beyond the seed's 32) and `fib` (a
+/// 177-node recursion tree whose blocked parents pile onto the queues)
+/// as deadlock-prone at the seed `ntasks`; everything else is proven
+/// safe there, and the whole corpus at the deep-queue default of 512.
+pub fn analyze_report() -> Vec<AnalyzeRow> {
+    let mut programs = suite_small();
+    programs.push(tapas_workloads::deeprec::build(400));
+    analyze_report_for(programs)
+}
+
+/// The `reproduce analyze --json` document: versioned analyze rows.
+#[derive(Debug, Clone)]
+pub struct AnalyzeResults {
+    /// [`JSON_SCHEMA_VERSION`] at the time of the run.
+    pub schema_version: u64,
+    /// One predicted-vs-measured row per benchmark.
+    pub rows: Vec<AnalyzeRow>,
+}
+
+/// Run the analyze cross-check and wrap it for serialization.
+pub fn analyze_results() -> AnalyzeResults {
+    AnalyzeResults { schema_version: JSON_SCHEMA_VERSION, rows: analyze_report() }
+}
+
 /// Everything, serialized as one JSON document.
 #[derive(Debug, Clone)]
 pub struct AllResults {
@@ -1181,6 +1329,31 @@ json_object!(StressRow { name, ntasks, cycles, spills, refills, inline_spawns })
 json_object!(StressResults { schema_version, rows });
 json_object!(TuneRow { name, variant, tiles, cycles, steals, steal_fail, bank_conflicts, speedup });
 json_object!(TuneResults { schema_version, rows });
+json_object!(AnalyzeRow {
+    name,
+    work_lo,
+    work_hi,
+    dyn_work,
+    span_lo,
+    span_hi,
+    dyn_span,
+    mem_lo,
+    mem_hi,
+    dyn_mem,
+    spawns_lo,
+    spawns_hi,
+    dyn_spawns,
+    tasks_lo,
+    tasks_hi,
+    dyn_peak_tasks,
+    min_safe_ntasks,
+    seed_ntasks,
+    safe_at_seed,
+    predicted,
+    measured,
+    agree
+});
+json_object!(AnalyzeResults { schema_version, rows });
 json_object!(FaultRow {
     name,
     scenario,

@@ -63,6 +63,8 @@ pub fn emit_verilog(design: &CompiledDesign, cfg: &AcceleratorConfig) -> String 
     verilog::emit_verilog(design, cfg)
 }
 
+/// Re-export of the static work/span and occupancy analysis crate.
+pub use tapas_analyze as analyze;
 /// Re-export of the baseline models crate.
 pub use tapas_baseline as baseline;
 /// Re-export of the dataflow-generation crate.
@@ -80,6 +82,7 @@ pub use tapas_sim as sim;
 /// Re-export of the task-extraction crate.
 pub use tapas_task as task;
 
+pub use tapas_analyze::{AnalysisReport, AnalyzeError, Bottleneck, Bound, ConfigVerdict};
 pub use tapas_sim::{
     Accelerator, AcceleratorConfig, AcceleratorConfigBuilder, AdmissionControl, BottleneckReport,
     BoundClass, ConfigError, DeadlockDiagnosis, Fault, FaultPlan, FaultTolerance, Profile,
@@ -125,6 +128,8 @@ pub enum Error {
     Config(ConfigError),
     /// The simulation failed.
     Sim(SimError),
+    /// Static analysis failed.
+    Analyze(AnalyzeError),
 }
 
 impl std::fmt::Display for Error {
@@ -133,6 +138,7 @@ impl std::fmt::Display for Error {
             Error::Toolchain(_) => write!(f, "compilation failed"),
             Error::Config(_) => write!(f, "invalid accelerator configuration"),
             Error::Sim(_) => write!(f, "simulation failed"),
+            Error::Analyze(_) => write!(f, "static analysis failed"),
         }
     }
 }
@@ -143,6 +149,7 @@ impl std::error::Error for Error {
             Error::Toolchain(e) => Some(e),
             Error::Config(e) => Some(e),
             Error::Sim(e) => Some(e),
+            Error::Analyze(e) => Some(e),
         }
     }
 }
@@ -162,6 +169,12 @@ impl From<ConfigError> for Error {
 impl From<SimError> for Error {
     fn from(e: SimError) -> Self {
         Error::Sim(e)
+    }
+}
+
+impl From<AnalyzeError> for Error {
+    fn from(e: AnalyzeError) -> Self {
+        Error::Analyze(e)
     }
 }
 
@@ -237,6 +250,27 @@ impl CompiledDesign {
     /// artifact of the paper's flow).
     pub fn emit_verilog(&self, cfg: &AcceleratorConfig) -> String {
         verilog::emit_verilog(self, cfg)
+    }
+
+    /// Static work/span and task-occupancy analysis of `entry` invoked with
+    /// `args` — no simulation. The report carries interval bounds on work,
+    /// span (so a Brent's-law speedup ceiling), memory operations and peak
+    /// live tasks, plus the smallest `ntasks` proven deadlock-free without
+    /// admission control and a predicted bottleneck class. Judge a specific
+    /// configuration with [`AnalysisReport::check_config`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError`] when the module fails lint preparation or
+    /// `entry` is out of range.
+    pub fn analyze(
+        &self,
+        entry: tapas_ir::FuncId,
+        args: &[tapas_ir::interp::Val],
+    ) -> Result<AnalysisReport, AnalyzeError> {
+        let lint = tapas_lint::lint_module(&self.module, &tapas_lint::LintConfig::default())
+            .map_err(|e| AnalyzeError(e.to_string()))?;
+        tapas_analyze::analyze_prepared(&self.module, &self.graphs, &lint, entry, args)
     }
 
     /// Stage 3 (resource backend): design description for `tapas-res`.
@@ -316,6 +350,26 @@ mod tests {
         let design = Toolchain::new().compile(&wl.module).unwrap();
         let info = design.design_info(&AcceleratorConfig::default());
         assert_eq!(info.units.len(), design.num_tasks());
+    }
+
+    #[test]
+    fn facade_analysis_brackets_the_accelerator_and_judges_configs() {
+        use tapas_ir::interp::{run, InterpConfig};
+        let wl = tapas_workloads::matrix_add::build(8);
+        let design = Toolchain::new().compile(&wl.module).unwrap();
+        let report = design.analyze(wl.func, &wl.args).unwrap();
+
+        // Static bounds bracket the interpreter's exact counters.
+        let mut mem = wl.mem.clone();
+        let out = run(&wl.module, wl.func, &wl.args, &mut mem, &InterpConfig::default()).unwrap();
+        assert!(report.work.contains(out.work), "{} ∋ {}", report.work, out.work);
+        assert!(report.span.contains(out.span), "{} ∋ {}", report.span, out.span);
+        assert!(report.peak_tasks.contains(out.peak_live_tasks));
+
+        // A fork-join workload is proven safe at the seed default ntasks.
+        let cfg = AcceleratorConfig::default();
+        assert!(report.check_config(cfg.ntasks as u64, cfg.deadlock_guarded()).safe);
+        assert!(report.speedup_ceiling(4) >= 1.0);
     }
 
     #[test]

@@ -230,6 +230,107 @@ pub fn differential_sweep(seed: u64, samples_per_workload: usize) -> Result<usiz
     Ok(checked)
 }
 
+/// Sample configurations at the static analyzer's predicted safe/unsafe
+/// `ntasks` boundary, for every small-suite workload plus a deep spawn
+/// chain. Three checks per workload:
+///
+/// 1. **Soundness**: a configuration the analyzer *proves* safe — queue
+///    depth at the predicted minimum (plus seeded slack) with admission
+///    control off — must complete and match the interpreter golden model.
+/// 2. **Rescue**: one entry below the boundary with admission control
+///    armed must also complete (spilling replaces blocking), exactly as
+///    `check_config` promises.
+/// 3. **Tightness** (deep chain only): one entry below the boundary with
+///    admission off must make the simulator report the very deadlock the
+///    analyzer predicted.
+///
+/// Returns the number of simulations run.
+///
+/// # Errors
+///
+/// The first violated check is rendered into the repro string.
+pub fn boundary_sweep(seed: u64) -> Result<usize, String> {
+    let mut rng = SplitMix64::new(seed);
+    let mut checked = 0usize;
+    let mut corpus = suite_small();
+    corpus.push(tapas_workloads::deeprec::build(40));
+    for wl in corpus {
+        let report = tapas_analyze::analyze(&wl.module, wl.func, &wl.args)
+            .map_err(|e| format!("{}: static analysis failed: {e}", wl.name))?;
+        let need = report
+            .min_safe_ntasks
+            .ok_or_else(|| format!("{}: occupancy not statically bounded", wl.name))?;
+        let golden_mem = wl.golden_memory();
+        let golden = wl.output_of(&golden_mem);
+        let tiles = 1 + rng.next_below(2) as usize;
+
+        // 1. Proven safe at the boundary (with a little slack sometimes).
+        let at = need + rng.next_below(3);
+        let safe = ConfigSample {
+            steal_latency: None,
+            banks: 1,
+            tiles,
+            ntasks: at as usize,
+            admission: false,
+        };
+        let verdict = report.check_config(at, false);
+        if !verdict.safe {
+            return Err(format!(
+                "{}: analyzer retracted its own boundary at ntasks={at}: {}",
+                wl.name, verdict.reason
+            ));
+        }
+        let run = simulate(&wl, &safe.config(&wl)).map_err(|e| {
+            format!("{}: proven-safe config deadlocked or failed: {e}", safe.repro(&wl.name))
+        })?;
+        if run.output != golden {
+            return Err(format!("{}: proven-safe run diverged from golden", safe.repro(&wl.name)));
+        }
+        checked += 1;
+
+        if need <= 1 {
+            continue; // boundary sits at the floor; no below-boundary side exists
+        }
+
+        // 2. Below the boundary, admission control must rescue the run.
+        let below = (need - 1) as usize;
+        let rescued = ConfigSample { admission: true, ntasks: below, ..safe.clone() };
+        if !report.check_config(below as u64, true).safe {
+            return Err(format!("{}: admission-armed config not judged safe", wl.name));
+        }
+        let run = simulate(&wl, &rescued.config(&wl))
+            .map_err(|e| format!("{}: admission failed to rescue: {e}", rescued.repro(&wl.name)))?;
+        if run.output != golden {
+            return Err(format!("{}: rescued run diverged from golden", rescued.repro(&wl.name)));
+        }
+        checked += 1;
+
+        // 3. The deep chain's boundary is exact: one short, bare, wedged.
+        if wl.name == "deeprec" {
+            let bare = ConfigSample { admission: false, ntasks: below, ..safe };
+            if report.check_config(below as u64, false).safe {
+                return Err(format!("{}: below-boundary config wrongly judged safe", wl.name));
+            }
+            match simulate(&wl, &bare.config(&wl)) {
+                Err(e) if e.contains("deadlock") => checked += 1,
+                Err(e) => {
+                    return Err(format!(
+                        "{}: expected a deadlock report, got: {e}",
+                        bare.repro(&wl.name)
+                    ))
+                }
+                Ok(_) => {
+                    return Err(format!(
+                        "{}: predicted-unsafe config completed; the boundary is not tight",
+                        bare.repro(&wl.name)
+                    ))
+                }
+            }
+        }
+    }
+    Ok(checked)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -309,6 +309,16 @@ pub struct Outcome {
     /// Determinacy races observed by the SP-bags oracle (empty unless
     /// [`InterpConfig::detect_races`] was set).
     pub races: Vec<DynRace>,
+    /// Exact work (T₁): total instructions executed (alias of
+    /// [`ExecStats::insts`], the static analyzer's oracle).
+    pub work: u64,
+    /// Exact span (T∞): critical-path instructions assuming every spawned
+    /// child runs fully in parallel with its continuation. Maintained
+    /// online, so it is available even with `record_trace` off.
+    pub span: u64,
+    /// Peak live activation/region nesting observed (each function call and
+    /// each entered detach region counts one while live).
+    pub peak_live_tasks: u64,
 }
 
 /// Kind of a dynamically observed determinacy race, named by the program
@@ -527,6 +537,28 @@ pub fn run(
     mem: &mut Vec<u8>,
     cfg: &InterpConfig,
 ) -> Result<Outcome, InterpError> {
+    // The interpreter recurses once per activation, so a deep spawn chain
+    // (deeprec at evaluation size) outgrows the ~2 MiB a debug-build test
+    // thread gets. Run on a dedicated thread with a generous stack.
+    std::thread::scope(|s| {
+        let handle = std::thread::Builder::new()
+            .stack_size(64 << 20)
+            .spawn_scoped(s, || run_on_this_stack(module, func, args, mem, cfg))
+            .expect("spawn interpreter thread");
+        match handle.join() {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+fn run_on_this_stack(
+    module: &Module,
+    func: FuncId,
+    args: &[Val],
+    mem: &mut Vec<u8>,
+    cfg: &InterpConfig,
+) -> Result<Outcome, InterpError> {
     let mut interp = Interp {
         module,
         mem,
@@ -535,14 +567,43 @@ pub fn run(
         trace: SpawnTrace { frames: vec![Frame::default()] },
         steps: 0,
         depth: 0,
+        peak_depth: 0,
         pending: Cost::default(),
         frame_stack: vec![FrameId(0)],
+        span_stack: vec![SpanFrame::default()],
         sp: cfg.detect_races.then(SpBags::new),
     };
     let ret = interp.exec_function(func, args)?;
     interp.flush_work();
     let races = interp.sp.map(|s| s.races).unwrap_or_default();
-    Ok(Outcome { ret, stats: interp.stats, trace: interp.trace, races })
+    let span = interp.span_stack.pop().expect("root span frame").settle();
+    let work = interp.stats.insts;
+    Ok(Outcome {
+        ret,
+        stats: interp.stats,
+        trace: interp.trace,
+        races,
+        work,
+        span,
+        peak_live_tasks: interp.peak_depth as u64,
+    })
+}
+
+/// Online span accounting for one frame (function activation or detached
+/// region): elapsed critical path `t` plus the completion times of children
+/// spawned since the last sync.
+#[derive(Debug, Default)]
+struct SpanFrame {
+    t: u64,
+    outstanding: Vec<u64>,
+}
+
+impl SpanFrame {
+    /// Critical path through this frame, joining any unsynced children (a
+    /// frame's work is not complete until its spawned subtree is).
+    fn settle(self) -> u64 {
+        self.outstanding.into_iter().fold(self.t, u64::max)
+    }
 }
 
 struct Interp<'m> {
@@ -554,10 +615,14 @@ struct Interp<'m> {
     steps: u64,
     /// Current call/detach nesting, checked against `cfg.max_depth`.
     depth: usize,
+    /// High-water mark of `depth` (exact peak live tasks).
+    peak_depth: usize,
     /// Cost accumulated since the last trace event, attributed to the
     /// current frame when flushed.
     pending: Cost,
     frame_stack: Vec<FrameId>,
+    /// Always-on online span computation, innermost frame last.
+    span_stack: Vec<SpanFrame>,
     /// SP-bags race oracle, when enabled.
     sp: Option<SpBags>,
 }
@@ -632,6 +697,7 @@ impl<'m> Interp<'m> {
         let cfg_an = Cfg::compute(f);
         let _ = &cfg_an; // CFG not needed for execution; kept for clarity
         self.depth += 1;
+        self.peak_depth = self.peak_depth.max(self.depth);
         let r = self.exec_region(f, f.entry(), None, &mut act);
         self.depth -= 1;
         r
@@ -682,7 +748,12 @@ impl<'m> Interp<'m> {
                     if let Some(sp) = &mut self.sp {
                         sp.enter();
                     }
-                    let r = self.exec_function(*callee, &vals)?;
+                    self.span_stack.push(SpanFrame::default());
+                    let r = self.exec_function(*callee, &vals);
+                    let done = self.span_stack.pop().expect("call span frame").settle();
+                    // A call runs serially within its parent's strand.
+                    self.span_stack.last_mut().expect("parent span frame").t += done;
+                    let r = r?;
                     if let Some(sp) = &mut self.sp {
                         sp.exit_call();
                     }
@@ -727,7 +798,15 @@ impl<'m> Interp<'m> {
                     }
                     // Serial elision: run the child region to completion.
                     self.depth += 1;
+                    self.peak_depth = self.peak_depth.max(self.depth);
+                    self.span_stack.push(SpanFrame::default());
                     let region = self.exec_region(f, *task, Some(*cont), act);
+                    let done = self.span_stack.pop().expect("task span frame").settle();
+                    // The child runs in parallel with the continuation: it
+                    // completes at spawn time + its own span.
+                    let parent = self.span_stack.last_mut().expect("parent span frame");
+                    let finish = parent.t + done;
+                    parent.outstanding.push(finish);
                     self.depth -= 1;
                     region?;
                     if let Some(sp) = &mut self.sp {
@@ -748,6 +827,10 @@ impl<'m> Interp<'m> {
                 }
                 Terminator::Sync { cont } => {
                     self.stats.syncs += 1;
+                    let fr = self.span_stack.last_mut().expect("sync span frame");
+                    for done in fr.outstanding.drain(..) {
+                        fr.t = fr.t.max(done);
+                    }
                     self.emit_sync();
                     if let Some(sp) = &mut self.sp {
                         sp.sync();
@@ -765,6 +848,7 @@ impl<'m> Interp<'m> {
     fn count_inst(&mut self, op: &Op) {
         self.steps += 1;
         self.stats.insts += 1;
+        self.span_stack.last_mut().expect("span frame").t += 1;
         match op {
             Op::Load { .. } => {
                 self.stats.loads += 1;
@@ -1269,6 +1353,51 @@ mod tests {
         let work = out.trace.total_cost().total();
         let span = out.trace.span();
         assert!(span < work, "span {span} should be < work {work}");
+        // The always-on counters agree with the trace-derived quantities.
+        assert_eq!(out.work, out.stats.insts);
+        assert_eq!(out.work, work);
+        assert_eq!(out.span, span, "online span must match the trace replay");
+        // Root activation plus at most one live detached region at a time.
+        assert_eq!(out.peak_live_tasks, 2);
+    }
+
+    #[test]
+    fn online_counters_without_trace() {
+        // Same program as above, but with trace recording off: the exact
+        // work/span/peak counters must still be maintained.
+        let mut b = FunctionBuilder::new("par2", vec![Type::ptr(Type::I64)], Type::Void);
+        let t1 = b.create_block("t1");
+        let c1 = b.create_block("c1");
+        let done = b.create_block("done");
+        let p = b.param(0);
+        b.detach(t1, c1);
+        b.switch_to(t1);
+        let mut acc = b.const_int(Type::I64, 1);
+        let one = b.const_int(Type::I64, 1);
+        for _ in 0..8 {
+            acc = b.add(acc, one);
+        }
+        b.store(p, acc);
+        b.reattach(c1);
+        b.switch_to(c1);
+        b.sync(done);
+        b.switch_to(done);
+        b.ret(None);
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+
+        let run_with = |record: bool| {
+            let mut mem = vec![0u8; 8];
+            let cfg = InterpConfig { record_trace: record, ..InterpConfig::default() };
+            run(&m, f, &[Val::Int(0)], &mut mem, &cfg).unwrap()
+        };
+        let with = run_with(true);
+        let without = run_with(false);
+        assert_eq!(without.trace.num_frames(), 1, "trace off records nothing");
+        assert_eq!(with.span, with.trace.span());
+        assert_eq!(without.work, with.work);
+        assert_eq!(without.span, with.span);
+        assert_eq!(without.peak_live_tasks, with.peak_live_tasks);
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub enum RuleCode {
     UnsyncedContinuationUse,
     /// Recursive spawn with no base-case branch dominating the detach.
     UnboundedRecursion,
+    /// Spawn inside a loop whose body never syncs, where the spawned task
+    /// can re-enter the function: live tasks grow without bound.
+    UnboundedSpawnLoop,
 }
 
 impl RuleCode {
@@ -54,6 +57,7 @@ impl RuleCode {
             RuleCode::DeadDetach => "TL0102",
             RuleCode::UnsyncedContinuationUse => "TL0103",
             RuleCode::UnboundedRecursion => "TL0104",
+            RuleCode::UnboundedSpawnLoop => "TL0105",
         }
     }
 
@@ -75,6 +79,9 @@ impl RuleCode {
             }
             RuleCode::UnboundedRecursion => {
                 "recursive spawn with no base-case branch dominating the detach"
+            }
+            RuleCode::UnboundedSpawnLoop => {
+                "loop spawns recursive tasks and never syncs inside the loop body"
             }
         }
     }

@@ -13,6 +13,7 @@
 //! | `TL0102` | dead `detach` (spawned subtree has no effect) |
 //! | `TL0103` | continuation uses a spawned task's output before `sync` |
 //! | `TL0104` | unguarded (transitively) recursive call |
+//! | `TL0105` | loop spawns recursive tasks and never syncs in its body |
 //!
 //! The race detector builds a static series-parallel relation from the
 //! `detach`/`sync` structure, models access addresses as affine forms
@@ -339,6 +340,46 @@ mod tests {
         assert!(
             !r2.diagnostics.iter().any(|d| d.rule == RuleCode::UnboundedRecursion),
             "guarded recursion must not be flagged:\n{r2}"
+        );
+    }
+
+    #[test]
+    fn spawn_loop_without_sync_flagged_cilk_for_not() {
+        // for (i = 0; i < n; i++) { spawn f(n) } with the sync only after
+        // the loop — each spawned task re-enters f, so live tasks pile up
+        // with no bound: TL0105.
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], Type::Void);
+        let n = b.param(0);
+        let zero = b.const_int(Type::I64, 0);
+        let two = b.const_int(Type::I64, 2);
+        let base = b.create_block("base");
+        let rec = b.create_block("rec");
+        let g = b.icmp(CmpPred::Slt, n, two);
+        b.cond_br(g, base, rec);
+        b.switch_to(base);
+        b.ret(None);
+        b.switch_to(rec);
+        cilk_for(&mut b, zero, n, |b, _i| {
+            let one = b.const_int(Type::I64, 1);
+            let n1 = b.sub(n, one);
+            b.call(tapas_ir::FuncId(0), vec![n1], Type::Void);
+        });
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        assert_eq!(fid, tapas_ir::FuncId(0));
+        let r = lint(&m, false);
+        assert!(
+            r.diagnostics.iter().any(|d| d.rule == RuleCode::UnboundedSpawnLoop),
+            "expected TL0105:\n{r}"
+        );
+
+        // The canonical clean cilk_for spawns leaf tasks: not flagged.
+        let m2 = clean_pfor();
+        let r2 = lint(&m2, false);
+        assert!(
+            !r2.diagnostics.iter().any(|d| d.rule == RuleCode::UnboundedSpawnLoop),
+            "leaf spawn loop must not be flagged:\n{r2}"
         );
     }
 

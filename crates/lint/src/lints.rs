@@ -75,6 +75,7 @@ pub fn check(
     redundant_sync(ctx, report);
     dead_detach(ctx, accesses, calls, report);
     unbounded_recursion(ctx, calls, cg, report);
+    unbounded_spawn_loop(ctx, cg, report);
 }
 
 /// TL0101: a `sync` that no spawned task can still be outstanding at.
@@ -146,6 +147,65 @@ fn dead_detach(ctx: &FnCtx<'_>, accesses: &[Access], calls: &[CallSite], report:
                         ctx.block_label(db)
                     ),
                 });
+            }
+        }
+    }
+}
+
+/// TL0105: a detach inside a natural loop whose body never syncs, where the
+/// spawned subtree can re-enter the enclosing function.
+///
+/// A plain `cilk_for` is fine — its sync sits just outside the loop and the
+/// leaf tasks terminate — because each spawned entry retires independently.
+/// But when the loop-spawned task *recurses back into the function*, every
+/// iteration stacks another activation chain onto the same task units while
+/// nothing inside the loop ever joins them: live-task occupancy grows with
+/// the trip count times the recursion depth, and no static queue size bounds
+/// it. The static analyzer treats flagged functions as occupancy-unbounded
+/// (`min_safe_ntasks = none`), so this lint is also a safety input.
+fn unbounded_spawn_loop(ctx: &FnCtx<'_>, cg: &CallGraph, report: &mut LintReport) {
+    for t in ctx.tg.task_ids() {
+        for &(db, child) in &ctx.tg.task(t).detach_sites {
+            let enclosing = ctx.li.containing(db);
+            if enclosing.is_empty() {
+                continue;
+            }
+            // The spawned subtree: the child task and its nested tasks.
+            let mut subtree: Vec<TaskId> = vec![child];
+            let mut i = 0;
+            while i < subtree.len() {
+                subtree.extend(ctx.tg.task(subtree[i]).children.iter().copied());
+                i += 1;
+            }
+            let reenters = subtree
+                .iter()
+                .flat_map(|&st| ctx.tg.task(st).blocks.iter())
+                .flat_map(|&b| ctx.f.block(b).insts.iter())
+                .any(|inst| match inst.op {
+                    Op::Call { callee, .. } => callee == ctx.func || cg.reaches(callee, ctx.func),
+                    _ => false,
+                });
+            if !reenters {
+                continue;
+            }
+            for &l in &enclosing {
+                let body = &ctx.li.loops[l].body;
+                let syncs_inside =
+                    body.iter().any(|&b| matches!(ctx.f.block(b).term, Terminator::Sync { .. }));
+                if !syncs_inside {
+                    report.push(Diagnostic {
+                        severity: Severity::Warning,
+                        rule: RuleCode::UnboundedSpawnLoop,
+                        location: ctx.location(db),
+                        related: None,
+                        message: format!(
+                            "loop at {} spawns recursive task {} and never syncs in its body; live tasks grow without bound",
+                            ctx.block_label(ctx.li.loops[l].header),
+                            ctx.tg.task(child).name
+                        ),
+                    });
+                    break; // one diagnostic per detach site is enough
+                }
             }
         }
     }

@@ -232,6 +232,15 @@ impl AcceleratorConfig {
         self
     }
 
+    /// Whether this configuration is structurally protected against
+    /// spawn-queue deadlock: admission control spills instead of letting a
+    /// blocked spawn chain wedge a full task unit. The static analyzer's
+    /// `check_config` verdict keys off this — unguarded configurations must
+    /// additionally satisfy its proven `min_safe_ntasks`.
+    pub fn deadlock_guarded(&self) -> bool {
+        self.admission.is_some()
+    }
+
     /// Validate the configuration's geometry; [`AcceleratorConfigBuilder::build`]
     /// calls this, and [`Accelerator::elaborate`](crate::Accelerator) relies
     /// on it having held.

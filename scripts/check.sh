@@ -40,6 +40,15 @@ tune_smoke() {
   ./target/release/reproduce check-json /tmp/tune.json
 }
 
+analyze_smoke() {
+  # Static work/span & occupancy analysis: building the table asserts
+  # every interval brackets the interpreter's counters and the predicted
+  # bottleneck matches the profiler; the dump must round-trip the schema
+  # check.
+  timeout 120 ./target/release/reproduce analyze --json /tmp/analyze.json >/dev/null
+  ./target/release/reproduce check-json /tmp/analyze.json
+}
+
 differential_sweep() {
   # Seeded random configs (steal x banks x tiles x ntasks x admission)
   # against the interpreter golden model; seed ${DIFF_SEED} is fixed in
@@ -55,6 +64,7 @@ gate "reproduce profile smoke (JSON schema gate)" profile_smoke
 gate "reproduce faults smoke (robustness gate)" faults_smoke
 gate "reproduce stress (bounded-resource gate)" stress_smoke
 gate "reproduce tune smoke (opt-in feature gate)" tune_smoke
+gate "reproduce analyze smoke (static-analysis gate)" analyze_smoke
 gate "differential sweep (seed ${DIFF_SEED})" differential_sweep
 gate "parser fuzz corpus (crash-hardening gate)" timeout 300 cargo test -q -p tapas-ir --test parse_fuzz
 

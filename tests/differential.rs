@@ -5,7 +5,7 @@
 //! samples additionally checked cycle-identical to the seed twin. See
 //! `tapas_integration` for the harness and the minimizer.
 
-use tapas_integration::{check_sample, differential_sweep, ConfigSample};
+use tapas_integration::{boundary_sweep, check_sample, differential_sweep, ConfigSample};
 use tapas_workloads::saxpy;
 
 /// The fixed sweep seed; `scripts/check.sh` runs the same seed so a CI
@@ -26,6 +26,21 @@ fn a_second_seed_also_passes() {
     // seed's draw order still gets a chance to surface.
     let checked = differential_sweep(SWEEP_SEED ^ 0xffff, 2).unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(checked, 14);
+}
+
+#[test]
+fn sweep_the_analyzers_safe_unsafe_ntasks_boundary() {
+    // The static analyzer predicts the minimum deadlock-free queue depth
+    // per workload; this sweep simulates exactly at that boundary: the
+    // proven-safe side must complete and match golden, admission control
+    // must rescue one-below-boundary runs, and the deep spawn chain must
+    // actually wedge one-below-boundary when bare. Soundness, rescue and
+    // tightness in one pass.
+    let checked = boundary_sweep(SWEEP_SEED).unwrap_or_else(|e| panic!("{e}"));
+    // 8 programs × safe side + 4 recursive-side checks (mergesort, fib,
+    // deeprec×2): shape drift here means the corpus or the analyzer's
+    // boundaries moved.
+    assert_eq!(checked, 12);
 }
 
 #[test]
