@@ -6,32 +6,26 @@
 //!
 //! where `experiment` is one of `table2`, `spawn`, `fig13`, `table3`,
 //! `fig14`, `fig15`, `fig16`, `table4`, `fig17`, `table5`, `lint`,
-//! `profile`, `faults`, `stress`, `tune`, `analyze`, or `all` (default).
-//! Pass `--json <path>` to also dump the raw rows (for `all`, `profile`,
-//! `faults`, `stress`, `tune` and `analyze`; the dump carries a
-//! `schema_version` field). `check-json <path>` validates a previously
-//! written dump: well-formed JSON with the current schema version.
+//! `profile`, `faults`, `stress`, `tune`, `analyze`, `bench`, or `all`
+//! (default). Pass `--json <path>` to also dump the raw rows (for `all`
+//! and every runner experiment; the dump carries a `schema_version`
+//! field). `check-json <path>` validates a previously written dump:
+//! well-formed JSON with the current schema version.
 //!
-//! `faults` runs every benchmark under the fault-injection matrix and
-//! exits non-zero if any run is silently wrong (completed with corrupted
-//! output instead of being masked or failing with a typed error).
+//! `profile`, `faults`, `stress`, `tune`, `analyze` and `bench` go
+//! through the unified [`tapas_bench::experiment`] runner: one code path
+//! prints the table, writes `--json` and maps a failed run to a non-zero
+//! exit.
 //!
-//! `stress` runs the paper suite plus the `deeprec` spawn-chain with task
-//! queues shrunk to Ntasks ∈ {1, 2, 4} and admission control armed; every
-//! cell's output is revalidated byte-for-byte against the interpreter
-//! golden model (a divergence or deadlock aborts the run).
-//!
-//! `tune` runs the opt-in performance knobs (cross-unit work stealing and
-//! the banked L1) alone and composed at 4 tiles per unit and reports
-//! cycles, steal/bank counters and speedup over the seed configuration;
-//! every cell is revalidated against the golden model.
-//!
-//! `analyze` runs the static work/span and task-occupancy analyzer over
-//! the paper suite plus the `deeprec` spawn chain and cross-checks every
-//! bound against the interpreter's exact counters (a bound that fails to
-//! bracket its measurement aborts the run) and every predicted bottleneck
-//! class against the cycle-level profiler's verdict.
+//! `bench` runs every benchmark on both engine cores (event-driven and
+//! stepped), asserts their cycle counts agree, and reports simulated
+//! cycles/second, the spawn-bound-suite wall-clock speedup and the wall
+//! time of the tune/differential/boundary sweeps. `bench-compare
+//! <current> <baseline>` exits non-zero when the current run's total wall
+//! clock regressed more than 2x against the committed baseline
+//! (`BENCH_7.json`).
 
+use tapas_bench::experiment;
 use tapas_bench::experiments as exp;
 use tapas_bench::json::{self, ToJson};
 
@@ -49,63 +43,39 @@ fn main() {
     }
     let which = positional.first().map(String::as_str).unwrap_or("all").to_string();
 
+    // Runner experiments share one dispatch path: print, dump, exit.
+    if let Some(e) = experiment::find(&which) {
+        let report = e.run();
+        print!("{}", report.text);
+        if let Some(p) = &json_path {
+            std::fs::write(p, &report.json).expect("write json");
+            println!("\nraw rows written to {p}");
+        }
+        if let Some(reason) = &report.failure {
+            eprintln!("{}: {reason}", e.name);
+            std::process::exit(1);
+        }
+        return;
+    }
+
     match which.as_str() {
-        "profile" => {
-            let results = exp::profile_results();
-            print_profile(&results.rows);
-            if let Some(p) = &json_path {
-                std::fs::write(p, results.to_json()).expect("write json");
-                println!("\nraw rows written to {p}");
-            }
-            return;
-        }
-        "faults" => {
-            let results = exp::fault_results();
-            print_faults(&results.rows);
-            if let Some(p) = &json_path {
-                std::fs::write(p, results.to_json()).expect("write json");
-                println!("\nraw rows written to {p}");
-            }
-            let wrong = results.rows.iter().filter(|r| r.silently_wrong()).count();
-            if wrong > 0 {
-                eprintln!("faults: {wrong} run(s) completed with silently corrupted output");
-                std::process::exit(1);
-            }
-            return;
-        }
-        "stress" => {
-            let results = exp::stress_results();
-            print_stress(&results.rows);
-            if let Some(p) = &json_path {
-                std::fs::write(p, results.to_json()).expect("write json");
-                println!("\nraw rows written to {p}");
-            }
-            return;
-        }
-        "tune" => {
-            let results = exp::tune_results();
-            print_tune(&results.rows);
-            if let Some(p) = &json_path {
-                std::fs::write(p, results.to_json()).expect("write json");
-                println!("\nraw rows written to {p}");
-            }
-            return;
-        }
-        "analyze" => {
-            let results = exp::analyze_results();
-            print_analyze(&results.rows);
-            if let Some(p) = &json_path {
-                std::fs::write(p, results.to_json()).expect("write json");
-                println!("\nraw rows written to {p}");
-            }
-            return;
-        }
         "check-json" => {
             let path = positional.get(1).unwrap_or_else(|| {
                 eprintln!("usage: reproduce check-json <path>");
                 std::process::exit(2);
             });
             check_json(path);
+            return;
+        }
+        "bench-compare" => {
+            let (cur, base) = match (positional.get(1), positional.get(2)) {
+                (Some(c), Some(b)) => (c, b),
+                _ => {
+                    eprintln!("usage: reproduce bench-compare <current.json> <baseline.json>");
+                    std::process::exit(2);
+                }
+            };
+            bench_compare(cur, base);
             return;
         }
         _ => {}
@@ -141,8 +111,8 @@ fn main() {
             print_grain(&all.grain_ablation);
             print_mem(&all.mem_ablation);
             print_elision(&all.elision_ablation);
-            print_profile(&all.profile);
-            print_faults(&all.faults);
+            print!("{}", experiment::render_profile(&all.profile));
+            print!("{}", experiment::render_faults(&all.faults));
             print_lint();
             if let Some(p) = &json_path {
                 std::fs::write(p, all.to_json()).expect("write json");
@@ -152,19 +122,19 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!(
+            eprint!(
                 "expected one of: table2, spawn, fig13, table3, fig14, fig15, fig16, table4, \
-                 fig17, table5, grain, mem, elision, lint, profile, faults, stress, tune, \
-                 analyze, check-json, all"
+                 fig17, table5, grain, mem, elision, lint"
             );
+            for e in experiment::registry() {
+                eprint!(", {}", e.name);
+            }
+            eprintln!(", check-json, bench-compare, all");
             std::process::exit(2);
         }
     }
     if json_path.is_some() {
-        eprintln!(
-            "--json is only supported with `all`, `profile`, `faults`, `stress`, `tune` and \
-             `analyze`"
-        );
+        eprintln!("--json is only supported with `all` and the runner experiments");
     }
 }
 
@@ -202,129 +172,35 @@ fn check_json(path: &str) {
     }
 }
 
-fn print_profile(rows: &[exp::ProfileRow]) {
-    hdr("Cycle attribution: what bounds each benchmark");
-    println!(
-        "{:<12} {:>5} {:>9} {:<14} {:>8} {:>7} {:>7} {:>8} {:<18}",
-        "bench",
-        "tiles",
-        "cycles",
-        "verdict",
-        "compute",
-        "mem",
-        "spawn",
-        "q-full",
-        "dominant stall"
-    );
-    for r in rows {
-        let q_full: u64 = r.unit_queues.iter().map(|u| u.full_cycles).sum();
-        println!(
-            "{:<12} {:>5} {:>9} {:<14} {:>7.0}% {:>6.0}% {:>6.0}% {:>8} {:<18}",
-            r.name,
-            r.tiles,
-            r.cycles,
-            r.class,
-            r.compute_frac * 100.0,
-            r.memory_frac * 100.0,
-            r.spawn_frac * 100.0,
-            q_full,
-            r.dominant
+/// Gate: fail when the current bench run's total wall clock regressed
+/// more than 2x against the committed baseline. Wall clock is machine
+/// dependent, hence the deliberately loose factor — the gate catches
+/// order-of-magnitude engine regressions, not noise.
+fn bench_compare(current: &str, baseline: &str) {
+    let total = |path: &str| -> f64 {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench-compare: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let doc = json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bench-compare: {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        });
+        doc.get("total_wall_ms").and_then(json::JsonValue::as_f64).unwrap_or_else(|| {
+            eprintln!("bench-compare: {path} lacks a numeric `total_wall_ms`");
+            std::process::exit(1);
+        })
+    };
+    let cur = total(current);
+    let base = total(baseline);
+    if cur > 2.0 * base {
+        eprintln!(
+            "bench-compare: total wall clock regressed: {cur:.0} ms vs baseline {base:.0} ms \
+             (limit 2x)"
         );
+        std::process::exit(1);
     }
-}
-
-fn print_stress(rows: &[exp::StressRow]) {
-    hdr("Bounded resources: undersized-queue stress matrix (output == golden)");
-    println!(
-        "{:<12} {:>6} {:>10} {:>8} {:>8} {:>8}",
-        "bench", "ntasks", "cycles", "spills", "refills", "inline"
-    );
-    for r in rows {
-        println!(
-            "{:<12} {:>6} {:>10} {:>8} {:>8} {:>8}",
-            r.name, r.ntasks, r.cycles, r.spills, r.refills, r.inline_spawns
-        );
-    }
-}
-
-fn print_tune(rows: &[exp::TuneRow]) {
-    hdr("Tuning: opt-in work stealing + banked L1 (output == golden)");
-    println!(
-        "{:<12} {:<14} {:>5} {:>10} {:>7} {:>9} {:>9} {:>8}",
-        "bench", "variant", "tiles", "cycles", "steals", "stealfail", "bankconf", "speedup"
-    );
-    for r in rows {
-        println!(
-            "{:<12} {:<14} {:>5} {:>10} {:>7} {:>9} {:>9} {:>7.2}x",
-            r.name,
-            r.variant,
-            r.tiles,
-            r.cycles,
-            r.steals,
-            r.steal_fail,
-            r.bank_conflicts,
-            r.speedup
-        );
-    }
-}
-
-fn print_analyze(rows: &[exp::AnalyzeRow]) {
-    hdr("Static analysis: predicted vs measured (bounds bracket the interpreter)");
-    println!(
-        "{:<12} {:>16} {:>9} {:>13} {:>8} {:>7} {:>7} {:>9} {:>7} {:>5} {:<14} {:<14}",
-        "bench",
-        "work [lo,hi]",
-        "dyn",
-        "span [lo,hi]",
-        "dyn",
-        "mem",
-        "spawns",
-        "min-safe",
-        "seed-ok",
-        "peak",
-        "predicted",
-        "measured"
-    );
-    let fmt_hi = |hi: Option<u64>| hi.map(|h| h.to_string()).unwrap_or_else(|| "inf".to_string());
-    for r in rows {
-        println!(
-            "{:<12} {:>16} {:>9} {:>13} {:>8} {:>7} {:>7} {:>9} {:>7} {:>5} {:<14} {:<14}{}",
-            r.name,
-            format!("[{},{}]", r.work_lo, fmt_hi(r.work_hi)),
-            r.dyn_work,
-            format!("[{},{}]", r.span_lo, fmt_hi(r.span_hi)),
-            r.dyn_span,
-            r.dyn_mem,
-            r.dyn_spawns,
-            r.min_safe_ntasks.map(|n| n.to_string()).unwrap_or_else(|| "none".to_string()),
-            if r.safe_at_seed { "yes" } else { "NO" },
-            r.dyn_peak_tasks,
-            r.predicted,
-            r.measured,
-            if r.agree { "" } else { "  <- disagree" }
-        );
-    }
-}
-
-fn print_faults(rows: &[exp::FaultRow]) {
-    hdr("Robustness: fault-injection matrix (masked or detected, never silent)");
-    println!(
-        "{:<12} {:<16} {:<10} {:>7} {:>7} {:>4} {:>6} detail",
-        "bench", "scenario", "outcome", "inject", "retries", "ecc", "fenced"
-    );
-    for r in rows {
-        println!(
-            "{:<12} {:<16} {:<10} {:>7} {:>7} {:>4} {:>6} {}",
-            r.name,
-            r.scenario,
-            r.outcome,
-            r.faults_injected,
-            r.mem_retries,
-            r.ecc_retries,
-            r.quarantined_tiles,
-            r.detail
-        );
-    }
+    println!("bench-compare: {cur:.0} ms vs baseline {base:.0} ms — within 2x");
 }
 
 fn print_lint() {

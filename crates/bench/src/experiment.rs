@@ -1,0 +1,357 @@
+//! Unified experiment-runner API.
+//!
+//! Every first-class `reproduce` subcommand that can emit machine-readable
+//! results is an [`Experiment`]: a name, the JSON schema version it
+//! writes, and a runner producing an [`ExperimentReport`] — the rendered
+//! text table, the JSON dump, and an optional failure message. The binary
+//! looks the subcommand up in [`registry`] and handles printing, `--json`
+//! emission and the process exit code uniformly, instead of duplicating
+//! that plumbing per subcommand.
+
+use crate::json::ToJson;
+use crate::{experiments as exp, perf};
+use std::fmt::Write as _;
+
+/// What one experiment run produced.
+pub struct ExperimentReport {
+    /// Human-readable table(s), ready to print.
+    pub text: String,
+    /// JSON dump of the raw rows (always carries `schema_version`).
+    pub json: String,
+    /// `Some(reason)` if the run surfaced a failure the caller must turn
+    /// into a non-zero exit (e.g. a silently-wrong fault run).
+    pub failure: Option<String>,
+}
+
+/// A named, JSON-emitting experiment.
+pub struct Experiment {
+    /// Subcommand name (`reproduce <name>`).
+    pub name: &'static str,
+    /// One-line description for usage text.
+    pub summary: &'static str,
+    /// Schema version of the JSON this experiment writes.
+    pub schema_version: u64,
+    runner: fn() -> ExperimentReport,
+}
+
+impl Experiment {
+    /// Run the experiment to completion.
+    pub fn run(&self) -> ExperimentReport {
+        (self.runner)()
+    }
+}
+
+/// All experiments the unified runner knows about.
+pub fn registry() -> &'static [Experiment] {
+    const REGISTRY: &[Experiment] = &[
+        Experiment {
+            name: "profile",
+            summary: "cycle attribution: what bounds each benchmark",
+            schema_version: exp::JSON_SCHEMA_VERSION,
+            runner: run_profile,
+        },
+        Experiment {
+            name: "faults",
+            summary: "fault-injection matrix (masked or detected, never silent)",
+            schema_version: exp::JSON_SCHEMA_VERSION,
+            runner: run_faults,
+        },
+        Experiment {
+            name: "stress",
+            summary: "undersized-queue stress matrix with admission control",
+            schema_version: exp::JSON_SCHEMA_VERSION,
+            runner: run_stress,
+        },
+        Experiment {
+            name: "tune",
+            summary: "opt-in work stealing + banked L1 tuning matrix",
+            schema_version: exp::JSON_SCHEMA_VERSION,
+            runner: run_tune,
+        },
+        Experiment {
+            name: "analyze",
+            summary: "static work/span bounds vs measured counters",
+            schema_version: exp::JSON_SCHEMA_VERSION,
+            runner: run_analyze,
+        },
+        Experiment {
+            name: "bench",
+            summary: "event-driven vs stepped engine throughput + sweep wall time",
+            schema_version: exp::JSON_SCHEMA_VERSION,
+            runner: run_bench,
+        },
+    ];
+    REGISTRY
+}
+
+/// Look an experiment up by its subcommand name.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    registry().iter().find(|e| e.name == name)
+}
+
+fn run_profile() -> ExperimentReport {
+    let results = exp::profile_results();
+    ExperimentReport { text: render_profile(&results.rows), json: results.to_json(), failure: None }
+}
+
+fn run_faults() -> ExperimentReport {
+    let results = exp::fault_results();
+    let wrong = results.rows.iter().filter(|r| r.silently_wrong()).count();
+    ExperimentReport {
+        text: render_faults(&results.rows),
+        json: results.to_json(),
+        failure: (wrong > 0)
+            .then(|| format!("{wrong} run(s) completed with silently corrupted output")),
+    }
+}
+
+fn run_stress() -> ExperimentReport {
+    let results = exp::stress_results();
+    ExperimentReport { text: render_stress(&results.rows), json: results.to_json(), failure: None }
+}
+
+fn run_tune() -> ExperimentReport {
+    let results = exp::tune_results();
+    ExperimentReport { text: render_tune(&results.rows), json: results.to_json(), failure: None }
+}
+
+fn run_analyze() -> ExperimentReport {
+    let results = exp::analyze_results();
+    ExperimentReport { text: render_analyze(&results.rows), json: results.to_json(), failure: None }
+}
+
+fn run_bench() -> ExperimentReport {
+    let results = perf::bench_results();
+    ExperimentReport { text: render_bench(&results), json: results.to_json(), failure: None }
+}
+
+fn hdr(out: &mut String, title: &str) {
+    let _ = writeln!(out, "\n=== {title} ===");
+}
+
+/// Render the cycle-attribution table.
+pub fn render_profile(rows: &[exp::ProfileRow]) -> String {
+    let mut out = String::new();
+    hdr(&mut out, "Cycle attribution: what bounds each benchmark");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>5} {:>9} {:<14} {:>8} {:>7} {:>7} {:>8} {:<18}",
+        "bench",
+        "tiles",
+        "cycles",
+        "verdict",
+        "compute",
+        "mem",
+        "spawn",
+        "q-full",
+        "dominant stall"
+    );
+    for r in rows {
+        let q_full: u64 = r.unit_queues.iter().map(|u| u.full_cycles).sum();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5} {:>9} {:<14} {:>7.0}% {:>6.0}% {:>6.0}% {:>8} {:<18}",
+            r.name,
+            r.tiles,
+            r.cycles,
+            r.class,
+            r.compute_frac * 100.0,
+            r.memory_frac * 100.0,
+            r.spawn_frac * 100.0,
+            q_full,
+            r.dominant
+        );
+    }
+    out
+}
+
+/// Render the bounded-resource stress table.
+pub fn render_stress(rows: &[exp::StressRow]) -> String {
+    let mut out = String::new();
+    hdr(&mut out, "Bounded resources: undersized-queue stress matrix (output == golden)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>10} {:>8} {:>8} {:>8}",
+        "bench", "ntasks", "cycles", "spills", "refills", "inline"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>10} {:>8} {:>8} {:>8}",
+            r.name, r.ntasks, r.cycles, r.spills, r.refills, r.inline_spawns
+        );
+    }
+    out
+}
+
+/// Render the tuning-matrix table.
+pub fn render_tune(rows: &[exp::TuneRow]) -> String {
+    let mut out = String::new();
+    hdr(&mut out, "Tuning: opt-in work stealing + banked L1 (output == golden)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:<14} {:>5} {:>10} {:>7} {:>9} {:>9} {:>8}",
+        "bench", "variant", "tiles", "cycles", "steals", "stealfail", "bankconf", "speedup"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<14} {:>5} {:>10} {:>7} {:>9} {:>9} {:>7.2}x",
+            r.name,
+            r.variant,
+            r.tiles,
+            r.cycles,
+            r.steals,
+            r.steal_fail,
+            r.bank_conflicts,
+            r.speedup
+        );
+    }
+    out
+}
+
+/// Render the static-analysis cross-check table.
+pub fn render_analyze(rows: &[exp::AnalyzeRow]) -> String {
+    let mut out = String::new();
+    hdr(&mut out, "Static analysis: predicted vs measured (bounds bracket the interpreter)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>16} {:>9} {:>13} {:>8} {:>7} {:>7} {:>9} {:>7} {:>5} {:<14} {:<14}",
+        "bench",
+        "work [lo,hi]",
+        "dyn",
+        "span [lo,hi]",
+        "dyn",
+        "mem",
+        "spawns",
+        "min-safe",
+        "seed-ok",
+        "peak",
+        "predicted",
+        "measured"
+    );
+    let fmt_hi = |hi: Option<u64>| hi.map(|h| h.to_string()).unwrap_or_else(|| "inf".to_string());
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>16} {:>9} {:>13} {:>8} {:>7} {:>7} {:>9} {:>7} {:>5} {:<14} {:<14}{}",
+            r.name,
+            format!("[{},{}]", r.work_lo, fmt_hi(r.work_hi)),
+            r.dyn_work,
+            format!("[{},{}]", r.span_lo, fmt_hi(r.span_hi)),
+            r.dyn_span,
+            r.dyn_mem,
+            r.dyn_spawns,
+            r.min_safe_ntasks.map(|n| n.to_string()).unwrap_or_else(|| "none".to_string()),
+            if r.safe_at_seed { "yes" } else { "NO" },
+            r.dyn_peak_tasks,
+            r.predicted,
+            r.measured,
+            if r.agree { "" } else { "  <- disagree" }
+        );
+    }
+    out
+}
+
+/// Render the fault-injection matrix.
+pub fn render_faults(rows: &[exp::FaultRow]) -> String {
+    let mut out = String::new();
+    hdr(&mut out, "Robustness: fault-injection matrix (masked or detected, never silent)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:<16} {:<10} {:>7} {:>7} {:>4} {:>6} detail",
+        "bench", "scenario", "outcome", "inject", "retries", "ecc", "fenced"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<16} {:<10} {:>7} {:>7} {:>4} {:>6} {}",
+            r.name,
+            r.scenario,
+            r.outcome,
+            r.faults_injected,
+            r.mem_retries,
+            r.ecc_retries,
+            r.quarantined_tiles,
+            r.detail
+        );
+    }
+    out
+}
+
+/// Render the engine-throughput benchmark.
+pub fn render_bench(results: &perf::BenchResults) -> String {
+    let mut out = String::new();
+    hdr(&mut out, "Bench: event-driven vs stepped engine (cycle counts identical)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>5} {:>6} {:>9} {:>9} {:>8} {:>10} {:>10} {:>11} {:>8}",
+        "bench",
+        "tiles",
+        "spawn",
+        "cycles",
+        "events",
+        "skipped",
+        "event ms",
+        "step ms",
+        "Mcyc/s",
+        "speedup"
+    );
+    for r in &results.rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5} {:>6} {:>9} {:>9} {:>8} {:>10.2} {:>10.2} {:>11.2} {:>7.2}x",
+            r.name,
+            r.tiles,
+            r.spawn_cost,
+            r.cycles,
+            r.engine_events,
+            r.skipped_cycles,
+            r.wall_ms_event,
+            r.wall_ms_stepped,
+            r.sim_cycles_per_sec / 1e6,
+            r.speedup
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nspawn-bound suite speedup: {:.2}x (deeprec chain, spawn latency sweep)",
+        results.spawn_suite_speedup
+    );
+    let _ = writeln!(
+        out,
+        "sweeps: tune {:.0} ms, differential {:.0} ms ({} samples), boundary {:.0} ms ({} samples)",
+        results.tune_wall_ms,
+        results.differential_wall_ms,
+        results.differential_samples,
+        results.boundary_wall_ms,
+        results.boundary_samples
+    );
+    let _ = writeln!(out, "total wall: {:.0} ms", results.total_wall_ms);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for n in &names {
+            assert!(find(n).is_some());
+        }
+        assert!(find("fig13").is_none(), "paper tables are not runner experiments");
+    }
+
+    #[test]
+    fn every_experiment_advertises_the_current_schema() {
+        for e in registry() {
+            assert_eq!(e.schema_version, exp::JSON_SCHEMA_VERSION, "{}", e.name);
+        }
+    }
+}

@@ -10,7 +10,7 @@ use tapas_workloads::{image_scale, saxpy, scale_micro, suite_eval, suite_small, 
 /// Version stamped into every JSON document `reproduce --json` writes.
 /// Bump whenever a row struct gains, loses or renames a field so that
 /// downstream plotting scripts can detect stale dumps.
-pub const JSON_SCHEMA_VERSION: u64 = 6;
+pub const JSON_SCHEMA_VERSION: u64 = 7;
 
 /// Table II: per-task static properties of every benchmark.
 #[derive(Debug, Clone)]

@@ -12,8 +12,10 @@
 
 #![warn(missing_docs)]
 
+pub mod experiment;
 pub mod experiments;
 pub mod json;
+pub mod perf;
 
 use tapas::ir::interp::{self, Val};
 use tapas::{Accelerator, AcceleratorConfig, ProfileLevel, SimOutcome, Toolchain};

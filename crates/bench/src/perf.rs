@@ -1,0 +1,230 @@
+//! `reproduce bench` — simulator-throughput benchmark for the
+//! event-driven engine core.
+//!
+//! Two measurements, both taken in the same process and the same build so
+//! the comparison is apples-to-apples:
+//!
+//! 1. **Per-benchmark throughput**: every workload runs twice under an
+//!    identical configuration — once on the event-driven core (the
+//!    default) and once with [`tapas::AcceleratorConfig::event_driven`]
+//!    forced off (the seed's stepped core). Cycle counts must agree
+//!    exactly (the run aborts otherwise); only wall clock differs. Rows
+//!    report simulated-cycles-per-second and the wall-clock speedup.
+//!
+//!    The *spawn-bound suite* is the subset where the critical path is
+//!    the spawn/sync handshake rather than compute: the `deeprec` spawn
+//!    chain swept across modeled spawn-port latencies (the same ablation
+//!    idiom as the MSHR and grainsize sweeps). A chain exposes the full
+//!    handshake latency as machine-wide idle time, which is exactly what
+//!    the event-driven core elides — the headline
+//!    [`BenchResults::spawn_suite_speedup`] aggregates wall clock over
+//!    those rows.
+//!
+//! 2. **Sweep wall time**: the tune matrix, the fixed-seed differential
+//!    sweep and the boundary sweep (the harnesses that lock the engine's
+//!    behavior) are each run once and timed, so `BENCH_7.json` records
+//!    how long the repo's own verification gates take on this machine.
+
+use crate::experiments::JSON_SCHEMA_VERSION;
+use crate::json::json_object;
+use crate::{accel_config, ntasks_for, simulate_configured};
+use std::time::Instant;
+use tapas_workloads::{deeprec, suite_small, BuiltWorkload};
+
+/// Fixed seed shared with `tests/differential.rs`.
+pub const SWEEP_SEED: u64 = 0x7A9A_5CAF;
+
+/// One benchmark cell: the same simulation on both engine cores.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Workload name.
+    pub name: String,
+    /// Worker tiles.
+    pub tiles: usize,
+    /// Modeled spawn-port latency (the spawn-bound suite sweeps this).
+    pub spawn_cost: u64,
+    /// Simulated cycles (identical on both cores by construction).
+    pub cycles: u64,
+    /// Engine-loop iterations the event-driven core actually executed.
+    pub engine_events: u64,
+    /// Idle cycles the event-driven core jumped over.
+    pub skipped_cycles: u64,
+    /// Wall-clock milliseconds, event-driven core.
+    pub wall_ms_event: f64,
+    /// Wall-clock milliseconds, stepped (seed) core.
+    pub wall_ms_stepped: f64,
+    /// Simulated cycles per wall-clock second on the event-driven core.
+    pub sim_cycles_per_sec: f64,
+    /// `wall_ms_stepped / wall_ms_event`.
+    pub speedup: f64,
+    /// Member of the spawn-bound suite (feeds the headline aggregate).
+    pub spawn_bound: bool,
+}
+
+/// Full `reproduce bench` result set (`BENCH_7.json`).
+#[derive(Debug, Clone)]
+pub struct BenchResults {
+    /// [`JSON_SCHEMA_VERSION`] at the time of the run.
+    pub schema_version: u64,
+    /// Per-benchmark cells (paper suite + spawn-bound suite).
+    pub rows: Vec<BenchRow>,
+    /// Aggregate wall-clock speedup over the spawn-bound rows
+    /// (total stepped wall / total event wall).
+    pub spawn_suite_speedup: f64,
+    /// Wall time of the tune matrix (cross-unit stealing + banked L1).
+    pub tune_wall_ms: f64,
+    /// Wall time of the fixed-seed differential sweep, and its sample
+    /// count (a changed count means the harness itself changed).
+    pub differential_wall_ms: f64,
+    /// Samples the differential sweep accepted.
+    pub differential_samples: u64,
+    /// Wall time of the boundary sweep.
+    pub boundary_wall_ms: f64,
+    /// Samples the boundary sweep accepted.
+    pub boundary_samples: u64,
+    /// Total wall clock of everything above — the regression gate in
+    /// `scripts/check.sh` compares this against the committed baseline.
+    pub total_wall_ms: f64,
+}
+
+/// Run one workload on both cores and fold the timings into a row.
+fn bench_cell(wl: &BuiltWorkload, tiles: usize, spawn_cost: u64, spawn_bound: bool) -> BenchRow {
+    let mut cfg = accel_config(wl, tiles, ntasks_for(wl));
+    cfg.spawn_cost = spawn_cost;
+    let mut stepped = cfg.clone();
+    stepped.event_driven = false;
+    let t0 = Instant::now();
+    let (ev, _) = simulate_configured(wl, &cfg);
+    let wall_ms_event = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let (st, _) = simulate_configured(wl, &stepped);
+    let wall_ms_stepped = t1.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        (ev.cycles, ev.stats.spawns),
+        (st.cycles, st.stats.spawns),
+        "{}: event-driven core diverged from the stepped core",
+        wl.name
+    );
+    BenchRow {
+        name: wl.name.clone(),
+        tiles,
+        spawn_cost,
+        cycles: ev.cycles,
+        engine_events: ev.stats.engine_events,
+        skipped_cycles: ev.stats.skipped_cycles,
+        wall_ms_event,
+        wall_ms_stepped,
+        sim_cycles_per_sec: ev.cycles as f64 / (wall_ms_event / 1e3),
+        speedup: wall_ms_stepped / wall_ms_event,
+        spawn_bound,
+    }
+}
+
+/// The spawn-bound suite: the `deeprec` spawn chain across spawn-port
+/// latencies and tile counts. Every cycle of handshake latency on a chain
+/// is machine-wide idle time.
+fn spawn_bound_cells() -> Vec<(BuiltWorkload, usize, u64)> {
+    let mut cells = Vec::new();
+    for &tiles in &[1usize, 2] {
+        for &sc in &[10u64, 25, 50, 100, 200] {
+            cells.push((deeprec::build(256), tiles, sc));
+        }
+    }
+    cells
+}
+
+/// Run the full benchmark: per-benchmark rows, the spawn-bound suite and
+/// the timed verification sweeps.
+pub fn bench_results() -> BenchResults {
+    let mut rows = Vec::new();
+    // Paper suite at the default spawn latency: documents where the
+    // event-driven core helps (spawn-bound) and where it is neutral
+    // (compute/memory-bound keeps some tile busy almost every cycle).
+    for wl in suite_small() {
+        rows.push(bench_cell(&wl, 2, 10, false));
+    }
+    for (wl, tiles, sc) in spawn_bound_cells() {
+        rows.push(bench_cell(&wl, tiles, sc, true));
+    }
+    let (ev_ms, st_ms) = rows
+        .iter()
+        .filter(|r| r.spawn_bound)
+        .fold((0.0, 0.0), |(e, s), r| (e + r.wall_ms_event, s + r.wall_ms_stepped));
+    let spawn_suite_speedup = st_ms / ev_ms;
+
+    let t = Instant::now();
+    let tune_rows = crate::experiments::tune_matrix();
+    assert!(!tune_rows.is_empty());
+    let tune_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let differential_samples = tapas_integration::differential_sweep(SWEEP_SEED, 3)
+        .expect("differential sweep passes") as u64;
+    let differential_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let boundary_samples =
+        tapas_integration::boundary_sweep(SWEEP_SEED).expect("boundary sweep passes") as u64;
+    let boundary_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let row_wall: f64 = rows.iter().map(|r| r.wall_ms_event + r.wall_ms_stepped).sum();
+    BenchResults {
+        schema_version: JSON_SCHEMA_VERSION,
+        rows,
+        spawn_suite_speedup,
+        tune_wall_ms,
+        differential_wall_ms,
+        differential_samples,
+        boundary_wall_ms,
+        boundary_samples,
+        total_wall_ms: row_wall + tune_wall_ms + differential_wall_ms + boundary_wall_ms,
+    }
+}
+
+json_object!(BenchRow {
+    name,
+    tiles,
+    spawn_cost,
+    cycles,
+    engine_events,
+    skipped_cycles,
+    wall_ms_event,
+    wall_ms_stepped,
+    sim_cycles_per_sec,
+    speedup,
+    spawn_bound
+});
+json_object!(BenchResults {
+    schema_version,
+    rows,
+    spawn_suite_speedup,
+    tune_wall_ms,
+    differential_wall_ms,
+    differential_samples,
+    boundary_wall_ms,
+    boundary_samples,
+    total_wall_ms
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_cell_is_cycle_identical_and_counts_events() {
+        let wl = deeprec::build(64);
+        let row = bench_cell(&wl, 1, 25, true);
+        assert_eq!(row.cycles, row.engine_events + row.skipped_cycles);
+        assert!(row.skipped_cycles > 0, "a spawn chain must have idle windows");
+        assert!(row.sim_cycles_per_sec > 0.0);
+    }
+
+    #[test]
+    fn spawn_suite_covers_a_latency_sweep() {
+        let cells = spawn_bound_cells();
+        assert!(cells.len() >= 8);
+        assert!(cells.iter().all(|(wl, _, _)| wl.name == "deeprec"));
+        let costs: std::collections::BTreeSet<u64> = cells.iter().map(|&(_, _, sc)| sc).collect();
+        assert!(costs.len() >= 4, "the suite sweeps the spawn-port latency axis");
+    }
+}

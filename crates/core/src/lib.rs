@@ -51,18 +51,6 @@
 mod rtl;
 mod verilog;
 
-/// Emit parameterized Chisel-style RTL for a compiled design.
-#[deprecated(since = "0.2.0", note = "use `CompiledDesign::emit_chisel` instead")]
-pub fn emit_chisel(design: &CompiledDesign, cfg: &AcceleratorConfig) -> String {
-    rtl::emit_chisel(design, cfg)
-}
-
-/// Emit structural Verilog for a compiled design.
-#[deprecated(since = "0.2.0", note = "use `CompiledDesign::emit_verilog` instead")]
-pub fn emit_verilog(design: &CompiledDesign, cfg: &AcceleratorConfig) -> String {
-    verilog::emit_verilog(design, cfg)
-}
-
 /// Re-export of the static work/span and occupancy analysis crate.
 pub use tapas_analyze as analyze;
 /// Re-export of the baseline models crate.

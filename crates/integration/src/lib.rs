@@ -97,13 +97,17 @@ impl ConfigSample {
     }
 
     /// The seed twin: the same shape built without ever touching the
-    /// `steal`/`l1_banks` knobs. For a features-disabled sample this must
-    /// behave cycle-identically to [`ConfigSample::config`].
+    /// `steal`/`l1_banks` knobs, and run on the stepped (cycle-by-cycle)
+    /// engine core rather than the event-driven one. For a
+    /// features-disabled sample this must behave cycle-identically to
+    /// [`ConfigSample::config`], which locks the event-driven core to the
+    /// seed schedule on every sweep.
     pub fn seed_twin(&self, wl: &BuiltWorkload) -> AcceleratorConfig {
         let mut b = AcceleratorConfig::builder()
             .tiles(self.tiles)
             .ntasks(self.ntasks)
-            .mem_bytes(wl.mem.len().next_power_of_two().max(1 << 20));
+            .mem_bytes(wl.mem.len().next_power_of_two().max(1 << 20))
+            .event_driven(false);
         if self.admission {
             b = b.admission(AdmissionControl::default());
         }

@@ -279,6 +279,27 @@ impl DataBox {
         Ok(())
     }
 
+    /// The earliest future cycle at which this box can do anything, given
+    /// its state at the end of cycle `now` (the event-driven engine's
+    /// next-event contract; see DESIGN §14).
+    ///
+    /// A queued request whose arbiter traversal has already completed
+    /// (`eligible <= now`) pins the next event to `now + 1`: the box will
+    /// re-attempt the grant every cycle, and a refused attempt increments
+    /// the `cache_stalls`/`bank_conflicts` counters — cycles that tick a
+    /// counter can never be skipped. Requests still in the tree wake the
+    /// box when they emerge, and staged responses wake it when their demux
+    /// traversal completes. Returns `u64::MAX` when the box is empty.
+    pub fn next_event(&self, now: u64) -> u64 {
+        let mut next = self.delayed.peek().map_or(u64::MAX, |d| d.at);
+        for q in &self.queues {
+            if let Some(&(_, eligible)) = q.front() {
+                next = next.min(eligible.max(now + 1));
+            }
+        }
+        next
+    }
+
     /// Responses whose demux traversal has completed by cycle `now`.
     pub fn pop_responses(&mut self, now: u64) -> Vec<MemResp> {
         let mut out = Vec::new();
@@ -510,6 +531,35 @@ mod tests {
         }
         let _ = run_until_n_responses(&mut db, &mut ms, 4, 500);
         assert_eq!(db.stats().bank_conflicts, 0);
+    }
+
+    #[test]
+    fn next_event_tracks_queue_and_demux_state() {
+        let (mut db, mut ms) = mk(4);
+        assert_eq!(db.next_event(0), u64::MAX, "empty box has no events");
+        // A freshly enqueued request wakes the box when it leaves the
+        // arbiter tree.
+        assert!(db.enqueue(req(1, 0, 8), 10));
+        assert_eq!(db.next_event(10), 10 + db.levels());
+        // Once eligible, a still-queued request pins the event to now + 1:
+        // the box retries its grant every cycle.
+        assert_eq!(db.next_event(10 + db.levels()), 10 + db.levels() + 1);
+        // Drain it; the staged response's demux arrival is the next event.
+        let mut staged_at = None;
+        for now in 10..400 {
+            db.tick(now, &mut ms).unwrap();
+            if db.queued() == 0 {
+                let ne = db.next_event(now);
+                if ne != u64::MAX {
+                    staged_at.get_or_insert(ne);
+                }
+            }
+            if !db.pop_responses(now).is_empty() {
+                assert_eq!(Some(now), staged_at, "response arrives exactly at the next event");
+                break;
+            }
+        }
+        assert!(db.is_idle());
     }
 
     #[test]

@@ -93,6 +93,14 @@ pub struct AcceleratorConfig {
     /// above 1 split the L1 into independent banks with per-bank MSHRs so
     /// same-cycle accesses to different banks stop serializing.
     pub l1_banks: usize,
+    /// Advance the cycle counter directly to the next component event
+    /// instead of stepping through idle cycles (`true`, the default). The
+    /// event-driven core is cycle- and stats-identical to stepping — only
+    /// wall clock changes (see DESIGN §14 and
+    /// [`SimStats::skipped_cycles`](crate::SimStats)) — so `false` exists
+    /// for differential testing against the stepped seed schedule, not as
+    /// a behavioural knob.
+    pub event_driven: bool,
 }
 
 impl Default for AcceleratorConfig {
@@ -119,6 +127,7 @@ impl Default for AcceleratorConfig {
             admission: None,
             steal: None,
             l1_banks: 1,
+            event_driven: true,
         }
     }
 }
@@ -533,6 +542,14 @@ impl AcceleratorConfigBuilder {
         self
     }
 
+    /// Select the engine core: event-driven (`true`, the default — skips
+    /// idle cycles, identical timing) or stepped (`false` — executes every
+    /// cycle, the seed schedule the differential harness compares against).
+    pub fn event_driven(mut self, on: bool) -> Self {
+        self.cfg.event_driven = on;
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
@@ -673,6 +690,14 @@ mod tests {
         // 16 KiB / 512 banks = 32 B per bank — less than one 2-way set.
         let err = AcceleratorConfig::builder().l1_banks(512).build().unwrap_err();
         assert!(matches!(err, ConfigError::NonPowerOfTwoCache { level: "L1 bank", .. }));
+    }
+
+    #[test]
+    fn event_driven_core_is_the_default_and_builder_can_step() {
+        let c = AcceleratorConfig::builder().build().unwrap();
+        assert!(c.event_driven, "event-driven core is the default engine");
+        let c = AcceleratorConfig::builder().event_driven(false).build().unwrap();
+        assert!(!c.event_driven);
     }
 
     #[test]

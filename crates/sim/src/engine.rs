@@ -268,6 +268,18 @@ pub struct SimStats {
     /// Steal probe rounds that found no eligible entry in any victim
     /// (always 0 with stealing disabled).
     pub steal_fail: u64,
+    /// Idle cycles the event-driven core advanced over without executing
+    /// an engine iteration (0 when
+    /// [`AcceleratorConfig::event_driven`](crate::AcceleratorConfig) is
+    /// off, or when a fault plan forces per-cycle stepping). Every skipped
+    /// cycle still counts in [`SimStats::cycles`] and is attributed to the
+    /// profiler's stall buckets.
+    pub skipped_cycles: u64,
+    /// Engine-loop iterations actually executed. The accounting invariant
+    /// `cycles == engine_events + skipped_cycles` holds on every completed
+    /// run; `cycles / engine_events` is the event-driven core's speedup
+    /// over stepping.
+    pub engine_events: u64,
 }
 
 impl SimStats {
@@ -592,6 +604,8 @@ pub struct Accelerator {
     spills: u64,
     refills: u64,
     inline_spawns: u64,
+    skipped_cycles: u64,
+    engine_events: u64,
     /// Overflow-arena bounds ([`spill_base`, `spill_limit`) in bytes);
     /// both 0 when queue virtualization is off. Also marks the top of the
     /// program-visible address space for inline execution's bounds checks.
@@ -708,6 +722,8 @@ impl Accelerator {
             spills: 0,
             refills: 0,
             inline_spawns: 0,
+            skipped_cycles: 0,
+            engine_events: 0,
             spill_base,
             spill_limit,
             spill_next: spill_base,
@@ -792,6 +808,11 @@ impl Accelerator {
         self.spills = 0;
         self.refills = 0;
         self.inline_spawns = 0;
+        self.skipped_cycles = 0;
+        self.engine_events = 0;
+        // Fault plans inject per-cycle (tile stalls, response draws), so a
+        // faulted run steps every cycle; the fault-free path may skip.
+        let event_driven = self.cfg.event_driven && self.fault_rt.is_none();
         for p in &mut self.steal_ports {
             *p = StealPort::new();
         }
@@ -899,8 +920,42 @@ impl Accelerator {
                 }
             }
             self.cycle += 1;
+            self.engine_events += 1;
             if self.cycle - start_cycle > self.cfg.max_cycles {
                 return Err(SimError::CycleLimit(self.cfg.max_cycles));
+            }
+            // Event-driven advance: when every component is quiescent, the
+            // stepped engine would execute identical no-op iterations until
+            // the earliest pending event. Jump the cycle counter straight
+            // there, bulk-applying the per-cycle bookkeeping those idle
+            // iterations would have done. `self.progress` can only still be
+            // true here after a successful deadlock recovery, whose carried
+            // flag feeds the *next* iteration's progress check — step it.
+            // Once the root task has produced the host result the loop is
+            // about to exit; advancing past that point would inflate the
+            // final cycle count.
+            if event_driven && !self.progress && self.host_result.is_none() {
+                let target = self
+                    .next_event_cycle(now, last_progress)
+                    .min(start_cycle.saturating_add(self.cfg.max_cycles));
+                if target > self.cycle {
+                    let skipped = target - self.cycle;
+                    self.skipped_cycles += skipped;
+                    for u in &mut self.units {
+                        let busy = u.tiles.iter().filter(|t| t.exec.is_some()).count() as u64;
+                        u.stats.busy_tile_cycles += busy * skipped;
+                    }
+                    if self.prof.is_some() {
+                        self.attribute_skipped(skipped);
+                    }
+                    // The stepped engine refreshes `last_progress` every
+                    // cycle while memory is in flight; replicate the value
+                    // it would hold entering the target iteration.
+                    if self.ms.has_pending() {
+                        last_progress = target - 1;
+                    }
+                    self.cycle = target;
+                }
             }
         }
         let cycles = self.cycle - start_cycle;
@@ -928,7 +983,10 @@ impl Accelerator {
             inline_spawns: self.inline_spawns,
             steals: self.steal_ports.iter().map(|p| p.steals).sum(),
             steal_fail: self.steal_ports.iter().map(|p| p.failures).sum(),
+            skipped_cycles: self.skipped_cycles,
+            engine_events: self.engine_events,
         };
+        debug_assert_eq!(cycles, stats.engine_events + stats.skipped_cycles);
         let profile = self.prof.take().map(|p| p.finish(cycles, &self.units));
         if let Some(path) = self.cfg.trace_path.clone() {
             let trace = self.chrome_trace();
@@ -969,14 +1027,12 @@ impl Accelerator {
         }
     }
 
-    /// Charge exactly one [`StallReason`] to every tile for this cycle.
-    /// Runs once per engine-loop iteration, which is what makes the
-    /// [`Profile::check_invariant`] accounting exact.
-    fn attribute_cycle(&mut self, now: u64) {
-        let Some(mut prof) = self.prof.take() else {
-            return;
-        };
-        // Worst outstanding memory class per (unit, tile).
+    /// Worst outstanding memory class per (unit, tile), from the request
+    /// map and the data box's grant classifications.
+    fn mem_wait_map(
+        &self,
+        req_class: &HashMap<u64, StallReason>,
+    ) -> HashMap<(usize, usize), StallReason> {
         let mut mem_wait: HashMap<(usize, usize), StallReason> = HashMap::new();
         for (id, t) in &self.req_map {
             if t.kind != ReqKind::Tile {
@@ -989,13 +1045,26 @@ impl Accelerator {
                 // ordinary memory stall.
                 StallReason::FaultStall
             } else {
-                prof.req_class.get(id).copied().unwrap_or(StallReason::WaitingDatabox)
+                req_class.get(id).copied().unwrap_or(StallReason::WaitingDatabox)
             };
             let worst = mem_wait.entry((t.unit, t.tile)).or_insert(class);
             if mem_severity(class) > mem_severity(*worst) {
                 *worst = class;
             }
         }
+        mem_wait
+    }
+
+    /// Charge exactly one [`StallReason`] to every tile for this cycle.
+    /// Runs once per engine-loop iteration; skipped idle windows are
+    /// charged in bulk by [`Self::attribute_skipped`]. Together the two
+    /// paths charge one reason per tile per *cycle*, which is what makes
+    /// the [`Profile::check_invariant`] accounting exact.
+    fn attribute_cycle(&mut self, now: u64) {
+        let Some(mut prof) = self.prof.take() else {
+            return;
+        };
+        let mem_wait = self.mem_wait_map(&prof.req_class);
         for u in 0..self.units.len() {
             for t in 0..self.units[u].tiles.len() {
                 let worked = std::mem::take(&mut prof.worked[u][t]);
@@ -1004,6 +1073,165 @@ impl Accelerator {
             }
         }
         self.prof = Some(prof);
+    }
+
+    /// Bulk-attribute a skipped idle window of `skipped` cycles starting
+    /// at `self.cycle`. Classifying once and multiplying is exact because
+    /// every boundary [`Self::classify_tile`] compares the cycle counter
+    /// against (`block_start`, `steal_until`, `inline_busy_until`, node
+    /// `done_at`s, memory responses, queue `ready_at`s) is itself a
+    /// wake-up event reported by [`Self::next_event_cycle`], so no
+    /// classification input can change inside the window — and no tile
+    /// `worked` in a window the engine proved quiescent.
+    fn attribute_skipped(&mut self, skipped: u64) {
+        let Some(mut prof) = self.prof.take() else {
+            return;
+        };
+        let now = self.cycle; // first skipped cycle
+        let mem_wait = self.mem_wait_map(&prof.req_class);
+        for u in 0..self.units.len() {
+            for t in 0..self.units[u].tiles.len() {
+                let reason = self.classify_tile(u, t, now, &mem_wait, false);
+                prof.stalls[u][t][reason as usize] += skipped;
+            }
+        }
+        for (u, q) in self.units.iter().zip(prof.queues.iter_mut()) {
+            q.observe_idle(u.occupancy() as u32, skipped);
+        }
+        self.prof = Some(prof);
+    }
+
+    /// The earliest cycle after `now` at which the stepped engine would do
+    /// anything other than repeat a no-op iteration, computed from the
+    /// post-iteration state. Every component upholds the same contract
+    /// (DESIGN §14): report the first future cycle at which it could
+    /// change architectural state *or any counter*; activities that tick a
+    /// counter every cycle (retried grants, backpressured spawns, failing
+    /// steal probes, refill attempts) pin the result to `now + 1`, which
+    /// disables skipping rather than risk under-counting them.
+    fn next_event_cycle(&self, now: u64, last_progress: u64) -> u64 {
+        // The stall watchdog: the deadlock check fires (and its diagnosis
+        // is taken) at an exact cycle, which skipping must preserve.
+        let mut next = last_progress.saturating_add(100_001);
+        if let Some(a) = self.cfg.admission {
+            if self.units.iter().any(|u| !u.overflow.is_empty()) {
+                // Deadlock recovery forces the oldest spill inline the
+                // first cycle past the recovery window.
+                next = next.min(last_progress.saturating_add(a.recovery_window + 1));
+            }
+        }
+        next = next.min(self.databox.next_event(now));
+        if next <= now + 1 {
+            // Pinned already (an eligible request retries its grant every
+            // cycle) — the unit scans below cannot lower it further.
+            return next;
+        }
+        if let Some(ready) = self.ms.next_event() {
+            // The data box must tick at exactly the completion cycle to
+            // stage the response into its demux network.
+            next = next.min(ready.max(now + 1));
+        }
+        let steal_armed = self.cfg.steal.is_some() && self.units.len() >= 2;
+        for (ui, u) in self.units.iter().enumerate() {
+            if self.cfg.admission.is_some()
+                && u.pending_refill.is_none()
+                && !u.overflow.is_empty()
+                && !u.free.is_empty()
+            {
+                // The refill pump retries its arena read every cycle (a
+                // refused data-box enqueue counts backpressure).
+                return now + 1;
+            }
+            let free_tile = u.tiles.iter().any(|t| t.accepts_dispatch(now + 1));
+            if free_tile {
+                // Owner dispatch fires when the earliest READY entry's
+                // spawn handshake completes.
+                for &s in &u.ready {
+                    if let Some(e) = u.entries[s].as_ref() {
+                        next = next.min(e.ready_at.max(now + 1));
+                        if next <= now + 1 {
+                            return next;
+                        }
+                    }
+                }
+                if steal_armed {
+                    let lent = u
+                        .tiles
+                        .iter()
+                        .filter(|t| t.exec.as_ref().is_some_and(|e| e.home != ui))
+                        .count();
+                    if lent + 1 < u.tiles.len() {
+                        // An eligible thief probes every cycle, and a
+                        // failed probe round increments `steal_fail`.
+                        return now + 1;
+                    }
+                }
+            }
+            for t in &u.tiles {
+                if t.inline_busy_until > now {
+                    // Not a state change, but a profiler classification
+                    // boundary (SpillStall ends here).
+                    next = next.min(t.inline_busy_until);
+                }
+                let Some(exec) = t.exec.as_ref() else {
+                    continue;
+                };
+                if exec.steal_until > now {
+                    // Classification boundary: StealStall ends here.
+                    next = next.min(exec.steal_until);
+                }
+                if exec.block_start > now {
+                    // Nodes are fresh until the block transition lands.
+                    next = next.min(exec.block_start);
+                    if next <= now + 1 {
+                        return next;
+                    }
+                    continue;
+                }
+                let blk = &self.units[exec.home].dfg.blocks[exec.block_idx];
+                let mut all_done = true;
+                let mut in_flight = false;
+                for ns in &exec.nodes {
+                    if ns.issued && ns.done_at != u64::MAX && ns.done_at > now {
+                        // A functional unit completes (memory completions
+                        // are covered by the memory system's own events).
+                        next = next.min(ns.done_at);
+                        if next <= now + 1 {
+                            // Something finishes next cycle (a unit-latency
+                            // ALU op, typically): nothing can beat that.
+                            return next;
+                        }
+                    }
+                    if !ns.done(now) {
+                        all_done = false;
+                        if ns.issued {
+                            in_flight = true;
+                        }
+                    }
+                }
+                if all_done {
+                    // Only a backpressured detach holds a fully drained
+                    // instance on a tile; it retries (and counts a spawn
+                    // stall) every cycle.
+                    return now + 1;
+                }
+                for (i, ns) in exec.nodes.iter().enumerate() {
+                    if ns.issued || !self.deps_ready(&blk.nodes[i], exec, now) {
+                        continue;
+                    }
+                    if in_flight && matches!(blk.nodes[i].op, NodeOp::CallSpawn { .. }) {
+                        // The quiesce check retries silently until the
+                        // in-flight node drains — that drain is an event.
+                        continue;
+                    }
+                    // A ready node retries its issue every cycle: a
+                    // refused load/store counts data-box backpressure, a
+                    // refused spawn counts a spawn stall.
+                    return now + 1;
+                }
+            }
+        }
+        next
     }
 
     fn classify_tile(
@@ -2732,6 +2960,67 @@ mod tests {
         assert_eq!(acc_mem, gold_mem);
         assert_eq!(out.ret, Some(Val::Int(38)));
         assert!(out.cycles > 40, "two cache misses dominate");
+    }
+
+    #[test]
+    fn memory_bound_kernel_skips_idle_cycles_without_changing_them() {
+        // One tile waiting on two cache misses: almost every cycle is idle,
+        // so the event-driven core must skip — and land on exactly the same
+        // cycle count as the stepped seed core.
+        let mut b = FunctionBuilder::new("axpy1", vec![Type::ptr(Type::I32), Type::I32], Type::I32);
+        let (p, x) = (b.param(0), b.param(1));
+        let v = b.load(p);
+        let prod = b.mul(v, x);
+        let three = b.const_int(Type::I32, 3);
+        let s = b.add(prod, three);
+        b.store(p, s);
+        b.ret(Some(s));
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let mem: Vec<u8> = 5i32.to_le_bytes().to_vec();
+        let args = [Val::Int(0), Val::Int(7)];
+        let event = AcceleratorConfig::default();
+        let mut stepped = event.clone();
+        stepped.event_driven = false;
+        let (ev, ev_mem, _, _) = run_both(&m, f, &args, &mem, &event);
+        let (st, st_mem, _, _) = run_both(&m, f, &args, &mem, &stepped);
+        assert_eq!(ev.cycles, st.cycles, "event-driven core changed the cycle count");
+        assert_eq!(ev_mem, st_mem);
+        assert!(ev.stats.skipped_cycles > 0, "memory stalls should be skippable");
+        assert_eq!(ev.cycles, ev.stats.engine_events + ev.stats.skipped_cycles);
+        assert_eq!(st.stats.skipped_cycles, 0);
+        assert_eq!(st.stats.engine_events, st.cycles);
+        // Most of this kernel's lifetime is miss latency, so skipping should
+        // do real work: fewer than half the cycles are actually stepped.
+        assert!(
+            ev.stats.engine_events * 2 < ev.cycles,
+            "expected a mostly-idle run: {} events over {} cycles",
+            ev.stats.engine_events,
+            ev.cycles
+        );
+    }
+
+    #[test]
+    fn fully_busy_kernel_never_skips() {
+        // A long chain of dependent single-cycle ALU ops: the tile retires a
+        // node every cycle, so there is never a quiescent window to skip.
+        // spawn_cost(0) makes the root task dispatchable at cycle 0 —
+        // otherwise the initial alloc handshake is itself a skippable gap.
+        let mut b = FunctionBuilder::new("alu_chain", vec![Type::I32], Type::I32);
+        let mut v = b.param(0);
+        let one = b.const_int(Type::I32, 1);
+        for _ in 0..48 {
+            v = b.add(v, one);
+        }
+        b.ret(Some(v));
+        let mut m = Module::new("m");
+        let f = m.add_function(b.finish());
+        let cfg = AcceleratorConfig::builder().spawn_cost(0).build().unwrap();
+        let (out, _, gold_ret, _) = run_both(&m, f, &[Val::Int(1)], &[], &cfg);
+        assert_eq!(out.ret, gold_ret);
+        assert_eq!(out.ret, Some(Val::Int(49)));
+        assert_eq!(out.stats.skipped_cycles, 0, "a busy machine has nothing to skip");
+        assert_eq!(out.stats.engine_events, out.cycles);
     }
 
     #[test]

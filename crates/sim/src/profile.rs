@@ -4,11 +4,13 @@
 //! [`ProfileLevel::Off`], the engine charges **exactly one**
 //! [`StallReason`] to every tile on every simulated cycle and aggregates
 //! the counts into a hierarchical [`Profile`]: per task unit → per tile →
-//! (at [`ProfileLevel::Full`]) per DFG node class. Because the attribution
-//! pass runs once per engine-loop iteration and the cycle counter advances
-//! once per iteration, the accounting is exact by construction —
+//! (at [`ProfileLevel::Full`]) per DFG node class. The attribution pass
+//! runs once per engine-loop iteration; when the event-driven core skips
+//! a quiescent window it attributes the whole window in bulk — exact
+//! because, by the skip's precondition, no tile's classification can
+//! change mid-window — so the accounting stays exact by construction:
 //! [`Profile::check_invariant`] verifies that each tile's attributed
-//! cycles sum to the run's cycle count.
+//! cycles sum to the run's cycle count, stepped or skipped.
 //!
 //! The same instrumentation feeds a streaming task-lifecycle event trace
 //! that [`chrome_trace`] renders in the Chrome `chrome://tracing` /

@@ -71,6 +71,20 @@ impl QueueOccupancy {
         }
     }
 
+    /// Record `cycles` consecutive idle cycles at a constant occupancy in
+    /// one bulk observation — exactly equivalent to calling
+    /// [`QueueOccupancy::observe`] `cycles` times. The event-driven engine
+    /// uses this to account for the idle windows it skips over without
+    /// touching each cycle individually.
+    pub fn observe_idle(&mut self, occupied: u32, cycles: u64) {
+        self.samples += cycles;
+        self.total += u64::from(occupied) * cycles;
+        self.peak = self.peak.max(occupied);
+        if self.capacity > 0 && occupied >= self.capacity {
+            self.full_cycles += cycles;
+        }
+    }
+
     /// Number of cycles observed so far.
     pub fn samples(&self) -> u64 {
         self.samples
@@ -138,6 +152,25 @@ mod tests {
         assert_eq!(q.full_cycles(), 2);
         q.observe_spawns(4, true);
         assert_eq!(q.full_cycles(), 3);
+    }
+
+    #[test]
+    fn bulk_idle_observation_matches_per_cycle_observation() {
+        let mut per_cycle = QueueOccupancy::new(4);
+        let mut bulk = QueueOccupancy::new(4);
+        for _ in 0..7 {
+            per_cycle.observe(3);
+        }
+        bulk.observe_idle(3, 7);
+        assert_eq!(per_cycle.samples(), bulk.samples());
+        assert_eq!(per_cycle.mean_occupancy(), bulk.mean_occupancy());
+        assert_eq!(per_cycle.peak(), bulk.peak());
+        assert_eq!(per_cycle.full_cycles(), bulk.full_cycles());
+        // At capacity the whole window counts as full.
+        per_cycle.observe(4);
+        per_cycle.observe(4);
+        bulk.observe_idle(4, 2);
+        assert_eq!(per_cycle.full_cycles(), bulk.full_cycles());
     }
 
     #[test]

@@ -49,6 +49,16 @@ analyze_smoke() {
   ./target/release/reproduce check-json /tmp/analyze.json
 }
 
+bench_gate() {
+  # Event-driven engine perf gate: re-runs the bench suite (cycle-identity
+  # between the event-driven and stepped cores is asserted inside), checks
+  # the dump against the schema golden, and fails if total wall clock
+  # regressed more than 2x against the committed BENCH_7.json baseline.
+  timeout 300 ./target/release/reproduce bench --json /tmp/bench.json >/dev/null
+  ./target/release/reproduce check-json /tmp/bench.json
+  ./target/release/reproduce bench-compare /tmp/bench.json BENCH_7.json
+}
+
 differential_sweep() {
   # Seeded random configs (steal x banks x tiles x ntasks x admission)
   # against the interpreter golden model; seed ${DIFF_SEED} is fixed in
@@ -65,6 +75,7 @@ gate "reproduce faults smoke (robustness gate)" faults_smoke
 gate "reproduce stress (bounded-resource gate)" stress_smoke
 gate "reproduce tune smoke (opt-in feature gate)" tune_smoke
 gate "reproduce analyze smoke (static-analysis gate)" analyze_smoke
+gate "reproduce bench (event-engine perf gate)" bench_gate
 gate "differential sweep (seed ${DIFF_SEED})" differential_sweep
 gate "parser fuzz corpus (crash-hardening gate)" timeout 300 cargo test -q -p tapas-ir --test parse_fuzz
 
