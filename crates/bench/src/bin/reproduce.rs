@@ -1,60 +1,156 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! cargo run --release -p tapas-bench --bin reproduce [experiment]
+//! cargo run --release -p tapas-bench --bin reproduce [experiment] [flags]
 //! ```
 //!
 //! where `experiment` is one of `table2`, `spawn`, `fig13`, `table3`,
 //! `fig14`, `fig15`, `fig16`, `table4`, `fig17`, `table5`, `lint`,
-//! `profile`, `faults`, `stress`, `tune`, `analyze`, `bench`, or `all`
-//! (default). Pass `--json <path>` to also dump the raw rows (for `all`
-//! and every runner experiment; the dump carries a `schema_version`
-//! field). `check-json <path>` validates a previously written dump:
-//! well-formed JSON with the current schema version.
+//! `profile`, `faults`, `stress`, `tune`, `analyze`, `bench`,
+//! `differential`, or `all` (default). Pass `--json <path>` to also dump
+//! the raw rows (for `all` and every runner experiment; the dump carries
+//! a `schema_version` field). `check-json <path>` validates a previously
+//! written dump: well-formed JSON with the current schema version.
+//! `--list` prints every runner experiment with its schema version.
 //!
-//! `profile`, `faults`, `stress`, `tune`, `analyze` and `bench` go
-//! through the unified [`tapas_bench::experiment`] runner: one code path
-//! prints the table, writes `--json` and maps a failed run to a non-zero
-//! exit.
+//! The runner experiments (`profile`, `faults`, `stress`, `tune`,
+//! `analyze`, `bench`, `differential`) go through the unified
+//! [`tapas_bench::experiment`] registry on top of the `tapas-exec` sweep
+//! executor: each experiment decomposes into independent deterministic
+//! cells drained by worker threads. Scheduling flags:
+//!
+//! - `--jobs <N>` worker threads (default: one per core)
+//! - `--retries <N>` retries per failing cell (default 1)
+//! - `--timeout-ms <MS>` per-attempt watchdog; `0` disables (default 10
+//!   minutes)
+//! - `--checkpoint <path>` journal location (default
+//!   `target/sweep/<experiment>.checkpoint.jsonl`)
+//! - `--no-checkpoint` disables journaling
+//! - `--resume` replays succeeded cells from the journal and re-runs
+//!   only what's missing or failed
+//! - `--inject <spec>` test-only fault injection (`panic:<cell>`,
+//!   `timeout:<cell>`, `flaky:<cell>:<n>`); repeatable
+//!
+//! The sweep summary and checkpoint notes go to **stderr**; stdout
+//! carries exactly the experiment's tables, so piped output is identical
+//! across `--jobs` values and across interrupted-then-resumed runs. Any
+//! failed or unattempted cell maps to a non-zero exit.
 //!
 //! `bench` runs every benchmark on both engine cores (event-driven and
 //! stepped), asserts their cycle counts agree, and reports simulated
-//! cycles/second, the spawn-bound-suite wall-clock speedup and the wall
-//! time of the tune/differential/boundary sweeps. `bench-compare
-//! <current> <baseline>` exits non-zero when the current run's total wall
-//! clock regressed more than 2x against the committed baseline
-//! (`BENCH_7.json`).
+//! cycles/second, the spawn-bound-suite wall-clock speedup, the wall
+//! time of the tune/differential/boundary sweeps and the serial-vs-
+//! sharded executor speedup. `bench-compare <current> <baseline>` exits
+//! non-zero when the current run's total wall clock regressed more than
+//! 2x against the committed baseline (`BENCH_8.json`), or when a
+//! multi-core sharded run collapsed below 0.45x of serial.
 
+use std::time::Duration;
 use tapas_bench::experiment;
 use tapas_bench::experiments as exp;
 use tapas_bench::json::{self, ToJson};
+use tapas_exec as exec;
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+struct Flags {
+    json_path: Option<String>,
+    jobs: Option<usize>,
+    retries: Option<u32>,
+    timeout_ms: Option<u64>,
+    checkpoint: Option<String>,
+    no_checkpoint: bool,
+    resume: bool,
+    halt_after: Option<usize>,
+    inject: exec::Inject,
+    list: bool,
+}
+
+fn parse_args() -> (Vec<String>, Flags) {
+    let mut positional: Vec<String> = Vec::new();
+    let mut flags = Flags {
+        json_path: None,
+        jobs: None,
+        retries: None,
+        timeout_ms: None,
+        checkpoint: None,
+        no_checkpoint: false,
+        resume: false,
+        halt_after: None,
+        inject: exec::Inject::default(),
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| {
+            it.next().unwrap_or_else(|| usage_exit(&format!("reproduce: {a} wants {what}")))
+        };
+        match a.as_str() {
+            "--json" => flags.json_path = Some(value("a path")),
+            "--jobs" => {
+                flags.jobs = Some(
+                    value("a worker count")
+                        .parse()
+                        .unwrap_or_else(|_| usage_exit("reproduce: --jobs wants a number")),
+                );
+            }
+            "--retries" => {
+                flags.retries = Some(
+                    value("a retry count")
+                        .parse()
+                        .unwrap_or_else(|_| usage_exit("reproduce: --retries wants a number")),
+                );
+            }
+            "--timeout-ms" => {
+                flags.timeout_ms = Some(
+                    value("milliseconds")
+                        .parse()
+                        .unwrap_or_else(|_| usage_exit("reproduce: --timeout-ms wants a number")),
+                );
+            }
+            "--checkpoint" => flags.checkpoint = Some(value("a path")),
+            "--no-checkpoint" => flags.no_checkpoint = true,
+            "--resume" => flags.resume = true,
+            "--halt-after" => {
+                flags.halt_after = Some(
+                    value("a cell count")
+                        .parse()
+                        .unwrap_or_else(|_| usage_exit("reproduce: --halt-after wants a number")),
+                );
+            }
+            "--inject" => {
+                let spec = value("a spec");
+                flags
+                    .inject
+                    .parse_spec(&spec)
+                    .unwrap_or_else(|e| usage_exit(&format!("reproduce: {e}")));
+            }
+            "--list" => flags.list = true,
+            other if other.starts_with("--") => {
+                usage_exit(&format!("reproduce: unknown flag `{other}`"));
+            }
+            _ => positional.push(a),
+        }
+    }
+    (positional, flags)
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut positional: Vec<String> = Vec::new();
-    let mut json_path: Option<String> = None;
-    let mut it = args.into_iter();
-    while let Some(a) = it.next() {
-        if a == "--json" {
-            json_path = it.next();
-        } else {
-            positional.push(a);
+    let (positional, flags) = parse_args();
+    if flags.list {
+        for e in experiment::registry() {
+            println!("{:<14} v{:<3} {}", e.name, e.schema_version, e.summary);
         }
+        return;
     }
     let which = positional.first().map(String::as_str).unwrap_or("all").to_string();
 
-    // Runner experiments share one dispatch path: print, dump, exit.
+    // Runner experiments share one dispatch path: sweep, print, dump, exit.
     if let Some(e) = experiment::find(&which) {
-        let report = e.run();
-        print!("{}", report.text);
-        if let Some(p) = &json_path {
-            std::fs::write(p, &report.json).expect("write json");
-            println!("\nraw rows written to {p}");
-        }
-        if let Some(reason) = &report.failure {
-            eprintln!("{}: {reason}", e.name);
-            std::process::exit(1);
-        }
+        run_experiment(e, &flags);
         return;
     }
 
@@ -114,9 +210,16 @@ fn main() {
             print!("{}", experiment::render_profile(&all.profile));
             print!("{}", experiment::render_faults(&all.faults));
             print_lint();
-            if let Some(p) = &json_path {
+            if let Some(p) = &flags.json_path {
                 std::fs::write(p, all.to_json()).expect("write json");
                 println!("\nraw rows written to {p}");
+            }
+            // The embedded fault matrix must fail the run exactly as
+            // `reproduce faults` would — `all` is not a silent path.
+            let wrong = all.faults.iter().filter(|r| r.silently_wrong()).count();
+            if wrong > 0 {
+                eprintln!("all: {wrong} fault run(s) completed with silently corrupted output");
+                std::process::exit(1);
             }
             return;
         }
@@ -133,8 +236,70 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if json_path.is_some() {
+    if flags.json_path.is_some() {
         eprintln!("--json is only supported with `all` and the runner experiments");
+    }
+}
+
+/// Run one registry experiment through the sweep executor with the CLI's
+/// scheduling flags, journaling to the checkpoint unless disabled.
+fn run_experiment(e: &experiment::Experiment, flags: &Flags) {
+    exec::install_quiet_panic_hook();
+    let mut policy = exec::Policy::default_parallel();
+    if let Some(jobs) = flags.jobs {
+        policy.jobs = jobs.max(1);
+    }
+    if let Some(retries) = flags.retries {
+        policy.max_attempts = retries + 1;
+    }
+    if let Some(ms) = flags.timeout_ms {
+        policy.timeout = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    policy.halt_after = flags.halt_after;
+    policy.inject = flags.inject.clone();
+
+    let path = flags
+        .checkpoint
+        .clone()
+        .unwrap_or_else(|| format!("target/sweep/{}.checkpoint.jsonl", e.name));
+    let journal = if flags.no_checkpoint {
+        None
+    } else if flags.resume {
+        match exec::Journal::resume(std::path::Path::new(&path), experiment::codec()) {
+            Ok(j) => Some(j),
+            Err(err) => {
+                eprintln!("reproduce: cannot resume from {path}: {err}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        match exec::Journal::create(std::path::Path::new(&path), experiment::codec()) {
+            Ok(j) => Some(j),
+            Err(err) => {
+                eprintln!("reproduce: cannot write checkpoint {path}: {err}; running without");
+                None
+            }
+        }
+    };
+    if let Some(j) = &journal {
+        for note in j.notes() {
+            eprintln!("checkpoint: {note}");
+        }
+        if flags.resume {
+            eprintln!("checkpoint: {} cell(s) replayable from {path}", j.prior_count());
+        }
+    }
+
+    let (report, sweep) = e.run_sharded(&policy, journal.as_ref());
+    print!("{}", report.text);
+    if let Some(p) = &flags.json_path {
+        std::fs::write(p, &report.json).expect("write json");
+        println!("\nraw rows written to {p}");
+    }
+    eprintln!("sweep: {}", sweep.summary());
+    if let Some(reason) = &report.failure {
+        eprintln!("{}: {reason}", e.name);
+        std::process::exit(1);
     }
 }
 
@@ -173,30 +338,44 @@ fn check_json(path: &str) {
 }
 
 /// Gate: fail when the current bench run's total wall clock regressed
-/// more than 2x against the committed baseline. Wall clock is machine
-/// dependent, hence the deliberately loose factor — the gate catches
-/// order-of-magnitude engine regressions, not noise.
+/// more than 2x against the committed baseline, or when a multi-core
+/// sharded run was drastically slower than serial. Wall clock is machine
+/// dependent, hence the deliberately loose factors — the gate catches
+/// order-of-magnitude harness regressions, not noise.
 fn bench_compare(current: &str, baseline: &str) {
-    let total = |path: &str| -> f64 {
+    let load = |path: &str| -> json::JsonValue {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("bench-compare: cannot read {path}: {e}");
             std::process::exit(1);
         });
-        let doc = json::parse(&text).unwrap_or_else(|e| {
+        json::parse(&text).unwrap_or_else(|e| {
             eprintln!("bench-compare: {path} is not valid JSON: {e}");
             std::process::exit(1);
-        });
+        })
+    };
+    let total = |doc: &json::JsonValue, path: &str| -> f64 {
         doc.get("total_wall_ms").and_then(json::JsonValue::as_f64).unwrap_or_else(|| {
             eprintln!("bench-compare: {path} lacks a numeric `total_wall_ms`");
             std::process::exit(1);
         })
     };
-    let cur = total(current);
-    let base = total(baseline);
+    let cur_doc = load(current);
+    let cur = total(&cur_doc, current);
+    let base = total(&load(baseline), baseline);
     if cur > 2.0 * base {
         eprintln!(
             "bench-compare: total wall clock regressed: {cur:.0} ms vs baseline {base:.0} ms \
              (limit 2x)"
+        );
+        std::process::exit(1);
+    }
+    let shard_jobs = cur_doc.get("shard_jobs").and_then(json::JsonValue::as_f64).unwrap_or(0.0);
+    let shard_speedup =
+        cur_doc.get("shard_speedup").and_then(json::JsonValue::as_f64).unwrap_or(1.0);
+    if shard_jobs > 1.0 && shard_speedup < 0.45 {
+        eprintln!(
+            "bench-compare: sharded sweep collapsed: {shard_speedup:.2}x at jobs={shard_jobs:.0} \
+             (floor 0.45x)"
         );
         std::process::exit(1);
     }

@@ -1,16 +1,24 @@
-//! Unified experiment-runner API.
+//! Unified experiment-runner API on top of the sweep executor.
 //!
 //! Every first-class `reproduce` subcommand that can emit machine-readable
 //! results is an [`Experiment`]: a name, the JSON schema version it
-//! writes, and a runner producing an [`ExperimentReport`] — the rendered
-//! text table, the JSON dump, and an optional failure message. The binary
-//! looks the subcommand up in [`registry`] and handles printing, `--json`
-//! emission and the process exit code uniformly, instead of duplicating
-//! that plumbing per subcommand.
+//! writes, a *cell decomposition* (independent deterministic units of
+//! work, one [`tapas_exec::Cell`] each) and an *assembler* folding the
+//! executor's per-cell records back into an [`ExperimentReport`] — the
+//! rendered text table, the JSON dump, and an optional failure message.
+//!
+//! The split is what buys fault tolerance for free: the executor owns
+//! scheduling, panic isolation, watchdog timeouts, retries and the
+//! checkpoint journal, while each experiment only declares *what* its
+//! cells are and *how* to fold their payloads. A serial policy
+//! ([`Experiment::run`]) reproduces the pre-executor behavior exactly;
+//! `reproduce` hands the same cells a parallel policy and a journal.
 
-use crate::json::ToJson;
+use crate::json::{FromJson, JsonValue, ToJson};
 use crate::{experiments as exp, perf};
 use std::fmt::Write as _;
+use tapas_exec as exec;
+use tapas_workloads::suite_small;
 
 /// What one experiment run produced.
 pub struct ExperimentReport {
@@ -19,25 +27,164 @@ pub struct ExperimentReport {
     /// JSON dump of the raw rows (always carries `schema_version`).
     pub json: String,
     /// `Some(reason)` if the run surfaced a failure the caller must turn
-    /// into a non-zero exit (e.g. a silently-wrong fault run).
+    /// into a non-zero exit (e.g. a silently-wrong fault run, or an
+    /// incomplete sweep).
     pub failure: Option<String>,
 }
 
-/// A named, JSON-emitting experiment.
+/// The typed payload of one executor cell. Every experiment's cells
+/// produce a variant of this one enum, so a single journal [`codec`]
+/// covers the whole registry and a checkpoint file is self-describing
+/// (`{"kind":"…","data":…}`).
+#[derive(Debug, Clone)]
+pub enum CellPayload {
+    /// A `profile/<bench>` cell: one benchmark's cycle attribution.
+    Profile(exp::ProfileRow),
+    /// A `faults/<bench>` cell: one benchmark's whole scenario matrix
+    /// (the fault-free baseline is amortized across the scenarios, so
+    /// the benchmark is the smallest independent cell).
+    Faults(Vec<exp::FaultRow>),
+    /// A `stress/<bench>/<ntasks>` cell.
+    Stress(exp::StressRow),
+    /// A `tune/<bench>` cell: one benchmark's variant matrix (the
+    /// speedup column normalizes against the benchmark's own seed row).
+    Tune(Vec<exp::TuneRow>),
+    /// An `analyze/<bench>` cell.
+    Analyze(exp::AnalyzeRow),
+    /// A `bench/row/<bench>` or `bench/spawn/…` throughput cell.
+    Bench(perf::BenchRow),
+    /// A `bench/sweep/<which>` verification-sweep timing cell.
+    Sweep(perf::SweepTiming),
+    /// The `bench/shard` serial-vs-sharded timing cell.
+    Shard(perf::ShardTiming),
+    /// A `differential/<bench>` seeded config-sweep cell.
+    Differential(exp::DifferentialRow),
+}
+
+impl CellPayload {
+    /// The journal tag for this variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CellPayload::Profile(_) => "profile",
+            CellPayload::Faults(_) => "faults",
+            CellPayload::Stress(_) => "stress",
+            CellPayload::Tune(_) => "tune",
+            CellPayload::Analyze(_) => "analyze",
+            CellPayload::Bench(_) => "bench",
+            CellPayload::Sweep(_) => "sweep",
+            CellPayload::Shard(_) => "shard",
+            CellPayload::Differential(_) => "differential",
+        }
+    }
+}
+
+impl ToJson for CellPayload {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"kind\":");
+        self.kind().write_json(out);
+        out.push_str(",\"data\":");
+        match self {
+            CellPayload::Profile(r) => r.write_json(out),
+            CellPayload::Faults(r) => r.write_json(out),
+            CellPayload::Stress(r) => r.write_json(out),
+            CellPayload::Tune(r) => r.write_json(out),
+            CellPayload::Analyze(r) => r.write_json(out),
+            CellPayload::Bench(r) => r.write_json(out),
+            CellPayload::Sweep(r) => r.write_json(out),
+            CellPayload::Shard(r) => r.write_json(out),
+            CellPayload::Differential(r) => r.write_json(out),
+        }
+        out.push('}');
+    }
+}
+
+/// Decode a journaled cell payload (inverse of the [`ToJson`] impl).
+///
+/// # Errors
+///
+/// Fails on a missing/unknown `kind` tag or a `data` value that does not
+/// decode as that variant's row type.
+pub fn decode_cell_payload(v: &JsonValue) -> Result<CellPayload, String> {
+    let kind = v.get("kind").and_then(JsonValue::as_str).ok_or("payload missing `kind`")?;
+    let data = v.get("data").ok_or("payload missing `data`")?;
+    match kind {
+        "profile" => FromJson::from_json(data).map(CellPayload::Profile),
+        "faults" => FromJson::from_json(data).map(CellPayload::Faults),
+        "stress" => FromJson::from_json(data).map(CellPayload::Stress),
+        "tune" => FromJson::from_json(data).map(CellPayload::Tune),
+        "analyze" => FromJson::from_json(data).map(CellPayload::Analyze),
+        "bench" => FromJson::from_json(data).map(CellPayload::Bench),
+        "sweep" => FromJson::from_json(data).map(CellPayload::Sweep),
+        "shard" => FromJson::from_json(data).map(CellPayload::Shard),
+        "differential" => FromJson::from_json(data).map(CellPayload::Differential),
+        other => Err(format!("unknown payload kind `{other}`")),
+    }
+    .map_err(|e| format!("{kind} payload: {e}"))
+}
+
+fn encode_cell_payload(p: &CellPayload) -> String {
+    p.to_json()
+}
+
+/// The checkpoint-journal codec shared by every experiment in the
+/// registry.
+pub fn codec() -> exec::Codec<CellPayload> {
+    exec::Codec { encode: encode_cell_payload, decode: decode_cell_payload }
+}
+
+/// A named, JSON-emitting experiment, decomposed into executor cells.
 pub struct Experiment {
     /// Subcommand name (`reproduce <name>`).
     pub name: &'static str,
-    /// One-line description for usage text.
+    /// One-line description for usage text and `--list`.
     pub summary: &'static str,
     /// Schema version of the JSON this experiment writes.
     pub schema_version: u64,
-    runner: fn() -> ExperimentReport,
+    /// Build the experiment's cell list (cheap: closures only, no
+    /// simulation happens until the executor runs them).
+    pub cells: fn() -> Vec<exec::Cell<CellPayload>>,
+    /// Fold the executor's records (spec order, failures included with
+    /// `payload: None`) back into the report.
+    pub assemble: fn(&[exec::CellRecord<CellPayload>]) -> ExperimentReport,
 }
 
 impl Experiment {
-    /// Run the experiment to completion.
+    /// Run the experiment serially to completion — one worker, no
+    /// watchdog, no retry: cells run inline exactly as the pre-executor
+    /// harness did.
     pub fn run(&self) -> ExperimentReport {
-        (self.runner)()
+        self.run_sharded(&exec::Policy::serial(), None).0
+    }
+
+    /// Run the experiment's cells under `policy`, optionally journaling
+    /// to (and replaying from) `journal`. Any cell that did not succeed —
+    /// and any cell never attempted — is folded into the report's
+    /// `failure`, so callers turn an incomplete sweep into a non-zero
+    /// exit uniformly.
+    pub fn run_sharded(
+        &self,
+        policy: &exec::Policy,
+        journal: Option<&exec::Journal<CellPayload>>,
+    ) -> (ExperimentReport, exec::SweepReport<CellPayload>) {
+        let cells = (self.cells)();
+        let sweep = exec::run_sweep(&cells, policy, journal);
+        let mut report = (self.assemble)(&sweep.records);
+        if !sweep.complete_ok() {
+            let mut lines: Vec<String> = sweep
+                .failures()
+                .iter()
+                .map(|r| format!("{} {} ({})", r.id, r.status.label(), r.detail))
+                .collect();
+            if sweep.skipped > 0 {
+                lines.push(format!("{} cell(s) not attempted", sweep.skipped));
+            }
+            let why = format!("sweep incomplete: {}", lines.join("; "));
+            report.failure = Some(match report.failure.take() {
+                Some(prev) => format!("{prev}; {why}"),
+                None => why,
+            });
+        }
+        (report, sweep)
     }
 }
 
@@ -48,37 +195,50 @@ pub fn registry() -> &'static [Experiment] {
             name: "profile",
             summary: "cycle attribution: what bounds each benchmark",
             schema_version: exp::JSON_SCHEMA_VERSION,
-            runner: run_profile,
+            cells: profile_cells,
+            assemble: assemble_profile,
         },
         Experiment {
             name: "faults",
             summary: "fault-injection matrix (masked or detected, never silent)",
             schema_version: exp::JSON_SCHEMA_VERSION,
-            runner: run_faults,
+            cells: faults_cells,
+            assemble: assemble_faults,
         },
         Experiment {
             name: "stress",
             summary: "undersized-queue stress matrix with admission control",
             schema_version: exp::JSON_SCHEMA_VERSION,
-            runner: run_stress,
+            cells: stress_cells,
+            assemble: assemble_stress,
         },
         Experiment {
             name: "tune",
             summary: "opt-in work stealing + banked L1 tuning matrix",
             schema_version: exp::JSON_SCHEMA_VERSION,
-            runner: run_tune,
+            cells: tune_cells,
+            assemble: assemble_tune,
         },
         Experiment {
             name: "analyze",
             summary: "static work/span bounds vs measured counters",
             schema_version: exp::JSON_SCHEMA_VERSION,
-            runner: run_analyze,
+            cells: analyze_cells,
+            assemble: assemble_analyze,
         },
         Experiment {
             name: "bench",
             summary: "event-driven vs stepped engine throughput + sweep wall time",
             schema_version: exp::JSON_SCHEMA_VERSION,
-            runner: run_bench,
+            cells: bench_cells,
+            assemble: assemble_bench,
+        },
+        Experiment {
+            name: "differential",
+            summary: "seeded per-workload config sweeps vs the golden model",
+            schema_version: exp::JSON_SCHEMA_VERSION,
+            cells: differential_cells,
+            assemble: assemble_differential,
         },
     ];
     REGISTRY
@@ -89,13 +249,132 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
     registry().iter().find(|e| e.name == name)
 }
 
-fn run_profile() -> ExperimentReport {
-    let results = exp::profile_results();
+fn profile_cells() -> Vec<exec::Cell<CellPayload>> {
+    suite_small()
+        .into_iter()
+        .map(|wl| {
+            let id = format!("profile/{}", wl.name);
+            exec::Cell::new(id, move || Ok(CellPayload::Profile(exp::profile_row(&wl))))
+        })
+        .collect()
+}
+
+fn faults_cells() -> Vec<exec::Cell<CellPayload>> {
+    suite_small()
+        .into_iter()
+        .map(|wl| {
+            let id = format!("faults/{}", wl.name);
+            exec::Cell::new(id, move || Ok(CellPayload::Faults(exp::fault_rows_for(&wl))))
+        })
+        .collect()
+}
+
+fn stress_cells() -> Vec<exec::Cell<CellPayload>> {
+    let mut cells = Vec::new();
+    for wl in exp::stress_programs() {
+        for &ntasks in exp::STRESS_QUEUE_SIZES {
+            let wl = wl.clone();
+            let id = format!("stress/{}/{}", wl.name, ntasks);
+            cells.push(exec::Cell::new(id, move || {
+                Ok(CellPayload::Stress(exp::stress_row(&wl, ntasks)))
+            }));
+        }
+    }
+    cells
+}
+
+fn tune_cells() -> Vec<exec::Cell<CellPayload>> {
+    exp::tune_programs()
+        .into_iter()
+        .map(|wl| {
+            let id = format!("tune/{}", wl.name);
+            exec::Cell::new(id, move || {
+                Ok(CellPayload::Tune(exp::tune_matrix_for(vec![wl.clone()], 4)))
+            })
+        })
+        .collect()
+}
+
+fn analyze_cells() -> Vec<exec::Cell<CellPayload>> {
+    exp::analyze_programs()
+        .into_iter()
+        .map(|wl| {
+            let id = format!("analyze/{}", wl.name);
+            exec::Cell::new(id, move || {
+                exp::analyze_report_for(vec![wl.clone()])
+                    .pop()
+                    .map(CellPayload::Analyze)
+                    .ok_or_else(|| "analyze produced no row".to_string())
+            })
+        })
+        .collect()
+}
+
+fn bench_cells() -> Vec<exec::Cell<CellPayload>> {
+    let mut cells = Vec::new();
+    for (wl, tiles, spawn_cost) in perf::paper_suite_cells() {
+        let id = format!("bench/row/{}", wl.name);
+        cells.push(exec::Cell::new(id, move || {
+            Ok(CellPayload::Bench(perf::bench_cell(&wl, tiles, spawn_cost, false)))
+        }));
+    }
+    for (wl, tiles, spawn_cost) in perf::spawn_bound_cells() {
+        let id = format!("bench/spawn/t{tiles}/c{spawn_cost}");
+        cells.push(exec::Cell::new(id, move || {
+            Ok(CellPayload::Bench(perf::bench_cell(&wl, tiles, spawn_cost, true)))
+        }));
+    }
+    cells.push(exec::Cell::new("bench/sweep/tune", || perf::tune_timing().map(CellPayload::Sweep)));
+    cells.push(exec::Cell::new("bench/sweep/differential", || {
+        perf::differential_timing().map(CellPayload::Sweep)
+    }));
+    cells.push(exec::Cell::new("bench/sweep/boundary", || {
+        perf::boundary_timing().map(CellPayload::Sweep)
+    }));
+    cells.push(exec::Cell::new("bench/shard", || perf::shard_timing().map(CellPayload::Shard)));
+    cells
+}
+
+fn differential_cells() -> Vec<exec::Cell<CellPayload>> {
+    tapas_integration::differential_cells(perf::SWEEP_SEED, 3)
+        .into_iter()
+        .map(|c| {
+            let id = format!("differential/{}", c.workload);
+            exec::Cell::new(id, move || {
+                let checks = tapas_integration::run_differential_cell(&c)?;
+                Ok(CellPayload::Differential(exp::DifferentialRow {
+                    workload: c.workload.clone(),
+                    seed: format!("{:#x}", c.seed),
+                    samples: c.samples as u64,
+                    checks: checks as u64,
+                }))
+            })
+        })
+        .collect()
+}
+
+fn assemble_profile(records: &[exec::CellRecord<CellPayload>]) -> ExperimentReport {
+    let rows: Vec<exp::ProfileRow> = records
+        .iter()
+        .filter_map(|r| match &r.payload {
+            Some(CellPayload::Profile(row)) => Some(row.clone()),
+            _ => None,
+        })
+        .collect();
+    let results = exp::ProfileResults { schema_version: exp::JSON_SCHEMA_VERSION, rows };
     ExperimentReport { text: render_profile(&results.rows), json: results.to_json(), failure: None }
 }
 
-fn run_faults() -> ExperimentReport {
-    let results = exp::fault_results();
+fn assemble_faults(records: &[exec::CellRecord<CellPayload>]) -> ExperimentReport {
+    let rows: Vec<exp::FaultRow> = records
+        .iter()
+        .filter_map(|r| match &r.payload {
+            Some(CellPayload::Faults(rows)) => Some(rows.clone()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    let results = exp::FaultMatrixResults { schema_version: exp::JSON_SCHEMA_VERSION, rows };
     let wrong = results.rows.iter().filter(|r| r.silently_wrong()).count();
     ExperimentReport {
         text: render_faults(&results.rows),
@@ -105,24 +384,73 @@ fn run_faults() -> ExperimentReport {
     }
 }
 
-fn run_stress() -> ExperimentReport {
-    let results = exp::stress_results();
+fn assemble_stress(records: &[exec::CellRecord<CellPayload>]) -> ExperimentReport {
+    let rows: Vec<exp::StressRow> = records
+        .iter()
+        .filter_map(|r| match &r.payload {
+            Some(CellPayload::Stress(row)) => Some(row.clone()),
+            _ => None,
+        })
+        .collect();
+    let results = exp::StressResults { schema_version: exp::JSON_SCHEMA_VERSION, rows };
     ExperimentReport { text: render_stress(&results.rows), json: results.to_json(), failure: None }
 }
 
-fn run_tune() -> ExperimentReport {
-    let results = exp::tune_results();
+fn assemble_tune(records: &[exec::CellRecord<CellPayload>]) -> ExperimentReport {
+    let rows: Vec<exp::TuneRow> = records
+        .iter()
+        .filter_map(|r| match &r.payload {
+            Some(CellPayload::Tune(rows)) => Some(rows.clone()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    let results = exp::TuneResults { schema_version: exp::JSON_SCHEMA_VERSION, rows };
     ExperimentReport { text: render_tune(&results.rows), json: results.to_json(), failure: None }
 }
 
-fn run_analyze() -> ExperimentReport {
-    let results = exp::analyze_results();
+fn assemble_analyze(records: &[exec::CellRecord<CellPayload>]) -> ExperimentReport {
+    let rows: Vec<exp::AnalyzeRow> = records
+        .iter()
+        .filter_map(|r| match &r.payload {
+            Some(CellPayload::Analyze(row)) => Some(row.clone()),
+            _ => None,
+        })
+        .collect();
+    let results = exp::AnalyzeResults { schema_version: exp::JSON_SCHEMA_VERSION, rows };
     ExperimentReport { text: render_analyze(&results.rows), json: results.to_json(), failure: None }
 }
 
-fn run_bench() -> ExperimentReport {
-    let results = perf::bench_results();
+fn assemble_bench(records: &[exec::CellRecord<CellPayload>]) -> ExperimentReport {
+    let mut rows = Vec::new();
+    let mut sweeps = Vec::new();
+    let mut shard = None;
+    for r in records {
+        match &r.payload {
+            Some(CellPayload::Bench(row)) => rows.push(row.clone()),
+            Some(CellPayload::Sweep(t)) => sweeps.push(t.clone()),
+            Some(CellPayload::Shard(t)) => shard = Some(t.clone()),
+            _ => {}
+        }
+    }
+    let results = perf::assemble_bench(rows, &sweeps, shard.as_ref());
     ExperimentReport { text: render_bench(&results), json: results.to_json(), failure: None }
+}
+
+fn assemble_differential(records: &[exec::CellRecord<CellPayload>]) -> ExperimentReport {
+    let rows: Vec<exp::DifferentialRow> = records
+        .iter()
+        .filter_map(|r| match &r.payload {
+            Some(CellPayload::Differential(row)) => Some(row.clone()),
+            _ => None,
+        })
+        .collect();
+    let results = exp::DifferentialResults { schema_version: exp::JSON_SCHEMA_VERSION, rows };
+    ExperimentReport {
+        text: render_differential(&results.rows),
+        json: results.to_json(),
+        failure: None,
+    }
 }
 
 fn hdr(out: &mut String, title: &str) {
@@ -279,6 +607,17 @@ pub fn render_faults(rows: &[exp::FaultRow]) -> String {
     out
 }
 
+/// Render the per-workload differential-cell table.
+pub fn render_differential(rows: &[exp::DifferentialRow]) -> String {
+    let mut out = String::new();
+    hdr(&mut out, "Differential: seeded per-workload config sweeps vs the golden model");
+    let _ = writeln!(out, "{:<12} {:>18} {:>8} {:>7}", "bench", "seed", "samples", "checks");
+    for r in rows {
+        let _ = writeln!(out, "{:<12} {:>18} {:>8} {:>7}", r.workload, r.seed, r.samples, r.checks);
+    }
+    out
+}
+
 /// Render the engine-throughput benchmark.
 pub fn render_bench(results: &perf::BenchResults) -> String {
     let mut out = String::new();
@@ -327,6 +666,17 @@ pub fn render_bench(results: &perf::BenchResults) -> String {
         results.boundary_wall_ms,
         results.boundary_samples
     );
+    if results.shard_jobs > 0 {
+        let _ = writeln!(
+            out,
+            "shard: {} cells, jobs=1 {:.0} ms vs jobs={} {:.0} ms ({:.2}x)",
+            results.shard_cells,
+            results.shard_wall_ms_serial,
+            results.shard_jobs,
+            results.shard_wall_ms_parallel,
+            results.shard_speedup
+        );
+    }
     let _ = writeln!(out, "total wall: {:.0} ms", results.total_wall_ms);
     out
 }
@@ -338,6 +688,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), 7, "profile/faults/stress/tune/analyze/bench/differential");
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -353,5 +704,40 @@ mod tests {
         for e in registry() {
             assert_eq!(e.schema_version, exp::JSON_SCHEMA_VERSION, "{}", e.name);
         }
+    }
+
+    #[test]
+    fn every_experiment_has_unique_nonempty_cells() {
+        for e in registry() {
+            let cells = (e.cells)();
+            assert!(!cells.is_empty(), "{}", e.name);
+            let mut ids: Vec<&str> = cells.iter().map(|c| c.id.as_str()).collect();
+            let n = ids.len();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), n, "{}: duplicate cell id", e.name);
+            for id in ids {
+                assert!(id.starts_with(e.name), "{}: cell `{id}` not namespaced", e.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cell_payload_round_trips_through_the_journal_codec() {
+        let payload = CellPayload::Stress(exp::StressRow {
+            name: "fib".to_string(),
+            ntasks: 2,
+            cycles: 1234,
+            spills: 5,
+            refills: 5,
+            inline_spawns: 17,
+        });
+        let c = codec();
+        let encoded = (c.encode)(&payload);
+        let decoded =
+            (c.decode)(&crate::json::parse(&encoded).expect("valid JSON")).expect("decodes");
+        assert_eq!(encoded, (c.encode)(&decoded), "decode ∘ encode must be the identity");
+        let bad = crate::json::parse("{\"kind\":\"nope\",\"data\":{}}").unwrap();
+        assert!((c.decode)(&bad).is_err());
     }
 }

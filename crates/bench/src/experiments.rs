@@ -1,16 +1,16 @@
 //! One function per table/figure of the paper's evaluation.
 
-use crate::json::json_object;
 use crate::{design_info, estimate, i7_seconds, ntasks_for, seconds_on_board, simulate};
 use tapas::baseline::{estimate_static_hls, StaticHlsConfig};
 use tapas::res::{self, Board};
 use tapas::{Fault, FaultPlan, FaultTolerance, ProfileLevel, Toolchain};
+use tapas_exec::{json_decode, json_object};
 use tapas_workloads::{image_scale, saxpy, scale_micro, suite_eval, suite_small, BuiltWorkload};
 
 /// Version stamped into every JSON document `reproduce --json` writes.
 /// Bump whenever a row struct gains, loses or renames a field so that
 /// downstream plotting scripts can detect stale dumps.
-pub const JSON_SCHEMA_VERSION: u64 = 7;
+pub const JSON_SCHEMA_VERSION: u64 = 8;
 
 /// Table II: per-task static properties of every benchmark.
 #[derive(Debug, Clone)]
@@ -660,38 +660,39 @@ pub fn profile_config(wl: &BuiltWorkload) -> tapas::AcceleratorConfig {
     tapas::AcceleratorConfig { profile: ProfileLevel::Full, ..cfg }
 }
 
-/// Profile every benchmark with full cycle attribution and classify what
-/// bounds it. Panics if any run violates the attribution invariant —
-/// the experiment doubles as an end-to-end check of the profiler's books.
+/// Profile one benchmark with full cycle attribution and classify what
+/// bounds it — one executor cell of the `profile` experiment. Panics if
+/// the run violates the attribution invariant, so the experiment doubles
+/// as an end-to-end check of the profiler's books.
+pub fn profile_row(wl: &BuiltWorkload) -> ProfileRow {
+    let tiles = table4_tiles(&wl.name);
+    let cfg = profile_config(wl);
+    let out = crate::simulate_configured(wl, &cfg).0;
+    let p = out.profile.expect("profiling was enabled");
+    p.check_invariant().unwrap_or_else(|e| panic!("{}: {e}", wl.name));
+    let r = p.bottleneck();
+    let unit_queues = p
+        .units
+        .iter()
+        .map(|u| UnitQueueRow { unit: u.name.clone(), full_cycles: u.queue.full_cycles })
+        .collect();
+    ProfileRow {
+        tiles,
+        cycles: out.cycles,
+        class: r.class.label().to_string(),
+        compute_frac: r.compute_frac,
+        memory_frac: r.memory_frac,
+        spawn_frac: r.spawn_frac,
+        dominant: r.dominant.label().to_string(),
+        backpressure_cycles: r.backpressure_cycles,
+        unit_queues,
+        name: wl.name.clone(),
+    }
+}
+
+/// Profile every benchmark in the small suite.
 pub fn profile_report() -> Vec<ProfileRow> {
-    suite_small()
-        .into_iter()
-        .map(|wl| {
-            let tiles = table4_tiles(&wl.name);
-            let cfg = profile_config(&wl);
-            let out = crate::simulate_configured(&wl, &cfg).0;
-            let p = out.profile.expect("profiling was enabled");
-            p.check_invariant().unwrap_or_else(|e| panic!("{}: {e}", wl.name));
-            let r = p.bottleneck();
-            let unit_queues = p
-                .units
-                .iter()
-                .map(|u| UnitQueueRow { unit: u.name.clone(), full_cycles: u.queue.full_cycles })
-                .collect();
-            ProfileRow {
-                tiles,
-                cycles: out.cycles,
-                class: r.class.label().to_string(),
-                compute_frac: r.compute_frac,
-                memory_frac: r.memory_frac,
-                spawn_frac: r.spawn_frac,
-                dominant: r.dominant.label().to_string(),
-                backpressure_cycles: r.backpressure_cycles,
-                unit_queues,
-                name: wl.name,
-            }
-        })
-        .collect()
+    suite_small().iter().map(profile_row).collect()
 }
 
 /// The `reproduce profile --json` document: versioned profile rows.
@@ -714,7 +715,7 @@ pub struct FaultRow {
     /// Benchmark name.
     pub name: String,
     /// Fault-scenario label.
-    pub scenario: &'static str,
+    pub scenario: String,
     /// `"masked"` (results byte-identical to fault-free), `"detected"`
     /// (typed error), or `"silent-corruption"` — the one outcome the
     /// fault model must never produce.
@@ -748,12 +749,19 @@ impl FaultRow {
 /// exhaustion, and a quarantine scenario where a 4-tile unit loses a tile
 /// mid-run and keeps producing correct results.
 pub fn fault_matrix() -> Vec<FaultRow> {
+    suite_small().iter().flat_map(fault_rows_for).collect()
+}
+
+/// The fault matrix for one benchmark — one executor cell of the `faults`
+/// experiment (the fault-free baseline is amortized across the
+/// benchmark's scenarios, so the workload is the natural cell grain).
+pub fn fault_rows_for(wl: &BuiltWorkload) -> Vec<FaultRow> {
     let mut rows = Vec::new();
-    for wl in suite_small() {
+    {
         let design = Toolchain::new().compile(&wl.module).expect("compiles");
         // Four tiles on every unit: the degradation scenarios need spare
         // tiles to fall back on.
-        let base = crate::accel_config(&wl, 4, ntasks_for(&wl));
+        let base = crate::accel_config(wl, 4, ntasks_for(wl));
         let mut probe = design.instantiate(&base).expect("elaborates");
         probe.mem_mut().write_bytes(0, &wl.mem);
         let baseline = probe.run(wl.func, &wl.args).expect("fault-free baseline runs");
@@ -814,7 +822,7 @@ pub fn fault_matrix() -> Vec<FaultRow> {
                     let good = acc.mem().read_bytes(wl.output.0, wl.output.1) == expected;
                     FaultRow {
                         name: wl.name.clone(),
-                        scenario,
+                        scenario: scenario.to_string(),
                         outcome: if good { "masked" } else { "silent-corruption" }.to_string(),
                         detail: String::new(),
                         cycles: Some(out.cycles),
@@ -826,7 +834,7 @@ pub fn fault_matrix() -> Vec<FaultRow> {
                 }
                 Err(e) => FaultRow {
                     name: wl.name.clone(),
-                    scenario,
+                    scenario: scenario.to_string(),
                     outcome: "detected".to_string(),
                     detail: e.to_string(),
                     cycles: None,
@@ -885,31 +893,45 @@ pub fn stress_matrix_for(programs: Vec<BuiltWorkload>, queue_sizes: &[usize]) ->
     let mut rows = Vec::new();
     for wl in programs {
         for &ntasks in queue_sizes {
-            let cfg = tapas::AcceleratorConfig {
-                admission: Some(tapas::AdmissionControl::default()),
-                ..crate::accel_config(&wl, 2, ntasks)
-            };
-            let (out, _) = crate::simulate_configured(&wl, &cfg);
-            rows.push(StressRow {
-                name: wl.name.clone(),
-                ntasks,
-                cycles: out.cycles,
-                spills: out.stats.spills,
-                refills: out.stats.refills,
-                inline_spawns: out.stats.inline_spawns,
-            });
+            rows.push(stress_row(&wl, ntasks));
         }
     }
     rows
+}
+
+/// One benchmark × queue-size cell of the stress matrix — the executor
+/// cell grain of the `stress` experiment.
+pub fn stress_row(wl: &BuiltWorkload, ntasks: usize) -> StressRow {
+    let cfg = tapas::AcceleratorConfig {
+        admission: Some(tapas::AdmissionControl::default()),
+        ..crate::accel_config(wl, 2, ntasks)
+    };
+    let (out, _) = crate::simulate_configured(wl, &cfg);
+    StressRow {
+        name: wl.name.clone(),
+        ntasks,
+        cycles: out.cycles,
+        spills: out.stats.spills,
+        refills: out.stats.refills,
+        inline_spawns: out.stats.inline_spawns,
+    }
 }
 
 /// The full stress matrix: the paper suite plus the `deeprec` spawn-chain
 /// (which *cannot* run without admission control on any realistic queue),
 /// each at Ntasks ∈ {1, 2, 4}.
 pub fn stress_matrix() -> Vec<StressRow> {
+    stress_matrix_for(stress_programs(), STRESS_QUEUE_SIZES)
+}
+
+/// Queue sizes every stress benchmark is forced through.
+pub const STRESS_QUEUE_SIZES: &[usize] = &[1, 2, 4];
+
+/// The benchmark list the full stress matrix runs over.
+pub fn stress_programs() -> Vec<BuiltWorkload> {
     let mut programs = suite_small();
     programs.push(tapas_workloads::deeprec::build(400));
-    stress_matrix_for(programs, &[1, 2, 4])
+    programs
 }
 
 /// The `reproduce stress --json` document: versioned stress rows.
@@ -935,7 +957,7 @@ pub struct TuneRow {
     pub name: String,
     /// Feature variant: `"seed"`, `"steal"`, `"banks4"` or
     /// `"steal+banks4"`.
-    pub variant: &'static str,
+    pub variant: String,
     /// Worker tiles per task unit.
     pub tiles: usize,
     /// Simulated cycles; the run also revalidated its output region
@@ -980,7 +1002,7 @@ pub fn tune_matrix_for(programs: Vec<BuiltWorkload>, tiles: usize) -> Vec<TuneRo
             let base = *seed_cycles.get_or_insert(out.cycles);
             rows.push(TuneRow {
                 name: wl.name.clone(),
-                variant,
+                variant: variant.to_string(),
                 tiles,
                 cycles: out.cycles,
                 steals: out.stats.steals,
@@ -998,16 +1020,22 @@ pub fn tune_matrix_for(programs: Vec<BuiltWorkload>, tiles: usize) -> Vec<TuneRo
 /// features must at least not hurt), and the memory-bound kernels (where
 /// banking bites).
 pub fn tune_matrix() -> Vec<TuneRow> {
+    tune_matrix_for(tune_programs(), 4)
+}
+
+/// The benchmark list the full tuning matrix runs over (one executor cell
+/// per program: the speedup column normalizes against the program's own
+/// `"seed"` variant, so a whole program is the smallest independent cell).
+pub fn tune_programs() -> Vec<BuiltWorkload> {
     use tapas_workloads::{deeprec, fib, matrix_add, mergesort, stencil};
-    let programs = vec![
+    vec![
         fib::build(13),
         mergesort::build(256, 12345),
         deeprec::build(200),
         saxpy::build(2048),
         matrix_add::build(32),
         stencil::build(16, 16),
-    ];
-    tune_matrix_for(programs, 4)
+    ]
 }
 
 /// The `reproduce tune --json` document: versioned tune rows.
@@ -1147,9 +1175,15 @@ pub fn analyze_report_for(programs: Vec<BuiltWorkload>) -> Vec<AnalyzeRow> {
 /// as deadlock-prone at the seed `ntasks`; everything else is proven
 /// safe there, and the whole corpus at the deep-queue default of 512.
 pub fn analyze_report() -> Vec<AnalyzeRow> {
+    analyze_report_for(analyze_programs())
+}
+
+/// The corpus the analyze cross-check runs over (one executor cell per
+/// program).
+pub fn analyze_programs() -> Vec<BuiltWorkload> {
     let mut programs = suite_small();
     programs.push(tapas_workloads::deeprec::build(400));
-    analyze_report_for(programs)
+    programs
 }
 
 /// The `reproduce analyze --json` document: versioned analyze rows.
@@ -1164,6 +1198,34 @@ pub struct AnalyzeResults {
 /// Run the analyze cross-check and wrap it for serialization.
 pub fn analyze_results() -> AnalyzeResults {
     AnalyzeResults { schema_version: JSON_SCHEMA_VERSION, rows: analyze_report() }
+}
+
+/// One workload's slice of the seeded differential sweep, run as its own
+/// executor cell with a derived per-workload seed stream (`reproduce
+/// differential`). A row only exists for a *passing* cell — a failing
+/// sample errors out of the cell with a minimized repro string and the
+/// executor quarantines it.
+#[derive(Debug, Clone)]
+pub struct DifferentialRow {
+    /// Workload name.
+    pub workload: String,
+    /// The cell's derived 64-bit seed, hex-encoded (a raw u64 would not
+    /// survive the f64-based JSON round-trip above 2^53).
+    pub seed: String,
+    /// Samples the cell was asked to draw.
+    pub samples: u64,
+    /// Checks that actually ran and passed (== `samples` on success).
+    pub checks: u64,
+}
+
+/// The `reproduce differential --json` document: versioned per-workload
+/// differential cells.
+#[derive(Debug, Clone)]
+pub struct DifferentialResults {
+    /// [`JSON_SCHEMA_VERSION`] at the time of the run.
+    pub schema_version: u64,
+    /// One row per workload cell.
+    pub rows: Vec<DifferentialRow>,
 }
 
 /// Everything, serialized as one JSON document.
@@ -1366,6 +1428,63 @@ json_object!(FaultRow {
     quarantined_tiles
 });
 json_object!(FaultMatrixResults { schema_version, rows });
+json_object!(DifferentialRow { workload, seed, samples, checks });
+json_object!(DifferentialResults { schema_version, rows });
+
+// Decode impls for every row type the executor's checkpoint journal can
+// store — `decode(encode(x)) == x` exactly, which is what makes a resumed
+// sweep's aggregate byte-identical to a clean run's.
+json_decode!(ProfileRow {
+    name,
+    tiles,
+    cycles,
+    class,
+    compute_frac,
+    memory_frac,
+    spawn_frac,
+    dominant,
+    backpressure_cycles,
+    unit_queues
+});
+json_decode!(UnitQueueRow { unit, full_cycles });
+json_decode!(FaultRow {
+    name,
+    scenario,
+    outcome,
+    detail,
+    cycles,
+    faults_injected,
+    mem_retries,
+    ecc_retries,
+    quarantined_tiles
+});
+json_decode!(StressRow { name, ntasks, cycles, spills, refills, inline_spawns });
+json_decode!(TuneRow { name, variant, tiles, cycles, steals, steal_fail, bank_conflicts, speedup });
+json_decode!(AnalyzeRow {
+    name,
+    work_lo,
+    work_hi,
+    dyn_work,
+    span_lo,
+    span_hi,
+    dyn_span,
+    mem_lo,
+    mem_hi,
+    dyn_mem,
+    spawns_lo,
+    spawns_hi,
+    dyn_spawns,
+    tasks_lo,
+    tasks_hi,
+    dyn_peak_tasks,
+    min_safe_ntasks,
+    seed_ntasks,
+    safe_at_seed,
+    predicted,
+    measured,
+    agree
+});
+json_decode!(DifferentialRow { workload, seed, samples, checks });
 json_object!(AllResults {
     schema_version,
     table2,

@@ -14,8 +14,12 @@
 
 pub mod experiment;
 pub mod experiments;
-pub mod json;
 pub mod perf;
+
+// The hand-rolled JSON layer moved to `tapas-exec` (the sweep executor
+// journals payloads through it); re-exported so `tapas_bench::json::…`
+// paths keep working.
+pub use tapas_exec::json;
 
 use tapas::ir::interp::{self, Val};
 use tapas::{Accelerator, AcceleratorConfig, ProfileLevel, SimOutcome, Toolchain};

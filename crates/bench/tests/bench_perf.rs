@@ -11,7 +11,7 @@ use tapas_bench::{
     accel_config, experiments::JSON_SCHEMA_VERSION, ntasks_for, simulate_configured,
 };
 
-/// The checked-in schema contract for `BENCH_7.json`.
+/// The checked-in schema contract for `BENCH_8.json`.
 const GOLDEN: &str = include_str!("golden/bench_schema.txt");
 
 /// Cycle counts recorded from the seed (stepped) engine for `suite_small`
@@ -70,6 +70,11 @@ fn bench_json_round_trips_through_the_parser() {
         differential_samples: 21,
         boundary_wall_ms: 50.0,
         boundary_samples: 12,
+        shard_jobs: 2,
+        shard_cells: 7,
+        shard_wall_ms_serial: 40.0,
+        shard_wall_ms_parallel: 25.0,
+        shard_speedup: 1.6,
         total_wall_ms: 384.9,
     };
     let doc = json::parse(&results.to_json()).expect("bench dump parses");

@@ -53,7 +53,7 @@ fn tune_json_round_trips_through_the_parser() {
         assert_eq!(keys, want, "tune row shape drifted from the golden file");
         // Every field survives the dump → parse round trip.
         assert_eq!(json_row.get("name").and_then(JsonValue::as_str), Some(row.name.as_str()));
-        assert_eq!(json_row.get("variant").and_then(JsonValue::as_str), Some(row.variant));
+        assert_eq!(json_row.get("variant").and_then(JsonValue::as_str), Some(row.variant.as_str()));
         let num = |k: &str| json_row.get(k).and_then(JsonValue::as_f64).unwrap();
         assert_eq!(num("tiles") as usize, row.tiles);
         assert_eq!(num("cycles") as u64, row.cycles);

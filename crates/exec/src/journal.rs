@@ -1,0 +1,286 @@
+//! Append-only JSONL checkpoint journal for resumable sweeps.
+//!
+//! Every completed cell appends one line:
+//!
+//! ```json
+//! {"schema_version":1,"cell":"stress/fib/256","status":"ok","attempts":1,"detail":"","payload":{...}}
+//! ```
+//!
+//! On resume the journal is replayed **last-wins by cell id**; only
+//! succeeded records (`ok` / `retried`, payload present and decodable)
+//! are replayed into the new sweep — failed or half-written cells simply
+//! run again. The reader tolerates a torn tail and foreign garbage: an
+//! unparseable or schema-mismatched line is skipped with a note, never an
+//! error, because the journal's whole point is surviving a sweep that was
+//! killed mid-write.
+
+use crate::json::{self, JsonValue, ToJson};
+use crate::{CellRecord, CellStatus};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Version stamp on every journal line; lines from other versions are
+/// skipped on resume.
+pub const JOURNAL_SCHEMA_VERSION: u64 = 1;
+
+/// Payload (de)serializer pair for a journal. Plain function pointers so
+/// a journal stays `Send + Sync` without trait plumbing.
+pub struct Codec<T> {
+    /// Encode a payload as one JSON value.
+    pub encode: fn(&T) -> String,
+    /// Decode a payload from a parsed JSON value.
+    pub decode: fn(&JsonValue) -> Result<T, String>,
+}
+
+/// An open checkpoint journal: replayable prior successes plus an
+/// append handle for this run's completions.
+pub struct Journal<T> {
+    path: PathBuf,
+    file: Mutex<File>,
+    prior: HashMap<String, CellRecord<T>>,
+    notes: Vec<String>,
+    codec: Codec<T>,
+}
+
+impl<T: Clone> Journal<T> {
+    /// Start a fresh journal, truncating anything at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file (or a missing parent directory) cannot be
+    /// created.
+    pub fn create(path: &Path, codec: Codec<T>) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            prior: HashMap::new(),
+            notes: Vec::new(),
+            codec,
+        })
+    }
+
+    /// Reopen an existing journal for resume: replay its succeeded
+    /// records, then append this run's completions after them.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be read or reopened for append —
+    /// *content* problems (torn lines, wrong schema, undecodable
+    /// payloads) are notes, not errors.
+    pub fn resume(path: &Path, codec: Codec<T>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let mut prior = HashMap::new();
+        let mut notes = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_line(line, &codec) {
+                Ok(Some(record)) => {
+                    // Last-wins: a later record for the same cell (e.g. a
+                    // retry journaled after a failure) replaces the earlier.
+                    prior.insert(record.id.clone(), record);
+                }
+                Ok(None) => {}
+                Err(why) => notes.push(format!("line {}: {why}", lineno + 1)),
+            }
+        }
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Journal { path: path.to_path_buf(), file: Mutex::new(file), prior, notes, codec })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Succeeded records available for replay.
+    pub fn prior_count(&self) -> usize {
+        self.prior.len()
+    }
+
+    /// Skipped-line notes collected while replaying (torn tail, schema
+    /// mismatch, undecodable payloads).
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// The replayable record for a cell, marked `resumed`, if the journal
+    /// holds a succeeded record for it.
+    pub fn prior(&self, id: &str) -> Option<CellRecord<T>> {
+        self.prior.get(id).map(|record| {
+            let mut replay = record.clone();
+            replay.resumed = true;
+            replay
+        })
+    }
+
+    /// Append one completed cell. Best-effort: an I/O error degrades the
+    /// checkpoint (that cell re-runs on resume) but never fails the sweep.
+    pub fn append(&self, record: &CellRecord<T>) {
+        let mut line = format!("{{\"schema_version\":{JOURNAL_SCHEMA_VERSION},\"cell\":");
+        record.id.write_json(&mut line);
+        line.push_str(",\"status\":");
+        record.status.label().write_json(&mut line);
+        line.push_str(&format!(",\"attempts\":{},\"detail\":", record.attempts));
+        record.detail.write_json(&mut line);
+        line.push_str(",\"payload\":");
+        match &record.payload {
+            Some(payload) => line.push_str(&(self.codec.encode)(payload)),
+            None => line.push_str("null"),
+        }
+        line.push_str("}\n");
+        let mut file = self.file.lock().expect("journal lock");
+        let _ = file.write_all(line.as_bytes());
+        let _ = file.flush();
+    }
+}
+
+/// Parse one journal line. `Ok(Some)` is a replayable success, `Ok(None)`
+/// a valid-but-failed record (re-run on resume), `Err` a line to skip
+/// with a note.
+fn parse_line<T>(line: &str, codec: &Codec<T>) -> Result<Option<CellRecord<T>>, String> {
+    let doc = json::parse(line).map_err(|e| format!("unparseable ({e})"))?;
+    let version = doc.get("schema_version").and_then(JsonValue::as_f64);
+    if version != Some(JOURNAL_SCHEMA_VERSION as f64) {
+        return Err(format!(
+            "journal schema {:?} != {JOURNAL_SCHEMA_VERSION}, ignoring",
+            version.map(|v| v as u64)
+        ));
+    }
+    let id = doc.get("cell").and_then(JsonValue::as_str).ok_or("missing cell id")?.to_string();
+    let label = doc.get("status").and_then(JsonValue::as_str).ok_or("missing status")?;
+    let status =
+        CellStatus::from_label(label).ok_or_else(|| format!("unknown status `{label}`"))?;
+    if !status.succeeded() {
+        return Ok(None);
+    }
+    let attempts = doc.get("attempts").and_then(JsonValue::as_f64).unwrap_or(1.0) as u32;
+    let detail = doc.get("detail").and_then(JsonValue::as_str).unwrap_or_default().to_string();
+    let payload_doc = doc.get("payload").ok_or("missing payload")?;
+    if *payload_doc == JsonValue::Null {
+        return Err("succeeded record with a null payload".to_string());
+    }
+    let payload =
+        (codec.decode)(payload_doc).map_err(|e| format!("payload does not decode: {e}"))?;
+    Ok(Some(CellRecord { id, status, attempts, detail, payload: Some(payload), resumed: false }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_sweep, Cell, Policy};
+
+    fn u32_codec() -> Codec<u32> {
+        Codec { encode: |v| v.to_string(), decode: |doc| crate::json::FromJson::from_json(doc) }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tapas-exec-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    fn cells() -> Vec<Cell<u32>> {
+        (0..6u32).map(|i| Cell::new(format!("c/{i}"), move || Ok(i + 100))).collect()
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_to_the_clean_report() {
+        let path = tmp("resume");
+        let clean = run_sweep(&cells(), &Policy::serial(), None);
+
+        // First run: journaled, killed after 2 cells.
+        let journal = Journal::create(&path, u32_codec()).unwrap();
+        let mut policy = Policy::serial();
+        policy.halt_after = Some(2);
+        let partial = run_sweep(&cells(), &policy, Some(&journal));
+        assert_eq!(partial.records.len(), 2);
+        assert_eq!(partial.skipped, 4);
+        drop(journal);
+
+        // Resume: the 2 journaled cells replay, the other 4 execute.
+        let journal = Journal::resume(&path, u32_codec()).unwrap();
+        assert_eq!(journal.prior_count(), 2);
+        assert!(journal.notes().is_empty());
+        let resumed = run_sweep(&cells(), &Policy::serial(), Some(&journal));
+        assert!(resumed.complete_ok());
+        assert_eq!(resumed.resumed(), 2);
+        let key = |r: &crate::CellRecord<u32>| (r.id.clone(), r.status, r.payload);
+        assert_eq!(
+            clean.records.iter().map(key).collect::<Vec<_>>(),
+            resumed.records.iter().map(key).collect::<Vec<_>>(),
+            "a resumed sweep reproduces the clean-run report"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_records_are_rerun_on_resume() {
+        let path = tmp("rerun-failures");
+        let journal = Journal::create(&path, u32_codec()).unwrap();
+        let mut policy = Policy::serial();
+        policy.inject.parse_spec("panic:c/3").unwrap();
+        let faulted = run_sweep(&cells(), &policy, Some(&journal));
+        assert_eq!(faulted.count(crate::CellStatus::Panicked), 1);
+        drop(journal);
+
+        // Resume without the injected fault: only c/3 runs again.
+        let journal = Journal::resume(&path, u32_codec()).unwrap();
+        assert_eq!(journal.prior_count(), 5, "the panicked cell is not replayable");
+        let resumed = run_sweep(&cells(), &Policy::serial(), Some(&journal));
+        assert!(resumed.complete_ok());
+        assert_eq!(resumed.resumed(), 5);
+        assert_eq!(resumed.records[3].payload, Some(103));
+        assert!(!resumed.records[3].resumed);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_and_garbage_lines_are_skipped_with_notes() {
+        let path = tmp("torn");
+        let journal = Journal::create(&path, u32_codec()).unwrap();
+        run_sweep(&cells()[..3], &Policy::serial(), Some(&journal));
+        drop(journal);
+        // Simulate a kill mid-write plus foreign garbage and a schema bump.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("not json at all\n");
+        text.push_str("{\"schema_version\":99,\"cell\":\"c/4\",\"status\":\"ok\",\"attempts\":1,\"detail\":\"\",\"payload\":5}\n");
+        text.push_str("{\"schema_version\":1,\"cell\":\"c/5\",\"status\":\"ok\",\"att");
+        std::fs::write(&path, text).unwrap();
+
+        let journal = Journal::resume(&path, u32_codec()).unwrap();
+        assert_eq!(journal.prior_count(), 3, "only intact current-schema successes replay");
+        assert_eq!(journal.notes().len(), 3);
+        let resumed = run_sweep(&cells(), &Policy::serial(), Some(&journal));
+        assert!(resumed.complete_ok());
+        assert_eq!(resumed.resumed(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn last_record_wins_per_cell() {
+        let path = tmp("last-wins");
+        std::fs::write(
+            &path,
+            "{\"schema_version\":1,\"cell\":\"c/0\",\"status\":\"quarantined\",\"attempts\":2,\"detail\":\"x\",\"payload\":null}\n\
+             {\"schema_version\":1,\"cell\":\"c/0\",\"status\":\"retried\",\"attempts\":3,\"detail\":\"succeeded on attempt 3\",\"payload\":42}\n",
+        )
+        .unwrap();
+        let journal = Journal::resume(&path, u32_codec()).unwrap();
+        let replay = journal.prior("c/0").expect("replayable");
+        assert_eq!(replay.status, CellStatus::Retried);
+        assert_eq!(replay.payload, Some(42));
+        assert!(replay.resumed);
+        std::fs::remove_file(&path).ok();
+    }
+}

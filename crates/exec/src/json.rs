@@ -1,6 +1,13 @@
-//! Minimal JSON emission and parsing for the experiment result structs —
-//! keeps the `--json` output of `reproduce` (and its `check-json`
-//! validator) working without an external serializer.
+//! Minimal JSON emission, parsing and decoding for experiment results and
+//! the executor's checkpoint journal — keeps the `--json` output of
+//! `reproduce` (and its `check-json` validator) and the sweep journal
+//! working without an external serializer.
+//!
+//! This module used to live in `tapas-bench`; it moved here so the
+//! executor can journal arbitrary cell payloads while `tapas-bench`
+//! re-exports it unchanged. [`ToJson`] emits, [`FromJson`] decodes — the
+//! pair round-trips every payload a checkpoint stores, which is what
+//! makes a resumed sweep's aggregate byte-identical to a clean run's.
 
 /// Types that can write themselves as a JSON value.
 pub trait ToJson {
@@ -15,7 +22,60 @@ pub trait ToJson {
     }
 }
 
+/// Types that can reconstruct themselves from a parsed [`JsonValue`].
+///
+/// The decode side of [`ToJson`]: for every payload the checkpoint
+/// journal stores, `decode(encode(x)) == x` must hold exactly — floats
+/// round-trip through Rust's shortest-representation formatting and
+/// integers are rejected beyond 2^53 (where `f64` parsing would silently
+/// round).
+pub trait FromJson: Sized {
+    /// Decode a value, or explain which constraint the document violated.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the mismatch (wrong JSON
+    /// type, out-of-range number, unknown tag, ...).
+    fn from_json(v: &JsonValue) -> Result<Self, String>;
+}
+
+/// Decode member `key` of an object — the building block the
+/// [`json_decode!`] macro expands to.
+///
+/// # Errors
+///
+/// Fails when `v` is not an object, lacks `key`, or the member fails to
+/// decode as `T`.
+pub fn field<T: FromJson>(v: &JsonValue, key: &str) -> Result<T, String> {
+    match v.get(key) {
+        Some(member) => T::from_json(member).map_err(|e| format!("{key}: {e}")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
 macro_rules! int_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &JsonValue) -> Result<Self, String> {
+                let n = v.as_f64().ok_or("expected a number")?;
+                // Beyond 2^53 the f64 path has already lost bits; refuse
+                // rather than decode a silently rounded value.
+                if n.fract() != 0.0 || !(0.0..=9_007_199_254_740_992.0).contains(&n) {
+                    return Err(format!("expected a small non-negative integer, got {n}"));
+                }
+                <$t>::try_from(n as u64).map_err(|_| format!("{n} overflows {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+int_json!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_json {
     ($($t:ty),*) => {$(
         impl ToJson for $t {
             fn write_json(&self, out: &mut String) {
@@ -24,11 +84,17 @@ macro_rules! int_json {
         }
     )*};
 }
-int_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+signed_json!(i8, i16, i32, i64, isize);
 
 impl ToJson for bool {
     fn write_json(&self, out: &mut String) {
         out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        v.as_bool().ok_or_else(|| "expected a boolean".to_string())
     }
 }
 
@@ -38,6 +104,17 @@ impl ToJson for f64 {
             out.push_str(&format!("{self}"));
         } else {
             out.push_str("null");
+        }
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            // Non-finite floats emit as null; decode them back as NaN so
+            // the round-trip stays total.
+            JsonValue::Null => Ok(f64::NAN),
+            _ => v.as_f64().ok_or_else(|| "expected a number".to_string()),
         }
     }
 }
@@ -66,6 +143,12 @@ impl ToJson for String {
     }
 }
 
+impl FromJson for String {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        v.as_str().map(str::to_string).ok_or_else(|| "expected a string".to_string())
+    }
+}
+
 impl ToJson for &str {
     fn write_json(&self, out: &mut String) {
         (**self).write_json(out);
@@ -77,6 +160,15 @@ impl<T: ToJson> ToJson for Option<T> {
         match self {
             Some(v) => v.write_json(out),
             None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => T::from_json(other).map(Some),
         }
     }
 }
@@ -94,7 +186,19 @@ impl<T: ToJson> ToJson for Vec<T> {
     }
 }
 
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let items = v.as_array().ok_or("expected an array")?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| format!("[{i}]: {e}")))
+            .collect()
+    }
+}
+
 /// Implement [`ToJson`] for a struct by listing its fields.
+#[macro_export]
 macro_rules! json_object {
     ($ty:ty { $($field:ident),+ $(,)? }) => {
         impl $crate::json::ToJson for $ty {
@@ -106,9 +210,9 @@ macro_rules! json_object {
                         out.push(',');
                     }
                     first = false;
-                    stringify!($field).write_json(out);
+                    $crate::json::ToJson::write_json(stringify!($field), out);
                     out.push(':');
-                    self.$field.write_json(out);
+                    $crate::json::ToJson::write_json(&self.$field, out);
                     let _ = first;
                 )+
                 out.push('}');
@@ -116,10 +220,24 @@ macro_rules! json_object {
         }
     };
 }
-pub(crate) use json_object;
+
+/// Implement [`FromJson`] for a struct by listing its fields (the decode
+/// twin of [`json_object!`]; every listed field type must itself be
+/// `FromJson`).
+#[macro_export]
+macro_rules! json_decode {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::FromJson for $ty {
+            fn from_json(v: &$crate::json::JsonValue) -> Result<Self, String> {
+                Ok(Self { $($field: $crate::json::field(v, stringify!($field))?),+ })
+            }
+        }
+    };
+}
 
 /// A parsed JSON value — just enough structure to validate the documents
-/// `reproduce --json` writes (and any Chrome trace the simulator emits).
+/// `reproduce --json` writes, decode checkpoint journals, and check any
+/// Chrome trace the simulator emits.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
     /// `null`.
@@ -366,7 +484,8 @@ mod tests {
         ratio: f64,
         tiles: Option<usize>,
     }
-    json_object!(Row { name, n, ratio, tiles });
+    crate::json_object!(Row { name, n, ratio, tiles });
+    crate::json_decode!(Row { name, n, ratio, tiles });
 
     #[test]
     fn encodes_structs_and_escapes() {
@@ -383,6 +502,34 @@ mod tests {
         assert_eq!(v.get("n").and_then(JsonValue::as_f64), Some(7.0));
         assert_eq!(v.get("ratio").and_then(JsonValue::as_f64), Some(-0.25));
         assert_eq!(v.get("tiles").and_then(JsonValue::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn decode_reconstructs_the_struct_exactly() {
+        let r = Row { name: "fib/4".into(), n: 123_456, ratio: 0.1 + 0.2, tiles: Some(7) };
+        let v = parse(&r.to_json()).unwrap();
+        let back = Row::from_json(&v).unwrap();
+        assert_eq!(back.name, r.name);
+        assert_eq!(back.n, r.n);
+        assert_eq!(back.ratio.to_bits(), r.ratio.to_bits(), "floats round-trip bit-exactly");
+        assert_eq!(back.tiles, r.tiles);
+        // And the re-encode is byte-identical — the property checkpoint
+        // resume relies on.
+        assert_eq!(back.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn decode_rejects_type_and_range_violations() {
+        for (doc, what) in [
+            (r#"{"name":1,"n":2,"ratio":3,"tiles":null}"#, "string field holding a number"),
+            (r#"{"n":2,"ratio":3,"tiles":null}"#, "missing field"),
+            (r#"{"name":"x","n":2.5,"ratio":3,"tiles":null}"#, "fractional integer"),
+            (r#"{"name":"x","n":-1,"ratio":3,"tiles":null}"#, "negative unsigned"),
+            (r#"{"name":"x","n":1e17,"ratio":3,"tiles":null}"#, "integer beyond 2^53"),
+        ] {
+            let v = parse(doc).unwrap();
+            assert!(Row::from_json(&v).is_err(), "{what} must fail to decode");
+        }
     }
 
     #[test]

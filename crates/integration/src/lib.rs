@@ -335,6 +335,68 @@ pub fn boundary_sweep(seed: u64) -> Result<usize, String> {
     Ok(checked)
 }
 
+/// One independent, deterministic slice of the differential sweep: a
+/// workload with its own derived seed stream. Unlike [`differential_sweep`]
+/// (one RNG stream shared across workloads, inherently sequential), cells
+/// can run in any order — or concurrently — and always draw the same
+/// samples, which is what lets the sweep executor shard them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffCell {
+    /// Workload name (resolved against [`suite_small`] when run).
+    pub workload: String,
+    /// The cell's own 64-bit sample-stream seed.
+    pub seed: u64,
+    /// Samples to draw and check.
+    pub samples: usize,
+}
+
+/// Decompose the differential sweep into one [`DiffCell`] per small-suite
+/// workload. Each cell's seed is derived from `seed` and the workload's
+/// position via an extra SplitMix64 scramble, so the streams are
+/// decorrelated from each other and from the sequential sweep's.
+pub fn differential_cells(seed: u64, samples_per_workload: usize) -> Vec<DiffCell> {
+    suite_small()
+        .iter()
+        .enumerate()
+        .map(|(i, wl)| DiffCell {
+            workload: wl.name.clone(),
+            seed: SplitMix64::new(seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .next_u64(),
+            samples: samples_per_workload,
+        })
+        .collect()
+}
+
+/// Run one differential cell: draw `samples` configurations from the
+/// cell's own stream and [`check_sample`] each. Returns the number of
+/// checks performed (== `cell.samples` on success).
+///
+/// # Errors
+///
+/// The first failing sample is minimized and rendered into a repro string
+/// carrying the cell's seed, exactly like [`differential_sweep`]'s.
+pub fn run_differential_cell(cell: &DiffCell) -> Result<usize, String> {
+    let wl = suite_small()
+        .into_iter()
+        .find(|w| w.name == cell.workload)
+        .ok_or_else(|| format!("unknown workload `{}`", cell.workload))?;
+    let mut rng = SplitMix64::new(cell.seed);
+    let mut checked = 0usize;
+    for _ in 0..cell.samples {
+        let sample = ConfigSample::draw(&mut rng, is_recursive(&wl.name));
+        if let Err(err) = check_sample(&wl, &sample) {
+            let minimized = minimize(&sample, &|c: &ConfigSample| check_sample(&wl, c).is_err());
+            return Err(format!(
+                "differential cell failed (seed={:#x}): {err}\nminimized repro: {}",
+                cell.seed,
+                minimized.repro(&wl.name)
+            ));
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +422,30 @@ mod tests {
             assert!(s.banks.is_power_of_two());
             assert!((1..=4).contains(&s.tiles));
         }
+    }
+
+    #[test]
+    fn differential_cells_are_deterministic_and_decorrelated() {
+        let cells = differential_cells(0x7A9A_5CAF, 3);
+        assert_eq!(cells.len(), suite_small().len());
+        assert_eq!(cells, differential_cells(0x7A9A_5CAF, 3), "same seed, same cells");
+        let mut seeds: Vec<u64> = cells.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), cells.len(), "per-workload seed streams must differ");
+        assert_ne!(
+            cells[0].seed,
+            differential_cells(0x7A9A_5CB0, 3)[0].seed,
+            "cells must track the sweep seed"
+        );
+    }
+
+    #[test]
+    fn differential_cell_runs_and_rejects_unknown_workloads() {
+        let cell = DiffCell { workload: "saxpy".to_string(), seed: 42, samples: 1 };
+        assert_eq!(run_differential_cell(&cell), Ok(1));
+        let bogus = DiffCell { workload: "nope".to_string(), seed: 42, samples: 1 };
+        assert!(run_differential_cell(&bogus).unwrap_err().contains("unknown workload"));
     }
 
     #[test]
