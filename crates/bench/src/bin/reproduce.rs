@@ -7,22 +7,30 @@
 //! where `experiment` is one of `table2`, `spawn`, `fig13`, `table3`,
 //! `fig14`, `fig15`, `fig16`, `table4`, `fig17`, `table5`, `lint`,
 //! `profile`, `faults`, `stress`, `tune`, `analyze`, `bench`,
-//! `differential`, or `all` (default). Pass `--json <path>` to also dump
+//! `differential`, `chaos`, or `all` (default). Pass `--json <path>` to also dump
 //! the raw rows (for `all` and every runner experiment; the dump carries
 //! a `schema_version` field). `check-json <path>` validates a previously
 //! written dump: well-formed JSON with the current schema version.
 //! `--list` prints every runner experiment with its schema version.
 //!
 //! The runner experiments (`profile`, `faults`, `stress`, `tune`,
-//! `analyze`, `bench`, `differential`) go through the unified
+//! `analyze`, `bench`, `differential`, `chaos`) go through the unified
 //! [`tapas_bench::experiment`] registry on top of the `tapas-exec` sweep
 //! executor: each experiment decomposes into independent deterministic
 //! cells drained by worker threads. Scheduling flags:
 //!
 //! - `--jobs <N>` worker threads (default: one per core)
-//! - `--retries <N>` retries per failing cell (default 1)
-//! - `--timeout-ms <MS>` per-attempt watchdog; `0` disables (default 10
-//!   minutes)
+//! - `--retries <N>` retries per failing cell (default 1, cap 32)
+//! - `--timeout-ms <MS>` per-attempt watchdog (default 10 minutes)
+//! - `--snapshot-every <N>` engine-snapshot interval in simulated cycles
+//!   for resumable cells (`chaos`): each cell gets a stable snapshot file
+//!   under `target/sweep/`, so a killed or timed-out attempt resumes
+//!   mid-simulation on retry instead of from scratch
+//!
+//! Degenerate values (`--jobs 0`, `--timeout-ms 0`, `--retries` above the
+//! cap, `--snapshot-every 0`) are rejected up front with a typed error
+//! rather than silently clamped or silently disabling the feature.
+//!
 //! - `--checkpoint <path>` journal location (default
 //!   `target/sweep/<experiment>.checkpoint.jsonl`)
 //! - `--no-checkpoint` disables journaling
@@ -61,6 +69,7 @@ struct Flags {
     jobs: Option<usize>,
     retries: Option<u32>,
     timeout_ms: Option<u64>,
+    snapshot_every: Option<u64>,
     checkpoint: Option<String>,
     no_checkpoint: bool,
     resume: bool,
@@ -76,6 +85,7 @@ fn parse_args() -> (Vec<String>, Flags) {
         jobs: None,
         retries: None,
         timeout_ms: None,
+        snapshot_every: None,
         checkpoint: None,
         no_checkpoint: false,
         resume: false,
@@ -110,6 +120,12 @@ fn parse_args() -> (Vec<String>, Flags) {
                         .parse()
                         .unwrap_or_else(|_| usage_exit("reproduce: --timeout-ms wants a number")),
                 );
+            }
+            "--snapshot-every" => {
+                flags.snapshot_every =
+                    Some(value("a cycle count").parse().unwrap_or_else(|_| {
+                        usage_exit("reproduce: --snapshot-every wants a number")
+                    }));
             }
             "--checkpoint" => flags.checkpoint = Some(value("a path")),
             "--no-checkpoint" => flags.no_checkpoint = true,
@@ -247,16 +263,21 @@ fn run_experiment(e: &experiment::Experiment, flags: &Flags) {
     exec::install_quiet_panic_hook();
     let mut policy = exec::Policy::default_parallel();
     if let Some(jobs) = flags.jobs {
-        policy.jobs = jobs.max(1);
+        policy.jobs = jobs;
     }
     if let Some(retries) = flags.retries {
-        policy.max_attempts = retries + 1;
+        policy.max_attempts = retries.saturating_add(1);
     }
     if let Some(ms) = flags.timeout_ms {
-        policy.timeout = (ms > 0).then(|| Duration::from_millis(ms));
+        policy.timeout = Some(Duration::from_millis(ms));
     }
+    policy.snapshot_every = flags.snapshot_every;
     policy.halt_after = flags.halt_after;
     policy.inject = flags.inject.clone();
+    // Reject degenerate flag values up front, before any cell runs.
+    if let Err(e) = policy.validate() {
+        usage_exit(&format!("reproduce: {e}"));
+    }
 
     let path = flags
         .checkpoint

@@ -59,6 +59,8 @@ pub enum CellPayload {
     Shard(perf::ShardTiming),
     /// A `differential/<bench>` seeded config-sweep cell.
     Differential(exp::DifferentialRow),
+    /// A `chaos/<bench>` kill-and-resume snapshot-identity cell.
+    Chaos(exp::ChaosRow),
 }
 
 impl CellPayload {
@@ -74,6 +76,7 @@ impl CellPayload {
             CellPayload::Sweep(_) => "sweep",
             CellPayload::Shard(_) => "shard",
             CellPayload::Differential(_) => "differential",
+            CellPayload::Chaos(_) => "chaos",
         }
     }
 }
@@ -93,6 +96,7 @@ impl ToJson for CellPayload {
             CellPayload::Sweep(r) => r.write_json(out),
             CellPayload::Shard(r) => r.write_json(out),
             CellPayload::Differential(r) => r.write_json(out),
+            CellPayload::Chaos(r) => r.write_json(out),
         }
         out.push('}');
     }
@@ -117,6 +121,7 @@ pub fn decode_cell_payload(v: &JsonValue) -> Result<CellPayload, String> {
         "sweep" => FromJson::from_json(data).map(CellPayload::Sweep),
         "shard" => FromJson::from_json(data).map(CellPayload::Shard),
         "differential" => FromJson::from_json(data).map(CellPayload::Differential),
+        "chaos" => FromJson::from_json(data).map(CellPayload::Chaos),
         other => Err(format!("unknown payload kind `{other}`")),
     }
     .map_err(|e| format!("{kind} payload: {e}"))
@@ -240,6 +245,13 @@ pub fn registry() -> &'static [Experiment] {
             cells: differential_cells,
             assemble: assemble_differential,
         },
+        Experiment {
+            name: "chaos",
+            summary: "kill-and-resume snapshot identity under seeded configs",
+            schema_version: exp::JSON_SCHEMA_VERSION,
+            cells: chaos_cells,
+            assemble: assemble_chaos,
+        },
     ];
     REGISTRY
 }
@@ -353,6 +365,28 @@ fn differential_cells() -> Vec<exec::Cell<CellPayload>> {
         .collect()
 }
 
+fn chaos_cells() -> Vec<exec::Cell<CellPayload>> {
+    tapas_integration::chaos_cells(perf::SWEEP_SEED, 2)
+        .into_iter()
+        .map(|c| {
+            let id = format!("chaos/{}", c.workload);
+            // Resumable: with `--snapshot-every N` the executor hands the
+            // cell a stable snapshot path, and each trial's killed run is
+            // additionally verified through the on-disk ladder.
+            exec::Cell::resumable(id, move |ctx: &exec::CellCtx| {
+                let spec = ctx.snapshot.as_ref().map(|s| (s.path.clone(), s.every));
+                let verified = tapas_integration::run_chaos_cell_with(&c, spec)?;
+                Ok(CellPayload::Chaos(exp::ChaosRow {
+                    workload: c.workload.clone(),
+                    seed: format!("{:#x}", c.seed),
+                    trials: c.trials as u64,
+                    verified: verified as u64,
+                }))
+            })
+        })
+        .collect()
+}
+
 fn assemble_profile(records: &[exec::CellRecord<CellPayload>]) -> ExperimentReport {
     let rows: Vec<exp::ProfileRow> = records
         .iter()
@@ -451,6 +485,18 @@ fn assemble_differential(records: &[exec::CellRecord<CellPayload>]) -> Experimen
         json: results.to_json(),
         failure: None,
     }
+}
+
+fn assemble_chaos(records: &[exec::CellRecord<CellPayload>]) -> ExperimentReport {
+    let rows: Vec<exp::ChaosRow> = records
+        .iter()
+        .filter_map(|r| match &r.payload {
+            Some(CellPayload::Chaos(row)) => Some(row.clone()),
+            _ => None,
+        })
+        .collect();
+    let results = exp::ChaosResults { schema_version: exp::JSON_SCHEMA_VERSION, rows };
+    ExperimentReport { text: render_chaos(&results.rows), json: results.to_json(), failure: None }
 }
 
 fn hdr(out: &mut String, title: &str) {
@@ -618,6 +664,18 @@ pub fn render_differential(rows: &[exp::DifferentialRow]) -> String {
     out
 }
 
+/// Render the per-workload kill-and-resume chaos table.
+pub fn render_chaos(rows: &[exp::ChaosRow]) -> String {
+    let mut out = String::new();
+    hdr(&mut out, "Chaos: kill-and-resume snapshot identity (resumed == uninterrupted)");
+    let _ = writeln!(out, "{:<12} {:>18} {:>7} {:>9}", "bench", "seed", "trials", "verified");
+    for r in rows {
+        let _ =
+            writeln!(out, "{:<12} {:>18} {:>7} {:>9}", r.workload, r.seed, r.trials, r.verified);
+    }
+    out
+}
+
 /// Render the engine-throughput benchmark.
 pub fn render_bench(results: &perf::BenchResults) -> String {
     let mut out = String::new();
@@ -688,7 +746,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 7, "profile/faults/stress/tune/analyze/bench/differential");
+        assert_eq!(names.len(), 8, "profile/faults/stress/tune/analyze/bench/differential/chaos");
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -1228,6 +1228,36 @@ pub struct DifferentialResults {
     pub rows: Vec<DifferentialRow>,
 }
 
+/// One workload's slice of the kill-and-resume chaos sweep (`reproduce
+/// chaos`): each trial kills a seeded configuration at a seeded cycle via
+/// the engine's halt hook, restores the crash-consistent snapshot onto a
+/// fresh accelerator, and requires byte-identical cycles, stats, profile
+/// and output. A row only exists for a *passing* cell — a diverging trial
+/// errors out with its kill point and knobs, and the executor quarantines
+/// it.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Workload name.
+    pub workload: String,
+    /// The cell's derived 64-bit seed, hex-encoded (a raw u64 would not
+    /// survive the f64-based JSON round-trip above 2^53).
+    pub seed: String,
+    /// Kill-and-resume trials the cell was asked to run.
+    pub trials: u64,
+    /// Trials that restored to byte-identical completion.
+    pub verified: u64,
+}
+
+/// The `reproduce chaos --json` document: versioned per-workload
+/// kill-and-resume cells.
+#[derive(Debug, Clone)]
+pub struct ChaosResults {
+    /// [`JSON_SCHEMA_VERSION`] at the time of the run.
+    pub schema_version: u64,
+    /// One row per workload cell.
+    pub rows: Vec<ChaosRow>,
+}
+
 /// Everything, serialized as one JSON document.
 #[derive(Debug, Clone)]
 pub struct AllResults {
@@ -1430,6 +1460,8 @@ json_object!(FaultRow {
 json_object!(FaultMatrixResults { schema_version, rows });
 json_object!(DifferentialRow { workload, seed, samples, checks });
 json_object!(DifferentialResults { schema_version, rows });
+json_object!(ChaosRow { workload, seed, trials, verified });
+json_object!(ChaosResults { schema_version, rows });
 
 // Decode impls for every row type the executor's checkpoint journal can
 // store — `decode(encode(x)) == x` exactly, which is what makes a resumed
@@ -1485,6 +1517,7 @@ json_decode!(AnalyzeRow {
     agree
 });
 json_decode!(DifferentialRow { workload, seed, samples, checks });
+json_decode!(ChaosRow { workload, seed, trials, verified });
 json_object!(AllResults {
     schema_version,
     table2,

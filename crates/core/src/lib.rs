@@ -73,9 +73,9 @@ pub use tapas_task as task;
 pub use tapas_analyze::{AnalysisReport, AnalyzeError, Bottleneck, Bound, ConfigVerdict};
 pub use tapas_sim::{
     Accelerator, AcceleratorConfig, AcceleratorConfigBuilder, AdmissionControl, BottleneckReport,
-    BoundClass, ConfigError, DeadlockDiagnosis, Fault, FaultPlan, FaultTolerance, Profile,
-    ProfileLevel, SimError, SimEvent, SimEventKind, SimOutcome, SimStats, StallReason, StealConfig,
-    WaitCause,
+    BoundClass, ConfigError, DeadlockDiagnosis, EngineSnapshot, Fault, FaultPlan, FaultTolerance,
+    Profile, ProfileLevel, SimError, SimEvent, SimEventKind, SimOutcome, SimStats, SnapshotConfig,
+    SnapshotError, StallReason, StealConfig, WaitCause,
 };
 
 use tapas_dfg::{lower_tasks, LatencyModel, TaskDfg};
@@ -229,6 +229,79 @@ impl CompiledDesign {
         Accelerator::elaborate(&self.module, cfg)
     }
 
+    /// Stage 3 (simulation backend), crash-consistent flavour: build the
+    /// accelerator, load `mem_image` at address 0, and run `entry(args)` —
+    /// resuming from the newest valid on-disk snapshot when the
+    /// configuration arms one (`.snapshot(path, every)` on the builder).
+    ///
+    /// The restore ladder degrades gracefully: the current snapshot is
+    /// tried first, then the `.prev` rotation, and a snapshot that fails
+    /// verification (checksum, version, design fingerprint) is skipped
+    /// with a note rather than an error, falling back to a fresh run from
+    /// cycle 0. A resumed run is byte-identical — cycles, [`SimStats`],
+    /// profile and memory — to the same run never interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration and simulation failures. A snapshot that
+    /// merely fails to restore is *not* an error (it lands in
+    /// [`ResumableRun::notes`]); only the final run's failure is.
+    pub fn simulate_resumable(
+        &self,
+        cfg: &AcceleratorConfig,
+        entry: tapas_ir::FuncId,
+        args: &[tapas_ir::interp::Val],
+        mem_image: &[u8],
+    ) -> Result<ResumableRun, Error> {
+        let mut notes = Vec::new();
+        let mut acc = self.instantiate(cfg)?;
+        acc.mem_mut().write_bytes(0, mem_image);
+
+        // Fallback ladder: current snapshot, then its `.prev` rotation,
+        // then cycle 0. `load` rejects torn/corrupt files by checksum;
+        // `resume` additionally rejects fingerprint mismatches.
+        if let Some(sc) = cfg.snapshot.as_ref() {
+            let rungs = [sc.path.clone(), tapas_sim::snapshot::prev_path(&sc.path)];
+            for path in rungs {
+                if !path.exists() {
+                    continue;
+                }
+                let snap = match EngineSnapshot::load(&path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        notes.push(format!("{}: {e}", path.display()));
+                        continue;
+                    }
+                };
+                let from = snap.cycle;
+                match acc.resume(&snap) {
+                    Ok(outcome) => {
+                        return Ok(ResumableRun {
+                            accelerator: acc,
+                            outcome,
+                            resumed_from: Some(from),
+                            notes,
+                        });
+                    }
+                    Err(SimError::Snapshot(e)) => {
+                        // A failed restore may leave partially-decoded
+                        // state behind; rebuild before the next rung.
+                        notes.push(format!("{}: {e}", path.display()));
+                        acc = self.instantiate(cfg)?;
+                        acc.mem_mut().write_bytes(0, mem_image);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            if !notes.is_empty() {
+                notes.push("no usable snapshot; starting from cycle 0".into());
+            }
+        }
+
+        let outcome = acc.run(entry, args)?;
+        Ok(ResumableRun { accelerator: acc, outcome, resumed_from: None, notes })
+    }
+
     /// Stage 3 (RTL backend): emit parameterized Chisel-style RTL.
     pub fn emit_chisel(&self, cfg: &AcceleratorConfig) -> String {
         rtl::emit_chisel(self, cfg)
@@ -286,6 +359,30 @@ impl CompiledDesign {
             }
         }
         rows
+    }
+}
+
+/// Result of [`CompiledDesign::simulate_resumable`]: the outcome plus how
+/// the run started and which snapshot rungs (if any) were rejected.
+pub struct ResumableRun {
+    /// The accelerator in its post-run state — read results out of its
+    /// memory with [`Accelerator::mem`].
+    pub accelerator: Accelerator,
+    /// The simulation outcome (identical to an uninterrupted run's).
+    pub outcome: SimOutcome,
+    /// Cycle the run resumed from; `None` when it started fresh.
+    pub resumed_from: Option<u64>,
+    /// One line per snapshot rung that failed verification or restore.
+    pub notes: Vec<String>,
+}
+
+impl std::fmt::Debug for ResumableRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResumableRun")
+            .field("outcome", &self.outcome)
+            .field("resumed_from", &self.resumed_from)
+            .field("notes", &self.notes)
+            .finish_non_exhaustive()
     }
 }
 
@@ -387,6 +484,65 @@ mod tests {
         let sim_err: Error = SimError::DivByZero.into();
         assert!(matches!(sim_err, Error::Sim(SimError::DivByZero)));
         assert_eq!(sim_err.source().unwrap().to_string(), "division by zero");
+    }
+
+    #[test]
+    fn simulate_resumable_matches_the_uninterrupted_run() {
+        let dir = std::env::temp_dir().join("tapas-core-resumable-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("facade-{}.snap", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(sim::snapshot::prev_path(&path));
+
+        let wl = tapas_workloads::matrix_add::build(8);
+        let design = Toolchain::new().compile(&wl.module).unwrap();
+        let base = AcceleratorConfig::builder().tiles(2).build().unwrap();
+
+        // Golden, uninterrupted run.
+        let mut acc = design.instantiate(&base).unwrap();
+        acc.mem_mut().write_bytes(0, &wl.mem);
+        let golden = acc.run(wl.func, &wl.args).unwrap();
+        let golden_mem = acc.mem().read_bytes(wl.output.0, wl.output.1).to_vec();
+
+        // Fresh start: no snapshot on disk, runs from cycle 0.
+        let cfg = AcceleratorConfig::builder().tiles(2).snapshot(&path, 50).build().unwrap();
+        let run = design.simulate_resumable(&cfg, wl.func, &wl.args, &wl.mem).unwrap();
+        assert_eq!(run.resumed_from, None);
+        assert_eq!(run.outcome, golden);
+        assert!(path.exists(), "periodic snapshot written");
+
+        // The completed run left a near-end snapshot behind; clear it so
+        // the kill below starts from cycle 0.
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(sim::snapshot::prev_path(&path));
+
+        // Kill mid-flight, then resume from the disk snapshot.
+        let killed = AcceleratorConfig::builder()
+            .tiles(2)
+            .snapshot(&path, 50)
+            .halt_at_cycle(golden.cycles / 2)
+            .build()
+            .unwrap();
+        let err = design.simulate_resumable(&killed, wl.func, &wl.args, &wl.mem).unwrap_err();
+        assert!(matches!(err, Error::Sim(SimError::Halted { .. })), "{err:?}");
+        let resumed = design.simulate_resumable(&cfg, wl.func, &wl.args, &wl.mem).unwrap();
+        let from = resumed.resumed_from.expect("resumed from a snapshot");
+        assert!(from > 0 && from < golden.cycles);
+        assert_eq!(resumed.outcome, golden);
+        assert_eq!(resumed.accelerator.mem().read_bytes(wl.output.0, wl.output.1), &golden_mem[..]);
+
+        // Corrupt the current snapshot: the ladder falls through to `.prev`
+        // (or cycle 0) with notes, never an error.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let fallback = design.simulate_resumable(&cfg, wl.func, &wl.args, &wl.mem).unwrap();
+        assert!(!fallback.notes.is_empty(), "corrupt rung noted");
+        assert_eq!(fallback.outcome, golden);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(sim::snapshot::prev_path(&path));
     }
 
     #[test]

@@ -9,10 +9,23 @@
 //! On resume the journal is replayed **last-wins by cell id**; only
 //! succeeded records (`ok` / `retried`, payload present and decodable)
 //! are replayed into the new sweep — failed or half-written cells simply
-//! run again. The reader tolerates a torn tail and foreign garbage: an
-//! unparseable or schema-mismatched line is skipped with a note, never an
-//! error, because the journal's whole point is surviving a sweep that was
-//! killed mid-write.
+//! run again. The reader tolerates corruption *anywhere* in the file, not
+//! just a torn tail: an unparseable, schema-mismatched or undecodable
+//! line — mid-file garbage included — is skipped with a note, never an
+//! error, and the cell it named simply re-runs. Skipping is deterministic:
+//! the same journal bytes always yield the same replay set and notes,
+//! because the journal's whole point is surviving a sweep that was killed
+//! mid-write.
+//!
+//! # Locking
+//!
+//! Opening a journal (create or resume) takes an exclusive advisory lock:
+//! a `<path>.lock` file created atomically and holding the owner's pid.
+//! A second process opening the same checkpoint fails fast instead of
+//! interleaving half-written JSONL lines with the first. A lock whose
+//! owner is no longer alive (checked via `/proc/<pid>`) is stale and is
+//! silently broken, so a `kill -9` mid-sweep never wedges the checkpoint;
+//! the lock file is removed when the journal is dropped.
 
 use crate::json::{self, JsonValue, ToJson};
 use crate::{CellRecord, CellStatus};
@@ -35,14 +48,76 @@ pub struct Codec<T> {
     pub decode: fn(&JsonValue) -> Result<T, String>,
 }
 
+/// Where the advisory lock for a journal lives.
+pub fn lock_path(journal: &Path) -> PathBuf {
+    let mut s = journal.as_os_str().to_os_string();
+    s.push(".lock");
+    PathBuf::from(s)
+}
+
+/// Exclusive advisory lock on a journal path, released on drop.
+struct JournalLock {
+    path: PathBuf,
+}
+
+impl Drop for JournalLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Atomically create `<journal>.lock` holding our pid. An existing lock
+/// whose owner is still alive is a hard error (two sweeps must not
+/// interleave appends); a stale lock — dead owner, or unreadable
+/// contents — is broken and re-taken.
+fn acquire_lock(journal: &Path) -> std::io::Result<JournalLock> {
+    let path = lock_path(journal);
+    for _ in 0..5 {
+        match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut file) => {
+                let _ = writeln!(file, "{}", std::process::id());
+                let _ = file.flush();
+                return Ok(JournalLock { path });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder =
+                    std::fs::read_to_string(&path).ok().and_then(|s| s.trim().parse::<u32>().ok());
+                if let Some(pid) = holder {
+                    if PathBuf::from(format!("/proc/{pid}")).exists() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WouldBlock,
+                            format!(
+                                "checkpoint {} is locked by running process {pid} \
+                                 (another `reproduce` on the same checkpoint?); \
+                                 remove {} if that process is gone",
+                                journal.display(),
+                                path.display()
+                            ),
+                        ));
+                    }
+                }
+                // Stale (dead owner) or unreadable: break it and retry.
+                let _ = std::fs::remove_file(&path);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(std::io::Error::new(
+        std::io::ErrorKind::WouldBlock,
+        format!("could not acquire {} after repeated stale-lock breaks", path.display()),
+    ))
+}
+
 /// An open checkpoint journal: replayable prior successes plus an
-/// append handle for this run's completions.
+/// append handle for this run's completions. Holds the `<path>.lock`
+/// advisory lock for its lifetime (see the module docs).
 pub struct Journal<T> {
     path: PathBuf,
     file: Mutex<File>,
     prior: HashMap<String, CellRecord<T>>,
     notes: Vec<String>,
     codec: Codec<T>,
+    _lock: JournalLock,
 }
 
 impl<T: Clone> Journal<T> {
@@ -51,13 +126,14 @@ impl<T: Clone> Journal<T> {
     /// # Errors
     ///
     /// Fails when the file (or a missing parent directory) cannot be
-    /// created.
+    /// created, or when another live process holds the journal's lock.
     pub fn create(path: &Path, codec: Codec<T>) -> std::io::Result<Self> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
+        let lock = acquire_lock(path)?;
         let file = File::create(path)?;
         Ok(Journal {
             path: path.to_path_buf(),
@@ -65,6 +141,7 @@ impl<T: Clone> Journal<T> {
             prior: HashMap::new(),
             notes: Vec::new(),
             codec,
+            _lock: lock,
         })
     }
 
@@ -73,10 +150,12 @@ impl<T: Clone> Journal<T> {
     ///
     /// # Errors
     ///
-    /// Fails when the file cannot be read or reopened for append —
-    /// *content* problems (torn lines, wrong schema, undecodable
-    /// payloads) are notes, not errors.
+    /// Fails when the file cannot be read or reopened for append, or when
+    /// another live process holds the journal's lock — *content* problems
+    /// (torn lines, mid-file garbage, wrong schema, undecodable payloads)
+    /// are notes, not errors.
     pub fn resume(path: &Path, codec: Codec<T>) -> std::io::Result<Self> {
+        let lock = acquire_lock(path)?;
         let text = std::fs::read_to_string(path)?;
         let mut prior = HashMap::new();
         let mut notes = Vec::new();
@@ -95,7 +174,14 @@ impl<T: Clone> Journal<T> {
             }
         }
         let file = OpenOptions::new().append(true).open(path)?;
-        Ok(Journal { path: path.to_path_buf(), file: Mutex::new(file), prior, notes, codec })
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            prior,
+            notes,
+            codec,
+            _lock: lock,
+        })
     }
 
     /// The journal's file path.
@@ -264,6 +350,83 @@ mod tests {
         let resumed = run_sweep(&cells(), &Policy::serial(), Some(&journal));
         assert!(resumed.complete_ok());
         assert_eq!(resumed.resumed(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_record_in_the_middle_is_skipped_deterministically() {
+        // Corruption mid-journal — not just a torn tail — must skip
+        // exactly the damaged record, re-run its cell, and do so
+        // identically on every resume of the same bytes.
+        let path = tmp("corrupt-middle");
+        let journal = Journal::create(&path, u32_codec()).unwrap();
+        run_sweep(&cells(), &Policy::serial(), Some(&journal));
+        drop(journal);
+
+        // Mangle the third of six records in place: a flipped byte makes
+        // the JSON unparseable while the neighbouring lines stay intact.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        assert_eq!(lines.len(), 6);
+        lines[2] = lines[2].replace("\"status\"", "\"sta~us\""); // mid-file corruption
+        lines[4] = lines[4].replace(":104", ":\"not-a-number\""); // undecodable payload
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let replay = |path: &Path| {
+            let journal = Journal::resume(path, u32_codec()).unwrap();
+            let notes = journal.notes().to_vec();
+            let mut ids: Vec<String> = (0..6).map(|i| format!("c/{i}")).collect();
+            ids.retain(|id| journal.prior(id).is_some());
+            (ids, notes)
+        };
+        let (replayable, notes) = replay(&path);
+        assert_eq!(replayable, ["c/0", "c/1", "c/3", "c/5"], "damaged cells are not replayed");
+        assert_eq!(notes.len(), 2);
+        assert!(notes[0].starts_with("line 3:"), "{notes:?}");
+        assert!(notes[1].starts_with("line 5:"), "{notes:?}");
+        assert_eq!(replay(&path), (replayable, notes), "same bytes, same skip decisions");
+
+        // The damaged cells re-run and the resumed report is clean.
+        let journal = Journal::resume(&path, u32_codec()).unwrap();
+        let resumed = run_sweep(&cells(), &Policy::serial(), Some(&journal));
+        assert!(resumed.complete_ok());
+        assert_eq!(resumed.resumed(), 4);
+        assert_eq!(resumed.records[2].payload, Some(102));
+        assert_eq!(resumed.records[4].payload, Some(104));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_live_lock_excludes_a_second_journal() {
+        let path = tmp("locked");
+        let held = Journal::create(&path, u32_codec()).unwrap();
+        // Same checkpoint, second open (create *or* resume): locked out.
+        let err = Journal::create(&path, u32_codec()).err().expect("create is locked out");
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        assert!(err.to_string().contains("locked by running process"), "{err}");
+        let err = Journal::resume(&path, u32_codec()).err().expect("resume is locked out");
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        // Dropping the holder releases the lock and frees the path.
+        drop(held);
+        assert!(!lock_path(&path).exists(), "lock removed on drop");
+        let reopened = Journal::resume(&path, u32_codec()).unwrap();
+        drop(reopened);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_stale_lock_from_a_dead_process_is_broken() {
+        let path = tmp("stale-lock");
+        std::fs::write(&path, "").unwrap();
+        // No live process has pid u32::MAX (Linux pids stop far below).
+        std::fs::write(lock_path(&path), format!("{}\n", u32::MAX)).unwrap();
+        let journal = Journal::resume(&path, u32_codec()).unwrap();
+        drop(journal);
+        // Garbage lock contents are equally stale.
+        std::fs::write(lock_path(&path), "not a pid").unwrap();
+        let journal = Journal::create(&path, u32_codec()).unwrap();
+        drop(journal);
+        assert!(!lock_path(&path).exists());
         std::fs::remove_file(&path).ok();
     }
 

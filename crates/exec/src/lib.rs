@@ -37,6 +37,7 @@ pub mod json;
 pub use journal::{Codec, Journal, JOURNAL_SCHEMA_VERSION};
 
 use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -50,8 +51,11 @@ use std::time::{Duration, Instant};
 pub struct Cell<T> {
     /// Stable identifier, unique within a sweep.
     pub id: String,
-    run: Arc<dyn Fn() -> Result<T, String> + Send + Sync + 'static>,
+    run: CellFn<T>,
 }
+
+/// The boxed body of a cell: attempt context in, payload (or error) out.
+type CellFn<T> = Arc<dyn Fn(&CellCtx) -> Result<T, String> + Send + Sync + 'static>;
 
 impl<T> Cell<T> {
     /// Wrap a closure as a cell. The closure must be deterministic:
@@ -61,8 +65,40 @@ impl<T> Cell<T> {
         id: impl Into<String>,
         run: impl Fn() -> Result<T, String> + Send + Sync + 'static,
     ) -> Self {
+        Cell { id: id.into(), run: Arc::new(move |_ctx| run()) }
+    }
+
+    /// Wrap a closure that consumes the per-attempt [`CellCtx`] — cells
+    /// that run long simulations use the context's [`SnapshotSpec`] to
+    /// write periodic engine snapshots, so a killed or timed-out attempt
+    /// resumes mid-simulation on retry instead of from scratch.
+    pub fn resumable(
+        id: impl Into<String>,
+        run: impl Fn(&CellCtx) -> Result<T, String> + Send + Sync + 'static,
+    ) -> Self {
         Cell { id: id.into(), run: Arc::new(run) }
     }
+}
+
+/// Per-attempt context handed to a [`Cell::resumable`] body.
+#[derive(Clone, Debug)]
+pub struct CellCtx {
+    /// 1-based attempt number; retries see values above 1.
+    pub attempt: u32,
+    /// This cell's engine-snapshot assignment, when the sweep was
+    /// launched with a snapshot interval. The path is a stable function
+    /// of the cell id, so every retry of the same cell resumes from the
+    /// snapshots its killed predecessor left behind.
+    pub snapshot: Option<SnapshotSpec>,
+}
+
+/// One cell's crash-consistent snapshot assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotSpec {
+    /// Snapshot file under the sweep directory (`<sanitized-id>.snap`).
+    pub path: PathBuf,
+    /// Snapshot interval in simulated cycles (validated non-zero).
+    pub every: u64,
 }
 
 /// How a sweep schedules, times out and retries its cells.
@@ -82,6 +118,11 @@ pub struct Policy {
     pub halt_after: Option<usize>,
     /// Fault injection (test-only hook; empty in normal runs).
     pub inject: Inject,
+    /// Engine-snapshot interval, in simulated cycles, for cells built
+    /// with [`Cell::resumable`]; `None` disables snapshotting.
+    pub snapshot_every: Option<u64>,
+    /// Directory holding per-cell engine snapshots.
+    pub snapshot_dir: PathBuf,
 }
 
 impl Policy {
@@ -95,6 +136,8 @@ impl Policy {
             backoff: Duration::ZERO,
             halt_after: None,
             inject: Inject::default(),
+            snapshot_every: None,
+            snapshot_dir: PathBuf::from("target/sweep"),
         }
     }
 
@@ -108,13 +151,113 @@ impl Policy {
             backoff: Duration::from_millis(100),
             halt_after: None,
             inject: Inject::default(),
+            snapshot_every: None,
+            snapshot_dir: PathBuf::from("target/sweep"),
         }
     }
+
+    /// The snapshot assignment for `cell_id` under this policy: a stable
+    /// `<sanitized-id>.snap` path under the sweep directory, identical
+    /// across retries.
+    pub fn snapshot_spec(&self, cell_id: &str) -> Option<SnapshotSpec> {
+        self.snapshot_every.map(|every| SnapshotSpec {
+            path: self.snapshot_dir.join(format!("{}.snap", sanitize_id(cell_id))),
+            every,
+        })
+    }
+}
+
+/// Flatten a cell id (`chaos/fib`) into a filesystem-safe file stem.
+fn sanitize_id(id: &str) -> String {
+    id.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '-' })
+        .collect()
 }
 
 /// Worker count for the default policy: one per available core.
 pub fn available_jobs() -> usize {
     std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Retry budget past which `--retries` is treated as a typo rather than a
+/// policy: with exponential backoff, attempt 33 would already shift the
+/// backoff out of range, and nothing in the harness is that flaky.
+pub const MAX_RETRIES: u32 = 32;
+
+/// A nonsensical executor flag, rejected before any cell runs.
+///
+/// The CLI maps each flag onto one variant so `reproduce --jobs 0` fails
+/// fast with a typed, explanatory error instead of being silently clamped
+/// or silently disabling the feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyError {
+    /// `--jobs 0`: zero workers can never drain the queue.
+    ZeroJobs,
+    /// `--timeout-ms 0`: a zero watchdog would time out every attempt
+    /// before it starts. Omit the flag to keep the default watchdog.
+    ZeroTimeout,
+    /// `--retries n` with `n` beyond [`MAX_RETRIES`].
+    AbsurdRetries {
+        /// What the flag asked for.
+        requested: u32,
+    },
+    /// `--snapshot-every 0`: a zero-cycle snapshot interval would write a
+    /// snapshot every engine iteration. Omit the flag to disable
+    /// snapshotting instead.
+    ZeroSnapshotInterval,
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::ZeroJobs => {
+                write!(f, "--jobs 0: at least one worker is required to drain the sweep")
+            }
+            PolicyError::ZeroTimeout => write!(
+                f,
+                "--timeout-ms 0: a zero watchdog would kill every attempt at birth; \
+                 omit the flag to keep the default"
+            ),
+            PolicyError::AbsurdRetries { requested } => write!(
+                f,
+                "--retries {requested}: retry budgets above {MAX_RETRIES} are a typo, \
+                 not a policy (exponential backoff overflows long before that)"
+            ),
+            PolicyError::ZeroSnapshotInterval => write!(
+                f,
+                "--snapshot-every 0: a zero-cycle snapshot interval would snapshot every \
+                 engine iteration; omit the flag to disable snapshotting"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl Policy {
+    /// Reject nonsensical knob combinations with a typed [`PolicyError`].
+    /// `run_sweep` itself stays lenient (it clamps) so programmatic users
+    /// keep the old behaviour; the CLI calls this on every flag set.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::ZeroJobs`], [`PolicyError::ZeroTimeout`] or
+    /// [`PolicyError::AbsurdRetries`].
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        if self.jobs == 0 {
+            return Err(PolicyError::ZeroJobs);
+        }
+        if self.timeout == Some(Duration::ZERO) {
+            return Err(PolicyError::ZeroTimeout);
+        }
+        if self.max_attempts.saturating_sub(1) > MAX_RETRIES {
+            return Err(PolicyError::AbsurdRetries { requested: self.max_attempts - 1 });
+        }
+        if self.snapshot_every == Some(0) {
+            return Err(PolicyError::ZeroSnapshotInterval);
+        }
+        Ok(())
+    }
 }
 
 /// Test-only fault injection, keyed by exact cell id. Lets the check.sh
@@ -341,6 +484,7 @@ fn run_attempt<T: Send + 'static>(
         return Err(FailKind::Timeout);
     }
     let run = Arc::clone(&cell.run);
+    let ctx = CellCtx { attempt, snapshot: policy.snapshot_spec(&cell.id) };
     let oversleep = policy.timeout.map_or(Duration::ZERO, |t| t + Duration::from_millis(500));
     let body = move || -> Result<T, String> {
         if forced_panic {
@@ -352,7 +496,7 @@ fn run_attempt<T: Send + 'static>(
             std::thread::sleep(oversleep);
             return Err("watchdog did not fire".to_string());
         }
-        run()
+        run(&ctx)
     };
     match policy.timeout {
         None => match panic::catch_unwind(AssertUnwindSafe(body)) {
@@ -637,6 +781,75 @@ mod tests {
         assert!(inject.is_empty());
         inject.parse_spec("panic:a").unwrap();
         assert!(!inject.is_empty());
+    }
+
+    #[test]
+    fn policy_validation_rejects_nonsense_with_typed_errors() {
+        assert_eq!(Policy::serial().validate(), Ok(()));
+        assert_eq!(Policy::default_parallel().validate(), Ok(()));
+
+        let mut p = Policy::serial();
+        p.jobs = 0;
+        assert_eq!(p.validate(), Err(PolicyError::ZeroJobs));
+        assert!(PolicyError::ZeroJobs.to_string().contains("--jobs 0"));
+
+        let mut p = Policy::serial();
+        p.timeout = Some(Duration::ZERO);
+        assert_eq!(p.validate(), Err(PolicyError::ZeroTimeout));
+        p.timeout = Some(Duration::from_millis(1));
+        assert_eq!(p.validate(), Ok(()), "tiny but nonzero watchdogs are a policy, not a typo");
+
+        let mut p = Policy::serial();
+        p.max_attempts = MAX_RETRIES + 2;
+        assert_eq!(p.validate(), Err(PolicyError::AbsurdRetries { requested: MAX_RETRIES + 1 }));
+        assert!(p.validate().unwrap_err().to_string().contains("--retries 33"));
+        p.max_attempts = MAX_RETRIES + 1;
+        assert_eq!(p.validate(), Ok(()), "the cap itself is allowed");
+
+        assert!(PolicyError::ZeroSnapshotInterval.to_string().contains("--snapshot-every 0"));
+        let mut p = Policy::serial();
+        p.snapshot_every = Some(0);
+        assert_eq!(p.validate(), Err(PolicyError::ZeroSnapshotInterval));
+        p.snapshot_every = Some(25);
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn resumable_cells_get_a_stable_snapshot_assignment_across_retries() {
+        let mut policy = Policy::serial();
+        policy.max_attempts = 3;
+        policy.snapshot_every = Some(50);
+        policy.snapshot_dir = PathBuf::from("target/sweep-test");
+
+        // Without an interval there is no assignment at all.
+        assert_eq!(Policy::serial().snapshot_spec("chaos/fib"), None);
+
+        // The body fails twice; every attempt must see the identical
+        // sanitized path so the retry resumes from its predecessor's
+        // snapshots, and the attempt counter must advance.
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&seen);
+        let cell = Cell::resumable("chaos/fib", move |ctx: &CellCtx| {
+            let spec = ctx.snapshot.clone().expect("snapshotting armed");
+            log.lock().unwrap().push((ctx.attempt, spec));
+            if ctx.attempt < 3 {
+                Err("transient".to_string())
+            } else {
+                Ok(7usize)
+            }
+        });
+        let record = run_cell(&cell, &policy);
+        assert_eq!(record.status, CellStatus::Retried);
+        assert_eq!(record.payload, Some(7));
+
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 3);
+        let expected =
+            SnapshotSpec { path: PathBuf::from("target/sweep-test/chaos-fib.snap"), every: 50 };
+        for (i, (attempt, spec)) in seen.iter().enumerate() {
+            assert_eq!(*attempt as usize, i + 1);
+            assert_eq!(spec, &expected, "same assignment on every attempt");
+        }
     }
 
     #[test]

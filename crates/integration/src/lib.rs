@@ -18,7 +18,10 @@
 //! one-line repro string (workload, seed and every knob), so a CI failure
 //! can be replayed directly with [`check_sample`].
 
-use tapas::{AcceleratorConfig, AdmissionControl, StealConfig, Toolchain};
+use tapas::{
+    AcceleratorConfig, AdmissionControl, EngineSnapshot, ProfileLevel, SimError, SnapshotConfig,
+    StealConfig, Toolchain,
+};
 use tapas_workloads::rng::SplitMix64;
 use tapas_workloads::{suite_small, BuiltWorkload};
 
@@ -397,6 +400,220 @@ pub fn run_differential_cell(cell: &DiffCell) -> Result<usize, String> {
     Ok(checked)
 }
 
+// ---------------------------------------------------------------------------
+// Kill-and-resume chaos harness
+// ---------------------------------------------------------------------------
+
+/// What one kill-and-resume trial established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosVerdict {
+    /// Cycle the run was killed at (relative to run start); 0 when the
+    /// golden run was too short to kill.
+    pub kill_cycle: u64,
+    /// Total cycles of the golden (uninterrupted) run.
+    pub golden_cycles: u64,
+}
+
+/// Kill a run mid-flight and require the resumed run to be byte-identical
+/// to the run never interrupted.
+///
+/// The trial runs `wl` under `cfg` three times: once uninterrupted (the
+/// golden run), once with the `halt_at_cycle` hook armed at a kill point
+/// derived from `kill_salt` (standing in for `kill -9` at an arbitrary
+/// cycle), and once more on a *freshly elaborated* accelerator restored
+/// from the halted run's snapshot. The snapshot is round-tripped through
+/// its on-disk byte format on the way, so the codec — not just the
+/// in-memory capture — is under test. The resumed run must reproduce the
+/// golden [`tapas::SimOutcome`] exactly: cycle count, every
+/// [`tapas::SimStats`] counter, the profile when armed, and the workload's
+/// declared output region.
+///
+/// # Errors
+///
+/// Any divergence (or a failure of any of the three runs) is rendered into
+/// the error string with the kill point.
+pub fn chaos_check(
+    wl: &BuiltWorkload,
+    cfg: &AcceleratorConfig,
+    kill_salt: u64,
+) -> Result<ChaosVerdict, String> {
+    chaos_check_with(wl, cfg, kill_salt, None)
+}
+
+/// [`chaos_check`] with an optional on-disk snapshot assignment.
+///
+/// With `snapshot = Some((path, every))` the killed run also writes
+/// periodic snapshots to `path` every `every` cycles — the `tapas-exec`
+/// crash-resume path — and, when the kill point fell past the first
+/// interval, a fourth run restores from the *disk* ladder
+/// ([`tapas::sim::snapshot::load_latest`]) rather than the in-memory halt
+/// capture and must reach the same golden outcome from its earlier
+/// capture point. Stale snapshot files are cleared before the trial and
+/// removed after it.
+pub fn chaos_check_with(
+    wl: &BuiltWorkload,
+    cfg: &AcceleratorConfig,
+    kill_salt: u64,
+    snapshot: Option<(&std::path::Path, u64)>,
+) -> Result<ChaosVerdict, String> {
+    let design = Toolchain::new().compile(&wl.module).map_err(|e| format!("compile: {e}"))?;
+
+    let mut golden_acc = design.instantiate(cfg).map_err(|e| format!("elaborate: {e}"))?;
+    golden_acc.mem_mut().write_bytes(0, &wl.mem);
+    let golden = golden_acc.run(wl.func, &wl.args).map_err(|e| format!("golden run: {e}"))?;
+    let golden_out = golden_acc.mem().read_bytes(wl.output.0, wl.output.1).to_vec();
+    if golden.cycles < 2 {
+        return Ok(ChaosVerdict { kill_cycle: 0, golden_cycles: golden.cycles });
+    }
+    let kill = 1 + kill_salt % (golden.cycles - 1);
+
+    let mut killed_cfg = cfg.clone();
+    killed_cfg.halt_at_cycle = Some(kill);
+    if let Some((path, every)) = snapshot {
+        // A previous trial (possibly of a different design) may have left
+        // snapshots at this cell's stable path; a resume would reject
+        // them by fingerprint, but the trial should start clean.
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(tapas::sim::snapshot::prev_path(path));
+        killed_cfg.snapshot = Some(SnapshotConfig { every, path: path.to_path_buf() });
+    }
+    let mut victim = design.instantiate(&killed_cfg).map_err(|e| format!("elaborate: {e}"))?;
+    victim.mem_mut().write_bytes(0, &wl.mem);
+    match victim.run(wl.func, &wl.args) {
+        Err(SimError::Halted { .. }) => {}
+        Err(e) => return Err(format!("kill at {kill}: unexpected failure before halt: {e}")),
+        Ok(_) => return Err(format!("kill at {kill}: run completed past the halt hook")),
+    }
+    let snap = victim
+        .take_halt_snapshot()
+        .ok_or_else(|| format!("kill at {kill}: halted run left no snapshot"))?;
+    let snap = EngineSnapshot::from_bytes(&snap.to_bytes())
+        .map_err(|e| format!("kill at {kill}: snapshot failed the byte round-trip: {e}"))?;
+
+    let mut resumed = design.instantiate(cfg).map_err(|e| format!("elaborate: {e}"))?;
+    resumed.mem_mut().write_bytes(0, &wl.mem);
+    let out = resumed
+        .resume(&snap)
+        .map_err(|e| format!("kill at {kill}: resume from cycle {}: {e}", snap.cycle))?;
+    if out != golden {
+        return Err(format!(
+            "kill at {kill}: resumed outcome diverged from golden \
+             ({} vs {} cycles, stats equal: {})",
+            out.cycles,
+            golden.cycles,
+            out.stats == golden.stats,
+        ));
+    }
+    if resumed.mem().read_bytes(wl.output.0, wl.output.1) != &golden_out[..] {
+        return Err(format!("kill at {kill}: resumed output region diverged from golden"));
+    }
+
+    if let Some((path, _every)) = snapshot {
+        let (disk, notes) = tapas::sim::snapshot::load_latest(path);
+        if !notes.is_empty() {
+            return Err(format!("kill at {kill}: disk snapshot ladder degraded: {notes:?}"));
+        }
+        if let Some(disk) = disk {
+            let mut from_disk = design.instantiate(cfg).map_err(|e| format!("elaborate: {e}"))?;
+            from_disk.mem_mut().write_bytes(0, &wl.mem);
+            let out = from_disk.resume(&disk).map_err(|e| {
+                format!("kill at {kill}: disk resume from cycle {}: {e}", disk.cycle)
+            })?;
+            if out != golden
+                || from_disk.mem().read_bytes(wl.output.0, wl.output.1) != &golden_out[..]
+            {
+                return Err(format!(
+                    "kill at {kill}: disk-resumed run (from cycle {}) diverged from golden",
+                    disk.cycle
+                ));
+            }
+        }
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(tapas::sim::snapshot::prev_path(path));
+    }
+    Ok(ChaosVerdict { kill_cycle: kill, golden_cycles: golden.cycles })
+}
+
+/// One shardable slice of the chaos sweep: a workload with its own derived
+/// seed stream drawing configurations and kill points. Like [`DiffCell`],
+/// cells are order-independent and deterministic, so the sweep executor
+/// can shard, retry and resume them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosCell {
+    /// Workload name (resolved against [`suite_small`] when run).
+    pub workload: String,
+    /// The cell's own 64-bit sample/kill-point stream seed.
+    pub seed: u64,
+    /// Kill-and-resume trials to run.
+    pub trials: usize,
+}
+
+/// Decompose the chaos sweep into one [`ChaosCell`] per small-suite
+/// workload, with per-cell seed streams decorrelated exactly like
+/// [`differential_cells`]'s (a different scramble constant keeps the two
+/// sweeps' streams independent of each other).
+pub fn chaos_cells(seed: u64, trials_per_workload: usize) -> Vec<ChaosCell> {
+    suite_small()
+        .iter()
+        .enumerate()
+        .map(|(i, wl)| ChaosCell {
+            workload: wl.name.clone(),
+            seed: SplitMix64::new(seed ^ (i as u64 + 1).wrapping_mul(0x517c_c1b7_2722_0a95))
+                .next_u64(),
+            trials: trials_per_workload,
+        })
+        .collect()
+}
+
+/// Run one chaos cell: each trial draws a configuration sample (steal ×
+/// banks × tiles × queue depth × admission, profiler armed on half the
+/// trials) and a kill point, then [`chaos_check`]s the workload under it.
+/// Returns the number of trials verified.
+///
+/// # Errors
+///
+/// The first failing trial is rendered into a repro string carrying the
+/// cell's seed and the sampled knobs.
+pub fn run_chaos_cell(cell: &ChaosCell) -> Result<usize, String> {
+    run_chaos_cell_with(cell, None)
+}
+
+/// [`run_chaos_cell`] with the executor's on-disk snapshot assignment:
+/// every trial's killed run writes periodic snapshots to `path`, and the
+/// resume is additionally verified through the disk ladder. This is what
+/// `reproduce chaos --snapshot-every N` drives via [`Cell::resumable`]
+/// contexts (`Cell` being `tapas_exec::Cell`).
+pub fn run_chaos_cell_with(
+    cell: &ChaosCell,
+    snapshot: Option<(std::path::PathBuf, u64)>,
+) -> Result<usize, String> {
+    let wl = suite_small()
+        .into_iter()
+        .find(|w| w.name == cell.workload)
+        .ok_or_else(|| format!("unknown workload `{}`", cell.workload))?;
+    let mut rng = SplitMix64::new(cell.seed);
+    let mut verified = 0usize;
+    for _ in 0..cell.trials {
+        let sample = ConfigSample::draw(&mut rng, is_recursive(&wl.name));
+        let mut cfg = sample.config(&wl);
+        if rng.chance(1, 2) {
+            cfg.profile = ProfileLevel::Summary;
+        }
+        let salt = rng.next_u64();
+        let spec = snapshot.as_ref().map(|(p, every)| (p.as_path(), *every));
+        chaos_check_with(&wl, &cfg, salt, spec).map_err(|e| {
+            format!(
+                "chaos cell failed (seed={:#x}): {} profile={:?}: {e}",
+                cell.seed,
+                sample.repro(&wl.name),
+                cfg.profile,
+            )
+        })?;
+        verified += 1;
+    }
+    Ok(verified)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +663,29 @@ mod tests {
         assert_eq!(run_differential_cell(&cell), Ok(1));
         let bogus = DiffCell { workload: "nope".to_string(), seed: 42, samples: 1 };
         assert!(run_differential_cell(&bogus).unwrap_err().contains("unknown workload"));
+    }
+
+    #[test]
+    fn chaos_cells_are_deterministic_and_decorrelated() {
+        let cells = chaos_cells(0xC0A0_5EED, 2);
+        assert_eq!(cells.len(), suite_small().len());
+        assert_eq!(cells, chaos_cells(0xC0A0_5EED, 2), "same seed, same cells");
+        let mut seeds: Vec<u64> = cells.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), cells.len(), "per-workload seed streams must differ");
+        // The chaos and differential sweeps use different scramble
+        // constants, so sharing a top-level seed never correlates them.
+        let diff = differential_cells(0xC0A0_5EED, 2);
+        assert!(cells.iter().zip(&diff).all(|(c, d)| c.seed != d.seed));
+    }
+
+    #[test]
+    fn chaos_cell_runs_and_rejects_unknown_workloads() {
+        let cell = ChaosCell { workload: "saxpy".to_string(), seed: 42, trials: 1 };
+        assert_eq!(run_chaos_cell(&cell), Ok(1));
+        let bogus = ChaosCell { workload: "nope".to_string(), seed: 42, trials: 1 };
+        assert!(run_chaos_cell(&bogus).unwrap_err().contains("unknown workload"));
     }
 
     #[test]

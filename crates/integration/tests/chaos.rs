@@ -1,0 +1,238 @@
+//! Kill-and-resume chaos gate: a run interrupted at an arbitrary cycle and
+//! resumed from its crash-consistent snapshot must be byte-identical — in
+//! cycles, stats, profile and memory — to the run never interrupted, under
+//! every engine feature (steal, banked L1, admission control, fault
+//! injection, profiler), both through the in-memory halt hook and through
+//! the on-disk snapshot ladder with injected corruption.
+
+use std::path::PathBuf;
+
+use tapas::{
+    AcceleratorConfig, AdmissionControl, FaultPlan, ProfileLevel, SimError, StealConfig, Toolchain,
+};
+use tapas_integration::{chaos_check, run_chaos_cell, ChaosCell, ConfigSample};
+use tapas_workloads::rng::SplitMix64;
+use tapas_workloads::{suite_small, BuiltWorkload};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tapas-chaos-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.snap", std::process::id()))
+}
+
+fn base_cfg(wl: &BuiltWorkload) -> AcceleratorConfig {
+    AcceleratorConfig::builder()
+        .tiles(2)
+        .ntasks(512) // deep enough for the recursive workloads without admission
+        .mem_bytes(wl.mem.len().next_power_of_two().max(1 << 20))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn kill_and_resume_is_identity_across_the_suite() {
+    let mut rng = SplitMix64::new(0x000C_4A05_C4A0);
+    for wl in suite_small() {
+        let cfg = base_cfg(&wl);
+        for _ in 0..2 {
+            let v = chaos_check(&wl, &cfg, rng.next_u64())
+                .unwrap_or_else(|e| panic!("{}: {e}", wl.name));
+            assert!(v.kill_cycle > 0, "{}: golden run long enough to kill", wl.name);
+        }
+    }
+}
+
+#[test]
+fn kill_and_resume_covers_steal_banks_admission_and_profiler() {
+    let mut rng = SplitMix64::new(0xFEED_F00D);
+    for wl in suite_small() {
+        // Everything on at once: stealing, 4 L1 banks, a queue small
+        // enough that admission control actually spills, profiler armed.
+        let sample =
+            ConfigSample { steal_latency: Some(2), banks: 4, tiles: 3, ntasks: 4, admission: true };
+        let mut cfg = sample.config(&wl);
+        cfg.profile = ProfileLevel::Summary;
+        chaos_check(&wl, &cfg, rng.next_u64()).unwrap_or_else(|e| panic!("{}: {e}", wl.name));
+    }
+}
+
+#[test]
+fn kill_and_resume_is_identity_under_masked_fault_plans() {
+    // Fault-armed runs either complete with golden output (masked) or fail
+    // with a typed error (detected). The identity contract applies to the
+    // masked ones; detected plans are covered by the deadlock test below.
+    let wl = tapas_workloads::matrix_add::build(16);
+    let mut verified = 0usize;
+    for seed in 0..8u64 {
+        let cfg = AcceleratorConfig::builder()
+            .tiles(4)
+            .mem_bytes(wl.mem.len().next_power_of_two().max(1 << 20))
+            .faults(FaultPlan::random(seed))
+            .build()
+            .unwrap();
+        match chaos_check(&wl, &cfg, 0x5EED ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            Ok(_) => verified += 1,
+            Err(e) if e.starts_with("golden run:") => {} // detected fault: no golden to match
+            Err(e) => panic!("fault seed {seed}: {e}"),
+        }
+    }
+    assert!(verified >= 2, "expected several masked plans, got {verified}");
+}
+
+#[test]
+fn resume_reproduces_a_deadlock_detected_after_the_kill_point() {
+    // deeprec under a starved queue without admission control wedges; a
+    // run killed *before* the deadlock and resumed must rediscover the
+    // exact same diagnosis at the exact same cycle.
+    let wl = tapas_workloads::deeprec::build(40);
+    let cfg = AcceleratorConfig::builder()
+        .ntasks(8)
+        .mem_bytes(wl.mem.len().next_power_of_two().max(1 << 20))
+        .build()
+        .unwrap();
+    let design = Toolchain::new().compile(&wl.module).unwrap();
+
+    let mut acc = design.instantiate(&cfg).unwrap();
+    acc.mem_mut().write_bytes(0, &wl.mem);
+    let golden_err = match acc.run(wl.func, &wl.args) {
+        Err(e @ SimError::Deadlock { .. }) => e,
+        other => panic!("expected a deadlock, got {other:?}"),
+    };
+    let at = match &golden_err {
+        SimError::Deadlock { at, .. } => *at,
+        _ => unreachable!(),
+    };
+
+    let mut killed_cfg = cfg.clone();
+    killed_cfg.halt_at_cycle = Some(at / 2);
+    let mut victim = design.instantiate(&killed_cfg).unwrap();
+    victim.mem_mut().write_bytes(0, &wl.mem);
+    assert!(matches!(victim.run(wl.func, &wl.args), Err(SimError::Halted { .. })));
+    let snap = victim.take_halt_snapshot().unwrap();
+
+    let mut resumed = design.instantiate(&cfg).unwrap();
+    resumed.mem_mut().write_bytes(0, &wl.mem);
+    let err = resumed.resume(&snap).unwrap_err();
+    assert_eq!(err.to_string(), golden_err.to_string(), "same diagnosis, same cycle");
+}
+
+#[test]
+fn disk_snapshots_resume_through_the_corruption_fallback_ladder() {
+    let wl = tapas_workloads::mergesort::build(96, 12345);
+    let path = tmp("ladder");
+    let prev = tapas::sim::snapshot::prev_path(&path);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&prev);
+
+    let base = AcceleratorConfig::builder()
+        .tiles(2)
+        .ntasks(64)
+        .steal(StealConfig { latency: 2 })
+        .admission(AdmissionControl::default())
+        .mem_bytes(wl.mem.len().next_power_of_two().max(1 << 20))
+        .build()
+        .unwrap();
+    let design = Toolchain::new().compile(&wl.module).unwrap();
+
+    let mut acc = design.instantiate(&base).unwrap();
+    acc.mem_mut().write_bytes(0, &wl.mem);
+    let golden = acc.run(wl.func, &wl.args).unwrap();
+    let golden_out = acc.mem().read_bytes(wl.output.0, wl.output.1).to_vec();
+
+    // Kill at two-thirds with periodic snapshots every 25 cycles: the dir
+    // ends up with a current snapshot and a `.prev` rotation.
+    let mut killed = base.clone();
+    killed.snapshot = Some(tapas::SnapshotConfig { every: 25, path: path.clone() });
+    killed.halt_at_cycle = Some(golden.cycles * 2 / 3);
+    let mut victim = design.instantiate(&killed).unwrap();
+    victim.mem_mut().write_bytes(0, &wl.mem);
+    assert!(matches!(victim.run(wl.func, &wl.args), Err(SimError::Halted { .. })));
+    assert!(path.exists() && prev.exists(), "periodic snapshots rotated");
+
+    let resume_from_disk = |expect_notes: usize| {
+        let (snap, notes) = tapas::sim::snapshot::load_latest(&path);
+        assert_eq!(notes.len(), expect_notes, "{notes:?}");
+        let snap = snap.expect("a valid rung remains");
+        let mut acc = design.instantiate(&base).unwrap();
+        acc.mem_mut().write_bytes(0, &wl.mem);
+        let out = acc.resume(&snap).unwrap();
+        assert_eq!(out, golden);
+        assert_eq!(acc.mem().read_bytes(wl.output.0, wl.output.1), &golden_out[..]);
+        snap.cycle
+    };
+
+    // Rung 1: the current snapshot restores and completes identically.
+    let newest = resume_from_disk(0);
+
+    // Corrupt the current snapshot mid-file: the ladder falls back to
+    // `.prev`, which is an *older* capture and still resumes to identity.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xa5;
+    std::fs::write(&path, &bytes).unwrap();
+    let older = resume_from_disk(1);
+    assert!(older < newest, "fallback rung is an earlier capture");
+
+    // Corrupt `.prev` too: no rung survives and the run degrades to a
+    // fresh start from cycle 0 — detected, never silently wrong.
+    let mut bytes = std::fs::read(&prev).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xa5;
+    std::fs::write(&prev, &bytes).unwrap();
+    let (snap, notes) = tapas::sim::snapshot::load_latest(&path);
+    assert!(snap.is_none());
+    assert_eq!(notes.len(), 2);
+    let mut acc = design.instantiate(&base).unwrap();
+    acc.mem_mut().write_bytes(0, &wl.mem);
+    let out = acc.run(wl.func, &wl.args).unwrap();
+    assert_eq!(out, golden);
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&prev);
+}
+
+#[test]
+fn a_snapshot_from_a_different_design_is_rejected() {
+    let a = tapas_workloads::saxpy::build(128);
+    let b = tapas_workloads::matrix_add::build(16);
+    let design_a = Toolchain::new().compile(&a.module).unwrap();
+    let design_b = Toolchain::new().compile(&b.module).unwrap();
+
+    let mut cfg = base_cfg(&a);
+    cfg.halt_at_cycle = Some(40);
+    let mut victim = design_a.instantiate(&cfg).unwrap();
+    victim.mem_mut().write_bytes(0, &a.mem);
+    assert!(matches!(victim.run(a.func, &a.args), Err(SimError::Halted { .. })));
+    let snap = victim.take_halt_snapshot().unwrap();
+
+    let mut other = design_b.instantiate(&base_cfg(&b)).unwrap();
+    let err = other.resume(&snap).unwrap_err();
+    match err {
+        SimError::Snapshot(msg) => assert!(msg.contains("fingerprint"), "{msg}"),
+        other => panic!("expected a snapshot rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn chaos_cells_honor_an_on_disk_snapshot_assignment() {
+    // The executor path: `--snapshot-every N` hands the cell a stable
+    // snapshot path; every trial's killed run writes the ladder there and
+    // the disk resume is verified too. The harness cleans up after itself.
+    let path = tmp("cell-assignment");
+    let prev = tapas::sim::snapshot::prev_path(&path);
+    let cell = ChaosCell { workload: "mergesort".to_string(), seed: 11, trials: 1 };
+    assert_eq!(tapas_integration::run_chaos_cell_with(&cell, Some((path.clone(), 20))), Ok(1));
+    assert!(!path.exists() && !prev.exists(), "trial snapshots removed after verification");
+}
+
+#[test]
+fn chaos_cells_shard_the_sweep() {
+    // One real trial per workload through the cell API the sweep executor
+    // (and the bench `chaos` experiment) drives.
+    for cell in tapas_integration::chaos_cells(0x0BAD_C0DE, 1) {
+        assert_eq!(run_chaos_cell(&cell), Ok(1), "{}", cell.workload);
+    }
+    // Trials scale the verified count.
+    let cell = ChaosCell { workload: "saxpy".to_string(), seed: 7, trials: 2 };
+    assert_eq!(run_chaos_cell(&cell), Ok(2));
+}

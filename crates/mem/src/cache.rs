@@ -306,6 +306,68 @@ impl Cache {
         }
         self.mshrs.clear();
     }
+
+    /// Capture the dynamic state (lines, MSHRs, counters, LRU clock) as a
+    /// plain-data image for the simulator's engine snapshot. Geometry is
+    /// not captured: [`Cache::restore_state`] targets a cache freshly
+    /// built from the same [`CacheConfig`].
+    pub fn save_state(&self) -> CacheState {
+        CacheState {
+            lines: self
+                .lines
+                .iter()
+                .map(|l| (l.tag, l.valid, l.dirty, l.lru, l.fill_done))
+                .collect(),
+            mshrs: self.mshrs.iter().map(|m| (m.line_addr, m.done_at)).collect(),
+            stats: self.stats,
+            tick: self.tick,
+            last_outcome: self.last_outcome,
+        }
+    }
+
+    /// Restore state captured by [`Cache::save_state`] into a cache with
+    /// identical geometry. MSHR order is preserved exactly (merge lookups
+    /// scan in insertion order).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the image's line count does not match this geometry.
+    pub fn restore_state(&mut self, st: &CacheState) -> Result<(), String> {
+        if st.lines.len() != self.lines.len() {
+            return Err(format!(
+                "cache state has {} line slots, geometry has {}",
+                st.lines.len(),
+                self.lines.len()
+            ));
+        }
+        for (slot, &(tag, valid, dirty, lru, fill_done)) in self.lines.iter_mut().zip(&st.lines) {
+            *slot = Line { tag, valid, dirty, lru, fill_done };
+        }
+        self.mshrs =
+            st.mshrs.iter().map(|&(line_addr, done_at)| Mshr { line_addr, done_at }).collect();
+        self.stats = st.stats;
+        self.tick = st.tick;
+        self.last_outcome = st.last_outcome;
+        Ok(())
+    }
+}
+
+/// Plain-data image of a cache's dynamic state, used by the simulator's
+/// engine snapshot/restore (see `tapas-sim`). Field order and meaning are
+/// part of the snapshot payload contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheState {
+    /// One `(tag, valid, dirty, lru, fill_done)` tuple per line slot, in
+    /// slot order.
+    pub lines: Vec<(u64, bool, bool, u64, u64)>,
+    /// Outstanding `(line_addr, done_at)` MSHRs, in insertion order.
+    pub mshrs: Vec<(u64, u64)>,
+    /// Hit/miss counters.
+    pub stats: CacheStats,
+    /// LRU clock.
+    pub tick: u64,
+    /// Classification of the most recent access.
+    pub last_outcome: Option<AccessOutcome>,
 }
 
 #[cfg(test)]

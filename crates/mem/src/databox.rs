@@ -30,7 +30,7 @@ impl Default for DataBoxConfig {
 }
 
 /// Occupancy and contention counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DataBoxStats {
     /// Requests accepted into port queues.
     pub enqueued: u64,
@@ -323,6 +323,61 @@ impl DataBox {
     pub fn queued(&self) -> usize {
         self.queues.iter().map(VecDeque::len).sum()
     }
+
+    /// Capture dynamic state for the engine snapshot. The grant log and
+    /// per-cycle bank-grant scratch are *not* captured: the engine drains
+    /// the log every cycle, so both are empty at any snapshot boundary.
+    ///
+    /// `delayed` is saved in the heap's internal layout order (not sorted):
+    /// re-heapifying a valid heap is a no-op, so restore reproduces the
+    /// exact pop order for entries with equal `at` keys.
+    pub fn save_state(&self) -> DataBoxState {
+        DataBoxState {
+            queues: self.queues.iter().map(|q| q.iter().copied().collect()).collect(),
+            rr_next: self.rr_next,
+            delayed: self.delayed.iter().map(|d| (d.at, d.resp)).collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restore state captured by [`DataBox::save_state`] into a box built
+    /// from the same [`DataBoxConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the image's port count does not match this configuration.
+    pub fn restore_state(&mut self, st: &DataBoxState) -> Result<(), String> {
+        if st.queues.len() != self.queues.len() {
+            return Err(format!(
+                "databox state has {} port queues, config has {}",
+                st.queues.len(),
+                self.queues.len()
+            ));
+        }
+        for (q, saved) in self.queues.iter_mut().zip(&st.queues) {
+            *q = saved.iter().copied().collect();
+        }
+        self.rr_next = st.rr_next;
+        self.delayed = BinaryHeap::from(
+            st.delayed.iter().map(|&(at, resp)| Delayed { at, resp }).collect::<Vec<_>>(),
+        );
+        self.stats = st.stats;
+        self.grant_log.clear();
+        Ok(())
+    }
+}
+
+/// Plain-data image of the data box's dynamic state (snapshot payload).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataBoxState {
+    /// Per-port queues of `(request, eligible_at)`, front first.
+    pub queues: Vec<Vec<(MemReq, u64)>>,
+    /// Round-robin cursor.
+    pub rr_next: usize,
+    /// Staged responses `(arrival, resp)` in heap-internal layout order.
+    pub delayed: Vec<(u64, MemResp)>,
+    /// Occupancy/contention counters.
+    pub stats: DataBoxStats,
 }
 
 #[cfg(test)]

@@ -99,6 +99,45 @@ impl Dram {
     pub fn last_queue_delay(&self) -> u64 {
         self.last_queue_delay
     }
+
+    /// Capture the channel's dynamic state for the engine snapshot.
+    pub fn save_state(&self) -> DramState {
+        DramState {
+            channel_free_at: self.channel_free_at,
+            reads: self.reads,
+            writes: self.writes,
+            busy_cycles: self.busy_cycles,
+            queue_cycles: self.queue_cycles,
+            last_queue_delay: self.last_queue_delay,
+        }
+    }
+
+    /// Restore state captured by [`Dram::save_state`].
+    pub fn restore_state(&mut self, st: &DramState) {
+        self.channel_free_at = st.channel_free_at;
+        self.reads = st.reads;
+        self.writes = st.writes;
+        self.busy_cycles = st.busy_cycles;
+        self.queue_cycles = st.queue_cycles;
+        self.last_queue_delay = st.last_queue_delay;
+    }
+}
+
+/// Plain-data image of a DRAM channel's dynamic state (snapshot payload).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DramState {
+    /// Cycle at which the channel next becomes free.
+    pub channel_free_at: u64,
+    /// Line reads served.
+    pub reads: u64,
+    /// Line writebacks served.
+    pub writes: u64,
+    /// Channel occupancy cycles.
+    pub busy_cycles: u64,
+    /// Total cycles transfers spent queued.
+    pub queue_cycles: u64,
+    /// Queue delay of the most recent transfer.
+    pub last_queue_delay: u64,
 }
 
 #[cfg(test)]

@@ -18,9 +18,9 @@ mod databox;
 mod dram;
 mod scratchpad;
 
-pub use cache::{AccessOutcome, Cache, CacheConfig, CacheStats, NextLevel};
-pub use databox::{DataBox, DataBoxConfig, DataBoxStats, GrantClass, GrantEvent};
-pub use dram::{Dram, DramConfig};
+pub use cache::{AccessOutcome, Cache, CacheConfig, CacheState, CacheStats, NextLevel};
+pub use databox::{DataBox, DataBoxConfig, DataBoxState, DataBoxStats, GrantClass, GrantEvent};
+pub use dram::{Dram, DramConfig, DramState};
 pub use scratchpad::Scratchpad;
 
 /// Identifier correlating a request with its response.
@@ -37,7 +37,7 @@ pub enum MemOpKind {
 }
 
 /// A memory operation issued by a dataflow node.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemReq {
     /// Correlation id; echoed in the response.
     pub id: ReqId,
@@ -54,7 +54,7 @@ pub struct MemReq {
 }
 
 /// A completed memory operation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemResp {
     /// Correlation id from the request.
     pub id: ReqId,
@@ -472,6 +472,80 @@ impl MemSystem {
         self.data.resize(base + bytes, 0u8);
         base as u64
     }
+
+    /// Capture the full dynamic state — functional bytes, every cache
+    /// bank, DRAM channel and the in-flight response scoreboard — for the
+    /// engine snapshot. `pending` is saved in the heap's internal layout
+    /// order so restore reproduces the exact pop order for responses with
+    /// equal `ready_at` (see [`DataBox::save_state`]).
+    pub fn save_state(&self) -> MemSystemState {
+        MemSystemState {
+            data: self.data.clone(),
+            cache: self.cache.save_state(),
+            extra_banks: self.extra_banks.iter().map(Cache::save_state).collect(),
+            l2: self.l2.as_ref().map(Cache::save_state),
+            dram: self.dram.save_state(),
+            last_bank: self.last_bank,
+            pending: self.pending.iter().map(|p| (p.ready_at, p.resp)).collect(),
+        }
+    }
+
+    /// Restore state captured by [`MemSystem::save_state`] into a system
+    /// built from the same configuration (including [`Self::split_banks`]
+    /// and L2 setup, which shape the bank/L2 geometry).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the image's geometry (bank count, line counts, L2
+    /// presence) does not match this system.
+    pub fn restore_state(&mut self, st: &MemSystemState) -> Result<(), String> {
+        if st.extra_banks.len() != self.extra_banks.len() {
+            return Err(format!(
+                "memory state has {} banks, system has {}",
+                st.extra_banks.len() + 1,
+                self.extra_banks.len() + 1
+            ));
+        }
+        match (&mut self.l2, &st.l2) {
+            (Some(l2), Some(saved)) => l2.restore_state(saved)?,
+            (None, None) => {}
+            _ => return Err("memory state and system disagree on L2 presence".to_string()),
+        }
+        self.data = st.data.clone();
+        self.cache.restore_state(&st.cache)?;
+        for (bank, saved) in self.extra_banks.iter_mut().zip(&st.extra_banks) {
+            bank.restore_state(saved)?;
+        }
+        self.dram.restore_state(&st.dram);
+        self.last_bank = st.last_bank;
+        self.pending = std::collections::BinaryHeap::from(
+            st.pending
+                .iter()
+                .map(|&(ready_at, resp)| PendingResp { ready_at, resp })
+                .collect::<Vec<_>>(),
+        );
+        Ok(())
+    }
+}
+
+/// Plain-data image of the whole memory system's dynamic state (snapshot
+/// payload).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemSystemState {
+    /// Functional backing store contents.
+    pub data: Vec<u8>,
+    /// L1 bank 0.
+    pub cache: CacheState,
+    /// L1 banks 1..N when banked.
+    pub extra_banks: Vec<CacheState>,
+    /// The L2, when configured.
+    pub l2: Option<CacheState>,
+    /// The DRAM channel.
+    pub dram: DramState,
+    /// Which bank serviced the most recent access.
+    pub last_bank: usize,
+    /// In-flight responses `(ready_at, resp)` in heap-internal layout order.
+    pub pending: Vec<(u64, MemResp)>,
 }
 
 #[cfg(test)]

@@ -101,6 +101,20 @@ pub struct AcceleratorConfig {
     /// for differential testing against the stepped seed schedule, not as
     /// a behavioural knob.
     pub event_driven: bool,
+    /// Periodic crash-consistent snapshots. `None` (the default) adds no
+    /// work to the engine loop; `Some` writes an
+    /// [`EngineSnapshot`](crate::EngineSnapshot) atomically every
+    /// [`SnapshotConfig::every`] executed cycles, so a killed process can
+    /// [`Accelerator::resume`](crate::Accelerator) mid-simulation with
+    /// byte-identical results (see DESIGN §16).
+    pub snapshot: Option<SnapshotConfig>,
+    /// Test hook: stop the engine after this many executed cycles with
+    /// [`SimError::Halted`](crate::SimError), leaving an in-memory
+    /// snapshot retrievable via
+    /// [`Accelerator::take_halt_snapshot`](crate::Accelerator). This is
+    /// how the chaos harness "kills" a run at a deterministic point
+    /// without process gymnastics. `None` (the default) never halts.
+    pub halt_at_cycle: Option<u64>,
 }
 
 impl Default for AcceleratorConfig {
@@ -128,8 +142,27 @@ impl Default for AcceleratorConfig {
             steal: None,
             l1_banks: 1,
             event_driven: true,
+            snapshot: None,
+            halt_at_cycle: None,
         }
     }
+}
+
+/// Periodic crash-consistent snapshotting
+/// (selected with [`AcceleratorConfigBuilder::snapshot`]).
+///
+/// The engine captures its complete clocked state every
+/// [`SnapshotConfig::every`] executed cycles and publishes it to
+/// [`SnapshotConfig::path`] with a write-then-rename, rotating the
+/// previous snapshot to `<path>.prev`. See the
+/// [`snapshot`](crate::snapshot) module for the format and the restore
+/// identity contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotConfig {
+    /// Executed cycles between snapshot writes. Must be at least 1.
+    pub every: u64,
+    /// Where the snapshot file lives.
+    pub path: PathBuf,
 }
 
 /// How cross-unit work stealing behaves
@@ -299,6 +332,9 @@ impl AcceleratorConfig {
                     dram_line: self.dram.line_bytes,
                 });
             }
+        }
+        if self.snapshot.as_ref().is_some_and(|s| s.every == 0) {
+            return Err(ConfigError::ZeroTimeout { which: "snapshot interval" });
         }
         if !self.l1_banks.is_power_of_two() {
             return Err(ConfigError::BadBankCount { banks: self.l1_banks });
@@ -550,6 +586,21 @@ impl AcceleratorConfigBuilder {
         self
     }
 
+    /// Write a crash-consistent snapshot to `path` every `every` executed
+    /// cycles (see [`SnapshotConfig`]).
+    pub fn snapshot(mut self, path: impl Into<PathBuf>, every: u64) -> Self {
+        self.cfg.snapshot = Some(SnapshotConfig { every, path: path.into() });
+        self
+    }
+
+    /// Test hook: halt with [`SimError::Halted`](crate::SimError) after
+    /// `cycles` executed cycles, capturing an in-memory snapshot — the
+    /// chaos harness's deterministic "kill point".
+    pub fn halt_at_cycle(mut self, cycles: u64) -> Self {
+        self.cfg.halt_at_cycle = Some(cycles);
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
@@ -698,6 +749,30 @@ mod tests {
         assert!(c.event_driven, "event-driven core is the default engine");
         let c = AcceleratorConfig::builder().event_driven(false).build().unwrap();
         assert!(!c.event_driven);
+    }
+
+    #[test]
+    fn snapshotting_is_off_by_default_and_builder_arms_it() {
+        let c = AcceleratorConfig::builder().build().unwrap();
+        assert!(c.snapshot.is_none(), "no snapshot work unless explicitly requested");
+        assert!(c.halt_at_cycle.is_none());
+
+        let c = AcceleratorConfig::builder()
+            .snapshot("/tmp/e.snap", 1000)
+            .halt_at_cycle(500)
+            .build()
+            .unwrap();
+        let s = c.snapshot.unwrap();
+        assert_eq!(s.every, 1000);
+        assert_eq!(s.path, PathBuf::from("/tmp/e.snap"));
+        assert_eq!(c.halt_at_cycle, Some(500));
+    }
+
+    #[test]
+    fn builder_rejects_zero_snapshot_interval() {
+        let err = AcceleratorConfig::builder().snapshot("/tmp/e.snap", 0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroTimeout { which: "snapshot interval" });
+        assert!(err.to_string().contains("snapshot interval"));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::fault::{
     WaitKind,
 };
 use crate::profile::{NodeClass, Profile, ProfileLevel, QueueSummary, StallReason, TileProfile};
+use crate::snapshot::{Dec, Enc, EngineSnapshot, SnapshotError};
 use crate::AcceleratorConfig;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -15,11 +16,12 @@ use tapas_ir::{
     mask_to_width, BlockId, CastKind, Constant, FuncId, Function, Module, Type, ValueId,
 };
 use tapas_mem::{
-    DataBox, DataBoxConfig, GrantClass, MemError, MemOpKind, MemReq, MemResp, MemSystem, ReqId,
+    AccessOutcome, CacheState, CacheStats, DataBox, DataBoxConfig, DataBoxState, DramState,
+    GrantClass, MemError, MemOpKind, MemReq, MemResp, MemSystem, MemSystemState, ReqId,
 };
 use tapas_task::extract_module;
-use tapas_task::queue::QueueOccupancy;
-use tapas_task::steal::StealPort;
+use tapas_task::queue::{QueueOccupancy, QueueOccupancyState};
+use tapas_task::steal::{StealPort, StealPortState};
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +99,18 @@ pub enum SimError {
     /// Writing the Chrome event trace to
     /// [`AcceleratorConfig::trace_path`](crate::AcceleratorConfig) failed.
     Trace(String),
+    /// The run stopped at the
+    /// [`halt_at_cycle`](crate::AcceleratorConfig::halt_at_cycle) test
+    /// hook — not a failure: an in-memory snapshot of the halted state is
+    /// waiting in [`Accelerator::take_halt_snapshot`], and
+    /// [`Accelerator::resume`] continues the run from it.
+    Halted {
+        /// Absolute engine cycle at the halt boundary.
+        at: u64,
+    },
+    /// Capturing, writing or restoring an engine snapshot failed (see
+    /// [`crate::snapshot`]).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -136,6 +150,10 @@ impl std::fmt::Display for SimError {
             }
             SimError::Unsupported(s) => write!(f, "unsupported: {s}"),
             SimError::Trace(s) => write!(f, "writing the event trace failed: {s}"),
+            SimError::Halted { at } => {
+                write!(f, "halted at cycle {at} by the halt_at_cycle test hook")
+            }
+            SimError::Snapshot(s) => write!(f, "snapshot failed: {s}"),
         }
     }
 }
@@ -194,7 +212,7 @@ pub enum SimEventKind {
 }
 
 /// Per-task-unit counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UnitStats {
     /// Task unit (= task) name.
     pub name: String,
@@ -211,7 +229,7 @@ pub struct UnitStats {
 }
 
 /// Aggregate simulation statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Total cycles simulated.
     pub cycles: u64,
@@ -295,7 +313,7 @@ impl SimStats {
 }
 
 /// Result of a completed simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
     /// Return value of the invoked function.
     pub ret: Option<Val>,
@@ -569,6 +587,512 @@ fn mem_severity(r: StallReason) -> u8 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot payload codec. Every dynamic structure the engine owns has an
+// encode/decode pair here; collections with nondeterministic iteration
+// order (HashMaps) are serialized under sorted keys, and heap-ordered
+// collections are captured in their in-memory layout upstream (see
+// `DataBoxState`/`MemSystemState`), so encoding is a pure function of the
+// simulation state. Decoders validate tags and lengths — a corrupt
+// payload becomes a `SimError::Snapshot`, never a panic.
+
+fn enc_val(e: &mut Enc, v: Val) {
+    match v {
+        Val::Int(x) => {
+            e.u8(0);
+            e.u64(x);
+        }
+        Val::F32(x) => {
+            e.u8(1);
+            e.u32(x.to_bits());
+        }
+        Val::F64(x) => {
+            e.u8(2);
+            e.u64(x.to_bits());
+        }
+    }
+}
+
+fn dec_val(d: &mut Dec) -> Result<Val, String> {
+    Ok(match d.u8()? {
+        0 => Val::Int(d.u64()?),
+        1 => Val::F32(f32::from_bits(d.u32()?)),
+        2 => Val::F64(f64::from_bits(d.u64()?)),
+        t => return Err(format!("bad Val tag {t}")),
+    })
+}
+
+fn enc_mem_req(e: &mut Enc, r: MemReq) {
+    e.u64(r.id.0);
+    e.usize(r.port);
+    e.u64(r.addr);
+    e.u8(r.size);
+    e.u8(match r.kind {
+        MemOpKind::Read => 0,
+        MemOpKind::Write => 1,
+    });
+    e.u64(r.wdata);
+}
+
+fn dec_mem_req(d: &mut Dec) -> Result<MemReq, String> {
+    Ok(MemReq {
+        id: ReqId(d.u64()?),
+        port: d.usize()?,
+        addr: d.u64()?,
+        size: d.u8()?,
+        kind: match d.u8()? {
+            0 => MemOpKind::Read,
+            1 => MemOpKind::Write,
+            t => return Err(format!("bad MemOpKind tag {t}")),
+        },
+        wdata: d.u64()?,
+    })
+}
+
+fn enc_mem_resp(e: &mut Enc, r: MemResp) {
+    e.u64(r.id.0);
+    e.usize(r.port);
+    e.u64(r.rdata);
+}
+
+fn dec_mem_resp(d: &mut Dec) -> Result<MemResp, String> {
+    Ok(MemResp { id: ReqId(d.u64()?), port: d.usize()?, rdata: d.u64()? })
+}
+
+/// `(due_cycle, response)` schedules: delayed/pending response queues.
+fn enc_resp_schedule(e: &mut Enc, v: &[(u64, MemResp)]) {
+    e.usize(v.len());
+    for &(at, r) in v {
+        e.u64(at);
+        enc_mem_resp(e, r);
+    }
+}
+
+fn dec_resp_schedule(d: &mut Dec) -> Result<Vec<(u64, MemResp)>, String> {
+    let n = d.len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((d.u64()?, dec_mem_resp(d)?));
+    }
+    Ok(out)
+}
+
+fn enc_cache(e: &mut Enc, st: &CacheState) {
+    e.usize(st.lines.len());
+    for &(tag, valid, dirty, lru, fill_done) in &st.lines {
+        e.u64(tag);
+        e.bool(valid);
+        e.bool(dirty);
+        e.u64(lru);
+        e.u64(fill_done);
+    }
+    e.usize(st.mshrs.len());
+    for &(line_addr, done_at) in &st.mshrs {
+        e.u64(line_addr);
+        e.u64(done_at);
+    }
+    e.u64(st.stats.hits);
+    e.u64(st.stats.misses);
+    e.u64(st.stats.mshr_merges);
+    e.u64(st.stats.rejections);
+    e.u64(st.stats.writebacks);
+    e.u64(st.tick);
+    e.u8(match st.last_outcome {
+        None => 255,
+        Some(AccessOutcome::Hit) => 0,
+        Some(AccessOutcome::MshrMerge) => 1,
+        Some(AccessOutcome::Miss) => 2,
+        Some(AccessOutcome::RejectMshrFull) => 3,
+        Some(AccessOutcome::RejectSetBusy) => 4,
+    });
+}
+
+fn dec_cache(d: &mut Dec) -> Result<CacheState, String> {
+    let nl = d.len()?;
+    let mut lines = Vec::with_capacity(nl);
+    for _ in 0..nl {
+        lines.push((d.u64()?, d.bool()?, d.bool()?, d.u64()?, d.u64()?));
+    }
+    let nm = d.len()?;
+    let mut mshrs = Vec::with_capacity(nm);
+    for _ in 0..nm {
+        mshrs.push((d.u64()?, d.u64()?));
+    }
+    let stats = CacheStats {
+        hits: d.u64()?,
+        misses: d.u64()?,
+        mshr_merges: d.u64()?,
+        rejections: d.u64()?,
+        writebacks: d.u64()?,
+    };
+    let tick = d.u64()?;
+    let last_outcome = match d.u8()? {
+        255 => None,
+        0 => Some(AccessOutcome::Hit),
+        1 => Some(AccessOutcome::MshrMerge),
+        2 => Some(AccessOutcome::Miss),
+        3 => Some(AccessOutcome::RejectMshrFull),
+        4 => Some(AccessOutcome::RejectSetBusy),
+        t => return Err(format!("bad AccessOutcome tag {t}")),
+    };
+    Ok(CacheState { lines, mshrs, stats, tick, last_outcome })
+}
+
+fn enc_mem_system(e: &mut Enc, st: &MemSystemState) {
+    e.bytes(&st.data);
+    enc_cache(e, &st.cache);
+    e.usize(st.extra_banks.len());
+    for b in &st.extra_banks {
+        enc_cache(e, b);
+    }
+    e.bool(st.l2.is_some());
+    if let Some(l2) = &st.l2 {
+        enc_cache(e, l2);
+    }
+    e.u64(st.dram.channel_free_at);
+    e.u64(st.dram.reads);
+    e.u64(st.dram.writes);
+    e.u64(st.dram.busy_cycles);
+    e.u64(st.dram.queue_cycles);
+    e.u64(st.dram.last_queue_delay);
+    e.usize(st.last_bank);
+    enc_resp_schedule(e, &st.pending);
+}
+
+fn dec_mem_system(d: &mut Dec) -> Result<MemSystemState, String> {
+    let data = d.bytes()?.to_vec();
+    let cache = dec_cache(d)?;
+    let nb = d.len()?;
+    let mut extra_banks = Vec::with_capacity(nb);
+    for _ in 0..nb {
+        extra_banks.push(dec_cache(d)?);
+    }
+    let l2 = if d.bool()? { Some(dec_cache(d)?) } else { None };
+    let dram = DramState {
+        channel_free_at: d.u64()?,
+        reads: d.u64()?,
+        writes: d.u64()?,
+        busy_cycles: d.u64()?,
+        queue_cycles: d.u64()?,
+        last_queue_delay: d.u64()?,
+    };
+    let last_bank = d.usize()?;
+    let pending = dec_resp_schedule(d)?;
+    Ok(MemSystemState { data, cache, extra_banks, l2, dram, last_bank, pending })
+}
+
+fn enc_databox(e: &mut Enc, st: &DataBoxState) {
+    e.usize(st.queues.len());
+    for q in &st.queues {
+        e.usize(q.len());
+        for &(req, at) in q {
+            enc_mem_req(e, req);
+            e.u64(at);
+        }
+    }
+    e.usize(st.rr_next);
+    enc_resp_schedule(e, &st.delayed);
+    e.u64(st.stats.enqueued);
+    e.u64(st.stats.issued);
+    e.u64(st.stats.cache_stalls);
+    e.u64(st.stats.backpressure);
+    e.u64(st.stats.bank_conflicts);
+}
+
+fn dec_databox(d: &mut Dec) -> Result<DataBoxState, String> {
+    let np = d.len()?;
+    let mut queues = Vec::with_capacity(np);
+    for _ in 0..np {
+        let nq = d.len()?;
+        let mut q = Vec::with_capacity(nq);
+        for _ in 0..nq {
+            q.push((dec_mem_req(d)?, d.u64()?));
+        }
+        queues.push(q);
+    }
+    let rr_next = d.usize()?;
+    let delayed = dec_resp_schedule(d)?;
+    let stats = tapas_mem::DataBoxStats {
+        enqueued: d.u64()?,
+        issued: d.u64()?,
+        cache_stalls: d.u64()?,
+        backpressure: d.u64()?,
+        bank_conflicts: d.u64()?,
+    };
+    Ok(DataBoxState { queues, rr_next, delayed, stats })
+}
+
+fn enc_exec(e: &mut Enc, x: &Exec) {
+    e.usize(x.slot);
+    e.usize(x.home);
+    e.usize(x.block_idx);
+    e.bool(x.prev_block.is_some());
+    if let Some(b) = x.prev_block {
+        e.u32(b.0);
+    }
+    e.u64(x.block_start);
+    e.u64(x.steal_until);
+    e.usize(x.nodes.len());
+    for ns in &x.nodes {
+        e.bool(ns.issued);
+        e.u64(ns.done_at);
+        e.bool(ns.value.is_some());
+        if let Some(v) = ns.value {
+            enc_val(e, v);
+        }
+    }
+    let mut keys: Vec<ValueId> = x.env.keys().copied().collect();
+    keys.sort_unstable();
+    e.usize(keys.len());
+    for k in keys {
+        e.u32(k.0);
+        enc_val(e, x.env[&k]);
+    }
+    e.bool(x.resume_block.is_some());
+    if let Some(b) = x.resume_block {
+        e.u32(b.0);
+    }
+}
+
+fn dec_exec(d: &mut Dec) -> Result<Exec, String> {
+    let slot = d.usize()?;
+    let home = d.usize()?;
+    let block_idx = d.usize()?;
+    let prev_block = if d.bool()? { Some(BlockId(d.u32()?)) } else { None };
+    let block_start = d.u64()?;
+    let steal_until = d.u64()?;
+    let nn = d.len()?;
+    let mut nodes = Vec::with_capacity(nn);
+    for _ in 0..nn {
+        let issued = d.bool()?;
+        let done_at = d.u64()?;
+        let value = if d.bool()? { Some(dec_val(d)?) } else { None };
+        nodes.push(NodeState { issued, done_at, value });
+    }
+    let ne = d.len()?;
+    let mut env = HashMap::with_capacity(ne);
+    for _ in 0..ne {
+        let k = ValueId(d.u32()?);
+        env.insert(k, dec_val(d)?);
+    }
+    let resume_block = if d.bool()? { Some(BlockId(d.u32()?)) } else { None };
+    Ok(Exec {
+        slot,
+        home,
+        block_idx,
+        prev_block,
+        block_start,
+        steal_until,
+        nodes,
+        env,
+        resume_block,
+    })
+}
+
+fn enc_parent(e: &mut Enc, parent: Option<(usize, usize)>) {
+    e.bool(parent.is_some());
+    if let Some((u, s)) = parent {
+        e.usize(u);
+        e.usize(s);
+    }
+}
+
+fn dec_parent(d: &mut Dec) -> Result<Option<(usize, usize)>, String> {
+    Ok(if d.bool()? { Some((d.usize()?, d.usize()?)) } else { None })
+}
+
+fn enc_call_ret(e: &mut Enc, cr: Option<CallRet>) {
+    e.bool(cr.is_some());
+    if let Some(c) = cr {
+        e.usize(c.unit);
+        e.usize(c.slot);
+        e.usize(c.node);
+    }
+}
+
+fn dec_call_ret(d: &mut Dec) -> Result<Option<CallRet>, String> {
+    Ok(if d.bool()? {
+        Some(CallRet { unit: d.usize()?, slot: d.usize()?, node: d.usize()? })
+    } else {
+        None
+    })
+}
+
+fn enc_entry(e: &mut Enc, q: &QueueEntry) {
+    e.usize(q.args.len());
+    for &a in &q.args {
+        enc_val(e, a);
+    }
+    enc_parent(e, q.parent);
+    enc_call_ret(e, q.call_ret);
+    e.u32(q.children);
+    e.bool(q.waiting_sync);
+    e.bool(q.saved.is_some());
+    if let Some(x) = &q.saved {
+        enc_exec(e, x);
+    }
+    e.u64(q.ready_at);
+    e.u64(q.spawned_at);
+    e.bool(q.dispatched_once);
+    e.bool(q.host);
+    e.bool(q.via_detach);
+    e.bool(q.poisoned);
+}
+
+fn dec_entry(d: &mut Dec) -> Result<QueueEntry, String> {
+    let na = d.len()?;
+    let mut args = Vec::with_capacity(na);
+    for _ in 0..na {
+        args.push(dec_val(d)?);
+    }
+    let parent = dec_parent(d)?;
+    let call_ret = dec_call_ret(d)?;
+    let children = d.u32()?;
+    let waiting_sync = d.bool()?;
+    let saved = if d.bool()? { Some(Box::new(dec_exec(d)?)) } else { None };
+    Ok(QueueEntry {
+        args,
+        parent,
+        call_ret,
+        children,
+        waiting_sync,
+        saved,
+        ready_at: d.u64()?,
+        spawned_at: d.u64()?,
+        dispatched_once: d.bool()?,
+        host: d.bool()?,
+        via_detach: d.bool()?,
+        poisoned: d.bool()?,
+    })
+}
+
+fn enc_spilled(e: &mut Enc, s: &SpilledEntry) {
+    e.usize(s.args.len());
+    for &a in &s.args {
+        enc_val(e, a);
+    }
+    enc_parent(e, s.parent);
+    enc_call_ret(e, s.call_ret);
+    e.bool(s.via_detach);
+    e.u64(s.spawned_at);
+    e.u64(s.addr);
+}
+
+fn dec_spilled(d: &mut Dec) -> Result<SpilledEntry, String> {
+    let na = d.len()?;
+    let mut args = Vec::with_capacity(na);
+    for _ in 0..na {
+        args.push(dec_val(d)?);
+    }
+    Ok(SpilledEntry {
+        args,
+        parent: dec_parent(d)?,
+        call_ret: dec_call_ret(d)?,
+        via_detach: d.bool()?,
+        spawned_at: d.u64()?,
+        addr: d.u64()?,
+    })
+}
+
+fn enc_event(e: &mut Enc, ev: SimEvent) {
+    e.u64(ev.cycle);
+    e.usize(ev.unit);
+    e.usize(ev.slot);
+    match ev.kind {
+        SimEventKind::Spawned { parent } => {
+            e.u8(0);
+            enc_parent(e, parent);
+        }
+        SimEventKind::Dispatched { tile } => {
+            e.u8(1);
+            e.usize(tile);
+        }
+        SimEventKind::SyncWait => e.u8(2),
+        SimEventKind::CallWait => e.u8(3),
+        SimEventKind::Completed => e.u8(4),
+        SimEventKind::CacheMiss { addr } => {
+            e.u8(5);
+            e.u64(addr);
+        }
+        SimEventKind::Stolen { by, tile } => {
+            e.u8(6);
+            e.usize(by);
+            e.usize(tile);
+        }
+    }
+}
+
+fn dec_event(d: &mut Dec) -> Result<SimEvent, String> {
+    let cycle = d.u64()?;
+    let unit = d.usize()?;
+    let slot = d.usize()?;
+    let kind = match d.u8()? {
+        0 => SimEventKind::Spawned { parent: dec_parent(d)? },
+        1 => SimEventKind::Dispatched { tile: d.usize()? },
+        2 => SimEventKind::SyncWait,
+        3 => SimEventKind::CallWait,
+        4 => SimEventKind::Completed,
+        5 => SimEventKind::CacheMiss { addr: d.u64()? },
+        6 => SimEventKind::Stolen { by: d.usize()?, tile: d.usize()? },
+        t => return Err(format!("bad SimEventKind tag {t}")),
+    };
+    Ok(SimEvent { cycle, unit, slot, kind })
+}
+
+fn enc_req_meta(e: &mut Enc, m: ReqMeta) {
+    e.u8(match m.kind {
+        ReqKind::Tile => 0,
+        ReqKind::SpillWrite => 1,
+        ReqKind::RefillRead => 2,
+    });
+    e.usize(m.unit);
+    e.usize(m.tile);
+    e.usize(m.node);
+    enc_mem_req(e, m.req);
+    e.u64(m.deadline);
+    e.u32(m.attempts);
+}
+
+fn dec_req_meta(d: &mut Dec) -> Result<ReqMeta, String> {
+    Ok(ReqMeta {
+        kind: match d.u8()? {
+            0 => ReqKind::Tile,
+            1 => ReqKind::SpillWrite,
+            2 => ReqKind::RefillRead,
+            t => return Err(format!("bad ReqKind tag {t}")),
+        },
+        unit: d.usize()?,
+        tile: d.usize()?,
+        node: d.usize()?,
+        req: dec_mem_req(d)?,
+        deadline: d.u64()?,
+        attempts: d.u32()?,
+    })
+}
+
+/// Per-run loop control: the values [`Accelerator::run_loop`] threads
+/// between iterations but that live outside the architectural state.
+/// Snapshots carry these alongside the component state so a resumed loop
+/// continues with the exact control values the killed loop held.
+#[derive(Debug, Clone, Copy)]
+struct RunCtl {
+    /// `self.cycle` when the run began (memory persists across runs, so
+    /// cycle counting is relative).
+    start_cycle: u64,
+    /// Last cycle any component made progress (deadlock watchdog).
+    last_progress: u64,
+    /// Executed-cycle count at which the next periodic snapshot fires
+    /// (`u64::MAX` when snapshotting is off).
+    next_snapshot: u64,
+    /// Executed-cycle count at which the halt test hook fires. Kept out
+    /// of `cfg` reads so a resume can disarm a hook that already fired.
+    halt_at: Option<u64>,
+    /// Profiling or tracing is active (grant log enabled).
+    instrumented: bool,
+    /// The event-driven core may skip idle windows this run.
+    event_driven: bool,
+}
+
 /// An elaborated TAPAS accelerator: the module's task units wired to the
 /// shared memory system, ready to simulate.
 pub struct Accelerator {
@@ -614,6 +1138,9 @@ pub struct Accelerator {
     /// Bump allocator over the arena, with a free list of returned slots.
     spill_next: u64,
     spill_free: Vec<u64>,
+    /// Snapshot captured when the `halt_at_cycle` test hook fired,
+    /// retrievable once via [`Accelerator::take_halt_snapshot`].
+    halt_snapshot: Option<EngineSnapshot>,
 }
 
 impl std::fmt::Debug for Accelerator {
@@ -728,6 +1255,7 @@ impl Accelerator {
             spill_limit,
             spill_next: spill_base,
             spill_free: Vec::new(),
+            halt_snapshot: None,
         })
     }
 
@@ -840,8 +1368,57 @@ impl Accelerator {
             .alloc_entry(root_unit, args.to_vec(), None, None, self.cycle, true, false)
             .map_err(|_| SimError::QueueFull)?;
         let _ = slot;
-        let mut last_progress = self.cycle;
+        self.run_loop(RunCtl {
+            start_cycle,
+            last_progress: self.cycle,
+            next_snapshot: self.cfg.snapshot.as_ref().map_or(u64::MAX, |s| s.every),
+            halt_at: self.cfg.halt_at_cycle,
+            instrumented,
+            event_driven,
+        })
+    }
+
+    /// The engine's cycle loop plus the end-of-run statistics, shared by
+    /// [`Accelerator::run`] (fresh `RunCtl`) and [`Accelerator::resume`]
+    /// (`RunCtl` decoded from a snapshot). Each iteration starts at a
+    /// snapshot boundary: no cycle's work is half-done, so the state
+    /// captured here restores to a byte-identical continuation.
+    fn run_loop(&mut self, ctl: RunCtl) -> Result<SimOutcome, SimError> {
+        let RunCtl { start_cycle, mut last_progress, mut next_snapshot, halt_at, .. } = ctl;
+        let (instrumented, event_driven) = (ctl.instrumented, ctl.event_driven);
         while self.host_result.is_none() {
+            let done = self.cycle - start_cycle;
+            if done >= next_snapshot {
+                // Advance the schedule *before* capturing so the stored
+                // `next_snapshot` is the post-write value: a resumed run
+                // re-snapshots at the following boundary, not this one.
+                let sc = self.cfg.snapshot.clone().expect("next_snapshot finite only with config");
+                while next_snapshot <= done {
+                    next_snapshot += sc.every;
+                }
+                let snap = self.capture_snapshot(RunCtl {
+                    start_cycle,
+                    last_progress,
+                    next_snapshot,
+                    halt_at,
+                    instrumented,
+                    event_driven,
+                });
+                snap.write_atomic(&sc.path).map_err(|e| SimError::Snapshot(e.to_string()))?;
+            }
+            if halt_at.is_some_and(|h| done >= h) {
+                // The chaos harness's deterministic "kill": capture in
+                // memory (no disk round-trip) and stop mid-simulation.
+                self.halt_snapshot = Some(self.capture_snapshot(RunCtl {
+                    start_cycle,
+                    last_progress,
+                    next_snapshot,
+                    halt_at,
+                    instrumented,
+                    event_driven,
+                }));
+                return Err(SimError::Halted { at: self.cycle });
+            }
             let now = self.cycle;
             if self.fault_rt.is_some() {
                 self.apply_tile_faults(now);
@@ -996,6 +1573,434 @@ impl Accelerator {
         Ok(SimOutcome { ret: self.host_result.take().flatten(), cycles, stats, profile })
     }
 
+    /// Restore `snap` into this accelerator and run to completion.
+    ///
+    /// The accelerator must be elaborated from the same module with the
+    /// same configuration — the snapshot's fingerprint enforces this,
+    /// deliberately excluding the `snapshot` and `halt_at_cycle` knobs
+    /// (a kill-run and its resume-run differ in exactly those). The
+    /// returned outcome — cycles, statistics, profile, event trace — is
+    /// byte-identical to what the uninterrupted run would have produced.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Snapshot`] when the fingerprint does not match or the
+    /// payload fails to decode; otherwise whatever the continued
+    /// simulation reports.
+    pub fn resume(&mut self, snap: &EngineSnapshot) -> Result<SimOutcome, SimError> {
+        let ctl = self.restore_snapshot(snap)?;
+        self.run_loop(ctl)
+    }
+
+    /// The in-memory snapshot captured when the
+    /// [`halt_at_cycle`](crate::AcceleratorConfig::halt_at_cycle) hook
+    /// fired (consumed on first call).
+    pub fn take_halt_snapshot(&mut self) -> Option<EngineSnapshot> {
+        self.halt_snapshot.take()
+    }
+
+    /// Hash of everything the snapshot payload's meaning depends on: the
+    /// elaborated geometry plus the configuration, excluding the
+    /// `snapshot`/`halt_at_cycle` knobs themselves so the kill-run and
+    /// its resume-run fingerprint identically.
+    fn fingerprint(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(s, "v{};", crate::snapshot::SNAPSHOT_VERSION);
+        for u in &self.units {
+            let _ = write!(
+                s,
+                "unit {} func={} entries={} tiles={} blocks={} ports@{};",
+                u.name,
+                u.func.0,
+                u.entries.len(),
+                u.tiles.len(),
+                u.dfg.blocks.len(),
+                u.port_base
+            );
+        }
+        let _ = write!(s, "spill {}..{};", self.spill_base, self.spill_limit);
+        // HashMap iteration order varies between processes; render the
+        // overrides sorted and factor them out of the `Debug` rendering
+        // below, which is otherwise deterministic.
+        let mut overrides: Vec<(&String, &usize)> = self.cfg.tile_overrides.iter().collect();
+        overrides.sort();
+        let _ = write!(s, "overrides {overrides:?};");
+        let mut cfg = self.cfg.clone();
+        cfg.tile_overrides = HashMap::new();
+        cfg.snapshot = None;
+        cfg.halt_at_cycle = None;
+        let _ = write!(s, "cfg {cfg:?}");
+        crate::snapshot::fnv64(s.as_bytes())
+    }
+
+    /// Capture every piece of clocked state into a snapshot. Called only
+    /// at the top of a `run_loop` iteration, where no cycle's work is
+    /// half-done: the grant log is drained, per-tick scratch is clear,
+    /// the profiler's `worked` flags are all false, and `host_result` is
+    /// still pending.
+    fn capture_snapshot(&self, ctl: RunCtl) -> EngineSnapshot {
+        let mut e = Enc::default();
+        e.u64(ctl.start_cycle);
+        e.u64(ctl.last_progress);
+        e.u64(ctl.next_snapshot);
+        e.u64(self.next_req);
+        e.u64(self.spawns);
+        e.u64(self.calls);
+        e.u64(self.total_spawn_latency);
+        e.u64(self.min_spawn_latency);
+        e.bool(self.progress);
+        e.u64(self.mem_retries);
+        e.u64(self.ecc_retries);
+        e.u64(self.spurious_responses);
+        e.u64(self.faults_injected);
+        e.u64(self.quarantined_tiles);
+        e.u64(self.spills);
+        e.u64(self.refills);
+        e.u64(self.inline_spawns);
+        e.u64(self.skipped_cycles);
+        e.u64(self.engine_events);
+        e.u64(self.spill_next);
+        e.usize(self.spill_free.len());
+        for &a in &self.spill_free {
+            e.u64(a);
+        }
+        e.usize(self.units.len());
+        for u in &self.units {
+            e.usize(u.entries.len());
+            for entry in &u.entries {
+                e.bool(entry.is_some());
+                if let Some(q) = entry {
+                    enc_entry(&mut e, q);
+                }
+            }
+            e.usize(u.free.len());
+            for &s in &u.free {
+                e.usize(s);
+            }
+            e.usize(u.ready.len());
+            for &s in &u.ready {
+                e.usize(s);
+            }
+            e.usize(u.tiles.len());
+            for t in &u.tiles {
+                e.bool(t.exec.is_some());
+                if let Some(x) = &t.exec {
+                    enc_exec(&mut e, x);
+                }
+                e.u64(t.inline_busy_until);
+                e.bool(t.fenced);
+                e.u64(t.stall_until);
+                e.u32(t.fault_count);
+                e.u64(t.faulted_at);
+                e.bool(t.quarantine_pending);
+            }
+            e.u64(u.stats.tasks_executed);
+            e.u64(u.stats.busy_tile_cycles);
+            e.u64(u.stats.spawn_stalls);
+            e.usize(u.stats.queue_peak);
+            e.usize(u.overflow.len());
+            for s in &u.overflow {
+                enc_spilled(&mut e, s);
+            }
+            e.bool(u.pending_refill.is_some());
+            if let Some(r) = &u.pending_refill {
+                e.usize(r.slot);
+                enc_spilled(&mut e, &r.entry);
+            }
+            e.bool(u.spawn_refused);
+        }
+        for p in &self.steal_ports {
+            let st = p.save_state();
+            e.usize(st.cursor);
+            e.u64(st.steals);
+            e.u64(st.failures);
+        }
+        let mut ids: Vec<u64> = self.req_map.keys().copied().collect();
+        ids.sort_unstable();
+        e.usize(ids.len());
+        for id in ids {
+            e.u64(id);
+            enc_req_meta(&mut e, self.req_map[&id]);
+        }
+        enc_mem_system(&mut e, &self.ms.save_state());
+        enc_databox(&mut e, &self.databox.save_state());
+        e.usize(self.events.len());
+        for &ev in &self.events {
+            enc_event(&mut e, ev);
+        }
+        e.bool(self.prof.is_some());
+        if let Some(p) = self.prof.as_deref() {
+            e.u8(match p.level {
+                ProfileLevel::Off => 0,
+                ProfileLevel::Summary => 1,
+                ProfileLevel::Full => 2,
+            });
+            for unit in &p.stalls {
+                for tile in unit {
+                    for &c in tile {
+                        e.u64(c);
+                    }
+                }
+            }
+            for q in &p.queues {
+                let st = q.save_state();
+                e.u64(st.samples);
+                e.u64(st.total);
+                e.u32(st.peak);
+                e.u64(st.full_cycles);
+                e.u32(st.capacity);
+            }
+            for mix in &p.node_mix {
+                for &c in mix {
+                    e.u64(c);
+                }
+            }
+            let mut rids: Vec<u64> = p.req_class.keys().copied().collect();
+            rids.sort_unstable();
+            e.usize(rids.len());
+            for id in rids {
+                e.u64(id);
+                e.u8(p.req_class[&id] as u8);
+            }
+        }
+        e.bool(self.fault_rt.is_some());
+        if let Some(rt) = self.fault_rt.as_deref() {
+            let pos = rt.save_position();
+            e.usize(pos.next_tile_fault);
+            e.u64(pos.resp_seen);
+            e.u64(pos.spawn_seen);
+            enc_resp_schedule(&mut e, &pos.delayed);
+        }
+        EngineSnapshot { fingerprint: self.fingerprint(), cycle: self.cycle, payload: e.buf }
+    }
+
+    /// Verify `snap` against this design and overwrite every piece of
+    /// dynamic state with the snapshot's, returning the loop control to
+    /// continue with.
+    fn restore_snapshot(&mut self, snap: &EngineSnapshot) -> Result<RunCtl, SimError> {
+        let expected = self.fingerprint();
+        if snap.fingerprint != expected {
+            let e = SnapshotError::Fingerprint { expected, found: snap.fingerprint };
+            return Err(SimError::Snapshot(e.to_string()));
+        }
+        self.restore_payload(snap)
+            .map_err(|e| SimError::Snapshot(format!("at cycle {}: {e}", snap.cycle)))
+    }
+
+    fn restore_payload(&mut self, snap: &EngineSnapshot) -> Result<RunCtl, String> {
+        let mut d = Dec::new(&snap.payload);
+        let start_cycle = d.u64()?;
+        let last_progress = d.u64()?;
+        // The stored schedule position only binds when the *resuming*
+        // configuration still arms periodic snapshots (possibly at a
+        // different interval or path); resuming without them must not
+        // inherit a finite boundary. Re-derive from the current config:
+        // the next `every`-multiple strictly beyond the captured point.
+        let stored_next = d.u64()?;
+        let next_snapshot = match self.cfg.snapshot.as_ref() {
+            Some(sc) => {
+                let done = snap.cycle.saturating_sub(start_cycle);
+                let mut next = stored_next.min(sc.every);
+                while next <= done {
+                    next = next.saturating_add(sc.every);
+                }
+                next
+            }
+            None => u64::MAX,
+        };
+        self.next_req = d.u64()?;
+        self.spawns = d.u64()?;
+        self.calls = d.u64()?;
+        self.total_spawn_latency = d.u64()?;
+        self.min_spawn_latency = d.u64()?;
+        self.progress = d.bool()?;
+        self.mem_retries = d.u64()?;
+        self.ecc_retries = d.u64()?;
+        self.spurious_responses = d.u64()?;
+        self.faults_injected = d.u64()?;
+        self.quarantined_tiles = d.u64()?;
+        self.spills = d.u64()?;
+        self.refills = d.u64()?;
+        self.inline_spawns = d.u64()?;
+        self.skipped_cycles = d.u64()?;
+        self.engine_events = d.u64()?;
+        self.spill_next = d.u64()?;
+        let nf = d.len()?;
+        self.spill_free = (0..nf).map(|_| d.u64()).collect::<Result<_, _>>()?;
+        let nu = d.len()?;
+        if nu != self.units.len() {
+            return Err(format!("snapshot has {nu} task units, design has {}", self.units.len()));
+        }
+        for ui in 0..nu {
+            let ne = d.len()?;
+            if ne != self.units[ui].entries.len() {
+                return Err(format!(
+                    "unit {ui}: snapshot has {ne} queue entries, design has {}",
+                    self.units[ui].entries.len()
+                ));
+            }
+            let mut entries = Vec::with_capacity(ne);
+            for _ in 0..ne {
+                entries.push(if d.bool()? { Some(dec_entry(&mut d)?) } else { None });
+            }
+            let nfree = d.len()?;
+            let free = (0..nfree).map(|_| d.usize()).collect::<Result<Vec<_>, _>>()?;
+            let nready = d.len()?;
+            let ready = (0..nready).map(|_| d.usize()).collect::<Result<Vec<_>, _>>()?;
+            let nt = d.len()?;
+            if nt != self.units[ui].tiles.len() {
+                return Err(format!(
+                    "unit {ui}: snapshot has {nt} tiles, design has {}",
+                    self.units[ui].tiles.len()
+                ));
+            }
+            let mut tiles = Vec::with_capacity(nt);
+            for _ in 0..nt {
+                let exec = if d.bool()? { Some(dec_exec(&mut d)?) } else { None };
+                tiles.push(Tile {
+                    exec,
+                    inline_busy_until: d.u64()?,
+                    fenced: d.bool()?,
+                    stall_until: d.u64()?,
+                    fault_count: d.u32()?,
+                    faulted_at: d.u64()?,
+                    quarantine_pending: d.bool()?,
+                });
+            }
+            let tasks_executed = d.u64()?;
+            let busy_tile_cycles = d.u64()?;
+            let spawn_stalls = d.u64()?;
+            let queue_peak = d.usize()?;
+            let no = d.len()?;
+            let mut overflow = std::collections::VecDeque::with_capacity(no);
+            for _ in 0..no {
+                overflow.push_back(dec_spilled(&mut d)?);
+            }
+            let pending_refill = if d.bool()? {
+                Some(PendingRefill { slot: d.usize()?, entry: dec_spilled(&mut d)? })
+            } else {
+                None
+            };
+            let spawn_refused = d.bool()?;
+            let u = &mut self.units[ui];
+            u.entries = entries;
+            u.free = free;
+            u.ready = ready;
+            u.tiles = tiles;
+            u.stats.tasks_executed = tasks_executed;
+            u.stats.busy_tile_cycles = busy_tile_cycles;
+            u.stats.spawn_stalls = spawn_stalls;
+            u.stats.queue_peak = queue_peak;
+            u.overflow = overflow;
+            u.pending_refill = pending_refill;
+            u.spawn_refused = spawn_refused;
+        }
+        for p in &mut self.steal_ports {
+            let st = StealPortState { cursor: d.usize()?, steals: d.u64()?, failures: d.u64()? };
+            p.restore_state(&st);
+        }
+        let nr = d.len()?;
+        self.req_map = HashMap::with_capacity(nr);
+        for _ in 0..nr {
+            let id = d.u64()?;
+            let meta = dec_req_meta(&mut d)?;
+            self.req_map.insert(id, meta);
+        }
+        let ms_state = dec_mem_system(&mut d)?;
+        self.ms.restore_state(&ms_state)?;
+        let db_state = dec_databox(&mut d)?;
+        self.databox.restore_state(&db_state)?;
+        let nev = d.len()?;
+        let mut events = Vec::with_capacity(nev);
+        for _ in 0..nev {
+            events.push(dec_event(&mut d)?);
+        }
+        self.events = events;
+        self.prof = if d.bool()? {
+            let level = match d.u8()? {
+                0 => ProfileLevel::Off,
+                1 => ProfileLevel::Summary,
+                2 => ProfileLevel::Full,
+                t => return Err(format!("bad ProfileLevel tag {t}")),
+            };
+            let mut p = Box::new(Prof::new(level, &self.units, self.cfg.ntasks));
+            for unit in &mut p.stalls {
+                for tile in unit {
+                    for c in tile.iter_mut() {
+                        *c = d.u64()?;
+                    }
+                }
+            }
+            for q in &mut p.queues {
+                let st = QueueOccupancyState {
+                    samples: d.u64()?,
+                    total: d.u64()?,
+                    peak: d.u32()?,
+                    full_cycles: d.u64()?,
+                    capacity: d.u32()?,
+                };
+                q.restore_state(&st);
+            }
+            for mix in &mut p.node_mix {
+                for c in mix.iter_mut() {
+                    *c = d.u64()?;
+                }
+            }
+            let nc = d.len()?;
+            for _ in 0..nc {
+                let id = d.u64()?;
+                let idx = d.u8()? as usize;
+                let class = *StallReason::ALL
+                    .get(idx)
+                    .ok_or_else(|| format!("bad StallReason tag {idx}"))?;
+                p.req_class.insert(id, class);
+            }
+            Some(p)
+        } else {
+            None
+        };
+        // The fault *plan* is configuration: rebuild the runtime from it
+        // exactly as `run` does, then re-position the schedule.
+        self.fault_rt = self.cfg.faults.as_ref().filter(|p| !p.is_empty()).map(|p| {
+            let geometry: Vec<usize> = self.units.iter().map(|u| u.tiles.len()).collect();
+            Box::new(FaultRt::new(p, &geometry))
+        });
+        if d.bool()? {
+            let pos = crate::fault::FaultRtPosition {
+                next_tile_fault: d.usize()?,
+                resp_seen: d.u64()?,
+                spawn_seen: d.u64()?,
+                delayed: dec_resp_schedule(&mut d)?,
+            };
+            let rt = self.fault_rt.as_deref_mut().ok_or_else(|| {
+                "snapshot has a fault-schedule position but no fault plan is configured".to_string()
+            })?;
+            rt.restore_position(&pos);
+        } else if self.fault_rt.is_some() {
+            return Err(
+                "snapshot has no fault-schedule position but a fault plan is configured".into()
+            );
+        }
+        d.finish()?;
+        self.cycle = snap.cycle;
+        self.host_result = None;
+        self.halt_snapshot = None;
+        let instrumented = self.prof.is_some() || self.tracing();
+        self.databox.set_grant_log(instrumented);
+        let event_driven = self.cfg.event_driven && self.fault_rt.is_none();
+        Ok(RunCtl {
+            start_cycle,
+            last_progress,
+            next_snapshot,
+            // A halt hook at or before the restored point already fired
+            // in the run that produced this snapshot; don't re-fire it.
+            halt_at: self.cfg.halt_at_cycle.filter(|&h| h > snap.cycle.saturating_sub(start_cycle)),
+            instrumented,
+            event_driven,
+        })
+    }
+
     /// Fold this cycle's data-box grant log into the profiler's
     /// per-request stall classes and the event trace (cache misses).
     fn classify_grants(&mut self, now: u64) {
@@ -1034,7 +2039,14 @@ impl Accelerator {
         req_class: &HashMap<u64, StallReason>,
     ) -> HashMap<(usize, usize), StallReason> {
         let mut mem_wait: HashMap<(usize, usize), StallReason> = HashMap::new();
-        for (id, t) in &self.req_map {
+        // Visit requests in id order: `mem_severity` ties (CacheMiss vs
+        // BankConflict, both severity 1) resolve first-seen-wins, and a
+        // HashMap walk would make that tiebreak — and thus the profile —
+        // depend on hasher seeding instead of being run-to-run stable.
+        let mut ids: Vec<u64> = self.req_map.keys().copied().collect();
+        ids.sort_unstable();
+        for id in &ids {
+            let t = &self.req_map[id];
             if t.kind != ReqKind::Tile {
                 // Spill/refill traffic is charged via the queue-side
                 // SpillStall classification, not as a tile memory wait.

@@ -505,6 +505,28 @@ impl FaultRt {
         self.tile_faults[start..end].to_vec()
     }
 
+    /// Capture the schedule position (which ordinals have been consumed,
+    /// which tile faults delivered, which responses are still held back)
+    /// for the engine snapshot. The fault *plan* itself is configuration,
+    /// not state: restore rebuilds the runtime from the plan via
+    /// [`FaultRt::new`] and then reapplies this position.
+    pub fn save_position(&self) -> FaultRtPosition {
+        FaultRtPosition {
+            next_tile_fault: self.next_tile_fault,
+            resp_seen: self.resp_seen,
+            spawn_seen: self.spawn_seen,
+            delayed: self.delayed.clone(),
+        }
+    }
+
+    /// Restore a position captured by [`FaultRt::save_position`].
+    pub fn restore_position(&mut self, pos: &FaultRtPosition) {
+        self.next_tile_fault = pos.next_tile_fault.min(self.tile_faults.len());
+        self.resp_seen = pos.resp_seen;
+        self.spawn_seen = pos.spawn_seen;
+        self.delayed = pos.delayed.clone();
+    }
+
     /// Delayed responses due at or before `now`, in original order.
     pub fn due_delayed(&mut self, now: u64) -> Vec<MemResp> {
         let mut due = Vec::new();
@@ -518,6 +540,16 @@ impl FaultRt {
         });
         due
     }
+}
+
+/// Plain-data image of a [`FaultRt`]'s schedule position (snapshot
+/// payload): the parts of the injection state that advance during a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct FaultRtPosition {
+    pub next_tile_fault: usize,
+    pub resp_seen: u64,
+    pub spawn_seen: u64,
+    pub delayed: Vec<(u64, MemResp)>,
 }
 
 #[cfg(test)]

@@ -103,9 +103,11 @@ mod config;
 mod engine;
 pub mod fault;
 pub mod profile;
+pub mod snapshot;
 
 pub use config::{
-    AcceleratorConfig, AcceleratorConfigBuilder, AdmissionControl, ConfigError, StealConfig,
+    AcceleratorConfig, AcceleratorConfigBuilder, AdmissionControl, ConfigError, SnapshotConfig,
+    StealConfig,
 };
 pub use engine::{Accelerator, SimError, SimEvent, SimEventKind, SimOutcome, SimStats, UnitStats};
 pub use fault::{
@@ -116,3 +118,4 @@ pub use profile::{
     chrome_trace, BottleneckReport, BoundClass, NodeClass, Profile, ProfileLevel, QueueSummary,
     StallReason, TileProfile, UnitProfile,
 };
+pub use snapshot::{EngineSnapshot, SnapshotError};

@@ -114,6 +114,41 @@ impl QueueOccupancy {
     pub fn capacity(&self) -> u32 {
         self.capacity
     }
+
+    /// Capture the accumulator for the engine snapshot.
+    pub fn save_state(&self) -> QueueOccupancyState {
+        QueueOccupancyState {
+            samples: self.samples,
+            total: self.total,
+            peak: self.peak,
+            full_cycles: self.full_cycles,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Restore state captured by [`QueueOccupancy::save_state`].
+    pub fn restore_state(&mut self, st: &QueueOccupancyState) {
+        self.samples = st.samples;
+        self.total = st.total;
+        self.peak = st.peak;
+        self.full_cycles = st.full_cycles;
+        self.capacity = st.capacity;
+    }
+}
+
+/// Plain-data image of a [`QueueOccupancy`] accumulator (snapshot payload).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueOccupancyState {
+    /// Cycles observed.
+    pub samples: u64,
+    /// Sum of observed occupancies.
+    pub total: u64,
+    /// Highest single-cycle occupancy.
+    pub peak: u32,
+    /// Cycles the queue sat full (or refused a spawn).
+    pub full_cycles: u64,
+    /// Configured capacity.
+    pub capacity: u32,
 }
 
 #[cfg(test)]

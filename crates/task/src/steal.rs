@@ -54,6 +54,31 @@ impl StealPort {
     pub fn record_failure(&mut self) {
         self.failures += 1;
     }
+
+    /// Capture the port's state (cursor + counters) for the engine
+    /// snapshot — the cursor is dynamic state: restoring it is what keeps
+    /// post-resume steal traces identical to an uninterrupted run.
+    pub fn save_state(&self) -> StealPortState {
+        StealPortState { cursor: self.cursor, steals: self.steals, failures: self.failures }
+    }
+
+    /// Restore state captured by [`StealPort::save_state`].
+    pub fn restore_state(&mut self, st: &StealPortState) {
+        self.cursor = st.cursor;
+        self.steals = st.steals;
+        self.failures = st.failures;
+    }
+}
+
+/// Plain-data image of a [`StealPort`] (snapshot payload).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealPortState {
+    /// Round-robin victim cursor.
+    pub cursor: usize,
+    /// Successful steals.
+    pub steals: u64,
+    /// Empty probe rounds.
+    pub failures: u64,
 }
 
 #[cfg(test)]

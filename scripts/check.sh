@@ -89,6 +89,29 @@ executor_gate() {
   cmp /tmp/exec_clean.json /tmp/exec_resumed.json
 }
 
+chaos_gate() {
+  # Kill-and-resume crash-consistency gate. Inside every chaos cell the
+  # engine is killed at a seeded cycle via the halt_at_cycle hook,
+  # restored from its snapshot, and the resumed run must be byte-identical
+  # to the golden uninterrupted one; --snapshot-every additionally routes
+  # each trial through the on-disk snapshot ladder. On top, the sweep
+  # itself is killed after 3 cells and resumed from its checkpoint; the
+  # resumed run's JSON must match the uninterrupted run's bytes.
+  timeout 300 ./target/release/reproduce chaos --no-checkpoint \
+      --snapshot-every 40 --json /tmp/chaos_clean.json >/dev/null
+  ./target/release/reproduce check-json /tmp/chaos_clean.json
+  rm -f /tmp/chaos_gate.jsonl
+  if timeout 300 ./target/release/reproduce chaos --halt-after 3 \
+      --snapshot-every 40 --checkpoint /tmp/chaos_gate.jsonl \
+      --json /tmp/chaos_halted.json >/dev/null 2>/dev/null; then
+    echo "    chaos gate: a killed sweep must exit non-zero"
+    return 1
+  fi
+  timeout 300 ./target/release/reproduce chaos --resume --snapshot-every 40 \
+      --checkpoint /tmp/chaos_gate.jsonl --json /tmp/chaos_resumed.json >/dev/null
+  cmp /tmp/chaos_clean.json /tmp/chaos_resumed.json
+}
+
 differential_sweep() {
   # Seeded random configs (steal x banks x tiles x ntasks x admission)
   # against the interpreter golden model; seed ${DIFF_SEED} is fixed in
@@ -107,6 +130,7 @@ gate "reproduce tune smoke (opt-in feature gate)" tune_smoke
 gate "reproduce analyze smoke (static-analysis gate)" analyze_smoke
 gate "reproduce bench (event-engine perf gate)" bench_gate
 gate "sweep executor (fault-isolation + resume gate)" executor_gate
+gate "chaos (kill-and-resume crash-consistency gate)" chaos_gate
 gate "differential sweep (seed ${DIFF_SEED})" differential_sweep
 gate "parser fuzz corpus (crash-hardening gate)" timeout 300 cargo test -q -p tapas-ir --test parse_fuzz
 
