@@ -14,10 +14,11 @@
 //! `--list` prints every runner experiment with its schema version.
 //!
 //! The runner experiments (`profile`, `faults`, `stress`, `tune`,
-//! `analyze`, `bench`, `differential`, `chaos`) go through the unified
-//! [`tapas_bench::experiment`] registry on top of the `tapas-exec` sweep
-//! executor: each experiment decomposes into independent deterministic
-//! cells drained by worker threads. Scheduling flags:
+//! `analyze`, `bench`, `differential`, `chaos`, `fuzzsim`) go through the
+//! unified [`tapas_bench::experiment`] registry on top of the
+//! `tapas-exec` sweep executor: each experiment decomposes into
+//! independent deterministic cells drained by worker threads. Scheduling
+//! flags:
 //!
 //! - `--jobs <N>` worker threads (default: one per core)
 //! - `--retries <N>` retries per failing cell (default 1, cap 32)
@@ -38,6 +39,12 @@
 //!   only what's missing or failed
 //! - `--inject <spec>` test-only fault injection (`panic:<cell>`,
 //!   `timeout:<cell>`, `flaky:<cell>:<n>`); repeatable
+//!
+//! `fuzzsim` generates seeded random task-graph programs and checks each
+//! against the interpreter golden model across sampled feature configs.
+//! Its extra flags: `--seeds <N>` sets the campaign size (default 8),
+//! and `--repro "<line>"` replays a minimized one-line repro string from
+//! a failure report instead of running the campaign.
 //!
 //! The sweep summary and checkpoint notes go to **stderr**; stdout
 //! carries exactly the experiment's tables, so piped output is identical
@@ -76,6 +83,8 @@ struct Flags {
     halt_after: Option<usize>,
     inject: exec::Inject,
     list: bool,
+    seeds: Option<usize>,
+    repro: Option<String>,
 }
 
 fn parse_args() -> (Vec<String>, Flags) {
@@ -92,6 +101,8 @@ fn parse_args() -> (Vec<String>, Flags) {
         halt_after: None,
         inject: exec::Inject::default(),
         list: false,
+        seeds: None,
+        repro: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -144,6 +155,19 @@ fn parse_args() -> (Vec<String>, Flags) {
                     .parse_spec(&spec)
                     .unwrap_or_else(|e| usage_exit(&format!("reproduce: {e}")));
             }
+            "--seeds" => {
+                let n: usize = value("a seed count")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("reproduce: --seeds wants a number"));
+                if n == 0 {
+                    usage_exit(
+                        "reproduce: --seeds 0: a fuzzing campaign needs at least one \
+                         generated program; omit the flag for the default",
+                    );
+                }
+                flags.seeds = Some(n);
+            }
+            "--repro" => flags.repro = Some(value("a one-line repro string")),
             "--list" => flags.list = true,
             other if other.starts_with("--") => {
                 usage_exit(&format!("reproduce: unknown flag `{other}`"));
@@ -163,6 +187,25 @@ fn main() {
         return;
     }
     let which = positional.first().map(String::as_str).unwrap_or("all").to_string();
+
+    // Replaying a minimized fuzzsim repro skips the campaign entirely:
+    // regenerate the program from the line's seed and check exactly the
+    // configuration it names.
+    if let Some(line) = &flags.repro {
+        if which != "fuzzsim" {
+            usage_exit("reproduce: --repro is a fuzzsim flag (reproduce fuzzsim --repro \"...\")");
+        }
+        match tapas_integration::fuzz::replay_repro(line) {
+            Ok(()) => {
+                println!("repro: clean (no divergence)");
+                return;
+            }
+            Err(e) => {
+                eprintln!("repro: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // Runner experiments share one dispatch path: sweep, print, dump, exit.
     if let Some(e) = experiment::find(&which) {
@@ -311,7 +354,8 @@ fn run_experiment(e: &experiment::Experiment, flags: &Flags) {
         }
     }
 
-    let (report, sweep) = e.run_sharded(&policy, journal.as_ref());
+    let opts = experiment::RunOpts { seeds: flags.seeds };
+    let (report, sweep) = e.run_sharded_with(&opts, &policy, journal.as_ref());
     print!("{}", report.text);
     if let Some(p) = &flags.json_path {
         std::fs::write(p, &report.json).expect("write json");

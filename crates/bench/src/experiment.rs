@@ -61,6 +61,8 @@ pub enum CellPayload {
     Differential(exp::DifferentialRow),
     /// A `chaos/<bench>` kill-and-resume snapshot-identity cell.
     Chaos(exp::ChaosRow),
+    /// A `fuzzsim/gen/<seed>` generated-traffic fuzzing cell.
+    Fuzz(exp::FuzzRow),
 }
 
 impl CellPayload {
@@ -77,6 +79,7 @@ impl CellPayload {
             CellPayload::Shard(_) => "shard",
             CellPayload::Differential(_) => "differential",
             CellPayload::Chaos(_) => "chaos",
+            CellPayload::Fuzz(_) => "fuzz",
         }
     }
 }
@@ -97,6 +100,7 @@ impl ToJson for CellPayload {
             CellPayload::Shard(r) => r.write_json(out),
             CellPayload::Differential(r) => r.write_json(out),
             CellPayload::Chaos(r) => r.write_json(out),
+            CellPayload::Fuzz(r) => r.write_json(out),
         }
         out.push('}');
     }
@@ -122,6 +126,7 @@ pub fn decode_cell_payload(v: &JsonValue) -> Result<CellPayload, String> {
         "shard" => FromJson::from_json(data).map(CellPayload::Shard),
         "differential" => FromJson::from_json(data).map(CellPayload::Differential),
         "chaos" => FromJson::from_json(data).map(CellPayload::Chaos),
+        "fuzz" => FromJson::from_json(data).map(CellPayload::Fuzz),
         other => Err(format!("unknown payload kind `{other}`")),
     }
     .map_err(|e| format!("{kind} payload: {e}"))
@@ -137,6 +142,24 @@ pub fn codec() -> exec::Codec<CellPayload> {
     exec::Codec { encode: encode_cell_payload, decode: decode_cell_payload }
 }
 
+/// Runtime knobs a `reproduce` invocation can thread into an
+/// experiment's cell decomposition. Defaults reproduce the fixed CI
+/// campaign; flags like `fuzzsim --seeds N` override one knob without
+/// perturbing any other experiment.
+#[derive(Debug, Clone, Default)]
+pub struct RunOpts {
+    /// Override the fuzzing campaign's generated-program count
+    /// (`fuzzsim --seeds N`); `None` keeps [`FUZZ_DEFAULT_SEEDS`].
+    pub seeds: Option<usize>,
+}
+
+/// Generated programs per default `reproduce fuzzsim` campaign.
+pub const FUZZ_DEFAULT_SEEDS: usize = 8;
+
+/// Feature configurations sampled against each generated program (the
+/// first is always the plain baseline).
+pub const FUZZ_CONFIGS_PER_SEED: usize = 4;
+
 /// A named, JSON-emitting experiment, decomposed into executor cells.
 pub struct Experiment {
     /// Subcommand name (`reproduce <name>`).
@@ -147,7 +170,7 @@ pub struct Experiment {
     pub schema_version: u64,
     /// Build the experiment's cell list (cheap: closures only, no
     /// simulation happens until the executor runs them).
-    pub cells: fn() -> Vec<exec::Cell<CellPayload>>,
+    pub cells: fn(&RunOpts) -> Vec<exec::Cell<CellPayload>>,
     /// Fold the executor's records (spec order, failures included with
     /// `payload: None`) back into the report.
     pub assemble: fn(&[exec::CellRecord<CellPayload>]) -> ExperimentReport,
@@ -161,17 +184,27 @@ impl Experiment {
         self.run_sharded(&exec::Policy::serial(), None).0
     }
 
-    /// Run the experiment's cells under `policy`, optionally journaling
-    /// to (and replaying from) `journal`. Any cell that did not succeed —
-    /// and any cell never attempted — is folded into the report's
-    /// `failure`, so callers turn an incomplete sweep into a non-zero
-    /// exit uniformly.
+    /// [`Experiment::run_sharded`] with default [`RunOpts`].
     pub fn run_sharded(
         &self,
         policy: &exec::Policy,
         journal: Option<&exec::Journal<CellPayload>>,
     ) -> (ExperimentReport, exec::SweepReport<CellPayload>) {
-        let cells = (self.cells)();
+        self.run_sharded_with(&RunOpts::default(), policy, journal)
+    }
+
+    /// Run the experiment's cells under `policy`, optionally journaling
+    /// to (and replaying from) `journal`. Any cell that did not succeed —
+    /// and any cell never attempted — is folded into the report's
+    /// `failure`, so callers turn an incomplete sweep into a non-zero
+    /// exit uniformly.
+    pub fn run_sharded_with(
+        &self,
+        opts: &RunOpts,
+        policy: &exec::Policy,
+        journal: Option<&exec::Journal<CellPayload>>,
+    ) -> (ExperimentReport, exec::SweepReport<CellPayload>) {
+        let cells = (self.cells)(opts);
         let sweep = exec::run_sweep(&cells, policy, journal);
         let mut report = (self.assemble)(&sweep.records);
         if !sweep.complete_ok() {
@@ -252,6 +285,13 @@ pub fn registry() -> &'static [Experiment] {
             cells: chaos_cells,
             assemble: assemble_chaos,
         },
+        Experiment {
+            name: "fuzzsim",
+            summary: "generated task-graph traffic vs the golden model (--seeds N)",
+            schema_version: exp::JSON_SCHEMA_VERSION,
+            cells: fuzzsim_cells,
+            assemble: assemble_fuzz,
+        },
     ];
     REGISTRY
 }
@@ -261,7 +301,7 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
     registry().iter().find(|e| e.name == name)
 }
 
-fn profile_cells() -> Vec<exec::Cell<CellPayload>> {
+fn profile_cells(_opts: &RunOpts) -> Vec<exec::Cell<CellPayload>> {
     suite_small()
         .into_iter()
         .map(|wl| {
@@ -271,7 +311,7 @@ fn profile_cells() -> Vec<exec::Cell<CellPayload>> {
         .collect()
 }
 
-fn faults_cells() -> Vec<exec::Cell<CellPayload>> {
+fn faults_cells(_opts: &RunOpts) -> Vec<exec::Cell<CellPayload>> {
     suite_small()
         .into_iter()
         .map(|wl| {
@@ -281,7 +321,7 @@ fn faults_cells() -> Vec<exec::Cell<CellPayload>> {
         .collect()
 }
 
-fn stress_cells() -> Vec<exec::Cell<CellPayload>> {
+fn stress_cells(_opts: &RunOpts) -> Vec<exec::Cell<CellPayload>> {
     let mut cells = Vec::new();
     for wl in exp::stress_programs() {
         for &ntasks in exp::STRESS_QUEUE_SIZES {
@@ -295,7 +335,7 @@ fn stress_cells() -> Vec<exec::Cell<CellPayload>> {
     cells
 }
 
-fn tune_cells() -> Vec<exec::Cell<CellPayload>> {
+fn tune_cells(_opts: &RunOpts) -> Vec<exec::Cell<CellPayload>> {
     exp::tune_programs()
         .into_iter()
         .map(|wl| {
@@ -307,7 +347,7 @@ fn tune_cells() -> Vec<exec::Cell<CellPayload>> {
         .collect()
 }
 
-fn analyze_cells() -> Vec<exec::Cell<CellPayload>> {
+fn analyze_cells(_opts: &RunOpts) -> Vec<exec::Cell<CellPayload>> {
     exp::analyze_programs()
         .into_iter()
         .map(|wl| {
@@ -322,7 +362,7 @@ fn analyze_cells() -> Vec<exec::Cell<CellPayload>> {
         .collect()
 }
 
-fn bench_cells() -> Vec<exec::Cell<CellPayload>> {
+fn bench_cells(_opts: &RunOpts) -> Vec<exec::Cell<CellPayload>> {
     let mut cells = Vec::new();
     for (wl, tiles, spawn_cost) in perf::paper_suite_cells() {
         let id = format!("bench/row/{}", wl.name);
@@ -347,7 +387,7 @@ fn bench_cells() -> Vec<exec::Cell<CellPayload>> {
     cells
 }
 
-fn differential_cells() -> Vec<exec::Cell<CellPayload>> {
+fn differential_cells(_opts: &RunOpts) -> Vec<exec::Cell<CellPayload>> {
     tapas_integration::differential_cells(perf::SWEEP_SEED, 3)
         .into_iter()
         .map(|c| {
@@ -365,7 +405,7 @@ fn differential_cells() -> Vec<exec::Cell<CellPayload>> {
         .collect()
 }
 
-fn chaos_cells() -> Vec<exec::Cell<CellPayload>> {
+fn chaos_cells(_opts: &RunOpts) -> Vec<exec::Cell<CellPayload>> {
     tapas_integration::chaos_cells(perf::SWEEP_SEED, 2)
         .into_iter()
         .map(|c| {
@@ -381,6 +421,25 @@ fn chaos_cells() -> Vec<exec::Cell<CellPayload>> {
                     seed: format!("{:#x}", c.seed),
                     trials: c.trials as u64,
                     verified: verified as u64,
+                }))
+            })
+        })
+        .collect()
+}
+
+fn fuzzsim_cells(opts: &RunOpts) -> Vec<exec::Cell<CellPayload>> {
+    let seeds = opts.seeds.unwrap_or(FUZZ_DEFAULT_SEEDS);
+    tapas_integration::fuzz::fuzz_cells(perf::SWEEP_SEED, seeds, FUZZ_CONFIGS_PER_SEED)
+        .into_iter()
+        .map(|c| {
+            let id = format!("fuzzsim/gen/{:#x}", c.seed);
+            exec::Cell::new(id, move || {
+                let report = tapas_integration::fuzz::run_fuzz_cell(&c)?;
+                Ok(CellPayload::Fuzz(exp::FuzzRow {
+                    seed: format!("{:#x}", c.seed),
+                    shape: report.shape,
+                    configs: c.configs as u64,
+                    checks: report.checks as u64,
                 }))
             })
         })
@@ -497,6 +556,18 @@ fn assemble_chaos(records: &[exec::CellRecord<CellPayload>]) -> ExperimentReport
         .collect();
     let results = exp::ChaosResults { schema_version: exp::JSON_SCHEMA_VERSION, rows };
     ExperimentReport { text: render_chaos(&results.rows), json: results.to_json(), failure: None }
+}
+
+fn assemble_fuzz(records: &[exec::CellRecord<CellPayload>]) -> ExperimentReport {
+    let rows: Vec<exp::FuzzRow> = records
+        .iter()
+        .filter_map(|r| match &r.payload {
+            Some(CellPayload::Fuzz(row)) => Some(row.clone()),
+            _ => None,
+        })
+        .collect();
+    let results = exp::FuzzResults { schema_version: exp::JSON_SCHEMA_VERSION, rows };
+    ExperimentReport { text: render_fuzz(&results.rows), json: results.to_json(), failure: None }
 }
 
 fn hdr(out: &mut String, title: &str) {
@@ -676,6 +747,17 @@ pub fn render_chaos(rows: &[exp::ChaosRow]) -> String {
     out
 }
 
+/// Render the generated-traffic fuzzing table.
+pub fn render_fuzz(rows: &[exp::FuzzRow]) -> String {
+    let mut out = String::new();
+    hdr(&mut out, "Fuzzsim: generated task-graph traffic vs the golden model");
+    let _ = writeln!(out, "{:<20} {:<10} {:>8} {:>7}", "seed", "shape", "configs", "checks");
+    for r in rows {
+        let _ = writeln!(out, "{:<20} {:<10} {:>8} {:>7}", r.seed, r.shape, r.configs, r.checks);
+    }
+    out
+}
+
 /// Render the engine-throughput benchmark.
 pub fn render_bench(results: &perf::BenchResults) -> String {
     let mut out = String::new();
@@ -746,7 +828,11 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 8, "profile/faults/stress/tune/analyze/bench/differential/chaos");
+        assert_eq!(
+            names.len(),
+            9,
+            "profile/faults/stress/tune/analyze/bench/differential/chaos/fuzzsim"
+        );
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -767,7 +853,7 @@ mod tests {
     #[test]
     fn every_experiment_has_unique_nonempty_cells() {
         for e in registry() {
-            let cells = (e.cells)();
+            let cells = (e.cells)(&RunOpts::default());
             assert!(!cells.is_empty(), "{}", e.name);
             let mut ids: Vec<&str> = cells.iter().map(|c| c.id.as_str()).collect();
             let n = ids.len();
@@ -777,6 +863,20 @@ mod tests {
             for id in ids {
                 assert!(id.starts_with(e.name), "{}: cell `{id}` not namespaced", e.name);
             }
+        }
+    }
+
+    #[test]
+    fn fuzzsim_cells_scale_with_the_seeds_override() {
+        let e = find("fuzzsim").expect("fuzzsim is registered");
+        assert_eq!((e.cells)(&RunOpts::default()).len(), FUZZ_DEFAULT_SEEDS);
+        let three = (e.cells)(&RunOpts { seeds: Some(3) });
+        assert_eq!(three.len(), 3);
+        let eight = (e.cells)(&RunOpts::default());
+        // The first cells of a longer campaign are the shorter campaign:
+        // raising --seeds only appends programs, it never reshuffles them.
+        for (a, b) in three.iter().zip(&eight) {
+            assert_eq!(a.id, b.id);
         }
     }
 

@@ -1258,6 +1258,39 @@ pub struct ChaosResults {
     pub rows: Vec<ChaosRow>,
 }
 
+/// One generated program's slice of the fuzzing campaign (`reproduce
+/// fuzzsim`): the cell generates a race-free-by-construction traffic
+/// program from its seed, lints it, establishes the interpreter golden
+/// model (SP-bags armed), and checks it under sampled feature
+/// configurations spanning steal × banks × admission × engine core ×
+/// faults × snapshot-kill. A row only exists for a *passing* cell — a
+/// divergence errors out with a minimized one-line repro string
+/// (replayable via `reproduce fuzzsim --repro`) and the executor
+/// quarantines the cell.
+#[derive(Debug, Clone)]
+pub struct FuzzRow {
+    /// The program-generation seed, hex-encoded (a raw u64 would not
+    /// survive the f64-based JSON round-trip above 2^53).
+    pub seed: String,
+    /// The generated program's task-graph shape family.
+    pub shape: String,
+    /// Feature configurations the cell was asked to sample.
+    pub configs: u64,
+    /// Golden-model comparisons that ran and passed (== `configs` on
+    /// success).
+    pub checks: u64,
+}
+
+/// The `reproduce fuzzsim --json` document: versioned per-seed fuzzing
+/// cells.
+#[derive(Debug, Clone)]
+pub struct FuzzResults {
+    /// [`JSON_SCHEMA_VERSION`] at the time of the run.
+    pub schema_version: u64,
+    /// One row per generated-program cell.
+    pub rows: Vec<FuzzRow>,
+}
+
 /// Everything, serialized as one JSON document.
 #[derive(Debug, Clone)]
 pub struct AllResults {
@@ -1462,6 +1495,8 @@ json_object!(DifferentialRow { workload, seed, samples, checks });
 json_object!(DifferentialResults { schema_version, rows });
 json_object!(ChaosRow { workload, seed, trials, verified });
 json_object!(ChaosResults { schema_version, rows });
+json_object!(FuzzRow { seed, shape, configs, checks });
+json_object!(FuzzResults { schema_version, rows });
 
 // Decode impls for every row type the executor's checkpoint journal can
 // store — `decode(encode(x)) == x` exactly, which is what makes a resumed
@@ -1518,6 +1553,7 @@ json_decode!(AnalyzeRow {
 });
 json_decode!(DifferentialRow { workload, seed, samples, checks });
 json_decode!(ChaosRow { workload, seed, trials, verified });
+json_decode!(FuzzRow { seed, shape, configs, checks });
 json_object!(AllResults {
     schema_version,
     table2,

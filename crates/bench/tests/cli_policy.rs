@@ -1,0 +1,105 @@
+//! Negative tests for the `reproduce` CLI's degenerate-flag paths.
+//!
+//! The sweep executor's `Policy::validate` rejects values that would
+//! silently disable or break the machinery (`--jobs 0`, `--timeout-ms 0`,
+//! absurd retry budgets, `--snapshot-every 0`); `reproduce` must surface
+//! each as a usage error — exit code 2 with the documented message —
+//! *before* any cell runs. These paths were previously only validated by
+//! hand; this locks the exit code and the exact wording the docs promise.
+
+use std::process::{Command, Output};
+
+fn reproduce(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce")).args(args).output().expect("spawn reproduce")
+}
+
+fn assert_usage_error(args: &[&str], expect_stderr: &str) {
+    let out = reproduce(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?}: expected exit 2, got {:?}; stderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains(expect_stderr),
+        "{args:?}: stderr missing documented message\n  want: {expect_stderr}\n  got: {stderr}"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "{args:?}: a rejected policy must not run any cell (stdout non-empty)"
+    );
+}
+
+#[test]
+fn zero_jobs_is_rejected_up_front() {
+    assert_usage_error(
+        &["profile", "--jobs", "0"],
+        "--jobs 0: at least one worker is required to drain the sweep",
+    );
+}
+
+#[test]
+fn zero_timeout_is_rejected_up_front() {
+    assert_usage_error(
+        &["profile", "--timeout-ms", "0"],
+        "--timeout-ms 0: a zero watchdog would kill every attempt at birth; \
+         omit the flag to keep the default",
+    );
+}
+
+#[test]
+fn absurd_retries_are_rejected_up_front() {
+    assert_usage_error(
+        &["profile", "--retries", "33"],
+        "--retries 33: retry budgets above 32 are a typo, not a policy \
+         (exponential backoff overflows long before that)",
+    );
+}
+
+#[test]
+fn zero_snapshot_interval_is_rejected_up_front() {
+    assert_usage_error(
+        &["chaos", "--snapshot-every", "0"],
+        "--snapshot-every 0: a zero-cycle snapshot interval would snapshot every \
+         engine iteration; omit the flag to disable snapshotting",
+    );
+}
+
+#[test]
+fn zero_seeds_is_rejected_up_front() {
+    assert_usage_error(
+        &["fuzzsim", "--seeds", "0"],
+        "--seeds 0: a fuzzing campaign needs at least one generated program",
+    );
+}
+
+#[test]
+fn repro_flag_requires_fuzzsim() {
+    assert_usage_error(&["profile", "--repro", "seed=0x1"], "--repro is a fuzzsim flag");
+}
+
+#[test]
+fn malformed_repro_line_exits_nonzero() {
+    let out = reproduce(&["fuzzsim", "--repro", "seed=0x1 bogus=3"]);
+    assert_eq!(out.status.code(), Some(1), "malformed repro line must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown key"));
+}
+
+#[test]
+fn clean_repro_line_replays_and_reports_clean() {
+    // A baseline config for seed 0 must pass on a healthy engine — and the
+    // replay path prints its verdict on stdout for scripting.
+    let line = "seed=0x0 steal=off banks=1 tiles=1 ntasks=256 admission=false \
+                engine=event faults=off kill=off";
+    let out = reproduce(&["fuzzsim", "--repro", line]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean repro must exit 0; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("repro: clean"), "stdout: {stdout}");
+}

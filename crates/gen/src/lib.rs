@@ -1,0 +1,666 @@
+#![warn(missing_docs)]
+
+//! # tapas-gen — seeded task-graph traffic generator
+//!
+//! The benchmark suite is seven hand-written kernels; the scheduler
+//! features layered on top of the seed design (work stealing, banked L1,
+//! admission spill, fault recovery, snapshot/resume) have far more
+//! reachable states than seven programs can visit. This crate generates
+//! *valid* Tapir IR programs with randomized task-graph shapes so the
+//! differential harness can stress those features with traffic nobody
+//! wrote by hand.
+//!
+//! Every generated program is, by construction:
+//!
+//! * **well-formed** — built through [`tapas_ir::FunctionBuilder`] and
+//!   accepted by [`tapas_ir::verify_module`];
+//! * **determinacy-race-free** — parallel writes are partitioned by
+//!   affine index (each iteration/recursion instance owns a distinct
+//!   output slot), reads land in regions no parallel write touches, and
+//!   [`lint_clean`] re-proves this with `tapas-lint` (zero diagnostics,
+//!   the same bar the hand-written suite clears);
+//! * **analyzable** — recursion descends by guarded constant subtraction,
+//!   the pattern `tapas-analyze`'s recursion recognizer bounds, so a
+//!   fuzzing harness can pick deadlock-free queue depths from
+//!   `min_safe_ntasks` instead of guessing.
+//!
+//! Generation is a pure function of the seed: the same seed always yields
+//! the same program text, initial memory and arguments, which is what
+//! lets a one-line repro string replay a failure exactly.
+//!
+//! The six shapes cover the feature matrix adversarially:
+//!
+//! | shape | stresses |
+//! |---|---|
+//! | [`Shape::ForkJoin`] | flat parallel loop, strided reads |
+//! | [`Shape::Nest`] | nested fork-join, 2-D partitioned writes |
+//! | [`Shape::SpawnBurst`] | trip count ≫ Ntasks → admission spill |
+//! | [`Shape::GuardedRec`] | fib-like recursion trees, queue occupancy |
+//! | [`Shape::BankCamp`] | same-bank strides → L1 bank conflicts/MSHRs |
+//! | [`Shape::StealBait`] | deep chain + side work → cross-unit steals |
+
+use tapas_ir::interp::Val;
+use tapas_ir::{BinOp, CmpPred, FuncId, FunctionBuilder, Module, Type, ValueId};
+use tapas_workloads::loops::{cilk_for, serial_for};
+use tapas_workloads::rng::SplitMix64;
+use tapas_workloads::BuiltWorkload;
+
+/// The task-graph shape families the generator draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// One flat `cilk_for` with strided affine reads and per-iteration
+    /// output slots.
+    ForkJoin,
+    /// Two nested `cilk_for`s writing a 2-D partitioned region.
+    Nest,
+    /// A wide, tiny-bodied `cilk_for` whose live-task burst exceeds any
+    /// small queue — admission-spill bait.
+    SpawnBurst,
+    /// Guarded constant-descent binary recursion (fib-shaped tree with
+    /// randomized descent constants and combine ops).
+    GuardedRec,
+    /// Strided loads that camp on one L1 bank while writes stay
+    /// partitioned.
+    BankCamp,
+    /// A deep spawn chain whose continuations carry serial side work —
+    /// one unit's queue loads up while siblings idle, baiting steals.
+    StealBait,
+}
+
+impl Shape {
+    /// Stable lowercase name (used in workload names and repro strings).
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::ForkJoin => "forkjoin",
+            Shape::Nest => "nest",
+            Shape::SpawnBurst => "burst",
+            Shape::GuardedRec => "rec",
+            Shape::BankCamp => "bankcamp",
+            Shape::StealBait => "stealbait",
+        }
+    }
+
+    /// Whether the shape recurses (its live-task tree depends on the
+    /// recursion depth, not the loop trip count).
+    pub fn is_recursive(self) -> bool {
+        matches!(self, Shape::GuardedRec | Shape::StealBait)
+    }
+
+    /// Every shape, in draw order.
+    pub fn all() -> [Shape; 6] {
+        [
+            Shape::ForkJoin,
+            Shape::Nest,
+            Shape::SpawnBurst,
+            Shape::GuardedRec,
+            Shape::BankCamp,
+            Shape::StealBait,
+        ]
+    }
+}
+
+/// One generated program: a ready-to-run [`BuiltWorkload`] plus the shape
+/// and a human-readable parameter descriptor for repro strings.
+#[derive(Debug, Clone)]
+pub struct GeneratedProgram {
+    /// The program, packaged exactly like a hand-written workload so the
+    /// whole differential/chaos toolchain applies unchanged.
+    pub wl: BuiltWorkload,
+    /// The drawn shape family.
+    pub shape: Shape,
+    /// One-line parameter summary (`"n=12 stride=2 ops=3"`).
+    pub descriptor: String,
+}
+
+/// Generate the program for `seed`. Deterministic: the same seed yields
+/// byte-identical program text, memory image and arguments.
+pub fn generate(seed: u64) -> GeneratedProgram {
+    let mut rng = SplitMix64::new(seed);
+    let shape = *rng.pick(&Shape::all());
+    let (wl, descriptor) = match shape {
+        Shape::ForkJoin => gen_forkjoin(&mut rng),
+        Shape::Nest => gen_nest(&mut rng),
+        Shape::SpawnBurst => gen_burst(&mut rng),
+        Shape::GuardedRec => gen_rec(&mut rng),
+        Shape::BankCamp => gen_bankcamp(&mut rng),
+        Shape::StealBait => gen_stealbait(&mut rng),
+    };
+    GeneratedProgram { wl, shape, descriptor }
+}
+
+/// Re-prove that a generated program is determinacy-race-free and
+/// hygiene-clean: `tapas-lint` must report **zero** diagnostics, the same
+/// bar the hand-written suite clears.
+///
+/// # Errors
+///
+/// A verifier rejection or any diagnostic is rendered into the error
+/// string — either means the generator emitted a program outside its
+/// race-free-by-construction envelope, which is a generator bug.
+pub fn lint_clean(wl: &BuiltWorkload) -> Result<(), String> {
+    tapas_ir::verify_module(&wl.module).map_err(|e| format!("{}: verify: {e:?}", wl.name))?;
+    let report = tapas_lint::lint_module(&wl.module, &tapas_lint::LintConfig::default())
+        .map_err(|e| format!("{}: lint: {e}", wl.name))?;
+    match report.diagnostics.first() {
+        None => Ok(()),
+        Some(d) => Err(format!(
+            "{}: {} diagnostic(s), first: {}",
+            wl.name,
+            report.diagnostics.len(),
+            d.render()
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared pieces
+// ---------------------------------------------------------------------------
+
+/// Fill `slots` i64 cells with seeded values (kept small so op chains stay
+/// far from any interesting overflow — wrapping is deterministic anyway,
+/// but small inputs make failures legible).
+fn fill_inputs(rng: &mut SplitMix64, slots: usize) -> Vec<u8> {
+    let mut mem = Vec::with_capacity(slots * 8);
+    for _ in 0..slots {
+        mem.extend_from_slice(&rng.next_in_range(-100, 100).to_le_bytes());
+    }
+    mem
+}
+
+/// Emit a random chain of `len` integer ops folding constants into `v`.
+/// Only total wrapping ops are drawn (no division), so every chain is
+/// defined on every input.
+fn op_chain(b: &mut FunctionBuilder, rng: &mut SplitMix64, v: ValueId, len: u64) -> ValueId {
+    let mut cur = v;
+    for _ in 0..len {
+        match rng.next_below(6) {
+            0 => {
+                let c = b.const_int(Type::I64, rng.next_in_range(1, 9));
+                cur = b.add(cur, c);
+            }
+            1 => {
+                let c = b.const_int(Type::I64, rng.next_in_range(1, 9));
+                cur = b.sub(cur, c);
+            }
+            2 => {
+                let c = b.const_int(Type::I64, *rng.pick(&[3i64, 5, 7]));
+                cur = b.mul(cur, c);
+            }
+            3 => {
+                let c = b.const_int(Type::I64, rng.next_in_range(1, 255));
+                cur = b.bin(BinOp::Xor, cur, c);
+            }
+            4 => {
+                let c = b.const_int(Type::I64, rng.next_in_range(1, 3));
+                cur = b.shl(cur, c);
+            }
+            _ => {
+                let c = b.const_int(Type::I64, rng.next_in_range(1, 3));
+                cur = b.lshr(cur, c);
+            }
+        }
+    }
+    cur
+}
+
+/// Package a single-function loop kernel over the `in`/`out` layout:
+/// `n_in` i64 inputs at byte 0, `n_out` i64 outputs right after (the
+/// validated region). Arguments are `(in_ptr, out_ptr, n, ...)`.
+#[allow(clippy::too_many_arguments)]
+fn package(
+    name: &str,
+    module: Module,
+    func: FuncId,
+    rng: &mut SplitMix64,
+    n_in: usize,
+    n_out: usize,
+    extra_args: Vec<Val>,
+    work_items: u64,
+) -> BuiltWorkload {
+    let mut mem = fill_inputs(rng, n_in);
+    mem.extend(std::iter::repeat_n(0u8, n_out * 8));
+    let mut args = vec![Val::Int(0), Val::Int(n_in as u64 * 8)];
+    args.extend(extra_args);
+    BuiltWorkload {
+        name: name.to_string(),
+        module,
+        func,
+        args,
+        mem,
+        output: (n_in as u64 * 8, n_out * 8),
+        worker_task: format!("{name}::task1"),
+        work_items,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shape builders
+// ---------------------------------------------------------------------------
+
+/// Flat `cilk_for i in 0..n { out[i] = chain(in[i*stride + off] + i) }`.
+/// Writes are partitioned by `i`; reads are strided but read-only.
+fn gen_forkjoin(rng: &mut SplitMix64) -> (BuiltWorkload, String) {
+    let n = 8 + rng.next_below(25);
+    let stride = 1 + rng.next_below(3) as i64;
+    let off = rng.next_below(4) as i64;
+    let ops = 1 + rng.next_below(4);
+    let n_in = ((n as i64 - 1) * stride + off + 1) as usize;
+
+    let ptr = Type::ptr(Type::I64);
+    let mut b = FunctionBuilder::new("gen_forkjoin", vec![ptr.clone(), ptr, Type::I64], Type::Void);
+    let (inp, out, nn) = (b.param(0), b.param(1), b.param(2));
+    let zero = b.const_int(Type::I64, 0);
+    let cs = b.const_int(Type::I64, stride);
+    let co = b.const_int(Type::I64, off);
+    let mut body_rng = rng.clone();
+    cilk_for(&mut b, zero, nn, |b, i| {
+        let scaled = b.mul(i, cs);
+        let idx = b.add(scaled, co);
+        let p = b.gep_index(inp, idx);
+        let v = b.load(p);
+        let mixed = b.add(v, i);
+        let r = op_chain(b, &mut body_rng, mixed, ops);
+        let q = b.gep_index(out, i);
+        b.store(q, r);
+    });
+    *rng = body_rng;
+    b.ret(None);
+    let mut module = Module::new("gen_forkjoin");
+    let func = module.add_function(b.finish());
+    let wl = package("gen-forkjoin", module, func, rng, n_in, n as usize, vec![Val::Int(n)], n);
+    (wl, format!("n={n} stride={stride} off={off} ops={ops}"))
+}
+
+/// Nested `cilk_for i { cilk_for j { out[i*ni + j] = … } }` — 2-D
+/// partitioned writes, the matrix_add pattern with randomized extents.
+fn gen_nest(rng: &mut SplitMix64) -> (BuiltWorkload, String) {
+    let no = 3 + rng.next_below(6);
+    let ni = 3 + rng.next_below(6);
+    let si = 1 + rng.next_below(2) as i64;
+    let ops = 1 + rng.next_below(3);
+    let n_in = ((ni as i64 - 1) * si + no as i64 - 1 + 1) as usize;
+
+    let ptr = Type::ptr(Type::I64);
+    let mut b =
+        FunctionBuilder::new("gen_nest", vec![ptr.clone(), ptr, Type::I64, Type::I64], Type::Void);
+    let (inp, out, vno, vni) = (b.param(0), b.param(1), b.param(2), b.param(3));
+    let zero = b.const_int(Type::I64, 0);
+    let cs = b.const_int(Type::I64, si);
+    let mut body_rng = rng.clone();
+    cilk_for(&mut b, zero, vno, |b, i| {
+        cilk_for(b, zero, vni, |b, j| {
+            let scaled = b.mul(j, cs);
+            let idx = b.add(scaled, i);
+            let p = b.gep_index(inp, idx);
+            let v = b.load(p);
+            let mixed = b.add(v, j);
+            let r = op_chain(b, &mut body_rng, mixed, ops);
+            let row = b.mul(i, vni);
+            let flat = b.add(row, j);
+            let q = b.gep_index(out, flat);
+            b.store(q, r);
+        });
+    });
+    *rng = body_rng;
+    b.ret(None);
+    let mut module = Module::new("gen_nest");
+    let func = module.add_function(b.finish());
+    let wl = package(
+        "gen-nest",
+        module,
+        func,
+        rng,
+        n_in,
+        (no * ni) as usize,
+        vec![Val::Int(no), Val::Int(ni)],
+        no * ni,
+    );
+    (wl, format!("no={no} ni={ni} stride={si} ops={ops}"))
+}
+
+/// Wide `cilk_for` with a one-op body: the spawner floods the queue far
+/// past any small Ntasks, so admission control's spill/inline paths get
+/// real traffic.
+fn gen_burst(rng: &mut SplitMix64) -> (BuiltWorkload, String) {
+    let n = 48 + rng.next_below(81);
+    let xor_c = rng.next_in_range(1, 255);
+
+    let ptr = Type::ptr(Type::I64);
+    let mut b = FunctionBuilder::new("gen_burst", vec![ptr.clone(), ptr, Type::I64], Type::Void);
+    let (inp, out, nn) = (b.param(0), b.param(1), b.param(2));
+    let zero = b.const_int(Type::I64, 0);
+    let c = b.const_int(Type::I64, xor_c);
+    cilk_for(&mut b, zero, nn, |b, i| {
+        let p = b.gep_index(inp, i);
+        let v = b.load(p);
+        let r = b.bin(BinOp::Xor, v, c);
+        let q = b.gep_index(out, i);
+        b.store(q, r);
+    });
+    b.ret(None);
+    let mut module = Module::new("gen_burst");
+    let func = module.add_function(b.finish());
+    let wl = package("gen-burst", module, func, rng, n as usize, n as usize, vec![Val::Int(n)], n);
+    (wl, format!("n={n} xor={xor_c}"))
+}
+
+/// Guarded constant-descent recursion:
+/// `rec(n, heap, node)` spawns `rec(n-c1)` into the left tree slot,
+/// serially computes `rec(n-c2)` into the right slot, syncs, and combines
+/// both into its own slot — fib's shape with randomized descent constants
+/// and combine op, exactly the family `tapas-analyze`'s guarded-descent
+/// recognizer bounds.
+fn gen_rec(rng: &mut SplitMix64) -> (BuiltWorkload, String) {
+    let depth = 5 + rng.next_below(5); // initial n: 5..=9
+    let c1 = 1 + rng.next_below(2) as i64;
+    let c2 = 1 + rng.next_below(2) as i64;
+    let guard = c1.max(c2);
+    let combine = *rng.pick(&[BinOp::Add, BinOp::Xor, BinOp::Sub]);
+    let leaf_add = rng.next_in_range(1, 50);
+
+    let heap_ty = Type::ptr(Type::I64);
+    let mut b = FunctionBuilder::new("gen_rec", vec![Type::I64, heap_ty, Type::I64], Type::Void);
+    let rec = b.create_block("rec");
+    let base = b.create_block("base");
+    let task = b.create_block("task");
+    let cont = b.create_block("cont");
+    let after = b.create_block("after");
+    let (n, heap, node) = (b.param(0), b.param(1), b.param(2));
+    let vguard = b.const_int(Type::I64, guard);
+    let stop = b.icmp(CmpPred::Slt, n, vguard);
+    b.cond_br(stop, base, rec);
+
+    // base: heap[node] = n + leaf_add + node. Mixing in the node id keeps
+    // symmetric trees (c1 == c2) from producing equal children, which a
+    // Xor/Sub combine would cancel to an all-zero root.
+    b.switch_to(base);
+    let cl = b.const_int(Type::I64, leaf_add);
+    let leaf0 = b.add(n, cl);
+    let leaf = b.add(leaf0, node);
+    let pself = b.gep_index(heap, node);
+    b.store(pself, leaf);
+    b.ret(None);
+
+    // rec: spawn the left descent into slot 2*node+1
+    b.switch_to(rec);
+    b.detach(task, cont);
+
+    b.switch_to(task);
+    let one = b.const_int(Type::I64, 1);
+    let two = b.const_int(Type::I64, 2);
+    let vc1 = b.const_int(Type::I64, c1);
+    let n1 = b.sub(n, vc1);
+    let l0 = b.mul(node, two);
+    let lnode = b.add(l0, one);
+    b.call(FuncId(0), vec![n1, heap, lnode], Type::Void);
+    b.reattach(cont);
+
+    // cont: serial right descent into slot 2*node+2
+    b.switch_to(cont);
+    let two_b = b.const_int(Type::I64, 2);
+    let vc2 = b.const_int(Type::I64, c2);
+    let n2 = b.sub(n, vc2);
+    let r0 = b.mul(node, two_b);
+    let rnode = b.add(r0, two_b);
+    b.call(FuncId(0), vec![n2, heap, rnode], Type::Void);
+    b.sync(after);
+
+    // after: combine both children into the own slot
+    b.switch_to(after);
+    let two_c = b.const_int(Type::I64, 2);
+    let one_c = b.const_int(Type::I64, 1);
+    let la = b.mul(node, two_c);
+    let lnode2 = b.add(la, one_c);
+    let rnode2 = b.add(la, two_c);
+    let pl = b.gep_index(heap, lnode2);
+    let pr = b.gep_index(heap, rnode2);
+    let vl = b.load(pl);
+    let vr = b.load(pr);
+    let s = b.bin(combine, vl, vr);
+    let pown = b.gep_index(heap, node);
+    b.store(pown, s);
+    b.ret(None);
+
+    let mut module = Module::new("gen_rec");
+    let func = module.add_function(b.finish());
+
+    // Complete-binary-tree slots: with descent ≥ 1 per level the tree is
+    // at most `depth` levels deep, so node ids stay below 2^(depth+1).
+    // The whole heap is the validated region — every node slot is written
+    // by exactly one recursion instance, so the differential comparison
+    // checks the full combine tree, not just the root (whose XOR/Sub fold
+    // can legitimately cancel to zero on symmetric descents).
+    let slots = (1usize << (depth + 1)) + 2;
+    let mem = vec![0u8; slots * 8];
+    let wl = BuiltWorkload {
+        name: "gen-rec".to_string(),
+        module,
+        func,
+        args: vec![Val::Int(depth), Val::Int(0), Val::Int(0)],
+        output: (0, mem.len()),
+        mem,
+        worker_task: "gen_rec::task1".to_string(),
+        work_items: depth,
+    };
+    (wl, format!("depth={depth} c1={c1} c2={c2} combine={combine:?} leaf={leaf_add}"))
+}
+
+/// Strided loads that hammer one L1 bank: the read stride is a whole
+/// number of cache lines, so with any power-of-two bank count every
+/// iteration's load lands on bank 0 — MSHR and conflict-port stress.
+fn gen_bankcamp(rng: &mut SplitMix64) -> (BuiltWorkload, String) {
+    let n = 8 + rng.next_below(17);
+    // 8 i64s per 64-byte line; stride 8 or 16 elements = 1 or 2 lines.
+    let camp = 8 * (1 + rng.next_below(2)) as i64;
+    let ops = 1 + rng.next_below(3);
+    let n_in = ((n as i64 - 1) * camp + 1) as usize;
+
+    let ptr = Type::ptr(Type::I64);
+    let mut b = FunctionBuilder::new("gen_bankcamp", vec![ptr.clone(), ptr, Type::I64], Type::Void);
+    let (inp, out, nn) = (b.param(0), b.param(1), b.param(2));
+    let zero = b.const_int(Type::I64, 0);
+    let cc = b.const_int(Type::I64, camp);
+    let mut body_rng = rng.clone();
+    cilk_for(&mut b, zero, nn, |b, i| {
+        let idx = b.mul(i, cc);
+        let p = b.gep_index(inp, idx);
+        let v = b.load(p);
+        let r = op_chain(b, &mut body_rng, v, ops);
+        let q = b.gep_index(out, i);
+        b.store(q, r);
+    });
+    *rng = body_rng;
+    b.ret(None);
+    let mut module = Module::new("gen_bankcamp");
+    let func = module.add_function(b.finish());
+    let wl = package("gen-bankcamp", module, func, rng, n_in, n as usize, vec![Val::Int(n)], n);
+    (wl, format!("n={n} camp={camp} ops={ops}"))
+}
+
+/// Deep spawn chain with per-level serial side work:
+/// `rec(n)` detaches `rec(n-1)` and the continuation folds `w` inputs
+/// into `out[n-1]` while the chain below it runs — one unit's queue fills
+/// level by level while the side work gives idle siblings something to
+/// steal.
+fn gen_stealbait(rng: &mut SplitMix64) -> (BuiltWorkload, String) {
+    let depth = 6 + rng.next_below(11);
+    let w = 2 + rng.next_below(7);
+
+    let ptr = Type::ptr(Type::I64);
+    let mut b =
+        FunctionBuilder::new("gen_stealbait", vec![Type::I64, ptr.clone(), ptr], Type::Void);
+    let rec = b.create_block("rec");
+    let base = b.create_block("base");
+    let task = b.create_block("task");
+    let cont = b.create_block("cont");
+    let after = b.create_block("after");
+    let (n, inp, out) = (b.param(0), b.param(1), b.param(2));
+    let zero = b.const_int(Type::I64, 0);
+    let stop = b.icmp(CmpPred::Sle, n, zero);
+    b.cond_br(stop, base, rec);
+
+    b.switch_to(base);
+    b.ret(None);
+
+    // rec: spawn the next link of the chain…
+    b.switch_to(rec);
+    b.detach(task, cont);
+
+    b.switch_to(task);
+    let one = b.const_int(Type::I64, 1);
+    let n1 = b.sub(n, one);
+    b.call(FuncId(0), vec![n1, inp, out], Type::Void);
+    b.reattach(cont);
+
+    // …and fold side work into this level's own slot while it runs.
+    b.switch_to(cont);
+    let one_c = b.const_int(Type::I64, 1);
+    let slot0 = b.sub(n, one_c);
+    let vw = b.const_int(Type::I64, w as i64);
+    serial_for(&mut b, zero, vw, |b, k| {
+        let p = b.gep_index(inp, k);
+        let v = b.load(p);
+        let q = b.gep_index(out, slot0);
+        let acc = b.load(q);
+        let mixed = b.add(acc, v);
+        let folded = b.add(mixed, n);
+        b.store(q, folded);
+    });
+    b.sync(after);
+    b.switch_to(after);
+    b.ret(None);
+
+    let mut module = Module::new("gen_stealbait");
+    let func = module.add_function(b.finish());
+
+    let mut mem = fill_inputs(rng, w as usize);
+    mem.extend(std::iter::repeat_n(0u8, depth as usize * 8));
+    let wl = BuiltWorkload {
+        name: "gen-stealbait".to_string(),
+        module,
+        func,
+        args: vec![Val::Int(depth), Val::Int(0), Val::Int(w * 8)],
+        mem,
+        output: (w * 8, depth as usize * 8),
+        worker_task: "gen_stealbait::task1".to_string(),
+        work_items: depth * w,
+    };
+    (wl, format!("depth={depth} w={w}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The seeds the exhaustive tests sweep; wide enough to hit every
+    /// shape family several times.
+    const SWEEP: std::ops::Range<u64> = 0..48;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 7, 0xdead_beef, u64::MAX] {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a.shape, b.shape);
+            assert_eq!(a.descriptor, b.descriptor);
+            assert_eq!(
+                tapas_ir::printer::print_module(&a.wl.module),
+                tapas_ir::printer::print_module(&b.wl.module),
+                "seed {seed}: program text must be a pure function of the seed"
+            );
+            assert_eq!(a.wl.mem, b.wl.mem, "seed {seed}: memory image must match");
+            assert_eq!(a.wl.args, b.wl.args, "seed {seed}: arguments must match");
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_differ() {
+        let a = generate(100);
+        let b = generate(101);
+        let differ = a.shape != b.shape
+            || a.descriptor != b.descriptor
+            || tapas_ir::printer::print_module(&a.wl.module)
+                != tapas_ir::printer::print_module(&b.wl.module);
+        assert!(differ, "adjacent seeds produced identical programs");
+    }
+
+    #[test]
+    fn sweep_hits_every_shape() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in SWEEP {
+            seen.insert(generate(seed).shape.name());
+        }
+        assert_eq!(seen.len(), Shape::all().len(), "sweep missed shapes: saw {seen:?}");
+    }
+
+    #[test]
+    fn every_generated_program_verifies_and_lints_clean() {
+        for seed in SWEEP {
+            let g = generate(seed);
+            lint_clean(&g.wl).unwrap_or_else(|e| {
+                panic!("seed {seed} ({} {}): {e}", g.shape.name(), g.descriptor)
+            });
+        }
+    }
+
+    #[test]
+    fn every_generated_program_runs_race_free_under_sp_bags() {
+        for seed in SWEEP {
+            let g = generate(seed);
+            let mut mem = g.wl.mem.clone();
+            let cfg = tapas_ir::interp::InterpConfig {
+                detect_races: true,
+                ..tapas_ir::interp::InterpConfig::default()
+            };
+            let out = tapas_ir::interp::run(&g.wl.module, g.wl.func, &g.wl.args, &mut mem, &cfg)
+                .unwrap_or_else(|e| {
+                    panic!("seed {seed} ({} {}): interp: {e}", g.shape.name(), g.descriptor)
+                });
+            assert!(
+                out.races.is_empty(),
+                "seed {seed} ({} {}): SP-bags observed races: {:?}",
+                g.shape.name(),
+                g.descriptor,
+                out.races
+            );
+            assert!(out.stats.spawns > 0, "seed {seed}: a traffic program must spawn tasks");
+        }
+    }
+
+    #[test]
+    fn every_generated_program_is_occupancy_bounded() {
+        for seed in SWEEP {
+            let g = generate(seed);
+            let report = tapas_analyze::analyze(&g.wl.module, g.wl.func, &g.wl.args)
+                .unwrap_or_else(|e| {
+                    panic!("seed {seed} ({} {}): analyze: {e}", g.shape.name(), g.descriptor)
+                });
+            let bound = report.min_safe_ntasks.unwrap_or_else(|| {
+                panic!(
+                    "seed {seed} ({} {}): occupancy not statically bounded — \
+                     guarded descent broken",
+                    g.shape.name(),
+                    g.descriptor
+                )
+            });
+            assert!(bound >= 1, "seed {seed}: degenerate bound");
+        }
+    }
+
+    #[test]
+    fn outputs_are_nontrivial() {
+        // A generator that only ever writes zeros would make the golden
+        // comparison vacuous; every program must leave a nonzero output.
+        for seed in SWEEP {
+            let g = generate(seed);
+            let mem = g.wl.golden_memory();
+            let out = g.wl.output_of(&mem);
+            assert!(
+                out.iter().any(|&b| b != 0),
+                "seed {seed} ({} {}): all-zero output region",
+                g.shape.name(),
+                g.descriptor
+            );
+        }
+    }
+}

@@ -18,6 +18,8 @@
 //! one-line repro string (workload, seed and every knob), so a CI failure
 //! can be replayed directly with [`check_sample`].
 
+pub mod fuzz;
+
 use tapas::{
     AcceleratorConfig, AdmissionControl, EngineSnapshot, ProfileLevel, SimError, SnapshotConfig,
     StealConfig, Toolchain,

@@ -1,0 +1,95 @@
+//! Golden-hash lock for the hand-written benchmark suite.
+//!
+//! The traffic generator era brings refactors that touch the IR builder,
+//! the loop helpers and the workload constructors. This lock pins a
+//! fingerprint of every hand-written workload — the printed program text
+//! *and* the interpreter golden memory — so any refactor that silently
+//! perturbs a kernel (different instruction order, shifted memory layout,
+//! changed input stream) fails here with the workload's name instead of
+//! surfacing later as an inexplicable cycle-count or output change.
+//!
+//! If a change is *intentional* (a workload's definition really changed),
+//! re-run this test: it prints the actual fingerprint table on mismatch;
+//! paste it over the `LOCKED_*` constant.
+
+use tapas_workloads::{suite_eval, suite_small, BuiltWorkload};
+
+/// FNV-1a 64-bit: tiny, dependency-free, stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// (name, hash of printed IR text, hash of the full golden memory image).
+fn fingerprint(wl: &BuiltWorkload) -> (String, u64, u64) {
+    let text = tapas_ir::printer::print_module(&wl.module);
+    let golden = wl.golden_memory();
+    (wl.name.clone(), fnv1a(text.as_bytes()), fnv1a(&golden))
+}
+
+fn check_suite(suite: &[BuiltWorkload], locked: &[(&str, u64, u64)], which: &str) {
+    let actual: Vec<(String, u64, u64)> = suite.iter().map(fingerprint).collect();
+    let matches = actual.len() == locked.len()
+        && actual.iter().zip(locked).all(|(a, l)| a.0 == l.0 && a.1 == l.1 && a.2 == l.2);
+    if !matches {
+        let mut table = String::new();
+        for (name, text, golden) in &actual {
+            table.push_str(&format!("    (\"{name}\", {text:#018x}, {golden:#018x}),\n"));
+        }
+        panic!(
+            "{which} fingerprints changed — if intentional, update LOCKED_{} to:\n{table}",
+            which.to_uppercase()
+        );
+    }
+}
+
+const LOCKED_SMALL: &[(&str, u64, u64)] = &[
+    ("matrix_add", 0x5031c424962cf383, 0xccd97260727912d2),
+    ("image_scale", 0x4b2f61f5a0b9aae9, 0x8d332c4c83dea023),
+    ("saxpy", 0x79643606f4f01f23, 0x85d34b0ffafebd0d),
+    ("stencil", 0xd3c7b058bbf38be1, 0xf53d5caa975d0631),
+    ("dedup", 0x28ace302d3aacbb7, 0x5f501051bccb4567),
+    ("mergesort", 0xb5e388571b361c6a, 0x640129b9d7598e55),
+    ("fib", 0x997a94720fa25b3e, 0x3fcb16b2f4aff215),
+];
+
+const LOCKED_EVAL: &[(&str, u64, u64)] = &[
+    ("matrix_add", 0x5031c424962cf383, 0x8f4d90413b48efd5),
+    ("image_scale", 0x4b2f61f5a0b9aae9, 0x0fe65149b7989608),
+    ("saxpy", 0x79643606f4f01f23, 0xaa2cd146f2efebba),
+    ("stencil", 0xd3c7b058bbf38be1, 0xe9728702de2f6692),
+    ("dedup", 0x28ace302d3aacbb7, 0xd7bb0fc4c7b5bf41),
+    ("mergesort", 0xb5e388571b361c6a, 0x40125cdffafc7259),
+    ("fib", 0x997a94720fa25b3e, 0xef90720d0a02f456),
+];
+
+#[test]
+fn small_suite_fingerprints_are_locked() {
+    check_suite(&suite_small(), LOCKED_SMALL, "small");
+}
+
+#[test]
+fn eval_suite_fingerprints_are_locked() {
+    check_suite(&suite_eval(), LOCKED_EVAL, "eval");
+}
+
+#[test]
+fn program_text_is_size_independent() {
+    // The two suites build the same programs at different sizes; the IR
+    // text must hash identically (sizes flow in as arguments and memory,
+    // not as recompiled code). This is what makes the text lock a lock on
+    // the *kernels*, not on the suite parameters.
+    for (s, e) in suite_small().iter().zip(&suite_eval()) {
+        assert_eq!(s.name, e.name);
+        assert_eq!(
+            fnv1a(tapas_ir::printer::print_module(&s.module).as_bytes()),
+            fnv1a(tapas_ir::printer::print_module(&e.module).as_bytes()),
+            "{}: program text differs between suite sizes",
+            s.name
+        );
+    }
+}

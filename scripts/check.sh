@@ -112,6 +112,19 @@ chaos_gate() {
   cmp /tmp/chaos_clean.json /tmp/chaos_resumed.json
 }
 
+fuzzsim_gate() {
+  # Generated-traffic differential campaign: every seed expands into a
+  # lint-proven program checked against the interpreter golden model
+  # across the sampled feature matrix; the dump must round-trip the
+  # schema check and a known-clean repro line must replay clean.
+  timeout 300 ./target/release/reproduce fuzzsim --jobs 4 --no-checkpoint \
+      --json /tmp/fuzzsim.json >/dev/null
+  ./target/release/reproduce check-json /tmp/fuzzsim.json
+  ./target/release/reproduce fuzzsim --repro \
+      "seed=0x0 steal=off banks=1 tiles=1 ntasks=256 admission=false engine=event faults=off kill=off" \
+      >/dev/null
+}
+
 differential_sweep() {
   # Seeded random configs (steal x banks x tiles x ntasks x admission)
   # against the interpreter golden model; seed ${DIFF_SEED} is fixed in
@@ -131,6 +144,7 @@ gate "reproduce analyze smoke (static-analysis gate)" analyze_smoke
 gate "reproduce bench (event-engine perf gate)" bench_gate
 gate "sweep executor (fault-isolation + resume gate)" executor_gate
 gate "chaos (kill-and-resume crash-consistency gate)" chaos_gate
+gate "fuzzsim (generated-traffic differential gate)" fuzzsim_gate
 gate "differential sweep (seed ${DIFF_SEED})" differential_sweep
 gate "parser fuzz corpus (crash-hardening gate)" timeout 300 cargo test -q -p tapas-ir --test parse_fuzz
 
